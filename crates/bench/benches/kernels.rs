@@ -1,0 +1,93 @@
+//! Criterion benches for the Fig. 7 kernel ablation.
+//!
+//! One group per (kernel, pattern); within a group, the four variants
+//! (`MG-fp32/fp32` baseline, naive AOS FP16, optimized SOA FP16, CSR) so
+//! criterion's reports show the relative speedups directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fp16mg_bench::kernelbench::{lower_matrix, test_matrix};
+use fp16mg_fp::F16;
+use fp16mg_sgdia::kernels::{self, Par};
+use fp16mg_sgdia::{Csr, Layout};
+use fp16mg_stencil::Pattern;
+
+// Must exceed the LLC for the bandwidth story; see DESIGN.md.
+const N: usize = 112;
+
+fn bench_spmv(c: &mut Criterion) {
+    for (pname, pat) in [("3d7", Pattern::p7()), ("3d19", Pattern::p19()), ("3d27", Pattern::p27())]
+    {
+        let a64 = test_matrix(&pat, N, 0xc0ffee);
+        let un = a64.rows();
+        let bytes16 = (a64.stored_entries() * 2 + un * 8) as u64;
+        let x: Vec<f32> = (0..un).map(|i| ((i % 97) as f32) * 0.01 - 0.3).collect();
+        let mut y = vec![0.0f32; un];
+
+        let a32 = a64.convert::<f32>();
+        let a16_soa = a64.convert::<F16>();
+        let a16_aos = a16_soa.to_layout(Layout::Aos);
+        let csr = Csr::<f32>::from_sgdia(&a32);
+
+        let mut g = c.benchmark_group(format!("spmv/{pname}"));
+        g.throughput(Throughput::Bytes(bytes16));
+        g.bench_function(BenchmarkId::from_parameter("fp32-baseline"), |b| {
+            b.iter(|| kernels::spmv(&a32, &x, &mut y, Par::Seq))
+        });
+        g.bench_function(BenchmarkId::from_parameter("fp16-naive-aos"), |b| {
+            b.iter(|| kernels::spmv(&a16_aos, &x, &mut y, Par::Seq))
+        });
+        g.bench_function(BenchmarkId::from_parameter("fp16-opt-soa"), |b| {
+            b.iter(|| kernels::spmv(&a16_soa, &x, &mut y, Par::Seq))
+        });
+        g.bench_function(BenchmarkId::from_parameter("csr-fp32"), |b| {
+            b.iter(|| csr.spmv(&x, &mut y))
+        });
+        g.finish();
+    }
+}
+
+fn bench_sptrsv(c: &mut Criterion) {
+    for (pname, pat) in [("3d4", Pattern::p7()), ("3d10", Pattern::p19()), ("3d14", Pattern::p27())]
+    {
+        let a64 = test_matrix(&pat, N, 0xdead);
+        let l64 = lower_matrix(&a64);
+        let un = l64.rows();
+        let b_rhs: Vec<f32> = (0..un).map(|i| ((i % 89) as f32) * 0.01 + 0.1).collect();
+        let mut x = vec![0.0f32; un];
+
+        let l32 = l64.convert::<f32>();
+        let l16_soa = l64.convert::<F16>();
+        let l16_aos = l16_soa.to_layout(Layout::Aos);
+        let csr = Csr::<f32>::from_sgdia(&l32);
+
+        let mut g = c.benchmark_group(format!("sptrsv/{pname}"));
+        g.throughput(Throughput::Bytes((l64.stored_entries() * 2 + un * 8) as u64));
+        g.bench_function(BenchmarkId::from_parameter("fp32-baseline"), |b| {
+            b.iter(|| kernels::sptrsv_forward(&l32, &b_rhs, &mut x))
+        });
+        g.bench_function(BenchmarkId::from_parameter("fp16-naive-aos"), |b| {
+            b.iter(|| kernels::sptrsv_forward(&l16_aos, &b_rhs, &mut x))
+        });
+        g.bench_function(BenchmarkId::from_parameter("fp16-opt-soa"), |b| {
+            b.iter(|| kernels::sptrsv_forward(&l16_soa, &b_rhs, &mut x))
+        });
+        g.bench_function(BenchmarkId::from_parameter("csr-fp32"), |b| {
+            b.iter(|| csr.solve_lower(&b_rhs, &mut x))
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_spmv, bench_sptrsv
+}
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Galerkin coarsening: the structured triple-matrix product `R A P`.
+//!
+//! This is the essential setup-phase computation (Algorithm 1 line 2) and
+//! the reason *setup-then-scale* exists: the chain of triple products is
+//! numerically delicate, so the paper insists it run in high precision,
+//! untouched by any scaling (§4.3). The whole function therefore operates
+//! in `f64`.
+//!
+//! With trilinear `P` and `R = Pᵀ`, a radius-1 fine stencil produces a
+//! radius-1 (≤ 27-point) coarse stencil: `A_c(i_c → j_c)` accumulates
+//! `w_R · a · w_P` over fine cells `f_i` interpolated by `i_c` and fine
+//! neighbors `f_j` interpolated by `j_c`, and `|j_c − i_c| ≤ 1` per axis.
+//! This reproduces the footnote-5 behavior: 3d7/3d15/3d19 patterns expand
+//! to 3d27 on coarser grids.
+
+use fp16mg_sgdia::SgDia;
+use fp16mg_stencil::{Pattern, Tap};
+
+use crate::transfer::{cell_parents_into, Parent};
+
+/// Computes the Galerkin coarse operator `A_c = Pᵀ A P` in `f64`.
+///
+/// The result lives on `a.grid().coarsen()` with the full 27-point
+/// pattern (replicated over component pairs for vector PDEs); taps whose
+/// accumulated value is exactly zero remain stored (SG-DIA keeps the
+/// pattern uniform).
+///
+/// # Panics
+/// Panics if the fine pattern's radius exceeds 1 (standard structured
+/// stencils; RAP output itself stays radius 1, so chains are closed).
+pub fn galerkin_rap(a: &SgDia<f64>) -> SgDia<f64> {
+    galerkin_rap_axes(a, (true, true, true))
+}
+
+/// [`galerkin_rap`] with per-axis coarsening selection (PFMG-style
+/// semicoarsening): uncoarsened axes use identity transfer, so the coarse
+/// operator keeps the fine resolution along them.
+///
+/// # Panics
+/// As [`galerkin_rap`]; additionally if no axis is coarsenable.
+pub fn galerkin_rap_axes(a: &SgDia<f64>, axes: (bool, bool, bool)) -> SgDia<f64> {
+    assert!(a.pattern().radius() <= 1, "galerkin_rap supports radius-1 stencils");
+    let fine = *a.grid();
+    let coarse = fine.coarsen_axes(axes);
+    assert_ne!(coarse, fine, "no axis was coarsened");
+    let r = fine.components;
+    let cpattern = if r == 1 {
+        Pattern::p27()
+    } else {
+        Pattern::p27().with_components(r)
+    };
+    let mut ac = SgDia::<f64>::zeros(coarse, cpattern, a.layout());
+
+    // Precompute the coarse tap index for every (offset, cout, cin).
+    // Offsets are in [-1, 1]^3 → index (dz+1)*9 + (dy+1)*3 + (dx+1).
+    let mut tap_of = vec![usize::MAX; 27 * r * r];
+    for (t, tap) in ac.pattern().taps().iter().enumerate() {
+        let o = ((tap.dz + 1) * 9 + (tap.dy + 1) * 3 + (tap.dx + 1)) as usize;
+        tap_of[o * r * r + tap.cout as usize * r + tap.cin as usize] = t;
+    }
+
+    let ataps: Vec<Tap> = a.pattern().taps().to_vec();
+    let mut rows: [Parent; 8] = [(0, (0, 0, 0), 0.0); 8];
+    let mut cols: [Parent; 8] = [(0, (0, 0, 0), 0.0); 8];
+    for (fcell, i, j, k) in fine.iter_cells() {
+        // Coarse parents of the row cell (the R factor).
+        let nrows = cell_parents_into(&fine, &coarse, i, j, k, &mut rows);
+        for (t, tap) in ataps.iter().enumerate() {
+            if !fine.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                continue;
+            }
+            let v = a.get(fcell, t);
+            if v == 0.0 {
+                continue;
+            }
+            let ni = (i as i64 + tap.dx as i64) as usize;
+            let nj = (j as i64 + tap.dy as i64) as usize;
+            let nk = (k as i64 + tap.dz as i64) as usize;
+            // Coarse parents of the column cell (the P factor).
+            let ncols = cell_parents_into(&fine, &coarse, ni, nj, nk, &mut cols);
+            let comp = tap.cout as usize * r + tap.cin as usize;
+            for &(_ccol, (ci, cj, ck), wp) in &cols[..ncols] {
+                for &(crow, (ri, rj, rk), wr) in &rows[..nrows] {
+                    let dx = ci as i64 - ri as i64;
+                    let dy = cj as i64 - rj as i64;
+                    let dz = ck as i64 - rk as i64;
+                    debug_assert!(dx.abs() <= 1 && dy.abs() <= 1 && dz.abs() <= 1);
+                    let o = ((dz + 1) * 9 + (dy + 1) * 3 + (dx + 1)) as usize;
+                    let ct = tap_of[o * r * r + comp];
+                    let old = ac.get(crow, ct);
+                    ac.set(crow, ct, old + wr * v * wp);
+                }
+            }
+        }
+    }
+    ac
+}
+
+/// Mean absolute face-coupling strength per axis (x, y, z): the semi-
+/// coarsening direction detector. Only pure-axis (face) taps count; all
+/// component pairs contribute.
+pub fn directional_strength(a: &SgDia<f64>) -> [f64; 3] {
+    let grid = a.grid();
+    let mut sum = [0.0f64; 3];
+    let mut cnt = [0usize; 3];
+    for (t, tap) in a.pattern().taps().iter().enumerate() {
+        let axis = match (tap.dx != 0, tap.dy != 0, tap.dz != 0) {
+            (true, false, false) => 0,
+            (false, true, false) => 1,
+            (false, false, true) => 2,
+            _ => continue,
+        };
+        for cell in 0..grid.cells() {
+            sum[axis] += a.get(cell, t).abs();
+        }
+        cnt[axis] += grid.cells();
+    }
+    let mut out = [0.0f64; 3];
+    for ax in 0..3 {
+        out[ax] = if cnt[ax] > 0 { sum[ax] / cnt[ax] as f64 } else { 0.0 };
+    }
+    out
+}

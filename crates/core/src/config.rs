@@ -1,0 +1,210 @@
+//! Multigrid configuration: precision policy, scaling strategy, smoother.
+
+use fp16mg_fp::Precision;
+use fp16mg_sgdia::kernels::Par;
+use fp16mg_sgdia::scaling::GChoice;
+use fp16mg_sgdia::Layout;
+
+/// Which storage precision each level's matrix is truncated to
+/// (the paper's `D`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum StoragePolicy {
+    /// Every level uses the same precision.
+    Uniform(Precision),
+    /// FP16 on levels `0..shift_levid`, the given higher precision from
+    /// `shift_levid` to the coarsest — the underflow guard of §4.3.
+    /// `shift_levid = usize::MAX` stores everything in FP16.
+    Fp16Until {
+        /// First level stored in `coarse` precision.
+        shift_levid: usize,
+        /// Precision for levels `>= shift_levid` (usually FP32, the
+        /// preconditioner computation precision).
+        coarse: Precision,
+    },
+    /// Explicit precision per level (the last entry repeats for deeper
+    /// levels).
+    PerLevel(Vec<Precision>),
+}
+
+impl StoragePolicy {
+    /// Resolves the precision of `level`.
+    ///
+    /// # Panics
+    /// Panics if a `PerLevel` list is empty.
+    pub fn precision_for(&self, level: usize) -> Precision {
+        match self {
+            StoragePolicy::Uniform(p) => *p,
+            StoragePolicy::Fp16Until { shift_levid, coarse } => {
+                if level < *shift_levid {
+                    Precision::F16
+                } else {
+                    *coarse
+                }
+            }
+            StoragePolicy::PerLevel(v) => {
+                assert!(!v.is_empty(), "empty PerLevel policy");
+                *v.get(level).unwrap_or_else(|| v.last().unwrap())
+            }
+        }
+    }
+}
+
+/// Out-of-range treatment (§4.1, §4.3, Fig. 6 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleStrategy {
+    /// Direct truncation, no scaling: overflows to ±∞ and crashes the
+    /// solve with NaN on out-of-range problems (`K64P32D16-none`).
+    None,
+    /// The paper's strategy (Algorithm 1): complete the high-precision
+    /// setup first, then scale each level per Theorem 4.1 — but only
+    /// levels whose values actually exceed the storage range.
+    SetupThenScale,
+    /// The inferior alternative of §4.3: scale the finest matrix once,
+    /// run the Galerkin chain on the scaled operator, truncate all levels
+    /// directly. Coarse levels may still leave the FP16 range (overflow or
+    /// underflow) because a single global scaling cannot adapt per level.
+    ScaleThenSetup,
+}
+
+/// Smoother selection (§4.2: SymGS and ILU are typical; Gauss–Seidel
+/// variants are what StructMG/PFMG use in practice).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SmootherKind {
+    /// Weighted (block-)Jacobi: `x += ω D⁻¹ (b − A x)`.
+    Jacobi {
+        /// Damping weight `ω` (2/3–0.9 typical).
+        weight: f64,
+    },
+    /// Forward Gauss–Seidel pre-smoothing, backward post-smoothing
+    /// (`Sᵀ` on the upward pass, Algorithm 3 line 17); the resulting
+    /// V-cycle is symmetric, as CG requires.
+    GsSymmetric,
+    /// Full SymGS (forward + backward sweep) for both pre- and
+    /// post-smoothing — heavier per sweep, the HPCG-style configuration.
+    SymGs,
+    /// ILU(0): factors computed in high precision during setup, truncated
+    /// to the storage precision, applied with the mixed-precision
+    /// triangular kernels (§4.1: "data in smoothers, such as the
+    /// factorized L̃, Ũ in ILU, are calculated in iterative precision
+    /// followed by truncation to storage precision"). Scalar problems
+    /// only; vector PDEs fall back to [`SmootherKind::GsSymmetric`]. The
+    /// same factors smooth both passes, so the V-cycle is mildly
+    /// nonsymmetric — pair with GMRES or Richardson.
+    Ilu0,
+    /// Chebyshev-accelerated Jacobi of the given polynomial degree
+    /// (hypre-style interval `[λmax/30, 1.1·λmax]`, λmax estimated by
+    /// power iteration during setup). Each degree costs one SpMV plus
+    /// vector updates — a *bandwidth-bound* smoother, so FP16 storage
+    /// pays off even on a single latency-rich core where Gauss–Seidel's
+    /// sequential recurrence hides the traffic reduction. Symmetric and
+    /// SPD-preserving (CG-safe).
+    Chebyshev {
+        /// Polynomial degree (2–4 typical).
+        degree: usize,
+    },
+}
+
+/// Coarsening policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Coarsening {
+    /// ×2 in every direction (the default; StructMG's high-dimensional
+    /// coarsening keeps C_G ≤ 8/7).
+    Full,
+    /// PFMG-style semicoarsening: per level, coarsen only the axes whose
+    /// mean face-coupling strength is at least `threshold` times the
+    /// strongest axis's. Collapses anisotropy level by level, restoring
+    /// point-smoother efficiency on strongly anisotropic operators at the
+    /// cost of higher grid complexity.
+    Semi {
+        /// Relative strength cutoff in (0, 1]; hypre's PFMG default idea
+        /// is "coarsen the strong direction", ~0.5 works well.
+        threshold: f64,
+    },
+}
+
+/// Multigrid cycle shape. The paper evaluates V-cycles exclusively; W/F
+/// are provided as extensions — they spend more time on coarse levels,
+/// which *raises* the fraction of FP16-compressible work (the effect the
+/// related Ginkgo work exploits) at higher cost per application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cycle {
+    /// V-cycle (γ = 1) — the paper's configuration.
+    V,
+    /// W-cycle (γ = 2).
+    W,
+    /// F-cycle: one F-visit then one V-visit per level.
+    F,
+}
+
+/// Complete multigrid configuration.
+#[derive(Clone, Debug)]
+pub struct MgConfig {
+    /// Maximum number of levels (including the finest).
+    pub max_levels: usize,
+    /// Stop coarsening when a grid has at most this many cells; that level
+    /// is solved directly by dense LU.
+    pub min_coarse_cells: usize,
+    /// Smoother kind.
+    pub smoother: SmootherKind,
+    /// Pre-smoothing sweeps ν₁ (the paper uses 1 throughout, §8).
+    pub nu1: usize,
+    /// Post-smoothing sweeps ν₂.
+    pub nu2: usize,
+    /// Storage precision policy (`D`).
+    pub storage: StoragePolicy,
+    /// Out-of-range strategy.
+    pub scale: ScaleStrategy,
+    /// Scaling constant policy.
+    pub g_choice: GChoice,
+    /// Matrix memory layout (SOA enables the SIMD kernels, §5.1).
+    pub layout: Layout,
+    /// Kernel parallelism.
+    pub par: Par,
+    /// Cycle shape.
+    pub cycle: Cycle,
+    /// Coarsening policy.
+    pub coarsening: Coarsening,
+}
+
+impl Default for MgConfig {
+    fn default() -> Self {
+        MgConfig {
+            max_levels: 10,
+            min_coarse_cells: 64,
+            smoother: SmootherKind::GsSymmetric,
+            nu1: 1,
+            nu2: 1,
+            storage: StoragePolicy::Uniform(Precision::F32),
+            scale: ScaleStrategy::SetupThenScale,
+            g_choice: GChoice::Auto,
+            layout: Layout::Soa,
+            par: Par::Seq,
+            cycle: Cycle::V,
+            coarsening: Coarsening::Full,
+        }
+    }
+}
+
+impl MgConfig {
+    /// The paper's headline configuration: FP16 storage on every level,
+    /// setup-then-scale, SOA layout.
+    pub fn d16() -> Self {
+        MgConfig { storage: StoragePolicy::Uniform(Precision::F16), ..Default::default() }
+    }
+
+    /// Full-FP32 preconditioner (the `K64P32D32` baseline).
+    pub fn d32() -> Self {
+        MgConfig { storage: StoragePolicy::Uniform(Precision::F32), ..Default::default() }
+    }
+
+    /// Full-FP64 preconditioner storage (for `Full64` baselines, paired
+    /// with `Pr = f64`).
+    pub fn d64() -> Self {
+        MgConfig { storage: StoragePolicy::Uniform(Precision::F64), ..Default::default() }
+    }
+
+    /// BF16 storage (§8 comparison).
+    pub fn dbf16() -> Self {
+        MgConfig { storage: StoragePolicy::Uniform(Precision::BF16), ..Default::default() }
+    }
+}

@@ -1,0 +1,531 @@
+//! The multigrid hierarchy: Algorithm 1 setup, Algorithm 3 V-cycle, and
+//! the Algorithm 2 preconditioner interface.
+
+use fp16mg_fp::{Precision, Scalar};
+use fp16mg_grid::Grid3;
+use fp16mg_krylov::Preconditioner;
+use fp16mg_sgdia::kernels::BlockDiagInv;
+use fp16mg_sgdia::scaling::{self, rescale_into, ScaleVectors};
+use fp16mg_sgdia::SgDia;
+
+use crate::coarsen::{directional_strength, galerkin_rap_axes};
+use crate::config::{Coarsening, Cycle, MgConfig, ScaleStrategy};
+use crate::level::Level;
+use crate::smoother::DenseLu;
+use crate::stored::StoredMatrix;
+use crate::transfer::{prolong_add, restrict};
+
+/// Setup failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetupError {
+    /// Theorem 4.1 requires positive diagonals; this unknown's is not.
+    NonPositiveDiagonal {
+        /// Level index.
+        level: usize,
+        /// Offending unknown.
+        unknown: usize,
+    },
+    /// A diagonal block could not be inverted for the smoother.
+    SingularDiagonalBlock {
+        /// Level index.
+        level: usize,
+        /// Offending cell.
+        cell: usize,
+    },
+    /// The coarsest-level dense factorization hit a zero pivot.
+    SingularCoarseMatrix,
+    /// More components per cell than the kernels support (8).
+    TooManyComponents,
+}
+
+impl core::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SetupError::NonPositiveDiagonal { level, unknown } => {
+                write!(f, "non-positive diagonal at level {level}, unknown {unknown}")
+            }
+            SetupError::SingularDiagonalBlock { level, cell } => {
+                write!(f, "singular diagonal block at level {level}, cell {cell}")
+            }
+            SetupError::SingularCoarseMatrix => write!(f, "singular coarsest-level matrix"),
+            SetupError::TooManyComponents => write!(f, "more than 8 components per cell"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// Per-level summary for reports (Table 3, Fig. 3).
+#[derive(Clone, Debug)]
+pub struct LevelInfo {
+    /// Grid extents.
+    pub dims: (usize, usize, usize),
+    /// Unknowns `n_l`.
+    pub unknowns: usize,
+    /// Nonzeros `Z_l`.
+    pub nnz: usize,
+    /// Storage precision of the level's matrix.
+    pub precision: Precision,
+    /// Whether setup-then-scale fired on this level.
+    pub scaled: bool,
+    /// The scaling constant `G` when scaled.
+    pub g: Option<f64>,
+    /// Whether all stored values are finite after truncation.
+    pub finite: bool,
+    /// Bytes of matrix value data stored.
+    pub value_bytes: usize,
+}
+
+/// Hierarchy summary.
+#[derive(Clone, Debug)]
+pub struct MgInfo {
+    /// One entry per level, finest first (the coarsest/direct level
+    /// included, tagged with the computation precision).
+    pub levels: Vec<LevelInfo>,
+    /// Grid complexity `C_G = Σ n_l / n_0` (Eq. 3).
+    pub grid_complexity: f64,
+    /// Operator complexity `C_O = Σ Z_l / Z_0` (Eq. 3).
+    pub operator_complexity: f64,
+    /// Total bytes of matrix data across smoothed levels.
+    pub matrix_bytes: usize,
+}
+
+/// The FP16-capable structured multigrid preconditioner.
+///
+/// Generic over the preconditioner computation precision `Pr` (the
+/// paper's `P`, normally `f32`); the storage precision is per-level
+/// runtime state. Implements [`Preconditioner`] for any iterative
+/// precision `K` — the `K`→`Pr` truncation and `Pr`→`K` recovery of
+/// Algorithm 2 happen at the boundary.
+pub struct Mg<Pr: Scalar = f32> {
+    levels: Vec<Level<Pr>>,
+    coarse_grid: Grid3,
+    coarse_lu: DenseLu,
+    coarse_f: Vec<Pr>,
+    coarse_x64: Vec<f64>,
+    coarse_s64: Vec<f64>,
+    /// Finest-level rescale wrap for the scale-then-setup strategy.
+    finest_scale: Option<ScaleVectors<Pr>>,
+    config: MgConfig,
+    info: MgInfo,
+}
+
+impl<Pr: Scalar> Mg<Pr> {
+    /// Builds the hierarchy from the finest-level matrix (Algorithm 1).
+    ///
+    /// ```
+    /// use fp16mg_core::{Mg, MgConfig};
+    /// use fp16mg_grid::Grid3;
+    /// use fp16mg_sgdia::{Layout, SgDia};
+    /// use fp16mg_stencil::Pattern;
+    ///
+    /// // 7-point Poisson on a 8³ grid, FP16 storage with setup-then-scale.
+    /// let pattern = Pattern::p7();
+    /// let taps: Vec<_> = pattern.taps().to_vec();
+    /// let a = SgDia::<f64>::from_fn(Grid3::cube(8), pattern, Layout::Soa,
+    ///     |_, _, _, _, t| if taps[t].is_diagonal() { 6.0 } else { -1.0 });
+    /// let mg = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+    /// assert!(mg.info().grid_complexity < 1.2);
+    /// ```
+    ///
+    /// # Errors
+    /// See [`SetupError`].
+    pub fn setup(a: &SgDia<f64>, config: &MgConfig) -> Result<Self, SetupError> {
+        if a.grid().components > 8 {
+            return Err(SetupError::TooManyComponents);
+        }
+
+        // --- Galerkin chain in f64 (lines 1–3). ---
+        let mut chain: Vec<SgDia<f64>> = Vec::new();
+        let mut finest = a.to_layout(config.layout);
+        let mut finest_scale = None;
+        if config.scale == ScaleStrategy::ScaleThenSetup {
+            // The inferior §4.3 alternative: scale the problem matrix once,
+            // before the triple-product chain sees it.
+            let fp16_max = fp16mg_fp::F16::MAX_F64;
+            let sv = scaling::scale_symmetric::<Pr>(&mut finest, config.g_choice, fp16_max)
+                .map_err(|u| SetupError::NonPositiveDiagonal { level: 0, unknown: u })?;
+            finest_scale = Some(sv);
+        }
+        chain.push(finest);
+        while chain.len() < config.max_levels.max(1)
+            && !chain.last().unwrap().grid().is_coarsest(config.min_coarse_cells)
+        {
+            let last = chain.last().unwrap();
+            let axes = select_axes(last, config.coarsening);
+            if last.grid().coarsen_axes(axes) == *last.grid() {
+                break; // nothing left to coarsen
+            }
+            chain.push(galerkin_rap_axes(last, axes));
+        }
+
+        // --- Per-level scale-and-truncate (lines 4–14). ---
+        let nlev = chain.len();
+        let mut levels = Vec::with_capacity(nlev.saturating_sub(1));
+        let mut infos = Vec::with_capacity(nlev);
+        for (i, ai) in chain.iter().enumerate().take(nlev - 1) {
+            let prec = config.storage.precision_for(i);
+            let (stored, scale, dinv, ilu, cheb) = build_level(ai, prec, config, i)?;
+            infos.push(LevelInfo {
+                dims: (ai.grid().nx, ai.grid().ny, ai.grid().nz),
+                unknowns: ai.rows(),
+                nnz: ai.nnz(),
+                precision: stored.precision(),
+                scaled: scale.is_some(),
+                g: scale.as_ref().map(|s: &ScaleVectors<Pr>| s.g),
+                finite: stored.all_finite(),
+                value_bytes: stored.value_bytes(),
+            });
+            levels.push(Level::new(*ai.grid(), stored, scale, dinv, ilu, cheb, config.par));
+        }
+
+        // --- Coarsest level: dense LU of the exact f64 operator. ---
+        let coarsest = chain.last().unwrap();
+        let coarse_lu =
+            DenseLu::factor(coarsest).map_err(|_| SetupError::SingularCoarseMatrix)?;
+        let cn = coarsest.rows();
+        infos.push(LevelInfo {
+            dims: (coarsest.grid().nx, coarsest.grid().ny, coarsest.grid().nz),
+            unknowns: cn,
+            nnz: coarsest.nnz(),
+            precision: Precision::F64,
+            scaled: false,
+            g: None,
+            finite: true,
+            value_bytes: coarsest.value_bytes(),
+        });
+
+        let n0 = infos[0].unknowns as f64;
+        let z0 = infos[0].nnz as f64;
+        let info = MgInfo {
+            grid_complexity: infos.iter().map(|l| l.unknowns as f64).sum::<f64>() / n0,
+            operator_complexity: infos.iter().map(|l| l.nnz as f64).sum::<f64>() / z0,
+            matrix_bytes: infos.iter().take(nlev - 1).map(|l| l.value_bytes).sum(),
+            levels: infos,
+        };
+
+        Ok(Mg {
+            levels,
+            coarse_grid: *coarsest.grid(),
+            coarse_lu,
+            coarse_f: vec![Pr::ZERO; cn],
+            coarse_x64: vec![0.0; cn],
+            coarse_s64: vec![0.0; cn],
+            finest_scale,
+            config: config.clone(),
+            info,
+        })
+    }
+
+    /// Hierarchy summary (complexities, per-level precisions).
+    pub fn info(&self) -> &MgInfo {
+        &self.info
+    }
+
+    /// The configuration the hierarchy was built with.
+    pub fn config(&self) -> &MgConfig {
+        &self.config
+    }
+
+    /// Number of levels including the coarsest direct-solve level.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Applies one V-cycle to the right-hand side already loaded into the
+    /// finest level's `f`, leaving the result in the finest `u`
+    /// (Algorithm 3).
+    /// Runs one multigrid cycle with the right-hand side already loaded
+    /// into the finest level's `f`, leaving the result in the finest `u`
+    /// (Algorithm 3 for the V-cycle; W/F recurse per [`Cycle`]).
+    fn vcycle(&mut self) {
+        if self.levels.is_empty() {
+            // Degenerate single-level hierarchy: direct solve.
+            self.coarse_solve_from_own_f();
+            return;
+        }
+        self.levels[0].reset();
+        self.cycle_at(0, self.config.cycle);
+    }
+
+    /// Recursive γ-cycle at level `i`. The caller owns the iterate policy:
+    /// `u_i` is *not* reset here, so consecutive invocations iterate
+    /// (that is what makes γ = 2 a W-cycle).
+    fn cycle_at(&mut self, i: usize, cycle: Cycle) {
+        let nl = self.levels.len();
+        self.levels[i].smooth(self.config.smoother, self.config.nu1, false);
+        self.levels[i].compute_residual();
+        if i + 1 < nl {
+            {
+                let (fine, rest) = self.levels.split_at_mut(i + 1);
+                let lf = &fine[i];
+                let lc = &mut rest[0];
+                restrict(&lf.grid, &lc.grid, &lf.r, &mut lc.f);
+            }
+            self.levels[i + 1].reset();
+            match cycle {
+                Cycle::V => self.cycle_at(i + 1, Cycle::V),
+                Cycle::W => {
+                    self.cycle_at(i + 1, Cycle::W);
+                    self.cycle_at(i + 1, Cycle::W);
+                }
+                Cycle::F => {
+                    // F-cycle: one F-visit followed by one V-visit.
+                    self.cycle_at(i + 1, Cycle::F);
+                    self.cycle_at(i + 1, Cycle::V);
+                }
+            }
+            let (fine, rest) = self.levels.split_at_mut(i + 1);
+            let lf = &mut fine[i];
+            let lc = &rest[0];
+            prolong_add(&lf.grid, &lc.grid, &lc.u, &mut lf.u);
+        } else {
+            // Coarsest: restrict into the direct-solve buffers and solve
+            // exactly (repeating it would be a no-op, so γ is irrelevant
+            // here).
+            {
+                let lf = &self.levels[i];
+                restrict(&lf.grid, &self.coarse_grid, &lf.r, &mut self.coarse_f);
+            }
+            self.coarse_solve_from_own_f();
+            for (cf, &x) in self.coarse_f.iter_mut().zip(&self.coarse_x64) {
+                *cf = Pr::from_f64(x);
+            }
+            let lf = &mut self.levels[i];
+            prolong_add(&lf.grid.clone(), &self.coarse_grid, &self.coarse_f, &mut lf.u);
+        }
+        self.levels[i].smooth(self.config.smoother, self.config.nu2, true);
+    }
+
+    fn coarse_solve_from_own_f(&mut self) {
+        for (x, &f) in self.coarse_x64.iter_mut().zip(&self.coarse_f) {
+            *x = f.to_f64();
+        }
+        self.coarse_lu.solve(&mut self.coarse_x64, &mut self.coarse_s64);
+    }
+
+    /// Preconditioner application in the computation precision:
+    /// `e ≈ A⁻¹ r` via one V-cycle.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn apply_pr(&mut self, r: &[Pr], e: &mut [Pr]) {
+        let n = self.rows();
+        assert_eq!(r.len(), n, "r length");
+        assert_eq!(e.len(), n, "e length");
+        if self.levels.is_empty() {
+            // Single-level: direct solve, with the scale-then-setup wrap if
+            // present (the stored operator is Ã = S⁻¹AS⁻¹).
+            match self.finest_scale.take() {
+                Some(sv) => {
+                    rescale_into(r, &sv.s_inv, &mut self.coarse_f);
+                    self.coarse_solve_from_own_f();
+                    for ((ei, &x), &si) in
+                        e.iter_mut().zip(&self.coarse_x64).zip(&sv.s_inv)
+                    {
+                        *ei = Pr::from_f64(x) * si;
+                    }
+                    self.finest_scale = Some(sv);
+                }
+                None => {
+                    self.coarse_f.copy_from_slice(r);
+                    self.coarse_solve_from_own_f();
+                    for (ei, &x) in e.iter_mut().zip(&self.coarse_x64) {
+                        *ei = Pr::from_f64(x);
+                    }
+                }
+            }
+            return;
+        }
+        match self.finest_scale.take() {
+            Some(sv) => {
+                // scale-then-setup: the hierarchy approximates Ã⁻¹ with
+                // Ã = S⁻¹AS⁻¹, so A⁻¹ r = S⁻¹ Ã⁻¹ (S⁻¹ r).
+                rescale_into(r, &sv.s_inv, &mut self.levels[0].f);
+                self.vcycle();
+                rescale_into(&self.levels[0].u, &sv.s_inv, e);
+                self.finest_scale = Some(sv);
+            }
+            None => {
+                self.levels[0].f.copy_from_slice(r);
+                self.vcycle();
+                e.copy_from_slice(&self.levels[0].u);
+            }
+        }
+    }
+
+    /// Number of finest-level unknowns.
+    pub fn rows(&self) -> usize {
+        match self.levels.first() {
+            Some(l) => l.grid.unknowns(),
+            None => self.coarse_grid.unknowns(),
+        }
+    }
+}
+
+/// Chooses the coarsening axes for one level: all of them for full
+/// coarsening; under semicoarsening, those whose face-coupling strength
+/// is within `threshold` of the strongest (always at least the strongest
+/// coarsenable axis, so the hierarchy makes progress).
+fn select_axes(a: &SgDia<f64>, policy: Coarsening) -> (bool, bool, bool) {
+    let grid = a.grid();
+    let can = [grid.nx > 1, grid.ny > 1, grid.nz > 1];
+    match policy {
+        Coarsening::Full => (can[0], can[1], can[2]),
+        Coarsening::Semi { threshold } => {
+            let s = directional_strength(a);
+            let smax = (0..3)
+                .filter(|&ax| can[ax])
+                .map(|ax| s[ax])
+                .fold(0.0f64, f64::max);
+            if smax == 0.0 {
+                return (can[0], can[1], can[2]);
+            }
+            let mut axes = [false; 3];
+            for ax in 0..3 {
+                axes[ax] = can[ax] && s[ax] >= threshold * smax;
+            }
+            if !axes.iter().any(|&b| b) {
+                return (can[0], can[1], can[2]);
+            }
+            (axes[0], axes[1], axes[2])
+        }
+    }
+}
+
+/// Builds one level's stored matrix, scale vectors, and smoother data
+/// (Algorithm 1 lines 5–13).
+type LevelParts<Pr> = (
+    StoredMatrix,
+    Option<ScaleVectors<Pr>>,
+    BlockDiagInv<Pr>,
+    Option<(StoredMatrix, StoredMatrix)>,
+    Option<f64>,
+);
+
+fn build_level<Pr: Scalar>(
+    ai: &SgDia<f64>,
+    prec: Precision,
+    config: &MgConfig,
+    level: usize,
+) -> Result<LevelParts<Pr>, SetupError> {
+    let needs_scale = {
+        let (max, nonfinite) = ai.abs_max();
+        nonfinite || max >= prec.finite_max()
+    };
+    if config.scale == ScaleStrategy::SetupThenScale && needs_scale {
+        // Truncation after scaling (lines 6–9).
+        let mut scaled = ai.clone();
+        match scaling::scale_symmetric::<Pr>(&mut scaled, config.g_choice, prec.finite_max()) {
+            Ok(sv) => {
+                let dinv = BlockDiagInv::from_matrix(&scaled)
+                    .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
+                let stored = StoredMatrix::truncate(&scaled, prec, config.layout);
+                let ilu = build_ilu(&scaled, prec, config, level)?;
+                let cheb = estimate_lambda_if_cheb(&scaled, config);
+                return Ok((stored, Some(sv), dinv, ilu, cheb));
+            }
+            Err(_) => {
+                // Theorem 4.1 requires positive diagonals; deep Galerkin
+                // levels of nonsymmetric operators can violate that. Fall
+                // back to a storage precision wide enough to hold the
+                // level unscaled — the coarse-level analog of
+                // `shift_levid` (§4.3), costing almost nothing because
+                // coarse levels are small (guideline 3).
+                let (max, _) = ai.abs_max();
+                let fallback = if max < Precision::F32.finite_max() {
+                    Precision::F32
+                } else {
+                    Precision::F64
+                };
+                let dinv = BlockDiagInv::from_matrix(ai)
+                    .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
+                let stored = StoredMatrix::truncate(ai, fallback, config.layout);
+                let ilu = build_ilu(ai, fallback, config, level)?;
+                let cheb = estimate_lambda_if_cheb(ai, config);
+                return Ok((stored, None, dinv, ilu, cheb));
+            }
+        }
+    }
+    {
+        // Direct truncation (line 11) — also the path for `None` and for
+        // all levels of scale-then-setup (the chain is already globally
+        // scaled). Smoother data comes from the high-precision matrix
+        // (line 13).
+        let dinv = BlockDiagInv::from_matrix(ai)
+            .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
+        let stored = StoredMatrix::truncate(ai, prec, config.layout);
+        let ilu = build_ilu(ai, prec, config, level)?;
+        let cheb = estimate_lambda_if_cheb(ai, config);
+        Ok((stored, None, dinv, ilu, cheb))
+    }
+}
+
+/// Upper bound on `λmax(D⁻¹A)` for the Chebyshev smoother: the
+/// Gershgorin row-sum bound `max_u Σ_j |a_uj| / a_uu`, computed on the
+/// high-precision level matrix during setup. A *rigorous* upper bound is
+/// required — Chebyshev polynomials grow exponentially outside their
+/// interval, so an underestimated λmax (the failure mode of a few power
+/// iterations) makes the smoother amplify the top modes.
+fn estimate_lambda_if_cheb(ai: &SgDia<f64>, config: &MgConfig) -> Option<f64> {
+    if !matches!(config.smoother, crate::SmootherKind::Chebyshev { .. }) {
+        return None;
+    }
+    let grid = ai.grid();
+    let r = grid.components;
+    let diag = ai.extract_diagonal();
+    let mut rowsum = vec![0.0f64; ai.rows()];
+    for (cell, i, j, k) in grid.iter_cells() {
+        for (t, tap) in ai.pattern().taps().iter().enumerate() {
+            if grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                rowsum[cell * r + tap.cout as usize] += ai.get(cell, t).abs();
+            }
+        }
+    }
+    let mut lmax: f64 = 0.0;
+    for (u, &s) in rowsum.iter().enumerate() {
+        let d = diag[u].abs().max(1e-300);
+        lmax = lmax.max(s / d);
+    }
+    Some(lmax.max(1e-300))
+}
+
+/// Factors ILU(0) from the (possibly scaled) high-precision level matrix
+/// and truncates L̃/Ũ to the level's storage precision (Algorithm 1 line
+/// 13's smoother setup). `None` when the ILU smoother is not configured
+/// or the level is a vector PDE (Gauss–Seidel fallback).
+fn build_ilu(
+    ai: &SgDia<f64>,
+    prec: Precision,
+    config: &MgConfig,
+    level: usize,
+) -> Result<Option<(StoredMatrix, StoredMatrix)>, SetupError> {
+    if config.smoother != crate::SmootherKind::Ilu0 || ai.grid().components != 1 {
+        return Ok(None);
+    }
+    let f = fp16mg_sgdia::ilu::ilu0(ai)
+        .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
+    let l = StoredMatrix::truncate(&f.l, prec, config.layout);
+    let u = StoredMatrix::truncate(&f.u, prec, config.layout);
+    Ok(Some((l, u)))
+}
+
+impl<K: Scalar, Pr: Scalar> Preconditioner<K> for Mg<Pr> {
+    fn apply(&mut self, r: &[K], z: &mut [K]) {
+        // Algorithm 2 line 4: truncate the residual to the preconditioner
+        // precision. Reuse the finest f/u buffers through apply_pr.
+        let n = self.rows();
+        assert_eq!(r.len(), n, "r length");
+        assert_eq!(z.len(), n, "z length");
+        let mut rp = vec![Pr::ZERO; n];
+        let mut ep = vec![Pr::ZERO; n];
+        for (d, &s) in rp.iter_mut().zip(r) {
+            *d = Pr::from_f64(s.to_f64());
+        }
+        self.apply_pr(&rp, &mut ep);
+        // Line 6: recover the error to the iterative precision.
+        for (zi, &e) in z.iter_mut().zip(&ep) {
+            *zi = K::from_f64(e.to_f64());
+        }
+    }
+}

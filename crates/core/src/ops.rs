@@ -1,0 +1,35 @@
+//! Outer-solver operator wrapper.
+
+use fp16mg_fp::{Scalar, Storage};
+use fp16mg_krylov::LinOp;
+use fp16mg_sgdia::kernels::{self, Par};
+use fp16mg_sgdia::SgDia;
+
+/// Adapts a structured matrix to the Krylov [`LinOp`] interface in the
+/// iterative precision `K` (the outer solver's `A x` of Algorithm 2
+/// line 3, always performed on the original high-precision matrix).
+pub struct MatOp<'a, S: Storage> {
+    a: &'a SgDia<S>,
+    par: Par,
+}
+
+impl<'a, S: Storage> MatOp<'a, S> {
+    /// Wraps a matrix with the given kernel parallelism.
+    pub fn new(a: &'a SgDia<S>, par: Par) -> Self {
+        MatOp { a, par }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &SgDia<S> {
+        self.a
+    }
+}
+
+impl<S: Storage, K: Scalar> LinOp<K> for MatOp<'_, S> {
+    fn rows(&self) -> usize {
+        self.a.rows()
+    }
+    fn apply(&self, x: &[K], y: &mut [K]) {
+        kernels::spmv(self.a, x, y, self.par);
+    }
+}

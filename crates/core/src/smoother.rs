@@ -1,0 +1,114 @@
+//! Coarse-grid direct solver.
+//!
+//! The V-cycle bottoms out in a dense LU factorization of the coarsest
+//! operator, computed once during setup in `f64` (coarse grids are tiny —
+//! `min_coarse_cells` bounded — so the O(n³) factorization and O(n²)
+//! solves are negligible; guideline 3 is precisely that coarse levels
+//! don't matter for time).
+
+use fp16mg_sgdia::{Csr, SgDia};
+
+/// Dense LU factorization with partial pivoting.
+#[derive(Clone, Debug)]
+pub struct DenseLu {
+    n: usize,
+    /// Packed L\U factors, row-major.
+    lu: Vec<f64>,
+    /// Row permutation.
+    piv: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Maximum unknown count accepted (guards against accidentally huge
+    /// coarse grids).
+    pub const MAX_UNKNOWNS: usize = 8192;
+
+    /// Factors the structured matrix.
+    ///
+    /// # Errors
+    /// Returns the pivot column on singularity.
+    ///
+    /// # Panics
+    /// Panics if the matrix exceeds [`DenseLu::MAX_UNKNOWNS`].
+    pub fn factor(a: &SgDia<f64>) -> Result<Self, usize> {
+        let n = a.rows();
+        assert!(n <= Self::MAX_UNKNOWNS, "coarse grid too large for dense LU ({n})");
+        let csr = Csr::<f64>::from_sgdia(a);
+        let mut lu = vec![0.0f64; n * n];
+        for row in 0..n {
+            let lo = csr.row_ptr()[row] as usize;
+            let hi = csr.row_ptr()[row + 1] as usize;
+            for e in lo..hi {
+                lu[row * n + csr.col_idx()[e] as usize] = csr.values()[e];
+            }
+        }
+        let mut piv: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivot.
+            let mut p = col;
+            for row in col + 1..n {
+                if lu[row * n + col].abs() > lu[p * n + col].abs() {
+                    p = row;
+                }
+            }
+            let pv = lu[p * n + col];
+            if pv == 0.0 || !pv.is_finite() {
+                return Err(col);
+            }
+            if p != col {
+                piv.swap(p, col);
+                for j in 0..n {
+                    lu.swap(p * n + j, col * n + j);
+                }
+            }
+            let inv = 1.0 / lu[col * n + col];
+            for row in col + 1..n {
+                let f = lu[row * n + col] * inv;
+                lu[row * n + col] = f;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col + 1..n {
+                    lu[row * n + j] -= f * lu[col * n + j];
+                }
+            }
+        }
+        Ok(DenseLu { n, lu, piv })
+    }
+
+    /// Number of unknowns.
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` in place: `x` holds `b` on entry, the solution on
+    /// exit (permutation applied internally).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn solve(&self, x: &mut [f64], scratch: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "x length");
+        assert_eq!(scratch.len(), n, "scratch length");
+        // Apply permutation: scratch = P b.
+        for (row, &p) in self.piv.iter().enumerate() {
+            scratch[row] = x[p];
+        }
+        // Forward substitution (unit lower).
+        for row in 1..n {
+            let mut acc = scratch[row];
+            for j in 0..row {
+                acc -= self.lu[row * n + j] * scratch[j];
+            }
+            scratch[row] = acc;
+        }
+        // Backward substitution.
+        for row in (0..n).rev() {
+            let mut acc = scratch[row];
+            for j in row + 1..n {
+                acc -= self.lu[row * n + j] * x[j];
+            }
+            x[row] = acc / self.lu[row * n + row];
+        }
+    }
+}

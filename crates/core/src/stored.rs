@@ -1,0 +1,116 @@
+//! Runtime-dispatched matrix storage.
+//!
+//! The storage precision varies *per level* (`shift_levid`), so a generic
+//! parameter cannot express a hierarchy; instead each level owns a
+//! [`StoredMatrix`] that dispatches the mixed-precision kernels over the
+//! four storage formats at runtime. Dispatch cost is one match per kernel
+//! call — negligible against a grid sweep.
+
+use fp16mg_fp::{Bf16, F16, Precision, Scalar};
+use fp16mg_grid::Grid3;
+use fp16mg_sgdia::kernels::{self, BlockDiagInv, Par};
+use fp16mg_sgdia::{Layout, SgDia};
+use fp16mg_stencil::Pattern;
+
+/// A structured matrix stored in one of the supported precisions.
+#[derive(Clone, Debug)]
+pub enum StoredMatrix {
+    /// IEEE 754 binary64 values.
+    F64(SgDia<f64>),
+    /// IEEE 754 binary32 values.
+    F32(SgDia<f32>),
+    /// IEEE 754 binary16 values (the paper's headline configuration).
+    F16(SgDia<F16>),
+    /// bfloat16 values (§8 comparison).
+    BF16(SgDia<Bf16>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $a:ident => $body:expr) => {
+        match $self {
+            StoredMatrix::F64($a) => $body,
+            StoredMatrix::F32($a) => $body,
+            StoredMatrix::F16($a) => $body,
+            StoredMatrix::BF16($a) => $body,
+        }
+    };
+}
+
+impl StoredMatrix {
+    /// Truncates a high-precision matrix into the requested storage
+    /// precision and layout (Algorithm 1 lines 8/11).
+    pub fn truncate(a: &SgDia<f64>, precision: Precision, layout: Layout) -> Self {
+        let a = a.to_layout(layout);
+        match precision {
+            Precision::F64 => StoredMatrix::F64(a),
+            Precision::F32 => StoredMatrix::F32(a.convert()),
+            Precision::F16 => StoredMatrix::F16(a.convert()),
+            Precision::BF16 => StoredMatrix::BF16(a.convert()),
+        }
+    }
+
+    /// The storage precision tag.
+    pub fn precision(&self) -> Precision {
+        match self {
+            StoredMatrix::F64(_) => Precision::F64,
+            StoredMatrix::F32(_) => Precision::F32,
+            StoredMatrix::F16(_) => Precision::F16,
+            StoredMatrix::BF16(_) => Precision::BF16,
+        }
+    }
+
+    /// The grid the matrix lives on.
+    pub fn grid(&self) -> &Grid3 {
+        dispatch!(self, a => a.grid())
+    }
+
+    /// The stencil pattern.
+    pub fn pattern(&self) -> &Pattern {
+        dispatch!(self, a => a.pattern())
+    }
+
+    /// Logical nonzero count (paper's `#nnz`).
+    pub fn nnz(&self) -> usize {
+        dispatch!(self, a => a.nnz())
+    }
+
+    /// Bytes of floating-point data stored.
+    pub fn value_bytes(&self) -> usize {
+        dispatch!(self, a => a.value_bytes())
+    }
+
+    /// True when no stored value overflowed to ±∞/NaN during truncation.
+    pub fn all_finite(&self) -> bool {
+        dispatch!(self, a => a.all_finite())
+    }
+
+    /// `y = A x` with on-the-fly recovery to `P`.
+    pub fn spmv<P: Scalar>(&self, x: &[P], y: &mut [P], par: Par) {
+        dispatch!(self, a => kernels::spmv(a, x, y, par))
+    }
+
+    /// `r = b - A x`.
+    pub fn residual<P: Scalar>(&self, b: &[P], x: &[P], r: &mut [P], par: Par) {
+        dispatch!(self, a => kernels::residual(a, b, x, r, par))
+    }
+
+    /// One forward Gauss–Seidel sweep.
+    pub fn gs_forward<P: Scalar>(&self, dinv: &BlockDiagInv<P>, b: &[P], x: &mut [P]) {
+        dispatch!(self, a => kernels::gs_forward(a, dinv, b, x))
+    }
+
+    /// One backward Gauss–Seidel sweep.
+    pub fn gs_backward<P: Scalar>(&self, dinv: &BlockDiagInv<P>, b: &[P], x: &mut [P]) {
+        dispatch!(self, a => kernels::gs_backward(a, dinv, b, x))
+    }
+
+    /// Forward triangular solve (the matrix must be lower triangular).
+    pub fn sptrsv_forward<P: Scalar>(&self, b: &[P], x: &mut [P]) {
+        dispatch!(self, a => kernels::sptrsv_forward(a, b, x))
+    }
+
+    /// Backward triangular solve (the matrix must be upper triangular).
+    pub fn sptrsv_backward<P: Scalar>(&self, b: &[P], x: &mut [P]) {
+        dispatch!(self, a => kernels::sptrsv_backward(a, b, x))
+    }
+}

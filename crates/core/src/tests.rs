@@ -1,0 +1,709 @@
+//! Multigrid tests: Galerkin coarsening validated against an explicit
+//! dense triple product, transfer-operator adjointness, and end-to-end
+//! convergence of every precision/scaling configuration.
+
+use fp16mg_fp::Precision;
+use fp16mg_grid::Grid3;
+use fp16mg_sgdia::kernels::Par;
+use fp16mg_sgdia::{Csr, Layout, SgDia};
+use fp16mg_stencil::Pattern;
+use fp16mg_krylov::{cg, richardson, Preconditioner, SolveOptions, StopReason};
+
+use crate::{
+    galerkin_rap, prolong_add, restrict, DenseLu, MatOp, Mg, MgConfig, ScaleStrategy,
+    SmootherKind, StoragePolicy,
+};
+
+/// 7-point (or 27-point) Laplacian with Dirichlet boundary: off-diagonals
+/// -1, diagonal = #neighbors + shift (strict dominance keeps it SPD and
+/// the coarse LU nonsingular).
+fn laplacian(grid: Grid3, pattern: Pattern, scale: f64) -> SgDia<f64> {
+    let taps: Vec<_> = pattern.taps().to_vec();
+    SgDia::from_fn(grid, pattern.clone(), Layout::Soa, |_, i, j, k, t| {
+        if taps[t].is_diagonal() {
+            let mut nb = 0.0;
+            for tap in &taps {
+                if !tap.is_diagonal() && grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                    nb += 1.0;
+                }
+            }
+            (nb + 0.05) * scale
+        } else {
+            -scale
+        }
+    })
+}
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64 * 0.7).sin() + 1.5) / 2.0).collect()
+}
+
+#[test]
+fn rap_matches_explicit_triple_product() {
+    let fine = Grid3::new(5, 4, 3);
+    let coarse = fine.coarsen();
+    let a = laplacian(fine, Pattern::p7(), 1.0);
+    let ac = galerkin_rap(&a);
+    assert_eq!(*ac.grid(), coarse);
+    assert_eq!(ac.pattern().name(), "3d27");
+
+    // Build P explicitly by prolongating coarse unit vectors.
+    let nf = fine.unknowns();
+    let nc = coarse.unknowns();
+    let mut p = vec![0.0f64; nf * nc];
+    for c in 0..nc {
+        let mut uc = vec![0.0f64; nc];
+        uc[c] = 1.0;
+        let mut uf = vec![0.0f64; nf];
+        prolong_add(&fine, &coarse, &uc, &mut uf);
+        for f in 0..nf {
+            p[f * nc + c] = uf[f];
+        }
+    }
+    // Dense Pᵀ A P.
+    let csr = Csr::<f64>::from_sgdia(&a);
+    let mut arow = vec![0.0f64; nf];
+    let mut ap = vec![0.0f64; nf * nc]; // A * P
+    for f in 0..nf {
+        csr.dense_row(f, &mut arow);
+        for g in 0..nf {
+            let v = arow[g];
+            if v == 0.0 {
+                continue;
+            }
+            for c in 0..nc {
+                ap[f * nc + c] += v * p[g * nc + c];
+            }
+        }
+    }
+    let mut rap = vec![0.0f64; nc * nc];
+    for f in 0..nf {
+        for rr in 0..nc {
+            let w = p[f * nc + rr];
+            if w == 0.0 {
+                continue;
+            }
+            for c in 0..nc {
+                rap[rr * nc + c] += w * ap[f * nc + c];
+            }
+        }
+    }
+    // Compare against the structured RAP via its CSR.
+    let ac_csr = Csr::<f64>::from_sgdia(&ac);
+    let mut acrow = vec![0.0f64; nc];
+    for rr in 0..nc {
+        ac_csr.dense_row(rr, &mut acrow);
+        for c in 0..nc {
+            let diff = (acrow[c] - rap[rr * nc + c]).abs();
+            assert!(diff < 1e-12, "RAP mismatch at ({rr},{c}): {} vs {}", acrow[c], rap[rr * nc + c]);
+        }
+    }
+}
+
+#[test]
+fn rap_preserves_symmetry() {
+    let a = laplacian(Grid3::new(6, 5, 4), Pattern::p7(), 3.0);
+    let ac = galerkin_rap(&a);
+    let csr = Csr::<f64>::from_sgdia(&ac);
+    let n = csr.rows();
+    let mut row_i = vec![0.0f64; n];
+    let mut row_j = vec![0.0f64; n];
+    for i in 0..n {
+        csr.dense_row(i, &mut row_i);
+        for j in i + 1..n {
+            if row_i[j] != 0.0 {
+                csr.dense_row(j, &mut row_j);
+                assert!((row_i[j] - row_j[i]).abs() < 1e-13, "asymmetric at ({i},{j})");
+            }
+        }
+    }
+}
+
+#[test]
+fn transfer_operators_are_adjoint() {
+    let fine = Grid3::new(7, 6, 5);
+    let coarse = fine.coarsen();
+    let uc: Vec<f64> = (0..coarse.unknowns()).map(|i| (i as f64 * 0.31).cos()).collect();
+    let vf: Vec<f64> = (0..fine.unknowns()).map(|i| (i as f64 * 0.17).sin()).collect();
+    // <P uc, vf>
+    let mut puc = vec![0.0f64; fine.unknowns()];
+    prolong_add(&fine, &coarse, &uc, &mut puc);
+    let lhs: f64 = puc.iter().zip(&vf).map(|(&a, &b)| a * b).sum();
+    // <uc, Pᵀ vf>
+    let mut rv = vec![0.0f64; coarse.unknowns()];
+    restrict(&fine, &coarse, &vf, &mut rv);
+    let rhs_: f64 = uc.iter().zip(&rv).map(|(&a, &b)| a * b).sum();
+    assert!((lhs - rhs_).abs() < 1e-10 * lhs.abs().max(1.0));
+}
+
+#[test]
+fn prolongation_partition_of_unity_interior() {
+    // A constant coarse vector prolongates to the constant on fine cells
+    // whose parents all exist (interior; odd-coordinate boundary cells may
+    // lose a parent).
+    // Weight folding at odd boundary coordinates keeps the row sums at
+    // exactly 1 on every cell, so constants prolongate to constants.
+    for fine in [Grid3::new(8, 8, 8), Grid3::new(9, 7, 5)] {
+        let coarse = fine.coarsen();
+        let uc = vec![1.0f64; coarse.unknowns()];
+        let mut uf = vec![0.0f64; fine.unknowns()];
+        prolong_add(&fine, &coarse, &uc, &mut uf);
+        for (cell, i, j, k) in fine.iter_cells() {
+            assert!((uf[cell] - 1.0).abs() < 1e-12, "cell ({i},{j},{k}) = {}", uf[cell]);
+        }
+    }
+}
+
+#[test]
+fn vector_transfers_act_componentwise() {
+    let fine = Grid3::with_components(6, 4, 4, 3);
+    let coarse = fine.coarsen();
+    // Component c of the coarse vector = c everywhere; prolongation must
+    // keep components separated.
+    let mut uc = vec![0.0f64; coarse.unknowns()];
+    for cell in 0..coarse.cells() {
+        for c in 0..3 {
+            uc[cell * 3 + c] = c as f64;
+        }
+    }
+    let mut uf = vec![0.0f64; fine.unknowns()];
+    prolong_add(&fine, &coarse, &uc, &mut uf);
+    for cell in 0..fine.cells() {
+        // Weights sum to at most 1; whatever the sum w, component c gets
+        // w * c, so uf[1]/1 == uf[2]/2 wherever nonzero.
+        let u1 = uf[cell * 3 + 1];
+        let u2 = uf[cell * 3 + 2];
+        assert!((u2 - 2.0 * u1).abs() < 1e-12);
+        assert_eq!(uf[cell * 3], 0.0);
+    }
+}
+
+#[test]
+fn dense_lu_solves() {
+    let a = laplacian(Grid3::new(4, 3, 3), Pattern::p7(), 2.0);
+    let lu = DenseLu::factor(&a).unwrap();
+    let n = a.rows();
+    let b = rhs(n);
+    let mut x = b.clone();
+    let mut s = vec![0.0f64; n];
+    lu.solve(&mut x, &mut s);
+    // Check A x = b.
+    let mut ax = vec![0.0f64; n];
+    fp16mg_sgdia::kernels::spmv(&a, &x, &mut ax, Par::Seq);
+    for (u, v) in ax.iter().zip(&b) {
+        assert!((u - v).abs() < 1e-10);
+    }
+}
+
+/// Runs MG-preconditioned Richardson as a plain solver on a Laplacian.
+fn mg_solver_iters(config: &MgConfig, pattern: Pattern, scale: f64) -> (StopReason, usize) {
+    let grid = Grid3::cube(16);
+    let a = laplacian(grid, pattern, scale);
+    let mut mg = Mg::<f32>::setup(&a, config).expect("setup");
+    let op = MatOp::new(&a, Par::Seq);
+    let b = rhs(a.rows());
+    let mut x = vec![0.0f64; a.rows()];
+    let opts = SolveOptions { tol: 1e-8, max_iters: 100, ..Default::default() };
+    let res = richardson(&op, &mut mg, &b, &mut x, &opts);
+    (res.reason, res.iters)
+}
+
+#[test]
+fn mg_richardson_converges_fast_d32() {
+    let (reason, iters) = mg_solver_iters(&MgConfig::d32(), Pattern::p7(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    assert!(iters <= 15, "V(1,1) on Poisson should converge in ~10 iters, got {iters}");
+}
+
+#[test]
+fn mg_richardson_converges_d16_in_range() {
+    let (reason, iters) = mg_solver_iters(&MgConfig::d16(), Pattern::p7(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    let (_, iters32) = mg_solver_iters(&MgConfig::d32(), Pattern::p7(), 1.0);
+    assert!(
+        iters <= iters32 + 4,
+        "FP16 storage should barely affect convergence in range: {iters} vs {iters32}"
+    );
+}
+
+#[test]
+fn mg_d16_none_breaks_down_out_of_range() {
+    // laplace27*1e8 analog: coefficients far beyond FP16_MAX. Without
+    // scaling the truncation overflows and the solve must break down with
+    // NaN (§3.4), not silently "converge".
+    let cfg = MgConfig { scale: ScaleStrategy::None, ..MgConfig::d16() };
+    let (reason, _) = mg_solver_iters(&cfg, Pattern::p7(), 1.0e8);
+    assert_eq!(reason, StopReason::Breakdown);
+}
+
+#[test]
+fn mg_d16_setup_then_scale_rescues_out_of_range() {
+    let cfg = MgConfig { scale: ScaleStrategy::SetupThenScale, ..MgConfig::d16() };
+    let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0e8);
+    assert_eq!(reason, StopReason::Converged);
+    // And convergence should match the in-range FP16 run (scaling is
+    // exact up to rounding).
+    let (_, iters_in) = mg_solver_iters(&MgConfig::d16(), Pattern::p7(), 1.0);
+    assert!(iters <= iters_in + 3, "{iters} vs {iters_in}");
+}
+
+#[test]
+fn mg_d16_scale_then_setup_also_converges_on_benign_problem() {
+    // On the isotropic constant-coefficient Laplacian both strategies
+    // work (Fig. 6b: curves coincide); the difference appears on
+    // real-world numerics, exercised in the problems crate.
+    let cfg = MgConfig { scale: ScaleStrategy::ScaleThenSetup, ..MgConfig::d16() };
+    let (reason, _) = mg_solver_iters(&cfg, Pattern::p7(), 1.0e8);
+    assert_eq!(reason, StopReason::Converged);
+}
+
+#[test]
+fn mg_cg_beats_unpreconditioned() {
+    let grid = Grid3::cube(16);
+    let a = laplacian(grid, Pattern::p7(), 1.0);
+    let op = MatOp::new(&a, Par::Seq);
+    let b = rhs(a.rows());
+    let opts = SolveOptions { tol: 1e-9, max_iters: 400, ..Default::default() };
+
+    let mut x0 = vec![0.0f64; a.rows()];
+    let plain = cg(&op, &mut fp16mg_krylov::IdentityPrecond, &b, &mut x0, &opts);
+
+    let mut mg = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+    let mut x1 = vec![0.0f64; a.rows()];
+    let pre = cg(&op, &mut mg, &b, &mut x1, &opts);
+
+    assert!(plain.converged() && pre.converged());
+    assert!(
+        pre.iters * 3 < plain.iters,
+        "MG-CG {} vs plain CG {}",
+        pre.iters,
+        plain.iters
+    );
+}
+
+#[test]
+fn mg_jacobi_smoother_converges() {
+    let cfg = MgConfig {
+        smoother: SmootherKind::Jacobi { weight: 0.85 },
+        ..MgConfig::d16()
+    };
+    let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    assert!(iters <= 40);
+}
+
+#[test]
+fn mg_symgs_smoother_converges() {
+    let cfg = MgConfig { smoother: SmootherKind::SymGs, ..MgConfig::d16() };
+    let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    assert!(iters <= 12);
+}
+
+#[test]
+fn mg_p27_pattern_converges() {
+    let (reason, iters) = mg_solver_iters(&MgConfig::d16(), Pattern::p27(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    assert!(iters <= 20);
+}
+
+#[test]
+fn mg_vector_pde_converges() {
+    // 2-component coupled Laplacian: weak inter-component coupling at the
+    // diagonal block.
+    let grid = Grid3::with_components(12, 12, 12, 2);
+    let pat = Pattern::p7().with_components(2);
+    let taps: Vec<_> = pat.taps().to_vec();
+    let a = SgDia::from_fn(grid, pat, Layout::Aos, |_, i, j, k, t| {
+        let tap = taps[t];
+        if tap.is_diagonal() {
+            let mut nb = 0.0;
+            for tp in &taps {
+                if tp.cout == tap.cout
+                    && !tp.is_center()
+                    && grid.contains_offset(i, j, k, tp.dx, tp.dy, tp.dz)
+                {
+                    nb += 1.0;
+                }
+            }
+            nb + 0.4
+        } else if tap.is_center() {
+            0.15 // inter-component coupling
+        } else if tap.cin == tap.cout {
+            -1.0
+        } else {
+            0.0
+        }
+    });
+    let mut mg = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+    let op = MatOp::new(&a, Par::Seq);
+    let b = rhs(a.rows());
+    let mut x = vec![0.0f64; a.rows()];
+    let opts = SolveOptions { tol: 1e-8, max_iters: 60, ..Default::default() };
+    let res = cg(&op, &mut mg, &b, &mut x, &opts);
+    assert!(res.converged(), "{res:?}");
+}
+
+#[test]
+fn shift_levid_policy_sets_level_precisions() {
+    let grid = Grid3::cube(32);
+    let a = laplacian(grid, Pattern::p7(), 1.0);
+    let cfg = MgConfig {
+        storage: StoragePolicy::Fp16Until { shift_levid: 2, coarse: Precision::F32 },
+        ..MgConfig::d16()
+    };
+    let mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+    let info = mg.info();
+    assert!(info.levels.len() >= 4, "expected ≥4 levels, got {}", info.levels.len());
+    assert_eq!(info.levels[0].precision, Precision::F16);
+    assert_eq!(info.levels[1].precision, Precision::F16);
+    for l in &info.levels[2..info.levels.len() - 1] {
+        assert_eq!(l.precision, Precision::F32);
+    }
+    // shift_levid still converges.
+    let op = MatOp::new(&a, Par::Seq);
+    let b = rhs(a.rows());
+    let mut x = vec![0.0f64; a.rows()];
+    let mut mg = mg;
+    let res = richardson(&op, &mut mg, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged());
+}
+
+#[test]
+fn complexities_are_low_for_full_coarsening() {
+    // Guideline 3's premise: C_G ≲ 8/7, C_O modest.
+    let a = laplacian(Grid3::cube(32), Pattern::p7(), 1.0);
+    let mg = Mg::<f32>::setup(&a, &MgConfig::d32()).unwrap();
+    let info = mg.info();
+    assert!(info.grid_complexity < 1.25, "C_G = {}", info.grid_complexity);
+    assert!(info.operator_complexity < 6.0, "C_O = {}", info.operator_complexity);
+    assert!(info.grid_complexity > 1.0);
+}
+
+#[test]
+fn fp16_halves_matrix_bytes_vs_fp32() {
+    let a = laplacian(Grid3::cube(16), Pattern::p7(), 1.0);
+    let m16 = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+    let m32 = Mg::<f32>::setup(&a, &MgConfig::d32()).unwrap();
+    assert_eq!(m32.info().matrix_bytes, 2 * m16.info().matrix_bytes);
+}
+
+#[test]
+fn setup_reports_scaling_metadata() {
+    let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0e8);
+    let mg = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+    let info = mg.info();
+    // Finest level must be scaled (values ≫ FP16_MAX) and finite after
+    // truncation (Theorem 4.1).
+    assert!(info.levels[0].scaled);
+    assert!(info.levels[0].finite);
+    assert!(info.levels[0].g.unwrap() > 0.0);
+    // Same matrix without scaling: truncation overflows.
+    let cfg = MgConfig { scale: ScaleStrategy::None, ..MgConfig::d16() };
+    let mg_none = Mg::<f32>::setup(&a, &cfg).unwrap();
+    assert!(!mg_none.info().levels[0].finite);
+}
+
+#[test]
+fn preconditioner_trait_round_trips_precision() {
+    // Apply through the K=f64 trait; the result must equal apply_pr
+    // modulo the f64→f32→f64 boundary conversions.
+    let a = laplacian(Grid3::cube(8), Pattern::p7(), 1.0);
+    let mut mg = Mg::<f32>::setup(&a, &MgConfig::d32()).unwrap();
+    let r: Vec<f64> = rhs(a.rows());
+    let mut z = vec![0.0f64; a.rows()];
+    Preconditioner::<f64>::apply(&mut mg, &r, &mut z);
+    let rp: Vec<f32> = r.iter().map(|&v| v as f32).collect();
+    let mut zp = vec![0.0f32; a.rows()];
+    mg.apply_pr(&rp, &mut zp);
+    for (a, b) in z.iter().zip(&zp) {
+        assert!((*a - *b as f64).abs() < 1e-6 * (1.0 + a.abs()));
+    }
+}
+
+#[test]
+fn single_level_hierarchy_is_direct_solve() {
+    let a = laplacian(Grid3::new(4, 3, 2), Pattern::p7(), 1.0);
+    let cfg = MgConfig { max_levels: 1, ..MgConfig::d32() };
+    let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+    assert_eq!(mg.num_levels(), 1);
+    let b = rhs(a.rows());
+    let op = MatOp::new(&a, Par::Seq);
+    let mut x = vec![0.0f64; a.rows()];
+    let res = richardson(&op, &mut mg, &b, &mut x, &SolveOptions::default());
+    // A direct solve converges in ~1 iteration (f32 truncation limits it).
+    assert!(res.converged());
+    assert!(res.iters <= 3, "direct solve took {} iters", res.iters);
+}
+
+#[test]
+fn nonpositive_diagonal_falls_back_to_fp32_storage() {
+    // Theorem 4.1 needs positive diagonals; when a level violates that,
+    // setup-then-scale falls back to unscaled FP32 storage for that level
+    // instead of failing (the coarse-level analog of shift_levid).
+    let grid = Grid3::cube(8);
+    let a = SgDia::<f64>::from_fn(grid, Pattern::p7(), Layout::Soa, |_, _, _, _, t| {
+        if Pattern::p7().taps()[t].is_diagonal() {
+            -1.0e8 // negative diagonal, out of FP16 range -> scaling needed
+        } else {
+            1.0
+        }
+    });
+    let mg = Mg::<f32>::setup(&a, &MgConfig::d16()).expect("fallback setup");
+    let l0 = &mg.info().levels[0];
+    assert_eq!(l0.precision, Precision::F32);
+    assert!(!l0.scaled);
+    assert!(l0.finite);
+}
+
+#[test]
+fn scale_then_setup_rejects_nonpositive_diagonal() {
+    // The inferior strategy scales the finest matrix up front and has no
+    // fallback: the M-matrix prerequisite is a hard error there.
+    let grid = Grid3::cube(8);
+    let a = SgDia::<f64>::from_fn(grid, Pattern::p7(), Layout::Soa, |_, _, _, _, t| {
+        if Pattern::p7().taps()[t].is_diagonal() {
+            -1.0e8
+        } else {
+            1.0
+        }
+    });
+    let cfg = MgConfig { scale: ScaleStrategy::ScaleThenSetup, ..MgConfig::d16() };
+    let err = match Mg::<f32>::setup(&a, &cfg) {
+        Err(e) => e,
+        Ok(_) => panic!("expected setup to fail"),
+    };
+    assert!(matches!(err, crate::SetupError::NonPositiveDiagonal { .. }));
+}
+
+#[test]
+fn mg_ilu0_smoother_converges() {
+    // ILU(0)-smoothed V-cycle: nonsymmetric preconditioner, so test with
+    // Richardson (the paper's Algorithm 2) rather than CG.
+    let cfg = MgConfig { smoother: SmootherKind::Ilu0, ..MgConfig::d16() };
+    let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    assert!(iters <= 15, "ILU(0) V-cycle took {iters} iters");
+    // Scaled out-of-range problem with ILU factors truncated to FP16.
+    let (reason, _) = mg_solver_iters(&cfg, Pattern::p7(), 1.0e8);
+    assert_eq!(reason, StopReason::Converged);
+}
+
+#[test]
+fn mg_ilu0_falls_back_to_gs_on_vector_pde() {
+    let grid = Grid3::with_components(10, 10, 10, 2);
+    let pat = Pattern::p7().with_components(2);
+    let taps: Vec<_> = pat.taps().to_vec();
+    let a = SgDia::from_fn(grid, pat, Layout::Soa, |_, i, j, k, t| {
+        let tap = taps[t];
+        if tap.is_diagonal() {
+            let mut nb = 0.0;
+            for tp in &taps {
+                if tp.cout == tap.cout
+                    && !tp.is_center()
+                    && grid.contains_offset(i, j, k, tp.dx, tp.dy, tp.dz)
+                {
+                    nb += 1.0;
+                }
+            }
+            nb + 0.4
+        } else if tap.is_center() {
+            0.1
+        } else if tap.cin == tap.cout {
+            -1.0
+        } else {
+            0.0
+        }
+    });
+    let cfg = MgConfig { smoother: SmootherKind::Ilu0, ..MgConfig::d16() };
+    let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+    let op = MatOp::new(&a, Par::Seq);
+    let b = rhs(a.rows());
+    let mut x = vec![0.0f64; a.rows()];
+    let res = richardson(&op, &mut mg, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged(), "{res:?}");
+}
+
+#[test]
+fn w_and_f_cycles_converge_at_least_as_fast_as_v() {
+    use crate::Cycle;
+    let mut iters = Vec::new();
+    for cycle in [Cycle::V, Cycle::W, Cycle::F] {
+        let cfg = MgConfig { cycle, max_levels: 4, min_coarse_cells: 8, ..MgConfig::d16() };
+        let (reason, it) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
+        assert_eq!(reason, StopReason::Converged, "{cycle:?}");
+        iters.push(it);
+    }
+    // More coarse work can only help the per-cycle contraction.
+    assert!(iters[1] <= iters[0], "W {} vs V {}", iters[1], iters[0]);
+    assert!(iters[2] <= iters[0], "F {} vs V {}", iters[2], iters[0]);
+}
+
+#[test]
+fn semicoarsened_rap_matches_explicit_triple_product() {
+    // Same consistency check as the full-coarsening test, but coarsening
+    // only z (strong-direction semicoarsening).
+    let fine = Grid3::new(4, 3, 6);
+    let a = laplacian(fine, Pattern::p7(), 1.0);
+    let ac = crate::galerkin_rap_axes(&a, (false, false, true));
+    let coarse = *ac.grid();
+    assert_eq!((coarse.nx, coarse.ny, coarse.nz), (4, 3, 3));
+
+    let nf = fine.unknowns();
+    let nc = coarse.unknowns();
+    let mut p = vec![0.0f64; nf * nc];
+    for c in 0..nc {
+        let mut uc = vec![0.0f64; nc];
+        uc[c] = 1.0;
+        let mut uf = vec![0.0f64; nf];
+        prolong_add(&fine, &coarse, &uc, &mut uf);
+        for f in 0..nf {
+            p[f * nc + c] = uf[f];
+        }
+    }
+    let csr = Csr::<f64>::from_sgdia(&a);
+    let mut arow = vec![0.0f64; nf];
+    let mut ap = vec![0.0f64; nf * nc];
+    for f in 0..nf {
+        csr.dense_row(f, &mut arow);
+        for g in 0..nf {
+            let v = arow[g];
+            if v == 0.0 {
+                continue;
+            }
+            for c in 0..nc {
+                ap[f * nc + c] += v * p[g * nc + c];
+            }
+        }
+    }
+    let mut rap = vec![0.0f64; nc * nc];
+    for f in 0..nf {
+        for rr in 0..nc {
+            let w = p[f * nc + rr];
+            if w == 0.0 {
+                continue;
+            }
+            for c in 0..nc {
+                rap[rr * nc + c] += w * ap[f * nc + c];
+            }
+        }
+    }
+    let ac_csr = Csr::<f64>::from_sgdia(&ac);
+    let mut acrow = vec![0.0f64; nc];
+    for rr in 0..nc {
+        ac_csr.dense_row(rr, &mut acrow);
+        for c in 0..nc {
+            assert!((acrow[c] - rap[rr * nc + c]).abs() < 1e-12, "({rr},{c})");
+        }
+    }
+}
+
+#[test]
+fn directional_strength_detects_anisotropy() {
+    // z-coupling 50x stronger than x/y.
+    let grid = Grid3::cube(8);
+    let pat = Pattern::p7();
+    let taps: Vec<_> = pat.taps().to_vec();
+    let a = SgDia::<f64>::from_fn(grid, pat, Layout::Soa, |_, _, _, _, t| {
+        let tap = taps[t];
+        if tap.is_diagonal() {
+            104.0
+        } else if tap.dz != 0 {
+            -50.0
+        } else {
+            -1.0
+        }
+    });
+    let s = crate::directional_strength(&a);
+    assert!(s[2] > 40.0 * s[0] && s[2] > 40.0 * s[1], "{s:?}");
+}
+
+#[test]
+fn semicoarsening_beats_full_coarsening_on_anisotropic_problem() {
+    use crate::Coarsening;
+    // Strong z-coupling: point GS + full coarsening struggles;
+    // semicoarsening in z restores fast convergence.
+    let grid = Grid3::cube(16);
+    let pat = Pattern::p7();
+    let taps: Vec<_> = pat.taps().to_vec();
+    let a = SgDia::<f64>::from_fn(grid, pat, Layout::Soa, |_, i, j, k, t| {
+        let tap = taps[t];
+        if tap.is_diagonal() {
+            let mut acc = 0.05;
+            for tp in &taps {
+                if !tp.is_diagonal() && grid.contains_offset(i, j, k, tp.dx, tp.dy, tp.dz) {
+                    acc += if tp.dz != 0 { 100.0 } else { 1.0 };
+                }
+            }
+            acc
+        } else if tap.dz != 0 {
+            -100.0
+        } else {
+            -1.0
+        }
+    });
+    let b = rhs(a.rows());
+    let op = MatOp::new(&a, Par::Seq);
+    let opts = SolveOptions { tol: 1e-8, max_iters: 200, ..Default::default() };
+    let mut iters = Vec::new();
+    for coarsening in [Coarsening::Full, Coarsening::Semi { threshold: 0.5 }] {
+        let cfg = MgConfig { coarsening, ..MgConfig::d16() };
+        let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+        let mut x = vec![0.0f64; a.rows()];
+        let res = cg(&op, &mut mg, &b, &mut x, &opts);
+        assert!(res.converged(), "{coarsening:?}: {res:?}");
+        iters.push(res.iters);
+    }
+    assert!(
+        iters[1] * 2 <= iters[0],
+        "semicoarsening {} should at least halve full coarsening's {}",
+        iters[1],
+        iters[0]
+    );
+}
+
+#[test]
+fn semicoarsening_on_isotropic_problem_acts_like_full() {
+    use crate::Coarsening;
+    let cfg = MgConfig {
+        coarsening: Coarsening::Semi { threshold: 0.5 },
+        ..MgConfig::d16()
+    };
+    let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    let (_, full_iters) = mg_solver_iters(&MgConfig::d16(), Pattern::p7(), 1.0);
+    assert_eq!(iters, full_iters, "isotropic: semicoarsening must pick all axes");
+}
+
+#[test]
+fn mg_chebyshev_smoother_converges() {
+    let cfg = MgConfig {
+        smoother: SmootherKind::Chebyshev { degree: 3 },
+        ..MgConfig::d16()
+    };
+    let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
+    assert_eq!(reason, StopReason::Converged);
+    assert!(iters <= 35, "Chebyshev(3) V-cycle took {iters}");
+    // Out-of-range + scaling path.
+    let (reason, _) = mg_solver_iters(&cfg, Pattern::p7(), 1.0e8);
+    assert_eq!(reason, StopReason::Converged);
+}
+
+#[test]
+fn mg_chebyshev_is_cg_safe() {
+    // Chebyshev-Jacobi smoothing keeps the V-cycle SPD: CG must converge
+    // cleanly.
+    let grid = Grid3::cube(16);
+    let a = laplacian(grid, Pattern::p27(), 1.0);
+    let cfg = MgConfig {
+        smoother: SmootherKind::Chebyshev { degree: 2 },
+        ..MgConfig::d16()
+    };
+    let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+    let op = MatOp::new(&a, Par::Seq);
+    let b = rhs(a.rows());
+    let mut x = vec![0.0f64; a.rows()];
+    let res = cg(&op, &mut mg, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged(), "{res:?}");
+    assert!(res.iters <= 25);
+}

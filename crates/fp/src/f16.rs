@@ -1,0 +1,241 @@
+//! IEEE 754 `binary16` implemented as bit-exact soft-float conversions.
+//!
+//! Only conversions and comparisons are provided: the preconditioner never
+//! computes *in* FP16. Matrix entries are stored as `F16`, widened to the
+//! computation precision (`f32`) on the fly inside the kernels (§4.2,
+//! "recover-and-rescale on the fly"), so arithmetic on `F16` itself is
+//! intentionally absent from the public API.
+
+/// IEEE 754-2008 binary16 value, stored as its raw bit pattern.
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+const EXP_MASK: u16 = 0x7c00;
+const MAN_MASK: u16 = 0x03ff;
+const SIGN_MASK: u16 = 0x8000;
+
+impl F16 {
+    /// Largest finite value, 65504.0.
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive normal value, 2^-14 ≈ 6.1035e-5.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, 2^-24 ≈ 5.9605e-8.
+    pub const MIN_POSITIVE_SUBNORMAL: F16 = F16(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7e00);
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+
+    /// Largest finite value as `f64` (the `S` bound of Theorem 4.1).
+    pub const MAX_F64: f64 = 65504.0;
+    /// Smallest positive normal value as `f64`.
+    pub const MIN_POSITIVE_F64: f64 = 6.103515625e-5;
+
+    /// Constructs from the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32`, rounding to nearest-even; overflows to ±∞.
+    #[inline]
+    pub const fn from_f32(x: f32) -> Self {
+        F16(f32_to_f16_bits(x.to_bits()))
+    }
+
+    /// Converts from `f64` (via `f32`, matching the hardware convert path
+    /// `vcvtsd2ss` + `vcvtps2ph`; double rounding differs from a direct
+    /// f64→f16 conversion only on ties straddling both rounding boundaries,
+    /// which cannot change whether a matrix entry overflows).
+    #[inline]
+    pub const fn from_f64(x: f64) -> Self {
+        Self::from_f32(x as f32)
+    }
+
+    /// Widens to `f32` exactly (every binary16 value is representable).
+    #[inline]
+    pub const fn to_f32(self) -> f32 {
+        f32::from_bits(f16_bits_to_f32_bits(self.0))
+    }
+
+    /// Widens to `f64` exactly.
+    #[inline]
+    pub const fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True for ±∞.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 & !SIGN_MASK == EXP_MASK
+    }
+
+    /// True for any NaN payload.
+    #[inline]
+    pub const fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True for finite values (not ∞, not NaN).
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True for subnormal (denormal) values.
+    #[inline]
+    pub const fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub const fn abs(self) -> Self {
+        F16(self.0 & !SIGN_MASK)
+    }
+}
+
+impl core::fmt::Debug for F16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl core::fmt::Display for F16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    #[inline]
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    #[inline]
+    fn from(x: F16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl From<F16> for f64 {
+    #[inline]
+    fn from(x: F16) -> Self {
+        x.to_f64()
+    }
+}
+
+/// Converts an `f32` bit pattern to a binary16 bit pattern.
+///
+/// Round-to-nearest-even; overflow produces ±∞; values below half of the
+/// smallest subnormal flush to ±0; NaN payloads keep their top mantissa bits
+/// (quieted if the truncation would otherwise produce ∞).
+#[inline]
+pub const fn f32_to_f16_bits(x: u32) -> u16 {
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let exp32 = ((x >> 23) & 0xff) as i32;
+    let man32 = x & 0x007f_ffff;
+
+    if exp32 == 0xff {
+        // Inf or NaN. Preserve NaN-ness: set a mantissa bit if the source
+        // mantissa was nonzero but its top 10 bits are all zero.
+        if man32 == 0 {
+            return sign | EXP_MASK;
+        }
+        let mut m = (man32 >> 13) as u16;
+        if m == 0 {
+            m = 1;
+        }
+        return sign | EXP_MASK | m;
+    }
+    if exp32 == 0 {
+        // f32 subnormals are < 2^-126, far below half of the smallest f16
+        // subnormal (2^-25): they all round to zero.
+        return sign;
+    }
+
+    let exp16 = exp32 - 127 + 15;
+    // 24-bit significand with the implicit leading one made explicit.
+    let man = man32 | 0x0080_0000;
+
+    if exp16 >= 0x1f {
+        // Magnitude >= 2^16: overflow to infinity regardless of rounding.
+        return sign | EXP_MASK;
+    }
+    if exp16 <= 0 {
+        // Subnormal (or underflow-to-zero) result.
+        let shift = 14 - exp16; // >= 14
+        if shift >= 25 {
+            // Even the implicit bit is beyond the rounding guard.
+            return sign;
+        }
+        let shift = shift as u32;
+        let m = man >> shift;
+        let rem = man & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut h = m as u16;
+        if rem > half || (rem == half && (h & 1) == 1) {
+            // A carry out of the subnormal mantissa lands exactly on the
+            // smallest normal encoding, which is correct.
+            h += 1;
+        }
+        return sign | h;
+    }
+
+    // Normal result: keep 10 mantissa bits, round the 13 dropped bits.
+    let mut h = ((exp16 as u32) << 10) | ((man >> 13) & MAN_MASK as u32);
+    let rem = man & 0x1fff;
+    if rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1) {
+        // Mantissa carry propagates into the exponent; carrying out of
+        // exponent 30 yields 0x7c00 = infinity, which is the correct
+        // rounding of values in [65520, 65536).
+        h += 1;
+    }
+    sign | h as u16
+}
+
+/// Converts a binary16 bit pattern to an `f32` bit pattern (exact).
+#[inline]
+pub const fn f16_bits_to_f32_bits(h: u16) -> u32 {
+    let sign = ((h & SIGN_MASK) as u32) << 16;
+    let exp = ((h & EXP_MASK) >> 10) as u32;
+    let man = (h & MAN_MASK) as u32;
+
+    if exp == 0x1f {
+        // Inf / NaN: widen the payload into the top mantissa bits.
+        return sign | 0x7f80_0000 | (man << 13);
+    }
+    if exp == 0 {
+        if man == 0 {
+            return sign; // ±0
+        }
+        // Subnormal: normalize. value = man * 2^-24.
+        let mut e: i32 = 0;
+        let mut m = man;
+        while m & 0x0400 == 0 {
+            m <<= 1;
+            e -= 1;
+        }
+        let m = m & MAN_MASK as u32;
+        // value = (1 + m/1024) * 2^(-14 + e); f32 biased exponent 113 + e.
+        return sign | (((113 + e) as u32) << 23) | (m << 13);
+    }
+    // Normal: rebias 15 -> 127.
+    sign | ((exp + 112) << 23) | (man << 13)
+}

@@ -1,0 +1,312 @@
+//! Precision abstraction used across the workspace.
+//!
+//! The paper distinguishes three precisions (§4):
+//!
+//! * the *iterative precision* `K` of the outer Krylov solver,
+//! * the *computation precision* `P` of the preconditioner's vectors, and
+//! * the *storage precision* `D` of the preconditioner's matrices.
+//!
+//! `K` and `P` are computation formats, modeled by [`Scalar`] (implemented
+//! for `f32` and `f64`). `D` is a storage-only format, modeled by
+//! [`Storage`] (implemented for `f64`, `f32`, [`F16`](crate::F16) and
+//! [`Bf16`](crate::Bf16)); values are widened to `P` on the fly before any
+//! arithmetic.
+
+use crate::{Bf16, F16};
+
+/// A floating-point computation format (the paper's `K` and `P`).
+pub trait Scalar:
+    Copy
+    + Clone
+    + Default
+    + PartialOrd
+    + core::fmt::Debug
+    + core::fmt::Display
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + core::ops::AddAssign
+    + core::ops::SubAssign
+    + core::ops::MulAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the format.
+    const EPSILON: Self;
+    /// Size of the format in bytes.
+    const BYTES: usize;
+    /// Short name used in reports ("64" or "32").
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening (or identity) conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Lossy (or identity) conversion to `f32`.
+    fn to_f32(self) -> f32;
+    /// Conversion from `f32`.
+    fn from_f32(x: f32) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// True if the value is finite (not ±∞, not NaN).
+    fn is_finite(self) -> bool;
+    /// True if the value is NaN.
+    fn is_nan(self) -> bool;
+    /// Larger of two values (NaN-propagating is not required).
+    fn max(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn min(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $bytes:expr, $name:expr) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const BYTES: usize = $bytes;
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn to_f32(self) -> f32 {
+                self as f32
+            }
+            #[inline(always)]
+            fn from_f32(x: f32) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+        }
+    };
+}
+
+impl_scalar!(f64, 8, "64");
+impl_scalar!(f32, 4, "32");
+
+/// A matrix storage format (the paper's `D`).
+pub trait Storage: Copy + Clone + Default + core::fmt::Debug + Send + Sync + 'static {
+    /// Size of the format in bytes per entry.
+    const BYTES: usize;
+    /// Short name used in reports ("64", "32", "16", "b16").
+    const NAME: &'static str;
+    /// Largest finite magnitude representable, or `None` if the range is
+    /// that of `f32`/`f64` and overflow is not a practical concern.
+    const FINITE_MAX: Option<f64>;
+
+    /// Truncates from `f64` (round-to-nearest-even, overflow to ±∞).
+    fn store_f64(x: f64) -> Self;
+    /// Truncates from `f32`.
+    fn store_f32(x: f32) -> Self;
+    /// Recovers to `f32` (exact for the 16-bit formats).
+    fn load_f32(self) -> f32;
+    /// Recovers to `f64`.
+    fn load_f64(self) -> f64;
+    /// True if the value is finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Storage for f64 {
+    const BYTES: usize = 8;
+    const NAME: &'static str = "64";
+    const FINITE_MAX: Option<f64> = None;
+
+    #[inline(always)]
+    fn store_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn store_f32(x: f32) -> Self {
+        x as f64
+    }
+    #[inline(always)]
+    fn load_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline(always)]
+    fn load_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Storage for f32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "32";
+    const FINITE_MAX: Option<f64> = None;
+
+    #[inline(always)]
+    fn store_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn store_f32(x: f32) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn load_f32(self) -> f32 {
+        self
+    }
+    #[inline(always)]
+    fn load_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Storage for F16 {
+    const BYTES: usize = 2;
+    const NAME: &'static str = "16";
+    const FINITE_MAX: Option<f64> = Some(F16::MAX_F64);
+
+    #[inline(always)]
+    fn store_f64(x: f64) -> Self {
+        F16::from_f64(x)
+    }
+    #[inline(always)]
+    fn store_f32(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+    #[inline(always)]
+    fn load_f32(self) -> f32 {
+        self.to_f32()
+    }
+    #[inline(always)]
+    fn load_f64(self) -> f64 {
+        self.to_f64()
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        F16::is_finite(self)
+    }
+}
+
+impl Storage for Bf16 {
+    const BYTES: usize = 2;
+    const NAME: &'static str = "b16";
+    const FINITE_MAX: Option<f64> = Some(3.3895313892515355e38);
+
+    #[inline(always)]
+    fn store_f64(x: f64) -> Self {
+        Bf16::from_f64(x)
+    }
+    #[inline(always)]
+    fn store_f32(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+    #[inline(always)]
+    fn load_f32(self) -> f32 {
+        self.to_f32()
+    }
+    #[inline(always)]
+    fn load_f64(self) -> f64 {
+        self.to_f64()
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        Bf16::is_finite(self)
+    }
+}
+
+/// Runtime tag for a storage precision; used where the precision is chosen
+/// per multigrid level (`shift_levid`, §4.3) and a generic parameter would
+/// not work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// IEEE 754 binary64.
+    F64,
+    /// IEEE 754 binary32.
+    F32,
+    /// IEEE 754 binary16.
+    F16,
+    /// bfloat16.
+    BF16,
+}
+
+impl Precision {
+    /// Bytes per stored entry.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+            Precision::F16 | Precision::BF16 => 2,
+        }
+    }
+
+    /// Largest finite magnitude, used by the overflow check in Algorithm 1.
+    pub const fn finite_max(self) -> f64 {
+        match self {
+            Precision::F64 => f64::MAX,
+            Precision::F32 => f32::MAX as f64,
+            Precision::F16 => F16::MAX_F64,
+            Precision::BF16 => 3.3895313892515355e38,
+        }
+    }
+
+    /// Short name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "fp64",
+            Precision::F32 => "fp32",
+            Precision::F16 => "fp16",
+            Precision::BF16 => "bf16",
+        }
+    }
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,204 @@
+//! Box domain decomposition and halo-exchange accounting.
+//!
+//! The paper's experiments run StructMG under MPI with "load-balance
+//! process partitions" (§6.3), and its Fig. 10 analysis hinges on the
+//! communication/computation balance: "after optimization, the
+//! communication part becomes more dominant in E2E time" — FP16 shrinks
+//! the compute share but not the halo traffic. This module provides the
+//! decomposition substrate for that analysis on a shared-memory host:
+//!
+//! * [`Decomposition`] — a near-cubic process grid over a [`Grid3`],
+//!   balanced boxes (the "load-balance partitions"),
+//! * per-box halo accounting for a stencil radius: which bytes a rank
+//!   would exchange per sweep, and the aggregate communication volume a
+//!   V-cycle incurs across the hierarchy.
+//!
+//! Kernels in this repository run rayon-parallel over the shared address
+//! space (no actual message passing), so the exchange volumes are
+//! *modeled*, not timed — exactly what the strong-scaling discussion
+//! needs to reproduce in shape on a machine without an interconnect.
+
+use crate::Grid3;
+
+/// One rank's box: half-open cell ranges per axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoxRange {
+    /// `x0..x1` cells along x.
+    pub x: (usize, usize),
+    /// `y0..y1` cells along y.
+    pub y: (usize, usize),
+    /// `z0..z1` cells along z.
+    pub z: (usize, usize),
+}
+
+impl BoxRange {
+    /// Number of interior cells.
+    pub fn cells(&self) -> usize {
+        (self.x.1 - self.x.0) * (self.y.1 - self.y.0) * (self.z.1 - self.z.0)
+    }
+
+    /// Extents per axis.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.x.1 - self.x.0, self.y.1 - self.y.0, self.z.1 - self.z.0)
+    }
+
+    /// Number of halo cells a stencil of the given radius reads from
+    /// neighboring boxes (clipped to the global grid): the surface shell
+    /// of thickness `radius` around the box.
+    pub fn halo_cells(&self, grid: &Grid3, radius: usize) -> usize {
+        let lo = |a: usize, r: usize| a.saturating_sub(r);
+        let hi = |a: usize, n: usize, r: usize| (a + r).min(n);
+        let ex = (
+            lo(self.x.0, radius),
+            hi(self.x.1, grid.nx, radius),
+            lo(self.y.0, radius),
+            hi(self.y.1, grid.ny, radius),
+            lo(self.z.0, radius),
+            hi(self.z.1, grid.nz, radius),
+        );
+        let expanded = (ex.1 - ex.0) * (ex.3 - ex.2) * (ex.5 - ex.4);
+        expanded - self.cells()
+    }
+}
+
+/// A balanced decomposition of a grid into `px × py × pz` boxes.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    grid: Grid3,
+    procs: (usize, usize, usize),
+    boxes: Vec<BoxRange>,
+}
+
+/// Splits `n` cells into `p` near-equal contiguous ranges.
+fn split(n: usize, p: usize) -> Vec<(usize, usize)> {
+    let p = p.clamp(1, n.max(1));
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0;
+    for i in 0..p {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+impl Decomposition {
+    /// Builds a near-cubic process grid for `nprocs` ranks: factors are
+    /// chosen greedily to keep boxes as cubic as possible (minimum
+    /// surface, hence minimum halo traffic — the "load-balance
+    /// partitions" of §6.3).
+    pub fn new(grid: Grid3, nprocs: usize) -> Self {
+        let nprocs = nprocs.max(1);
+        // Enumerate factorizations px*py*pz = nprocs, pick minimal
+        // aggregate surface.
+        let mut best = (nprocs, 1, 1);
+        let mut best_score = f64::INFINITY;
+        for px in 1..=nprocs {
+            if nprocs % px != 0 {
+                continue;
+            }
+            let rem = nprocs / px;
+            for py in 1..=rem {
+                if rem % py != 0 {
+                    continue;
+                }
+                let pz = rem / py;
+                if px > grid.nx || py > grid.ny || pz > grid.nz {
+                    continue;
+                }
+                let (bx, by, bz) = (
+                    grid.nx as f64 / px as f64,
+                    grid.ny as f64 / py as f64,
+                    grid.nz as f64 / pz as f64,
+                );
+                // Surface area per box ~ halo volume per rank.
+                let score = 2.0 * (bx * by + by * bz + bx * bz);
+                if score < best_score {
+                    best_score = score;
+                    best = (px, py, pz);
+                }
+            }
+        }
+        let (px, py, pz) = best;
+        let xs = split(grid.nx, px);
+        let ys = split(grid.ny, py);
+        let zs = split(grid.nz, pz);
+        let mut boxes = Vec::with_capacity(px * py * pz);
+        for &z in &zs {
+            for &y in &ys {
+                for &x in &xs {
+                    boxes.push(BoxRange { x, y, z });
+                }
+            }
+        }
+        Decomposition { grid, procs: (px, py, pz), boxes }
+    }
+
+    /// The process-grid shape `(px, py, pz)`.
+    pub fn procs(&self) -> (usize, usize, usize) {
+        self.procs
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// The boxes, z-major rank order.
+    pub fn boxes(&self) -> &[BoxRange] {
+        &self.boxes
+    }
+
+    /// Load imbalance: `max cells / mean cells` over ranks (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.boxes.iter().map(BoxRange::cells).max().unwrap_or(0) as f64;
+        let mean = self.grid.cells() as f64 / self.num_ranks() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Total halo cells exchanged per stencil sweep across all ranks (a
+    /// cell counted once per receiving rank).
+    pub fn halo_cells_per_sweep(&self, radius: usize) -> usize {
+        self.boxes.iter().map(|b| b.halo_cells(&self.grid, radius)).sum()
+    }
+
+    /// Bytes exchanged per sweep when halo values are `bytes_per_value`
+    /// wide and each cell carries `components` unknowns. Halo vectors are
+    /// computation-precision data (guideline 4): lowering the *matrix*
+    /// storage precision does not shrink this, which is the paper's
+    /// Fig. 10 argument for why communication grows relatively dominant.
+    pub fn halo_bytes_per_sweep(&self, radius: usize, bytes_per_value: usize) -> usize {
+        self.halo_cells_per_sweep(radius) * self.grid.components * bytes_per_value
+    }
+}
+
+/// Models one V-cycle's communication volume over a coarsening hierarchy:
+/// per level, smoothing + residual exchange (3 sweeps' worth with ν₁ =
+/// ν₂ = 1) plus one transfer exchange, halo radius 1, vectors in the
+/// computation precision. Returns `(level, bytes)` pairs, finest first.
+pub fn vcycle_halo_bytes(
+    finest: &Grid3,
+    nprocs: usize,
+    levels: usize,
+    compute_bytes: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut g = *finest;
+    for l in 0..levels {
+        let d = Decomposition::new(g, nprocs);
+        let per_sweep = d.halo_bytes_per_sweep(1, compute_bytes);
+        out.push((l, per_sweep * 4));
+        let c = g.coarsen();
+        if c == g {
+            break;
+        }
+        g = c;
+    }
+    out
+}

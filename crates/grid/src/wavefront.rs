@@ -1,0 +1,80 @@
+//! Hyperplane (wavefront) schedules for triangular stencil solves.
+//!
+//! A lower-triangular structured stencil (taps with row-major spatial sign
+//! ≤ 0 and |offset| ≤ 1 per axis) only couples a cell to cells with a
+//! strictly smaller `i + j + k`. All cells on the hyperplane
+//! `i + j + k = p` are therefore independent once planes `< p` are done,
+//! which is the classic parallel schedule for stencil SpTRSV.
+
+use crate::Grid3;
+
+/// A precomputed hyperplane schedule: cells grouped by `i + j + k`.
+#[derive(Clone, Debug)]
+pub struct Wavefronts {
+    /// Cell indices, ordered plane by plane.
+    cells: Vec<u32>,
+    /// `planes[p]..planes[p+1]` indexes the cells of plane `p` in `cells`.
+    planes: Vec<u32>,
+}
+
+impl Wavefronts {
+    /// Builds the schedule for a grid.
+    ///
+    /// # Panics
+    /// Panics if the grid has more than `u32::MAX` cells.
+    pub fn build(grid: &Grid3) -> Self {
+        let n = grid.cells();
+        assert!(n <= u32::MAX as usize, "grid too large for wavefront schedule");
+        let nplanes = grid.nx + grid.ny + grid.nz - 2;
+        // Counting sort by plane index.
+        let mut counts = vec![0u32; nplanes + 1];
+        for (_, i, j, k) in grid.iter_cells() {
+            counts[i + j + k + 1] += 1;
+        }
+        for p in 0..nplanes {
+            counts[p + 1] += counts[p];
+        }
+        let planes = counts.clone();
+        let mut cells = vec![0u32; n];
+        let mut cursor = counts;
+        for (cell, i, j, k) in grid.iter_cells() {
+            let p = i + j + k;
+            cells[cursor[p] as usize] = cell as u32;
+            cursor[p] += 1;
+        }
+        Wavefronts { cells, planes }
+    }
+
+    /// Number of planes (`nx + ny + nz - 2`).
+    pub fn num_planes(&self) -> usize {
+        self.planes.len() - 1
+    }
+
+    /// The cells of one plane; mutually independent under any triangular
+    /// split of a radius-1 stencil.
+    pub fn plane(&self, p: usize) -> &[u32] {
+        let lo = self.planes[p] as usize;
+        let hi = self.planes[p + 1] as usize;
+        &self.cells[lo..hi]
+    }
+
+    /// Iterates planes in forward (lower-solve) order.
+    pub fn forward(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_planes()).map(move |p| self.plane(p))
+    }
+
+    /// Iterates planes in backward (upper-solve) order.
+    pub fn backward(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_planes()).rev().map(move |p| self.plane(p))
+    }
+
+    /// Total number of scheduled cells (equals `grid.cells()`).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}

@@ -1,0 +1,208 @@
+//! Restarted flexible GMRES (FGMRES) with right preconditioning.
+
+use fp16mg_fp::Scalar;
+
+use crate::traits::{norm2, LinOp, Preconditioner};
+use crate::types::{SolveOptions, SolveResult, StopReason};
+
+/// Solves `A x = b` for general (nonsymmetric) `A` via flexible
+/// GMRES(m) with right preconditioning. `x` holds the initial guess on
+/// entry and the solution on exit.
+///
+/// The *flexible* variant stores the preconditioned basis
+/// `z_j = M⁻¹ v_j` and forms the solution update from those exact
+/// vectors (`x += Z y`). This matters for reduced-precision
+/// preconditioners: plain right-preconditioned GMRES re-applies `M⁻¹` to
+/// the assembled combination `V y` at the end of each cycle, and the
+/// preconditioner's rounding error — `O(ε_P · κ)` for an FP32 multigrid
+/// on an ill-conditioned system — then lands directly in the solution
+/// update, creating a residual floor far above the FP64 target. FGMRES
+/// sidesteps that by construction, which is why multigrid-preconditioned
+/// production solvers (hypre's FlexGMRES, PETSc's fgmres) default to it.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gmres<K: Scalar>(
+    a: &impl LinOp<K>,
+    m: &mut impl Preconditioner<K>,
+    b: &[K],
+    x: &mut [K],
+    opts: &SolveOptions,
+) -> SolveResult {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+    let restart = opts.restart.max(1);
+
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        x.fill(K::ZERO);
+        return SolveResult {
+            reason: StopReason::Converged,
+            iters: 0,
+            final_rel_residual: 0.0,
+            history: vec![0.0],
+        };
+    }
+
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+
+    // Krylov basis V (restart+1 vectors), flexible basis Z (restart
+    // vectors), Hessenberg in f64.
+    let mut basis: Vec<Vec<K>> = Vec::with_capacity(restart + 1);
+    let mut zbasis: Vec<Vec<K>> = Vec::with_capacity(restart);
+    let mut h = vec![0.0f64; (restart + 1) * restart];
+    let mut cs = vec![0.0f64; restart];
+    let mut sn = vec![0.0f64; restart];
+    let mut g = vec![0.0f64; restart + 1];
+    let mut scratch = vec![K::ZERO; n];
+
+    let mut rel;
+    loop {
+        // r0 = b - A x
+        let mut r = vec![K::ZERO; n];
+        a.apply(x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let beta = norm2(&r);
+        rel = beta / bnorm;
+        if opts.record_history && history.is_empty() {
+            history.push(rel);
+        }
+        if !rel.is_finite() {
+            return SolveResult {
+                reason: StopReason::Breakdown,
+                iters: total_iters,
+                final_rel_residual: rel,
+                history,
+            };
+        }
+        if rel < opts.tol {
+            return SolveResult {
+                reason: StopReason::Converged,
+                iters: total_iters,
+                final_rel_residual: rel,
+                history,
+            };
+        }
+        if total_iters >= opts.max_iters {
+            return SolveResult {
+                reason: StopReason::MaxIters,
+                iters: total_iters,
+                final_rel_residual: rel,
+                history,
+            };
+        }
+
+        // Arnoldi from v0 = r/beta.
+        basis.clear();
+        zbasis.clear();
+        let inv_beta = K::from_f64(1.0 / beta);
+        basis.push(r.iter().map(|&v| v * inv_beta).collect());
+        g.iter_mut().for_each(|v| *v = 0.0);
+        g[0] = beta;
+        h.iter_mut().for_each(|v| *v = 0.0);
+
+        let mut k_used = 0usize;
+        let mut broke_down = false;
+        for k in 0..restart {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            // z_k = M⁻¹ v_k (kept); w = A z_k.
+            let mut z = vec![K::ZERO; n];
+            m.apply(&basis[k], &mut z);
+            a.apply(&z, &mut scratch);
+            zbasis.push(z);
+            // Modified Gram–Schmidt.
+            for (i, vi) in basis.iter().enumerate() {
+                let hik = crate::traits::dot(&scratch, vi);
+                h[i * restart + k] = hik;
+                let c = K::from_f64(hik);
+                for (w, &v) in scratch.iter_mut().zip(vi) {
+                    *w = (-c).mul_add(v, *w);
+                }
+            }
+            let hkk = norm2(&scratch);
+            h[(k + 1) * restart + k] = hkk;
+            if !hkk.is_finite() {
+                broke_down = true;
+                k_used = k + 1;
+                total_iters += 1;
+                break;
+            }
+
+            // Apply accumulated Givens rotations to column k.
+            for i in 0..k {
+                let t = cs[i] * h[i * restart + k] + sn[i] * h[(i + 1) * restart + k];
+                h[(i + 1) * restart + k] =
+                    -sn[i] * h[i * restart + k] + cs[i] * h[(i + 1) * restart + k];
+                h[i * restart + k] = t;
+            }
+            // New rotation to annihilate h[k+1][k].
+            let denom = (h[k * restart + k].powi(2) + hkk * hkk).sqrt();
+            if denom == 0.0 {
+                // Exact breakdown: solution lies in the current space.
+                k_used = k + 1;
+                total_iters += 1;
+                break;
+            }
+            cs[k] = h[k * restart + k] / denom;
+            sn[k] = hkk / denom;
+            h[k * restart + k] = denom;
+            h[(k + 1) * restart + k] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+
+            total_iters += 1;
+            k_used = k + 1;
+            rel = g[k + 1].abs() / bnorm;
+            if opts.record_history {
+                history.push(rel);
+            }
+            if rel < opts.tol || hkk == 0.0 {
+                break;
+            }
+            if k + 1 < restart {
+                let inv = K::from_f64(1.0 / hkk);
+                basis.push(scratch.iter().map(|&v| v * inv).collect());
+            }
+        }
+
+        if k_used > 0 {
+            // Solve the triangular system h y = g.
+            let mut y = vec![0.0f64; k_used];
+            for i in (0..k_used).rev() {
+                let mut v = g[i];
+                for j in i + 1..k_used {
+                    v -= h[i * restart + j] * y[j];
+                }
+                let d = h[i * restart + i];
+                if d == 0.0 || !v.is_finite() {
+                    broke_down = true;
+                    break;
+                }
+                y[i] = v / d;
+            }
+            if !broke_down {
+                // x += Z y — the flexible update.
+                for (j, zj) in zbasis.iter().enumerate().take(k_used) {
+                    let c = K::from_f64(y[j]);
+                    for (xi, &zv) in x.iter_mut().zip(zj) {
+                        *xi = c.mul_add(zv, *xi);
+                    }
+                }
+            }
+        }
+        if broke_down {
+            return SolveResult {
+                reason: StopReason::Breakdown,
+                iters: total_iters,
+                final_rel_residual: f64::NAN,
+                history,
+            };
+        }
+    }
+}

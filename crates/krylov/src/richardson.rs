@@ -1,0 +1,86 @@
+//! Stationary (Richardson) iteration — the paper's Algorithm 2.
+
+use fp16mg_fp::Scalar;
+
+use crate::traits::{norm2, LinOp, Preconditioner};
+use crate::types::{SolveOptions, SolveResult, StopReason};
+
+/// Solves `A x = b` by the preconditioned stationary iteration
+/// `x ← x + M⁻¹ (b − A x)` (Algorithm 2). Converges iff
+/// `ρ(I − M⁻¹A) < 1`; with a multigrid preconditioner this is "multigrid
+/// as a solver". `x` holds the initial guess on entry and the solution on
+/// exit.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn richardson<K: Scalar>(
+    a: &impl LinOp<K>,
+    m: &mut impl Preconditioner<K>,
+    b: &[K],
+    x: &mut [K],
+    opts: &SolveOptions,
+) -> SolveResult {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        x.fill(K::ZERO);
+        return SolveResult {
+            reason: StopReason::Converged,
+            iters: 0,
+            final_rel_residual: 0.0,
+            history: vec![0.0],
+        };
+    }
+
+    let mut r = vec![K::ZERO; n];
+    let mut e = vec![K::ZERO; n];
+    let mut history = Vec::new();
+    let mut rel = f64::NAN;
+
+    for it in 0..=opts.max_iters {
+        // r = b - A x  (iterative precision, Algorithm 2 line 3)
+        a.apply(x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        rel = norm2(&r) / bnorm;
+        if opts.record_history {
+            history.push(rel);
+        }
+        if !rel.is_finite() {
+            return SolveResult {
+                reason: StopReason::Breakdown,
+                iters: it,
+                final_rel_residual: rel,
+                history,
+            };
+        }
+        if rel < opts.tol {
+            return SolveResult {
+                reason: StopReason::Converged,
+                iters: it,
+                final_rel_residual: rel,
+                history,
+            };
+        }
+        if it == opts.max_iters {
+            break;
+        }
+        // e = M⁻¹ r (lines 4–6: truncation/recovery inside the
+        // preconditioner), then x += e.
+        m.apply(&r, &mut e);
+        for (xi, &ei) in x.iter_mut().zip(&e) {
+            *xi += ei;
+        }
+    }
+
+    SolveResult {
+        reason: StopReason::MaxIters,
+        iters: opts.max_iters,
+        final_rel_residual: rel,
+        history,
+    }
+}

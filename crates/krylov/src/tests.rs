@@ -1,0 +1,291 @@
+//! Solver tests on small dense-stored operators with known solutions.
+
+use crate::{cg, gmres, richardson, IdentityPrecond, LinOp, Preconditioner, SolveOptions,
+            StopReason, TimedPrecond};
+use fp16mg_fp::Scalar;
+
+/// Dense row-major test operator.
+struct Dense {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl Dense {
+    /// 1-D Laplacian (tridiagonal 2,-1), SPD.
+    fn laplace1d(n: usize) -> Self {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 2.0;
+            if i > 0 {
+                a[i * n + i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                a[i * n + i + 1] = -1.0;
+            }
+        }
+        Dense { n, a }
+    }
+
+    /// Nonsymmetric advection-diffusion-like tridiagonal.
+    fn advection1d(n: usize) -> Self {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 3.0;
+            if i > 0 {
+                a[i * n + i - 1] = -1.8;
+            }
+            if i + 1 < n {
+                a[i * n + i + 1] = -0.7;
+            }
+        }
+        Dense { n, a }
+    }
+}
+
+impl<K: Scalar> LinOp<K> for Dense {
+    fn rows(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &[K], y: &mut [K]) {
+        for i in 0..self.n {
+            let mut acc = 0.0f64;
+            for j in 0..self.n {
+                acc += self.a[i * self.n + j] * x[j].to_f64();
+            }
+            y[i] = K::from_f64(acc);
+        }
+    }
+}
+
+/// Jacobi preconditioner for the dense operators above.
+struct Jacobi {
+    dinv: Vec<f64>,
+}
+
+impl Jacobi {
+    fn of(d: &Dense) -> Self {
+        Jacobi { dinv: (0..d.n).map(|i| 1.0 / d.a[i * d.n + i]).collect() }
+    }
+}
+
+impl<K: Scalar> Preconditioner<K> for Jacobi {
+    fn apply(&mut self, r: &[K], z: &mut [K]) {
+        for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.dinv) {
+            *zi = K::from_f64(ri.to_f64() * di);
+        }
+    }
+}
+
+fn residual_norm(a: &Dense, b: &[f64], x: &[f64]) -> f64 {
+    let mut ax = vec![0.0f64; b.len()];
+    LinOp::<f64>::apply(a, x, &mut ax);
+    b.iter().zip(&ax).map(|(&bi, &ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt()
+}
+
+#[test]
+fn cg_solves_spd_system() {
+    let a = Dense::laplace1d(64);
+    let b = vec![1.0f64; 64];
+    let mut x = vec![0.0f64; 64];
+    let res = cg(&a, &mut IdentityPrecond, &b, &mut x, &SolveOptions::default());
+    assert_eq!(res.reason, StopReason::Converged);
+    assert!(residual_norm(&a, &b, &x) < 1e-7);
+    assert!(res.final_rel_residual < 1e-9);
+}
+
+#[test]
+fn cg_with_jacobi_preconditioner() {
+    let a = Dense::laplace1d(64);
+    let mut m = Jacobi::of(&a);
+    let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut x = vec![0.0f64; 64];
+    let res = cg(&a, &mut m, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged());
+    assert!(residual_norm(&a, &b, &x) < 1e-7);
+}
+
+#[test]
+fn cg_history_is_recorded_and_decreasing_overall() {
+    let a = Dense::laplace1d(32);
+    let b = vec![1.0f64; 32];
+    let mut x = vec![0.0f64; 32];
+    let res = cg(&a, &mut IdentityPrecond, &b, &mut x, &SolveOptions::default());
+    assert_eq!(res.history.len(), res.iters + 1);
+    assert_eq!(res.history[0], 1.0); // x0 = 0 => r0 = b
+    assert!(res.history.last().unwrap() < &1e-9);
+}
+
+#[test]
+fn gmres_solves_nonsymmetric_system() {
+    let a = Dense::advection1d(80);
+    let b: Vec<f64> = (0..80).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut x = vec![0.0f64; 80];
+    let res = gmres(&a, &mut IdentityPrecond, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged(), "{res:?}");
+    assert!(residual_norm(&a, &b, &x) < 1e-6);
+}
+
+#[test]
+fn gmres_restarts() {
+    let a = Dense::advection1d(100);
+    let b = vec![1.0f64; 100];
+    let mut x = vec![0.0f64; 100];
+    let opts = SolveOptions { restart: 5, max_iters: 2000, ..Default::default() };
+    let res = gmres(&a, &mut IdentityPrecond, &b, &mut x, &opts);
+    assert!(res.converged(), "{res:?}");
+    assert!(residual_norm(&a, &b, &x) < 1e-6);
+    assert!(res.iters > 5, "must have crossed a restart boundary");
+}
+
+#[test]
+fn gmres_with_preconditioner_converges_faster() {
+    let a = Dense::advection1d(100);
+    let b = vec![1.0f64; 100];
+    let opts = SolveOptions { restart: 10, max_iters: 2000, ..Default::default() };
+    let mut x1 = vec![0.0f64; 100];
+    let r1 = gmres(&a, &mut IdentityPrecond, &b, &mut x1, &opts);
+    let mut x2 = vec![0.0f64; 100];
+    let mut m = Jacobi::of(&a);
+    let r2 = gmres(&a, &mut m, &b, &mut x2, &opts);
+    assert!(r1.converged() && r2.converged());
+    assert!(r2.iters <= r1.iters);
+}
+
+#[test]
+fn richardson_with_good_preconditioner() {
+    // Jacobi Richardson on a strongly diagonally dominant system.
+    let mut a = Dense::laplace1d(32);
+    for i in 0..32 {
+        a.a[i * 32 + i] = 5.0;
+    }
+    let mut m = Jacobi::of(&a);
+    let b = vec![1.0f64; 32];
+    let mut x = vec![0.0f64; 32];
+    let opts = SolveOptions { max_iters: 200, ..Default::default() };
+    let res = richardson(&a, &mut m, &b, &mut x, &opts);
+    assert!(res.converged(), "{res:?}");
+    assert!(residual_norm(&a, &b, &x) < 1e-7);
+}
+
+#[test]
+fn richardson_detects_divergence_as_maxiters() {
+    // Identity preconditioner on the 1-D Laplacian: ρ(I - A) ≈ 3 > 1.
+    let a = Dense::laplace1d(16);
+    let b = vec![1.0f64; 16];
+    let mut x = vec![0.0f64; 16];
+    let opts = SolveOptions { max_iters: 30, record_history: true, ..Default::default() };
+    let res = richardson(&a, &mut IdentityPrecond, &b, &mut x, &opts);
+    assert!(!res.converged());
+}
+
+#[test]
+fn breakdown_on_nan_preconditioner() {
+    // A preconditioner that injects NaN (mimicking unscaled FP16 overflow,
+    // §3.4) must surface as Breakdown, not run forever.
+    struct NanPrecond;
+    impl Preconditioner<f64> for NanPrecond {
+        fn apply(&mut self, _r: &[f64], z: &mut [f64]) {
+            z.fill(f64::NAN);
+        }
+    }
+    let a = Dense::laplace1d(16);
+    let b = vec![1.0f64; 16];
+    let mut x = vec![0.0f64; 16];
+    let res = cg(&a, &mut NanPrecond, &b, &mut x, &SolveOptions::default());
+    assert_eq!(res.reason, StopReason::Breakdown);
+    let mut x2 = vec![0.0f64; 16];
+    let res2 = richardson(&a, &mut NanPrecond, &b, &mut x2, &SolveOptions::default());
+    assert_eq!(res2.reason, StopReason::Breakdown);
+    let mut x3 = vec![0.0f64; 16];
+    let res3 = gmres(&a, &mut NanPrecond, &b, &mut x3, &SolveOptions::default());
+    assert_eq!(res3.reason, StopReason::Breakdown);
+}
+
+#[test]
+fn zero_rhs_returns_zero() {
+    let a = Dense::laplace1d(8);
+    let b = vec![0.0f64; 8];
+    let mut x = vec![1.0f64; 8];
+    let res = cg(&a, &mut IdentityPrecond, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged());
+    assert!(x.iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn timed_precond_counts_calls() {
+    let a = Dense::laplace1d(32);
+    let mut m = TimedPrecond::new(Jacobi::of(&a));
+    let b = vec![1.0f64; 32];
+    let mut x = vec![0.0f64; 32];
+    let res = cg(&a, &mut m, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged());
+    // CG applies M once before the loop and once per iteration (the last
+    // iteration skips it only on convergence exit).
+    assert!(m.calls() >= res.iters);
+    assert!(m.elapsed().as_nanos() > 0);
+}
+
+#[test]
+fn cg_f32_iterative_precision() {
+    // The solvers are generic over K: run one in f32 (the paper's K32
+    // configurations).
+    let a = Dense::laplace1d(32);
+    let b = vec![1.0f32; 32];
+    let mut x = vec![0.0f32; 32];
+    let opts = SolveOptions { tol: 1e-5, ..Default::default() };
+    let res = cg(&a, &mut IdentityPrecond, &b, &mut x, &opts);
+    assert!(res.converged());
+}
+
+#[test]
+fn bicgstab_solves_nonsymmetric_system() {
+    use crate::bicgstab;
+    let a = Dense::advection1d(80);
+    let b: Vec<f64> = (0..80).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut x = vec![0.0f64; 80];
+    let res = bicgstab(&a, &mut IdentityPrecond, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged(), "{res:?}");
+    assert!(residual_norm(&a, &b, &x) < 1e-6);
+}
+
+#[test]
+fn bicgstab_with_preconditioner_converges_faster() {
+    use crate::bicgstab;
+    let a = Dense::advection1d(100);
+    let b = vec![1.0f64; 100];
+    let opts = SolveOptions { max_iters: 500, ..Default::default() };
+    let mut x1 = vec![0.0f64; 100];
+    let r1 = bicgstab(&a, &mut IdentityPrecond, &b, &mut x1, &opts);
+    let mut m = Jacobi::of(&a);
+    let mut x2 = vec![0.0f64; 100];
+    let r2 = bicgstab(&a, &mut m, &b, &mut x2, &opts);
+    assert!(r1.converged() && r2.converged());
+    assert!(r2.iters <= r1.iters);
+}
+
+#[test]
+fn bicgstab_breakdown_on_nan() {
+    use crate::bicgstab;
+    struct NanPrecond;
+    impl Preconditioner<f64> for NanPrecond {
+        fn apply(&mut self, _r: &[f64], z: &mut [f64]) {
+            z.fill(f64::NAN);
+        }
+    }
+    let a = Dense::laplace1d(16);
+    let b = vec![1.0f64; 16];
+    let mut x = vec![0.0f64; 16];
+    let res = bicgstab(&a, &mut NanPrecond, &b, &mut x, &SolveOptions::default());
+    assert_eq!(res.reason, StopReason::Breakdown);
+}
+
+#[test]
+fn bicgstab_zero_rhs() {
+    use crate::bicgstab;
+    let a = Dense::laplace1d(8);
+    let b = vec![0.0f64; 8];
+    let mut x = vec![1.0f64; 8];
+    let res = bicgstab(&a, &mut IdentityPrecond, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged());
+    assert!(x.iter().all(|&v| v == 0.0));
+}

@@ -1,0 +1,104 @@
+//! Operator and preconditioner abstractions.
+
+use fp16mg_fp::Scalar;
+use std::time::{Duration, Instant};
+
+/// A square linear operator in the iterative precision `K`.
+pub trait LinOp<K: Scalar> {
+    /// Number of rows (= columns = vector length).
+    fn rows(&self) -> usize;
+    /// `y = A x`.
+    fn apply(&self, x: &[K], y: &mut [K]);
+}
+
+/// A preconditioner `M⁻¹` applied in the iterative precision `K`.
+///
+/// Implementations are free to drop to lower precisions internally — the
+/// FP16 multigrid truncates the incoming residual to its computation
+/// precision and widens the returned error (paper Algorithm 2, lines 4–6).
+/// `&mut self` allows internal scratch reuse.
+pub trait Preconditioner<K: Scalar> {
+    /// `z ≈ M⁻¹ r`.
+    fn apply(&mut self, r: &[K], z: &mut [K]);
+}
+
+/// The identity preconditioner (unpreconditioned solves).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityPrecond;
+
+impl<K: Scalar> Preconditioner<K> for IdentityPrecond {
+    fn apply(&mut self, r: &[K], z: &mut [K]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Wraps a preconditioner and accumulates wall time and call count — the
+/// instrumentation behind the Fig. 8/9 time breakdown (setup / MG
+/// preconditioner / other).
+pub struct TimedPrecond<M> {
+    inner: M,
+    elapsed: Duration,
+    calls: usize,
+}
+
+impl<M> TimedPrecond<M> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: M) -> Self {
+        TimedPrecond { inner, elapsed: Duration::ZERO, calls: 0 }
+    }
+
+    /// Total time spent inside `apply`.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Number of `apply` calls.
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Returns the wrapped preconditioner.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Borrows the wrapped preconditioner.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<K: Scalar, M: Preconditioner<K>> Preconditioner<K> for TimedPrecond<M> {
+    fn apply(&mut self, r: &[K], z: &mut [K]) {
+        let t0 = Instant::now();
+        self.inner.apply(r, z);
+        self.elapsed += t0.elapsed();
+        self.calls += 1;
+    }
+}
+
+/// Euclidean norm with `f64` accumulation regardless of `K`.
+pub(crate) fn norm2<K: Scalar>(v: &[K]) -> f64 {
+    v.iter().map(|&x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+}
+
+/// Dot product with `f64` accumulation.
+pub(crate) fn dot<K: Scalar>(a: &[K], b: &[K]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x.to_f64() * y.to_f64()).sum()
+}
+
+/// `y += alpha * x`.
+pub(crate) fn axpy<K: Scalar>(alpha: f64, x: &[K], y: &mut [K]) {
+    let a = K::from_f64(alpha);
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = a.mul_add(xi, *yi);
+    }
+}
+
+/// `y = x + beta * y`.
+pub(crate) fn xpby<K: Scalar>(x: &[K], beta: f64, y: &mut [K]) {
+    let b = K::from_f64(beta);
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = b.mul_add(*yi, xi);
+    }
+}

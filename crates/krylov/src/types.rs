@@ -1,0 +1,54 @@
+//! Solver options and results.
+
+/// Stopping configuration shared by all solvers.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Relative residual tolerance `‖r‖₂ / ‖b‖₂` (the paper's convergence
+    /// threshold; Fig. 6 uses 1e-10, most runs 1e-9).
+    pub tol: f64,
+    /// Maximum iterations (for GMRES: total inner iterations).
+    pub max_iters: usize,
+    /// GMRES restart length `m` (ignored by CG/Richardson).
+    pub restart: usize,
+    /// Record the residual history (Fig. 6 curves).
+    pub record_history: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { tol: 1e-9, max_iters: 500, restart: 30, record_history: true }
+    }
+}
+
+/// Why a solve stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Relative residual dropped below `tol`.
+    Converged,
+    /// Iteration budget exhausted.
+    MaxIters,
+    /// A NaN or infinity appeared (e.g. unscaled FP16 overflow, §3.4).
+    Breakdown,
+}
+
+/// Outcome of a solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// Stop reason.
+    pub reason: StopReason,
+    /// Iterations performed (preconditioner applications for CG/Richardson;
+    /// inner iterations for GMRES).
+    pub iters: usize,
+    /// Final relative residual `‖r‖₂ / ‖b‖₂` (NaN on breakdown).
+    pub final_rel_residual: f64,
+    /// Relative residual after each iteration, starting with the initial
+    /// value at index 0 (empty unless `record_history`).
+    pub history: Vec<f64>,
+}
+
+impl SolveResult {
+    /// True when the solve converged.
+    pub fn converged(&self) -> bool {
+        self.reason == StopReason::Converged
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic random coefficient fields.
+//!
+//! Real-world coefficients (permeability, opacity, stiffness) are
+//! spatially correlated, not white noise — the correlation is what makes
+//! their magnitude histograms span many decades per Fig. 1 while staying
+//! locally smooth enough for multigrid. We synthesize such fields as
+//! smoothed Gaussian noise, optionally layered (reservoir stratigraphy)
+//! or vertically stretched (atmospheric grids).
+
+use fp16mg_grid::Grid3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-cell scalar field.
+#[derive(Clone, Debug)]
+pub struct Field {
+    grid: Grid3,
+    data: Vec<f64>,
+}
+
+impl Field {
+    /// Smoothed standard-normal field: white noise followed by `passes`
+    /// sweeps of 7-point neighbor averaging, re-standardized to zero mean
+    /// and unit variance.
+    pub fn smooth_gaussian(grid: Grid3, seed: u64, passes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = grid.cells();
+        // Box–Muller on uniform draws (rand provides uniforms; the normal
+        // transform is implemented here to avoid a rand_distr dependency).
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+            data.push(r * c);
+            if data.len() < n {
+                data.push(r * s);
+            }
+        }
+        let mut f = Field { grid, data };
+        for _ in 0..passes {
+            f.smooth_once();
+        }
+        f.standardize();
+        f
+    }
+
+    /// Layered field: a 1-D smoothed profile along `z`, constant within
+    /// each horizontal layer (SPE10-style stratigraphy), plus a small
+    /// horizontal perturbation field.
+    pub fn layered(grid: Grid3, seed: u64, horizontal_jitter: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut profile: Vec<f64> = (0..grid.nz).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Smooth the profile lightly so adjacent layers correlate.
+        for _ in 0..2 {
+            let prev = profile.clone();
+            for k in 0..grid.nz {
+                let lo = prev[k.saturating_sub(1)];
+                let hi = prev[(k + 1).min(grid.nz - 1)];
+                profile[k] = 0.5 * prev[k] + 0.25 * (lo + hi);
+            }
+        }
+        let jitter = Field::smooth_gaussian(grid, seed ^ 0x5eed, 2);
+        let mut data = vec![0.0f64; grid.cells()];
+        for (cell, _, _, k) in grid.iter_cells() {
+            data[cell] = profile[k] * 2.0 + horizontal_jitter * jitter.data[cell];
+        }
+        let mut f = Field { grid, data };
+        f.standardize();
+        f
+    }
+
+    fn smooth_once(&mut self) {
+        let g = self.grid;
+        let prev = self.data.clone();
+        for (cell, i, j, k) in g.iter_cells() {
+            let mut acc = prev[cell];
+            let mut cnt = 1.0;
+            for (dx, dy, dz) in
+                [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+            {
+                if g.contains_offset(i, j, k, dx, dy, dz) {
+                    acc += prev[(cell as i64 + g.stride(dx, dy, dz)) as usize];
+                    cnt += 1.0;
+                }
+            }
+            self.data[cell] = acc / cnt;
+        }
+    }
+
+    fn standardize(&mut self) {
+        let n = self.data.len() as f64;
+        let mean = self.data.iter().sum::<f64>() / n;
+        let var = self.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let sd = var.sqrt().max(1e-300);
+        for v in &mut self.data {
+            *v = (*v - mean) / sd;
+        }
+    }
+
+    /// Value at a cell.
+    #[inline]
+    pub fn at(&self, cell: usize) -> f64 {
+        self.data[cell]
+    }
+
+    /// Maps the (standardized) field to a log-uniform coefficient in
+    /// `[lo, hi]`: `exp` of an affine map of the clamped field, so the
+    /// output magnitudes span the decades between `lo` and `hi`.
+    pub fn log_coefficient(&self, cell: usize, lo: f64, hi: f64) -> f64 {
+        let t = (self.at(cell).clamp(-2.5, 2.5) + 2.5) / 5.0; // [0, 1]
+        (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+    }
+}
+
+impl Field {
+    /// Coarse-lattice field: standard-normal values on a `(res+1)³`
+    /// lattice, trilinearly interpolated to the grid and standardized.
+    ///
+    /// The roughness is controlled by `res` *independently of the grid
+    /// size*: the real matrices resolve their coefficient contrast over a
+    /// fixed number of physical features, so a laptop-scale instance must
+    /// not become rougher per cell just because it has fewer cells.
+    pub fn interpolated(grid: Grid3, seed: u64, res: usize) -> Self {
+        let res = res.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = res + 1;
+        let lattice: Vec<f64> = {
+            let mut v = Vec::with_capacity(m * m * m);
+            while v.len() < m * m * m {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let rr = (-2.0 * u1.ln()).sqrt();
+                let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+                v.push(rr * c);
+                if v.len() < m * m * m {
+                    v.push(rr * s);
+                }
+            }
+            v
+        };
+        let at = |i: usize, j: usize, k: usize| lattice[(k * m + j) * m + i];
+        let mut data = vec![0.0f64; grid.cells()];
+        for (cell, i, j, k) in grid.iter_cells() {
+            let fx = i as f64 / (grid.nx.max(2) - 1) as f64 * res as f64;
+            let fy = j as f64 / (grid.ny.max(2) - 1) as f64 * res as f64;
+            let fz = k as f64 / (grid.nz.max(2) - 1) as f64 * res as f64;
+            let (x0, y0, z0) =
+                ((fx as usize).min(res - 1), (fy as usize).min(res - 1), (fz as usize).min(res - 1));
+            let (tx, ty, tz) = (fx - x0 as f64, fy - y0 as f64, fz - z0 as f64);
+            let mut v = 0.0;
+            for (dz, wz) in [(0, 1.0 - tz), (1, tz)] {
+                for (dy, wy) in [(0, 1.0 - ty), (1, ty)] {
+                    for (dx, wx) in [(0, 1.0 - tx), (1, tx)] {
+                        v += wx * wy * wz * at(x0 + dx, y0 + dy, z0 + dz);
+                    }
+                }
+            }
+            data[cell] = v;
+        }
+        let mut f = Field { grid, data };
+        f.standardize();
+        f
+    }
+}

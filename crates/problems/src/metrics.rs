@@ -1,0 +1,235 @@
+//! Numerical-feature metrics of a problem matrix.
+//!
+//! These reproduce the characterizations the paper reports:
+//! * [`range_histogram`] — the decade histogram of nonzero magnitudes vs
+//!   the FP16 range (Fig. 1);
+//! * [`fp16_distance`] — the Table 3 "Out-of-FP16?" / "Dist." fields;
+//! * [`anisotropy`] — the per-row multi-scale measure of Fig. 5 (ratio of
+//!   the strongest to the weakest off-diagonal coupling of each row);
+//! * [`condition_estimate`] — a Lanczos (CG-coefficient) estimate of the
+//!   extreme eigenvalues and their ratio (Table 3 "Cond.").
+
+use fp16mg_fp::{F16, Storage};
+use fp16mg_sgdia::kernels::{self, Par};
+use fp16mg_sgdia::SgDia;
+
+/// Decade histogram of nonzero magnitudes: bucket `d` covers
+/// `[10^d, 10^(d+1))`. Returns `(decade, percent-of-nonzeros)` sorted by
+/// decade; exact zeros are skipped (they are structural padding).
+pub fn range_histogram<S: Storage>(a: &SgDia<S>) -> Vec<(i32, f64)> {
+    let mut counts: std::collections::BTreeMap<i32, usize> = std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for &v in a.data() {
+        let x = v.load_f64().abs();
+        if x == 0.0 || !x.is_finite() {
+            continue;
+        }
+        *counts.entry(x.log10().floor() as i32).or_default() += 1;
+        total += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(d, c)| (d, 100.0 * c as f64 / total.max(1) as f64))
+        .collect()
+}
+
+/// Distance of a matrix's magnitude range from FP16 (Table 3 "Dist.").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fp16Distance {
+    /// All magnitudes representable: no scaling needed.
+    InRange,
+    /// Maximum exceeds `FP16_MAX` by less than 100×.
+    Near,
+    /// Maximum exceeds `FP16_MAX` by 100× or more.
+    Far,
+}
+
+impl core::fmt::Display for Fp16Distance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Fp16Distance::InRange => "-",
+            Fp16Distance::Near => "Near",
+            Fp16Distance::Far => "Far",
+        })
+    }
+}
+
+/// Classifies the matrix against the FP16 range: `(out_of_range, dist)`.
+pub fn fp16_distance<S: Storage>(a: &SgDia<S>) -> (bool, Fp16Distance) {
+    let (max, nonfinite) = a.abs_max();
+    let ratio = max / F16::MAX_F64;
+    if nonfinite || ratio >= 100.0 {
+        (true, Fp16Distance::Far)
+    } else if ratio > 1.0 {
+        (true, Fp16Distance::Near)
+    } else {
+        (false, Fp16Distance::InRange)
+    }
+}
+
+/// Summary of the per-row multi-scale (anisotropy) measure: for each row,
+/// `log10(max |off-diag| / min nonzero |off-diag|)`; strong directional
+/// imbalance in the couplings is exactly what makes a system hard for
+/// point smoothers (Fig. 5's metric, after Xu et al.).
+#[derive(Clone, Copy, Debug)]
+pub struct Anisotropy {
+    /// Median of the per-row log-ratios.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Anisotropy {
+    /// Qualitative label matching Table 3's "Aniso." field.
+    pub fn label(&self) -> &'static str {
+        if self.median < 0.3 {
+            "None"
+        } else if self.median < 1.3 {
+            "Low"
+        } else {
+            "High"
+        }
+    }
+}
+
+/// Computes the anisotropy summary.
+pub fn anisotropy<S: Storage>(a: &SgDia<S>) -> Anisotropy {
+    let grid = a.grid();
+    let r = grid.components;
+    let taps: Vec<_> = a.pattern().taps().to_vec();
+    let mut ratios: Vec<f64> = Vec::with_capacity(a.rows());
+    for (cell, i, j, k) in grid.iter_cells() {
+        let mut max = vec![0.0f64; r];
+        let mut min = vec![f64::INFINITY; r];
+        for (t, tap) in taps.iter().enumerate() {
+            if tap.is_center() || tap.cin != tap.cout {
+                continue; // directional couplings of one field
+            }
+            if !grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                continue;
+            }
+            let v = a.get(cell, t).load_f64().abs();
+            if v == 0.0 {
+                continue;
+            }
+            let c = tap.cout as usize;
+            max[c] = max[c].max(v);
+            min[c] = min[c].min(v);
+        }
+        for c in 0..r {
+            if max[c] > 0.0 && min[c].is_finite() {
+                ratios.push((max[c] / min[c]).log10());
+            }
+        }
+    }
+    if ratios.is_empty() {
+        return Anisotropy { median: 0.0, p90: 0.0, max: 0.0 };
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |q: f64| ratios[((ratios.len() - 1) as f64 * q) as usize];
+    Anisotropy { median: pick(0.5), p90: pick(0.9), max: *ratios.last().unwrap() }
+}
+
+/// Estimates the spectral condition number of a (near-)SPD matrix from
+/// `iters` steps of unpreconditioned CG: the CG coefficients define the
+/// Lanczos tridiagonal whose extreme eigenvalues converge to the
+/// operator's extremes from inside.
+pub fn condition_estimate(a: &SgDia<f64>, iters: usize) -> f64 {
+    let n = a.rows();
+    let mut x = vec![0.0f64; n];
+    let b: Vec<f64> = (0..n).map(|i| ((i as f64 * 0.37).sin() + 1.2) / 2.0).collect();
+    // CG recording alpha/beta.
+    let mut rvec = b.clone();
+    let mut p = rvec.clone();
+    let mut ap = vec![0.0f64; n];
+    let mut rr: f64 = rvec.iter().map(|&v| v * v).sum();
+    let mut alphas = Vec::new();
+    let mut betas = Vec::new();
+    for _ in 0..iters {
+        kernels::spmv(a, &p, &mut ap, Par::Seq);
+        let pap: f64 = p.iter().zip(&ap).map(|(&u, &v)| u * v).sum();
+        if pap <= 0.0 || !pap.is_finite() {
+            break;
+        }
+        let alpha = rr / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            rvec[i] -= alpha * ap[i];
+        }
+        let rr_new: f64 = rvec.iter().map(|&v| v * v).sum();
+        let beta = rr_new / rr;
+        rr = rr_new;
+        alphas.push(alpha);
+        betas.push(beta);
+        for i in 0..n {
+            p[i] = rvec[i] + beta * p[i];
+        }
+        if rr.sqrt() < 1e-28 {
+            break;
+        }
+    }
+    let m = alphas.len();
+    if m == 0 {
+        return f64::NAN;
+    }
+    // Lanczos tridiagonal from CG coefficients:
+    // T[0,0] = 1/α₀; T[k,k] = 1/αₖ + βₖ₋₁/αₖ₋₁;
+    // T[k,k+1] = T[k+1,k] = √βₖ / αₖ.
+    let mut diag = vec![0.0f64; m];
+    let mut off = vec![0.0f64; m.saturating_sub(1)];
+    diag[0] = 1.0 / alphas[0];
+    for k in 1..m {
+        diag[k] = 1.0 / alphas[k] + betas[k - 1] / alphas[k - 1];
+    }
+    for k in 0..m - 1 {
+        off[k] = betas[k].sqrt() / alphas[k];
+    }
+    let (lmin, lmax) = tridiag_extreme_eigs(&diag, &off);
+    lmax / lmin.max(f64::MIN_POSITIVE)
+}
+
+/// Extreme eigenvalues of a symmetric tridiagonal matrix by bisection on
+/// the Sturm sequence.
+fn tridiag_extreme_eigs(diag: &[f64], off: &[f64]) -> (f64, f64) {
+    let m = diag.len();
+    // Gershgorin bounds.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..m {
+        let r = (if i > 0 { off[i - 1].abs() } else { 0.0 })
+            + (if i < m - 1 { off[i].abs() } else { 0.0 });
+        lo = lo.min(diag[i] - r);
+        hi = hi.max(diag[i] + r);
+    }
+    // Count of eigenvalues < x via the Sturm sequence.
+    let count_below = |x: f64| -> usize {
+        let mut cnt = 0usize;
+        let mut d = diag[0] - x;
+        if d < 0.0 {
+            cnt += 1;
+        }
+        for i in 1..m {
+            let o2 = off[i - 1] * off[i - 1];
+            d = diag[i] - x - o2 / if d != 0.0 { d } else { 1e-300 };
+            if d < 0.0 {
+                cnt += 1;
+            }
+        }
+        cnt
+    };
+    let bisect = |target: usize| -> f64 {
+        let (mut a, mut b) = (lo, hi);
+        for _ in 0..120 {
+            let mid = 0.5 * (a + b);
+            if count_below(mid) > target {
+                b = mid;
+            } else {
+                a = mid;
+            }
+        }
+        0.5 * (a + b)
+    };
+    (bisect(0), bisect(m - 1))
+}

@@ -1,0 +1,224 @@
+//! Tests that the generators reproduce the Table 3 numerical signatures
+//! and that every problem is solvable by the preconditioned solvers.
+
+use fp16mg_core::{MatOp, Mg, MgConfig};
+use fp16mg_krylov::{cg, gmres, SolveOptions};
+use fp16mg_sgdia::kernels::Par;
+use fp16mg_sgdia::Csr;
+
+use crate::metrics::{self, Fp16Distance};
+use crate::{ProblemKind, SolverKind};
+
+#[test]
+fn table3_signature_patterns_and_components() {
+    for kind in ProblemKind::all() {
+        let p = kind.build(8);
+        assert_eq!(p.matrix.pattern().name(), kind.pattern_name(), "{}", p.name);
+        assert_eq!(p.matrix.grid().components, kind.components(), "{}", p.name);
+        assert_eq!(p.solver, kind.solver(), "{}", p.name);
+    }
+}
+
+#[test]
+fn table3_fp16_range_classification() {
+    use Fp16Distance::*;
+    let expected = [
+        (ProblemKind::Laplace27, false, InRange),
+        (ProblemKind::Laplace27E8, true, Far),
+        (ProblemKind::Rhd, true, Far),
+        (ProblemKind::Oil, false, InRange),
+        (ProblemKind::Weather, true, Near),
+        (ProblemKind::Rhd3T, true, Far),
+        (ProblemKind::Oil4C, true, Near),
+        (ProblemKind::Solid3D, true, Far),
+    ];
+    for (kind, out, dist) in expected {
+        let p = kind.build(12);
+        let (o, d) = metrics::fp16_distance(&p.matrix);
+        assert_eq!((o, d), (out, dist), "{}: got ({o}, {d:?})", p.name);
+    }
+}
+
+#[test]
+fn anisotropy_ordering_matches_table3() {
+    // laplace27 has no anisotropy; rhd/solid-3D low; oil/weather/rhd-3T
+    // high (Table 3 "Aniso.").
+    let lap = metrics::anisotropy(&ProblemKind::Laplace27.build(10).matrix);
+    assert_eq!(lap.label(), "None", "laplace27: {lap:?}");
+    let oil = metrics::anisotropy(&ProblemKind::Oil.build(12).matrix);
+    assert_eq!(oil.label(), "High", "oil: {oil:?}");
+    let weather = metrics::anisotropy(&ProblemKind::Weather.build(12).matrix);
+    assert_eq!(weather.label(), "High", "weather: {weather:?}");
+    let rhd3t = metrics::anisotropy(&ProblemKind::Rhd3T.build(10).matrix);
+    assert_eq!(rhd3t.label(), "High", "rhd-3T: {rhd3t:?}");
+    let rhd = metrics::anisotropy(&ProblemKind::Rhd.build(12).matrix);
+    assert_eq!(rhd.label(), "Low", "rhd: {rhd:?}");
+    assert!(rhd.median < oil.median, "rhd should be less anisotropic than oil");
+    assert!(rhd.median < rhd3t.median, "rhd should be less anisotropic than rhd-3T");
+    let solid = metrics::anisotropy(&ProblemKind::Solid3D.build(8).matrix);
+    assert_eq!(solid.label(), "Low", "solid-3D: {solid:?}");
+}
+
+#[test]
+fn fig1_histograms_span_expected_decades() {
+    // rhd spans many decades, reaching past both FP16 bounds.
+    let h = metrics::range_histogram(&ProblemKind::Rhd.build(12).matrix);
+    let lo = h.first().unwrap().0;
+    let hi = h.last().unwrap().0;
+    assert!(lo <= -5, "rhd should reach below FP16_MIN decade, got {lo}");
+    assert!(hi >= 7, "rhd should reach far above FP16_MAX decade, got {hi}");
+    assert!((h.iter().map(|&(_, p)| p).sum::<f64>() - 100.0).abs() < 1e-9);
+    // laplace27 is confined to two decades (1 and 26).
+    let h = metrics::range_histogram(&ProblemKind::Laplace27.build(8).matrix);
+    assert!(h.len() <= 2, "{h:?}");
+}
+
+#[test]
+fn spd_problems_are_symmetric() {
+    for kind in [ProblemKind::Laplace27, ProblemKind::Rhd, ProblemKind::Rhd3T, ProblemKind::Solid3D]
+    {
+        let p = kind.build(6);
+        let csr = Csr::<f64>::from_sgdia(&p.matrix);
+        let n = csr.rows();
+        let mut ri = vec![0.0f64; n];
+        let mut rj = vec![0.0f64; n];
+        let mut checked = 0usize;
+        for i in (0..n).step_by(7) {
+            csr.dense_row(i, &mut ri);
+            for j in i + 1..n {
+                if ri[j] != 0.0 {
+                    csr.dense_row(j, &mut rj);
+                    let rel = (ri[j] - rj[i]).abs() / ri[j].abs().max(rj[i].abs());
+                    assert!(rel < 1e-12, "{}: asymmetric at ({i},{j})", p.name);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+}
+
+#[test]
+fn gmres_problems_are_nonsymmetric() {
+    for kind in [ProblemKind::Oil, ProblemKind::Weather, ProblemKind::Oil4C] {
+        let p = kind.build(6);
+        let csr = Csr::<f64>::from_sgdia(&p.matrix);
+        let n = csr.rows();
+        let mut ri = vec![0.0f64; n];
+        let mut rj = vec![0.0f64; n];
+        let mut asym = false;
+        'outer: for i in 0..n {
+            csr.dense_row(i, &mut ri);
+            for j in i + 1..n {
+                if ri[j] != 0.0 {
+                    csr.dense_row(j, &mut rj);
+                    if (ri[j] - rj[i]).abs() > 1e-9 * ri[j].abs() {
+                        asym = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(asym, "{} should be nonsymmetric", p.name);
+    }
+}
+
+#[test]
+fn generators_are_deterministic() {
+    let a = ProblemKind::Oil.build(8);
+    let b = ProblemKind::Oil.build(8);
+    assert_eq!(a.matrix.data(), b.matrix.data());
+}
+
+#[test]
+fn diagonals_positive_everywhere() {
+    // Theorem 4.1's prerequisite must hold on every generated problem.
+    for kind in ProblemKind::all() {
+        let p = kind.build(8);
+        for d in p.matrix.extract_diagonal() {
+            assert!(d > 0.0, "{}: non-positive diagonal {d}", p.name);
+        }
+    }
+}
+
+#[test]
+fn condition_estimate_sane_on_laplacian() {
+    let p = ProblemKind::Laplace27.build(12);
+    let cond = metrics::condition_estimate(&p.matrix, 60);
+    // 27-point Laplacian at n=12: moderate conditioning, far from 1.
+    assert!(cond > 10.0 && cond < 1e5, "cond = {cond}");
+}
+
+#[test]
+fn condition_orders_match_table3() {
+    // rhd (1e8-ish) must dwarf laplace27 (1e3-ish at paper sizes).
+    let lap = metrics::condition_estimate(&ProblemKind::Laplace27.build(10).matrix, 50);
+    let rhd = metrics::condition_estimate(&ProblemKind::Rhd.build(10).matrix, 80);
+    assert!(rhd > 50.0 * lap, "rhd {rhd:.3e} vs laplace27 {lap:.3e}");
+}
+
+/// Every problem must be solvable by its designated solver with the
+/// paper's Full64 configuration.
+#[test]
+fn all_problems_solve_full64() {
+    for kind in ProblemKind::all() {
+        let p = kind.build(12);
+        let mut mg = Mg::<f64>::setup(&p.matrix, &MgConfig::d64()).expect(p.name);
+        let op = MatOp::new(&p.matrix, Par::Seq);
+        let b = p.rhs();
+        let mut x = vec![0.0f64; p.matrix.rows()];
+        let opts = SolveOptions { tol: 1e-9, max_iters: 300, restart: 30, ..Default::default() };
+        let res = match p.solver {
+            SolverKind::Cg => cg(&op, &mut mg, &b, &mut x, &opts),
+            SolverKind::Gmres => gmres(&op, &mut mg, &b, &mut x, &opts),
+        };
+        assert!(
+            res.converged(),
+            "{}: {:?} after {} iters (rel {:.3e})",
+            p.name,
+            res.reason,
+            res.iters,
+            res.final_rel_residual
+        );
+    }
+}
+
+/// The headline configuration (K64 P32 D16 setup-then-scale) must also
+/// solve every problem, with an iteration count close to Full64 — the
+/// paper's central claim.
+#[test]
+fn all_problems_solve_d16_setup_then_scale() {
+    for kind in ProblemKind::all() {
+        let p = kind.build(12);
+        let mut mg64 = Mg::<f64>::setup(&p.matrix, &MgConfig::d64()).expect(p.name);
+        let mut mg16 = Mg::<f32>::setup(&p.matrix, &MgConfig::d16()).expect(p.name);
+        let op = MatOp::new(&p.matrix, Par::Seq);
+        let b = p.rhs();
+        let opts = SolveOptions { tol: 1e-9, max_iters: 400, restart: 30, ..Default::default() };
+        let mut x64 = vec![0.0f64; p.matrix.rows()];
+        let mut x16 = vec![0.0f64; p.matrix.rows()];
+        let (r64, r16) = match p.solver {
+            SolverKind::Cg => (
+                cg(&op, &mut mg64, &b, &mut x64, &opts),
+                cg(&op, &mut mg16, &b, &mut x16, &opts),
+            ),
+            SolverKind::Gmres => (
+                gmres(&op, &mut mg64, &b, &mut x64, &opts),
+                gmres(&op, &mut mg16, &b, &mut x16, &opts),
+            ),
+        };
+        assert!(r64.converged(), "{} Full64 failed", p.name);
+        assert!(r16.converged(), "{} D16 failed: {:?}", p.name, r16.reason);
+        // Paper Fig. 8 sees at most ~+40% (rhd-3T). Our synthetic rhd is
+        // more sensitive to the FP32 *computation* precision (the storage
+        // effect alone is ~+18%, matching the paper — see the
+        // storage_effect_is_small_with_p64 integration test), so allow 2x.
+        assert!(
+            r16.iters <= r64.iters * 2 + 4,
+            "{}: D16 {} iters vs Full64 {}",
+            p.name,
+            r16.iters,
+            r64.iters
+        );
+    }
+}

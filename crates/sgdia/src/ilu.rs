@@ -1,0 +1,151 @@
+//! Structured ILU(0): incomplete LU factorization on the stencil pattern.
+//!
+//! The paper lists ILU alongside SymGS as a configurable smoother (§4.1/
+//! §4.2): "data in smoothers, such as the factorized lower and upper
+//! triangular matrices L̃, Ũ in ILU, are calculated in iterative precision
+//! followed by truncation to storage precision". The factorization here
+//! runs in `f64`; the caller truncates the factors to FP16 and applies
+//! them with the mixed-precision [`sptrsv`](crate::kernels) kernels — the
+//! second Fig. 7 kernel exercised inside the V-cycle.
+//!
+//! ILU(0) keeps exactly the original nonzero pattern: `L` is unit lower
+//! triangular on the strict-lower taps (the unit diagonal is stored
+//! explicitly so the triangular kernels need no special case), `U` holds
+//! the diagonal and strict-upper taps. Scalar problems only — block ILU
+//! for vector PDEs is out of scope (the Gauss–Seidel smoothers cover
+//! them).
+
+use fp16mg_stencil::Pattern;
+
+use crate::SgDia;
+
+/// The ILU(0) factors of a structured matrix.
+pub struct Ilu0 {
+    /// Unit lower-triangular factor (strict lower taps + explicit unit
+    /// diagonal), pattern `lower_with_diag` of the source.
+    pub l: SgDia<f64>,
+    /// Upper-triangular factor (diagonal + strict upper taps).
+    pub u: SgDia<f64>,
+}
+
+/// Computes the ILU(0) factorization of a scalar structured matrix.
+///
+/// Standard row-wise IKJ elimination restricted to the stencil pattern:
+/// fill-in is dropped. Correction triples `off(L) + off(U) ∈ pattern` are
+/// resolved once from offset arithmetic, so the per-cell work is a fixed
+/// small loop.
+///
+/// # Errors
+/// Returns the offending cell if a pivot (diagonal of `U`) becomes zero
+/// or non-finite.
+///
+/// # Panics
+/// Panics on vector (multi-component) matrices or patterns with radius
+/// greater than 1.
+pub fn ilu0(a: &SgDia<f64>) -> Result<Ilu0, usize> {
+    let grid = *a.grid();
+    assert_eq!(grid.components, 1, "ilu0 supports scalar problems");
+    assert!(a.pattern().radius() <= 1, "ilu0 supports radius-1 stencils");
+    let pat = a.pattern().clone();
+    let (lp_strict, _, up_strict) = pat.split();
+    let lp = pat.lower_with_diag();
+    let up = {
+        let mut taps = up_strict.taps().to_vec();
+        taps.push(fp16mg_stencil::Tap::at(0, 0, 0));
+        Pattern::new(taps)
+    };
+
+    let cells = grid.cells();
+    let ntaps = pat.len();
+    // Working factor values, indexed like the source pattern.
+    let mut w: Vec<f64> = a.data().to_vec();
+    let widx = |cell: usize, t: usize, layout| match layout {
+        crate::Layout::Aos => cell * ntaps + t,
+        crate::Layout::Soa => t * cells + cell,
+    };
+    let layout = a.layout();
+
+    // Precompute, for each lower tap tl and each strict-upper tap tu of
+    // the pattern, the target tap tt with off(tt) = off(tl) + off(tu)
+    // (if the sum stays in the pattern — ILU(0) drops the rest).
+    let ltaps: Vec<usize> =
+        lp_strict.taps().iter().map(|t| pat.tap_index(*t).expect("lower tap")).collect();
+    let utaps: Vec<usize> =
+        up_strict.taps().iter().map(|t| pat.tap_index(*t).expect("upper tap")).collect();
+    let diag_tap = pat.diagonal_indices()[0];
+    let taps = pat.taps();
+    let mut triples: Vec<(usize, usize, usize)> = Vec::new(); // (tl, tu, tt)
+    for &tl in &ltaps {
+        for &tu in &utaps {
+            let sum = fp16mg_stencil::Tap::at(
+                taps[tl].dx + taps[tu].dx,
+                taps[tl].dy + taps[tu].dy,
+                taps[tl].dz + taps[tu].dz,
+            );
+            if let Some(tt) = pat.tap_index(sum) {
+                triples.push((tl, tu, tt));
+            }
+        }
+    }
+
+    // IKJ elimination, cells in row-major order.
+    for (cell, i, j, k) in grid.iter_cells() {
+        for &tl in &ltaps {
+            let tap = taps[tl];
+            if !grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                continue;
+            }
+            let nb = (cell as i64 + grid.stride(tap.dx, tap.dy, tap.dz)) as usize;
+            let piv = w[widx(nb, diag_tap, layout)];
+            if piv == 0.0 || !piv.is_finite() {
+                return Err(nb);
+            }
+            let lval = w[widx(cell, tl, layout)] / piv;
+            w[widx(cell, tl, layout)] = lval;
+            if lval == 0.0 {
+                continue;
+            }
+            // w[row] -= l_ij * u[j, :] restricted to the pattern.
+            for &(tl2, tu, tt) in &triples {
+                if tl2 != tl {
+                    continue;
+                }
+                // The U entry lives at the neighbor row nb; its column is
+                // nb + off(tu) = cell + off(tt). Validity of the target
+                // column implies validity of the U entry read (zero-filled
+                // out-of-grid entries contribute nothing anyway).
+                let tt_tap = taps[tt];
+                if !grid.contains_offset(i, j, k, tt_tap.dx, tt_tap.dy, tt_tap.dz) {
+                    continue;
+                }
+                let uval = w[widx(nb, tu, layout)];
+                let idx = widx(cell, tt, layout);
+                w[idx] -= lval * uval;
+            }
+        }
+        let piv = w[widx(cell, diag_tap, layout)];
+        if piv == 0.0 || !piv.is_finite() {
+            return Err(cell);
+        }
+    }
+
+    // Scatter into the L and U containers.
+    let mut l = SgDia::<f64>::zeros(grid, lp.clone(), layout);
+    let mut u = SgDia::<f64>::zeros(grid, up.clone(), layout);
+    let l_diag = lp.diagonal_indices()[0];
+    for cell in 0..cells {
+        l.set(cell, l_diag, 1.0);
+        for (t, tap) in lp.taps().iter().enumerate() {
+            if tap.is_diagonal() {
+                continue;
+            }
+            let st = pat.tap_index(*tap).expect("lower tap in source");
+            l.set(cell, t, w[widx(cell, st, layout)]);
+        }
+        for (t, tap) in up.taps().iter().enumerate() {
+            let st = pat.tap_index(*tap).expect("upper tap in source");
+            u.set(cell, t, w[widx(cell, st, layout)]);
+        }
+    }
+    Ok(Ilu0 { l, u })
+}

@@ -1,0 +1,292 @@
+//! Matrix and vector serialization.
+//!
+//! The paper distributes its evaluation matrices as files (the Zenodo
+//! archive of §6.1); a usable reproduction needs an interchange story:
+//!
+//! * a compact little-endian binary format for [`SgDia`] matrices and
+//!   dense vectors, preserving the storage precision byte-for-byte (an
+//!   FP16 matrix round-trips without widening), and
+//! * Matrix Market (`.mtx`, coordinate real general) import/export via
+//!   the CSR representation, for exchange with every other sparse
+//!   toolchain.
+
+use std::io::{self, Read, Write};
+
+use fp16mg_fp::{Bf16, F16, Precision, Storage};
+use fp16mg_grid::Grid3;
+use fp16mg_stencil::{Pattern, Tap};
+
+use crate::{Csr, Layout, SgDia};
+
+const MATRIX_MAGIC: &[u8; 8] = b"FP16MGA1";
+const VECTOR_MAGIC: &[u8; 8] = b"FP16MGV1";
+
+fn precision_tag<S: Storage>() -> u8 {
+    match S::NAME {
+        "64" => 0,
+        "32" => 1,
+        "16" => 2,
+        "b16" => 3,
+        other => unreachable!("unknown storage {other}"),
+    }
+}
+
+/// The storage precision recorded in a matrix header (without reading
+/// the payload); pair with the right `read_matrix::<S>` call.
+pub fn peek_precision(header_tag: u8) -> Option<Precision> {
+    match header_tag {
+        0 => Some(Precision::F64),
+        1 => Some(Precision::F32),
+        2 => Some(Precision::F16),
+        3 => Some(Precision::BF16),
+        _ => None,
+    }
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes a structured matrix in the binary format (little-endian;
+/// values serialized in the matrix's own storage precision and layout).
+pub fn write_matrix<S: Storage>(a: &SgDia<S>, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MATRIX_MAGIC)?;
+    let g = a.grid();
+    write_u64(w, g.nx as u64)?;
+    write_u64(w, g.ny as u64)?;
+    write_u64(w, g.nz as u64)?;
+    write_u64(w, g.components as u64)?;
+    write_u64(w, a.pattern().len() as u64)?;
+    w.write_all(&[precision_tag::<S>(), matches!(a.layout(), Layout::Soa) as u8])?;
+    for t in a.pattern().taps() {
+        w.write_all(&t.dx.to_le_bytes())?;
+        w.write_all(&t.dy.to_le_bytes())?;
+        w.write_all(&t.dz.to_le_bytes())?;
+        w.write_all(&[t.cout, t.cin])?;
+    }
+    // Values, raw little-endian in storage precision.
+    match S::BYTES {
+        8 => {
+            for v in a.data() {
+                w.write_all(&v.load_f64().to_le_bytes())?;
+            }
+        }
+        4 => {
+            for v in a.data() {
+                w.write_all(&v.load_f32().to_le_bytes())?;
+            }
+        }
+        2 => {
+            // F16 or BF16: write the raw bit pattern.
+            for v in a.data() {
+                let bits: u16 = match precision_tag::<S>() {
+                    2 => F16::from_f32(v.load_f32()).to_bits(),
+                    _ => Bf16::from_f32(v.load_f32()).to_bits(),
+                };
+                w.write_all(&bits.to_le_bytes())?;
+            }
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
+/// Reads a matrix written by [`write_matrix`] with the same storage
+/// precision `S`.
+///
+/// # Errors
+/// `InvalidData` on magic, tag, or structural mismatch.
+pub fn read_matrix<S: Storage>(r: &mut impl Read) -> io::Result<SgDia<S>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MATRIX_MAGIC {
+        return Err(bad("not an FP16MG matrix file"));
+    }
+    let nx = read_u64(r)? as usize;
+    let ny = read_u64(r)? as usize;
+    let nz = read_u64(r)? as usize;
+    let components = read_u64(r)? as usize;
+    let ntaps = read_u64(r)? as usize;
+    let mut flags = [0u8; 2];
+    r.read_exact(&mut flags)?;
+    if flags[0] != precision_tag::<S>() {
+        return Err(bad("storage precision mismatch"));
+    }
+    let layout = if flags[1] == 1 { Layout::Soa } else { Layout::Aos };
+    if nx == 0 || ny == 0 || nz == 0 || components == 0 || ntaps == 0 {
+        return Err(bad("degenerate dimensions"));
+    }
+    let mut taps = Vec::with_capacity(ntaps);
+    for _ in 0..ntaps {
+        let mut b = [0u8; 14];
+        r.read_exact(&mut b)?;
+        taps.push(Tap::at_comp(
+            i32::from_le_bytes(b[0..4].try_into().unwrap()),
+            i32::from_le_bytes(b[4..8].try_into().unwrap()),
+            i32::from_le_bytes(b[8..12].try_into().unwrap()),
+            b[12],
+            b[13],
+        ));
+    }
+    let pattern = Pattern::new(taps);
+    if pattern.len() != ntaps {
+        return Err(bad("duplicate taps in pattern"));
+    }
+    let grid = Grid3::with_components(nx, ny, nz, components);
+    let mut a = SgDia::<S>::zeros(grid, pattern, layout);
+    let n = a.stored_entries();
+    match S::BYTES {
+        8 => {
+            let mut b = [0u8; 8];
+            for i in 0..n {
+                r.read_exact(&mut b)?;
+                a.data_mut()[i] = S::store_f64(f64::from_le_bytes(b));
+            }
+        }
+        4 => {
+            let mut b = [0u8; 4];
+            for i in 0..n {
+                r.read_exact(&mut b)?;
+                a.data_mut()[i] = S::store_f32(f32::from_le_bytes(b));
+            }
+        }
+        2 => {
+            let f16 = precision_tag::<S>() == 2;
+            let mut b = [0u8; 2];
+            for i in 0..n {
+                r.read_exact(&mut b)?;
+                let bits = u16::from_le_bytes(b);
+                let v = if f16 {
+                    F16::from_bits(bits).to_f32()
+                } else {
+                    Bf16::from_bits(bits).to_f32()
+                };
+                a.data_mut()[i] = S::store_f32(v);
+            }
+        }
+        _ => unreachable!(),
+    }
+    Ok(a)
+}
+
+/// Writes a dense `f64` vector.
+pub fn write_vector(v: &[f64], w: &mut impl Write) -> io::Result<()> {
+    w.write_all(VECTOR_MAGIC)?;
+    write_u64(w, v.len() as u64)?;
+    for &x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a dense `f64` vector written by [`write_vector`].
+///
+/// # Errors
+/// `InvalidData` on magic mismatch.
+pub fn read_vector(r: &mut impl Read) -> io::Result<Vec<f64>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != VECTOR_MAGIC {
+        return Err(bad("not an FP16MG vector file"));
+    }
+    let n = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 8];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f64::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Exports a CSR matrix as Matrix Market coordinate/real/general
+/// (1-based indices).
+pub fn write_matrix_market<S: Storage>(a: &Csr<S>, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% exported by fp16mg")?;
+    writeln!(w, "{} {} {}", a.rows(), a.rows(), a.nnz())?;
+    for row in 0..a.rows() {
+        let lo = a.row_ptr()[row] as usize;
+        let hi = a.row_ptr()[row + 1] as usize;
+        for e in lo..hi {
+            writeln!(w, "{} {} {:e}", row + 1, a.col_idx()[e] + 1, a.values()[e].load_f64())?;
+        }
+    }
+    Ok(())
+}
+
+/// Imports a Matrix Market coordinate real (general or symmetric) file
+/// as a CSR matrix in `f64`.
+///
+/// # Errors
+/// `InvalidData` on malformed headers, indices out of range, or
+/// non-square shapes.
+pub fn read_matrix_market(r: &mut impl Read) -> io::Result<Csr<f64>> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| bad("empty file"))?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket matrix coordinate real") {
+        return Err(bad("unsupported MatrixMarket header"));
+    }
+    let symmetric = h.contains("symmetric");
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| bad("missing size line"))?;
+    let mut it = size_line.split_whitespace();
+    let rows: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad rows"))?;
+    let cols: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad cols"))?;
+    let nnz: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad nnz"))?;
+    if rows != cols {
+        return Err(bad("matrix is not square"));
+    }
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(nnz * (1 + symmetric as usize));
+    for line in lines {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad row idx"))?;
+        let j: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad col idx"))?;
+        let v: f64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad value"))?;
+        if i == 0 || j == 0 || i > rows || j > cols {
+            return Err(bad("index out of range"));
+        }
+        triplets.push(((i - 1) as u32, (j - 1) as u32, v));
+        if symmetric && i != j {
+            triplets.push(((j - 1) as u32, (i - 1) as u32, v));
+        }
+    }
+    triplets.sort_unstable_by_key(|&(i, j, _)| (i, j));
+    let mut row_ptr = vec![0u32; rows + 1];
+    let mut col_idx = Vec::with_capacity(triplets.len());
+    let mut values = Vec::with_capacity(triplets.len());
+    for &(i, j, v) in &triplets {
+        row_ptr[i as usize + 1] += 1;
+        col_idx.push(j);
+        values.push(v);
+    }
+    for rix in 0..rows {
+        row_ptr[rix + 1] += row_ptr[rix];
+    }
+    Ok(Csr::new(rows, row_ptr, col_idx, values))
+}

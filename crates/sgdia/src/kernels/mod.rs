@@ -1,0 +1,186 @@
+//! Mixed-precision structured kernels.
+//!
+//! Every kernel reads matrix entries in the storage precision `S` and
+//! widens them to the computation precision `P` *in registers* — the
+//! "recover on the fly" of §4.2: no FP32 copy of the matrix is ever
+//! materialized, so the memory volume stays at `S::BYTES` per entry.
+//!
+//! Three implementation tiers reproduce the Fig. 7 ablation:
+//!
+//! * **generic** — scalar loop, one convert per entry. On AOS data this is
+//!   the paper's *naive* mixed-precision kernel whose convert overhead
+//!   eats the bandwidth win.
+//! * **SIMD** — SOA data, 8-wide F16C conversion + FMA
+//!   ([`spmv`]/[`residual`] dispatch to it automatically for
+//!   `S = F16, P = f32`, scalar problems, SOA layout on capable CPUs);
+//!   an AVX2 path covers the full-FP32 baseline so the comparison is
+//!   apples-to-apples.
+//! * **staged** — for the inherently sequential triangular solves
+//!   ([`sptrsv`]), each x-line of coefficients is bulk-converted into a
+//!   small stack scratch first, amortizing the convert exactly like the
+//!   paper's SpTRSV treatment, then the recurrence runs in scalar f32.
+
+mod diag;
+mod gs;
+mod spmv;
+mod sptrsv;
+
+pub use diag::BlockDiagInv;
+pub use gs::{gs_backward, gs_forward};
+pub use spmv::{residual, spmv, spmv_axpy};
+pub use sptrsv::{sptrsv_backward, sptrsv_forward, sptrsv_forward_wavefront};
+
+use fp16mg_grid::Grid3;
+use fp16mg_stencil::Pattern;
+
+/// Kernel execution policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Par {
+    /// Single-threaded.
+    #[default]
+    Seq,
+    /// Parallelize with the ambient rayon pool.
+    Rayon,
+}
+
+/// Per-tap metadata resolved once per kernel invocation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TapMeta {
+    /// Signed cell-index delta of the tap's spatial offset.
+    pub cell_stride: i64,
+    /// Output (row) component.
+    pub cout: usize,
+    /// Input (column) component.
+    pub cin: usize,
+    /// True for taps in the zero-offset (diagonal) block.
+    pub center: bool,
+    /// True for the exact scalar diagonal (center && cin == cout).
+    pub diagonal: bool,
+    /// True when the tap stays within an x-line (`dy == dz == 0`): these
+    /// taps form the sequential dependency chain of line-based sweeps;
+    /// all other taps can be bulk-accumulated.
+    pub in_line: bool,
+}
+
+pub(crate) fn tap_metas(grid: &Grid3, pattern: &Pattern) -> Vec<TapMeta> {
+    pattern
+        .taps()
+        .iter()
+        .map(|t| TapMeta {
+            cell_stride: grid.stride(t.dx, t.dy, t.dz),
+            cout: t.cout as usize,
+            cin: t.cin as usize,
+            center: t.is_center(),
+            diagonal: t.is_diagonal(),
+            in_line: t.dy == 0 && t.dz == 0,
+        })
+        .collect()
+}
+
+/// Casts a slice to a concrete element type when the generic parameter is
+/// exactly that type (poor man's specialization for kernel dispatch).
+#[inline]
+pub(crate) fn cast_slice<A: 'static, B: 'static>(s: &[A]) -> Option<&[B]> {
+    if core::any::TypeId::of::<A>() == core::any::TypeId::of::<B>() {
+        // SAFETY: A and B are the same type, so layout and validity match.
+        Some(unsafe { core::slice::from_raw_parts(s.as_ptr() as *const B, s.len()) })
+    } else {
+        None
+    }
+}
+
+/// Mutable variant of [`cast_slice`].
+#[inline]
+pub(crate) fn cast_slice_mut<A: 'static, B: 'static>(s: &mut [A]) -> Option<&mut [B]> {
+    if core::any::TypeId::of::<A>() == core::any::TypeId::of::<B>() {
+        // SAFETY: A and B are the same type, so layout and validity match.
+        Some(unsafe { core::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut B, s.len()) })
+    } else {
+        None
+    }
+}
+
+/// Maximum supported components per cell in the fixed-size accumulators.
+pub(crate) const MAX_COMPONENTS: usize = 8;
+
+/// Interior cell range `[lo, hi)` in which every tap's neighbor cell index
+/// stays inside `[0, cells)`. Outside it, per-entry bounds checks are
+/// required; inside it, wrapped neighbors are possible at x/y faces but
+/// their coefficients are stored as exact zeros, so unchecked reads are
+/// numerically inert.
+pub(crate) fn interior_range(cells: usize, metas: &[TapMeta]) -> (usize, usize) {
+    let mut maxneg: i64 = 0;
+    let mut maxpos: i64 = 0;
+    for m in metas {
+        maxneg = maxneg.max(-m.cell_stride);
+        maxpos = maxpos.max(m.cell_stride);
+    }
+    let lo = (maxneg.max(0) as usize).min(cells);
+    let hi = cells.saturating_sub(maxpos.max(0) as usize).max(lo);
+    (lo, hi)
+}
+
+/// True when the AVX2+FMA+F16C SIMD paths are usable on this CPU.
+#[inline]
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+                && std::arch::is_x86_feature_detected!("f16c")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Widens one contiguous segment of stored values into the computation
+/// precision, choosing the fastest available path: SIMD F16C for
+/// `F16 → f32`, `memcpy` when the types coincide, per-element conversion
+/// otherwise. This is the staging primitive of the optimized triangular
+/// solves and smoother sweeps (§5.1's conversion amortization).
+#[inline]
+pub fn widen_line<S: fp16mg_fp::Storage, P: fp16mg_fp::Scalar>(src: &[S], dst: &mut [P]) {
+    use fp16mg_fp::{simd, F16};
+    assert_eq!(src.len(), dst.len(), "widen_line length mismatch");
+    if let (Some(s16), Some(d32)) = (cast_slice::<S, F16>(src), cast_slice_mut::<P, f32>(dst)) {
+        simd::widen_f16(s16, d32);
+        return;
+    }
+    if let Some(same) = cast_slice::<S, P>(src) {
+        dst.copy_from_slice(same);
+        return;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = P::from_f64(s.load_f64());
+    }
+}
+
+/// `acc[i] -= coeff[i] * x[xbase + i]` over the valid sub-range of a line
+/// (`0 <= xbase + i < cells`). No loop-carried dependence: the compiler
+/// auto-vectorizes this, which is what makes the bulk-accumulation phase
+/// of the line-based sweeps bandwidth-bound rather than latency-bound.
+#[inline]
+pub(crate) fn line_bulk_sub<P: fp16mg_fp::Scalar>(
+    acc: &mut [P],
+    coeff: &[P],
+    x: &[P],
+    xbase: i64,
+    cells: usize,
+) {
+    let nx = acc.len() as i64;
+    let lo = (-xbase).clamp(0, nx) as usize;
+    let hi = (cells as i64 - xbase).clamp(lo as i64, nx) as usize;
+    if lo >= hi {
+        return;
+    }
+    let xs = &x[(xbase + lo as i64) as usize..][..hi - lo];
+    for ((a, &c), &xv) in acc[lo..hi].iter_mut().zip(&coeff[lo..hi]).zip(xs) {
+        *a = *a - c * xv;
+    }
+}

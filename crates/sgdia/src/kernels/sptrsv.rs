@@ -1,0 +1,406 @@
+//! Sparse triangular solves on triangular SG-DIA matrices.
+//!
+//! The matrix must carry a triangular pattern *including* the diagonal
+//! block — e.g. the paper's 3d4/3d10/3d14 lower patterns
+//! ([`fp16mg_stencil::Pattern::lower_with_diag`]) for the forward solve,
+//! or their transposes for the backward solve.
+//!
+//! Implementations mirror Fig. 7:
+//! * the **staged** solve on scalar SOA data, which bulk-converts each
+//!   x-line of coefficients before running the recurrence (SIMD F16C for
+//!   FP16 — the optimized kernel; `memcpy` staging keeps the FP32
+//!   baseline on the same code quality);
+//! * the **naive** AOS FP16 solve with one scalar hardware convert per
+//!   entry (the variant whose conversion overhead degrades throughput);
+//! * the **generic** per-entry solve for vector PDEs and odd layouts;
+//! * the **wavefront** solve, which parallelizes across `i+j+k`
+//!   hyperplanes (the "sophisticated parallel strategy" of §5.1).
+
+use fp16mg_fp::{F16, Scalar, Storage};
+use fp16mg_grid::{Grid3, Wavefronts};
+use rayon::prelude::*;
+
+use super::{cast_slice, cast_slice_mut, tap_metas, widen_line, TapMeta, MAX_COMPONENTS};
+use crate::{Layout, SgDia};
+
+/// Solves `L x = b` with `L` lower triangular (taps with row-major sign
+/// ≤ 0). Cells are visited in increasing order.
+///
+/// # Panics
+/// Panics on dimension mismatch, an upper tap in the pattern, or a
+/// singular diagonal.
+pub fn sptrsv_forward<S: Storage, P: Scalar>(l: &SgDia<S>, b: &[P], x: &mut [P]) {
+    assert!(
+        l.pattern().taps().iter().all(|t| t.spatial_sign() <= 0),
+        "sptrsv_forward requires a lower-triangular pattern"
+    );
+    solve(l, b, x, false);
+}
+
+/// Solves `U x = b` with `U` upper triangular (taps with row-major sign
+/// ≥ 0). Cells are visited in decreasing order.
+///
+/// # Panics
+/// Panics on dimension mismatch, a lower tap in the pattern, or a
+/// singular diagonal.
+pub fn sptrsv_backward<S: Storage, P: Scalar>(u: &SgDia<S>, b: &[P], x: &mut [P]) {
+    assert!(
+        u.pattern().taps().iter().all(|t| t.spatial_sign() >= 0),
+        "sptrsv_backward requires an upper-triangular pattern"
+    );
+    solve(u, b, x, true);
+}
+
+fn solve<S: Storage, P: Scalar>(a: &SgDia<S>, b: &[P], x: &mut [P], backward: bool) {
+    let grid = a.grid();
+    let cells = grid.cells();
+    let r = grid.components;
+    assert!(r <= MAX_COMPONENTS, "too many components per cell");
+    assert_eq!(b.len(), cells * r, "b length");
+    assert_eq!(x.len(), cells * r, "x length");
+    let metas = tap_metas(grid, a.pattern());
+
+    if r == 1 {
+        if a.layout() == Layout::Soa {
+            solve_staged(grid, &metas, a.data(), b, x, backward);
+            return;
+        }
+        // Naive AOS FP16: scalar hardware convert per entry.
+        #[cfg(target_arch = "x86_64")]
+        if super::simd_available() {
+            if let (Some(d16), Some(b32), Some(x32)) = (
+                cast_slice::<S, F16>(a.data()),
+                cast_slice::<P, f32>(b),
+                cast_slice_mut::<P, f32>(x),
+            ) {
+                // SAFETY: CPU support checked by simd_available().
+                unsafe { solve_naive_f16_aos(cells, &metas, d16, b32, x32, backward) };
+                return;
+            }
+        }
+    }
+    solve_generic(a, &metas, b, x, backward);
+}
+
+/// Generic per-entry triangular solve; block cells solved with a small
+/// dense solve over the component couplings of the diagonal block.
+fn solve_generic<S: Storage, P: Scalar>(
+    a: &SgDia<S>,
+    metas: &[TapMeta],
+    b: &[P],
+    x: &mut [P],
+    backward: bool,
+) {
+    let cells = a.grid().cells();
+    let r = a.grid().components;
+    let iter: Box<dyn Iterator<Item = usize>> = if backward {
+        Box::new((0..cells).rev())
+    } else {
+        Box::new(0..cells)
+    };
+    let mut acc = [P::ZERO; MAX_COMPONENTS];
+    let mut diag = [[P::ZERO; MAX_COMPONENTS]; MAX_COMPONENTS];
+    for cell in iter {
+        for c in 0..r {
+            acc[c] = b[cell * r + c];
+        }
+        for row in diag.iter_mut().take(r) {
+            row[..r].fill(P::ZERO);
+        }
+        for (t, m) in metas.iter().enumerate() {
+            let av = P::from_f64(a.get(cell, t).load_f64());
+            if m.center {
+                diag[m.cout][m.cin] = av;
+                continue;
+            }
+            let nb = cell as i64 + m.cell_stride;
+            if nb < 0 || nb >= cells as i64 {
+                continue;
+            }
+            acc[m.cout] = (-av).mul_add(x[nb as usize * r + m.cin], acc[m.cout]);
+        }
+        solve_block(&diag, &mut acc, r);
+        x[cell * r..cell * r + r].copy_from_slice(&acc[..r]);
+    }
+}
+
+/// Solves the cell's dense `r × r` diagonal block in place by Gaussian
+/// elimination without pivoting (diagonally dominant blocks in practice;
+/// scalar case is a single divide).
+///
+/// # Panics
+/// Panics on a zero pivot.
+fn solve_block<P: Scalar>(
+    diag: &[[P; MAX_COMPONENTS]; MAX_COMPONENTS],
+    rhs: &mut [P; MAX_COMPONENTS],
+    r: usize,
+) {
+    if r == 1 {
+        assert!(diag[0][0] != P::ZERO, "singular diagonal");
+        rhs[0] = rhs[0] / diag[0][0];
+        return;
+    }
+    let mut m = *diag;
+    for col in 0..r {
+        let p = m[col][col];
+        assert!(p != P::ZERO, "singular diagonal block");
+        for row in col + 1..r {
+            let f = m[row][col] / p;
+            if f == P::ZERO {
+                continue;
+            }
+            for j in col..r {
+                let v = m[col][j];
+                m[row][j] -= f * v;
+            }
+            let v = rhs[col];
+            rhs[row] -= f * v;
+        }
+    }
+    for col in (0..r).rev() {
+        let mut v = rhs[col];
+        for j in col + 1..r {
+            v -= m[col][j] * rhs[j];
+        }
+        rhs[col] = v / m[col][col];
+    }
+}
+
+/// Staged scalar SOA solve: per x-line bulk conversion, vectorized bulk
+/// accumulation of the off-line couplings (whose sources are fully
+/// solved lines), reciprocal staging of the diagonal, then a short scalar
+/// recurrence over the within-line tap — the dependency chain shrinks to
+/// one multiply-subtract plus one multiply per cell.
+fn solve_staged<S: Storage, P: Scalar>(
+    grid: &Grid3,
+    metas: &[TapMeta],
+    data: &[S],
+    b: &[P],
+    x: &mut [P],
+    backward: bool,
+) {
+    let cells = grid.cells();
+    let nx = grid.nx;
+    let nlines = cells / nx;
+    let taps = metas.len();
+    let mut scratch = vec![P::ZERO; taps * nx];
+    let mut acc = vec![P::ZERO; nx];
+    let mut rinv = vec![P::ZERO; nx];
+    let mut dtap = usize::MAX;
+    for (t, m) in metas.iter().enumerate() {
+        if m.diagonal {
+            dtap = t;
+        }
+    }
+    assert!(dtap != usize::MAX, "triangular pattern lacks a diagonal tap");
+    let mut bulk: Vec<(usize, i64)> = Vec::new();
+    let mut rec: Vec<(usize, i64)> = Vec::new();
+    for (t, m) in metas.iter().enumerate() {
+        if t == dtap {
+            continue;
+        }
+        if m.in_line {
+            rec.push((t, m.cell_stride));
+        } else {
+            bulk.push((t, m.cell_stride));
+        }
+    }
+
+    let lines: Box<dyn Iterator<Item = usize>> = if backward {
+        Box::new((0..nlines).rev())
+    } else {
+        Box::new(0..nlines)
+    };
+    for line in lines {
+        let lbase = line * nx;
+        for t in 0..taps {
+            widen_line(
+                &data[t * cells + lbase..t * cells + lbase + nx],
+                &mut scratch[t * nx..(t + 1) * nx],
+            );
+        }
+        acc.copy_from_slice(&b[lbase..lbase + nx]);
+        for &(t, stride) in &bulk {
+            super::line_bulk_sub(
+                &mut acc,
+                &scratch[t * nx..(t + 1) * nx],
+                x,
+                lbase as i64 + stride,
+                cells,
+            );
+        }
+        for (ri, &d) in rinv.iter_mut().zip(&scratch[dtap * nx..(dtap + 1) * nx]) {
+            debug_assert!(d != P::ZERO, "singular diagonal");
+            *ri = P::ONE / d;
+        }
+        // Single within-line tap (always true for radius-1 patterns):
+        // fuse into `x[i] = fma(d[i], x[i±1], c[i])` — one fma of latency
+        // per cell on the dependency chain.
+        if rec.len() == 1 {
+            let (t, cstride) = rec[0];
+            for i in 0..nx {
+                acc[i] *= rinv[i];
+                let idx = t * nx + i;
+                scratch[idx] = -(scratch[idx] * rinv[i]);
+            }
+            if backward {
+                for i in (0..nx).rev() {
+                    let cell = lbase + i;
+                    let nb = cell as i64 + cstride;
+                    let prev = if nb < cells as i64 && nb >= 0 { x[nb as usize] } else { P::ZERO };
+                    x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+                }
+            } else {
+                for i in 0..nx {
+                    let cell = lbase + i;
+                    let nb = cell as i64 + cstride;
+                    let prev = if nb >= 0 { x[nb as usize] } else { P::ZERO };
+                    x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+                }
+            }
+            continue;
+        }
+        if backward {
+            for i in (0..nx).rev() {
+                let cell = lbase + i;
+                let mut v = acc[i];
+                for &(t, stride) in &rec {
+                    let nb = cell as i64 + stride;
+                    if nb < cells as i64 && nb >= 0 {
+                        v = v - scratch[t * nx + i] * x[nb as usize];
+                    }
+                }
+                x[cell] = v * rinv[i];
+            }
+        } else {
+            for i in 0..nx {
+                let cell = lbase + i;
+                let mut v = acc[i];
+                for &(t, stride) in &rec {
+                    let nb = cell as i64 + stride;
+                    if nb >= 0 && nb < cells as i64 {
+                        v = v - scratch[t * nx + i] * x[nb as usize];
+                    }
+                }
+                x[cell] = v * rinv[i];
+            }
+        }
+    }
+}
+
+/// Naive AOS FP16 solve: one scalar `vcvtph2ps` per entry (Fig. 4 left).
+///
+/// # Safety
+/// Caller must guarantee F16C support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c,fma")]
+unsafe fn solve_naive_f16_aos(
+    cells: usize,
+    metas: &[TapMeta],
+    data: &[F16],
+    b: &[f32],
+    x: &mut [f32],
+    backward: bool,
+) {
+    use core::arch::x86_64::*;
+    #[inline(always)]
+    unsafe fn cvt1(h: u16) -> f32 {
+        _mm_cvtss_f32(_mm_cvtph_ps(_mm_cvtsi32_si128(h as i32)))
+    }
+    let ntaps = metas.len();
+    let iter: Box<dyn Iterator<Item = usize>> = if backward {
+        Box::new((0..cells).rev())
+    } else {
+        Box::new(0..cells)
+    };
+    for cell in iter {
+        let row = &data[cell * ntaps..(cell + 1) * ntaps];
+        let mut acc = b[cell];
+        let mut diag = 0.0f32;
+        for (t, m) in metas.iter().enumerate() {
+            let av = cvt1(row[t].to_bits());
+            if m.diagonal {
+                diag = av;
+                continue;
+            }
+            let nb = cell as i64 + m.cell_stride;
+            if nb < 0 || nb >= cells as i64 {
+                continue;
+            }
+            acc = (-av).mul_add(x[nb as usize], acc);
+        }
+        assert!(diag != 0.0, "singular diagonal at cell {cell}");
+        x[cell] = acc / diag;
+    }
+}
+
+/// Raw pointer wrapper so hyperplane-disjoint writes can cross the rayon
+/// closure boundary.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Returns the pointer; a method call forces the closure to capture
+    /// the whole wrapper (not the raw-pointer field), keeping Send/Sync.
+    fn ptr(self) -> *mut T {
+        self.0
+    }
+}
+// SAFETY: used only for writes to disjoint indices within one plane.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Wavefront-parallel forward solve for scalar problems: cells on an
+/// `i+j+k` hyperplane are independent and solved concurrently.
+///
+/// # Panics
+/// Panics on dimension mismatch, non-scalar grids, patterns wider than
+/// radius 1, or an upper tap.
+pub fn sptrsv_forward_wavefront<S: Storage, P: Scalar>(
+    l: &SgDia<S>,
+    waves: &Wavefronts,
+    b: &[P],
+    x: &mut [P],
+) {
+    let grid = l.grid();
+    let cells = grid.cells();
+    assert_eq!(grid.components, 1, "wavefront solve supports scalar problems");
+    assert!(l.pattern().radius() <= 1, "wavefront schedule assumes radius-1 taps");
+    assert!(
+        l.pattern().taps().iter().all(|t| t.spatial_sign() <= 0),
+        "sptrsv_forward_wavefront requires a lower-triangular pattern"
+    );
+    assert_eq!(b.len(), cells, "b length");
+    assert_eq!(x.len(), cells, "x length");
+    assert_eq!(waves.len(), cells, "wavefront schedule size");
+    let metas = tap_metas(grid, l.pattern());
+    let xp = SendPtr(x.as_mut_ptr());
+
+    for plane in waves.forward() {
+        plane.par_iter().for_each(|&cu| {
+            let cell = cu as usize;
+            let mut acc = b[cell];
+            let mut diag = P::ZERO;
+            for (t, m) in metas.iter().enumerate() {
+                let av = P::from_f64(l.get(cell, t).load_f64());
+                if m.diagonal {
+                    diag = av;
+                    continue;
+                }
+                let nb = cell as i64 + m.cell_stride;
+                if nb < 0 || nb >= cells as i64 {
+                    continue;
+                }
+                // SAFETY: nb lies on an earlier plane (dependency proven by
+                // the wavefront schedule), fully written before this plane
+                // started; concurrent reads are of completed values.
+                let xv = unsafe { *xp.ptr().add(nb as usize) };
+                acc = (-av).mul_add(xv, acc);
+            }
+            assert!(diag != P::ZERO, "singular diagonal at cell {cell}");
+            // SAFETY: each cell index appears exactly once per plane, so
+            // writes within a plane are disjoint.
+            unsafe { *xp.ptr().add(cell) = acc / diag };
+        });
+    }
+}

@@ -1,0 +1,49 @@
+//! SG-DIA structured sparse matrices and their mixed-precision kernels.
+//!
+//! The structured-grid-diagonal (SG-DIA) format (paper §3.2) stores one
+//! value per (grid cell, stencil tap) pair and **no integer index arrays**:
+//! the nonzero pattern is implied by the stencil. That is the property that
+//! makes FP16 compression pay off — compressing the floating-point data
+//! compresses the whole matrix, giving the 2×/4× memory-volume reductions
+//! of Table 2, whereas CSR's index arrays put a <1.3–2× ceiling on
+//! unstructured formats.
+//!
+//! Contents:
+//!
+//! * [`SgDia`] — the matrix container, generic over the storage scalar
+//!   ([`fp16mg_fp::Storage`]: `f64`, `f32`, `F16`, `Bf16`) and over the
+//!   in-memory [`Layout`] (AOS, one cell's taps contiguous, vs SOA, one
+//!   tap's cells contiguous — the §5.1 transformation).
+//! * [`kernels`] — SpMV, residual, and SpTRSV in three flavors per the
+//!   Fig. 7 ablation: generic scalar (the *naive* mixed-precision kernel),
+//!   SIMD SOA (the *optimized* kernel: F16C bulk conversion amortized over
+//!   8 entries), and the full-FP32 baseline (same code path, no
+//!   conversion).
+//! * [`csr`] — a CSR reference implementation used to validate the
+//!   structured kernels and to stand in for the "vendor library"
+//!   (ARMPL/MKL) comparison point.
+//! * [`model`] — the Table 2 bytes-per-nonzero model and speedup upper
+//!   bounds.
+//! * [`io`] — binary matrix/vector serialization (storage precision
+//!   preserved bit-for-bit) and Matrix Market interchange.
+//! * [`ilu`] — structured ILU(0) factorization, the paper's alternative
+//!   smoother whose L̃/Ũ factors are truncated to the storage precision
+//!   and applied with the mixed-precision triangular kernels.
+//! * [`scaling`] — the symmetric diagonal scaling of Theorem 4.1:
+//!   `G_max` computation, `Q^{-1/2} A Q^{-1/2}` application, and the
+//!   recover-and-rescale vector helpers.
+
+#![warn(missing_docs)]
+pub mod csr;
+pub mod ilu;
+pub mod io;
+pub mod kernels;
+pub mod matrix;
+pub mod model;
+pub mod scaling;
+
+pub use csr::Csr;
+pub use matrix::{Layout, SgDia};
+
+#[cfg(test)]
+mod tests;

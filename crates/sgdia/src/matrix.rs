@@ -1,0 +1,258 @@
+//! The SG-DIA matrix container.
+
+use fp16mg_fp::Storage;
+use fp16mg_grid::Grid3;
+use fp16mg_stencil::Pattern;
+
+/// In-memory layout of the SG-DIA value array (paper §5.1, Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Array-of-structures: the taps of one cell are contiguous
+    /// (`data[cell * taps + tap]`). Fine for full-FP32 kernels, but a
+    /// mixed-precision kernel pays one convert instruction per entry.
+    Aos,
+    /// Structure-of-arrays: the cells of one tap are contiguous
+    /// (`data[tap * cells + cell]`). SIMD-friendly: one F16C convert per 8
+    /// entries.
+    Soa,
+}
+
+/// A structured-grid-diagonal sparse matrix.
+///
+/// Semantically this is a square matrix over the unknowns of `grid`
+/// (`grid.unknowns()` rows). Row `(cell, cout)` has one potential nonzero
+/// per pattern tap with that `cout`; taps whose spatial offset leaves the
+/// grid store an explicit zero, so the value array always has exactly
+/// `cells × taps` entries and kernels never branch on the pattern.
+#[derive(Clone, Debug)]
+pub struct SgDia<S: Storage> {
+    grid: Grid3,
+    pattern: Pattern,
+    layout: Layout,
+    data: Vec<S>,
+}
+
+impl<S: Storage> SgDia<S> {
+    /// All-zero matrix.
+    ///
+    /// # Panics
+    /// Panics if the pattern's component count disagrees with the grid's.
+    pub fn zeros(grid: Grid3, pattern: Pattern, layout: Layout) -> Self {
+        assert_eq!(
+            grid.components,
+            pattern.components(),
+            "grid and pattern component counts disagree"
+        );
+        let data = vec![S::default(); grid.cells() * pattern.len()];
+        SgDia { grid, pattern, layout, data }
+    }
+
+    /// Builds a matrix by evaluating `f(cell, i, j, k, tap_index)` in `f64`
+    /// for every in-grid entry and truncating to the storage precision.
+    /// Out-of-grid taps remain zero regardless of `f`.
+    pub fn from_fn(
+        grid: Grid3,
+        pattern: Pattern,
+        layout: Layout,
+        mut f: impl FnMut(usize, usize, usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut m = Self::zeros(grid, pattern, layout);
+        let taps: Vec<_> = m.pattern.taps().to_vec();
+        for (cell, i, j, k) in grid.iter_cells() {
+            for (t, tap) in taps.iter().enumerate() {
+                if grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                    m.set(cell, t, S::store_f64(f(cell, i, j, k, t)));
+                }
+            }
+        }
+        m
+    }
+
+    /// The grid this matrix lives on.
+    #[inline]
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// The stencil pattern (one tap per stored diagonal).
+    #[inline]
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The in-memory layout.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Number of matrix rows (= unknowns).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.grid.unknowns()
+    }
+
+    /// Flat index of `(cell, tap)` under the current layout.
+    #[inline(always)]
+    pub fn entry_index(&self, cell: usize, tap: usize) -> usize {
+        match self.layout {
+            Layout::Aos => cell * self.pattern.len() + tap,
+            Layout::Soa => tap * self.grid.cells() + cell,
+        }
+    }
+
+    /// Reads one entry.
+    #[inline(always)]
+    pub fn get(&self, cell: usize, tap: usize) -> S {
+        self.data[self.entry_index(cell, tap)]
+    }
+
+    /// Writes one entry.
+    #[inline(always)]
+    pub fn set(&mut self, cell: usize, tap: usize, v: S) {
+        let idx = self.entry_index(cell, tap);
+        self.data[idx] = v;
+    }
+
+    /// The raw value array (layout-dependent order).
+    #[inline]
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable access to the raw value array.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// For SOA layout: the contiguous per-tap slice of values (one value
+    /// per cell).
+    ///
+    /// # Panics
+    /// Panics if the layout is AOS.
+    #[inline]
+    pub fn tap_slice(&self, tap: usize) -> &[S] {
+        assert_eq!(self.layout, Layout::Soa, "tap_slice requires SOA layout");
+        let n = self.grid.cells();
+        &self.data[tap * n..(tap + 1) * n]
+    }
+
+    /// Number of stored entries (`cells × taps`), the kernel memory
+    /// volume.
+    #[inline]
+    pub fn stored_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of logically present nonzero positions: stored entries whose
+    /// tap stays inside the grid (the paper's `#nnz`). Zero *values* inside
+    /// the grid still count, matching how structured codes report nnz.
+    pub fn nnz(&self) -> usize {
+        let mut count = 0usize;
+        for (_, i, j, k) in self.grid.iter_cells() {
+            for tap in self.pattern.taps() {
+                if self.grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Bytes of floating-point data the format stores.
+    #[inline]
+    pub fn value_bytes(&self) -> usize {
+        self.stored_entries() * S::BYTES
+    }
+
+    /// Converts the value array to another storage precision (`f64`
+    /// round-trip; RNE truncation, overflow → ±∞), keeping the layout.
+    /// This is the *direct truncation* of Algorithm 1 line 11.
+    pub fn convert<T: Storage>(&self) -> SgDia<T> {
+        SgDia {
+            grid: self.grid,
+            pattern: self.pattern.clone(),
+            layout: self.layout,
+            data: self.data.iter().map(|&v| T::store_f64(v.load_f64())).collect(),
+        }
+    }
+
+    /// Re-lays the value array out in the requested layout.
+    pub fn to_layout(&self, layout: Layout) -> SgDia<S> {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let cells = self.grid.cells();
+        let taps = self.pattern.len();
+        let mut data = vec![S::default(); self.data.len()];
+        for cell in 0..cells {
+            for t in 0..taps {
+                let dst = match layout {
+                    Layout::Aos => cell * taps + t,
+                    Layout::Soa => t * cells + cell,
+                };
+                data[dst] = self.get(cell, t);
+            }
+        }
+        SgDia { grid: self.grid, pattern: self.pattern.clone(), layout, data }
+    }
+
+    /// Largest absolute finite value stored, and whether any stored value
+    /// is non-finite. Used by the `need to scale` test of Algorithm 1.
+    pub fn abs_max(&self) -> (f64, bool) {
+        let mut max = 0.0f64;
+        let mut nonfinite = false;
+        for &v in &self.data {
+            let x = v.load_f64();
+            if x.is_finite() {
+                max = max.max(x.abs());
+            } else {
+                nonfinite = true;
+            }
+        }
+        (max, nonfinite)
+    }
+
+    /// True if every stored value is finite (no overflow happened during
+    /// truncation).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// The matrix diagonal (one value per unknown, `f64`), reading the
+    /// scalar diagonal taps.
+    pub fn extract_diagonal(&self) -> Vec<f64> {
+        let diag_taps = self.pattern.diagonal_indices();
+        let r = self.grid.components;
+        let mut out = vec![0.0f64; self.rows()];
+        for cell in 0..self.grid.cells() {
+            for (c, &t) in diag_taps.iter().enumerate() {
+                out[cell * r + c] = self.get(cell, t).load_f64();
+            }
+        }
+        out
+    }
+
+    /// Transposes the matrix. The result has the transposed pattern; entry
+    /// `Aᵀ(col_cell, tapᵀ) = A(row_cell, tap)`.
+    pub fn transpose(&self) -> SgDia<S> {
+        let tp = self.pattern.transpose();
+        let mut out = SgDia::zeros(self.grid, tp, self.layout);
+        let taps: Vec<_> = self.pattern.taps().to_vec();
+        for (cell, i, j, k) in self.grid.iter_cells() {
+            for (t, tap) in taps.iter().enumerate() {
+                if !self.grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                    continue;
+                }
+                let nb = (cell as i64 + self.grid.stride(tap.dx, tap.dy, tap.dz)) as usize;
+                let tt = out
+                    .pattern
+                    .tap_index(tap.transpose())
+                    .expect("transposed tap missing from transposed pattern");
+                out.set(nb, tt, self.get(cell, t));
+            }
+        }
+        out
+    }
+}

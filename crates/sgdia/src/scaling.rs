@@ -1,0 +1,158 @@
+//! Symmetric diagonal scaling (§4.1, Theorem 4.1).
+//!
+//! To truncate a matrix whose entries exceed `FP16_MAX = 65504` safely,
+//! the paper scales it as `Ã = Q^{-1/2} A Q^{-1/2}` with
+//! `Q = diag(A) / G`. The scaled entry is `G · a_ij / √(a_ii a_jj)`, so
+//! any `G < G_max = S · min_ij |√(a_ii a_jj) / a_ij|` guarantees every
+//! entry stays below `S = FP16_MAX` — Theorem 4.1. The scaled diagonal is
+//! the constant `G`.
+//!
+//! At solve time the true operator is recovered on the fly:
+//! `A x = S_q (Ã (S_q x))` with `S_q = diag(√q)`, which costs two
+//! pointwise vector multiplies per matrix application — the
+//! recover-and-rescale of §4.2. `Q` (equivalently `√q` and its
+//! reciprocal) is stored in the preconditioner computation precision,
+//! never FP16 (Algorithm 1 line 9).
+
+use fp16mg_fp::{Scalar, Storage};
+
+use crate::SgDia;
+
+/// The per-level scaling data produced by `setup-then-scale`.
+#[derive(Clone, Debug)]
+pub struct ScaleVectors<P: Scalar> {
+    /// The chosen scaling constant `G` (the scaled matrix's diagonal).
+    pub g: f64,
+    /// `√q` per unknown (`q_i = a_ii / G`), the `Q^{1/2}` rescale factors.
+    pub s: Vec<P>,
+    /// `1/√q` per unknown, the `Q^{-1/2}` factors.
+    pub s_inv: Vec<P>,
+}
+
+/// How `G` is picked.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GChoice {
+    /// `G = min(1, G_max/2)`: for diagonally dominant matrices the scaled
+    /// entries land in `[0, 1]`, the sweet spot of FP16 accuracy, while
+    /// staying provably below `FP16_MAX`.
+    Auto,
+    /// A fixed user value (clamped to `G_max/2` for safety).
+    Fixed(f64),
+}
+
+/// Computes `G_max` of Theorem 4.1 for a matrix with positive diagonal.
+///
+/// # Errors
+/// Returns the offending unknown index if a diagonal entry is
+/// non-positive or non-finite (the M-matrix prerequisite of the theorem).
+pub fn g_max<S: Storage>(a: &SgDia<S>, fp16_max: f64) -> Result<f64, usize> {
+    let grid = a.grid();
+    let r = grid.components;
+    let diag = a.extract_diagonal();
+    for (u, &d) in diag.iter().enumerate() {
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(u);
+        }
+    }
+    let taps: Vec<_> = a.pattern().taps().to_vec();
+    let mut min_ratio = f64::INFINITY;
+    for (cell, i, j, k) in grid.iter_cells() {
+        for (t, tap) in taps.iter().enumerate() {
+            if !grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                continue;
+            }
+            let v = a.get(cell, t).load_f64();
+            if v == 0.0 {
+                continue;
+            }
+            let nb = (cell as i64 + grid.stride(tap.dx, tap.dy, tap.dz)) as usize;
+            let dii = diag[cell * r + tap.cout as usize];
+            let djj = diag[nb * r + tap.cin as usize];
+            let ratio = (dii.sqrt() * djj.sqrt()) / v.abs();
+            min_ratio = min_ratio.min(ratio);
+        }
+    }
+    Ok(fp16_max * min_ratio)
+}
+
+/// Applies `Ã = Q^{-1/2} A Q^{-1/2}` in place (in `f64`: scaling happens
+/// after the high-precision setup and before truncation), returning the
+/// rescale vectors in the computation precision `P`.
+///
+/// # Errors
+/// As [`g_max`]: non-positive diagonals.
+///
+/// ```
+/// use fp16mg_grid::Grid3;
+/// use fp16mg_sgdia::{scaling, Layout, SgDia};
+/// use fp16mg_sgdia::scaling::GChoice;
+/// use fp16mg_stencil::Pattern;
+/// use fp16mg_fp::F16;
+///
+/// // Coefficients ~1e8: direct FP16 truncation would overflow.
+/// let pattern = Pattern::p7();
+/// let taps: Vec<_> = pattern.taps().to_vec();
+/// let mut a = SgDia::<f64>::from_fn(Grid3::cube(4), pattern, Layout::Soa,
+///     |_, _, _, _, t| if taps[t].is_diagonal() { 6.0e8 } else { -1.0e8 });
+/// assert!(!a.convert::<F16>().all_finite());
+/// let sv = scaling::scale_symmetric::<f32>(&mut a, GChoice::Auto, F16::MAX_F64).unwrap();
+/// assert!(a.convert::<F16>().all_finite()); // Theorem 4.1
+/// assert!(sv.g > 0.0);
+/// ```
+///
+/// # Panics
+/// Panics if the resolved `G` is non-positive.
+pub fn scale_symmetric<P: Scalar>(
+    a: &mut SgDia<f64>,
+    choice: GChoice,
+    fp16_max: f64,
+) -> Result<ScaleVectors<P>, usize> {
+    let gmax = g_max(a, fp16_max)?;
+    let g = match choice {
+        GChoice::Auto => (gmax / 2.0).min(1.0),
+        GChoice::Fixed(v) => v.min(gmax / 2.0),
+    };
+    assert!(g > 0.0, "non-positive scaling constant G = {g}");
+    let diag = a.extract_diagonal();
+    let grid = *a.grid();
+    let r = grid.components;
+    // sinv_f64[u] = 1/√(q_u) = √(G / a_uu)
+    let sinv: Vec<f64> = diag.iter().map(|&d| (g / d).sqrt()).collect();
+    let taps: Vec<_> = a.pattern().taps().to_vec();
+    for (cell, i, j, k) in grid.iter_cells() {
+        for (t, tap) in taps.iter().enumerate() {
+            if !grid.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                continue;
+            }
+            let nb = (cell as i64 + grid.stride(tap.dx, tap.dy, tap.dz)) as usize;
+            let row = cell * r + tap.cout as usize;
+            let col = nb * r + tap.cin as usize;
+            let v = a.get(cell, t) * sinv[row] * sinv[col];
+            a.set(cell, t, v);
+        }
+    }
+    Ok(ScaleVectors {
+        g,
+        s: sinv.iter().map(|&si| P::from_f64(1.0 / si)).collect(),
+        s_inv: sinv.iter().map(|&si| P::from_f64(si)).collect(),
+    })
+}
+
+/// `dst[u] *= s[u]` — the pointwise rescale pass of recover-and-rescale.
+#[inline]
+pub fn rescale_in_place<P: Scalar>(dst: &mut [P], s: &[P]) {
+    assert_eq!(dst.len(), s.len(), "rescale length mismatch");
+    for (d, &f) in dst.iter_mut().zip(s) {
+        *d *= f;
+    }
+}
+
+/// `dst[u] = src[u] * s[u]`.
+#[inline]
+pub fn rescale_into<P: Scalar>(src: &[P], s: &[P], dst: &mut [P]) {
+    assert_eq!(src.len(), s.len(), "rescale length mismatch");
+    assert_eq!(dst.len(), s.len(), "rescale length mismatch");
+    for ((d, &x), &f) in dst.iter_mut().zip(src).zip(s) {
+        *d = x * f;
+    }
+}

@@ -1,0 +1,960 @@
+//! Unit and property tests: every structured kernel is validated against
+//! the CSR reference on the same operator, across layouts and storage
+//! precisions.
+
+use fp16mg_fp::{Bf16, F16, Precision};
+use fp16mg_grid::{Grid3, Wavefronts};
+use fp16mg_stencil::Pattern;
+use proptest::prelude::*;
+
+use crate::kernels::{self, BlockDiagInv, Par};
+use crate::model::{self, Format};
+use crate::scaling::{self, GChoice};
+use crate::{Csr, Layout, SgDia};
+
+/// Deterministic pseudo-random stream in [lo, hi).
+fn rng_stream(seed: u64, lo: f64, hi: f64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        lo + (hi - lo) * ((state >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+/// Random diagonally-dominant matrix: off-diagonal entries in [-1, 0),
+/// diagonal = Σ|off-diag| + margin. An M-matrix, so scaling applies.
+fn random_matrix(grid: Grid3, pattern: Pattern, layout: Layout, seed: u64) -> SgDia<f64> {
+    let mut rng = rng_stream(seed, 0.1, 1.0);
+    let taps: Vec<_> = pattern.taps().to_vec();
+    // First pass: off-diagonals.
+    let mut m = SgDia::<f64>::from_fn(grid, pattern, layout, |_, _, _, _, t| {
+        if taps[t].is_diagonal() {
+            0.0
+        } else {
+            -rng()
+        }
+    });
+    // Second pass: diagonals dominate their row.
+    let diag_idx: Vec<usize> = m.pattern().diagonal_indices();
+    let r = grid.components;
+    let mut rowsum = vec![0.0f64; grid.unknowns()];
+    for cell in 0..grid.cells() {
+        for (t, tap) in taps.iter().enumerate() {
+            rowsum[cell * r + tap.cout as usize] += m.get(cell, t).abs();
+        }
+    }
+    for cell in 0..grid.cells() {
+        for (c, &t) in diag_idx.iter().enumerate() {
+            m.set(cell, t, rowsum[cell * r + c] + 0.5);
+        }
+    }
+    m
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rng_stream(seed, -1.0, 1.0);
+    (0..n).map(|_| rng()).collect()
+}
+
+fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs() / (1.0 + x.abs().max(y.abs())))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn nnz_counts_interior_and_boundary() {
+    let a = SgDia::<f64>::zeros(Grid3::cube(4), Pattern::p7(), Layout::Aos);
+    // 7-point on 4^3: 64*7 - 6 faces * 16 cells missing one tap each.
+    assert_eq!(a.nnz(), 64 * 7 - 6 * 16);
+    assert_eq!(a.stored_entries(), 64 * 7);
+    // Vector problem multiplies by r^2.
+    let av = SgDia::<f64>::zeros(
+        Grid3::with_components(4, 4, 4, 2),
+        Pattern::p7().with_components(2),
+        Layout::Aos,
+    );
+    assert_eq!(av.nnz(), (64 * 7 - 6 * 16) * 4);
+}
+
+#[test]
+fn layout_round_trip() {
+    let g = Grid3::new(5, 4, 3);
+    let a = random_matrix(g, Pattern::p19(), Layout::Aos, 7);
+    let soa = a.to_layout(Layout::Soa);
+    assert_eq!(soa.layout(), Layout::Soa);
+    for cell in 0..g.cells() {
+        for t in 0..a.pattern().len() {
+            assert_eq!(a.get(cell, t), soa.get(cell, t));
+        }
+    }
+    let back = soa.to_layout(Layout::Aos);
+    assert_eq!(back.data(), a.data());
+}
+
+#[test]
+fn spmv_matches_csr_f64() {
+    for pat in [Pattern::p7(), Pattern::p15(), Pattern::p19(), Pattern::p27()] {
+        let g = Grid3::new(6, 5, 4);
+        let a = random_matrix(g, pat, Layout::Aos, 42);
+        let csr = Csr::from_sgdia(&a);
+        let x = random_vec(g.unknowns(), 1);
+        let mut y1 = vec![0.0f64; g.unknowns()];
+        let mut y2 = vec![0.0f64; g.unknowns()];
+        kernels::spmv(&a, &x, &mut y1, Par::Seq);
+        csr.spmv(&x, &mut y2);
+        assert!(max_rel_err(&y1, &y2) < 1e-12, "pattern {}", a.pattern().name());
+    }
+}
+
+#[test]
+fn spmv_block_matches_csr() {
+    let g = Grid3::with_components(4, 4, 3, 3);
+    let a = random_matrix(g, Pattern::p7().with_components(3), Layout::Aos, 9);
+    let csr = Csr::from_sgdia(&a);
+    let x = random_vec(g.unknowns(), 2);
+    let mut y1 = vec![0.0f64; g.unknowns()];
+    let mut y2 = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&a, &x, &mut y1, Par::Seq);
+    csr.spmv(&x, &mut y2);
+    assert!(max_rel_err(&y1, &y2) < 1e-12);
+}
+
+#[test]
+fn simd_spmv_matches_generic_f16() {
+    // The SOA/f32 SIMD path and the AOS generic path must agree exactly on
+    // the same F16 data (fma vs mul_add are both single-rounded).
+    let g = Grid3::new(17, 9, 5); // odd sizes exercise edge handling
+    let a64 = random_matrix(g, Pattern::p27(), Layout::Aos, 3);
+    let a16_aos = a64.convert::<F16>();
+    let a16_soa = a16_aos.to_layout(Layout::Soa);
+    let x: Vec<f32> = random_vec(g.unknowns(), 4).iter().map(|&v| v as f32).collect();
+    let mut y1 = vec![0.0f32; g.unknowns()];
+    let mut y2 = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&a16_aos, &x, &mut y1, Par::Seq);
+    kernels::spmv(&a16_soa, &x, &mut y2, Par::Seq);
+    for (i, (&u, &v)) in y1.iter().zip(&y2).enumerate() {
+        assert!((u - v).abs() <= 1e-6 * (1.0 + u.abs()), "cell {i}: {u} vs {v}");
+    }
+}
+
+#[test]
+fn simd_residual_matches_generic() {
+    let g = Grid3::new(13, 7, 6);
+    let a64 = random_matrix(g, Pattern::p19(), Layout::Aos, 8);
+    let a16_aos = a64.convert::<F16>();
+    let a16_soa = a16_aos.to_layout(Layout::Soa);
+    let x: Vec<f32> = random_vec(g.unknowns(), 5).iter().map(|&v| v as f32).collect();
+    let b: Vec<f32> = random_vec(g.unknowns(), 6).iter().map(|&v| v as f32).collect();
+    let mut r1 = vec![0.0f32; g.unknowns()];
+    let mut r2 = vec![0.0f32; g.unknowns()];
+    kernels::residual(&a16_aos, &b, &x, &mut r1, Par::Seq);
+    kernels::residual(&a16_soa, &b, &x, &mut r2, Par::Seq);
+    for (&u, &v) in r1.iter().zip(&r2) {
+        assert!((u - v).abs() <= 1e-5 * (1.0 + u.abs()));
+    }
+}
+
+#[test]
+fn spmv_f32_soa_simd_matches_aos() {
+    let g = Grid3::new(11, 8, 3);
+    let a64 = random_matrix(g, Pattern::p27(), Layout::Aos, 12);
+    let a32_aos = a64.convert::<f32>();
+    let a32_soa = a32_aos.to_layout(Layout::Soa);
+    let x: Vec<f32> = random_vec(g.unknowns(), 7).iter().map(|&v| v as f32).collect();
+    let mut y1 = vec![0.0f32; g.unknowns()];
+    let mut y2 = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&a32_aos, &x, &mut y1, Par::Seq);
+    kernels::spmv(&a32_soa, &x, &mut y2, Par::Seq);
+    for (&u, &v) in y1.iter().zip(&y2) {
+        assert!((u - v).abs() <= 1e-6 * (1.0 + u.abs()));
+    }
+}
+
+#[test]
+fn spmv_parallel_matches_seq() {
+    let g = Grid3::cube(24);
+    let a = random_matrix(g, Pattern::p7(), Layout::Soa, 21).convert::<F16>();
+    let x: Vec<f32> = random_vec(g.unknowns(), 3).iter().map(|&v| v as f32).collect();
+    let mut y1 = vec![0.0f32; g.unknowns()];
+    let mut y2 = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&a, &x, &mut y1, Par::Seq);
+    kernels::spmv(&a, &x, &mut y2, Par::Rayon);
+    assert_eq!(y1, y2);
+}
+
+#[test]
+fn spmv_axpy_accumulates() {
+    let g = Grid3::cube(5);
+    let a = random_matrix(g, Pattern::p7(), Layout::Aos, 30);
+    let x = random_vec(g.unknowns(), 31);
+    let mut y = random_vec(g.unknowns(), 32);
+    let y0 = y.clone();
+    let mut ax = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&a, &x, &mut ax, Par::Seq);
+    kernels::spmv_axpy(&a, &x, &mut y, Par::Seq);
+    for i in 0..y.len() {
+        assert!((y[i] - (y0[i] + ax[i])).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sptrsv_forward_solves_lower_system() {
+    for pat in [Pattern::p7(), Pattern::p19(), Pattern::p27()] {
+        let g = Grid3::new(7, 6, 5);
+        let full = random_matrix(g, pat, Layout::Aos, 50);
+        // Build L explicitly with the lower pattern.
+        let lp = full.pattern().lower_with_diag();
+        let mut l = SgDia::<f64>::zeros(g, lp.clone(), Layout::Aos);
+        for cell in 0..g.cells() {
+            for (t, tap) in lp.taps().iter().enumerate() {
+                let ft = full.pattern().tap_index(*tap).unwrap();
+                l.set(cell, t, full.get(cell, ft));
+            }
+        }
+        let b = random_vec(g.unknowns(), 51);
+        let mut x = vec![0.0f64; g.unknowns()];
+        kernels::sptrsv_forward(&l, &b, &mut x);
+        // Check L x = b by CSR lower solve comparison.
+        let csr = Csr::from_sgdia(&l);
+        let mut xref = vec![0.0f64; g.unknowns()];
+        csr.solve_lower(&b, &mut xref);
+        assert!(max_rel_err(&x, &xref) < 1e-12, "{}", lp.name());
+        // And by multiplying back.
+        let mut bx = vec![0.0f64; g.unknowns()];
+        kernels::spmv(&l, &x, &mut bx, Par::Seq);
+        assert!(max_rel_err(&bx, &b) < 1e-10);
+    }
+}
+
+#[test]
+fn sptrsv_backward_solves_upper_system() {
+    let g = Grid3::new(6, 5, 4);
+    let full = random_matrix(g, Pattern::p27(), Layout::Aos, 60);
+    let up = full.pattern().lower_with_diag().transpose();
+    let mut u = SgDia::<f64>::zeros(g, up.clone(), Layout::Aos);
+    for cell in 0..g.cells() {
+        for (t, tap) in up.taps().iter().enumerate() {
+            let ft = full.pattern().tap_index(*tap).unwrap();
+            u.set(cell, t, full.get(cell, ft));
+        }
+    }
+    let b = random_vec(g.unknowns(), 61);
+    let mut x = vec![0.0f64; g.unknowns()];
+    kernels::sptrsv_backward(&u, &b, &mut x);
+    let csr = Csr::from_sgdia(&u);
+    let mut xref = vec![0.0f64; g.unknowns()];
+    csr.solve_upper(&b, &mut xref);
+    assert!(max_rel_err(&x, &xref) < 1e-12);
+}
+
+#[test]
+fn sptrsv_staged_f16_matches_generic() {
+    let g = Grid3::new(19, 6, 4);
+    let full = random_matrix(g, Pattern::p27(), Layout::Aos, 70);
+    let lp = full.pattern().lower_with_diag();
+    let mut l = SgDia::<f64>::zeros(g, lp.clone(), Layout::Aos);
+    for cell in 0..g.cells() {
+        for (t, tap) in lp.taps().iter().enumerate() {
+            let ft = full.pattern().tap_index(*tap).unwrap();
+            l.set(cell, t, full.get(cell, ft));
+        }
+    }
+    let l16_aos = l.convert::<F16>();
+    let l16_soa = l16_aos.to_layout(Layout::Soa);
+    let b: Vec<f32> = random_vec(g.unknowns(), 71).iter().map(|&v| v as f32).collect();
+    let mut x1 = vec![0.0f32; g.unknowns()];
+    let mut x2 = vec![0.0f32; g.unknowns()];
+    kernels::sptrsv_forward(&l16_aos, &b, &mut x1); // generic path
+    kernels::sptrsv_forward(&l16_soa, &b, &mut x2); // staged path
+    for (&u, &v) in x1.iter().zip(&x2) {
+        assert!((u - v).abs() <= 1e-5 * (1.0 + u.abs()), "{u} vs {v}");
+    }
+}
+
+#[test]
+fn sptrsv_wavefront_matches_sequential() {
+    let g = Grid3::new(9, 7, 5);
+    let full = random_matrix(g, Pattern::p7(), Layout::Aos, 80);
+    let lp = full.pattern().lower_with_diag();
+    let mut l = SgDia::<f64>::zeros(g, lp.clone(), Layout::Aos);
+    for cell in 0..g.cells() {
+        for (t, tap) in lp.taps().iter().enumerate() {
+            let ft = full.pattern().tap_index(*tap).unwrap();
+            l.set(cell, t, full.get(cell, ft));
+        }
+    }
+    let waves = Wavefronts::build(&g);
+    let b = random_vec(g.unknowns(), 81);
+    let mut x1 = vec![0.0f64; g.unknowns()];
+    let mut x2 = vec![0.0f64; g.unknowns()];
+    kernels::sptrsv_forward(&l, &b, &mut x1);
+    kernels::sptrsv_forward_wavefront(&l, &waves, &b, &mut x2);
+    assert!(max_rel_err(&x1, &x2) < 1e-13);
+}
+
+#[test]
+fn block_diag_inv_inverts() {
+    let g = Grid3::with_components(3, 3, 3, 3);
+    let a = random_matrix(g, Pattern::p7().with_components(3), Layout::Aos, 90);
+    let dinv = BlockDiagInv::<f64>::from_matrix(&a).unwrap();
+    // D * D^-1 rhs == rhs for every cell.
+    let rhs = [0.3f64, -0.7, 1.1];
+    for cell in 0..g.cells() {
+        let mut out = [0.0f64; 3];
+        dinv.solve(cell, &rhs, &mut out);
+        // Multiply by the diagonal block again.
+        let mut back = [0.0f64; 3];
+        for tap in a.pattern().taps() {
+            if tap.is_center() {
+                let t = a.pattern().tap_index(*tap).unwrap();
+                back[tap.cout as usize] += a.get(cell, t) * out[tap.cin as usize];
+            }
+        }
+        for c in 0..3 {
+            assert!((back[c] - rhs[c]).abs() < 1e-10, "cell {cell} comp {c}");
+        }
+    }
+}
+
+#[test]
+fn gs_sweeps_reduce_spd_error() {
+    let g = Grid3::cube(8);
+    let a = random_matrix(g, Pattern::p7(), Layout::Aos, 100);
+    let dinv = BlockDiagInv::<f64>::from_matrix(&a).unwrap();
+    let xtrue = random_vec(g.unknowns(), 101);
+    let mut b = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&a, &xtrue, &mut b, Par::Seq);
+    let mut x = vec![0.0f64; g.unknowns()];
+    let mut prev = f64::INFINITY;
+    for _ in 0..60 {
+        kernels::gs_forward(&a, &dinv, &b, &mut x);
+        kernels::gs_backward(&a, &dinv, &b, &mut x);
+        let err: f64 = x.iter().zip(&xtrue).map(|(&u, &v)| (u - v) * (u - v)).sum();
+        assert!(err < prev || err < 1e-20, "SymGS must be monotone on this SPD system");
+        prev = err;
+    }
+    assert!(prev < 1e-6);
+}
+
+#[test]
+fn gs_staged_f16_matches_generic() {
+    let g = Grid3::new(15, 6, 4);
+    let a64 = random_matrix(g, Pattern::p19(), Layout::Aos, 110);
+    let a16_aos = a64.convert::<F16>();
+    let a16_soa = a16_aos.to_layout(Layout::Soa);
+    let dinv_aos = BlockDiagInv::<f32>::from_matrix(&a16_aos).unwrap();
+    let dinv_soa = BlockDiagInv::<f32>::from_matrix(&a16_soa).unwrap();
+    let b: Vec<f32> = random_vec(g.unknowns(), 111).iter().map(|&v| v as f32).collect();
+    let mut x1 = vec![0.0f32; g.unknowns()];
+    let mut x2 = vec![0.0f32; g.unknowns()];
+    kernels::gs_forward(&a16_aos, &dinv_aos, &b, &mut x1);
+    kernels::gs_forward(&a16_soa, &dinv_soa, &b, &mut x2);
+    for (&u, &v) in x1.iter().zip(&x2) {
+        assert!((u - v).abs() <= 1e-4 * (1.0 + u.abs()), "{u} vs {v}");
+    }
+    kernels::gs_backward(&a16_aos, &dinv_aos, &b, &mut x1);
+    kernels::gs_backward(&a16_soa, &dinv_soa, &b, &mut x2);
+    for (&u, &v) in x1.iter().zip(&x2) {
+        assert!((u - v).abs() <= 1e-4 * (1.0 + u.abs()), "{u} vs {v}");
+    }
+}
+
+#[test]
+fn gs_block_solves_exactly_on_block_diagonal_matrix() {
+    // With only center taps, one GS sweep is a direct solve.
+    let g = Grid3::with_components(3, 3, 2, 2);
+    let center = Pattern::new(
+        (0..2u8)
+            .flat_map(|o| (0..2u8).map(move |i| fp16mg_stencil::Tap::at_comp(0, 0, 0, o, i)))
+            .collect(),
+    );
+    let a = random_matrix(g, center, Layout::Aos, 120);
+    let dinv = BlockDiagInv::<f64>::from_matrix(&a).unwrap();
+    let xtrue = random_vec(g.unknowns(), 121);
+    let mut b = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&a, &xtrue, &mut b, Par::Seq);
+    let mut x = vec![0.0f64; g.unknowns()];
+    kernels::gs_forward(&a, &dinv, &b, &mut x);
+    assert!(max_rel_err(&x, &xtrue) < 1e-12);
+}
+
+#[test]
+fn transpose_matches_csr_transpose() {
+    let g = Grid3::new(4, 5, 3);
+    let a = random_matrix(g, Pattern::p19(), Layout::Aos, 130);
+    let at = a.transpose();
+    let x = random_vec(g.unknowns(), 131);
+    // y1 = Aᵀ x via structured transpose.
+    let mut y1 = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&at, &x, &mut y1, Par::Seq);
+    // y2 = Aᵀ x via xᵀA on the CSR (column accumulation).
+    let csr = Csr::from_sgdia(&a);
+    let mut y2 = vec![0.0f64; g.unknowns()];
+    for row in 0..csr.rows() {
+        let lo = csr.row_ptr()[row] as usize;
+        let hi = csr.row_ptr()[row + 1] as usize;
+        for e in lo..hi {
+            y2[csr.col_idx()[e] as usize] += csr.values()[e] * x[row];
+        }
+    }
+    assert!(max_rel_err(&y1, &y2) < 1e-12);
+}
+
+#[test]
+fn convert_truncates_and_detects_overflow() {
+    let g = Grid3::cube(3);
+    let mut a = SgDia::<f64>::zeros(g, Pattern::p7(), Layout::Aos);
+    let dt = a.pattern().diagonal_indices()[0];
+    for cell in 0..g.cells() {
+        a.set(cell, dt, 1.0e8);
+    }
+    let a16 = a.convert::<F16>();
+    assert!(!a16.all_finite(), "1e8 must overflow FP16");
+    let ab16 = a.convert::<Bf16>();
+    assert!(ab16.all_finite(), "1e8 fits in BF16");
+    let (mx, nonfinite) = a16.abs_max();
+    assert!(nonfinite);
+    assert_eq!(mx, 0.0);
+}
+
+#[test]
+fn g_max_prevents_overflow() {
+    // Matrix with huge entries: diagonal 1e8, off-diagonal -1e7.
+    let g = Grid3::cube(4);
+    let p = Pattern::p7();
+    let taps: Vec<_> = p.taps().to_vec();
+    let mut a = SgDia::<f64>::from_fn(g, p, Layout::Aos, |_, _, _, _, t| {
+        if taps[t].is_diagonal() {
+            1.0e8
+        } else {
+            -1.0e7
+        }
+    });
+    assert!(!a.convert::<F16>().all_finite(), "unscaled must overflow");
+    let gmax = scaling::g_max(&a, F16::MAX_F64).unwrap();
+    // The minimum ratio over all entries includes the diagonal itself
+    // (a_ii / a_ii = 1), so G_max = FP16_MAX exactly; off-diagonals scale
+    // to G/10 and stay far from overflow.
+    assert!((gmax - F16::MAX_F64).abs() / gmax < 1e-12);
+    let sv = scaling::scale_symmetric::<f32>(&mut a, GChoice::Auto, F16::MAX_F64).unwrap();
+    let a16 = a.convert::<F16>();
+    assert!(a16.all_finite(), "Theorem 4.1: scaled truncation is overflow-free");
+    // Scaled diagonal equals G.
+    let dt = a16.pattern().diagonal_indices()[0];
+    for cell in 0..g.cells() {
+        assert!((a16.get(cell, dt).to_f64() - sv.g).abs() / sv.g < 1e-3);
+    }
+}
+
+#[test]
+fn scaling_recovers_original_operator() {
+    let g = Grid3::cube(5);
+    let a = random_matrix(g, Pattern::p27(), Layout::Aos, 140);
+    let mut scaled = a.clone();
+    let sv = scaling::scale_symmetric::<f64>(&mut scaled, GChoice::Auto, F16::MAX_F64).unwrap();
+    // A x == S (Ã (S x)) with S = diag(s).
+    let x = random_vec(g.unknowns(), 141);
+    let mut sx = vec![0.0f64; g.unknowns()];
+    scaling::rescale_into(&x, &sv.s, &mut sx);
+    let mut y = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&scaled, &sx, &mut y, Par::Seq);
+    scaling::rescale_in_place(&mut y, &sv.s);
+    let mut yref = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&a, &x, &mut yref, Par::Seq);
+    assert!(max_rel_err(&y, &yref) < 1e-10);
+    // s and s_inv are reciprocal.
+    for (&si, &ii) in sv.s.iter().zip(&sv.s_inv) {
+        assert!((si * ii - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn g_max_rejects_nonpositive_diagonal() {
+    let g = Grid3::cube(2);
+    let a = SgDia::<f64>::zeros(g, Pattern::p7(), Layout::Aos);
+    assert!(scaling::g_max(&a, F16::MAX_F64).is_err());
+}
+
+#[test]
+fn table2_matches_paper() {
+    let rows = model::table2(model::SUITESPARSE_DELTA);
+    // SG-DIA: 8/4/2 bytes, bounds 2/2/4.
+    assert_eq!(rows[0].bytes, [8.0, 4.0, 2.0]);
+    assert_eq!(rows[0].bounds, [2.0, 2.0, 4.0]);
+    // CSR int32: bounds < 1.5 / < 1.3 / < 2.
+    assert!(rows[1].bounds[0] < 1.5 && rows[1].bounds[0] > 1.3);
+    assert!(rows[1].bounds[1] < 1.31); // (8+4δ)/(6+4δ) = 1.303 at δ=0.15
+    assert!(rows[1].bounds[2] < 2.0 && rows[1].bounds[2] > 1.7);
+    // CSR int64: bounds < 1.3 / < 1.2 / < 1.6.
+    assert!(rows[2].bounds[0] < 1.31); // (16+8δ)/(12+8δ) = 1.303 at δ=0.15
+    assert!(rows[2].bounds[1] < 1.2);
+    assert!(rows[2].bounds[2] < 1.6);
+}
+
+#[test]
+fn matrix_percent_eq2() {
+    // 3d27 stencil on a large grid: percent ≈ 27/(27+2) ≈ 0.93; the paper
+    // quotes 0.90 for 3d27, 0.88 for 3d19, 0.78 for 3d7 counting boundary
+    // effects at specific sizes — check the asymptotic ordering.
+    let p27 = model::matrix_percent(27, 1);
+    let p19 = model::matrix_percent(19, 1);
+    let p7 = model::matrix_percent(7, 1);
+    assert!(p27 > p19 && p19 > p7);
+    assert!(p7 > 0.7 && p27 > 0.9);
+}
+
+#[test]
+fn spmv_max_speedup_bounds() {
+    // Large 3d27 matrix: matrix dominates, ratio approaches 2.
+    let s = model::spmv_max_speedup(27_000_000, 1_000_000, Precision::F32, Precision::F16, Precision::F32);
+    assert!(s > 1.8 && s < 2.0, "got {s}");
+    // 3d7: more vector-bound, lower ceiling.
+    let s7 = model::spmv_max_speedup(7_000_000, 1_000_000, Precision::F32, Precision::F16, Precision::F32);
+    assert!(s7 < s && s7 > 1.4, "got {s7}");
+}
+
+#[test]
+fn format_bytes_per_nnz() {
+    assert_eq!(Format::SgDia.bytes_per_nnz(Precision::F16, 0.15), 2.0);
+    assert_eq!(Format::CsrInt32.bytes_per_nnz(Precision::F64, 0.0), 12.0);
+    assert_eq!(Format::CsrInt64.bytes_per_nnz(Precision::F16, 0.0), 10.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_spmv_matches_csr(seed in 0u64..1000, nx in 2usize..7, ny in 2usize..6, nz in 2usize..5) {
+        let g = Grid3::new(nx, ny, nz);
+        let a = random_matrix(g, Pattern::p19(), Layout::Aos, seed);
+        let csr = Csr::from_sgdia(&a);
+        let x = random_vec(g.unknowns(), seed ^ 0xabc);
+        let mut y1 = vec![0.0f64; g.unknowns()];
+        let mut y2 = vec![0.0f64; g.unknowns()];
+        kernels::spmv(&a, &x, &mut y1, Par::Seq);
+        csr.spmv(&x, &mut y2);
+        prop_assert!(max_rel_err(&y1, &y2) < 1e-12);
+    }
+
+    #[test]
+    fn prop_scaling_theorem(seed in 0u64..1000, scale_pow in 0i32..12) {
+        // Any diagonally dominant M-matrix scaled per Theorem 4.1 truncates
+        // to finite FP16, regardless of the original magnitude.
+        let g = Grid3::cube(4);
+        let factor = 10f64.powi(scale_pow);
+        let mut a = random_matrix(g, Pattern::p7(), Layout::Aos, seed);
+        for v in a.data_mut() {
+            *v *= factor;
+        }
+        let mut scaled = a.clone();
+        let _ = scaling::scale_symmetric::<f32>(&mut scaled, GChoice::Auto, F16::MAX_F64).unwrap();
+        prop_assert!(scaled.convert::<F16>().all_finite());
+    }
+
+    #[test]
+    fn prop_sptrsv_residual_small(seed in 0u64..1000) {
+        let g = Grid3::new(5, 4, 3);
+        let full = random_matrix(g, Pattern::p7(), Layout::Aos, seed);
+        let lp = full.pattern().lower_with_diag();
+        let mut l = SgDia::<f64>::zeros(g, lp.clone(), Layout::Aos);
+        for cell in 0..g.cells() {
+            for (t, tap) in lp.taps().iter().enumerate() {
+                let ft = full.pattern().tap_index(*tap).unwrap();
+                l.set(cell, t, full.get(cell, ft));
+            }
+        }
+        let b = random_vec(g.unknowns(), seed ^ 0x123);
+        let mut x = vec![0.0f64; g.unknowns()];
+        kernels::sptrsv_forward(&l, &b, &mut x);
+        let mut r = vec![0.0f64; g.unknowns()];
+        kernels::residual(&l, &b, &x, &mut r, Par::Seq);
+        prop_assert!(r.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn prop_layout_conversion_identity(seed in 0u64..1000) {
+        let g = Grid3::new(4, 3, 5);
+        let a = random_matrix(g, Pattern::p15(), Layout::Aos, seed);
+        let b = a.to_layout(Layout::Soa).to_layout(Layout::Aos);
+        prop_assert_eq!(a.data(), b.data());
+    }
+}
+
+#[test]
+fn staged_soa_spmv_matches_csr_for_all_storage() {
+    // The staged SOA fallback (used for BF16, mixed-precision pairs, and
+    // vector PDEs) must agree with the CSR reference.
+    let g = Grid3::new(9, 5, 4);
+    let a64 = random_matrix(g, Pattern::p19(), Layout::Soa, 200);
+    let x = random_vec(g.unknowns(), 201);
+    let csr = Csr::from_sgdia(&a64);
+    let mut yref = vec![0.0f64; g.unknowns()];
+    csr.spmv(&x, &mut yref);
+
+    // f64 storage, f32 compute (exercises staged, not the f64 SIMD path).
+    let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let mut y32 = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&a64, &x32, &mut y32, Par::Seq);
+    for (&u, &v) in y32.iter().zip(&yref) {
+        assert!((u as f64 - v).abs() < 1e-4 * (1.0 + v.abs()));
+    }
+
+    // BF16 storage.
+    let ab = a64.convert::<Bf16>();
+    let mut yb = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&ab, &x32, &mut yb, Par::Seq);
+    let mut yb_ref = vec![0.0f32; g.unknowns()];
+    let ab_aos = ab.to_layout(Layout::Aos);
+    kernels::spmv(&ab_aos, &x32, &mut yb_ref, Par::Seq);
+    for (&u, &v) in yb.iter().zip(&yb_ref) {
+        assert!((u - v).abs() < 1e-4 * (1.0 + v.abs()), "{u} vs {v}");
+    }
+}
+
+#[test]
+fn staged_soa_spmv_matches_generic_for_vector_pde() {
+    let g = Grid3::with_components(7, 5, 4, 3);
+    let a64 = random_matrix(g, Pattern::p7().with_components(3), Layout::Soa, 210);
+    let a16_soa = a64.convert::<F16>();
+    let a16_aos = a16_soa.to_layout(Layout::Aos); // generic path
+    let x: Vec<f32> = random_vec(g.unknowns(), 211).iter().map(|&v| v as f32).collect();
+    let b: Vec<f32> = random_vec(g.unknowns(), 212).iter().map(|&v| v as f32).collect();
+    let mut y1 = vec![0.0f32; g.unknowns()];
+    let mut y2 = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&a16_soa, &x, &mut y1, Par::Seq);
+    kernels::spmv(&a16_aos, &x, &mut y2, Par::Seq);
+    for (&u, &v) in y1.iter().zip(&y2) {
+        assert!((u - v).abs() < 1e-4 * (1.0 + v.abs()), "{u} vs {v}");
+    }
+    let mut r1 = vec![0.0f32; g.unknowns()];
+    let mut r2 = vec![0.0f32; g.unknowns()];
+    kernels::residual(&a16_soa, &b, &x, &mut r1, Par::Seq);
+    kernels::residual(&a16_aos, &b, &x, &mut r2, Par::Seq);
+    for (&u, &v) in r1.iter().zip(&r2) {
+        assert!((u - v).abs() < 1e-4 * (1.0 + v.abs()));
+    }
+}
+
+#[test]
+fn staged_gs_matches_generic_for_vector_pde() {
+    let g = Grid3::with_components(6, 5, 3, 2);
+    let a64 = random_matrix(g, Pattern::p7().with_components(2), Layout::Soa, 220);
+    let a16_soa = a64.convert::<F16>();
+    let a16_aos = a16_soa.to_layout(Layout::Aos);
+    let dinv_soa = BlockDiagInv::<f32>::from_matrix(&a16_soa).unwrap();
+    let dinv_aos = BlockDiagInv::<f32>::from_matrix(&a16_aos).unwrap();
+    let b: Vec<f32> = random_vec(g.unknowns(), 221).iter().map(|&v| v as f32).collect();
+    let mut x1 = vec![0.0f32; g.unknowns()];
+    let mut x2 = vec![0.0f32; g.unknowns()];
+    kernels::gs_forward(&a16_soa, &dinv_soa, &b, &mut x1);
+    kernels::gs_forward(&a16_aos, &dinv_aos, &b, &mut x2);
+    for (&u, &v) in x1.iter().zip(&x2) {
+        assert!((u - v).abs() < 1e-3 * (1.0 + v.abs()), "{u} vs {v}");
+    }
+    kernels::gs_backward(&a16_soa, &dinv_soa, &b, &mut x1);
+    kernels::gs_backward(&a16_aos, &dinv_aos, &b, &mut x2);
+    for (&u, &v) in x1.iter().zip(&x2) {
+        assert!((u - v).abs() < 1e-3 * (1.0 + v.abs()), "{u} vs {v}");
+    }
+}
+
+#[test]
+fn staged_spmv_parallel_chunks_split_lines_correctly() {
+    // Force the staged path (f64 storage, f32 compute) with rayon
+    // chunking: chunk boundaries land mid-line and must not corrupt y.
+    let g = Grid3::new(40, 16, 16); // 10240 cells > 4096 chunk threshold
+    let a = random_matrix(g, Pattern::p7(), Layout::Soa, 230);
+    let x: Vec<f32> = random_vec(g.unknowns(), 231).iter().map(|&v| v as f32).collect();
+    let mut y1 = vec![0.0f32; g.unknowns()];
+    let mut y2 = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&a, &x, &mut y1, Par::Seq);
+    kernels::spmv(&a, &x, &mut y2, Par::Rayon);
+    assert_eq!(y1, y2);
+}
+
+#[test]
+fn naive_aos_f16_spmv_matches_soa() {
+    // The naive AOS hardware-convert path (Fig. 4 left) must agree with
+    // the SIMD SOA path bit-for-bit up to reduction order.
+    let g = Grid3::new(21, 7, 5);
+    let a64 = random_matrix(g, Pattern::p27(), Layout::Soa, 240);
+    let a16_soa = a64.convert::<F16>();
+    let a16_aos = a16_soa.to_layout(Layout::Aos);
+    let x: Vec<f32> = random_vec(g.unknowns(), 241).iter().map(|&v| v as f32).collect();
+    let mut y1 = vec![0.0f32; g.unknowns()];
+    let mut y2 = vec![0.0f32; g.unknowns()];
+    kernels::spmv(&a16_soa, &x, &mut y1, Par::Seq);
+    kernels::spmv(&a16_aos, &x, &mut y2, Par::Seq);
+    for (&u, &v) in y1.iter().zip(&y2) {
+        assert!((u - v).abs() < 1e-5 * (1.0 + v.abs()));
+    }
+}
+
+#[test]
+fn ilu0_factors_reproduce_matrix_on_pattern() {
+    // For ILU(0), (L·U)_ij == a_ij exactly on the stencil pattern (the
+    // dropped fill lives outside it).
+    let g = Grid3::new(5, 4, 3);
+    let a = random_matrix(g, Pattern::p7(), Layout::Soa, 300);
+    let f = crate::ilu::ilu0(&a).unwrap();
+    let lcsr = Csr::<f64>::from_sgdia(&f.l);
+    let ucsr = Csr::<f64>::from_sgdia(&f.u);
+    let n = a.rows();
+    let mut lrow = vec![0.0f64; n];
+    let mut ucol_cache: Vec<Vec<f64>> = Vec::new();
+    // Dense U rows.
+    for r in 0..n {
+        let mut row = vec![0.0f64; n];
+        ucsr.dense_row(r, &mut row);
+        ucol_cache.push(row);
+    }
+    let acsr = Csr::<f64>::from_sgdia(&a);
+    let mut arow = vec![0.0f64; n];
+    for i in 0..n {
+        lcsr.dense_row(i, &mut lrow);
+        acsr.dense_row(i, &mut arow);
+        for j in 0..n {
+            if arow[j] == 0.0 && i != j {
+                continue; // only check the pattern
+            }
+            let mut lu = 0.0;
+            for (k, &lv) in lrow.iter().enumerate() {
+                if lv != 0.0 {
+                    lu += lv * ucol_cache[k][j];
+                }
+            }
+            // Structural positions of A (even if the value is zero at the
+            // boundary) must match; allow roundoff.
+            let scale = arow[j].abs().max(1.0);
+            assert!((lu - arow[j]).abs() < 1e-10 * scale, "({i},{j}): {lu} vs {}", arow[j]);
+        }
+    }
+}
+
+#[test]
+fn ilu0_preconditioner_beats_jacobi_quality() {
+    // One ILU(0) application reduces the error more than one Jacobi
+    // application on a diffusion operator.
+    let g = Grid3::cube(8);
+    let a = random_matrix(g, Pattern::p7(), Layout::Soa, 310);
+    let f = crate::ilu::ilu0(&a).unwrap();
+    let xtrue = random_vec(g.unknowns(), 311);
+    let mut b = vec![0.0f64; g.unknowns()];
+    kernels::spmv(&a, &xtrue, &mut b, Par::Seq);
+    // ILU apply: x = U^{-1} L^{-1} b.
+    let mut y = vec![0.0f64; g.unknowns()];
+    kernels::sptrsv_forward(&f.l, &b, &mut y);
+    let mut x_ilu = vec![0.0f64; g.unknowns()];
+    kernels::sptrsv_backward(&f.u, &y, &mut x_ilu);
+    // Jacobi apply: x = D^{-1} b.
+    let dinv = BlockDiagInv::<f64>::from_matrix(&a).unwrap();
+    let mut x_jac = vec![0.0f64; g.unknowns()];
+    for c in 0..g.unknowns() {
+        dinv.solve(c, &b[c..c + 1], &mut x_jac[c..c + 1]);
+    }
+    let err = |x: &[f64]| -> f64 {
+        x.iter().zip(&xtrue).map(|(&u, &v)| (u - v) * (u - v)).sum::<f64>().sqrt()
+    };
+    assert!(
+        err(&x_ilu) < 0.5 * err(&x_jac),
+        "ILU {} vs Jacobi {}",
+        err(&x_ilu),
+        err(&x_jac)
+    );
+}
+
+#[test]
+fn ilu0_truncated_factors_still_solve() {
+    // The paper's flow: factor in high precision, truncate L/U to FP16,
+    // solve with the mixed-precision kernels.
+    let g = Grid3::cube(6);
+    let a = random_matrix(g, Pattern::p19(), Layout::Soa, 320);
+    let f = crate::ilu::ilu0(&a).unwrap();
+    let l16 = f.l.convert::<F16>();
+    let u16 = f.u.convert::<F16>();
+    let b: Vec<f32> = random_vec(g.unknowns(), 321).iter().map(|&v| v as f32).collect();
+    let mut y = vec![0.0f32; g.unknowns()];
+    kernels::sptrsv_forward(&l16, &b, &mut y);
+    let mut x = vec![0.0f32; g.unknowns()];
+    kernels::sptrsv_backward(&u16, &y, &mut x);
+    // Compare against the f64 factors: FP16 truncation error only.
+    let b64: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+    let mut y64 = vec![0.0f64; g.unknowns()];
+    kernels::sptrsv_forward(&f.l, &b64, &mut y64);
+    let mut x64 = vec![0.0f64; g.unknowns()];
+    kernels::sptrsv_backward(&f.u, &y64, &mut x64);
+    for (&u, &v) in x.iter().zip(&x64) {
+        assert!((u as f64 - v).abs() < 2e-2 * (1.0 + v.abs()), "{u} vs {v}");
+    }
+}
+
+#[test]
+fn ilu0_rejects_vector_matrices() {
+    let g = Grid3::with_components(3, 3, 3, 2);
+    let a = random_matrix(g, Pattern::p7().with_components(2), Layout::Soa, 330);
+    let res = std::panic::catch_unwind(|| crate::ilu::ilu0(&a));
+    assert!(res.is_err(), "ilu0 must panic on vector matrices");
+}
+
+#[test]
+fn io_matrix_round_trip_all_precisions() {
+    let g = Grid3::new(5, 4, 3);
+    let a64 = random_matrix(g, Pattern::p19(), Layout::Soa, 400);
+    // f64 exact round trip.
+    let mut buf = Vec::new();
+    crate::io::write_matrix(&a64, &mut buf).unwrap();
+    let back = crate::io::read_matrix::<f64>(&mut buf.as_slice()).unwrap();
+    assert_eq!(back.data(), a64.data());
+    assert_eq!(back.pattern(), a64.pattern());
+    assert_eq!(back.grid(), a64.grid());
+    assert_eq!(back.layout(), a64.layout());
+    // FP16: bit-exact round trip of the truncated values.
+    let a16 = a64.convert::<F16>().to_layout(Layout::Aos);
+    let mut buf = Vec::new();
+    crate::io::write_matrix(&a16, &mut buf).unwrap();
+    let back = crate::io::read_matrix::<F16>(&mut buf.as_slice()).unwrap();
+    for (x, y) in back.data().iter().zip(a16.data()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(back.layout(), Layout::Aos);
+    // BF16.
+    let ab = a64.convert::<Bf16>();
+    let mut buf = Vec::new();
+    crate::io::write_matrix(&ab, &mut buf).unwrap();
+    let back = crate::io::read_matrix::<Bf16>(&mut buf.as_slice()).unwrap();
+    for (x, y) in back.data().iter().zip(ab.data()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn io_rejects_wrong_precision_and_magic() {
+    let g = Grid3::cube(3);
+    let a = random_matrix(g, Pattern::p7(), Layout::Soa, 410);
+    let mut buf = Vec::new();
+    crate::io::write_matrix(&a, &mut buf).unwrap();
+    assert!(crate::io::read_matrix::<f32>(&mut buf.as_slice()).is_err());
+    let garbage = b"NOTMAGIC-and-more-bytes".to_vec();
+    assert!(crate::io::read_matrix::<f64>(&mut garbage.as_slice()).is_err());
+}
+
+#[test]
+fn io_vector_round_trip() {
+    let v = random_vec(137, 420);
+    let mut buf = Vec::new();
+    crate::io::write_vector(&v, &mut buf).unwrap();
+    let back = crate::io::read_vector(&mut buf.as_slice()).unwrap();
+    assert_eq!(v, back);
+}
+
+#[test]
+fn io_matrix_market_round_trip() {
+    let g = Grid3::new(4, 3, 3);
+    let a = random_matrix(g, Pattern::p7(), Layout::Soa, 430);
+    let csr = Csr::<f64>::from_sgdia(&a);
+    let mut buf = Vec::new();
+    crate::io::write_matrix_market(&csr, &mut buf).unwrap();
+    let back = crate::io::read_matrix_market(&mut buf.as_slice()).unwrap();
+    assert_eq!(back.rows(), csr.rows());
+    assert_eq!(back.nnz(), csr.nnz());
+    // SpMV agreement (entry order may differ within rows after sort).
+    let x = random_vec(csr.rows(), 431);
+    let mut y1 = vec![0.0f64; csr.rows()];
+    let mut y2 = vec![0.0f64; csr.rows()];
+    csr.spmv(&x, &mut y1);
+    back.spmv(&x, &mut y2);
+    for (u, v) in y1.iter().zip(&y2) {
+        assert!((u - v).abs() < 1e-10 * (1.0 + u.abs()));
+    }
+}
+
+#[test]
+fn io_matrix_market_symmetric_expansion() {
+    let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 1.5\n";
+    let m = crate::io::read_matrix_market(&mut text.as_bytes()).unwrap();
+    assert_eq!(m.nnz(), 5); // off-diagonal mirrored
+    let x = vec![1.0f64, 2.0, 3.0];
+    let mut y = vec![0.0f64; 3];
+    m.spmv(&x, &mut y);
+    assert_eq!(y, vec![2.0 - 2.0, -1.0 + 4.0, 4.5]);
+}
+
+#[test]
+fn degenerate_grid_shapes() {
+    // Quasi-1D and quasi-2D grids must work through every kernel path.
+    for g in [Grid3::new(32, 1, 1), Grid3::new(16, 16, 1), Grid3::new(1, 8, 8), Grid3::new(2, 2, 2)]
+    {
+        let a = random_matrix(g, Pattern::p7(), Layout::Soa, 500 + g.nx as u64);
+        let csr = Csr::from_sgdia(&a);
+        let x = random_vec(g.unknowns(), 501);
+        let mut y1 = vec![0.0f64; g.unknowns()];
+        let mut y2 = vec![0.0f64; g.unknowns()];
+        kernels::spmv(&a, &x, &mut y1, Par::Seq);
+        csr.spmv(&x, &mut y2);
+        assert!(max_rel_err(&y1, &y2) < 1e-12, "{g:?}");
+
+        // GS sweep consistency SOA (staged) vs AOS (generic).
+        let a16 = a.convert::<F16>();
+        let a16_aos = a16.to_layout(Layout::Aos);
+        let dinv1 = BlockDiagInv::<f32>::from_matrix(&a16).unwrap();
+        let dinv2 = BlockDiagInv::<f32>::from_matrix(&a16_aos).unwrap();
+        let b: Vec<f32> = random_vec(g.unknowns(), 502).iter().map(|&v| v as f32).collect();
+        let mut x1 = vec![0.0f32; g.unknowns()];
+        let mut x2 = vec![0.0f32; g.unknowns()];
+        kernels::gs_forward(&a16, &dinv1, &b, &mut x1);
+        kernels::gs_forward(&a16_aos, &dinv2, &b, &mut x2);
+        for (&u, &v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-4 * (1.0 + v.abs()), "{g:?}: {u} vs {v}");
+        }
+    }
+}
+
+#[test]
+fn sptrsv_on_degenerate_shapes() {
+    for g in [Grid3::new(24, 1, 1), Grid3::new(8, 8, 1), Grid3::new(1, 1, 16)] {
+        let full = random_matrix(g, Pattern::p7(), Layout::Soa, 510 + g.nz as u64);
+        let l = crate::tests::lower_of(&full);
+        let b = random_vec(g.unknowns(), 511);
+        let mut x = vec![0.0f64; g.unknowns()];
+        kernels::sptrsv_forward(&l, &b, &mut x);
+        let mut r = vec![0.0f64; g.unknowns()];
+        kernels::residual(&l, &b, &x, &mut r, Par::Seq);
+        assert!(r.iter().all(|&v| v.abs() < 1e-9), "{g:?}");
+    }
+}
+
+/// Extracts the lower-with-diag triangular matrix (test helper).
+pub(crate) fn lower_of(full: &SgDia<f64>) -> SgDia<f64> {
+    let lp = full.pattern().lower_with_diag();
+    let mut l = SgDia::<f64>::zeros(*full.grid(), lp.clone(), full.layout());
+    for cell in 0..full.grid().cells() {
+        for (t, tap) in lp.taps().iter().enumerate() {
+            let ft = full.pattern().tap_index(*tap).unwrap();
+            l.set(cell, t, full.get(cell, ft));
+        }
+    }
+    l
+}
+
+#[test]
+fn ilu0_on_degenerate_shapes() {
+    for g in [Grid3::new(16, 1, 1), Grid3::new(6, 6, 1)] {
+        let a = random_matrix(g, Pattern::p7(), Layout::Soa, 520);
+        let f = crate::ilu::ilu0(&a).unwrap();
+        // (LU)⁻¹ b must be a decent approximation: residual smaller than b.
+        let b = random_vec(g.unknowns(), 521);
+        let mut y = vec![0.0f64; g.unknowns()];
+        kernels::sptrsv_forward(&f.l, &b, &mut y);
+        let mut x = vec![0.0f64; g.unknowns()];
+        kernels::sptrsv_backward(&f.u, &y, &mut x);
+        let mut r = vec![0.0f64; g.unknowns()];
+        kernels::residual(&a, &b, &x, &mut r, Par::Seq);
+        let rn: f64 = r.iter().map(|&v| v * v).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|&v| v * v).sum::<f64>().sqrt();
+        assert!(rn < 0.6 * bn, "{g:?}: {rn} vs {bn}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Stencil patterns for structured-grid matrices.
+//!
+//! A *structured matrix* (paper §3.2) is one whose nonzero pattern is the
+//! same small set of neighbor offsets at every grid point, so it can be
+//! stored in the SG-DIA format without per-element index arrays. This crate
+//! defines those offset sets.
+//!
+//! * Scalar PDEs use the classic 3-D patterns: [`Pattern::p7`] (7-point
+//!   Laplacian), [`Pattern::p15`] (faces + corners, linear elasticity),
+//!   [`Pattern::p19`] (faces + edges), and [`Pattern::p27`] (full 3×3×3
+//!   cube, the Galerkin-coarsened closure of all of the above).
+//! * Vector PDEs with `r` components per grid point replicate every spatial
+//!   offset over all `r × r` component pairs ([`Pattern::with_components`]),
+//!   which is how the paper's rhd-3T (r = 3), oil-4C (r = 4) and solid-3D
+//!   (r = 3) problems are laid out.
+//! * Sparse triangular solves operate on the lower/upper triangular parts;
+//!   [`Pattern::split`] produces them. For 3d7/3d19/3d27 the lower parts
+//!   (including the diagonal) are the paper's 3d4/3d10/3d14 patterns of
+//!   Figure 7.
+//!
+//! Taps are kept sorted in row-major order (`dz`, then `dy`, then `dx`,
+//! then component pair), which is also the lexicographic order of the
+//! column indices they reference — the natural order for Gauss–Seidel
+//! splitting.
+
+#![warn(missing_docs)]
+mod pattern;
+mod tap;
+
+pub use pattern::Pattern;
+pub use tap::Tap;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,84 @@
+//! A single stencil tap: spatial offset plus component pair.
+
+/// One nonzero position of a structured stencil.
+///
+/// For a matrix row associated with grid cell `(i, j, k)` and output
+/// component `cout`, this tap references the unknown at cell
+/// `(i+dx, j+dy, k+dz)`, input component `cin`. Scalar PDEs always have
+/// `cin == cout == 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tap {
+    /// Offset along the fastest-varying axis.
+    pub dx: i32,
+    /// Offset along the middle axis.
+    pub dy: i32,
+    /// Offset along the slowest-varying axis.
+    pub dz: i32,
+    /// Output (row) component.
+    pub cout: u8,
+    /// Input (column) component.
+    pub cin: u8,
+}
+
+impl Tap {
+    /// Scalar tap at a spatial offset.
+    pub const fn at(dx: i32, dy: i32, dz: i32) -> Self {
+        Tap { dx, dy, dz, cout: 0, cin: 0 }
+    }
+
+    /// Tap at a spatial offset with an explicit component pair.
+    pub const fn at_comp(dx: i32, dy: i32, dz: i32, cout: u8, cin: u8) -> Self {
+        Tap { dx, dy, dz, cout, cin }
+    }
+
+    /// The tap of the transposed matrix: spatial offset negated, component
+    /// pair swapped.
+    pub const fn transpose(self) -> Self {
+        Tap { dx: -self.dx, dy: -self.dy, dz: -self.dz, cout: self.cin, cin: self.cout }
+    }
+
+    /// True when the tap references the same grid cell (the diagonal block;
+    /// for scalar problems, the matrix diagonal itself).
+    pub const fn is_center(self) -> bool {
+        self.dx == 0 && self.dy == 0 && self.dz == 0
+    }
+
+    /// True for the exact scalar diagonal: same cell *and* same component.
+    pub const fn is_diagonal(self) -> bool {
+        self.is_center() && self.cin == self.cout
+    }
+
+    /// Row-major ordering key: `(dz, dy, dx)` ranks taps by the memory
+    /// position of the column they touch; the component pair breaks ties.
+    pub const fn key(self) -> (i32, i32, i32, u8, u8) {
+        (self.dz, self.dy, self.dx, self.cout, self.cin)
+    }
+
+    /// Sign of the spatial offset in row-major order: `-1` if the tap
+    /// points to an earlier cell, `0` for the same cell, `+1` for a later
+    /// cell. This is the triangular classification used by Gauss–Seidel:
+    /// the whole `r×r` block at offset zero counts as "diagonal".
+    pub const fn spatial_sign(self) -> i32 {
+        if self.dz != 0 {
+            if self.dz < 0 {
+                -1
+            } else {
+                1
+            }
+        } else if self.dy != 0 {
+            if self.dy < 0 {
+                -1
+            } else {
+                1
+            }
+        } else if self.dx != 0 {
+            if self.dx < 0 {
+                -1
+            } else {
+                1
+            }
+        } else {
+            0
+        }
+    }
+}

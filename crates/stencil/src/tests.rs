@@ -1,0 +1,190 @@
+use crate::{Pattern, Tap};
+
+#[test]
+fn standard_pattern_sizes() {
+    assert_eq!(Pattern::p7().len(), 7);
+    assert_eq!(Pattern::p15().len(), 15);
+    assert_eq!(Pattern::p19().len(), 19);
+    assert_eq!(Pattern::p27().len(), 27);
+}
+
+#[test]
+fn pattern_names() {
+    assert_eq!(Pattern::p7().name(), "3d7");
+    assert_eq!(Pattern::p15().name(), "3d15");
+    assert_eq!(Pattern::p19().name(), "3d19");
+    assert_eq!(Pattern::p27().name(), "3d27");
+    // Block patterns keep the spatial name.
+    assert_eq!(Pattern::p7().with_components(3).name(), "3d7");
+}
+
+#[test]
+fn by_name_round_trip() {
+    for n in ["3d7", "3d15", "3d19", "3d27"] {
+        assert_eq!(Pattern::by_name(n).unwrap().name(), n);
+    }
+    assert!(Pattern::by_name("3d5").is_none());
+}
+
+#[test]
+fn lower_patterns_match_paper_fig7() {
+    // Fig. 7 benchmarks SpTRSV on 3d4, 3d10, 3d14: the lower triangular
+    // (incl. diagonal) parts of 3d7, 3d19, 3d27.
+    assert_eq!(Pattern::p7().lower_with_diag().len(), 4);
+    assert_eq!(Pattern::p19().lower_with_diag().len(), 10);
+    assert_eq!(Pattern::p27().lower_with_diag().len(), 14);
+    assert_eq!(Pattern::p7().lower_with_diag().name(), "3d4");
+    assert_eq!(Pattern::p19().lower_with_diag().name(), "3d10");
+    assert_eq!(Pattern::p27().lower_with_diag().name(), "3d14");
+}
+
+#[test]
+fn split_partitions_taps() {
+    for p in [Pattern::p7(), Pattern::p15(), Pattern::p19(), Pattern::p27()] {
+        let (l, d, u) = p.split();
+        assert_eq!(l.len() + d.len() + u.len(), p.len());
+        assert_eq!(d.len(), 1);
+        assert_eq!(l.len(), u.len(), "standard patterns are structurally symmetric");
+        for t in l.taps() {
+            assert_eq!(t.spatial_sign(), -1);
+        }
+        for t in u.taps() {
+            assert_eq!(t.spatial_sign(), 1);
+        }
+    }
+}
+
+#[test]
+fn block_pattern_has_r_squared_taps_per_offset() {
+    let p = Pattern::p7().with_components(3);
+    assert_eq!(p.len(), 7 * 9);
+    assert_eq!(p.components(), 3);
+    assert_eq!(p.spatial_len(), 7);
+    // The diagonal block of the split holds all 9 component pairs.
+    let (_, d, _) = p.split();
+    assert_eq!(d.len(), 9);
+    // Scalar diagonals exist for each component.
+    assert_eq!(p.diagonal_indices().len(), 3);
+    for (c, &i) in p.diagonal_indices().iter().enumerate() {
+        let t = p.taps()[i];
+        assert!(t.is_diagonal());
+        assert_eq!(t.cin as usize, c);
+    }
+}
+
+#[test]
+fn taps_sorted_and_unique() {
+    for p in [
+        Pattern::p7(),
+        Pattern::p27(),
+        Pattern::p19().with_components(2),
+        Pattern::p7().lower_with_diag(),
+    ] {
+        for w in p.taps().windows(2) {
+            assert!(w[0].key() < w[1].key(), "taps out of order: {:?} {:?}", w[0], w[1]);
+        }
+        for (i, &t) in p.taps().iter().enumerate() {
+            assert_eq!(p.tap_index(t), Some(i));
+        }
+    }
+}
+
+#[test]
+fn transpose_involution_and_symmetry() {
+    for p in [Pattern::p7(), Pattern::p15(), Pattern::p19(), Pattern::p27()] {
+        assert_eq!(p.transpose(), p, "standard patterns are structurally symmetric");
+    }
+    let l = Pattern::p27().lower_with_diag();
+    let u = l.transpose();
+    assert_ne!(l, u);
+    assert_eq!(u.transpose(), l);
+    // Lᵀ has the upper taps plus the diagonal.
+    assert_eq!(u.len(), 14);
+    assert!(u.taps().iter().all(|t| t.spatial_sign() >= 0));
+}
+
+#[test]
+fn tap_transpose_swaps_components() {
+    let t = Tap::at_comp(1, -1, 0, 2, 0);
+    let tt = t.transpose();
+    assert_eq!((tt.dx, tt.dy, tt.dz), (-1, 1, 0));
+    assert_eq!((tt.cout, tt.cin), (0, 2));
+    assert_eq!(tt.transpose(), t);
+}
+
+#[test]
+fn spatial_sign_is_row_major_order() {
+    // (dz, dy, dx) lexicographic: dz dominates.
+    assert_eq!(Tap::at(1, 1, -1).spatial_sign(), -1);
+    assert_eq!(Tap::at(-1, 0, 1).spatial_sign(), 1);
+    assert_eq!(Tap::at(-1, 0, 0).spatial_sign(), -1);
+    assert_eq!(Tap::at(0, 0, 0).spatial_sign(), 0);
+    assert_eq!(Tap::at_comp(0, 0, 0, 1, 0).spatial_sign(), 0);
+}
+
+#[test]
+fn dedup_in_constructor() {
+    let p = Pattern::new(vec![Tap::at(0, 0, 0), Tap::at(0, 0, 0), Tap::at(1, 0, 0)]);
+    assert_eq!(p.len(), 2);
+}
+
+#[test]
+fn radius() {
+    assert_eq!(Pattern::p7().radius(), 1);
+    assert_eq!(Pattern::p27().radius(), 1);
+    assert_eq!(Pattern::new(vec![Tap::at(2, 0, -1)]).radius(), 2);
+    assert_eq!(Pattern::new(vec![]).radius(), 0);
+}
+
+mod proptests {
+    use crate::{Pattern, Tap};
+    use proptest::prelude::*;
+
+    fn arb_tap() -> impl Strategy<Value = Tap> {
+        (-1i32..=1, -1i32..=1, -1i32..=1, 0u8..3, 0u8..3)
+            .prop_map(|(dx, dy, dz, cout, cin)| Tap::at_comp(dx, dy, dz, cout, cin))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_involution(taps in proptest::collection::vec(arb_tap(), 1..30)) {
+            let p = Pattern::new(taps);
+            prop_assert_eq!(p.transpose().transpose(), p);
+        }
+
+        #[test]
+        fn prop_split_partitions(taps in proptest::collection::vec(arb_tap(), 1..30)) {
+            let p = Pattern::new(taps);
+            let (l, d, u) = p.split();
+            prop_assert_eq!(l.len() + d.len() + u.len(), p.len());
+            // Lower and upper are mirror images under transpose for
+            // component-closed patterns; at minimum their taps classify
+            // correctly.
+            for t in l.taps() {
+                prop_assert_eq!(t.spatial_sign(), -1);
+            }
+            for t in u.taps() {
+                prop_assert_eq!(t.spatial_sign(), 1);
+            }
+            for t in d.taps() {
+                prop_assert!(t.is_center());
+            }
+        }
+
+        #[test]
+        fn prop_tap_index_total(taps in proptest::collection::vec(arb_tap(), 1..30)) {
+            let p = Pattern::new(taps);
+            for (i, &t) in p.taps().iter().enumerate() {
+                prop_assert_eq!(p.tap_index(t), Some(i));
+            }
+        }
+
+        #[test]
+        fn prop_sorted_strictly(taps in proptest::collection::vec(arb_tap(), 1..30)) {
+            let p = Pattern::new(taps);
+            for w in p.taps().windows(2) {
+                prop_assert!(w[0].key() < w[1].key());
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Anisotropy and semicoarsening: why Table 3's "Aniso." column matters
+//! and what the structured-MG remedy looks like.
+//!
+//! ```sh
+//! cargo run --release --example anisotropic_semicoarsening
+//! ```
+//!
+//! Builds a strongly z-anisotropic diffusion operator (like thin
+//! reservoir layers or a stretched atmospheric grid), shows the
+//! directional-strength detector picking the coarsening axes, and
+//! compares full coarsening against PFMG-style semicoarsening under the
+//! FP16 configuration.
+
+use fp16mg::grid::Grid3;
+use fp16mg::krylov::{cg, SolveOptions};
+use fp16mg::mg::{directional_strength, Coarsening, MatOp, Mg, MgConfig};
+use fp16mg::sgdia::kernels::Par;
+use fp16mg::sgdia::{Layout, SgDia};
+use fp16mg::stencil::Pattern;
+
+fn main() {
+    // z-coupling 100x stronger than x/y (e.g. dz << dx).
+    let grid = Grid3::cube(24);
+    let pattern = Pattern::p7();
+    let taps: Vec<_> = pattern.taps().to_vec();
+    let a = SgDia::<f64>::from_fn(grid, pattern, Layout::Soa, |_, i, j, k, t| {
+        let tap = taps[t];
+        if tap.is_diagonal() {
+            let mut acc = 0.05;
+            for tp in &taps {
+                if !tp.is_diagonal() && grid.contains_offset(i, j, k, tp.dx, tp.dy, tp.dz) {
+                    acc += if tp.dz != 0 { 100.0 } else { 1.0 };
+                }
+            }
+            acc
+        } else if tap.dz != 0 {
+            -100.0
+        } else {
+            -1.0
+        }
+    });
+
+    let s = directional_strength(&a);
+    println!("directional coupling strengths: x {:.1}  y {:.1}  z {:.1}", s[0], s[1], s[2]);
+    println!("(z dominates: point smoothers cannot damp xy-oscillatory errors,");
+    println!(" so full coarsening converges slowly — semicoarsening collapses z first)\n");
+
+    let b: Vec<f64> = (0..a.rows()).map(|i| ((i as f64 * 0.61).sin() + 1.5) * 50.0).collect();
+    let op = MatOp::new(&a, Par::Seq);
+    let opts = SolveOptions { tol: 1e-9, max_iters: 300, ..Default::default() };
+
+    println!("{:<12} {:>6} {:>8} {:>8}  level grids", "coarsening", "#iter", "C_G", "C_O");
+    for (label, coarsening) in [
+        ("full", Coarsening::Full),
+        ("semi(0.5)", Coarsening::Semi { threshold: 0.5 }),
+    ] {
+        let cfg = MgConfig { coarsening, ..MgConfig::d16() };
+        let mut mg = Mg::<f32>::setup(&a, &cfg).expect("setup");
+        let dims: Vec<String> = mg
+            .info()
+            .levels
+            .iter()
+            .map(|l| format!("{}x{}x{}", l.dims.0, l.dims.1, l.dims.2))
+            .collect();
+        let (cg_c, co_c) = (mg.info().grid_complexity, mg.info().operator_complexity);
+        let mut x = vec![0.0f64; a.rows()];
+        let res = cg(&op, &mut mg, &b, &mut x, &opts);
+        assert!(res.converged(), "{label}: {res:?}");
+        println!(
+            "{:<12} {:>6} {:>8.3} {:>8.3}  {}",
+            label,
+            res.iters,
+            cg_c,
+            co_c,
+            dims.join(" -> ")
+        );
+    }
+    println!("\n(semicoarsening trades higher grid complexity for far fewer");
+    println!(" iterations on anisotropic operators — the PFMG design point;");
+    println!(" on isotropic problems the detector selects all axes and the");
+    println!(" two configurations coincide)");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: solve a Poisson problem with the FP16-accelerated
+//! multigrid preconditioner.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 27-point Laplacian on a 32³ grid, sets up the multigrid with
+//! FP16 matrix storage (`setup-then-scale`, the paper's Algorithm 1), and
+//! solves with FP64 conjugate gradients — the paper's `K64 P32 D16`
+//! headline configuration.
+
+use fp16mg::fp::Precision;
+use fp16mg::grid::Grid3;
+use fp16mg::krylov::{cg, SolveOptions};
+use fp16mg::mg::{MatOp, Mg, MgConfig};
+use fp16mg::sgdia::kernels::Par;
+use fp16mg::sgdia::{Layout, SgDia};
+use fp16mg::stencil::Pattern;
+
+fn main() {
+    // 1. Assemble the finest-level matrix in f64 (here: a 27-point
+    //    Laplacian; real applications hand over their own operator).
+    let grid = Grid3::cube(32);
+    let pattern = Pattern::p27();
+    let taps: Vec<_> = pattern.taps().to_vec();
+    let a = SgDia::<f64>::from_fn(grid, pattern, Layout::Soa, |_, _, _, _, t| {
+        if taps[t].is_diagonal() {
+            26.0
+        } else {
+            -1.0
+        }
+    });
+    println!("matrix: {} unknowns, {} nonzeros", a.rows(), a.nnz());
+
+    // 2. Set up the FP16 multigrid preconditioner (computation precision
+    //    f32, storage precision FP16, scaling only where needed).
+    let config = MgConfig::d16();
+    let mut mg = Mg::<f32>::setup(&a, &config).expect("multigrid setup");
+    println!("hierarchy: {} levels, C_G = {:.3}, C_O = {:.3}", mg.num_levels(),
+        mg.info().grid_complexity, mg.info().operator_complexity);
+    for (l, info) in mg.info().levels.iter().enumerate() {
+        println!(
+            "  level {l}: {:4}x{:<4}x{:<4} {:>9} dof, stored as {}{}",
+            info.dims.0, info.dims.1, info.dims.2, info.unknowns, info.precision,
+            if info.scaled { " (scaled)" } else { "" },
+        );
+    }
+    assert_eq!(mg.info().levels[0].precision, Precision::F16);
+
+    // 3. Solve A x = b with FP64 CG; the preconditioner boundary handles
+    //    all precision transitions (paper Algorithm 2).
+    let b = vec![1.0f64; a.rows()];
+    let mut x = vec![0.0f64; a.rows()];
+    let op = MatOp::new(&a, Par::Seq);
+    let opts = SolveOptions { tol: 1e-9, ..Default::default() };
+    let result = cg(&op, &mut mg, &b, &mut x, &opts);
+
+    println!(
+        "CG: {:?} in {} iterations, final relative residual {:.3e}",
+        result.reason, result.iters, result.final_rel_residual
+    );
+    assert!(result.converged());
+}

@@ -1,0 +1,70 @@
+//! Radiation-hydrodynamics scenario: the paper's hardest FP16 cases,
+//! `rhd` and `rhd-3T`.
+//!
+//! ```sh
+//! cargo run --release --example radiation_hydro
+//! ```
+//!
+//! These matrices span ~15 decades of magnitude — far outside FP16 both
+//! ways — so they demonstrate the full Fig. 6 ablation in one binary:
+//!
+//! * no scaling        → overflow to ∞, NaN, solver breakdown (§3.4);
+//! * scale-then-setup  → the single global scaling interferes with the
+//!   Galerkin triple-product chain and loses (§4.3);
+//! * setup-then-scale  → per-level scaling after the high-precision
+//!   setup converges like the FP64 baseline (Algorithm 1).
+
+use fp16mg::krylov::{cg, SolveOptions};
+use fp16mg::mg::{MatOp, Mg, MgConfig, ScaleStrategy};
+use fp16mg::problems::{metrics, ProblemKind};
+use fp16mg::sgdia::kernels::Par;
+
+fn run(kind: ProblemKind) {
+    let problem = kind.build(20);
+    let hist = metrics::range_histogram(&problem.matrix);
+    println!(
+        "\n=== {} === ({} unknowns; magnitudes span 1e{} … 1e{})",
+        problem.name,
+        problem.matrix.rows(),
+        hist.first().unwrap().0,
+        hist.last().unwrap().0 + 1,
+    );
+    let b = problem.rhs();
+    let opts = SolveOptions { tol: 1e-9, max_iters: 300, ..Default::default() };
+    let op = MatOp::new(&problem.matrix, Par::Seq);
+
+    // FP64 baseline for reference.
+    let mut mg = Mg::<f64>::setup(&problem.matrix, &MgConfig::d64()).expect("setup");
+    let mut x = vec![0.0f64; problem.matrix.rows()];
+    let base = cg(&op, &mut mg, &b, &mut x, &opts);
+    println!("  Full64                  : {:?} in {} iters", base.reason, base.iters);
+
+    for (label, strategy) in [
+        ("K64P32D16 none           ", ScaleStrategy::None),
+        ("K64P32D16 scale-then-setup", ScaleStrategy::ScaleThenSetup),
+        ("K64P32D16 setup-then-scale", ScaleStrategy::SetupThenScale),
+    ] {
+        let config = MgConfig { scale: strategy, ..MgConfig::d16() };
+        match Mg::<f32>::setup(&problem.matrix, &config) {
+            Ok(mut mg) => {
+                let finite = mg.info().levels.iter().all(|l| l.finite);
+                let mut x = vec![0.0f64; problem.matrix.rows()];
+                let r = cg(&op, &mut mg, &b, &mut x, &opts);
+                println!(
+                    "  {label}: {:?} in {} iters{}",
+                    r.reason,
+                    r.iters,
+                    if finite { "" } else { "  [FP16 overflow in storage]" }
+                );
+            }
+            Err(e) => println!("  {label}: setup failed ({e})"),
+        }
+    }
+}
+
+fn main() {
+    run(ProblemKind::Rhd);
+    run(ProblemKind::Rhd3T);
+    println!("\n(the paper's Fig. 6(d)/(e): 'none' crashes with NaN, scale-then-setup");
+    println!(" fails to converge, setup-then-scale tracks the FP64 baseline)");
+}
