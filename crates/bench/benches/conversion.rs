@@ -1,44 +1,20 @@
-//! Criterion bench for the §5 conversion primitive itself: soft-float vs
-//! hardware F16C bulk widening/narrowing throughput. The ~10× gap is why
-//! the SIMD paths exist and why the naive per-entry kernel loses.
+//! Bench for the §5 conversion primitive itself: soft-float vs hardware
+//! F16C bulk widening/narrowing throughput. The ~10× gap is why the SIMD
+//! paths exist and why the naive per-entry kernel loses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fp16mg_bench::Group;
 use fp16mg_fp::{simd, F16};
 
-fn bench_conversion(c: &mut Criterion) {
+fn main() {
     let n = 1 << 20;
     let src16: Vec<F16> = (0..n).map(|i| F16::from_f32((i % 1000) as f32 * 0.05 - 20.0)).collect();
     let mut dst32 = vec![0.0f32; n];
     let src32: Vec<f32> = (0..n).map(|i| (i % 1000) as f32 * 0.05 - 20.0).collect();
     let mut dst16 = vec![F16::ZERO; n];
 
-    let mut g = c.benchmark_group("convert/1M");
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function(BenchmarkId::from_parameter("widen-simd"), |b| {
-        b.iter(|| simd::widen_f16(&src16, &mut dst32))
-    });
-    g.bench_function(BenchmarkId::from_parameter("widen-scalar-soft"), |b| {
-        b.iter(|| simd::widen_f16_scalar(&src16, &mut dst32))
-    });
-    g.bench_function(BenchmarkId::from_parameter("narrow-simd"), |b| {
-        b.iter(|| simd::narrow_f32(&src32, &mut dst16))
-    });
-    g.bench_function(BenchmarkId::from_parameter("narrow-scalar-soft"), |b| {
-        b.iter(|| simd::narrow_f32_scalar(&src32, &mut dst16))
-    });
-    g.finish();
+    let g = Group::new("convert/1M").throughput_elements(n as u64);
+    g.bench("widen-simd", || simd::widen_f16(&src16, &mut dst32));
+    g.bench("widen-scalar-soft", || simd::widen_f16_scalar(&src16, &mut dst32));
+    g.bench("narrow-simd", || simd::narrow_f32(&src32, &mut dst16));
+    g.bench("narrow-scalar-soft", || simd::narrow_f32_scalar(&src32, &mut dst16));
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_conversion
-}
-criterion_main!(benches);

@@ -1,43 +1,28 @@
-//! Criterion benches for the Fig. 8/9 end-to-end comparison: each problem
-//! solved with the Full64 baseline and the Mix16 (K64 P32 D16
-//! setup-then-scale) configuration. Setup is *included* in the measured
-//! iteration, matching the paper's "entire workflow" definition.
+//! Benches for the Fig. 8/9 end-to-end comparison: each problem solved
+//! with the Full64 baseline and the Mix16 (K64 P32 D16 setup-then-scale)
+//! configuration. Setup is *included* in the measured iteration, matching
+//! the paper's "entire workflow" definition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fp16mg_bench::{solve_e2e, Combo};
+use std::time::Duration;
+
+use fp16mg_bench::{solve_e2e, Combo, Group};
 use fp16mg_krylov::SolveOptions;
 use fp16mg_problems::ProblemKind;
 use fp16mg_sgdia::kernels::Par;
 
-fn bench_e2e(c: &mut Criterion) {
-    let opts = SolveOptions { tol: 1e-9, max_iters: 500, record_history: false, ..Default::default() };
+fn main() {
+    let opts =
+        SolveOptions { tol: 1e-9, max_iters: 500, record_history: false, ..Default::default() };
     for kind in ProblemKind::all() {
         let n = if kind.components() == 1 { 20 } else { 12 };
-        let mut g = c.benchmark_group(format!("e2e/{}", kind.name()));
+        let g = Group::new(format!("e2e/{}", kind.name())).measurement_time(Duration::from_secs(3));
         for combo in [Combo::Full64, Combo::D16SetupScale] {
             let label = if combo == Combo::Full64 { "Full64" } else { "Mix16" };
-            g.bench_function(BenchmarkId::from_parameter(label), |b| {
-                b.iter(|| {
-                    let r = solve_e2e(kind, n, combo, &opts, Par::Seq).expect("setup");
-                    assert!(r.result.converged(), "{} {label} did not converge", kind.name());
-                    r.total()
-                })
+            g.bench(label, || {
+                let r = solve_e2e(kind, n, combo, &opts, Par::Seq).expect("setup");
+                assert!(r.result.converged(), "{} {label} did not converge", kind.name());
+                let _ = r.total();
             });
         }
-        g.finish();
     }
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_e2e
-}
-criterion_main!(benches);

@@ -1,11 +1,13 @@
-//! Criterion benches for the Fig. 7 kernel ablation.
+//! Benches for the Fig. 7 kernel ablation.
 //!
 //! One group per (kernel, pattern); within a group, the four variants
 //! (`MG-fp32/fp32` baseline, naive AOS FP16, optimized SOA FP16, CSR) so
-//! criterion's reports show the relative speedups directly.
+//! the printed rows show the relative speedups directly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
 use fp16mg_bench::kernelbench::{lower_matrix, test_matrix};
+use fp16mg_bench::Group;
 use fp16mg_fp::F16;
 use fp16mg_sgdia::kernels::{self, Par};
 use fp16mg_sgdia::{Csr, Layout};
@@ -14,7 +16,7 @@ use fp16mg_stencil::Pattern;
 // Must exceed the LLC for the bandwidth story; see DESIGN.md.
 const N: usize = 112;
 
-fn bench_spmv(c: &mut Criterion) {
+fn bench_spmv() {
     for (pname, pat) in [("3d7", Pattern::p7()), ("3d19", Pattern::p19()), ("3d27", Pattern::p27())]
     {
         let a64 = test_matrix(&pat, N, 0xc0ffee);
@@ -28,25 +30,17 @@ fn bench_spmv(c: &mut Criterion) {
         let a16_aos = a16_soa.to_layout(Layout::Aos);
         let csr = Csr::<f32>::from_sgdia(&a32);
 
-        let mut g = c.benchmark_group(format!("spmv/{pname}"));
-        g.throughput(Throughput::Bytes(bytes16));
-        g.bench_function(BenchmarkId::from_parameter("fp32-baseline"), |b| {
-            b.iter(|| kernels::spmv(&a32, &x, &mut y, Par::Seq))
-        });
-        g.bench_function(BenchmarkId::from_parameter("fp16-naive-aos"), |b| {
-            b.iter(|| kernels::spmv(&a16_aos, &x, &mut y, Par::Seq))
-        });
-        g.bench_function(BenchmarkId::from_parameter("fp16-opt-soa"), |b| {
-            b.iter(|| kernels::spmv(&a16_soa, &x, &mut y, Par::Seq))
-        });
-        g.bench_function(BenchmarkId::from_parameter("csr-fp32"), |b| {
-            b.iter(|| csr.spmv(&x, &mut y))
-        });
-        g.finish();
+        let g = Group::new(format!("spmv/{pname}"))
+            .throughput_bytes(bytes16)
+            .measurement_time(Duration::from_secs(3));
+        g.bench("fp32-baseline", || kernels::spmv(&a32, &x, &mut y, Par::Seq));
+        g.bench("fp16-naive-aos", || kernels::spmv(&a16_aos, &x, &mut y, Par::Seq));
+        g.bench("fp16-opt-soa", || kernels::spmv(&a16_soa, &x, &mut y, Par::Seq));
+        g.bench("csr-fp32", || csr.spmv(&x, &mut y));
     }
 }
 
-fn bench_sptrsv(c: &mut Criterion) {
+fn bench_sptrsv() {
     for (pname, pat) in [("3d4", Pattern::p7()), ("3d10", Pattern::p19()), ("3d14", Pattern::p27())]
     {
         let a64 = test_matrix(&pat, N, 0xdead);
@@ -60,34 +54,17 @@ fn bench_sptrsv(c: &mut Criterion) {
         let l16_aos = l16_soa.to_layout(Layout::Aos);
         let csr = Csr::<f32>::from_sgdia(&l32);
 
-        let mut g = c.benchmark_group(format!("sptrsv/{pname}"));
-        g.throughput(Throughput::Bytes((l64.stored_entries() * 2 + un * 8) as u64));
-        g.bench_function(BenchmarkId::from_parameter("fp32-baseline"), |b| {
-            b.iter(|| kernels::sptrsv_forward(&l32, &b_rhs, &mut x))
-        });
-        g.bench_function(BenchmarkId::from_parameter("fp16-naive-aos"), |b| {
-            b.iter(|| kernels::sptrsv_forward(&l16_aos, &b_rhs, &mut x))
-        });
-        g.bench_function(BenchmarkId::from_parameter("fp16-opt-soa"), |b| {
-            b.iter(|| kernels::sptrsv_forward(&l16_soa, &b_rhs, &mut x))
-        });
-        g.bench_function(BenchmarkId::from_parameter("csr-fp32"), |b| {
-            b.iter(|| csr.solve_lower(&b_rhs, &mut x))
-        });
-        g.finish();
+        let g = Group::new(format!("sptrsv/{pname}"))
+            .throughput_bytes((l64.stored_entries() * 2 + un * 8) as u64)
+            .measurement_time(Duration::from_secs(3));
+        g.bench("fp32-baseline", || kernels::sptrsv_forward(&l32, &b_rhs, &mut x));
+        g.bench("fp16-naive-aos", || kernels::sptrsv_forward(&l16_aos, &b_rhs, &mut x));
+        g.bench("fp16-opt-soa", || kernels::sptrsv_forward(&l16_soa, &b_rhs, &mut x));
+        g.bench("csr-fp32", || csr.solve_lower(&b_rhs, &mut x));
     }
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    bench_spmv();
+    bench_sptrsv();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_spmv, bench_sptrsv
-}
-criterion_main!(benches);

@@ -1,66 +1,48 @@
-//! Criterion benches for a single V-cycle application per storage
-//! precision — the preconditioner-only speedup (the orange bars of
-//! Fig. 8, isolated from iteration-count effects), plus the
-//! setup-then-scale setup-phase overhead (the blue bars).
+//! Benches for a single V-cycle application per storage precision — the
+//! preconditioner-only speedup (the orange bars of Fig. 8, isolated from
+//! iteration-count effects), plus the setup-then-scale setup-phase
+//! overhead (the blue bars).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fp16mg_bench::Combo;
+use fp16mg_bench::{Combo, Group};
 use fp16mg_core::Mg;
 use fp16mg_problems::ProblemKind;
 
-fn bench_vcycle(c: &mut Criterion) {
-    for kind in [ProblemKind::Laplace27, ProblemKind::Rhd, ProblemKind::Oil, ProblemKind::Weather]
-    {
+fn bench_vcycle() {
+    for kind in [ProblemKind::Laplace27, ProblemKind::Rhd, ProblemKind::Oil, ProblemKind::Weather] {
         let n = 24;
         let p = kind.build(n);
         let rn = p.matrix.rows();
         let r: Vec<f32> = (0..rn).map(|i| ((i % 101) as f32) * 0.01 - 0.4).collect();
         let mut e = vec![0.0f32; rn];
-        let mut g = c.benchmark_group(format!("vcycle/{}", kind.name()));
+        let g = Group::new(format!("vcycle/{}", kind.name()));
         for combo in [Combo::D32, Combo::D16SetupScale, Combo::Bf16] {
             let mut mg = match Mg::<f32>::setup(&p.matrix, &combo.mg_config()) {
                 Ok(m) => m,
                 Err(_) => continue,
             };
-            g.bench_function(BenchmarkId::from_parameter(combo.label()), |b| {
-                b.iter(|| mg.apply_pr(&r, &mut e))
-            });
+            g.bench(combo.label(), || mg.apply_pr(&r, &mut e));
         }
-        g.finish();
     }
 }
 
-fn bench_setup(c: &mut Criterion) {
+fn bench_setup() {
     // Setup-phase cost of the two scaling strategies vs no scaling, on an
     // out-of-range problem (laplace27*1e8): setup-then-scale must add only
     // limited overhead (Fig. 8's blue bars).
     let p = ProblemKind::Laplace27E8.build(16);
-    let mut g = c.benchmark_group("setup/laplace27e8");
-    g.sample_size(10);
+    let g = Group::new("setup/laplace27e8");
     for combo in [Combo::Full64, Combo::D16SetupScale, Combo::D16ScaleSetup] {
-        g.bench_function(BenchmarkId::from_parameter(combo.label()), |b| {
-            b.iter(|| {
-                if combo.p64() {
-                    let _ = Mg::<f64>::setup(&p.matrix, &combo.mg_config()).unwrap();
-                } else {
-                    let _ = Mg::<f32>::setup(&p.matrix, &combo.mg_config()).unwrap();
-                }
-            })
+        g.bench(combo.label(), || {
+            if combo.p64() {
+                let _ = Mg::<f64>::setup(&p.matrix, &combo.mg_config()).unwrap();
+            } else {
+                let _ = Mg::<f32>::setup(&p.matrix, &combo.mg_config()).unwrap();
+            }
         });
     }
-    g.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    bench_vcycle();
+    bench_setup();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_vcycle, bench_setup
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B]
 //! experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 fig10 table1 table3
-//!              bf16 shift smooth all
+//!              bf16 shift smooth guard all
 //! ```
 //!
 //! `fig9` is the same harness as `fig8` (the paper's second architecture;
@@ -27,6 +27,17 @@ struct Args {
     smoother: Option<String>,
 }
 
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0]");
+    std::process::exit(2)
+}
+
+fn arg_value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(raw) = it.next() else { usage(&format!("{flag} needs a value")) };
+    raw.parse().unwrap_or_else(|_| usage(&format!("{flag}: cannot parse '{raw}'")))
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         cmd: String::new(),
@@ -41,27 +52,33 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--size" => {
-                args.size = it.next().expect("--size N").parse().expect("size");
+                args.size = arg_value(&mut it, "--size");
                 args.size_set = true;
             }
-            "--tol" => args.tol = it.next().expect("--tol T").parse().expect("tol"),
-            "--budget-ms" => {
-                args.budget_ms = it.next().expect("--budget-ms B").parse().expect("budget")
+            "--tol" => args.tol = arg_value(&mut it, "--tol"),
+            "--budget-ms" => args.budget_ms = arg_value(&mut it, "--budget-ms"),
+            "--smoother" => {
+                let Some(s) = it.next() else { usage("--smoother needs a value") };
+                args.smoother = Some(s)
             }
-            "--smoother" => args.smoother = Some(it.next().expect("--smoother gs|jacobi|symgs|ilu0")),
             "--threads" => {
-                args.threads = it
-                    .next()
-                    .expect("--threads list")
+                let Some(list) = it.next() else { usage("--threads needs a value") };
+                args.threads = list
                     .split(',')
-                    .map(|s| s.parse().expect("thread count"))
+                    .map(|s| {
+                        s.parse().unwrap_or_else(|_| usage(&format!("--threads: bad count '{s}'")))
+                    })
                     .collect()
             }
-            other if args.cmd.is_empty() && !other.starts_with('-') => {
-                args.cmd = other.to_string()
-            }
-            other => panic!("unknown argument: {other}"),
+            other if args.cmd.is_empty() && !other.starts_with('-') => args.cmd = other.to_string(),
+            other => usage(&format!("unknown argument: {other}")),
         }
+    }
+    if args.size < 4 {
+        usage("--size must be at least 4 (smallest grid the generators support)");
+    }
+    if !args.tol.is_finite() || args.tol <= 0.0 {
+        usage("--tol must be a positive finite number");
     }
     if args.cmd.is_empty() {
         args.cmd = "all".into();
@@ -95,6 +112,7 @@ fn main() {
         "smooth" => smooth(&args),
         "cycle" => cycle_ablation(&args),
         "semi" => semi_ablation(&args),
+        "guard" => guard(&args),
         "all" => {
             fig1(&args);
             table2();
@@ -111,6 +129,7 @@ fn main() {
             smooth(&args);
             cycle_ablation(&args);
             semi_ablation(&args);
+            guard(&args);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -176,7 +195,13 @@ fn table2() {
     header("Table 2: estimated speedup upper bounds from matrix memory volume");
     let rows = model::table2(model::SUITESPARSE_DELTA);
     let mut t = Table::new(&[
-        "format", "B/nnz fp64", "B/nnz fp32", "B/nnz fp16", "64/32", "32/16", "64/16",
+        "format",
+        "B/nnz fp64",
+        "B/nnz fp32",
+        "B/nnz fp16",
+        "64/32",
+        "32/16",
+        "64/16",
     ]);
     for r in rows {
         t.row(vec![
@@ -226,8 +251,16 @@ fn fig3(args: &Args) {
     let frac = |v: &[f64], thr: f64| {
         100.0 * v.iter().filter(|&&x| x < thr).count() as f64 / v.len() as f64
     };
-    println!("cumulative frequency: C_G < 1.15: {:.0}%   C_G < 1.20: {:.0}%", frac(&cg_vals, 1.15), frac(&cg_vals, 1.2));
-    println!("                      C_O < 1.50: {:.0}%   C_O < 2.00: {:.0}%", frac(&co_vals, 1.5), frac(&co_vals, 2.0));
+    println!(
+        "cumulative frequency: C_G < 1.15: {:.0}%   C_G < 1.20: {:.0}%",
+        frac(&cg_vals, 1.15),
+        frac(&cg_vals, 1.2)
+    );
+    println!(
+        "                      C_O < 1.50: {:.0}%   C_O < 2.00: {:.0}%",
+        frac(&co_vals, 1.5),
+        frac(&co_vals, 2.0)
+    );
     println!("(paper: 80% of MFEM cases have C_G < 1.2 and C_O < 1.5; full");
     println!(" coarsening keeps C_G ≤ 8/7 ≈ 1.14, so the finest level dominates)");
 }
@@ -265,7 +298,8 @@ fn fig6(args: &Args) {
         ProblemKind::Rhd3T,
     ];
     let n = args.size.min(20);
-    let opts = SolveOptions { tol: 1e-10, max_iters: 200, record_history: true, ..Default::default() };
+    let opts =
+        SolveOptions { tol: 1e-10, max_iters: 200, record_history: true, ..Default::default() };
     for kind in problems {
         println!("\n--- {} (n = {n}) ---", kind.name());
         let runs: Vec<_> = Combo::fig6()
@@ -318,7 +352,10 @@ fn fig7(args: &Args) {
     // defaults to much larger grids than the solver experiments.
     let base = if args.size_set { args.size.max(16) } else { 104 };
     let sizes = [base, base + base / 8, base + base / 4];
-    println!("sizes: {sizes:?} (cubed), geometric mean; SIMD available: {}", fp16mg_sgdia::kernels::simd_available());
+    println!(
+        "sizes: {sizes:?} (cubed), geometric mean; SIMD available: {}",
+        fp16mg_sgdia::kernels::simd_available()
+    );
     let rows = kernel_suite(&sizes, Par::Seq, args.budget_ms);
     for kernel in [KernelKind::Spmv, KernelKind::Sptrsv] {
         let kname = if kernel == KernelKind::Spmv { "SpMV" } else { "SpTRSV" };
@@ -340,11 +377,7 @@ fn fig7(args: &Args) {
                 row.variant.label().to_string(),
                 fmt_secs(row.seconds),
                 format!("{:.2}x", row.speedup),
-                if row.variant == Variant::F16Opt {
-                    format!("{maxsp:.2}x")
-                } else {
-                    String::new()
-                },
+                if row.variant == Variant::F16Opt { format!("{maxsp:.2}x") } else { String::new() },
             ]);
         }
         println!("\n{kname}:");
@@ -363,10 +396,19 @@ fn fig8(args: &Args) {
     // Bandwidth-pressure regime: the finest-level matrix should stress the
     // LLC, so the default is production-ish.
     let size = if args.size_set { args.size } else { 88 };
-    let opts = SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
     let mut t = Table::new(&[
-        "problem", "combo", "#iter", "setup", "MG precond", "other", "total",
-        "norm.total", "PC speedup", "E2E speedup",
+        "problem",
+        "combo",
+        "#iter",
+        "setup",
+        "MG precond",
+        "other",
+        "total",
+        "norm.total",
+        "PC speedup",
+        "E2E speedup",
     ]);
     let mut pc_speedups = Vec::new();
     let mut e2e_speedups = Vec::new();
@@ -432,8 +474,17 @@ fn fig8(args: &Args) {
 
 fn fig10(args: &Args) {
     header("Figure 10: strong scalability (total solve time vs threads)");
-    let opts = SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
-    let mut t = Table::new(&["problem", "threads", "Full* time", "Mix16 time", "Mix16 speedup", "par.eff Full*", "par.eff Mix16"]);
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
+    let mut t = Table::new(&[
+        "problem",
+        "threads",
+        "Full* time",
+        "Mix16 time",
+        "Mix16 speedup",
+        "par.eff Full*",
+        "par.eff Mix16",
+    ]);
     for kind in ProblemKind::all() {
         let n = match kind.components() {
             1 => args.size,
@@ -443,16 +494,11 @@ fn fig10(args: &Args) {
         let mut base_full = f64::NAN;
         let mut base_mix = f64::NAN;
         for &threads in &args.threads {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("thread pool");
-            let (full, mix) = pool.install(|| {
-                (
-                    solve_e2e(kind, n, Combo::Full64, &opts, Par::Rayon),
-                    solve_e2e(kind, n, Combo::D16SetupScale, &opts, Par::Rayon),
-                )
-            });
+            let par = Par::Threads(threads);
+            let (full, mix) = (
+                solve_e2e(kind, n, Combo::Full64, &opts, par),
+                solve_e2e(kind, n, Combo::D16SetupScale, &opts, par),
+            );
             let (Ok(full), Ok(mix)) = (full, mix) else { continue };
             let tf = full.total().as_secs_f64();
             let tm = mix.total().as_secs_f64();
@@ -472,7 +518,10 @@ fn fig10(args: &Args) {
         }
     }
     print!("{t}");
-    println!("(threads swept: {:?}; on a single-core host this degenerates to one row", args.threads);
+    println!(
+        "(threads swept: {:?}; on a single-core host this degenerates to one row",
+        args.threads
+    );
     println!(" per problem — see EXPERIMENTS.md)");
 
     // The Fig. 10 *communication* analysis, modeled: halo-exchange volume
@@ -481,7 +530,14 @@ fn fig10(args: &Args) {
     // precision, guideline 4), which is why FP16 acceleration makes the
     // communication share more dominant at scale.
     println!("\nModeled V-cycle halo-exchange volume (box decomposition, FP32 vectors):");
-    let mut t = Table::new(&["problem", "ranks", "rank grid", "finest halo B/cycle", "all-levels B/cycle", "halo/matrix traffic"]);
+    let mut t = Table::new(&[
+        "problem",
+        "ranks",
+        "rank grid",
+        "finest halo B/cycle",
+        "all-levels B/cycle",
+        "halo/matrix traffic",
+    ]);
     for kind in [ProblemKind::Laplace27, ProblemKind::Rhd, ProblemKind::Weather] {
         let p = kind.build(args.size.max(32));
         let grid = *p.matrix.grid();
@@ -512,7 +568,8 @@ fn fig10(args: &Args) {
 
 fn table1(args: &Args) {
     header("Table 1: mixed-precision multigrid preconditioners (literature + ours)");
-    let mut t = Table::new(&["ref", "type", "scale?", "P.C. precision", "P.C. speedup", "E2E speedup"]);
+    let mut t =
+        Table::new(&["ref", "type", "scale?", "P.C. precision", "P.C. speedup", "E2E speedup"]);
     for (r, ty, sc, prec, pcs, e2e) in [
         ("[9] Goddeke'11", "GMG", "N/N", "FP32", "~2.0x", "~1.7x"),
         ("[5] Emans'10", "AMG", "N/N", "FP32", "1.1~1.5x", "unclear"),
@@ -524,7 +581,8 @@ fn table1(args: &Args) {
         t.row(vec![r.into(), ty.into(), sc.into(), prec.into(), pcs.into(), e2e.into()]);
     }
     // Our row, measured.
-    let opts = SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
     let mut pcs = Vec::new();
     let mut e2es = Vec::new();
     for kind in ProblemKind::all() {
@@ -554,8 +612,20 @@ fn table3(args: &Args) {
     header("Table 3: problem characteristics");
     let n = args.size.min(20);
     let mut t = Table::new(&[
-        "problem", "PDE", "pattern", "#dof", "#nnz", "real?", "out-of-fp16?", "dist",
-        "aniso", "cond~", "precision", "solver", "C_G", "C_O",
+        "problem",
+        "PDE",
+        "pattern",
+        "#dof",
+        "#nnz",
+        "real?",
+        "out-of-fp16?",
+        "dist",
+        "aniso",
+        "cond~",
+        "precision",
+        "solver",
+        "C_G",
+        "C_O",
     ]);
     for kind in ProblemKind::all() {
         let p = kind.build(n);
@@ -569,11 +639,19 @@ fn table3(args: &Args) {
             .unwrap_or((f64::NAN, f64::NAN));
         t.row(vec![
             p.name.to_string(),
-            if kind.components() == 1 { "scalar".into() } else { format!("vector{}", kind.components()) },
+            if kind.components() == 1 {
+                "scalar".into()
+            } else {
+                format!("vector{}", kind.components())
+            },
             kind.pattern_name().to_string(),
             p.matrix.rows().to_string(),
             p.matrix.nnz().to_string(),
-            (!matches!(kind, ProblemKind::Laplace27 | ProblemKind::Laplace27E8 | ProblemKind::Solid3D)).to_string(),
+            (!matches!(
+                kind,
+                ProblemKind::Laplace27 | ProblemKind::Laplace27E8 | ProblemKind::Solid3D
+            ))
+            .to_string(),
             if out { "Yes".into() } else { "No".to_string() },
             dist.to_string(),
             aniso.label().to_string(),
@@ -595,7 +673,8 @@ fn table3(args: &Args) {
 
 fn bf16(args: &Args) {
     header("Section 8: FP16 vs BF16 storage (#iter comparison)");
-    let opts = SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
     let n = args.size.min(20);
     let mut t = Table::new(&["problem", "Full64", "D16 (+%)", "BF16 (+%)"]);
     for kind in ProblemKind::all() {
@@ -615,12 +694,7 @@ fn bf16(args: &Args) {
             Err(_) => "setup-fail".into(),
         };
         let base = full.as_ref().ok().map(|r| r.result.iters);
-        t.row(vec![
-            kind.name().to_string(),
-            fmt(&full, None),
-            fmt(&d16, base),
-            fmt(&b16, base),
-        ]);
+        t.row(vec![kind.name().to_string(), fmt(&full, None), fmt(&d16, base), fmt(&b16, base)]);
     }
     print!("{t}");
     println!("(paper observed FP16 +19% vs BF16 +59% on rhd: fewer mantissa bits cost");
@@ -631,7 +705,8 @@ fn bf16(args: &Args) {
 
 fn shift(args: &Args) {
     header("Section 4.3 extension: shift_levid sweep (underflow guard position)");
-    let opts = SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
     let n = args.size.min(20);
     let mut t = Table::new(&["problem", "shift_levid", "#iter", "matrix bytes"]);
     for kind in [ProblemKind::Rhd, ProblemKind::Weather, ProblemKind::Rhd3T] {
@@ -644,12 +719,9 @@ fn shift(args: &Args) {
                     format!("{}{}", r.result.iters, if r.result.converged() { "" } else { "!" }),
                     r.matrix_bytes.to_string(),
                 ]),
-                Err(e) => t.row(vec![
-                    kind.name().to_string(),
-                    lev.to_string(),
-                    "setup-fail".into(),
-                    e,
-                ]),
+                Err(e) => {
+                    t.row(vec![kind.name().to_string(), lev.to_string(), "setup-fail".into(), e])
+                }
             }
         }
     }
@@ -662,7 +734,8 @@ fn shift(args: &Args) {
 
 fn smooth(args: &Args) {
     header("Section 8: smoothing-count sensitivity (ν1 = ν2 = ν)");
-    let opts = SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
     let n = args.size.min(24);
     let mut t = Table::new(&["problem", "nu", "combo", "#iter", "total", "E2E speedup"]);
     for kind in [ProblemKind::Laplace27, ProblemKind::Rhd, ProblemKind::Oil] {
@@ -685,7 +758,11 @@ fn smooth(args: &Args) {
                         r.combo.label(),
                         r.result.iters.to_string(),
                         fmt_secs(r.total().as_secs_f64()),
-                        if r.combo == Combo::D16SetupScale { format!("{sp:.2}x") } else { String::new() },
+                        if r.combo == Combo::D16SetupScale {
+                            format!("{sp:.2}x")
+                        } else {
+                            String::new()
+                        },
                     ]);
                 }
             }
@@ -700,7 +777,8 @@ fn smooth(args: &Args) {
 fn cycle_ablation(args: &Args) {
     header("Extension: cycle-shape ablation (V vs W vs F)");
     use fp16mg_core::Cycle;
-    let opts = SolveOptions { tol: args.tol, max_iters: 400, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 400, record_history: false, ..Default::default() };
     let n = args.size.min(24);
     let mut t = Table::new(&["problem", "cycle", "#iter", "MG precond", "total"]);
     for kind in [ProblemKind::Laplace27, ProblemKind::Oil, ProblemKind::Weather] {
@@ -729,7 +807,8 @@ fn cycle_ablation(args: &Args) {
 fn semi_ablation(args: &Args) {
     header("Extension: full vs semicoarsening on the anisotropic problems");
     use fp16mg_core::Coarsening;
-    let opts = SolveOptions { tol: args.tol, max_iters: 400, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 400, record_history: false, ..Default::default() };
     let n = args.size.min(24);
     let mut t = Table::new(&["problem", "coarsening", "#iter", "C_G", "C_O", "total"]);
     for kind in [ProblemKind::Oil, ProblemKind::Weather, ProblemKind::Laplace27] {
@@ -754,6 +833,122 @@ fn semi_ablation(args: &Args) {
     print!("{t}");
     println!("(semicoarsening collapses the strong direction first: fewer iterations");
     println!(" on anisotropic problems at higher grid complexity — the PFMG trade)");
+}
+
+// --------------------------------------------------------------- guard --
+
+fn guard(args: &Args) {
+    header("Robustness: fault-injected FP16 levels — detect, promote, converge");
+    use fp16mg_bench::{finest_narrow_level, solve_guarded};
+    use fp16mg_sgdia::fault::FaultSpec;
+
+    let opts =
+        SolveOptions { tol: args.tol, max_iters: 500, record_history: false, ..Default::default() };
+    let n = args.size.min(20);
+    let mut t = Table::new(&[
+        "problem",
+        "scenario",
+        "#iter",
+        "rel.resid",
+        "promoted",
+        "restarts",
+        "events",
+    ]);
+    let mut all_events: Vec<String> = Vec::new();
+    for kind in [ProblemKind::Laplace27, ProblemKind::Rhd, ProblemKind::Weather] {
+        let p = kind.build(n);
+        // Each scenario: (label, combo, inject?).
+        for (label, combo, inject) in [
+            ("Full64 clean", Combo::Full64, false),
+            ("Mix16 clean", Combo::D16SetupScale, false),
+            ("Mix16 injected", Combo::D16SetupScale, true),
+        ] {
+            macro_rules! go {
+                ($pr:ty) => {{
+                    let mut mg = match Mg::<$pr>::setup(&p.matrix, &combo.mg_config()) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            t.row(vec![
+                                kind.name().into(),
+                                label.into(),
+                                "setup-fail".into(),
+                                e.to_string(),
+                                String::new(),
+                                String::new(),
+                                String::new(),
+                            ]);
+                            continue;
+                        }
+                    };
+                    if inject {
+                        match finest_narrow_level(&mg) {
+                            Some(lev) => {
+                                let spec = FaultSpec::inf(2e-4, 0xfeed);
+                                let report = mg
+                                    .stored_mut(lev)
+                                    .expect("narrow level exists")
+                                    .inject_faults(&spec);
+                                all_events.push(format!(
+                                    "{}: injected {} Inf values into level {lev} ({:?})",
+                                    kind.name(),
+                                    report.infs.max(1),
+                                    mg.info().levels[lev].precision,
+                                ));
+                                if report.infs == 0 {
+                                    // Rate too low for a small matrix: force one.
+                                    mg.stored_mut(lev).expect("narrow level").inject_inf_at(0, 0);
+                                }
+                            }
+                            None => {
+                                t.row(vec![
+                                    kind.name().into(),
+                                    label.into(),
+                                    "no 16-bit level".into(),
+                                    String::new(),
+                                    String::new(),
+                                    String::new(),
+                                    String::new(),
+                                ]);
+                                continue;
+                            }
+                        }
+                    }
+                    let out = solve_guarded(&p, &mut mg, &opts, Par::Seq);
+                    for ev in &out.promotions {
+                        all_events.push(format!("{}: {ev}", kind.name()));
+                    }
+                    t.row(vec![
+                        kind.name().into(),
+                        label.into(),
+                        format!("{}{}", out.result.iters, if out.converged() { "" } else { "!" }),
+                        format!("{:9.2e}", out.result.final_rel_residual),
+                        out.promotions.len().to_string(),
+                        out.restarts.to_string(),
+                        out.promotions
+                            .iter()
+                            .map(|e| format!("L{}:{}", e.level, e.reason))
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    ]);
+                }};
+            }
+            if combo.p64() {
+                go!(f64)
+            } else {
+                go!(f32)
+            }
+        }
+    }
+    print!("{t}");
+    if !all_events.is_empty() {
+        println!("\npromotion log:");
+        for e in &all_events {
+            println!("  {e}");
+        }
+    }
+    println!("(expect: clean rows promote nothing; injected rows detect the corrupt");
+    println!(" FP16 level inside one V-cycle, promote it to FP32, and converge to");
+    println!(" the same tolerance as the clean run)");
 }
 
 /// Variant of solve_e2e with an explicit config (for the nu sweep).

@@ -1,6 +1,6 @@
 //! The precision/strategy combinations evaluated in the paper.
 
-use fp16mg_core::{MgConfig, ScaleStrategy, StoragePolicy};
+use fp16mg_core::{MgConfig, RecoveryPolicy, ScaleStrategy, StoragePolicy};
 use fp16mg_fp::Precision;
 
 /// One column of the Fig. 6 legend (plus the extensions of §4.3 and §8).
@@ -31,13 +31,7 @@ pub enum Combo {
 impl Combo {
     /// The five Fig. 6 curves in plot order.
     pub fn fig6() -> [Combo; 5] {
-        [
-            Combo::Full64,
-            Combo::D32,
-            Combo::D16None,
-            Combo::D16ScaleSetup,
-            Combo::D16SetupScale,
-        ]
+        [Combo::Full64, Combo::D32, Combo::D16None, Combo::D16ScaleSetup, Combo::D16SetupScale]
     }
 
     /// Paper legend label.
@@ -65,7 +59,14 @@ impl Combo {
         match self {
             Combo::Full64 => MgConfig::d64(),
             Combo::D32 => MgConfig::d32(),
-            Combo::D16None => MgConfig { scale: ScaleStrategy::None, ..MgConfig::d16() },
+            // The "no treatment" ablation arm also switches runtime
+            // recovery off: Fig. 6's yellow curve exists to show the NaN
+            // failure, which self-healing would otherwise mask.
+            Combo::D16None => MgConfig {
+                scale: ScaleStrategy::None,
+                recovery: RecoveryPolicy::disabled(),
+                ..MgConfig::d16()
+            },
             Combo::D16ScaleSetup => {
                 MgConfig { scale: ScaleStrategy::ScaleThenSetup, ..MgConfig::d16() }
             }

@@ -215,5 +215,11 @@ pub fn max_speedup(pattern: &Pattern, n: usize, kernel: KernelKind) -> f64 {
         KernelKind::Spmv => grid.cells() * pattern.len(),
         KernelKind::Sptrsv => grid.cells() * pattern.lower_with_diag().len(),
     };
-    model::spmv_max_speedup(entries, grid.unknowns(), Precision::F32, Precision::F16, Precision::F32)
+    model::spmv_max_speedup(
+        entries,
+        grid.unknowns(),
+        Precision::F32,
+        Precision::F16,
+        Precision::F32,
+    )
 }

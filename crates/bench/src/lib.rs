@@ -1,18 +1,23 @@
 //! Shared experiment harness.
 //!
-//! Everything the `repro` binary and the criterion benches need to
+//! Everything the `repro` binary and the `benches/` targets need to
 //! regenerate the paper's tables and figures: the precision/strategy
 //! combinations of the Fig. 6 ablation, timed end-to-end solves with the
-//! Fig. 8/9 breakdown (setup / MG preconditioner / other), and the Fig. 7
+//! Fig. 8/9 breakdown (setup / MG preconditioner / other), the Fig. 7
 //! kernel measurement matrix (baseline / naive / optimized / model-bound
-//! / CSR stand-in for vendor libraries).
+//! / CSR stand-in for vendor libraries), and the fault-injection guard
+//! experiment demonstrating detect → promote → converge.
 
 #![warn(missing_docs)]
 pub mod combos;
 pub mod e2e;
+pub mod guard;
 pub mod kernelbench;
+pub mod microbench;
 pub mod table;
 
 pub use combos::Combo;
 pub use e2e::{solve_e2e, E2eResult};
+pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};
 pub use kernelbench::{kernel_suite, KernelKind, KernelRow, Variant};
+pub use microbench::Group;

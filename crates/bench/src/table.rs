@@ -42,9 +42,10 @@ impl Table {
                 }
                 let pad = width[c] - cell.chars().count();
                 // Right-align numeric-looking cells, left-align text.
-                let numeric = cell.chars().next().is_some_and(|ch| {
-                    ch.is_ascii_digit() || ch == '-' || ch == '+' || ch == '.'
-                });
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '+' || ch == '.');
                 if numeric {
                     s.push_str(&" ".repeat(pad));
                     s.push_str(cell);

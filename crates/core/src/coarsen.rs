@@ -44,11 +44,7 @@ pub fn galerkin_rap_axes(a: &SgDia<f64>, axes: (bool, bool, bool)) -> SgDia<f64>
     let coarse = fine.coarsen_axes(axes);
     assert_ne!(coarse, fine, "no axis was coarsened");
     let r = fine.components;
-    let cpattern = if r == 1 {
-        Pattern::p27()
-    } else {
-        Pattern::p27().with_components(r)
-    };
+    let cpattern = if r == 1 { Pattern::p27() } else { Pattern::p27().with_components(r) };
     let mut ac = SgDia::<f64>::zeros(coarse, cpattern, a.layout());
 
     // Precompute the coarse tap index for every (offset, cout, cin).

@@ -27,10 +27,8 @@ pub enum StoragePolicy {
 }
 
 impl StoragePolicy {
-    /// Resolves the precision of `level`.
-    ///
-    /// # Panics
-    /// Panics if a `PerLevel` list is empty.
+    /// Resolves the precision of `level`. An empty `PerLevel` list (which
+    /// [`MgConfig::validate`] rejects before setup) resolves to FP32.
     pub fn precision_for(&self, level: usize) -> Precision {
         match self {
             StoragePolicy::Uniform(p) => *p,
@@ -42,8 +40,11 @@ impl StoragePolicy {
                 }
             }
             StoragePolicy::PerLevel(v) => {
-                assert!(!v.is_empty(), "empty PerLevel policy");
-                *v.get(level).unwrap_or_else(|| v.last().unwrap())
+                // Non-emptiness is enforced by MgConfig::validate; fall
+                // back to the computation precision rather than panicking
+                // if an unvalidated policy slips through.
+                debug_assert!(!v.is_empty(), "empty PerLevel policy");
+                v.get(level).or_else(|| v.last()).copied().unwrap_or(Precision::F32)
             }
         }
     }
@@ -136,6 +137,117 @@ pub enum Cycle {
     F,
 }
 
+/// Runtime precision-recovery policy: what the hierarchy does when a
+/// reduced-precision level is caught producing non-finite output or a
+/// precision-attributable stall (the self-healing companion to the static
+/// `shift_levid` guard of §4.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Master switch. When off, `Mg` never scans its own output and never
+    /// promotes — the paper's original fail-fast behavior.
+    pub enabled: bool,
+    /// Total promotion budget across the hierarchy's lifetime. Each
+    /// promotion widens one level 16-bit → FP32, so a budget the size of
+    /// the hierarchy degenerates to the FP32 baseline at worst.
+    pub max_promotions: usize,
+    /// If a promoted level *still* needs scaling (values beyond the FP32
+    /// range), retry with `G` multiplied by this factor in `(0, 1]` —
+    /// a tighter margin below `G_max` than the first attempt used.
+    pub g_tighten: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { enabled: true, max_promotions: 4, g_tighten: 0.5 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Recovery switched off: detect nothing, promote nothing.
+    pub fn disabled() -> Self {
+        RecoveryPolicy { enabled: false, ..Default::default() }
+    }
+}
+
+/// A configuration rejected by [`MgConfig::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `max_levels` is zero — a hierarchy needs at least the finest level.
+    NoLevels,
+    /// `Fp16Until::shift_levid` exceeds `max_levels`, so the switch to the
+    /// coarse precision could never fire (use `usize::MAX` to mean
+    /// "all FP16" explicitly).
+    ShiftBeyondLevels {
+        /// The configured shift level.
+        shift_levid: usize,
+        /// The configured maximum level count.
+        max_levels: usize,
+    },
+    /// Both `nu1` and `nu2` are zero: the cycle would do no smoothing at
+    /// all and cannot reduce high-frequency error.
+    NoSmoothing,
+    /// A `PerLevel` storage policy with an empty precision list.
+    EmptyPerLevel,
+    /// A fixed scaling constant `G` that is not positive and finite.
+    /// (Theorem 4.1 additionally requires `G < G_max`, which depends on
+    /// the matrix; `scale_symmetric` clamps to `G_max / 2` at setup.)
+    InvalidG {
+        /// The offending value.
+        g: f64,
+    },
+    /// A Jacobi damping weight that is not positive and finite.
+    InvalidSmootherWeight {
+        /// The offending value.
+        weight: f64,
+    },
+    /// A Chebyshev smoother of degree zero.
+    InvalidChebyshevDegree,
+    /// A semicoarsening threshold outside `(0, 1]`.
+    InvalidSemiThreshold {
+        /// The offending value.
+        threshold: f64,
+    },
+    /// A recovery `g_tighten` factor outside `(0, 1]`.
+    InvalidGTighten {
+        /// The offending value.
+        g_tighten: f64,
+    },
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::NoLevels => write!(f, "max_levels must be at least 1"),
+            ConfigError::ShiftBeyondLevels { shift_levid, max_levels } => write!(
+                f,
+                "shift_levid {shift_levid} exceeds max_levels {max_levels} \
+                 (use usize::MAX for all-FP16)"
+            ),
+            ConfigError::NoSmoothing => {
+                write!(f, "nu1 and nu2 are both zero: the cycle would never smooth")
+            }
+            ConfigError::EmptyPerLevel => write!(f, "PerLevel storage policy is empty"),
+            ConfigError::InvalidG { g } => {
+                write!(f, "fixed scaling constant G = {g} must be positive and finite")
+            }
+            ConfigError::InvalidSmootherWeight { weight } => {
+                write!(f, "Jacobi weight {weight} must be positive and finite")
+            }
+            ConfigError::InvalidChebyshevDegree => {
+                write!(f, "Chebyshev smoother degree must be at least 1")
+            }
+            ConfigError::InvalidSemiThreshold { threshold } => {
+                write!(f, "semicoarsening threshold {threshold} must lie in (0, 1]")
+            }
+            ConfigError::InvalidGTighten { g_tighten } => {
+                write!(f, "recovery g_tighten {g_tighten} must lie in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Complete multigrid configuration.
 #[derive(Clone, Debug)]
 pub struct MgConfig {
@@ -164,6 +276,8 @@ pub struct MgConfig {
     pub cycle: Cycle,
     /// Coarsening policy.
     pub coarsening: Coarsening,
+    /// Runtime precision-recovery policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for MgConfig {
@@ -181,6 +295,7 @@ impl Default for MgConfig {
             par: Par::Seq,
             cycle: Cycle::V,
             coarsening: Coarsening::Full,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -206,5 +321,59 @@ impl MgConfig {
     /// BF16 storage (§8 comparison).
     pub fn dbf16() -> Self {
         MgConfig { storage: StoragePolicy::Uniform(Precision::BF16), ..Default::default() }
+    }
+
+    /// Checks the configuration for contradictions before any setup work
+    /// runs. [`crate::Mg::setup`] calls this first, so a bad configuration
+    /// fails with a [`ConfigError`] instead of a panic (or a silently
+    /// useless hierarchy) deep inside the Galerkin chain.
+    ///
+    /// # Errors
+    /// The first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_levels == 0 {
+            return Err(ConfigError::NoLevels);
+        }
+        if let StoragePolicy::Fp16Until { shift_levid, .. } = self.storage {
+            if shift_levid != usize::MAX && shift_levid > self.max_levels {
+                return Err(ConfigError::ShiftBeyondLevels {
+                    shift_levid,
+                    max_levels: self.max_levels,
+                });
+            }
+        }
+        if let StoragePolicy::PerLevel(v) = &self.storage {
+            if v.is_empty() {
+                return Err(ConfigError::EmptyPerLevel);
+            }
+        }
+        if self.nu1 == 0 && self.nu2 == 0 {
+            return Err(ConfigError::NoSmoothing);
+        }
+        if let GChoice::Fixed(g) = self.g_choice {
+            // `!is_finite()` first so NaN is caught before any ordering test.
+            if !g.is_finite() || g <= 0.0 {
+                return Err(ConfigError::InvalidG { g });
+            }
+        }
+        match self.smoother {
+            SmootherKind::Jacobi { weight } if !weight.is_finite() || weight <= 0.0 => {
+                return Err(ConfigError::InvalidSmootherWeight { weight });
+            }
+            SmootherKind::Chebyshev { degree: 0 } => {
+                return Err(ConfigError::InvalidChebyshevDegree);
+            }
+            _ => {}
+        }
+        if let Coarsening::Semi { threshold } = self.coarsening {
+            if threshold.is_nan() || threshold <= 0.0 || threshold > 1.0 {
+                return Err(ConfigError::InvalidSemiThreshold { threshold });
+            }
+        }
+        let gt = self.recovery.g_tighten;
+        if gt.is_nan() || gt <= 0.0 || gt > 1.0 {
+            return Err(ConfigError::InvalidGTighten { g_tighten: gt });
+        }
+        Ok(())
     }
 }

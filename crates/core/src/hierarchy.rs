@@ -8,16 +8,21 @@ use fp16mg_sgdia::kernels::BlockDiagInv;
 use fp16mg_sgdia::scaling::{self, rescale_into, ScaleVectors};
 use fp16mg_sgdia::SgDia;
 
+use fp16mg_sgdia::scaling::GChoice;
+use fp16mg_sgdia::scan::MatrixScan;
+
 use crate::coarsen::{directional_strength, galerkin_rap_axes};
-use crate::config::{Coarsening, Cycle, MgConfig, ScaleStrategy};
+use crate::config::{Coarsening, ConfigError, Cycle, MgConfig, ScaleStrategy};
 use crate::level::Level;
 use crate::smoother::DenseLu;
 use crate::stored::StoredMatrix;
 use crate::transfer::{prolong_add, restrict};
 
 /// Setup failure.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SetupError {
+    /// The configuration failed [`MgConfig::validate`].
+    InvalidConfig(ConfigError),
     /// Theorem 4.1 requires positive diagonals; this unknown's is not.
     NonPositiveDiagonal {
         /// Level index.
@@ -32,8 +37,11 @@ pub enum SetupError {
         /// Offending cell.
         cell: usize,
     },
-    /// The coarsest-level dense factorization hit a zero pivot.
-    SingularCoarseMatrix,
+    /// The coarsest-level dense factorization failed.
+    SingularCoarseMatrix {
+        /// Column whose pivot vanished (or was non-finite).
+        pivot: usize,
+    },
     /// More components per cell than the kernels support (8).
     TooManyComponents,
 }
@@ -41,19 +49,78 @@ pub enum SetupError {
 impl core::fmt::Display for SetupError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
+            SetupError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             SetupError::NonPositiveDiagonal { level, unknown } => {
                 write!(f, "non-positive diagonal at level {level}, unknown {unknown}")
             }
             SetupError::SingularDiagonalBlock { level, cell } => {
                 write!(f, "singular diagonal block at level {level}, cell {cell}")
             }
-            SetupError::SingularCoarseMatrix => write!(f, "singular coarsest-level matrix"),
+            SetupError::SingularCoarseMatrix { pivot } => {
+                write!(f, "singular coarsest-level matrix (pivot column {pivot})")
+            }
             SetupError::TooManyComponents => write!(f, "more than 8 components per cell"),
         }
     }
 }
 
 impl std::error::Error for SetupError {}
+
+impl From<ConfigError> for SetupError {
+    fn from(e: ConfigError) -> Self {
+        SetupError::InvalidConfig(e)
+    }
+}
+
+/// Why a level was promoted to a wider storage precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PromotionReason {
+    /// The V-cycle output contained ±∞/NaN and this level was implicated
+    /// (corrupt stored values, or the coarsest reduced-precision level as
+    /// the §4.3-style suspect when no corruption was visible).
+    NonFiniteOutput,
+    /// The outer solve stagnated above the FP16 unit-roundoff floor and
+    /// asked the hierarchy to shed precision-attributable error.
+    Stagnation,
+    /// Explicit caller request.
+    Manual,
+}
+
+impl core::fmt::Display for PromotionReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PromotionReason::NonFiniteOutput => write!(f, "non-finite V-cycle output"),
+            PromotionReason::Stagnation => write!(f, "stagnation above the FP16 floor"),
+            PromotionReason::Manual => write!(f, "manual request"),
+        }
+    }
+}
+
+/// One runtime storage-precision promotion, logged in [`MgInfo`].
+#[derive(Clone, Debug)]
+pub struct PromotionEvent {
+    /// Promoted level.
+    pub level: usize,
+    /// Storage precision before promotion.
+    pub from: Precision,
+    /// Storage precision after promotion.
+    pub to: Precision,
+    /// What triggered it.
+    pub reason: PromotionReason,
+    /// Non-finite stored values found in the level at promotion time
+    /// (zero when the promotion was precautionary).
+    pub corrupt_entries: u64,
+}
+
+impl core::fmt::Display for PromotionEvent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "level {} promoted {:?} -> {:?} ({}; {} corrupt entries)",
+            self.level, self.from, self.to, self.reason, self.corrupt_entries
+        )
+    }
+}
 
 /// Per-level summary for reports (Table 3, Fig. 3).
 #[derive(Clone, Debug)]
@@ -88,6 +155,9 @@ pub struct MgInfo {
     pub operator_complexity: f64,
     /// Total bytes of matrix data across smoothed levels.
     pub matrix_bytes: usize,
+    /// Runtime storage-precision promotions, in the order they fired
+    /// (empty for a healthy solve).
+    pub promotions: Vec<PromotionEvent>,
 }
 
 /// The FP16-capable structured multigrid preconditioner.
@@ -99,6 +169,11 @@ pub struct MgInfo {
 /// Algorithm 2 happen at the boundary.
 pub struct Mg<Pr: Scalar = f32> {
     levels: Vec<Level<Pr>>,
+    /// FP32 copies of the *unscaled* high-precision operators of the
+    /// 16-bit-stored levels, retained when recovery is enabled: the
+    /// material a promotion rebuilds the level from. `None` for levels
+    /// already wide, or once a level's promotion has consumed its source.
+    sources: Vec<Option<SgDia<f32>>>,
     coarse_grid: Grid3,
     coarse_lu: DenseLu,
     coarse_f: Vec<Pr>,
@@ -131,6 +206,7 @@ impl<Pr: Scalar> Mg<Pr> {
     /// # Errors
     /// See [`SetupError`].
     pub fn setup(a: &SgDia<f64>, config: &MgConfig) -> Result<Self, SetupError> {
+        config.validate()?;
         if a.grid().components > 8 {
             return Err(SetupError::TooManyComponents);
         }
@@ -148,10 +224,12 @@ impl<Pr: Scalar> Mg<Pr> {
             finest_scale = Some(sv);
         }
         chain.push(finest);
-        while chain.len() < config.max_levels.max(1)
-            && !chain.last().unwrap().grid().is_coarsest(config.min_coarse_cells)
-        {
-            let last = chain.last().unwrap();
+        while chain.len() < config.max_levels.max(1) {
+            // The chain is never empty: the finest matrix is pushed above.
+            let Some(last) = chain.last() else { break };
+            if last.grid().is_coarsest(config.min_coarse_cells) {
+                break;
+            }
             let axes = select_axes(last, config.coarsening);
             if last.grid().coarsen_axes(axes) == *last.grid() {
                 break; // nothing left to coarsen
@@ -162,10 +240,17 @@ impl<Pr: Scalar> Mg<Pr> {
         // --- Per-level scale-and-truncate (lines 4–14). ---
         let nlev = chain.len();
         let mut levels = Vec::with_capacity(nlev.saturating_sub(1));
+        let mut sources = Vec::with_capacity(nlev.saturating_sub(1));
         let mut infos = Vec::with_capacity(nlev);
         for (i, ai) in chain.iter().enumerate().take(nlev - 1) {
             let prec = config.storage.precision_for(i);
             let (stored, scale, dinv, ilu, cheb) = build_level(ai, prec, config, i)?;
+            // Retain promotion material for the narrow levels: the
+            // unscaled operator in FP32 is exact enough to rebuild the
+            // level at FP32 and costs 2× the FP16 level it insures.
+            let keep_source = config.recovery.enabled
+                && matches!(stored.precision(), Precision::F16 | Precision::BF16);
+            sources.push(if keep_source { Some(ai.convert::<f32>()) } else { None });
             infos.push(LevelInfo {
                 dims: (ai.grid().nx, ai.grid().ny, ai.grid().nz),
                 unknowns: ai.rows(),
@@ -180,9 +265,9 @@ impl<Pr: Scalar> Mg<Pr> {
         }
 
         // --- Coarsest level: dense LU of the exact f64 operator. ---
-        let coarsest = chain.last().unwrap();
-        let coarse_lu =
-            DenseLu::factor(coarsest).map_err(|_| SetupError::SingularCoarseMatrix)?;
+        let coarsest = chain.last().expect("chain holds at least the finest matrix");
+        let coarse_lu = DenseLu::factor(coarsest)
+            .map_err(|e| SetupError::SingularCoarseMatrix { pivot: e.column() })?;
         let cn = coarsest.rows();
         infos.push(LevelInfo {
             dims: (coarsest.grid().nx, coarsest.grid().ny, coarsest.grid().nz),
@@ -202,10 +287,12 @@ impl<Pr: Scalar> Mg<Pr> {
             operator_complexity: infos.iter().map(|l| l.nnz as f64).sum::<f64>() / z0,
             matrix_bytes: infos.iter().take(nlev - 1).map(|l| l.value_bytes).sum(),
             levels: infos,
+            promotions: Vec::new(),
         };
 
         Ok(Mg {
             levels,
+            sources,
             coarse_grid: *coarsest.grid(),
             coarse_lu,
             coarse_f: vec![Pr::ZERO; cn],
@@ -307,9 +394,33 @@ impl<Pr: Scalar> Mg<Pr> {
     /// Preconditioner application in the computation precision:
     /// `e ≈ A⁻¹ r` via one V-cycle.
     ///
+    /// When the [`crate::RecoveryPolicy`] is enabled, the output is
+    /// scanned for ±∞/NaN; a non-finite result triggers a storage
+    /// promotion of the implicated level (see [`Mg::promote_level`]) and
+    /// the cycle re-runs, bounded by the promotion budget. A hierarchy
+    /// whose levels are all healthy pays exactly one pass over the output
+    /// vector for this guard.
+    ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn apply_pr(&mut self, r: &[Pr], e: &mut [Pr]) {
+        self.apply_pr_once(r, e);
+        if !self.config.recovery.enabled {
+            return;
+        }
+        while !e.iter().all(|v| v.to_f64().is_finite()) {
+            if self.promote_suspect(PromotionReason::NonFiniteOutput).is_none() {
+                // Budget exhausted or nothing left to promote: surface the
+                // non-finite output to the caller (the solver's own
+                // NonFiniteResidual breakdown will catch it).
+                return;
+            }
+            self.apply_pr_once(r, e);
+        }
+    }
+
+    /// One unguarded cycle application.
+    fn apply_pr_once(&mut self, r: &[Pr], e: &mut [Pr]) {
         let n = self.rows();
         assert_eq!(r.len(), n, "r length");
         assert_eq!(e.len(), n, "e length");
@@ -320,9 +431,7 @@ impl<Pr: Scalar> Mg<Pr> {
                 Some(sv) => {
                     rescale_into(r, &sv.s_inv, &mut self.coarse_f);
                     self.coarse_solve_from_own_f();
-                    for ((ei, &x), &si) in
-                        e.iter_mut().zip(&self.coarse_x64).zip(&sv.s_inv)
-                    {
+                    for ((ei, &x), &si) in e.iter_mut().zip(&self.coarse_x64).zip(&sv.s_inv) {
                         *ei = Pr::from_f64(x) * si;
                     }
                     self.finest_scale = Some(sv);
@@ -361,6 +470,129 @@ impl<Pr: Scalar> Mg<Pr> {
             None => self.coarse_grid.unknowns(),
         }
     }
+
+    /// The promotions that have fired so far (same data as
+    /// `info().promotions`).
+    pub fn promotions(&self) -> &[PromotionEvent] {
+        &self.info.promotions
+    }
+
+    /// One-pass classification of level `level`'s stored values
+    /// (`None` for the coarsest/direct level and out-of-range indices).
+    pub fn scan_level(&self, level: usize) -> Option<MatrixScan> {
+        self.levels.get(level).map(|l| l.stored.scan())
+    }
+
+    /// True while recovery is on and the promotion budget has headroom.
+    pub fn can_promote(&self) -> bool {
+        self.config.recovery.enabled
+            && self.info.promotions.len() < self.config.recovery.max_promotions
+            && self
+                .levels
+                .iter()
+                .zip(&self.sources)
+                .any(|(l, s)| s.is_some() && is_narrow(l.stored.precision()))
+    }
+
+    /// Promotes one level after the outer solve stagnated above the FP16
+    /// unit-roundoff floor: the corrupt level if the scan finds one,
+    /// otherwise the *coarsest* 16-bit level — the dynamic analog of
+    /// raising `shift_levid` (§4.3), since coarse-level underflow is the
+    /// canonical precision-attributable stall.
+    pub fn promote_for_stagnation(&mut self) -> Option<PromotionEvent> {
+        self.promote_suspect(PromotionReason::Stagnation)
+    }
+
+    /// Finds and promotes the most suspect reduced-precision level.
+    fn promote_suspect(&mut self, reason: PromotionReason) -> Option<PromotionEvent> {
+        if !self.can_promote() {
+            return None;
+        }
+        let mut fallback = None;
+        let mut target = None;
+        for (i, l) in self.levels.iter().enumerate() {
+            if self.sources[i].is_none() || !is_narrow(l.stored.precision()) {
+                continue;
+            }
+            if !l.stored.scan().all_finite() {
+                target = Some(i);
+                break;
+            }
+            fallback = Some(i);
+        }
+        self.promote_level(target.or(fallback)?, reason)
+    }
+
+    /// Rebuilds level `level` at FP32 storage from its retained source
+    /// operator: fresh truncation, fresh smoother data, and — should the
+    /// FP32 range somehow still be exceeded — a re-scale with `G`
+    /// tightened by the recovery policy's `g_tighten`. Returns `None`
+    /// when the level is not promotable (already wide, source consumed,
+    /// or the promotion budget is spent); the event is also logged in
+    /// [`MgInfo::promotions`].
+    pub fn promote_level(
+        &mut self,
+        level: usize,
+        reason: PromotionReason,
+    ) -> Option<PromotionEvent> {
+        if !self.config.recovery.enabled
+            || self.info.promotions.len() >= self.config.recovery.max_promotions
+        {
+            return None;
+        }
+        let lvl = self.levels.get(level)?;
+        let from = lvl.stored.precision();
+        if !is_narrow(from) {
+            return None;
+        }
+        let corrupt_entries = lvl.stored.scan().total.non_finite();
+        let src = self.sources.get_mut(level)?.take()?;
+        let a64: SgDia<f64> = src.convert();
+        let mut cfg = self.config.clone();
+        if let GChoice::Fixed(g) = cfg.g_choice {
+            cfg.g_choice = GChoice::Fixed(g * cfg.recovery.g_tighten);
+        }
+        let parts = match build_level::<Pr>(&a64, Precision::F32, &cfg, level) {
+            Ok(p) => p,
+            Err(_) => {
+                // Keep the source so a later attempt (e.g. after a manual
+                // config change) can retry.
+                self.sources[level] = Some(src);
+                return None;
+            }
+        };
+        let (stored, scale, dinv, ilu, cheb) = parts;
+        let event = PromotionEvent { level, from, to: stored.precision(), reason, corrupt_entries };
+        let info = &mut self.info.levels[level];
+        info.precision = stored.precision();
+        info.scaled = scale.is_some();
+        info.g = scale.as_ref().map(|s: &ScaleVectors<Pr>| s.g);
+        info.finite = stored.all_finite();
+        info.value_bytes = stored.value_bytes();
+        let l = &mut self.levels[level];
+        l.stored = stored;
+        l.scale = scale;
+        l.dinv = dinv;
+        l.ilu = ilu;
+        l.cheb_lambda = cheb;
+        let nsmoothed = self.levels.len();
+        self.info.matrix_bytes =
+            self.info.levels.iter().take(nsmoothed).map(|l| l.value_bytes).sum();
+        self.info.promotions.push(event.clone());
+        Some(event)
+    }
+
+    /// Mutable access to a level's stored matrix, for fault-injection
+    /// harnesses only.
+    #[cfg(feature = "fault-inject")]
+    pub fn stored_mut(&mut self, level: usize) -> Option<&mut StoredMatrix> {
+        self.levels.get_mut(level).map(|l| &mut l.stored)
+    }
+}
+
+/// The storage precisions the recovery path insures.
+fn is_narrow(p: Precision) -> bool {
+    matches!(p, Precision::F16 | Precision::BF16)
 }
 
 /// Chooses the coarsening axes for one level: all of them for full
@@ -374,10 +606,7 @@ fn select_axes(a: &SgDia<f64>, policy: Coarsening) -> (bool, bool, bool) {
         Coarsening::Full => (can[0], can[1], can[2]),
         Coarsening::Semi { threshold } => {
             let s = directional_strength(a);
-            let smax = (0..3)
-                .filter(|&ax| can[ax])
-                .map(|ax| s[ax])
-                .fold(0.0f64, f64::max);
+            let smax = (0..3).filter(|&ax| can[ax]).map(|ax| s[ax]).fold(0.0f64, f64::max);
             if smax == 0.0 {
                 return (can[0], can[1], can[2]);
             }
@@ -433,11 +662,8 @@ fn build_level<Pr: Scalar>(
                 // `shift_levid` (§4.3), costing almost nothing because
                 // coarse levels are small (guideline 3).
                 let (max, _) = ai.abs_max();
-                let fallback = if max < Precision::F32.finite_max() {
-                    Precision::F32
-                } else {
-                    Precision::F64
-                };
+                let fallback =
+                    if max < Precision::F32.finite_max() { Precision::F32 } else { Precision::F64 };
                 let dinv = BlockDiagInv::from_matrix(ai)
                     .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
                 let stored = StoredMatrix::truncate(ai, fallback, config.layout);

@@ -166,7 +166,19 @@ fn sweep<Pr: Scalar>(
     par: Par,
 ) {
     if let SmootherKind::Chebyshev { degree } = kind {
-        let lmax = cheb_lambda.expect("Chebyshev smoother requires a λmax estimate");
+        // Setup computes λmax whenever the Chebyshev smoother is
+        // configured; a missing estimate means the level was built for a
+        // different smoother. Degrade to a Gauss–Seidel sweep rather than
+        // aborting the whole solve.
+        let Some(lmax) = cheb_lambda else {
+            debug_assert!(false, "Chebyshev sweep without a λmax estimate");
+            if post {
+                stored.gs_backward(dinv, b, x);
+            } else {
+                stored.gs_forward(dinv, b, x);
+            }
+            return;
+        };
         chebyshev_sweep(stored, dinv, lmax, degree.max(1), b, x, scratch, scratch2, scratch3, par);
         return;
     }
@@ -247,7 +259,11 @@ fn chebyshev_sweep<Pr: Scalar>(
     let rc = dinv.components();
     let apply_dinv = |src: &[Pr], dst: &mut [Pr]| {
         for cell in 0..dinv.cells() {
-            dinv.solve(cell, &src[cell * rc..(cell + 1) * rc], &mut dst[cell * rc..(cell + 1) * rc]);
+            dinv.solve(
+                cell,
+                &src[cell * rc..(cell + 1) * rc],
+                &mut dst[cell * rc..(cell + 1) * rc],
+            );
         }
     };
 

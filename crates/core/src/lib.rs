@@ -35,10 +35,13 @@ mod stored;
 mod transfer;
 
 pub use coarsen::{directional_strength, galerkin_rap, galerkin_rap_axes};
-pub use config::{Coarsening, Cycle, MgConfig, ScaleStrategy, SmootherKind, StoragePolicy};
-pub use hierarchy::{LevelInfo, Mg, MgInfo, SetupError};
+pub use config::{
+    Coarsening, ConfigError, Cycle, MgConfig, RecoveryPolicy, ScaleStrategy, SmootherKind,
+    StoragePolicy,
+};
+pub use hierarchy::{LevelInfo, Mg, MgInfo, PromotionEvent, PromotionReason, SetupError};
 pub use ops::MatOp;
-pub use smoother::DenseLu;
+pub use smoother::{DenseLu, FactorError};
 pub use stored::StoredMatrix;
 pub use transfer::{prolong_add, restrict};
 

@@ -8,6 +8,50 @@
 
 use fp16mg_sgdia::{Csr, SgDia};
 
+/// Why a dense LU factorization failed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FactorError {
+    /// The pivot in this column was exactly zero: the matrix is
+    /// (numerically) singular.
+    ZeroPivot {
+        /// Column whose pivot vanished.
+        column: usize,
+    },
+    /// The pivot in this column was ±∞ or NaN — the input matrix carried
+    /// non-finite values into the factorization.
+    NonFinitePivot {
+        /// Column whose pivot is non-finite.
+        column: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl FactorError {
+    /// The column whose pivot failed.
+    pub fn column(&self) -> usize {
+        match self {
+            FactorError::ZeroPivot { column } => *column,
+            FactorError::NonFinitePivot { column, .. } => *column,
+        }
+    }
+}
+
+impl core::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FactorError::ZeroPivot { column } => {
+                write!(f, "zero pivot in column {column} during dense LU")
+            }
+            FactorError::NonFinitePivot { column, value } => {
+                write!(f, "non-finite pivot {value} in column {column} during dense LU")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
 /// Dense LU factorization with partial pivoting.
 #[derive(Clone, Debug)]
 pub struct DenseLu {
@@ -26,11 +70,12 @@ impl DenseLu {
     /// Factors the structured matrix.
     ///
     /// # Errors
-    /// Returns the pivot column on singularity.
+    /// [`FactorError`] identifying the failed pivot column, and whether it
+    /// vanished or was non-finite.
     ///
     /// # Panics
     /// Panics if the matrix exceeds [`DenseLu::MAX_UNKNOWNS`].
-    pub fn factor(a: &SgDia<f64>) -> Result<Self, usize> {
+    pub fn factor(a: &SgDia<f64>) -> Result<Self, FactorError> {
         let n = a.rows();
         assert!(n <= Self::MAX_UNKNOWNS, "coarse grid too large for dense LU ({n})");
         let csr = Csr::<f64>::from_sgdia(a);
@@ -52,8 +97,11 @@ impl DenseLu {
                 }
             }
             let pv = lu[p * n + col];
-            if pv == 0.0 || !pv.is_finite() {
-                return Err(col);
+            if pv == 0.0 {
+                return Err(FactorError::ZeroPivot { column: col });
+            }
+            if !pv.is_finite() {
+                return Err(FactorError::NonFinitePivot { column: col, value: pv });
             }
             if p != col {
                 piv.swap(p, col);
@@ -97,16 +145,17 @@ impl DenseLu {
         // Forward substitution (unit lower).
         for row in 1..n {
             let mut acc = scratch[row];
-            for j in 0..row {
-                acc -= self.lu[row * n + j] * scratch[j];
+            let (head, _) = scratch.split_at(row);
+            for (&l, &s) in self.lu[row * n..row * n + row].iter().zip(head) {
+                acc -= l * s;
             }
             scratch[row] = acc;
         }
         // Backward substitution.
         for row in (0..n).rev() {
             let mut acc = scratch[row];
-            for j in row + 1..n {
-                acc -= self.lu[row * n + j] * x[j];
+            for (&l, &sol) in self.lu[row * n + row + 1..(row + 1) * n].iter().zip(&x[row + 1..]) {
+                acc -= l * sol;
             }
             x[row] = acc / self.lu[row * n + row];
         }

@@ -6,7 +6,7 @@
 //! four storage formats at runtime. Dispatch cost is one match per kernel
 //! call — negligible against a grid sweep.
 
-use fp16mg_fp::{Bf16, F16, Precision, Scalar};
+use fp16mg_fp::{Bf16, Precision, Scalar, F16};
 use fp16mg_grid::Grid3;
 use fp16mg_sgdia::kernels::{self, BlockDiagInv, Par};
 use fp16mg_sgdia::{Layout, SgDia};
@@ -82,6 +82,33 @@ impl StoredMatrix {
     /// True when no stored value overflowed to ±∞/NaN during truncation.
     pub fn all_finite(&self) -> bool {
         dispatch!(self, a => a.all_finite())
+    }
+
+    /// Classifies every stored value in one pass (zero / subnormal /
+    /// normal / ±∞ / NaN, counted per stencil tap) — the diagnostic the
+    /// recovery path uses to attribute a non-finite V-cycle output to a
+    /// specific level.
+    pub fn scan(&self) -> fp16mg_sgdia::scan::MatrixScan {
+        dispatch!(self, a => fp16mg_sgdia::scan::scan(a))
+    }
+
+    /// Injects random bit-level faults into the stored values per `spec`.
+    /// Only the 16-bit formats are touched (they are the formats whose
+    /// corruption the recovery path must survive); F32/F64 matrices are
+    /// returned unmodified with an empty report.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_faults(
+        &mut self,
+        spec: &fp16mg_sgdia::fault::FaultSpec,
+    ) -> fp16mg_sgdia::fault::FaultReport {
+        dispatch!(self, a => fp16mg_sgdia::fault::inject(a, spec))
+    }
+
+    /// Forces the stored value at `(cell, tap)` to +∞ (16-bit formats
+    /// only). Returns whether a value was actually corrupted.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_inf_at(&mut self, cell: usize, tap: usize) -> bool {
+        dispatch!(self, a => fp16mg_sgdia::fault::inject_inf_at(a, cell, tap))
     }
 
     /// `y = A x` with on-the-fly recovery to `P`.

@@ -4,14 +4,14 @@
 
 use fp16mg_fp::Precision;
 use fp16mg_grid::Grid3;
+use fp16mg_krylov::{cg, richardson, Preconditioner, SolveOptions, StopReason};
 use fp16mg_sgdia::kernels::Par;
 use fp16mg_sgdia::{Csr, Layout, SgDia};
 use fp16mg_stencil::Pattern;
-use fp16mg_krylov::{cg, richardson, Preconditioner, SolveOptions, StopReason};
 
 use crate::{
-    galerkin_rap, prolong_add, restrict, DenseLu, MatOp, Mg, MgConfig, ScaleStrategy,
-    SmootherKind, StoragePolicy,
+    galerkin_rap, prolong_add, restrict, DenseLu, MatOp, Mg, MgConfig, ScaleStrategy, SmootherKind,
+    StoragePolicy,
 };
 
 /// 7-point (or 27-point) Laplacian with Dirichlet boundary: off-diagonals
@@ -95,7 +95,12 @@ fn rap_matches_explicit_triple_product() {
         ac_csr.dense_row(rr, &mut acrow);
         for c in 0..nc {
             let diff = (acrow[c] - rap[rr * nc + c]).abs();
-            assert!(diff < 1e-12, "RAP mismatch at ({rr},{c}): {} vs {}", acrow[c], rap[rr * nc + c]);
+            assert!(
+                diff < 1e-12,
+                "RAP mismatch at ({rr},{c}): {} vs {}",
+                acrow[c],
+                rap[rr * nc + c]
+            );
         }
     }
 }
@@ -110,10 +115,10 @@ fn rap_preserves_symmetry() {
     let mut row_j = vec![0.0f64; n];
     for i in 0..n {
         csr.dense_row(i, &mut row_i);
-        for j in i + 1..n {
-            if row_i[j] != 0.0 {
+        for (j, &v) in row_i.iter().enumerate().skip(i + 1) {
+            if v != 0.0 {
                 csr.dense_row(j, &mut row_j);
-                assert!((row_i[j] - row_j[i]).abs() < 1e-13, "asymmetric at ({i},{j})");
+                assert!((v - row_j[i]).abs() < 1e-13, "asymmetric at ({i},{j})");
             }
         }
     }
@@ -230,10 +235,34 @@ fn mg_richardson_converges_d16_in_range() {
 fn mg_d16_none_breaks_down_out_of_range() {
     // laplace27*1e8 analog: coefficients far beyond FP16_MAX. Without
     // scaling the truncation overflows and the solve must break down with
-    // NaN (§3.4), not silently "converge".
-    let cfg = MgConfig { scale: ScaleStrategy::None, ..MgConfig::d16() };
+    // NaN (§3.4), not silently "converge". Runtime recovery is disabled
+    // here to observe the paper's original fail-fast behavior; the
+    // self-healing counterpart is the test below.
+    let cfg = MgConfig {
+        scale: ScaleStrategy::None,
+        recovery: crate::RecoveryPolicy::disabled(),
+        ..MgConfig::d16()
+    };
     let (reason, _) = mg_solver_iters(&cfg, Pattern::p7(), 1.0e8);
     assert_eq!(reason, StopReason::Breakdown);
+}
+
+#[test]
+fn mg_d16_none_out_of_range_self_heals_with_recovery_on() {
+    // Same overflowed configuration, recovery left on (the default): the
+    // hierarchy detects the non-finite V-cycle output, promotes the
+    // overflowed FP16 levels to FP32, and the solve converges anyway.
+    let cfg = MgConfig { scale: ScaleStrategy::None, ..MgConfig::d16() };
+    let grid = Grid3::cube(16);
+    let a = laplacian(grid, Pattern::p7(), 1.0e8);
+    let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+    let op = MatOp::new(&a, Par::Seq);
+    let b = rhs(a.rows());
+    let mut x = vec![0.0f64; a.rows()];
+    let res = richardson(&op, &mut mg, &b, &mut x, &SolveOptions::default());
+    assert!(res.converged(), "{res:?}");
+    assert!(!mg.promotions().is_empty(), "healing must have promoted a level");
+    assert!(mg.promotions().iter().all(|e| e.reason == crate::PromotionReason::NonFiniteOutput));
 }
 
 #[test]
@@ -273,20 +302,12 @@ fn mg_cg_beats_unpreconditioned() {
     let pre = cg(&op, &mut mg, &b, &mut x1, &opts);
 
     assert!(plain.converged() && pre.converged());
-    assert!(
-        pre.iters * 3 < plain.iters,
-        "MG-CG {} vs plain CG {}",
-        pre.iters,
-        plain.iters
-    );
+    assert!(pre.iters * 3 < plain.iters, "MG-CG {} vs plain CG {}", pre.iters, plain.iters);
 }
 
 #[test]
 fn mg_jacobi_smoother_converges() {
-    let cfg = MgConfig {
-        smoother: SmootherKind::Jacobi { weight: 0.85 },
-        ..MgConfig::d16()
-    };
+    let cfg = MgConfig { smoother: SmootherKind::Jacobi { weight: 0.85 }, ..MgConfig::d16() };
     let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
     assert_eq!(reason, StopReason::Converged);
     assert!(iters <= 40);
@@ -665,10 +686,7 @@ fn semicoarsening_beats_full_coarsening_on_anisotropic_problem() {
 #[test]
 fn semicoarsening_on_isotropic_problem_acts_like_full() {
     use crate::Coarsening;
-    let cfg = MgConfig {
-        coarsening: Coarsening::Semi { threshold: 0.5 },
-        ..MgConfig::d16()
-    };
+    let cfg = MgConfig { coarsening: Coarsening::Semi { threshold: 0.5 }, ..MgConfig::d16() };
     let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
     assert_eq!(reason, StopReason::Converged);
     let (_, full_iters) = mg_solver_iters(&MgConfig::d16(), Pattern::p7(), 1.0);
@@ -677,10 +695,7 @@ fn semicoarsening_on_isotropic_problem_acts_like_full() {
 
 #[test]
 fn mg_chebyshev_smoother_converges() {
-    let cfg = MgConfig {
-        smoother: SmootherKind::Chebyshev { degree: 3 },
-        ..MgConfig::d16()
-    };
+    let cfg = MgConfig { smoother: SmootherKind::Chebyshev { degree: 3 }, ..MgConfig::d16() };
     let (reason, iters) = mg_solver_iters(&cfg, Pattern::p7(), 1.0);
     assert_eq!(reason, StopReason::Converged);
     assert!(iters <= 35, "Chebyshev(3) V-cycle took {iters}");
@@ -695,10 +710,7 @@ fn mg_chebyshev_is_cg_safe() {
     // cleanly.
     let grid = Grid3::cube(16);
     let a = laplacian(grid, Pattern::p27(), 1.0);
-    let cfg = MgConfig {
-        smoother: SmootherKind::Chebyshev { degree: 2 },
-        ..MgConfig::d16()
-    };
+    let cfg = MgConfig { smoother: SmootherKind::Chebyshev { degree: 2 }, ..MgConfig::d16() };
     let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
     let op = MatOp::new(&a, Par::Seq);
     let b = rhs(a.rows());
@@ -706,4 +718,220 @@ fn mg_chebyshev_is_cg_safe() {
     let res = cg(&op, &mut mg, &b, &mut x, &SolveOptions::default());
     assert!(res.converged(), "{res:?}");
     assert!(res.iters <= 25);
+}
+
+// ------------------------------------------------- config validation --
+
+mod validation {
+    use super::*;
+    use crate::{Coarsening, ConfigError, RecoveryPolicy, SetupError};
+    use fp16mg_sgdia::scaling::GChoice;
+
+    fn setup_err(cfg: MgConfig) -> SetupError {
+        let a = laplacian(Grid3::cube(8), Pattern::p7(), 1.0);
+        match Mg::<f32>::setup(&a, &cfg) {
+            Ok(_) => panic!("config must be rejected"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn rejects_zero_levels() {
+        let cfg = MgConfig { max_levels: 0, ..MgConfig::d16() };
+        assert_eq!(setup_err(cfg), SetupError::InvalidConfig(ConfigError::NoLevels));
+    }
+
+    #[test]
+    fn rejects_shift_beyond_levels() {
+        let cfg = MgConfig {
+            storage: StoragePolicy::Fp16Until { shift_levid: 11, coarse: Precision::F32 },
+            max_levels: 10,
+            ..MgConfig::default()
+        };
+        assert_eq!(
+            setup_err(cfg),
+            SetupError::InvalidConfig(ConfigError::ShiftBeyondLevels {
+                shift_levid: 11,
+                max_levels: 10
+            })
+        );
+        // usize::MAX is the documented "all FP16" sentinel, not an error.
+        let cfg = MgConfig {
+            storage: StoragePolicy::Fp16Until { shift_levid: usize::MAX, coarse: Precision::F32 },
+            ..MgConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_no_smoothing() {
+        let cfg = MgConfig { nu1: 0, nu2: 0, ..MgConfig::d16() };
+        assert_eq!(setup_err(cfg), SetupError::InvalidConfig(ConfigError::NoSmoothing));
+    }
+
+    #[test]
+    fn rejects_empty_per_level() {
+        let cfg = MgConfig { storage: StoragePolicy::PerLevel(vec![]), ..MgConfig::default() };
+        assert_eq!(setup_err(cfg), SetupError::InvalidConfig(ConfigError::EmptyPerLevel));
+    }
+
+    #[test]
+    fn rejects_bad_fixed_g() {
+        for g in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let cfg = MgConfig { g_choice: GChoice::Fixed(g), ..MgConfig::d16() };
+            match setup_err(cfg) {
+                SetupError::InvalidConfig(ConfigError::InvalidG { .. }) => {}
+                other => panic!("G = {g}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_jacobi_weight() {
+        let cfg = MgConfig { smoother: SmootherKind::Jacobi { weight: -0.5 }, ..MgConfig::d16() };
+        match setup_err(cfg) {
+            SetupError::InvalidConfig(ConfigError::InvalidSmootherWeight { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_degree_chebyshev() {
+        let cfg = MgConfig { smoother: SmootherKind::Chebyshev { degree: 0 }, ..MgConfig::d16() };
+        assert_eq!(setup_err(cfg), SetupError::InvalidConfig(ConfigError::InvalidChebyshevDegree));
+    }
+
+    #[test]
+    fn rejects_bad_semi_threshold() {
+        for threshold in [0.0, -1.0, 1.5, f64::NAN] {
+            let cfg = MgConfig { coarsening: Coarsening::Semi { threshold }, ..MgConfig::d16() };
+            match setup_err(cfg) {
+                SetupError::InvalidConfig(ConfigError::InvalidSemiThreshold { .. }) => {}
+                other => panic!("threshold = {threshold}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_g_tighten() {
+        let cfg = MgConfig {
+            recovery: RecoveryPolicy { g_tighten: 0.0, ..Default::default() },
+            ..MgConfig::d16()
+        };
+        match setup_err(cfg) {
+            SetupError::InvalidConfig(ConfigError::InvalidGTighten { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singular_coarse_matrix_is_a_typed_error() {
+        // Zero out one row: the (single-level) coarse LU must hit a zero
+        // pivot and report it as SetupError::SingularCoarseMatrix instead
+        // of panicking.
+        let grid = Grid3::cube(4);
+        let pat = Pattern::p7();
+        let taps: Vec<_> = pat.taps().to_vec();
+        let a = SgDia::<f64>::from_fn(grid, pat, Layout::Soa, |_, i, j, k, t| {
+            if (i, j, k) == (0, 0, 0) {
+                0.0
+            } else if taps[t].is_diagonal() {
+                6.05
+            } else {
+                -1.0
+            }
+        });
+        let cfg = MgConfig { max_levels: 1, ..MgConfig::default() };
+        match Mg::<f32>::setup(&a, &cfg).map(|_| ()) {
+            Err(SetupError::SingularCoarseMatrix { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+// --------------------------------------------------- runtime recovery --
+
+mod recovery {
+    use super::*;
+    use crate::PromotionReason;
+    use fp16mg_testkit::check;
+
+    #[test]
+    fn fp16_levels_scan_finite_after_setup_then_scale() {
+        // Guard-layer property: whatever (possibly far out-of-range)
+        // magnitude the fine operator has, every stored level of a
+        // setup-then-scale FP16 hierarchy must classify as all-finite.
+        check("fp16_levels_scan_finite_after_setup_then_scale", |rng| {
+            let scale = 10.0f64.powf(rng.f64_range(-6.0, 9.0));
+            let a = laplacian(Grid3::cube(8), Pattern::p7(), scale);
+            let mg = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+            // num_levels counts the coarsest direct-solve level, which has
+            // no stored truncation to scan.
+            for lev in 0..mg.num_levels() - 1 {
+                let scan = mg.scan_level(lev).unwrap();
+                assert!(
+                    scan.all_finite(),
+                    "scale {scale:e}: level {lev} has {} non-finite entries",
+                    scan.total.non_finite()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn manual_promotion_widens_level_and_keeps_convergence() {
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0);
+        let mut mg = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+        assert_eq!(mg.info().levels[0].precision, Precision::F16);
+        assert!(mg.can_promote());
+
+        let ev = mg.promote_level(0, PromotionReason::Manual).expect("promotable");
+        assert_eq!(ev.level, 0);
+        assert_eq!(ev.from, Precision::F16);
+        assert_eq!(ev.to, Precision::F32);
+        assert_eq!(ev.corrupt_entries, 0, "clean hierarchy has nothing corrupt");
+        assert_eq!(mg.info().levels[0].precision, Precision::F32);
+        assert_eq!(mg.promotions().len(), 1);
+
+        // The promoted hierarchy still preconditions correctly.
+        let op = MatOp::new(&a, Par::Seq);
+        let b = rhs(a.rows());
+        let mut x = vec![0.0f64; a.rows()];
+        let res = cg(&op, &mut mg, &b, &mut x, &SolveOptions::default());
+        assert!(res.converged(), "{res:?}");
+    }
+
+    #[test]
+    fn promotion_respects_budget_and_source_consumption() {
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0);
+        let cfg = MgConfig {
+            recovery: crate::RecoveryPolicy { max_promotions: 1, ..Default::default() },
+            ..MgConfig::d16()
+        };
+        let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+        assert!(mg.promote_level(0, PromotionReason::Manual).is_some());
+        // Same level again: already wide, and the budget is spent.
+        assert!(mg.promote_level(0, PromotionReason::Manual).is_none());
+        assert!(mg.promote_level(1, PromotionReason::Manual).is_none(), "budget spent");
+        assert!(!mg.can_promote());
+    }
+
+    #[test]
+    fn disabled_recovery_never_promotes() {
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0);
+        let cfg = MgConfig { recovery: crate::RecoveryPolicy::disabled(), ..MgConfig::d16() };
+        let mut mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+        assert!(!mg.can_promote());
+        assert!(mg.promote_level(0, PromotionReason::Manual).is_none());
+        assert!(mg.promote_for_stagnation().is_none());
+    }
+
+    #[test]
+    fn full64_hierarchy_has_no_promotable_levels() {
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0);
+        let mut mg = Mg::<f64>::setup(&a, &MgConfig::d64()).unwrap();
+        assert!(!mg.can_promote(), "no 16-bit level retains a source");
+        assert!(mg.promote_for_stagnation().is_none());
+        assert!(mg.promotions().is_empty());
+    }
 }

@@ -23,11 +23,11 @@ use fp16mg_grid::Grid3;
 /// ~0.65 on such problems), and still near-optimal for Dirichlet ones.
 #[inline]
 fn parents(x: usize, coarse_n: usize) -> ([(usize, f32); 2], usize) {
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         ([(x / 2, 1.0), (0, 0.0)], 1)
     } else {
         let lo = (x - 1) / 2;
-        let hi = (x + 1) / 2;
+        let hi = x.div_ceil(2);
         if hi < coarse_n {
             ([(lo, 0.5), (hi, 0.5)], 2)
         } else {

@@ -1,0 +1,212 @@
+//! Floating-point value classification for range-safety scans.
+//!
+//! The FP16 storage story (Theorem 4.1 and the `shift_levid` underflow
+//! guard) is about keeping every stored coefficient inside binary16's
+//! representable range. These helpers classify stored values into the five
+//! IEEE categories so a whole matrix can be audited in one pass — the
+//! counts, not per-element branching in kernels, are the detection
+//! mechanism of the runtime guard layer.
+
+use crate::{Bf16, F16};
+
+/// IEEE 754 category of one stored value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumClass {
+    /// ±0.
+    Zero,
+    /// Subnormal (lost precision; a warning sign of underflow).
+    Subnormal,
+    /// Normal finite value.
+    Normal,
+    /// ±∞ (overflowed the storage range).
+    Inf,
+    /// Not-a-number.
+    Nan,
+}
+
+/// Category histogram of a block of stored values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Count of ±0 entries (structural zeros included).
+    pub zero: u64,
+    /// Count of subnormal entries.
+    pub subnormal: u64,
+    /// Count of normal finite entries.
+    pub normal: u64,
+    /// Count of ±∞ entries.
+    pub inf: u64,
+    /// Count of NaN entries.
+    pub nan: u64,
+}
+
+impl ClassCounts {
+    /// Total number of classified entries.
+    pub fn total(&self) -> u64 {
+        self.zero + self.subnormal + self.normal + self.inf + self.nan
+    }
+
+    /// True when no entry is ±∞ or NaN.
+    pub fn all_finite(&self) -> bool {
+        self.inf == 0 && self.nan == 0
+    }
+
+    /// Number of non-finite entries.
+    pub fn non_finite(&self) -> u64 {
+        self.inf + self.nan
+    }
+
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &ClassCounts) {
+        self.zero += other.zero;
+        self.subnormal += other.subnormal;
+        self.normal += other.normal;
+        self.inf += other.inf;
+        self.nan += other.nan;
+    }
+
+    #[inline]
+    fn bump(&mut self, class: NumClass) {
+        match class {
+            NumClass::Zero => self.zero += 1,
+            NumClass::Subnormal => self.subnormal += 1,
+            NumClass::Normal => self.normal += 1,
+            NumClass::Inf => self.inf += 1,
+            NumClass::Nan => self.nan += 1,
+        }
+    }
+}
+
+impl core::fmt::Display for ClassCounts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "normal={} zero={} subnormal={} inf={} nan={}",
+            self.normal, self.zero, self.subnormal, self.inf, self.nan
+        )
+    }
+}
+
+/// Classifies a 16-bit IEEE-style pattern given the exponent mask
+/// (`0x7c00` for binary16, `0x7f80` for bfloat16).
+#[inline(always)]
+const fn class_bits16(bits: u16, exp_mask: u16) -> NumClass {
+    let exp = bits & exp_mask;
+    let man = bits & !(exp_mask | 0x8000);
+    if exp == exp_mask {
+        if man == 0 {
+            NumClass::Inf
+        } else {
+            NumClass::Nan
+        }
+    } else if exp == 0 {
+        if man == 0 {
+            NumClass::Zero
+        } else {
+            NumClass::Subnormal
+        }
+    } else {
+        NumClass::Normal
+    }
+}
+
+/// Classifies a binary16 value from its bit pattern.
+#[inline(always)]
+pub const fn class_f16(v: F16) -> NumClass {
+    class_bits16(v.to_bits(), 0x7c00)
+}
+
+/// Classifies a bfloat16 value from its bit pattern.
+#[inline(always)]
+pub const fn class_bf16(v: Bf16) -> NumClass {
+    class_bits16(v.to_bits(), 0x7f80)
+}
+
+/// Classifies an `f32`.
+#[inline(always)]
+pub fn class_f32(v: f32) -> NumClass {
+    match v.classify() {
+        core::num::FpCategory::Zero => NumClass::Zero,
+        core::num::FpCategory::Subnormal => NumClass::Subnormal,
+        core::num::FpCategory::Normal => NumClass::Normal,
+        core::num::FpCategory::Infinite => NumClass::Inf,
+        core::num::FpCategory::Nan => NumClass::Nan,
+    }
+}
+
+/// Classifies an `f64`.
+#[inline(always)]
+pub fn class_f64(v: f64) -> NumClass {
+    match v.classify() {
+        core::num::FpCategory::Zero => NumClass::Zero,
+        core::num::FpCategory::Subnormal => NumClass::Subnormal,
+        core::num::FpCategory::Normal => NumClass::Normal,
+        core::num::FpCategory::Infinite => NumClass::Inf,
+        core::num::FpCategory::Nan => NumClass::Nan,
+    }
+}
+
+/// One-pass category histogram of a slice of stored values.
+///
+/// For the 16-bit formats the classification is pure integer arithmetic on
+/// the bit patterns (two compares per entry, no float hardware), so the
+/// pass runs at memory bandwidth; this is what makes whole-hierarchy scans
+/// cheap enough to run inside the solve loop.
+pub fn count_classes<S: crate::Storage>(vals: &[S]) -> ClassCounts {
+    let mut counts = ClassCounts::default();
+    for &v in vals {
+        counts.bump(v.class());
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Storage;
+
+    #[test]
+    fn f16_classes() {
+        assert_eq!(class_f16(F16::ZERO), NumClass::Zero);
+        assert_eq!(class_f16(F16::from_bits(0x8000)), NumClass::Zero); // -0
+        assert_eq!(class_f16(F16::MIN_POSITIVE_SUBNORMAL), NumClass::Subnormal);
+        assert_eq!(class_f16(F16::ONE), NumClass::Normal);
+        assert_eq!(class_f16(F16::MAX), NumClass::Normal);
+        assert_eq!(class_f16(F16::INFINITY), NumClass::Inf);
+        assert_eq!(class_f16(F16::NEG_INFINITY), NumClass::Inf);
+        assert_eq!(class_f16(F16::NAN), NumClass::Nan);
+    }
+
+    #[test]
+    fn bf16_classes() {
+        assert_eq!(class_bf16(Bf16::ZERO), NumClass::Zero);
+        assert_eq!(class_bf16(Bf16::ONE), NumClass::Normal);
+        assert_eq!(class_bf16(Bf16::INFINITY), NumClass::Inf);
+        assert_eq!(class_bf16(Bf16::NAN), NumClass::Nan);
+        assert_eq!(class_bf16(Bf16::from_bits(0x0001)), NumClass::Subnormal);
+    }
+
+    #[test]
+    fn wide_classes_match_std() {
+        for v in [0.0f64, -0.0, 1.5, f64::MIN_POSITIVE / 2.0, f64::INFINITY, f64::NAN] {
+            let c = class_f64(v);
+            match v.classify() {
+                core::num::FpCategory::Zero => assert_eq!(c, NumClass::Zero),
+                core::num::FpCategory::Subnormal => assert_eq!(c, NumClass::Subnormal),
+                core::num::FpCategory::Normal => assert_eq!(c, NumClass::Normal),
+                core::num::FpCategory::Infinite => assert_eq!(c, NumClass::Inf),
+                core::num::FpCategory::Nan => assert_eq!(c, NumClass::Nan),
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_scalar_classification() {
+        let vals: Vec<F16> =
+            vec![F16::ZERO, F16::ONE, F16::NAN, F16::INFINITY, F16::MIN_POSITIVE_SUBNORMAL];
+        let c = count_classes(&vals);
+        assert_eq!(c, ClassCounts { zero: 1, normal: 1, nan: 1, inf: 1, subnormal: 1 });
+        assert!(!c.all_finite());
+        assert_eq!(c.total(), 5);
+        assert_eq!(F16::NAN.class(), NumClass::Nan);
+    }
+}

@@ -5,7 +5,7 @@
 //! converter on every interesting boundary, so the soft-float conversions
 //! are tested bit-for-bit.
 
-use crate::{simd, Bf16, F16, Precision, Scalar, Storage};
+use crate::{simd, Bf16, Precision, Scalar, Storage, F16};
 
 #[test]
 fn f16_constants_round_trip() {
@@ -143,7 +143,15 @@ fn f16_narrow_matches_hardware_on_random_f32() {
     }
     // A few adversarial values.
     src.extend_from_slice(&[
-        65519.0, 65520.0, 65536.0, -65520.0, 6.0e-8, 3.0e-8, 2.9e-8, 1.0e-40, f32::MAX,
+        65519.0,
+        65520.0,
+        65536.0,
+        -65520.0,
+        6.0e-8,
+        3.0e-8,
+        2.9e-8,
+        1.0e-40,
+        f32::MAX,
         f32::MIN_POSITIVE,
     ]);
     let mut hw = vec![F16::ZERO; src.len()];
@@ -269,58 +277,76 @@ fn f16_monotone_on_finite_positives() {
 
 mod proptests {
     use super::super::{Bf16, F16};
-    use proptest::prelude::*;
+    use fp16mg_testkit::check;
 
-    proptest! {
-        #[test]
-        fn prop_f16_round_trip_within_half_ulp(x in -65000.0f32..65000.0) {
+    #[test]
+    fn prop_f16_round_trip_within_half_ulp() {
+        check("prop_f16_round_trip_within_half_ulp", |rng| {
             // |x - fp16(x)| <= 2^-11 * |x| + smallest_subnormal/2 (RNE).
+            let x = rng.f32_range(-65000.0, 65000.0);
             let h = F16::from_f32(x);
             let back = h.to_f32();
             let bound = x.abs() as f64 * 2.0f64.powi(-11) + 2.0f64.powi(-25);
-            prop_assert!((x as f64 - back as f64).abs() <= bound,
-                "x={x} back={back}");
-        }
+            assert!((x as f64 - back as f64).abs() <= bound, "x={x} back={back}");
+        });
+    }
 
-        #[test]
-        fn prop_f16_conversion_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+    #[test]
+    fn prop_f16_conversion_monotone() {
+        check("prop_f16_conversion_monotone", |rng| {
+            let a = rng.f32_range(-70000.0, 70000.0);
+            let b = rng.f32_range(-70000.0, 70000.0);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let (hl, hh) = (F16::from_f32(lo).to_f32(), F16::from_f32(hi).to_f32());
-            prop_assert!(hl <= hh, "{lo} -> {hl}, {hi} -> {hh}");
-        }
+            assert!(hl <= hh, "{lo} -> {hl}, {hi} -> {hh}");
+        });
+    }
 
-        #[test]
-        fn prop_f16_sign_symmetry(x in -1.0e9f32..1.0e9) {
+    #[test]
+    fn prop_f16_sign_symmetry() {
+        check("prop_f16_sign_symmetry", |rng| {
+            let x = rng.f32_range(-1.0e9, 1.0e9);
             let p = F16::from_f32(x);
             let n = F16::from_f32(-x);
-            prop_assert_eq!(p.to_bits() ^ 0x8000, n.to_bits());
-        }
+            assert_eq!(p.to_bits() ^ 0x8000, n.to_bits());
+        });
+    }
 
-        #[test]
-        fn prop_f16_overflow_iff_beyond_max(x in proptest::num::f32::NORMAL) {
+    #[test]
+    fn prop_f16_overflow_iff_beyond_max() {
+        check("prop_f16_overflow_iff_beyond_max", |rng| {
+            let x = rng.f32_normal();
             let h = F16::from_f32(x);
             // 65520 = halfway point that rounds up to infinity.
             if x.abs() >= 65520.0 {
-                prop_assert!(!h.is_finite());
+                assert!(!h.is_finite());
             } else if x.abs() <= 65504.0 {
-                prop_assert!(h.is_finite());
+                assert!(h.is_finite());
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_bf16_error_bounded(x in proptest::num::f32::NORMAL) {
-            prop_assume!(x.abs() < 3.3e38);
+    #[test]
+    fn prop_bf16_error_bounded() {
+        check("prop_bf16_error_bounded", |rng| {
+            let x = rng.f32_normal();
+            if x.abs() >= 3.3e38 {
+                return;
+            }
             let b = Bf16::from_f32(x);
             let back = b.to_f32();
             // 8 mantissa bits kept (incl. implicit): rel err <= 2^-8.
-            prop_assert!(((x as f64 - back as f64) / x as f64).abs() <= 2.0f64.powi(-8));
-        }
+            assert!(((x as f64 - back as f64) / x as f64).abs() <= 2.0f64.powi(-8));
+        });
+    }
 
-        #[test]
-        fn prop_f16_idempotent(bits in 0u16..0x7c00) {
+    #[test]
+    fn prop_f16_idempotent() {
+        check("prop_f16_idempotent", |rng| {
             // Converting an exactly representable value is the identity.
+            let bits = rng.u16() % 0x7c00;
             let v = F16::from_bits(bits).to_f32();
-            prop_assert_eq!(F16::from_f32(v).to_bits(), bits);
-        }
+            assert_eq!(F16::from_f32(v).to_bits(), bits);
+        });
     }
 }

@@ -149,6 +149,9 @@ pub trait Storage: Copy + Clone + Default + core::fmt::Debug + Send + Sync + 'st
     fn load_f64(self) -> f64;
     /// True if the value is finite.
     fn is_finite(self) -> bool;
+    /// IEEE category of the value (integer bit tests for the 16-bit
+    /// formats — no float hardware on the scan path).
+    fn class(self) -> crate::NumClass;
 }
 
 impl Storage for f64 {
@@ -175,6 +178,10 @@ impl Storage for f64 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    #[inline(always)]
+    fn class(self) -> crate::NumClass {
+        crate::classify::class_f64(self)
     }
 }
 
@@ -203,6 +210,10 @@ impl Storage for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    #[inline(always)]
+    fn class(self) -> crate::NumClass {
+        crate::classify::class_f32(self)
+    }
 }
 
 impl Storage for F16 {
@@ -230,6 +241,10 @@ impl Storage for F16 {
     fn is_finite(self) -> bool {
         F16::is_finite(self)
     }
+    #[inline(always)]
+    fn class(self) -> crate::NumClass {
+        crate::classify::class_f16(self)
+    }
 }
 
 impl Storage for Bf16 {
@@ -256,6 +271,10 @@ impl Storage for Bf16 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         Bf16::is_finite(self)
+    }
+    #[inline(always)]
+    fn class(self) -> crate::NumClass {
+        crate::classify::class_bf16(self)
     }
 }
 

@@ -96,12 +96,12 @@ impl Decomposition {
         let mut best = (nprocs, 1, 1);
         let mut best_score = f64::INFINITY;
         for px in 1..=nprocs {
-            if nprocs % px != 0 {
+            if !nprocs.is_multiple_of(px) {
                 continue;
             }
             let rem = nprocs / px;
             for py in 1..=rem {
-                if rem % py != 0 {
+                if !rem.is_multiple_of(py) {
                     continue;
                 }
                 let pz = rem / py;

@@ -135,9 +135,7 @@ impl Grid3 {
     pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         (0..nz).flat_map(move |k| {
-            (0..ny).flat_map(move |j| {
-                (0..nx).map(move |i| ((k * ny + j) * nx + i, i, j, k))
-            })
+            (0..ny).flat_map(move |j| (0..nx).map(move |i| ((k * ny + j) * nx + i, i, j, k)))
         })
     }
 

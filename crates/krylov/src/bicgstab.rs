@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{dot, norm2, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
 
@@ -13,6 +14,11 @@ use crate::types::{SolveOptions, SolveResult, StopReason};
 /// preconditioner applications per iteration, O(1) memory.
 ///
 /// `x` holds the initial guess on entry and the solution on exit.
+///
+/// The classic BiCGStab breakdown conditions are reported typed: a
+/// vanished shadow correlation as [`Breakdown::RhoBreakdown`], a
+/// degenerate stabilization step as [`Breakdown::OmegaBreakdown`], plus
+/// non-finite residuals and monitor-detected stagnation.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -30,12 +36,7 @@ pub fn bicgstab<K: Scalar>(
     let bnorm = norm2(b);
     if bnorm == 0.0 {
         x.fill(K::ZERO);
-        return SolveResult {
-            reason: StopReason::Converged,
-            iters: 0,
-            final_rel_residual: 0.0,
-            history: vec![0.0],
-        };
+        return SolveResult::new(StopReason::Converged, 0, 0.0, vec![0.0]);
     }
 
     let mut r = vec![K::ZERO; n];
@@ -52,18 +53,16 @@ pub fn bicgstab<K: Scalar>(
     let mut t = vec![K::ZERO; n];
     let mut rho = dot(&r0, &r);
 
+    let mut health = SolveHealth::new(opts.health, opts.record_history);
     let mut history = Vec::new();
     let mut rel = norm2(&r) / bnorm;
     if opts.record_history {
         history.push(rel);
     }
+    health.observe(0, rel);
     if rel < opts.tol {
-        return SolveResult {
-            reason: StopReason::Converged,
-            iters: 0,
-            final_rel_residual: rel,
-            history,
-        };
+        return SolveResult::new(StopReason::Converged, 0, rel, history)
+            .with_health(health.into_records());
     }
 
     for it in 1..=opts.max_iters {
@@ -72,12 +71,9 @@ pub fn bicgstab<K: Scalar>(
         a.apply(&phat, &mut v);
         let r0v = dot(&r0, &v);
         if r0v == 0.0 || !r0v.is_finite() {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Breakdown, it, rel, history)
+                .with_breakdown(Breakdown::RhoBreakdown { iter: it, rho: r0v })
+                .with_health(health.into_records());
         }
         let alpha = rho / r0v;
         let ka = K::from_f64(alpha);
@@ -93,24 +89,17 @@ pub fn bicgstab<K: Scalar>(
             if opts.record_history {
                 history.push(snorm);
             }
-            return SolveResult {
-                reason: StopReason::Converged,
-                iters: it,
-                final_rel_residual: snorm,
-                history,
-            };
+            return SolveResult::new(StopReason::Converged, it, snorm, history)
+                .with_health(health.into_records());
         }
         // ŝ = M⁻¹s; t = A ŝ.
         m.apply(&s, &mut shat);
         a.apply(&shat, &mut t);
         let tt = dot(&t, &t);
         if tt == 0.0 || !tt.is_finite() {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Breakdown, it, rel, history)
+                .with_breakdown(Breakdown::OmegaBreakdown { iter: it, omega: tt })
+                .with_health(health.into_records());
         }
         let omega = dot(&t, &s) / tt;
         let kw = K::from_f64(omega);
@@ -126,30 +115,30 @@ pub fn bicgstab<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Breakdown, it, rel, history)
+                .with_breakdown(Breakdown::NonFiniteResidual { iter: it, value: rel })
+                .with_health(health.into_records());
         }
         if rel < opts.tol {
-            return SolveResult {
-                reason: StopReason::Converged,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Converged, it, rel, history)
+                .with_health(health.into_records());
+        }
+        if let Some(stag) = health.observe(it, rel) {
+            return SolveResult::new(StopReason::Stagnated, it, rel, history)
+                .with_stagnation(stag)
+                .with_health(health.into_records());
         }
 
         let rho_new = dot(&r0, &r);
         if rho_new == 0.0 || omega == 0.0 {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: it,
-                final_rel_residual: rel,
-                history,
+            let b = if rho_new == 0.0 {
+                Breakdown::RhoBreakdown { iter: it, rho: rho_new }
+            } else {
+                Breakdown::OmegaBreakdown { iter: it, omega }
             };
+            return SolveResult::new(StopReason::Breakdown, it, rel, history)
+                .with_breakdown(b)
+                .with_health(health.into_records());
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
@@ -159,10 +148,6 @@ pub fn bicgstab<K: Scalar>(
         }
     }
 
-    SolveResult {
-        reason: StopReason::MaxIters,
-        iters: opts.max_iters,
-        final_rel_residual: rel,
-        history,
-    }
+    SolveResult::new(StopReason::MaxIters, opts.max_iters, rel, history)
+        .with_health(health.into_records())
 }

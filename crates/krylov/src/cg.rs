@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{axpy, dot, norm2, xpby, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
 
@@ -21,6 +22,12 @@ use crate::types::{SolveOptions, SolveResult, StopReason};
 /// variable preconditioners (Notay's flexible CG; hypre's `flex`
 /// option). Cost: one extra dot product per iteration.
 ///
+/// Fails typed rather than silently: a curvature `pᵀAp ≤ 0`
+/// ([`Breakdown::Indefinite`] — loss of definiteness in the working
+/// precision), a non-finite residual, or a plateau flagged by the
+/// [`crate::HealthPolicy`] monitor each stop the solve with a diagnosis
+/// in the result.
+///
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn cg<K: Scalar>(
@@ -37,12 +44,7 @@ pub fn cg<K: Scalar>(
     let bnorm = norm2(b);
     if bnorm == 0.0 {
         x.fill(K::ZERO);
-        return SolveResult {
-            reason: StopReason::Converged,
-            iters: 0,
-            final_rel_residual: 0.0,
-            history: vec![0.0],
-        };
+        return SolveResult::new(StopReason::Converged, 0, 0.0, vec![0.0]);
     }
 
     let mut r = vec![K::ZERO; n];
@@ -56,18 +58,16 @@ pub fn cg<K: Scalar>(
         *ri = bi - *ri;
     }
 
+    let mut health = SolveHealth::new(opts.health, opts.record_history);
     let mut history = Vec::new();
     let mut rel = norm2(&r) / bnorm;
     if opts.record_history {
         history.push(rel);
     }
+    health.observe(0, rel);
     if rel < opts.tol {
-        return SolveResult {
-            reason: StopReason::Converged,
-            iters: 0,
-            final_rel_residual: rel,
-            history,
-        };
+        return SolveResult::new(StopReason::Converged, 0, rel, history)
+            .with_health(health.into_records());
     }
 
     m.apply(&r, &mut z);
@@ -77,13 +77,10 @@ pub fn cg<K: Scalar>(
     for it in 1..=opts.max_iters {
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
-        if !pap.is_finite() || pap == 0.0 {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: it,
-                final_rel_residual: f64::NAN,
-                history,
-            };
+        if !pap.is_finite() || pap <= 0.0 {
+            return SolveResult::new(StopReason::Breakdown, it, f64::NAN, history)
+                .with_breakdown(Breakdown::Indefinite { iter: it, pap })
+                .with_health(health.into_records());
         }
         let alpha = rz / pap;
         axpy(alpha, &p, x);
@@ -94,20 +91,18 @@ pub fn cg<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Breakdown, it, rel, history)
+                .with_breakdown(Breakdown::NonFiniteResidual { iter: it, value: rel })
+                .with_health(health.into_records());
         }
         if rel < opts.tol {
-            return SolveResult {
-                reason: StopReason::Converged,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Converged, it, rel, history)
+                .with_health(health.into_records());
+        }
+        if let Some(stag) = health.observe(it, rel) {
+            return SolveResult::new(StopReason::Stagnated, it, rel, history)
+                .with_stagnation(stag)
+                .with_health(health.into_records());
         }
 
         m.apply(&r, &mut z);
@@ -124,10 +119,6 @@ pub fn cg<K: Scalar>(
         xpby(&z, beta, &mut p);
     }
 
-    SolveResult {
-        reason: StopReason::MaxIters,
-        iters: opts.max_iters,
-        final_rel_residual: rel,
-        history,
-    }
+    SolveResult::new(StopReason::MaxIters, opts.max_iters, rel, history)
+        .with_health(health.into_records())
 }

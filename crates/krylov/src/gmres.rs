@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{norm2, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
 
@@ -37,16 +38,13 @@ pub fn gmres<K: Scalar>(
     let bnorm = norm2(b);
     if bnorm == 0.0 {
         x.fill(K::ZERO);
-        return SolveResult {
-            reason: StopReason::Converged,
-            iters: 0,
-            final_rel_residual: 0.0,
-            history: vec![0.0],
-        };
+        return SolveResult::new(StopReason::Converged, 0, 0.0, vec![0.0]);
     }
 
+    let mut health = SolveHealth::new(opts.health, opts.record_history);
     let mut history = Vec::new();
     let mut total_iters = 0usize;
+    let mut last_breakdown: Option<Breakdown> = None;
 
     // Krylov basis V (restart+1 vectors), flexible basis Z (restart
     // vectors), Hessenberg in f64.
@@ -72,28 +70,17 @@ pub fn gmres<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: total_iters,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Breakdown, total_iters, rel, history)
+                .with_breakdown(Breakdown::NonFiniteResidual { iter: total_iters, value: rel })
+                .with_health(health.into_records());
         }
         if rel < opts.tol {
-            return SolveResult {
-                reason: StopReason::Converged,
-                iters: total_iters,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Converged, total_iters, rel, history)
+                .with_health(health.into_records());
         }
         if total_iters >= opts.max_iters {
-            return SolveResult {
-                reason: StopReason::MaxIters,
-                iters: total_iters,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::MaxIters, total_iters, rel, history)
+                .with_health(health.into_records());
         }
 
         // Arnoldi from v0 = r/beta.
@@ -107,6 +94,7 @@ pub fn gmres<K: Scalar>(
 
         let mut k_used = 0usize;
         let mut broke_down = false;
+        let mut stagnated = None;
         for k in 0..restart {
             if total_iters >= opts.max_iters {
                 break;
@@ -129,6 +117,8 @@ pub fn gmres<K: Scalar>(
             h[(k + 1) * restart + k] = hkk;
             if !hkk.is_finite() {
                 broke_down = true;
+                last_breakdown =
+                    Some(Breakdown::HessenbergNonFinite { iter: total_iters + 1, entry: hkk });
                 k_used = k + 1;
                 total_iters += 1;
                 break;
@@ -165,6 +155,12 @@ pub fn gmres<K: Scalar>(
             if rel < opts.tol || hkk == 0.0 {
                 break;
             }
+            // Observe *after* the convergence check so a converged final
+            // iteration is never misread as a stall.
+            stagnated = health.observe(total_iters, rel);
+            if stagnated.is_some() {
+                break;
+            }
             if k + 1 < restart {
                 let inv = K::from_f64(1.0 / hkk);
                 basis.push(scratch.iter().map(|&v| v * inv).collect());
@@ -182,6 +178,10 @@ pub fn gmres<K: Scalar>(
                 let d = h[i * restart + i];
                 if d == 0.0 || !v.is_finite() {
                     broke_down = true;
+                    last_breakdown = Some(Breakdown::HessenbergNonFinite {
+                        iter: total_iters,
+                        entry: if d == 0.0 { d } else { v },
+                    });
                     break;
                 }
                 y[i] = v / d;
@@ -197,12 +197,16 @@ pub fn gmres<K: Scalar>(
             }
         }
         if broke_down {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: total_iters,
-                final_rel_residual: f64::NAN,
-                history,
-            };
+            let b = last_breakdown
+                .unwrap_or(Breakdown::HessenbergNonFinite { iter: total_iters, entry: f64::NAN });
+            return SolveResult::new(StopReason::Breakdown, total_iters, f64::NAN, history)
+                .with_breakdown(b)
+                .with_health(health.into_records());
+        }
+        if let Some(stag) = stagnated {
+            return SolveResult::new(StopReason::Stagnated, total_iters, rel, history)
+                .with_stagnation(stag)
+                .with_health(health.into_records());
         }
     }
 }

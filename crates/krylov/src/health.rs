@@ -1,0 +1,366 @@
+//! Runtime solve-health monitoring.
+//!
+//! Reduced-precision preconditioning fails in recognizable ways: the
+//! residual plateaus at the storage format's noise floor instead of
+//! converging, rebounds after an overflow poisons a level, or the Krylov
+//! recurrence itself breaks down (CG's `pᵀAp ≤ 0`, BiCGSTAB's `ρ ≈ 0`,
+//! a NaN in GMRES's Hessenberg). The seed code either panicked or spun to
+//! `max_iters` silently; this module turns those outcomes into typed
+//! diagnoses the recovery layer in `fp16mg-core` can act on — stagnation
+//! *above the FP16 unit-roundoff floor* is the signal that promoting a
+//! stored level to FP32 (rather than more iterations) is the fix.
+
+/// Typed cause of a solver breakdown.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Breakdown {
+    /// CG: the curvature `pᵀAp` was ≤ 0 or non-finite — the operator or
+    /// preconditioner is not positive definite *in the working precision*
+    /// (a truncated FP16 level can lose definiteness the exact operator
+    /// has).
+    Indefinite {
+        /// Iteration at which the breakdown was detected.
+        iter: usize,
+        /// The offending curvature value.
+        pap: f64,
+    },
+    /// BiCGSTAB: the shadow-residual correlation `ρ = r̃ᵀr` (or `r̃ᵀv`)
+    /// vanished or went non-finite, so the recurrence coefficients are
+    /// undefined.
+    RhoBreakdown {
+        /// Iteration at which the breakdown was detected.
+        iter: usize,
+        /// The offending correlation value.
+        rho: f64,
+    },
+    /// BiCGSTAB: the stabilization step degenerated (`tᵀt = 0` or
+    /// `ω = 0`).
+    OmegaBreakdown {
+        /// Iteration at which the breakdown was detected.
+        iter: usize,
+        /// The offending stabilization value.
+        omega: f64,
+    },
+    /// GMRES: a non-finite entry appeared in the Hessenberg factorization
+    /// (NaN/∞ propagated through the Arnoldi process) or its triangular
+    /// solve was singular.
+    HessenbergNonFinite {
+        /// Inner iteration at which the breakdown was detected.
+        iter: usize,
+        /// The offending Hessenberg entry or pivot.
+        entry: f64,
+    },
+    /// The residual norm itself became NaN or ±∞.
+    NonFiniteResidual {
+        /// Iteration at which the breakdown was detected.
+        iter: usize,
+        /// The non-finite relative residual.
+        value: f64,
+    },
+}
+
+impl Breakdown {
+    /// Iteration at which the breakdown was detected.
+    pub fn iter(&self) -> usize {
+        match *self {
+            Breakdown::Indefinite { iter, .. }
+            | Breakdown::RhoBreakdown { iter, .. }
+            | Breakdown::OmegaBreakdown { iter, .. }
+            | Breakdown::HessenbergNonFinite { iter, .. }
+            | Breakdown::NonFiniteResidual { iter, .. } => iter,
+        }
+    }
+
+    /// True when the breakdown involves a non-finite value — the signature
+    /// of overflow in a stored matrix rather than a property of the exact
+    /// problem, and therefore precision-attributable.
+    pub fn non_finite(&self) -> bool {
+        match *self {
+            Breakdown::Indefinite { pap: v, .. }
+            | Breakdown::RhoBreakdown { rho: v, .. }
+            | Breakdown::OmegaBreakdown { omega: v, .. }
+            | Breakdown::HessenbergNonFinite { entry: v, .. }
+            | Breakdown::NonFiniteResidual { value: v, .. } => !v.is_finite(),
+        }
+    }
+}
+
+impl core::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            Breakdown::Indefinite { iter, pap } => {
+                write!(
+                    f,
+                    "CG breakdown at iteration {iter}: pᵀAp = {pap} (not SPD in working precision)"
+                )
+            }
+            Breakdown::RhoBreakdown { iter, rho } => {
+                write!(f, "BiCGSTAB breakdown at iteration {iter}: shadow correlation ρ = {rho}")
+            }
+            Breakdown::OmegaBreakdown { iter, omega } => {
+                write!(f, "BiCGSTAB breakdown at iteration {iter}: stabilization ω = {omega}")
+            }
+            Breakdown::HessenbergNonFinite { iter, entry } => {
+                write!(f, "GMRES breakdown at inner iteration {iter}: Hessenberg entry {entry}")
+            }
+            Breakdown::NonFiniteResidual { iter, value } => {
+                write!(f, "non-finite residual norm {value} at iteration {iter}")
+            }
+        }
+    }
+}
+
+/// Diagnosis of a residual plateau or rebound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stagnation {
+    /// Iteration at which stagnation was declared.
+    pub iter: usize,
+    /// Best relative residual reached before stalling.
+    pub best_rel: f64,
+    /// Relative residual at declaration time.
+    pub rel: f64,
+    /// True when the plateau sits *above* [`HealthPolicy::fp16_floor`]:
+    /// the stall is then attributable to reduced-precision storage (a
+    /// correctly scaled FP16 preconditioner bottoms out near its unit
+    /// roundoff, not above it) and precision promotion is the indicated
+    /// recovery.
+    pub above_fp16_floor: bool,
+}
+
+impl core::fmt::Display for Stagnation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "stagnated at iteration {}: best rel {:.3e}, current {:.3e}{}",
+            self.iter,
+            self.best_rel,
+            self.rel,
+            if self.above_fp16_floor { " (above FP16 roundoff floor)" } else { "" }
+        )
+    }
+}
+
+/// A failed solve, as a proper error type for callers that want `Result`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The recurrence broke down.
+    Breakdown(Breakdown),
+    /// The residual stalled or rebounded without converging.
+    Stagnated(Stagnation),
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolveError::Breakdown(b) => write!(f, "{b}"),
+            SolveError::Stagnated(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Stagnation-detection configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthPolicy {
+    /// Master switch; `false` restores the seed behavior (run to
+    /// `max_iters` no matter what the residual does).
+    pub enabled: bool,
+    /// Consecutive iterations without meaningful progress tolerated before
+    /// declaring stagnation.
+    pub patience: usize,
+    /// An iteration counts as progress when it improves the best relative
+    /// residual by at least this factor (`rel < min_progress * best`).
+    pub min_progress: f64,
+    /// A single iteration whose residual exceeds `rebound * best` counts as
+    /// `rebound_weight` stalled iterations — catches post-overflow
+    /// divergence long before `patience` quiet iterations elapse.
+    pub rebound: f64,
+    /// Stall-equivalents charged per rebound iteration.
+    pub rebound_weight: usize,
+    /// FP16 unit roundoff `2⁻¹¹`: plateaus above this are attributed to
+    /// reduced-precision storage (see [`Stagnation::above_fp16_floor`]).
+    pub fp16_floor: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            enabled: true,
+            patience: 40,
+            min_progress: 0.999,
+            rebound: 1.0e4,
+            rebound_weight: 8,
+            fp16_floor: f64::powi(2.0, -11),
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// A policy with stagnation detection off (seed behavior).
+    pub fn disabled() -> Self {
+        HealthPolicy { enabled: false, ..HealthPolicy::default() }
+    }
+}
+
+/// Per-iteration health record kept alongside the residual history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterHealth {
+    /// Iteration number.
+    pub iter: usize,
+    /// Relative residual at this iteration.
+    pub rel: f64,
+    /// Best relative residual so far.
+    pub best_rel: f64,
+    /// Stall-equivalents accumulated since the last progress.
+    pub stalled_for: usize,
+}
+
+/// Incremental stagnation monitor driven by the per-iteration relative
+/// residual. One instance per solve; solvers call [`SolveHealth::observe`]
+/// after each residual evaluation.
+#[derive(Clone, Debug)]
+pub struct SolveHealth {
+    policy: HealthPolicy,
+    record: bool,
+    best_rel: f64,
+    stalled: usize,
+    records: Vec<IterHealth>,
+}
+
+impl SolveHealth {
+    /// Creates a monitor. `record` keeps the per-iteration records (the
+    /// health counterpart of `record_history`).
+    pub fn new(policy: HealthPolicy, record: bool) -> Self {
+        SolveHealth { policy, record, best_rel: f64::INFINITY, stalled: 0, records: Vec::new() }
+    }
+
+    /// Feeds one relative residual; returns a diagnosis once the stall
+    /// budget is exhausted (never before `patience` is consumed, and never
+    /// when the policy is disabled). Non-finite residuals are the
+    /// breakdown paths' business, not stagnation — they return `None`.
+    pub fn observe(&mut self, iter: usize, rel: f64) -> Option<Stagnation> {
+        if rel.is_finite() {
+            if rel < self.policy.min_progress * self.best_rel {
+                self.best_rel = rel;
+                self.stalled = 0;
+            } else if self.best_rel.is_finite() && rel > self.policy.rebound * self.best_rel {
+                self.stalled += self.policy.rebound_weight.max(1);
+            } else {
+                self.stalled += 1;
+            }
+        }
+        if self.record {
+            self.records.push(IterHealth {
+                iter,
+                rel,
+                best_rel: self.best_rel,
+                stalled_for: self.stalled,
+            });
+        }
+        if self.policy.enabled && rel.is_finite() && self.stalled >= self.policy.patience {
+            Some(Stagnation {
+                iter,
+                best_rel: self.best_rel,
+                rel,
+                above_fp16_floor: self.best_rel > self.policy.fp16_floor,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Best relative residual observed so far.
+    pub fn best_rel(&self) -> f64 {
+        self.best_rel
+    }
+
+    /// Consumes the monitor, returning the per-iteration records.
+    pub fn into_records(self) -> Vec<IterHealth> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_progress_never_stagnates() {
+        let mut h = SolveHealth::new(HealthPolicy::default(), true);
+        let mut rel = 1.0;
+        for it in 0..500 {
+            assert_eq!(h.observe(it, rel), None);
+            rel *= 0.9;
+        }
+        assert_eq!(h.into_records().len(), 500);
+    }
+
+    #[test]
+    fn plateau_stagnates_after_patience() {
+        let policy = HealthPolicy { patience: 10, ..HealthPolicy::default() };
+        let mut h = SolveHealth::new(policy, false);
+        let mut out = None;
+        for it in 0..100 {
+            out = h.observe(it, 1e-2);
+            if out.is_some() {
+                break;
+            }
+        }
+        let s = out.expect("plateau must be flagged");
+        // First observation sets best; nine more exhaust patience=10.
+        assert_eq!(s.iter, 10);
+        assert!(s.above_fp16_floor);
+    }
+
+    #[test]
+    fn plateau_below_floor_not_precision_attributable() {
+        let policy = HealthPolicy { patience: 5, ..HealthPolicy::default() };
+        let mut h = SolveHealth::new(policy, false);
+        let mut out = None;
+        for it in 0..100 {
+            out = h.observe(it, 1e-12);
+            if out.is_some() {
+                break;
+            }
+        }
+        assert!(!out.expect("plateau must be flagged").above_fp16_floor);
+    }
+
+    #[test]
+    fn rebound_accelerates_detection() {
+        let policy = HealthPolicy { patience: 16, rebound_weight: 8, ..HealthPolicy::default() };
+        let mut h = SolveHealth::new(policy, false);
+        assert_eq!(h.observe(0, 1e-6), None);
+        // Two huge rebounds burn 8 stall-equivalents each.
+        assert_eq!(h.observe(1, 1e3), None);
+        assert!(h.observe(2, 1e3).is_some());
+    }
+
+    #[test]
+    fn disabled_policy_never_fires() {
+        let mut h = SolveHealth::new(HealthPolicy::disabled(), false);
+        for it in 0..10_000 {
+            assert_eq!(h.observe(it, 0.5), None);
+        }
+    }
+
+    #[test]
+    fn non_finite_residuals_ignored() {
+        let policy = HealthPolicy { patience: 3, ..HealthPolicy::default() };
+        let mut h = SolveHealth::new(policy, false);
+        for it in 0..100 {
+            assert_eq!(h.observe(it, f64::NAN), None);
+        }
+    }
+
+    #[test]
+    fn breakdown_accessors() {
+        let b = Breakdown::Indefinite { iter: 7, pap: -1.0 };
+        assert_eq!(b.iter(), 7);
+        assert!(!b.non_finite());
+        let b = Breakdown::NonFiniteResidual { iter: 3, value: f64::INFINITY };
+        assert!(b.non_finite());
+        let e = SolveError::Breakdown(b);
+        assert!(format!("{e}").contains("non-finite residual"));
+    }
+}

@@ -20,6 +20,7 @@
 mod bicgstab;
 mod cg;
 mod gmres;
+pub mod health;
 mod richardson;
 mod traits;
 mod types;
@@ -27,6 +28,7 @@ mod types;
 pub use bicgstab::bicgstab;
 pub use cg::cg;
 pub use gmres::gmres;
+pub use health::{Breakdown, HealthPolicy, IterHealth, SolveError, SolveHealth, Stagnation};
 pub use richardson::richardson;
 pub use traits::{IdentityPrecond, LinOp, Preconditioner, TimedPrecond};
 pub use types::{SolveOptions, SolveResult, StopReason};

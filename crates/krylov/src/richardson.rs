@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{norm2, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
 
@@ -27,16 +28,12 @@ pub fn richardson<K: Scalar>(
     let bnorm = norm2(b);
     if bnorm == 0.0 {
         x.fill(K::ZERO);
-        return SolveResult {
-            reason: StopReason::Converged,
-            iters: 0,
-            final_rel_residual: 0.0,
-            history: vec![0.0],
-        };
+        return SolveResult::new(StopReason::Converged, 0, 0.0, vec![0.0]);
     }
 
     let mut r = vec![K::ZERO; n];
     let mut e = vec![K::ZERO; n];
+    let mut health = SolveHealth::new(opts.health, opts.record_history);
     let mut history = Vec::new();
     let mut rel = f64::NAN;
 
@@ -51,20 +48,18 @@ pub fn richardson<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
-            return SolveResult {
-                reason: StopReason::Breakdown,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Breakdown, it, rel, history)
+                .with_breakdown(Breakdown::NonFiniteResidual { iter: it, value: rel })
+                .with_health(health.into_records());
         }
         if rel < opts.tol {
-            return SolveResult {
-                reason: StopReason::Converged,
-                iters: it,
-                final_rel_residual: rel,
-                history,
-            };
+            return SolveResult::new(StopReason::Converged, it, rel, history)
+                .with_health(health.into_records());
+        }
+        if let Some(stag) = health.observe(it, rel) {
+            return SolveResult::new(StopReason::Stagnated, it, rel, history)
+                .with_stagnation(stag)
+                .with_health(health.into_records());
         }
         if it == opts.max_iters {
             break;
@@ -77,10 +72,6 @@ pub fn richardson<K: Scalar>(
         }
     }
 
-    SolveResult {
-        reason: StopReason::MaxIters,
-        iters: opts.max_iters,
-        final_rel_residual: rel,
-        history,
-    }
+    SolveResult::new(StopReason::MaxIters, opts.max_iters, rel, history)
+        .with_health(health.into_records())
 }

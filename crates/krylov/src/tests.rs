@@ -1,7 +1,9 @@
 //! Solver tests on small dense-stored operators with known solutions.
 
-use crate::{cg, gmres, richardson, IdentityPrecond, LinOp, Preconditioner, SolveOptions,
-            StopReason, TimedPrecond};
+use crate::{
+    cg, gmres, richardson, IdentityPrecond, LinOp, Preconditioner, SolveOptions, StopReason,
+    TimedPrecond,
+};
 use fp16mg_fp::Scalar;
 
 /// Dense row-major test operator.
@@ -47,12 +49,10 @@ impl<K: Scalar> LinOp<K> for Dense {
         self.n
     }
     fn apply(&self, x: &[K], y: &mut [K]) {
-        for i in 0..self.n {
-            let mut acc = 0.0f64;
-            for j in 0..self.n {
-                acc += self.a[i * self.n + j] * x[j].to_f64();
-            }
-            y[i] = K::from_f64(acc);
+        for (i, out) in y.iter_mut().enumerate().take(self.n) {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            let acc: f64 = row.iter().zip(x).map(|(&a, xv)| a * xv.to_f64()).sum();
+            *out = K::from_f64(acc);
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Solver options and results.
 
+use crate::health::{Breakdown, HealthPolicy, IterHealth, SolveError, Stagnation};
+
 /// Stopping configuration shared by all solvers.
 #[derive(Clone, Debug)]
 pub struct SolveOptions {
@@ -10,13 +12,22 @@ pub struct SolveOptions {
     pub max_iters: usize,
     /// GMRES restart length `m` (ignored by CG/Richardson).
     pub restart: usize,
-    /// Record the residual history (Fig. 6 curves).
+    /// Record the residual history (Fig. 6 curves) and the per-iteration
+    /// health records.
     pub record_history: bool,
+    /// Stagnation/rebound detection policy.
+    pub health: HealthPolicy,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { tol: 1e-9, max_iters: 500, restart: 30, record_history: true }
+        SolveOptions {
+            tol: 1e-9,
+            max_iters: 500,
+            restart: 30,
+            record_history: true,
+            health: HealthPolicy::default(),
+        }
     }
 }
 
@@ -27,8 +38,12 @@ pub enum StopReason {
     Converged,
     /// Iteration budget exhausted.
     MaxIters,
-    /// A NaN or infinity appeared (e.g. unscaled FP16 overflow, §3.4).
+    /// The recurrence broke down (see [`SolveResult::breakdown`] for the
+    /// typed cause — e.g. unscaled FP16 overflow, §3.4).
     Breakdown,
+    /// The residual plateaued or rebounded without converging (see
+    /// [`SolveResult::stagnation`]).
+    Stagnated,
 }
 
 /// Outcome of a solve.
@@ -44,11 +59,80 @@ pub struct SolveResult {
     /// Relative residual after each iteration, starting with the initial
     /// value at index 0 (empty unless `record_history`).
     pub history: Vec<f64>,
+    /// Typed breakdown cause when `reason == Breakdown`.
+    pub breakdown: Option<Breakdown>,
+    /// Stagnation diagnosis when `reason == Stagnated`.
+    pub stagnation: Option<Stagnation>,
+    /// Per-iteration health records (empty unless `record_history`).
+    pub health: Vec<IterHealth>,
 }
 
 impl SolveResult {
+    /// A result with no failure diagnosis attached.
+    pub(crate) fn new(
+        reason: StopReason,
+        iters: usize,
+        final_rel_residual: f64,
+        history: Vec<f64>,
+    ) -> Self {
+        SolveResult {
+            reason,
+            iters,
+            final_rel_residual,
+            history,
+            breakdown: None,
+            stagnation: None,
+            health: Vec::new(),
+        }
+    }
+
+    /// Attaches a breakdown diagnosis (reason becomes `Breakdown`).
+    pub(crate) fn with_breakdown(mut self, b: Breakdown) -> Self {
+        self.reason = StopReason::Breakdown;
+        self.breakdown = Some(b);
+        self
+    }
+
+    /// Attaches a stagnation diagnosis (reason becomes `Stagnated`).
+    pub(crate) fn with_stagnation(mut self, s: Stagnation) -> Self {
+        self.reason = StopReason::Stagnated;
+        self.stagnation = Some(s);
+        self
+    }
+
+    /// Attaches the per-iteration health records.
+    pub(crate) fn with_health(mut self, health: Vec<IterHealth>) -> Self {
+        self.health = health;
+        self
+    }
+
     /// True when the solve converged.
     pub fn converged(&self) -> bool {
         self.reason == StopReason::Converged
+    }
+
+    /// The typed failure, if the solve broke down or stagnated. `MaxIters`
+    /// is not reported here: exhausting the budget while making progress
+    /// is a tuning matter, not a numerical failure.
+    pub fn failure(&self) -> Option<SolveError> {
+        match self.reason {
+            StopReason::Breakdown => Some(SolveError::Breakdown(self.breakdown.unwrap_or(
+                Breakdown::NonFiniteResidual { iter: self.iters, value: self.final_rel_residual },
+            ))),
+            StopReason::Stagnated => self.stagnation.map(SolveError::Stagnated),
+            _ => None,
+        }
+    }
+
+    /// True when the failure is attributable to reduced-precision storage:
+    /// a non-finite breakdown (overflow signature) or a stagnation plateau
+    /// above the FP16 roundoff floor. This is the predicate the recovery
+    /// layer keys on.
+    pub fn precision_suspect(&self) -> bool {
+        match self.reason {
+            StopReason::Breakdown => self.breakdown.map(|b| b.non_finite()).unwrap_or(true),
+            StopReason::Stagnated => self.stagnation.map(|s| s.above_fp16_floor).unwrap_or(false),
+            _ => false,
+        }
     }
 }

@@ -152,9 +152,7 @@ impl Problem {
             let (mx, _) = self.matrix.abs_max();
             mx.max(1.0)
         };
-        (0..n)
-            .map(|i| scale * (((i as f64) * 0.61).sin() * 0.5 + 1.0))
-            .collect()
+        (0..n).map(|i| scale * (((i as f64) * 0.61).sin() * 0.5 + 1.0)).collect()
     }
 }
 
@@ -295,7 +293,8 @@ fn weather(n: usize) -> SgDia<f64> {
                 let h = dxy(j);
                 c *= 1.0 / (h * h);
             }
-            if dx != 0 && dy != 0 || dx != 0 && dzo != 0 || dy != 0 && dzo != 0 {
+            let axes = (dx != 0) as u8 + (dy != 0) as u8 + (dzo != 0) as u8;
+            if axes >= 2 {
                 c *= 0.25; // edge neighbors couple weaker than faces
             }
             let m = 1.0 + 0.3 * topo.at(cell).clamp(-2.5, 2.5);
@@ -307,14 +306,12 @@ fn weather(n: usize) -> SgDia<f64> {
                 if tp.is_diagonal() || !grid.contains_offset(i, j, k, tp.dx, tp.dy, tp.dz) {
                     continue;
                 }
-                acc += coupling(tp.dx, tp.dy, tp.dz)
-                    * (1.0 + skew * downwind(tp.dx, tp.dy, tp.dz));
+                acc += coupling(tp.dx, tp.dy, tp.dz) * (1.0 + skew * downwind(tp.dx, tp.dy, tp.dz));
             }
             // Helmholtz term keeps the operator definite.
             acc + 0.05 * SCALE
         } else {
-            -coupling(tap.dx, tap.dy, tap.dz)
-                * (1.0 - skew * downwind(tap.dx, tap.dy, tap.dz))
+            -coupling(tap.dx, tap.dy, tap.dz) * (1.0 - skew * downwind(tap.dx, tap.dy, tap.dz))
         }
     })
 }
@@ -397,9 +394,7 @@ fn rhd3t(n: usize) -> SgDia<f64> {
         let base = if lo == 0 { 1.0e3 } else { 1.0e-2 };
         base * xf.log_coefficient(cell, 1.0e-2, 1.0e2)
     };
-    coupled_diffusion(grid, kap, exchange, 1.0, 0.0, |_, c| {
-        [1.0e1, 1.0e-3, 1.0e-7][c]
-    })
+    coupled_diffusion(grid, kap, exchange, 1.0, 0.0, |_, c| [1.0e1, 1.0e-3, 1.0e-7][c])
 }
 
 /// oil-4C: four-component reservoir system; magnitudes pushed near the

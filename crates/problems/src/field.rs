@@ -8,8 +8,7 @@
 //! or vertically stretched (atmospheric grids).
 
 use fp16mg_grid::Grid3;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fp16mg_testkit::Rng;
 
 /// A per-cell scalar field.
 #[derive(Clone, Debug)]
@@ -23,19 +22,15 @@ impl Field {
     /// sweeps of 7-point neighbor averaging, re-standardized to zero mean
     /// and unit variance.
     pub fn smooth_gaussian(grid: Grid3, seed: u64, passes: usize) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let n = grid.cells();
-        // Box–Muller on uniform draws (rand provides uniforms; the normal
-        // transform is implemented here to avoid a rand_distr dependency).
+        // Box–Muller pairs from the deterministic in-repo generator.
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let r = (-2.0 * u1.ln()).sqrt();
-            let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
-            data.push(r * c);
+            let (a, b) = rng.normal_pair();
+            data.push(a);
             if data.len() < n {
-                data.push(r * s);
+                data.push(b);
             }
         }
         let mut f = Field { grid, data };
@@ -50,8 +45,8 @@ impl Field {
     /// each horizontal layer (SPE10-style stratigraphy), plus a small
     /// horizontal perturbation field.
     pub fn layered(grid: Grid3, seed: u64, horizontal_jitter: f64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut profile: Vec<f64> = (0..grid.nz).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = Rng::new(seed);
+        let mut profile: Vec<f64> = (0..grid.nz).map(|_| rng.f64_range(-1.0, 1.0)).collect();
         // Smooth the profile lightly so adjacent layers correlate.
         for _ in 0..2 {
             let prev = profile.clone();
@@ -124,18 +119,15 @@ impl Field {
     /// not become rougher per cell just because it has fewer cells.
     pub fn interpolated(grid: Grid3, seed: u64, res: usize) -> Self {
         let res = res.max(1);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let m = res + 1;
         let lattice: Vec<f64> = {
             let mut v = Vec::with_capacity(m * m * m);
             while v.len() < m * m * m {
-                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                let rr = (-2.0 * u1.ln()).sqrt();
-                let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
-                v.push(rr * c);
+                let (a, b) = rng.normal_pair();
+                v.push(a);
                 if v.len() < m * m * m {
-                    v.push(rr * s);
+                    v.push(b);
                 }
             }
             v
@@ -146,8 +138,11 @@ impl Field {
             let fx = i as f64 / (grid.nx.max(2) - 1) as f64 * res as f64;
             let fy = j as f64 / (grid.ny.max(2) - 1) as f64 * res as f64;
             let fz = k as f64 / (grid.nz.max(2) - 1) as f64 * res as f64;
-            let (x0, y0, z0) =
-                ((fx as usize).min(res - 1), (fy as usize).min(res - 1), (fz as usize).min(res - 1));
+            let (x0, y0, z0) = (
+                (fx as usize).min(res - 1),
+                (fy as usize).min(res - 1),
+                (fz as usize).min(res - 1),
+            );
             let (tx, ty, tz) = (fx - x0 as f64, fy - y0 as f64, fz - z0 as f64);
             let mut v = 0.0;
             for (dz, wz) in [(0, 1.0 - tz), (1, tz)] {

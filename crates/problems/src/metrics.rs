@@ -9,7 +9,7 @@
 //! * [`condition_estimate`] — a Lanczos (CG-coefficient) estimate of the
 //!   extreme eigenvalues and their ratio (Table 3 "Cond.").
 
-use fp16mg_fp::{F16, Storage};
+use fp16mg_fp::{Storage, F16};
 use fp16mg_sgdia::kernels::{self, Par};
 use fp16mg_sgdia::SgDia;
 
@@ -27,10 +27,7 @@ pub fn range_histogram<S: Storage>(a: &SgDia<S>) -> Vec<(i32, f64)> {
         *counts.entry(x.log10().floor() as i32).or_default() += 1;
         total += 1;
     }
-    counts
-        .into_iter()
-        .map(|(d, c)| (d, 100.0 * c as f64 / total.max(1) as f64))
-        .collect()
+    counts.into_iter().map(|(d, c)| (d, 100.0 * c as f64 / total.max(1) as f64)).collect()
 }
 
 /// Distance of a matrix's magnitude range from FP16 (Table 3 "Dist.").

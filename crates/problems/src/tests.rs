@@ -85,10 +85,10 @@ fn spd_problems_are_symmetric() {
         let mut checked = 0usize;
         for i in (0..n).step_by(7) {
             csr.dense_row(i, &mut ri);
-            for j in i + 1..n {
-                if ri[j] != 0.0 {
+            for (j, &v) in ri.iter().enumerate().skip(i + 1) {
+                if v != 0.0 {
                     csr.dense_row(j, &mut rj);
-                    let rel = (ri[j] - rj[i]).abs() / ri[j].abs().max(rj[i].abs());
+                    let rel = (v - rj[i]).abs() / v.abs().max(rj[i].abs());
                     assert!(rel < 1e-12, "{}: asymmetric at ({i},{j})", p.name);
                     checked += 1;
                 }
@@ -109,10 +109,10 @@ fn gmres_problems_are_nonsymmetric() {
         let mut asym = false;
         'outer: for i in 0..n {
             csr.dense_row(i, &mut ri);
-            for j in i + 1..n {
-                if ri[j] != 0.0 {
+            for (j, &v) in ri.iter().enumerate().skip(i + 1) {
+                if v != 0.0 {
                     csr.dense_row(j, &mut rj);
-                    if (ri[j] - rj[i]).abs() > 1e-9 * ri[j].abs() {
+                    if (v - rj[i]).abs() > 1e-9 * v.abs() {
                         asym = true;
                         break 'outer;
                     }
@@ -198,10 +198,9 @@ fn all_problems_solve_d16_setup_then_scale() {
         let mut x64 = vec![0.0f64; p.matrix.rows()];
         let mut x16 = vec![0.0f64; p.matrix.rows()];
         let (r64, r16) = match p.solver {
-            SolverKind::Cg => (
-                cg(&op, &mut mg64, &b, &mut x64, &opts),
-                cg(&op, &mut mg16, &b, &mut x16, &opts),
-            ),
+            SolverKind::Cg => {
+                (cg(&op, &mut mg64, &b, &mut x64, &opts), cg(&op, &mut mg16, &b, &mut x16, &opts))
+            }
             SolverKind::Gmres => (
                 gmres(&op, &mut mg64, &b, &mut x64, &opts),
                 gmres(&op, &mut mg16, &b, &mut x16, &opts),

@@ -32,7 +32,7 @@ impl<S: Storage> Csr<S> {
     pub fn new(rows: usize, row_ptr: Vec<u32>, col_idx: Vec<u32>, values: Vec<S>) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
         assert_eq!(col_idx.len(), values.len(), "col_idx/values length");
-        assert_eq!(*row_ptr.last().unwrap() as usize, values.len(), "row_ptr tail");
+        assert_eq!(row_ptr[rows] as usize, values.len(), "row_ptr tail");
         for w in row_ptr.windows(2) {
             assert!(w[0] <= w[1], "row_ptr not monotone");
         }
@@ -120,7 +120,7 @@ impl<S: Storage> Csr<S> {
     pub fn spmv<P: Scalar>(&self, x: &[P], y: &mut [P]) {
         assert_eq!(x.len(), self.rows, "x length");
         assert_eq!(y.len(), self.rows, "y length");
-        for row in 0..self.rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[row] as usize;
             let hi = self.row_ptr[row + 1] as usize;
             let mut acc = P::ZERO;
@@ -128,7 +128,7 @@ impl<S: Storage> Csr<S> {
                 let a = P::from_f64(v.load_f64());
                 acc = a.mul_add(x[col as usize], acc);
             }
-            y[row] = acc;
+            *out = acc;
         }
     }
 

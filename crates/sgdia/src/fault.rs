@@ -1,0 +1,168 @@
+//! Fault injection into stored matrix coefficients (feature `fault-inject`).
+//!
+//! The robustness harness needs to produce, on demand, exactly the
+//! corruptions the FP16 storage path can suffer in the wild: overflow to
+//! ±∞ during truncation, exponent-bit upsets, and underflow flushing to
+//! the subnormal range. This module applies them to a stored matrix at
+//! configurable rates, deterministically (seeded), and reports what it
+//! did so tests can assert detection.
+//!
+//! Only compiled under the `fault-inject` feature: production builds carry
+//! no corruption code.
+
+use fp16mg_fp::{Bf16, Storage, F16};
+
+use crate::SgDia;
+
+/// What to corrupt and how often. Rates are per stored entry and applied
+/// independently (an entry hit by multiple faults takes the last one in
+/// field order: exponent flip, then ±∞, then subnormal flush).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// Probability of flipping one random exponent bit of an entry.
+    pub exp_flip_rate: f64,
+    /// Probability of forcing an entry to ±∞ (sign preserved).
+    pub inf_rate: f64,
+    /// Probability of flushing an entry to a subnormal of its sign.
+    pub subnormal_flush_rate: f64,
+    /// PRNG seed; equal seeds reproduce the same fault pattern.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A spec that forces ±∞ at the given rate and nothing else.
+    pub fn inf(rate: f64, seed: u64) -> Self {
+        FaultSpec { exp_flip_rate: 0.0, inf_rate: rate, subnormal_flush_rate: 0.0, seed }
+    }
+
+    /// A spec that flips exponent bits at the given rate and nothing else.
+    pub fn exp_flip(rate: f64, seed: u64) -> Self {
+        FaultSpec { exp_flip_rate: rate, inf_rate: 0.0, subnormal_flush_rate: 0.0, seed }
+    }
+
+    /// A spec that flushes entries to subnormals at the given rate.
+    pub fn subnormal_flush(rate: f64, seed: u64) -> Self {
+        FaultSpec { exp_flip_rate: 0.0, inf_rate: 0.0, subnormal_flush_rate: rate, seed }
+    }
+}
+
+/// Tally of the corruptions actually applied.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Entries whose exponent had one bit flipped.
+    pub exp_flips: u64,
+    /// Entries forced to ±∞.
+    pub infs: u64,
+    /// Entries flushed to a subnormal.
+    pub subnormal_flushes: u64,
+}
+
+impl FaultReport {
+    /// Total corrupted entries.
+    pub fn total(&self) -> u64 {
+        self.exp_flips + self.infs + self.subnormal_flushes
+    }
+}
+
+// SplitMix64, embedded so the fault path adds no dependency edges.
+#[inline]
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn chance(state: &mut u64, p: f64) -> bool {
+    p > 0.0 && ((next_u64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+}
+
+/// Bit-level corruption of one 16-bit value. `exp_mask` selects the
+/// format's exponent field; `sub_bits` is a representative subnormal.
+#[inline]
+fn corrupt_bits16(
+    bits: u16,
+    exp_mask: u16,
+    sub_bits: u16,
+    spec: &FaultSpec,
+    state: &mut u64,
+    report: &mut FaultReport,
+) -> u16 {
+    let mut out = bits;
+    if chance(state, spec.exp_flip_rate) {
+        let exp_bits: u32 = exp_mask.count_ones();
+        let shift = exp_mask.trailing_zeros() + (next_u64(state) % exp_bits as u64) as u32;
+        out ^= 1 << shift;
+        report.exp_flips += 1;
+    }
+    if chance(state, spec.inf_rate) {
+        out = (out & 0x8000) | exp_mask; // ±∞: sign kept, exponent all ones, mantissa 0
+        report.infs += 1;
+    }
+    if chance(state, spec.subnormal_flush_rate) {
+        out = (out & 0x8000) | sub_bits;
+        report.subnormal_flushes += 1;
+    }
+    out
+}
+
+/// Injects faults into every stored entry of `a` per `spec`. Supported for
+/// the 16-bit storage formats (F16, Bf16) — the formats the guard layer
+/// protects; other storage types are left untouched and report zero.
+pub fn inject<S: Storage + 'static>(a: &mut SgDia<S>, spec: &FaultSpec) -> FaultReport {
+    let mut report = FaultReport::default();
+    let mut state = spec.seed;
+    let data = a.data_mut();
+    if let Some(d16) = crate::kernels::cast_slice_mut::<S, F16>(data) {
+        for v in d16 {
+            // Skip structural zeros so corruption lands on real coefficients.
+            if v.to_bits() & 0x7fff == 0 {
+                continue;
+            }
+            *v = F16::from_bits(corrupt_bits16(
+                v.to_bits(),
+                0x7c00,
+                F16::MIN_POSITIVE_SUBNORMAL.to_bits(),
+                spec,
+                &mut state,
+                &mut report,
+            ));
+        }
+        return report;
+    }
+    if let Some(db16) = crate::kernels::cast_slice_mut::<S, Bf16>(data) {
+        for v in db16 {
+            if v.to_bits() & 0x7fff == 0 {
+                continue;
+            }
+            *v = Bf16::from_bits(corrupt_bits16(
+                v.to_bits(),
+                0x7f80,
+                0x0001,
+                spec,
+                &mut state,
+                &mut report,
+            ));
+        }
+        return report;
+    }
+    report
+}
+
+/// Forces exactly one entry — `(cell, tap)` — to ±∞ (sign preserved;
+/// zero entries become +∞). Returns `false` for non-16-bit storage.
+pub fn inject_inf_at<S: Storage + 'static>(a: &mut SgDia<S>, cell: usize, tap: usize) -> bool {
+    let idx = a.entry_index(cell, tap);
+    let data = a.data_mut();
+    if let Some(d16) = crate::kernels::cast_slice_mut::<S, F16>(data) {
+        d16[idx] = F16::from_bits((d16[idx].to_bits() & 0x8000) | 0x7c00);
+        return true;
+    }
+    if let Some(db16) = crate::kernels::cast_slice_mut::<S, Bf16>(data) {
+        db16[idx] = Bf16::from_bits((db16[idx].to_bits() & 0x8000) | 0x7f80);
+        return true;
+    }
+    false
+}

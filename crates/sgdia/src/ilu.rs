@@ -68,10 +68,18 @@ pub fn ilu0(a: &SgDia<f64>) -> Result<Ilu0, usize> {
     // Precompute, for each lower tap tl and each strict-upper tap tu of
     // the pattern, the target tap tt with off(tt) = off(tl) + off(tu)
     // (if the sum stays in the pattern — ILU(0) drops the rest).
-    let ltaps: Vec<usize> =
-        lp_strict.taps().iter().map(|t| pat.tap_index(*t).expect("lower tap")).collect();
-    let utaps: Vec<usize> =
-        up_strict.taps().iter().map(|t| pat.tap_index(*t).expect("upper tap")).collect();
+    // split() partitions the source pattern, so every strict-lower/upper
+    // tap is present in it by construction — these lookups cannot miss.
+    let ltaps: Vec<usize> = lp_strict
+        .taps()
+        .iter()
+        .map(|t| pat.tap_index(*t).expect("split() taps come from the source pattern"))
+        .collect();
+    let utaps: Vec<usize> = up_strict
+        .taps()
+        .iter()
+        .map(|t| pat.tap_index(*t).expect("split() taps come from the source pattern"))
+        .collect();
     let diag_tap = pat.diagonal_indices()[0];
     let taps = pat.taps();
     let mut triples: Vec<(usize, usize, usize)> = Vec::new(); // (tl, tu, tt)

@@ -12,7 +12,7 @@
 
 use std::io::{self, Read, Write};
 
-use fp16mg_fp::{Bf16, F16, Precision, Storage};
+use fp16mg_fp::{Bf16, Precision, Storage, F16};
 use fp16mg_grid::Grid3;
 use fp16mg_stencil::{Pattern, Tap};
 
@@ -27,6 +27,8 @@ fn precision_tag<S: Storage>() -> u8 {
         "32" => 1,
         "16" => 2,
         "b16" => 3,
+        // Storage is implemented exactly by f64/f32/F16/Bf16 (fp crate);
+        // a fifth implementor would be a compile-time addition here too.
         other => unreachable!("unknown storage {other}"),
     }
 }
@@ -96,6 +98,7 @@ pub fn write_matrix<S: Storage>(a: &SgDia<S>, w: &mut impl Write) -> io::Result<
                 w.write_all(&bits.to_le_bytes())?;
             }
         }
+        // Storage::BYTES is 8, 4, or 2 for the four sealed implementors.
         _ => unreachable!(),
     }
     Ok(())
@@ -130,6 +133,7 @@ pub fn read_matrix<S: Storage>(r: &mut impl Read) -> io::Result<SgDia<S>> {
     for _ in 0..ntaps {
         let mut b = [0u8; 14];
         r.read_exact(&mut b)?;
+        // Infallible: fixed 4-byte subslices of the 14-byte buffer.
         taps.push(Tap::at_comp(
             i32::from_le_bytes(b[0..4].try_into().unwrap()),
             i32::from_le_bytes(b[4..8].try_into().unwrap()),
@@ -174,6 +178,7 @@ pub fn read_matrix<S: Storage>(r: &mut impl Read) -> io::Result<SgDia<S>> {
                 a.data_mut()[i] = S::store_f32(v);
             }
         }
+        // Storage::BYTES is 8, 4, or 2 for the four sealed implementors.
         _ => unreachable!(),
     }
     Ok(a)

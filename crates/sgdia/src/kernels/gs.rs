@@ -74,11 +74,8 @@ fn sweep<S: Storage, P: Scalar>(
 
     let mut acc = [P::ZERO; MAX_COMPONENTS];
     let mut xb = [P::ZERO; MAX_COMPONENTS];
-    let iter: Box<dyn Iterator<Item = usize>> = if backward {
-        Box::new((0..cells).rev())
-    } else {
-        Box::new(0..cells)
-    };
+    let iter: Box<dyn Iterator<Item = usize>> =
+        if backward { Box::new((0..cells).rev()) } else { Box::new(0..cells) };
     for cell in iter {
         for c in 0..r {
             acc[c] = b[cell * r + c];
@@ -142,11 +139,8 @@ fn sweep_staged<S: Storage, P: Scalar>(
         }
     }
 
-    let lines: Box<dyn Iterator<Item = usize>> = if backward {
-        Box::new((0..nlines).rev())
-    } else {
-        Box::new(0..nlines)
-    };
+    let lines: Box<dyn Iterator<Item = usize>> =
+        if backward { Box::new((0..nlines).rev()) } else { Box::new(0..nlines) };
     for line in lines {
         let lbase = line * nx;
         for t in 0..taps {
@@ -171,7 +165,7 @@ fn sweep_staged<S: Storage, P: Scalar>(
             } else {
                 for i in lo..hi {
                     let xv = x[(xoff + i as i64) as usize * r + cin];
-                    acc[i * r + cout] = acc[i * r + cout] - scratch[t * nx + i] * xv;
+                    acc[i * r + cout] -= scratch[t * nx + i] * xv;
                 }
             }
         }
@@ -182,7 +176,8 @@ fn sweep_staged<S: Storage, P: Scalar>(
         // `d = -D⁻¹·a_w` precomputed vectorized — one fused-multiply-add
         // of latency on the dependency chain per cell.
         if r == 1 && rec.len() == 1 {
-            let di = dinv.as_scalar().expect("scalar dinv");
+            // r == 1 above guarantees the scalar representation exists.
+            let di = dinv.as_scalar().expect("scalar dinv when r == 1");
             let (t, cstride, _, _) = rec[0];
             // c[i] = D⁻¹·acc reuses acc; d[i] = −D⁻¹·a_w overwrites the
             // tap's scratch row (its raw values are no longer needed).
@@ -211,11 +206,8 @@ fn sweep_staged<S: Storage, P: Scalar>(
             }
             continue;
         }
-        let order: Box<dyn Iterator<Item = usize>> = if backward {
-            Box::new((0..nx).rev())
-        } else {
-            Box::new(0..nx)
-        };
+        let order: Box<dyn Iterator<Item = usize>> =
+            if backward { Box::new((0..nx).rev()) } else { Box::new(0..nx) };
         for i in order {
             let cell = lbase + i;
             for c in 0..r {
@@ -224,8 +216,7 @@ fn sweep_staged<S: Storage, P: Scalar>(
             for &(t, cstride, cout, cin) in &rec {
                 let nb = cell as i64 + cstride;
                 if nb >= 0 && nb < cells as i64 {
-                    blk_in[cout] =
-                        blk_in[cout] - scratch[t * nx + i] * x[nb as usize * r + cin];
+                    blk_in[cout] -= scratch[t * nx + i] * x[nb as usize * r + cin];
                 }
             }
             dinv.solve(cell, &blk_in[..r], &mut blk_out[..r]);
@@ -233,4 +224,3 @@ fn sweep_staged<S: Storage, P: Scalar>(
         }
     }
 }
-

@@ -30,18 +30,9 @@ pub use gs::{gs_backward, gs_forward};
 pub use spmv::{residual, spmv, spmv_axpy};
 pub use sptrsv::{sptrsv_backward, sptrsv_forward, sptrsv_forward_wavefront};
 
+pub use crate::par::Par;
 use fp16mg_grid::Grid3;
 use fp16mg_stencil::Pattern;
-
-/// Kernel execution policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Par {
-    /// Single-threaded.
-    #[default]
-    Seq,
-    /// Parallelize with the ambient rayon pool.
-    Rayon,
-}
 
 /// Per-tap metadata resolved once per kernel invocation.
 #[derive(Clone, Copy, Debug)]
@@ -181,6 +172,6 @@ pub(crate) fn line_bulk_sub<P: fp16mg_fp::Scalar>(
     }
     let xs = &x[(xbase + lo as i64) as usize..][..hi - lo];
     for ((a, &c), &xv) in acc[lo..hi].iter_mut().zip(&coeff[lo..hi]).zip(xs) {
-        *a = *a - c * xv;
+        *a -= c * xv;
     }
 }

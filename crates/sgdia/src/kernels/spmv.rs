@@ -1,9 +1,10 @@
 //! Sparse matrix–vector product and residual kernels.
 
-use fp16mg_fp::{F16, Scalar, Storage};
-use rayon::prelude::*;
+use fp16mg_fp::{Scalar, Storage, F16};
 
-use super::{cast_slice, cast_slice_mut, interior_range, tap_metas, widen_line, Par, TapMeta, MAX_COMPONENTS};
+use super::{
+    cast_slice, cast_slice_mut, interior_range, tap_metas, widen_line, Par, TapMeta, MAX_COMPONENTS,
+};
 use crate::{Layout, SgDia};
 
 /// `y = A x`.
@@ -62,32 +63,21 @@ fn apply<S: Storage, P: Scalar>(
     }
     let metas = tap_metas(a.grid(), a.pattern());
 
-    let nthreads = match par {
-        Par::Seq => 1,
-        Par::Rayon => rayon::current_num_threads().max(1),
-    };
-    let chunk_cells = if nthreads == 1 || cells < 4096 {
-        cells
-    } else {
-        cells.div_ceil(nthreads)
-    };
+    let nthreads = par.threads();
+    let chunk_cells = if nthreads == 1 || cells < 4096 { cells } else { cells.div_ceil(nthreads) };
 
     // Each parallel task owns a disjoint &mut window of y covering
     // `chunk_cells` cells; x and b stay shared.
-    let work = |(p, ychunk): (usize, &mut [P])| {
+    crate::par::for_each_chunk_mut(y, chunk_cells * r, |p, ychunk| {
         let base = p * chunk_cells;
         let range = base..(base + ychunk.len() / r);
         run_range(a, b, x, ychunk, &metas, range, base, mode);
-    };
-    if chunk_cells == cells {
-        work((0, y));
-    } else {
-        y.par_chunks_mut(chunk_cells * r).enumerate().for_each(work);
-    }
+    });
 }
 
 /// Executes one cell range, dispatching to the SIMD path when possible.
 /// `ychunk` covers exactly the cells of `range`; `base == range.start`.
+#[allow(clippy::too_many_arguments)] // internal dispatch: full kernel context
 fn run_range<S: Storage, P: Scalar>(
     a: &SgDia<S>,
     b: Option<&[P]>,
@@ -109,16 +99,12 @@ fn run_range<S: Storage, P: Scalar>(
             let b32 = b.and_then(cast_slice::<P, f32>);
             if let Some(d16) = cast_slice::<S, F16>(a.data()) {
                 // SAFETY: CPU support checked by simd_available().
-                unsafe {
-                    simd_f16_range(a.grid().cells(), metas, d16, b32, x32, y32, range, base)
-                };
+                unsafe { simd_f16_range(a.grid().cells(), metas, d16, b32, x32, y32, range, base) };
                 return;
             }
             if let Some(d32) = cast_slice::<S, f32>(a.data()) {
                 // SAFETY: CPU support checked by simd_available().
-                unsafe {
-                    simd_f32_range(a.grid().cells(), metas, d32, b32, x32, y32, range, base)
-                };
+                unsafe { simd_f32_range(a.grid().cells(), metas, d32, b32, x32, y32, range, base) };
                 return;
             }
         }
@@ -129,9 +115,7 @@ fn run_range<S: Storage, P: Scalar>(
             let b64 = b.and_then(cast_slice::<P, f64>);
             if let Some(d64) = cast_slice::<S, f64>(a.data()) {
                 // SAFETY: CPU support checked by simd_available().
-                unsafe {
-                    simd_f64_range(a.grid().cells(), metas, d64, b64, x64, y64, range, base)
-                };
+                unsafe { simd_f64_range(a.grid().cells(), metas, d64, b64, x64, y64, range, base) };
                 return;
             }
         }
@@ -229,6 +213,7 @@ fn staged_range<S: Storage, P: Scalar>(
                 }
             }
             Mode::ResidualFrom => {
+                // Callers pass Some(b) whenever mode == Residual (internal API).
                 let bb = b.expect("residual mode requires b");
                 let b0 = (lbase + i0) * r;
                 for (k, y) in ychunk[out0..out0 + span * r].iter_mut().enumerate() {
@@ -409,6 +394,7 @@ fn generic_range<S: Storage, P: Scalar>(
                 }
             }
             Mode::ResidualFrom => {
+                // Callers pass Some(b) whenever mode == Residual (internal API).
                 let b = b.expect("residual mode requires b");
                 for c in 0..r {
                     ychunk[out + c] = b[cell * r + c] - acc[c];

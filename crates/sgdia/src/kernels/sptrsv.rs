@@ -16,11 +16,10 @@
 //! * the **wavefront** solve, which parallelizes across `i+j+k`
 //!   hyperplanes (the "sophisticated parallel strategy" of §5.1).
 
-use fp16mg_fp::{F16, Scalar, Storage};
+use fp16mg_fp::{Scalar, Storage, F16};
 use fp16mg_grid::{Grid3, Wavefronts};
-use rayon::prelude::*;
 
-use super::{cast_slice, cast_slice_mut, tap_metas, widen_line, TapMeta, MAX_COMPONENTS};
+use super::{cast_slice, cast_slice_mut, tap_metas, widen_line, Par, TapMeta, MAX_COMPONENTS};
 use crate::{Layout, SgDia};
 
 /// Solves `L x = b` with `L` lower triangular (taps with row-major sign
@@ -93,11 +92,8 @@ fn solve_generic<S: Storage, P: Scalar>(
 ) {
     let cells = a.grid().cells();
     let r = a.grid().components;
-    let iter: Box<dyn Iterator<Item = usize>> = if backward {
-        Box::new((0..cells).rev())
-    } else {
-        Box::new(0..cells)
-    };
+    let iter: Box<dyn Iterator<Item = usize>> =
+        if backward { Box::new((0..cells).rev()) } else { Box::new(0..cells) };
     let mut acc = [P::ZERO; MAX_COMPONENTS];
     let mut diag = [[P::ZERO; MAX_COMPONENTS]; MAX_COMPONENTS];
     for cell in iter {
@@ -126,24 +122,27 @@ fn solve_generic<S: Storage, P: Scalar>(
 
 /// Solves the cell's dense `r × r` diagonal block in place by Gaussian
 /// elimination without pivoting (diagonally dominant blocks in practice;
-/// scalar case is a single divide).
-///
-/// # Panics
-/// Panics on a zero pivot.
+/// scalar case is a single divide). Zero pivots are debug-asserted only:
+/// release builds produce non-finite output for the solve-level guard.
+#[allow(clippy::needless_range_loop)] // index form mirrors the elimination
 fn solve_block<P: Scalar>(
     diag: &[[P; MAX_COMPONENTS]; MAX_COMPONENTS],
     rhs: &mut [P; MAX_COMPONENTS],
     r: usize,
 ) {
     if r == 1 {
-        assert!(diag[0][0] != P::ZERO, "singular diagonal");
+        // Zero diagonals are rejected with typed errors at setup
+        // (BlockDiagInv / ilu0); in release the division yields ±∞/NaN,
+        // which the hierarchy's finiteness guard detects and recovers
+        // from — cheaper and more survivable than a hot-loop panic.
+        debug_assert!(diag[0][0] != P::ZERO, "singular diagonal");
         rhs[0] = rhs[0] / diag[0][0];
         return;
     }
     let mut m = *diag;
     for col in 0..r {
         let p = m[col][col];
-        assert!(p != P::ZERO, "singular diagonal block");
+        debug_assert!(p != P::ZERO, "singular diagonal block");
         for row in col + 1..r {
             let f = m[row][col] / p;
             if f == P::ZERO {
@@ -206,11 +205,8 @@ fn solve_staged<S: Storage, P: Scalar>(
         }
     }
 
-    let lines: Box<dyn Iterator<Item = usize>> = if backward {
-        Box::new((0..nlines).rev())
-    } else {
-        Box::new(0..nlines)
-    };
+    let lines: Box<dyn Iterator<Item = usize>> =
+        if backward { Box::new((0..nlines).rev()) } else { Box::new(0..nlines) };
     for line in lines {
         let lbase = line * nx;
         for t in 0..taps {
@@ -267,7 +263,7 @@ fn solve_staged<S: Storage, P: Scalar>(
                 for &(t, stride) in &rec {
                     let nb = cell as i64 + stride;
                     if nb < cells as i64 && nb >= 0 {
-                        v = v - scratch[t * nx + i] * x[nb as usize];
+                        v -= scratch[t * nx + i] * x[nb as usize];
                     }
                 }
                 x[cell] = v * rinv[i];
@@ -279,7 +275,7 @@ fn solve_staged<S: Storage, P: Scalar>(
                 for &(t, stride) in &rec {
                     let nb = cell as i64 + stride;
                     if nb >= 0 && nb < cells as i64 {
-                        v = v - scratch[t * nx + i] * x[nb as usize];
+                        v -= scratch[t * nx + i] * x[nb as usize];
                     }
                 }
                 x[cell] = v * rinv[i];
@@ -308,11 +304,8 @@ unsafe fn solve_naive_f16_aos(
         _mm_cvtss_f32(_mm_cvtph_ps(_mm_cvtsi32_si128(h as i32)))
     }
     let ntaps = metas.len();
-    let iter: Box<dyn Iterator<Item = usize>> = if backward {
-        Box::new((0..cells).rev())
-    } else {
-        Box::new(0..cells)
-    };
+    let iter: Box<dyn Iterator<Item = usize>> =
+        if backward { Box::new((0..cells).rev()) } else { Box::new(0..cells) };
     for cell in iter {
         let row = &data[cell * ntaps..(cell + 1) * ntaps];
         let mut acc = b[cell];
@@ -329,12 +322,13 @@ unsafe fn solve_naive_f16_aos(
             }
             acc = (-av).mul_add(x[nb as usize], acc);
         }
-        assert!(diag != 0.0, "singular diagonal at cell {cell}");
+        // Non-finite on zero diagonal; caught by the solve-level guard.
+        debug_assert!(diag != 0.0, "singular diagonal at cell {cell}");
         x[cell] = acc / diag;
     }
 }
 
-/// Raw pointer wrapper so hyperplane-disjoint writes can cross the rayon
+/// Raw pointer wrapper so hyperplane-disjoint writes can cross the worker
 /// closure boundary.
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
@@ -361,6 +355,7 @@ pub fn sptrsv_forward_wavefront<S: Storage, P: Scalar>(
     waves: &Wavefronts,
     b: &[P],
     x: &mut [P],
+    par: Par,
 ) {
     let grid = l.grid();
     let cells = grid.cells();
@@ -375,9 +370,10 @@ pub fn sptrsv_forward_wavefront<S: Storage, P: Scalar>(
     assert_eq!(waves.len(), cells, "wavefront schedule size");
     let metas = tap_metas(grid, l.pattern());
     let xp = SendPtr(x.as_mut_ptr());
+    let nthreads = par.threads();
 
     for plane in waves.forward() {
-        plane.par_iter().for_each(|&cu| {
+        crate::par::for_each_in_plane(plane, nthreads, |&cu| {
             let cell = cu as usize;
             let mut acc = b[cell];
             let mut diag = P::ZERO;

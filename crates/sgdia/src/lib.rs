@@ -35,15 +35,20 @@
 
 #![warn(missing_docs)]
 pub mod csr;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod ilu;
 pub mod io;
 pub mod kernels;
 pub mod matrix;
 pub mod model;
+pub mod par;
 pub mod scaling;
+pub mod scan;
 
 pub use csr::Csr;
 pub use matrix::{Layout, SgDia};
+pub use par::Par;
 
 #[cfg(test)]
 mod tests;

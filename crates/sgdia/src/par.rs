@@ -1,0 +1,80 @@
+//! Minimal scoped-thread data parallelism.
+//!
+//! The kernels only ever need two shapes of parallelism — disjoint `&mut`
+//! chunks of an output vector, and a read-only sweep over a plane of
+//! independent cells — so both are implemented directly on
+//! `std::thread::scope` instead of pulling in a work-stealing runtime.
+//! Threads are spawned per call; at the problem sizes where parallelism is
+//! engaged (≥ thousands of cells per thread) the spawn cost is noise next
+//! to the memory traffic.
+
+/// Kernel execution policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Par {
+    /// Single-threaded.
+    #[default]
+    Seq,
+    /// Parallelize across `n` OS threads; `Threads(0)` means one thread
+    /// per available hardware core.
+    Threads(usize),
+}
+
+impl Par {
+    /// Number of worker threads this policy resolves to (≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Par::Seq => 1,
+            Par::Threads(0) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Par::Threads(n) => n,
+        }
+    }
+}
+
+/// Runs `f(chunk_index, chunk)` over successive `chunk_len`-element chunks
+/// of `data`, one scoped thread per chunk (the caller sizes `chunk_len` to
+/// the intended thread count). Sequential when a single chunk covers the
+/// slice.
+pub(crate) fn for_each_chunk_mut<T: Send, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if chunk_len >= data.len() {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (p, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(p, chunk));
+        }
+    });
+}
+
+/// Runs `f(item)` over every item of `plane`, splitting the plane across
+/// `nthreads` scoped threads. Items must be independent (caller's
+/// invariant). Sequential for one thread or tiny planes.
+pub(crate) fn for_each_in_plane<T: Sync, F>(plane: &[T], nthreads: usize, f: F)
+where
+    F: Fn(&T) + Sync,
+{
+    // Below this many items per thread, spawn overhead dominates any win.
+    const MIN_ITEMS_PER_THREAD: usize = 256;
+    let nthreads = nthreads.min(plane.len() / MIN_ITEMS_PER_THREAD.max(1)).max(1);
+    if nthreads == 1 {
+        for item in plane {
+            f(item);
+        }
+        return;
+    }
+    let chunk = plane.len().div_ceil(nthreads);
+    std::thread::scope(|scope| {
+        for part in plane.chunks(chunk) {
+            let f = &f;
+            scope.spawn(move || {
+                for item in part {
+                    f(item);
+                }
+            });
+        }
+    });
+}

@@ -50,7 +50,7 @@ pub fn g_max<S: Storage>(a: &SgDia<S>, fp16_max: f64) -> Result<f64, usize> {
     let r = grid.components;
     let diag = a.extract_diagonal();
     for (u, &d) in diag.iter().enumerate() {
-        if !(d > 0.0) || !d.is_finite() {
+        if !d.is_finite() || d <= 0.0 {
             return Err(u);
         }
     }

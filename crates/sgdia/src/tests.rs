@@ -2,10 +2,10 @@
 //! the CSR reference on the same operator, across layouts and storage
 //! precisions.
 
-use fp16mg_fp::{Bf16, F16, Precision};
+use fp16mg_fp::{Bf16, Precision, F16};
 use fp16mg_grid::{Grid3, Wavefronts};
 use fp16mg_stencil::Pattern;
-use proptest::prelude::*;
+use fp16mg_testkit::check;
 
 use crate::kernels::{self, BlockDiagInv, Par};
 use crate::model::{self, Format};
@@ -59,10 +59,7 @@ fn random_vec(n: usize, seed: u64) -> Vec<f64> {
 }
 
 fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y).abs() / (1.0 + x.abs().max(y.abs())))
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs() / (1.0 + x.abs().max(y.abs()))).fold(0.0, f64::max)
 }
 
 #[test]
@@ -182,7 +179,7 @@ fn spmv_parallel_matches_seq() {
     let mut y1 = vec![0.0f32; g.unknowns()];
     let mut y2 = vec![0.0f32; g.unknowns()];
     kernels::spmv(&a, &x, &mut y1, Par::Seq);
-    kernels::spmv(&a, &x, &mut y2, Par::Rayon);
+    kernels::spmv(&a, &x, &mut y2, Par::Threads(0));
     assert_eq!(y1, y2);
 }
 
@@ -292,7 +289,7 @@ fn sptrsv_wavefront_matches_sequential() {
     let mut x1 = vec![0.0f64; g.unknowns()];
     let mut x2 = vec![0.0f64; g.unknowns()];
     kernels::sptrsv_forward(&l, &b, &mut x1);
-    kernels::sptrsv_forward_wavefront(&l, &waves, &b, &mut x2);
+    kernels::sptrsv_forward_wavefront(&l, &waves, &b, &mut x2, Par::Seq);
     assert!(max_rel_err(&x1, &x2) < 1e-13);
 }
 
@@ -394,11 +391,11 @@ fn transpose_matches_csr_transpose() {
     // y2 = Aᵀ x via xᵀA on the CSR (column accumulation).
     let csr = Csr::from_sgdia(&a);
     let mut y2 = vec![0.0f64; g.unknowns()];
-    for row in 0..csr.rows() {
+    for (row, &xr) in x.iter().enumerate().take(csr.rows()) {
         let lo = csr.row_ptr()[row] as usize;
         let hi = csr.row_ptr()[row + 1] as usize;
         for e in lo..hi {
-            y2[csr.col_idx()[e] as usize] += csr.values()[e] * x[row];
+            y2[csr.col_idx()[e] as usize] += csr.values()[e] * xr;
         }
     }
     assert!(max_rel_err(&y1, &y2) < 1e-12);
@@ -510,10 +507,22 @@ fn matrix_percent_eq2() {
 #[test]
 fn spmv_max_speedup_bounds() {
     // Large 3d27 matrix: matrix dominates, ratio approaches 2.
-    let s = model::spmv_max_speedup(27_000_000, 1_000_000, Precision::F32, Precision::F16, Precision::F32);
+    let s = model::spmv_max_speedup(
+        27_000_000,
+        1_000_000,
+        Precision::F32,
+        Precision::F16,
+        Precision::F32,
+    );
     assert!(s > 1.8 && s < 2.0, "got {s}");
     // 3d7: more vector-bound, lower ceiling.
-    let s7 = model::spmv_max_speedup(7_000_000, 1_000_000, Precision::F32, Precision::F16, Precision::F32);
+    let s7 = model::spmv_max_speedup(
+        7_000_000,
+        1_000_000,
+        Precision::F32,
+        Precision::F16,
+        Precision::F32,
+    );
     assert!(s7 < s && s7 > 1.4, "got {s7}");
 }
 
@@ -524,12 +533,11 @@ fn format_bytes_per_nnz() {
     assert_eq!(Format::CsrInt64.bytes_per_nnz(Precision::F16, 0.0), 10.0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn prop_spmv_matches_csr(seed in 0u64..1000, nx in 2usize..7, ny in 2usize..6, nz in 2usize..5) {
-        let g = Grid3::new(nx, ny, nz);
+#[test]
+fn prop_spmv_matches_csr() {
+    check("prop_spmv_matches_csr", |rng| {
+        let seed = rng.next_u64() % 1000;
+        let g = Grid3::new(rng.usize_range(2, 7), rng.usize_range(2, 6), rng.usize_range(2, 5));
         let a = random_matrix(g, Pattern::p19(), Layout::Aos, seed);
         let csr = Csr::from_sgdia(&a);
         let x = random_vec(g.unknowns(), seed ^ 0xabc);
@@ -537,13 +545,17 @@ proptest! {
         let mut y2 = vec![0.0f64; g.unknowns()];
         kernels::spmv(&a, &x, &mut y1, Par::Seq);
         csr.spmv(&x, &mut y2);
-        prop_assert!(max_rel_err(&y1, &y2) < 1e-12);
-    }
+        assert!(max_rel_err(&y1, &y2) < 1e-12);
+    });
+}
 
-    #[test]
-    fn prop_scaling_theorem(seed in 0u64..1000, scale_pow in 0i32..12) {
-        // Any diagonally dominant M-matrix scaled per Theorem 4.1 truncates
-        // to finite FP16, regardless of the original magnitude.
+#[test]
+fn prop_scaling_theorem() {
+    // Any diagonally dominant M-matrix scaled per Theorem 4.1 truncates
+    // to finite FP16, regardless of the original magnitude.
+    check("prop_scaling_theorem", |rng| {
+        let seed = rng.next_u64() % 1000;
+        let scale_pow = rng.usize_range(0, 12) as i32;
         let g = Grid3::cube(4);
         let factor = 10f64.powi(scale_pow);
         let mut a = random_matrix(g, Pattern::p7(), Layout::Aos, seed);
@@ -552,11 +564,14 @@ proptest! {
         }
         let mut scaled = a.clone();
         let _ = scaling::scale_symmetric::<f32>(&mut scaled, GChoice::Auto, F16::MAX_F64).unwrap();
-        prop_assert!(scaled.convert::<F16>().all_finite());
-    }
+        assert!(scaled.convert::<F16>().all_finite());
+    });
+}
 
-    #[test]
-    fn prop_sptrsv_residual_small(seed in 0u64..1000) {
+#[test]
+fn prop_sptrsv_residual_small() {
+    check("prop_sptrsv_residual_small", |rng| {
+        let seed = rng.next_u64() % 1000;
         let g = Grid3::new(5, 4, 3);
         let full = random_matrix(g, Pattern::p7(), Layout::Aos, seed);
         let lp = full.pattern().lower_with_diag();
@@ -572,16 +587,19 @@ proptest! {
         kernels::sptrsv_forward(&l, &b, &mut x);
         let mut r = vec![0.0f64; g.unknowns()];
         kernels::residual(&l, &b, &x, &mut r, Par::Seq);
-        prop_assert!(r.iter().all(|&v| v.abs() < 1e-9));
-    }
+        assert!(r.iter().all(|&v| v.abs() < 1e-9));
+    });
+}
 
-    #[test]
-    fn prop_layout_conversion_identity(seed in 0u64..1000) {
+#[test]
+fn prop_layout_conversion_identity() {
+    check("prop_layout_conversion_identity", |rng| {
+        let seed = rng.next_u64() % 1000;
         let g = Grid3::new(4, 3, 5);
         let a = random_matrix(g, Pattern::p15(), Layout::Aos, seed);
         let b = a.to_layout(Layout::Soa).to_layout(Layout::Aos);
-        prop_assert_eq!(a.data(), b.data());
-    }
+        assert_eq!(a.data(), b.data());
+    });
 }
 
 #[test]
@@ -672,7 +690,7 @@ fn staged_spmv_parallel_chunks_split_lines_correctly() {
     let mut y1 = vec![0.0f32; g.unknowns()];
     let mut y2 = vec![0.0f32; g.unknowns()];
     kernels::spmv(&a, &x, &mut y1, Par::Seq);
-    kernels::spmv(&a, &x, &mut y2, Par::Rayon);
+    kernels::spmv(&a, &x, &mut y2, Par::Threads(0));
     assert_eq!(y1, y2);
 }
 
@@ -759,12 +777,7 @@ fn ilu0_preconditioner_beats_jacobi_quality() {
     let err = |x: &[f64]| -> f64 {
         x.iter().zip(&xtrue).map(|(&u, &v)| (u - v) * (u - v)).sum::<f64>().sqrt()
     };
-    assert!(
-        err(&x_ilu) < 0.5 * err(&x_jac),
-        "ILU {} vs Jacobi {}",
-        err(&x_ilu),
-        err(&x_jac)
-    );
+    assert!(err(&x_ilu) < 0.5 * err(&x_jac), "ILU {} vs Jacobi {}", err(&x_ilu), err(&x_jac));
 }
 
 #[test]

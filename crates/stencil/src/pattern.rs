@@ -22,11 +22,7 @@ impl Pattern {
     pub fn new(mut taps: Vec<Tap>) -> Self {
         taps.sort_by_key(|t| t.key());
         taps.dedup();
-        let components = taps
-            .iter()
-            .map(|t| (t.cin.max(t.cout) as usize) + 1)
-            .max()
-            .unwrap_or(1);
+        let components = taps.iter().map(|t| (t.cin.max(t.cout) as usize) + 1).max().unwrap_or(1);
         let index = taps.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         Pattern { taps, components, index }
     }
@@ -176,12 +172,7 @@ impl Pattern {
     /// The lower-triangular pattern including the diagonal block: 3d7 →
     /// 3d4, 3d19 → 3d10, 3d27 → 3d14 (Fig. 7's SpTRSV patterns).
     pub fn lower_with_diag(&self) -> Pattern {
-        let taps = self
-            .taps
-            .iter()
-            .copied()
-            .filter(|t| t.spatial_sign() <= 0)
-            .collect();
+        let taps = self.taps.iter().copied().filter(|t| t.spatial_sign() <= 0).collect();
         Pattern::new(taps)
     }
 
@@ -195,11 +186,7 @@ impl Pattern {
     /// all the standard patterns, possibly larger for RAP products before
     /// re-closure).
     pub fn radius(&self) -> i32 {
-        self.taps
-            .iter()
-            .map(|t| t.dx.abs().max(t.dy.abs()).max(t.dz.abs()))
-            .max()
-            .unwrap_or(0)
+        self.taps.iter().map(|t| t.dx.abs().max(t.dy.abs()).max(t.dz.abs())).max().unwrap_or(0)
     }
 
     /// Conventional name: `"3d{n}"` with the spatial tap count (component

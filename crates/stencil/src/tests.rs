@@ -138,53 +138,68 @@ fn radius() {
 
 mod proptests {
     use crate::{Pattern, Tap};
-    use proptest::prelude::*;
+    use fp16mg_testkit::{check, Rng};
 
-    fn arb_tap() -> impl Strategy<Value = Tap> {
-        (-1i32..=1, -1i32..=1, -1i32..=1, 0u8..3, 0u8..3)
-            .prop_map(|(dx, dy, dz, cout, cin)| Tap::at_comp(dx, dy, dz, cout, cin))
+    fn arb_tap(rng: &mut Rng) -> Tap {
+        Tap::at_comp(
+            rng.usize_range(0, 3) as i32 - 1,
+            rng.usize_range(0, 3) as i32 - 1,
+            rng.usize_range(0, 3) as i32 - 1,
+            rng.usize_range(0, 3) as u8,
+            rng.usize_range(0, 3) as u8,
+        )
     }
 
-    proptest! {
-        #[test]
-        fn prop_transpose_involution(taps in proptest::collection::vec(arb_tap(), 1..30)) {
-            let p = Pattern::new(taps);
-            prop_assert_eq!(p.transpose().transpose(), p);
-        }
+    fn arb_taps(rng: &mut Rng) -> Vec<Tap> {
+        (0..rng.usize_range(1, 30)).map(|_| arb_tap(rng)).collect()
+    }
 
-        #[test]
-        fn prop_split_partitions(taps in proptest::collection::vec(arb_tap(), 1..30)) {
-            let p = Pattern::new(taps);
+    #[test]
+    fn prop_transpose_involution() {
+        check("prop_transpose_involution", |rng| {
+            let p = Pattern::new(arb_taps(rng));
+            assert_eq!(p.transpose().transpose(), p);
+        });
+    }
+
+    #[test]
+    fn prop_split_partitions() {
+        check("prop_split_partitions", |rng| {
+            let p = Pattern::new(arb_taps(rng));
             let (l, d, u) = p.split();
-            prop_assert_eq!(l.len() + d.len() + u.len(), p.len());
+            assert_eq!(l.len() + d.len() + u.len(), p.len());
             // Lower and upper are mirror images under transpose for
             // component-closed patterns; at minimum their taps classify
             // correctly.
             for t in l.taps() {
-                prop_assert_eq!(t.spatial_sign(), -1);
+                assert_eq!(t.spatial_sign(), -1);
             }
             for t in u.taps() {
-                prop_assert_eq!(t.spatial_sign(), 1);
+                assert_eq!(t.spatial_sign(), 1);
             }
             for t in d.taps() {
-                prop_assert!(t.is_center());
+                assert!(t.is_center());
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_tap_index_total(taps in proptest::collection::vec(arb_tap(), 1..30)) {
-            let p = Pattern::new(taps);
+    #[test]
+    fn prop_tap_index_total() {
+        check("prop_tap_index_total", |rng| {
+            let p = Pattern::new(arb_taps(rng));
             for (i, &t) in p.taps().iter().enumerate() {
-                prop_assert_eq!(p.tap_index(t), Some(i));
+                assert_eq!(p.tap_index(t), Some(i));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_sorted_strictly(taps in proptest::collection::vec(arb_tap(), 1..30)) {
-            let p = Pattern::new(taps);
+    #[test]
+    fn prop_sorted_strictly() {
+        check("prop_sorted_strictly", |rng| {
+            let p = Pattern::new(arb_taps(rng));
             for w in p.taps().windows(2) {
-                prop_assert!(w[0].key() < w[1].key());
+                assert!(w[0].key() < w[1].key());
             }
-        }
+        });
     }
 }

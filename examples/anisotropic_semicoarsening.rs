@@ -50,10 +50,9 @@ fn main() {
     let opts = SolveOptions { tol: 1e-9, max_iters: 300, ..Default::default() };
 
     println!("{:<12} {:>6} {:>8} {:>8}  level grids", "coarsening", "#iter", "C_G", "C_O");
-    for (label, coarsening) in [
-        ("full", Coarsening::Full),
-        ("semi(0.5)", Coarsening::Semi { threshold: 0.5 }),
-    ] {
+    for (label, coarsening) in
+        [("full", Coarsening::Full), ("semi(0.5)", Coarsening::Semi { threshold: 0.5 })]
+    {
         let cfg = MgConfig { coarsening, ..MgConfig::d16() };
         let mut mg = Mg::<f32>::setup(&a, &cfg).expect("setup");
         let dims: Vec<String> = mg

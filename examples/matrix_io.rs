@@ -44,10 +44,7 @@ fn main() -> std::io::Result<()> {
 
     // Export the operator for other toolchains.
     let mtx = dir.join("rhd.mtx");
-    io::write_matrix_market(
-        &Csr::<f64>::from_sgdia(&a),
-        &mut std::fs::File::create(&mtx)?,
-    )?;
+    io::write_matrix_market(&Csr::<f64>::from_sgdia(&a), &mut std::fs::File::create(&mtx)?)?;
     println!("exported MatrixMarket: {} ({} bytes)", mtx.display(), std::fs::metadata(&mtx)?.len());
 
     // The FP16-truncated matrix round-trips bit-for-bit too.

@@ -37,12 +37,20 @@ fn main() {
     //    f32, storage precision FP16, scaling only where needed).
     let config = MgConfig::d16();
     let mut mg = Mg::<f32>::setup(&a, &config).expect("multigrid setup");
-    println!("hierarchy: {} levels, C_G = {:.3}, C_O = {:.3}", mg.num_levels(),
-        mg.info().grid_complexity, mg.info().operator_complexity);
+    println!(
+        "hierarchy: {} levels, C_G = {:.3}, C_O = {:.3}",
+        mg.num_levels(),
+        mg.info().grid_complexity,
+        mg.info().operator_complexity
+    );
     for (l, info) in mg.info().levels.iter().enumerate() {
         println!(
             "  level {l}: {:4}x{:<4}x{:<4} {:>9} dof, stored as {}{}",
-            info.dims.0, info.dims.1, info.dims.2, info.unknowns, info.precision,
+            info.dims.0,
+            info.dims.1,
+            info.dims.2,
+            info.unknowns,
+            info.precision,
             if info.scaled { " (scaled)" } else { "" },
         );
     }

@@ -56,19 +56,9 @@ fn main() {
     println!("\n             {:>12}  {:>12}", "Full64", "K64P32D16");
     println!("iterations   {:>12}  {:>12}", r64.iters, r16.iters);
     println!("matrix bytes {:>12}  {:>12}", bytes64, bytes16);
-    println!(
-        "setup        {:>10.1?}  {:>10.1?}",
-        setup64, setup16
-    );
-    println!(
-        "MG precond   {:>10.1?}  {:>10.1?}",
-        pre64.elapsed(),
-        pre16.elapsed()
-    );
-    println!(
-        "solve        {:>10.1?}  {:>10.1?}",
-        solve64, solve16
-    );
+    println!("setup        {:>10.1?}  {:>10.1?}", setup64, setup16);
+    println!("MG precond   {:>10.1?}  {:>10.1?}", pre64.elapsed(), pre16.elapsed());
+    println!("solve        {:>10.1?}  {:>10.1?}", solve64, solve16);
     println!(
         "\npreconditioner speedup {:.2}x, end-to-end speedup {:.2}x, memory {:.2}x smaller",
         pre64.elapsed().as_secs_f64() / pre16.elapsed().as_secs_f64(),

@@ -7,7 +7,8 @@ use fp16mg::sgdia::kernels::Par;
 use fp16mg_bench::{solve_e2e, Combo};
 
 fn run(kind: ProblemKind, n: usize, combo: Combo) -> (StopReason, usize) {
-    let opts = SolveOptions { tol: 1e-9, max_iters: 400, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: 1e-9, max_iters: 400, record_history: false, ..Default::default() };
     let r = solve_e2e(kind, n, combo, &opts, Par::Seq).expect("setup");
     (r.result.reason, r.result.iters)
 }
@@ -26,13 +27,7 @@ fn fig6a_all_combos_coincide_on_laplace27() {
         .collect();
     let base = iters[0];
     for (c, &it) in Combo::fig6().iter().zip(&iters) {
-        assert!(
-            it.abs_diff(base) <= 1,
-            "{}: {} iters vs Full64 {}",
-            c.label(),
-            it,
-            base
-        );
+        assert!(it.abs_diff(base) <= 1, "{}: {} iters vs Full64 {}", c.label(), it, base);
     }
 }
 
@@ -58,10 +53,7 @@ fn fig6c_weather_setup_scale_beats_scale_setup() {
     assert_eq!(r_sts, StopReason::Converged);
     // The paper's Fig. 6c: 11 vs 15 iterations — setup-then-scale strictly
     // faster.
-    assert!(
-        it_ss < it_sts,
-        "setup-then-scale {it_ss} should beat scale-then-setup {it_sts}"
-    );
+    assert!(it_ss < it_sts, "setup-then-scale {it_ss} should beat scale-then-setup {it_sts}");
 }
 
 #[test]
@@ -88,9 +80,10 @@ fn storage_effect_is_small_with_p64() {
     // Isolating the paper's storage-precision claim: with the computation
     // precision held at FP64, switching storage FP64 -> FP16 costs only a
     // few extra iterations even on the hard rhd analog (paper: +18%).
-    let opts = SolveOptions { tol: 1e-9, max_iters: 400, record_history: false, ..Default::default() };
-    use fp16mg::mg::{MatOp, Mg, MgConfig};
+    let opts =
+        SolveOptions { tol: 1e-9, max_iters: 400, record_history: false, ..Default::default() };
     use fp16mg::krylov::cg;
+    use fp16mg::mg::{MatOp, Mg, MgConfig};
     let p = ProblemKind::Rhd.build(16);
     let op = MatOp::new(&p.matrix, Par::Seq);
     let b = p.rhs();
@@ -102,17 +95,13 @@ fn storage_effect_is_small_with_p64() {
         assert!(r.converged());
         it.push(r.iters);
     }
-    assert!(
-        it[1] as f64 <= it[0] as f64 * 1.35 + 2.0,
-        "P64-D16 {} vs Full64 {}",
-        it[1],
-        it[0]
-    );
+    assert!(it[1] as f64 <= it[0] as f64 * 1.35 + 2.0, "P64-D16 {} vs Full64 {}", it[1], it[0]);
 }
 
 #[test]
 fn mix16_memory_is_half_and_quarter() {
-    let opts = SolveOptions { tol: 1e-9, max_iters: 400, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: 1e-9, max_iters: 400, record_history: false, ..Default::default() };
     let full = solve_e2e(ProblemKind::Laplace27, 16, Combo::Full64, &opts, Par::Seq).unwrap();
     let d32 = solve_e2e(ProblemKind::Laplace27, 16, Combo::D32, &opts, Par::Seq).unwrap();
     let mix = solve_e2e(ProblemKind::Laplace27, 16, Combo::D16SetupScale, &opts, Par::Seq).unwrap();
@@ -124,7 +113,8 @@ fn mix16_memory_is_half_and_quarter() {
 fn complexities_low_across_problem_suite() {
     // Guideline 3's premise (Fig. 3): every hierarchy in the suite has
     // C_G ≤ 1.2 (full coarsening bound 8/7) and modest C_O.
-    let opts = SolveOptions { tol: 1e-9, max_iters: 1, record_history: false, ..Default::default() };
+    let opts =
+        SolveOptions { tol: 1e-9, max_iters: 1, record_history: false, ..Default::default() };
     for kind in ProblemKind::all() {
         let r = solve_e2e(kind, 12, Combo::D16SetupScale, &opts, Par::Seq).unwrap();
         let (cg_c, co_c) = r.complexities;

@@ -5,10 +5,10 @@
 use fp16mg::krylov::SolveOptions;
 use fp16mg::problems::ProblemKind;
 use fp16mg::sgdia::kernels::Par;
+use fp16mg::stencil::Pattern;
 use fp16mg_bench::kernelbench::{lower_matrix, max_speedup, test_matrix};
 use fp16mg_bench::table::Table;
 use fp16mg_bench::{kernel_suite, solve_e2e, Combo, KernelKind, Variant};
-use fp16mg::stencil::Pattern;
 
 #[test]
 fn kernel_suite_covers_fig7_matrix() {
@@ -23,10 +23,8 @@ fn kernel_suite_covers_fig7_matrix() {
             ["3d4", "3d10", "3d14"]
         };
         for pat in expect {
-            let sub: Vec<_> = rows
-                .iter()
-                .filter(|r| r.kernel == kernel && r.pattern == pat)
-                .collect();
+            let sub: Vec<_> =
+                rows.iter().filter(|r| r.kernel == kernel && r.pattern == pat).collect();
             assert_eq!(sub.len(), 4, "{kernel:?}/{pat}");
             for r in &sub {
                 assert!(r.seconds > 0.0 && r.seconds.is_finite());
@@ -71,7 +69,8 @@ fn test_matrices_are_diagonally_dominant() {
 
 #[test]
 fn e2e_runner_reports_consistent_breakdown() {
-    let opts = SolveOptions { tol: 1e-8, max_iters: 200, record_history: true, ..Default::default() };
+    let opts =
+        SolveOptions { tol: 1e-8, max_iters: 200, record_history: true, ..Default::default() };
     let r = solve_e2e(ProblemKind::Laplace27, 12, Combo::D16SetupScale, &opts, Par::Seq).unwrap();
     assert!(r.result.converged());
     assert_eq!(r.problem, "laplace27");
