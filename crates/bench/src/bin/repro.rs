@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B]
+//!                    [--requests N] [--workers N]
 //! experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 fig10 table1 table3
-//!              bf16 shift smooth guard all
+//!              bf16 shift smooth guard serve all
 //! ```
+//!
+//! `serve` fires a batch of mixed clean/fault-injected/panicking solve
+//! requests through the concurrent resilient runtime and prints one typed
+//! outcome per request (`--requests`, `--workers`, `--budget-ms` set the
+//! batch size, pool width, and the deadline-limited request's deadline).
 //!
 //! `fig9` is the same harness as `fig8` (the paper's second architecture;
 //! this reproduction runs on one ISA — see DESIGN.md substitutions).
@@ -25,11 +31,13 @@ struct Args {
     threads: Vec<usize>,
     budget_ms: f64,
     smoother: Option<String>,
+    requests: usize,
+    workers: usize,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0]");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N]");
     std::process::exit(2)
 }
 
@@ -47,6 +55,8 @@ fn parse_args() -> Args {
         threads: vec![],
         budget_ms: 30.0,
         smoother: None,
+        requests: 16,
+        workers: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,6 +67,8 @@ fn parse_args() -> Args {
             }
             "--tol" => args.tol = arg_value(&mut it, "--tol"),
             "--budget-ms" => args.budget_ms = arg_value(&mut it, "--budget-ms"),
+            "--requests" => args.requests = arg_value(&mut it, "--requests"),
+            "--workers" => args.workers = arg_value(&mut it, "--workers"),
             "--smoother" => {
                 let Some(s) = it.next() else { usage("--smoother needs a value") };
                 args.smoother = Some(s)
@@ -113,6 +125,7 @@ fn main() {
         "cycle" => cycle_ablation(&args),
         "semi" => semi_ablation(&args),
         "guard" => guard(&args),
+        "serve" => serve_cmd(&args),
         "all" => {
             fig1(&args);
             table2();
@@ -130,6 +143,7 @@ fn main() {
             cycle_ablation(&args);
             semi_ablation(&args);
             guard(&args);
+            serve_cmd(&args);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -164,8 +178,12 @@ fn fig1(args: &Args) {
     let n = args.size.min(20);
     let problems: Vec<_> = ProblemKind::real_world().into_iter().map(|k| k.build(n)).collect();
     let hists: Vec<_> = problems.iter().map(|p| metrics::range_histogram(&p.matrix)).collect();
-    let lo = hists.iter().filter_map(|h| h.first().map(|&(d, _)| d)).min().unwrap();
-    let hi = hists.iter().filter_map(|h| h.last().map(|&(d, _)| d)).max().unwrap();
+    let lo = hists.iter().filter_map(|h| h.first().map(|&(d, _)| d)).min();
+    let hi = hists.iter().filter_map(|h| h.last().map(|&(d, _)| d)).max();
+    let (Some(lo), Some(hi)) = (lo, hi) else {
+        println!("(no data: every histogram is empty)");
+        return;
+    };
 
     let mut head = vec!["decade".to_string()];
     head.extend(problems.iter().map(|p| p.name.to_string()));
@@ -833,6 +851,28 @@ fn semi_ablation(args: &Args) {
     print!("{t}");
     println!("(semicoarsening collapses the strong direction first: fewer iterations");
     println!(" on anisotropic problems at higher grid complexity — the PFMG trade)");
+}
+
+// --------------------------------------------------------------- serve --
+
+fn serve_cmd(args: &Args) {
+    header("Resilient runtime: concurrent mixed batch under the retry ladder");
+    let workers = if args.workers > 0 {
+        args.workers
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    };
+    let cfg = fp16mg_bench::ServeConfig {
+        requests: args.requests,
+        workers,
+        size: args.size.min(12),
+        tol: args.tol,
+        deadline_ms: args.budget_ms,
+    };
+    fp16mg_bench::serve(&cfg);
+    println!("(expect: clean rows converge on the first rung; fault rows climb the");
+    println!(" ladder to their first clean configuration; the panic row is isolated;");
+    println!(" the deadline and no-converge rows end with typed errors)");
 }
 
 // --------------------------------------------------------------- guard --

@@ -5,8 +5,10 @@
 //! combinations of the Fig. 6 ablation, timed end-to-end solves with the
 //! Fig. 8/9 breakdown (setup / MG preconditioner / other), the Fig. 7
 //! kernel measurement matrix (baseline / naive / optimized / model-bound
-//! / CSR stand-in for vendor libraries), and the fault-injection guard
-//! experiment demonstrating detect → promote → converge.
+//! / CSR stand-in for vendor libraries), the fault-injection guard
+//! experiment demonstrating detect → promote → converge, and the
+//! `repro serve` demo driving a batch of concurrent resilient solve
+//! sessions through `fp16mg-runtime`.
 
 #![warn(missing_docs)]
 pub mod combos;
@@ -14,6 +16,7 @@ pub mod e2e;
 pub mod guard;
 pub mod kernelbench;
 pub mod microbench;
+pub mod serve;
 pub mod table;
 
 pub use combos::Combo;
@@ -21,3 +24,4 @@ pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};
 pub use kernelbench::{kernel_suite, KernelKind, KernelRow, Variant};
 pub use microbench::Group;
+pub use serve::{serve, ServeConfig};

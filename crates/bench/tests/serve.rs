@@ -1,0 +1,53 @@
+//! Concurrent-pool smoke test: a mixed batch of clean, fault-injected,
+//! deadline-limited, non-converging, and panicking requests must complete
+//! with one typed outcome each — the acceptance scenario of the resilient
+//! runtime layer.
+
+use fp16mg_bench::{serve, ServeConfig};
+use fp16mg_krylov::SolveError;
+
+#[test]
+fn mixed_batch_completes_with_typed_outcomes() {
+    let cfg = ServeConfig { requests: 16, workers: 4, size: 8, tol: 1e-9, deadline_ms: 10.0 };
+    let outcomes = serve(&cfg);
+    assert_eq!(outcomes.len(), 16, "every request must produce an outcome");
+
+    let count = |pred: &dyn Fn(&Result<_, SolveError>) -> bool| {
+        outcomes.iter().filter(|o| pred(&o.result)).count()
+    };
+    assert!(
+        count(&|r| matches!(r, Err(SolveError::WorkerPanicked { .. }))) >= 1,
+        "at least one injected panic, isolated to its request"
+    );
+    assert!(
+        count(&|r| matches!(r, Err(SolveError::DeadlineExceeded { .. }))) >= 1,
+        "at least one deadline-limited request"
+    );
+    assert!(
+        count(&|r| matches!(r, Err(SolveError::Unconverged { .. }))) >= 1,
+        "at least one non-converging request"
+    );
+
+    for out in &outcomes {
+        assert_eq!(out.index, outcomes.iter().position(|o| o.name == out.name).unwrap());
+        if out.name.starts_with("clean") {
+            assert!(out.converged(), "clean request {} failed: {:?}", out.name, out.result);
+            assert_eq!(out.report.attempts.len(), 1, "clean requests converge on rung 0");
+        }
+        if out.name.starts_with("fault") {
+            assert!(
+                out.converged(),
+                "fault-injected request {} must converge via the ladder: {:?}",
+                out.name,
+                out.result
+            );
+            assert!(
+                out.report.attempts.len() > 1,
+                "fault-injected request {} must record its rung climb",
+                out.name
+            );
+            assert!(!out.report.attempts[0].converged, "rung 0 saw the fault");
+            assert!(out.report.attempts.last().unwrap().converged);
+        }
+    }
+}

@@ -1,6 +1,9 @@
 //! The multigrid hierarchy: Algorithm 1 setup, Algorithm 3 V-cycle, and
 //! the Algorithm 2 preconditioner interface.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use fp16mg_fp::{Precision, Scalar};
 use fp16mg_grid::Grid3;
 use fp16mg_krylov::Preconditioner;
@@ -183,6 +186,10 @@ pub struct Mg<Pr: Scalar = f32> {
     finest_scale: Option<ScaleVectors<Pr>>,
     config: MgConfig,
     info: MgInfo,
+    /// Cycle applications performed, counting re-runs inside the
+    /// self-healing `apply_pr` loop. Shared (`Arc`) so an outer runtime
+    /// budget can watch V-cycle consumption while a solve is in flight.
+    cycles: Arc<AtomicUsize>,
 }
 
 impl<Pr: Scalar> Mg<Pr> {
@@ -301,6 +308,7 @@ impl<Pr: Scalar> Mg<Pr> {
             finest_scale,
             config: config.clone(),
             info,
+            cycles: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -421,6 +429,7 @@ impl<Pr: Scalar> Mg<Pr> {
 
     /// One unguarded cycle application.
     fn apply_pr_once(&mut self, r: &[Pr], e: &mut [Pr]) {
+        self.cycles.fetch_add(1, Ordering::Relaxed);
         let n = self.rows();
         assert_eq!(r.len(), n, "r length");
         assert_eq!(e.len(), n, "e length");
@@ -475,6 +484,20 @@ impl<Pr: Scalar> Mg<Pr> {
     /// `info().promotions`).
     pub fn promotions(&self) -> &[PromotionEvent] {
         &self.info.promotions
+    }
+
+    /// Total cycle applications so far, including re-runs the
+    /// self-healing `apply_pr` loop performed after a promotion.
+    pub fn vcycles(&self) -> usize {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// The live V-cycle counter behind [`Mg::vcycles`]. An outer runtime
+    /// can clone the `Arc` into its budget guard and enforce a per-solve
+    /// V-cycle cap from the solver's per-iteration control hook, without
+    /// the hierarchy knowing anything about budgets.
+    pub fn cycle_counter(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.cycles)
     }
 
     /// One-pass classification of level `level`'s stored values

@@ -92,10 +92,10 @@ impl StoredMatrix {
         dispatch!(self, a => fp16mg_sgdia::scan::scan(a))
     }
 
-    /// Injects random bit-level faults into the stored values per `spec`.
-    /// Only the 16-bit formats are touched (they are the formats whose
-    /// corruption the recovery path must survive); F32/F64 matrices are
-    /// returned unmodified with an empty report.
+    /// Injects random bit-level faults into the stored values per `spec`,
+    /// in whatever format the matrix is stored — the 16-bit formats the
+    /// recovery path insures, and the wide rebuilds the retry ladder must
+    /// be able to corrupt in tests.
     #[cfg(feature = "fault-inject")]
     pub fn inject_faults(
         &mut self,
@@ -104,8 +104,8 @@ impl StoredMatrix {
         dispatch!(self, a => fp16mg_sgdia::fault::inject(a, spec))
     }
 
-    /// Forces the stored value at `(cell, tap)` to +∞ (16-bit formats
-    /// only). Returns whether a value was actually corrupted.
+    /// Forces the stored value at `(cell, tap)` to ±∞ (sign preserved).
+    /// Returns whether a value was actually corrupted.
     #[cfg(feature = "fault-inject")]
     pub fn inject_inf_at(&mut self, cell: usize, tap: usize) -> bool {
         dispatch!(self, a => fp16mg_sgdia::fault::inject_inf_at(a, cell, tap))

@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::control::{NoControl, SolveControl};
 use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{dot, norm2, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
@@ -28,6 +29,22 @@ pub fn bicgstab<K: Scalar>(
     b: &[K],
     x: &mut [K],
     opts: &SolveOptions,
+) -> SolveResult {
+    bicgstab_ctl(a, m, b, x, opts, &mut NoControl)
+}
+
+/// [`bicgstab`] with a per-iteration [`SolveControl`] hook (see
+/// [`crate::cg_ctl`] for the contract).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn bicgstab_ctl<K: Scalar>(
+    a: &impl LinOp<K>,
+    m: &mut impl Preconditioner<K>,
+    b: &[K],
+    x: &mut [K],
+    opts: &SolveOptions,
+    ctl: &mut impl SolveControl,
 ) -> SolveResult {
     let n = a.rows();
     assert_eq!(b.len(), n, "b length");
@@ -66,6 +83,11 @@ pub fn bicgstab<K: Scalar>(
     }
 
     for it in 1..=opts.max_iters {
+        if let Err(e) = ctl.check(it) {
+            return SolveResult::new(StopReason::Interrupted, it - 1, rel, history)
+                .with_interrupt(e)
+                .with_health(health.into_records());
+        }
         // p̂ = M⁻¹p; v = A p̂.
         m.apply(&p, &mut phat);
         a.apply(&phat, &mut v);

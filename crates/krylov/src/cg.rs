@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::control::{NoControl, SolveControl};
 use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{axpy, dot, norm2, xpby, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
@@ -36,6 +37,24 @@ pub fn cg<K: Scalar>(
     b: &[K],
     x: &mut [K],
     opts: &SolveOptions,
+) -> SolveResult {
+    cg_ctl(a, m, b, x, opts, &mut NoControl)
+}
+
+/// [`cg`] with a per-iteration [`SolveControl`] hook: the control is
+/// polled at the top of every iteration and can abort the solve with a
+/// typed interruption (deadline, cancellation, budget) — see
+/// [`crate::StopReason::Interrupted`].
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn cg_ctl<K: Scalar>(
+    a: &impl LinOp<K>,
+    m: &mut impl Preconditioner<K>,
+    b: &[K],
+    x: &mut [K],
+    opts: &SolveOptions,
+    ctl: &mut impl SolveControl,
 ) -> SolveResult {
     let n = a.rows();
     assert_eq!(b.len(), n, "b length");
@@ -75,6 +94,11 @@ pub fn cg<K: Scalar>(
     let mut rz = dot(&r, &z);
 
     for it in 1..=opts.max_iters {
+        if let Err(e) = ctl.check(it) {
+            return SolveResult::new(StopReason::Interrupted, it - 1, rel, history)
+                .with_interrupt(e)
+                .with_health(health.into_records());
+        }
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if !pap.is_finite() || pap <= 0.0 {

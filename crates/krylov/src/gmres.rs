@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::control::{NoControl, SolveControl};
 use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{norm2, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
@@ -29,6 +30,24 @@ pub fn gmres<K: Scalar>(
     b: &[K],
     x: &mut [K],
     opts: &SolveOptions,
+) -> SolveResult {
+    gmres_ctl(a, m, b, x, opts, &mut NoControl)
+}
+
+/// [`gmres`] with a per-iteration [`SolveControl`] hook, polled once per
+/// *inner* (Arnoldi) iteration. On interruption the partial flexible
+/// update `x += Z y` for the completed inner iterations is still
+/// applied, so the iterate reflects all work done so far.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gmres_ctl<K: Scalar>(
+    a: &impl LinOp<K>,
+    m: &mut impl Preconditioner<K>,
+    b: &[K],
+    x: &mut [K],
+    opts: &SolveOptions,
+    ctl: &mut impl SolveControl,
 ) -> SolveResult {
     let n = a.rows();
     assert_eq!(b.len(), n, "b length");
@@ -95,8 +114,13 @@ pub fn gmres<K: Scalar>(
         let mut k_used = 0usize;
         let mut broke_down = false;
         let mut stagnated = None;
+        let mut interrupted = None;
         for k in 0..restart {
             if total_iters >= opts.max_iters {
+                break;
+            }
+            if let Err(e) = ctl.check(total_iters + 1) {
+                interrupted = Some(e);
                 break;
             }
             // z_k = M⁻¹ v_k (kept); w = A z_k.
@@ -201,6 +225,11 @@ pub fn gmres<K: Scalar>(
                 .unwrap_or(Breakdown::HessenbergNonFinite { iter: total_iters, entry: f64::NAN });
             return SolveResult::new(StopReason::Breakdown, total_iters, f64::NAN, history)
                 .with_breakdown(b)
+                .with_health(health.into_records());
+        }
+        if let Some(e) = interrupted {
+            return SolveResult::new(StopReason::Interrupted, total_iters, rel, history)
+                .with_interrupt(e)
                 .with_health(health.into_records());
         }
         if let Some(stag) = stagnated {

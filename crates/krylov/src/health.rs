@@ -140,12 +140,84 @@ impl core::fmt::Display for Stagnation {
 }
 
 /// A failed solve, as a proper error type for callers that want `Result`.
+///
+/// Beyond the numerical failures ([`SolveError::Breakdown`],
+/// [`SolveError::Stagnated`]) this is also the typed vocabulary of the
+/// resilient runtime layer (`fp16mg-runtime`): deadline and budget
+/// interruptions raised through the [`crate::SolveControl`] hook,
+/// cancellation, retry-ladder exhaustion, and panic isolation in the
+/// concurrent pool all surface here, so one error type describes every
+/// way a solve session can end short of convergence.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SolveError {
     /// The recurrence broke down.
     Breakdown(Breakdown),
     /// The residual stalled or rebounded without converging.
     Stagnated(Stagnation),
+    /// The wall-clock deadline passed mid-solve (raised by a
+    /// [`crate::SolveControl`] hook, never by the bare solvers).
+    DeadlineExceeded {
+        /// Iteration at which the deadline check fired.
+        iter: usize,
+        /// Time elapsed since the session started.
+        elapsed: std::time::Duration,
+        /// The configured deadline.
+        deadline: std::time::Duration,
+    },
+    /// The solve was cooperatively cancelled.
+    Cancelled {
+        /// Iteration at which the cancellation was observed.
+        iter: usize,
+    },
+    /// The V-cycle budget ran out: the preconditioner has been applied
+    /// more times than the session allows (counting re-runs inside the
+    /// self-healing `apply_pr` loop, which plain iteration counts miss).
+    VcycleBudgetExceeded {
+        /// Iteration at which the check fired.
+        iter: usize,
+        /// V-cycles performed so far.
+        used: usize,
+        /// The configured cap.
+        budget: usize,
+    },
+    /// Every rung of the retry ladder ran out of attempts without a
+    /// typed numerical failure — the solver kept hitting its iteration
+    /// cap while making (insufficient) progress.
+    Unconverged {
+        /// Iterations performed by the last attempt.
+        iters: usize,
+        /// Final relative residual of the last attempt.
+        rel: f64,
+    },
+    /// Hierarchy setup failed, so the solve never started (carries the
+    /// rendered `SetupError`/`ConfigError` message from `fp16mg-core`,
+    /// which this crate does not depend on).
+    SetupFailed {
+        /// The rendered setup error.
+        message: String,
+    },
+    /// The worker thread running this solve panicked; the panic was
+    /// caught at the pool boundary and the rest of the batch completed.
+    WorkerPanicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
+impl SolveError {
+    /// True when a retry (possibly at a higher-precision rung) could
+    /// plausibly succeed. Interruptions (deadline, cancellation, V-cycle
+    /// budget) and panics are final: the session's budget is spent or
+    /// its owner asked it to stop.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            SolveError::Breakdown(_)
+                | SolveError::Stagnated(_)
+                | SolveError::Unconverged { .. }
+                | SolveError::SetupFailed { .. }
+        )
+    }
 }
 
 impl core::fmt::Display for SolveError {
@@ -153,6 +225,22 @@ impl core::fmt::Display for SolveError {
         match self {
             SolveError::Breakdown(b) => write!(f, "{b}"),
             SolveError::Stagnated(s) => write!(f, "{s}"),
+            SolveError::DeadlineExceeded { iter, elapsed, deadline } => write!(
+                f,
+                "deadline exceeded at iteration {iter}: {:.1} ms elapsed of {:.1} ms allowed",
+                elapsed.as_secs_f64() * 1e3,
+                deadline.as_secs_f64() * 1e3
+            ),
+            SolveError::Cancelled { iter } => write!(f, "cancelled at iteration {iter}"),
+            SolveError::VcycleBudgetExceeded { iter, used, budget } => write!(
+                f,
+                "V-cycle budget exceeded at iteration {iter}: {used} cycles used of {budget}"
+            ),
+            SolveError::Unconverged { iters, rel } => {
+                write!(f, "unconverged after ladder exhaustion: {iters} iters, rel {rel:.3e}")
+            }
+            SolveError::SetupFailed { message } => write!(f, "setup failed: {message}"),
+            SolveError::WorkerPanicked { message } => write!(f, "worker panicked: {message}"),
         }
     }
 }

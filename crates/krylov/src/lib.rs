@@ -19,17 +19,19 @@
 #![warn(missing_docs)]
 mod bicgstab;
 mod cg;
+pub mod control;
 mod gmres;
 pub mod health;
 mod richardson;
 mod traits;
 mod types;
 
-pub use bicgstab::bicgstab;
-pub use cg::cg;
-pub use gmres::gmres;
+pub use bicgstab::{bicgstab, bicgstab_ctl};
+pub use cg::{cg, cg_ctl};
+pub use control::{NoControl, SolveControl};
+pub use gmres::{gmres, gmres_ctl};
 pub use health::{Breakdown, HealthPolicy, IterHealth, SolveError, SolveHealth, Stagnation};
-pub use richardson::richardson;
+pub use richardson::{richardson, richardson_ctl};
 pub use traits::{IdentityPrecond, LinOp, Preconditioner, TimedPrecond};
 pub use types::{SolveOptions, SolveResult, StopReason};
 

@@ -2,6 +2,7 @@
 
 use fp16mg_fp::Scalar;
 
+use crate::control::{NoControl, SolveControl};
 use crate::health::{Breakdown, SolveHealth};
 use crate::traits::{norm2, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
@@ -21,6 +22,22 @@ pub fn richardson<K: Scalar>(
     x: &mut [K],
     opts: &SolveOptions,
 ) -> SolveResult {
+    richardson_ctl(a, m, b, x, opts, &mut NoControl)
+}
+
+/// [`richardson`] with a per-iteration [`SolveControl`] hook (see
+/// [`crate::cg_ctl`] for the contract).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn richardson_ctl<K: Scalar>(
+    a: &impl LinOp<K>,
+    m: &mut impl Preconditioner<K>,
+    b: &[K],
+    x: &mut [K],
+    opts: &SolveOptions,
+    ctl: &mut impl SolveControl,
+) -> SolveResult {
     let n = a.rows();
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");
@@ -38,6 +55,11 @@ pub fn richardson<K: Scalar>(
     let mut rel = f64::NAN;
 
     for it in 0..=opts.max_iters {
+        if let Err(e) = ctl.check(it) {
+            return SolveResult::new(StopReason::Interrupted, it.saturating_sub(1), rel, history)
+                .with_interrupt(e)
+                .with_health(health.into_records());
+        }
         // r = b - A x  (iterative precision, Algorithm 2 line 3)
         a.apply(x, &mut r);
         for (ri, &bi) in r.iter_mut().zip(b) {

@@ -289,3 +289,149 @@ fn bicgstab_zero_rhs() {
     assert!(res.converged());
     assert!(x.iter().all(|&v| v == 0.0));
 }
+
+// ------------------------------------------------------- solve control --
+
+mod control {
+    use super::*;
+    use crate::health::SolveError;
+    use crate::{bicgstab_ctl, cg_ctl, gmres_ctl, richardson_ctl, SolveControl};
+
+    /// A control that cancels after `allow` checks.
+    struct CancelAfter {
+        allow: usize,
+        seen: usize,
+    }
+
+    impl SolveControl for CancelAfter {
+        fn check(&mut self, iter: usize) -> Result<(), SolveError> {
+            self.seen += 1;
+            if self.seen > self.allow {
+                Err(SolveError::Cancelled { iter })
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs each solver on a problem it would not finish in 3 iterations
+    /// and asserts the cancellation fires mid-iteration, typed.
+    fn assert_interrupted(res: crate::SolveResult, solver: &str) {
+        assert_eq!(res.reason, StopReason::Interrupted, "{solver}: {res:?}");
+        assert!(
+            matches!(res.interrupt, Some(SolveError::Cancelled { .. })),
+            "{solver}: {:?}",
+            res.interrupt
+        );
+        assert!(
+            matches!(res.failure(), Some(SolveError::Cancelled { .. })),
+            "{solver}: failure() must surface the interrupt"
+        );
+        assert!(res.iters <= 3, "{solver}: stopped late ({} iters)", res.iters);
+    }
+
+    #[test]
+    fn cancellation_fires_mid_iteration_in_all_solvers() {
+        let spd = Dense::laplace1d(64);
+        let nonsym = Dense::advection1d(64);
+        let b = vec![1.0f64; 64];
+        let opts = SolveOptions::default();
+
+        let mut x = vec![0.0f64; 64];
+        let mut ctl = CancelAfter { allow: 3, seen: 0 };
+        assert_interrupted(cg_ctl(&spd, &mut IdentityPrecond, &b, &mut x, &opts, &mut ctl), "cg");
+
+        let mut x = vec![0.0f64; 64];
+        let mut ctl = CancelAfter { allow: 3, seen: 0 };
+        assert_interrupted(
+            bicgstab_ctl(&nonsym, &mut IdentityPrecond, &b, &mut x, &opts, &mut ctl),
+            "bicgstab",
+        );
+
+        let mut x = vec![0.0f64; 64];
+        let mut ctl = CancelAfter { allow: 3, seen: 0 };
+        assert_interrupted(
+            gmres_ctl(&nonsym, &mut IdentityPrecond, &b, &mut x, &opts, &mut ctl),
+            "gmres",
+        );
+
+        let mut x = vec![0.0f64; 64];
+        let mut ctl = CancelAfter { allow: 3, seen: 0 };
+        assert_interrupted(
+            richardson_ctl(&spd, &mut Jacobi::of(&spd), &b, &mut x, &opts, &mut ctl),
+            "richardson",
+        );
+    }
+
+    #[test]
+    fn deadline_error_via_closure_control() {
+        use std::time::{Duration, Instant};
+        let a = Dense::laplace1d(64);
+        let b = vec![1.0f64; 64];
+        let mut x = vec![0.0f64; 64];
+        // A zero-length deadline: the first check already fails.
+        let started = Instant::now();
+        let deadline = Duration::ZERO;
+        let mut ctl = |iter: usize| {
+            let elapsed = started.elapsed();
+            if elapsed > deadline {
+                Err(SolveError::DeadlineExceeded { iter, elapsed, deadline })
+            } else {
+                Ok(())
+            }
+        };
+        let res = cg_ctl(&a, &mut IdentityPrecond, &b, &mut x, &SolveOptions::default(), &mut ctl);
+        assert_eq!(res.reason, StopReason::Interrupted);
+        assert_eq!(res.iters, 0);
+        match res.interrupt {
+            Some(SolveError::DeadlineExceeded { iter: 1, .. }) => {}
+            other => panic!("expected DeadlineExceeded at iter 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_control_changes_nothing() {
+        // The plain entry points and the _ctl variants with NoControl
+        // must agree bit-for-bit.
+        let a = Dense::laplace1d(48);
+        let b = vec![1.0f64; 48];
+        let opts = SolveOptions::default();
+        let mut x1 = vec![0.0f64; 48];
+        let r1 = cg(&a, &mut IdentityPrecond, &b, &mut x1, &opts);
+        let mut x2 = vec![0.0f64; 48];
+        let r2 = cg_ctl(&a, &mut IdentityPrecond, &b, &mut x2, &opts, &mut crate::NoControl);
+        assert_eq!(r1.iters, r2.iters);
+        assert_eq!(r1.final_rel_residual, r2.final_rel_residual);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn gmres_interrupt_keeps_partial_progress() {
+        // Cancel mid-restart-cycle: the partial x += Z y update must have
+        // been applied, improving on the zero initial guess.
+        let a = Dense::advection1d(100);
+        let b = vec![1.0f64; 100];
+        let mut x = vec![0.0f64; 100];
+        let opts = SolveOptions { restart: 30, ..Default::default() };
+        let mut ctl = CancelAfter { allow: 5, seen: 0 };
+        let res = gmres_ctl(&a, &mut IdentityPrecond, &b, &mut x, &opts, &mut ctl);
+        assert_eq!(res.reason, StopReason::Interrupted);
+        assert!(x.iter().any(|&v| v != 0.0), "partial update must be applied");
+        let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(residual_norm(&a, &b, &x) < bnorm, "iterate must improve on x0 = 0");
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(SolveError::Unconverged { iters: 10, rel: 0.5 }.retryable());
+        assert!(SolveError::SetupFailed { message: "g".into() }.retryable());
+        assert!(!SolveError::Cancelled { iter: 1 }.retryable());
+        assert!(!SolveError::WorkerPanicked { message: "p".into() }.retryable());
+        assert!(!SolveError::DeadlineExceeded {
+            iter: 1,
+            elapsed: std::time::Duration::from_millis(2),
+            deadline: std::time::Duration::from_millis(1),
+        }
+        .retryable());
+    }
+}

@@ -44,6 +44,11 @@ pub enum StopReason {
     /// The residual plateaued or rebounded without converging (see
     /// [`SolveResult::stagnation`]).
     Stagnated,
+    /// A [`crate::SolveControl`] hook stopped the solve mid-iteration —
+    /// deadline, cancellation, or budget exhaustion (see
+    /// [`SolveResult::interrupt`] for the typed cause). The iterate holds
+    /// the last completed state.
+    Interrupted,
 }
 
 /// Outcome of a solve.
@@ -63,6 +68,9 @@ pub struct SolveResult {
     pub breakdown: Option<Breakdown>,
     /// Stagnation diagnosis when `reason == Stagnated`.
     pub stagnation: Option<Stagnation>,
+    /// Typed interruption when `reason == Interrupted` (deadline,
+    /// cancellation, or budget exhaustion raised by the solve control).
+    pub interrupt: Option<SolveError>,
     /// Per-iteration health records (empty unless `record_history`).
     pub health: Vec<IterHealth>,
 }
@@ -82,6 +90,7 @@ impl SolveResult {
             history,
             breakdown: None,
             stagnation: None,
+            interrupt: None,
             health: Vec::new(),
         }
     }
@@ -97,6 +106,13 @@ impl SolveResult {
     pub(crate) fn with_stagnation(mut self, s: Stagnation) -> Self {
         self.reason = StopReason::Stagnated;
         self.stagnation = Some(s);
+        self
+    }
+
+    /// Attaches a control interruption (reason becomes `Interrupted`).
+    pub(crate) fn with_interrupt(mut self, e: SolveError) -> Self {
+        self.reason = StopReason::Interrupted;
+        self.interrupt = Some(e);
         self
     }
 
@@ -120,6 +136,7 @@ impl SolveResult {
                 Breakdown::NonFiniteResidual { iter: self.iters, value: self.final_rel_residual },
             ))),
             StopReason::Stagnated => self.stagnation.map(SolveError::Stagnated),
+            StopReason::Interrupted => self.interrupt.clone(),
             _ => None,
         }
     }

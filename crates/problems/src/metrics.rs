@@ -124,9 +124,11 @@ pub fn anisotropy<S: Storage>(a: &SgDia<S>) -> Anisotropy {
     if ratios.is_empty() {
         return Anisotropy { median: 0.0, p90: 0.0, max: 0.0 };
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: the ratios are finite by construction, but a NaN slipping
+    // in must not panic a metrics pass over an arbitrary matrix.
+    ratios.sort_by(f64::total_cmp);
     let pick = |q: f64| ratios[((ratios.len() - 1) as f64 * q) as usize];
-    Anisotropy { median: pick(0.5), p90: pick(0.9), max: *ratios.last().unwrap() }
+    Anisotropy { median: pick(0.5), p90: pick(0.9), max: ratios.last().copied().unwrap_or(0.0) }
 }
 
 /// Estimates the spectral condition number of a (near-)SPD matrix from

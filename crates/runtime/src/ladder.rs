@@ -1,0 +1,538 @@
+//! The declarative retry ladder.
+//!
+//! One solve *session* walks a fixed escalation sequence, reacting to
+//! the typed failures of the self-healing layer (PR 1) with
+//! progressively more conservative — and more expensive — precision
+//! configurations, in the spirit of three-precision AMG fallback
+//! hierarchies (Tsai/Beams/Anzt) and dynamically adaptive-precision
+//! Krylov methods (Guo/de Sturler):
+//!
+//! 1. [`Rung::Retry`] — run the caller's mixed-precision configuration
+//!    again (transient faults, or faults the in-hierarchy promotion
+//!    logic heals on its own);
+//! 2. [`Rung::PromoteNarrow`] — rebuild and *eagerly* promote every
+//!    16-bit level to FP32 before solving (the dynamic analog of
+//!    `shift_levid = 0`);
+//! 3. [`Rung::RebuildF32`] — rebuild the whole hierarchy with uniform
+//!    FP32 storage;
+//! 4. [`Rung::RebuildF64`] — FP64 computation *and* storage, the
+//!    last-resort everything-double configuration.
+//!
+//! Each rung gets a bounded number of attempts with jittered exponential
+//! backoff between them; every attempt is recorded in a [`RetryReport`].
+//! Deadlines, V-cycle budgets, and cancellation cut across the whole
+//! ladder through one [`BudgetGuard`].
+
+use std::time::{Duration, Instant};
+
+use fp16mg_core::{MatOp, Mg, MgConfig, PromotionReason, RecoveryPolicy, StoragePolicy};
+use fp16mg_fp::{Precision, Scalar};
+use fp16mg_krylov::{
+    bicgstab_ctl, cg_ctl, gmres_ctl, richardson_ctl, SolveError, SolveOptions, SolveResult,
+};
+use fp16mg_problems::{Problem, SolverKind};
+use fp16mg_sgdia::kernels::Par;
+
+use crate::budget::{Budget, BudgetGuard};
+
+#[cfg(feature = "fault-inject")]
+use fp16mg_sgdia::fault::FaultSpec;
+
+/// One rung of the escalation ladder, in climb order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Re-run the caller's configuration unchanged.
+    Retry,
+    /// Rebuild, then eagerly promote every 16-bit level to FP32.
+    PromoteNarrow,
+    /// Rebuild the hierarchy with uniform FP32 storage.
+    RebuildF32,
+    /// Rebuild with FP64 computation and storage (last resort).
+    RebuildF64,
+}
+
+impl Rung {
+    /// All rungs in climb order.
+    pub const ALL: [Rung; 4] =
+        [Rung::Retry, Rung::PromoteNarrow, Rung::RebuildF32, Rung::RebuildF64];
+
+    /// Position in the climb order.
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Retry => 0,
+            Rung::PromoteNarrow => 1,
+            Rung::RebuildF32 => 2,
+            Rung::RebuildF64 => 3,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::Retry => "retry",
+            Rung::PromoteNarrow => "promote16→32",
+            Rung::RebuildF32 => "rebuild-f32",
+            Rung::RebuildF64 => "rebuild-f64",
+        }
+    }
+}
+
+impl core::fmt::Display for Rung {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-rung attempt caps and backoff shape.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Attempts allowed per rung, indexed by [`Rung::index`]. A zero
+    /// skips the rung entirely.
+    pub attempts: [usize; 4],
+    /// Base backoff slept after a failed attempt.
+    pub backoff: Duration,
+    /// Exponential growth factor applied per completed attempt.
+    pub backoff_factor: f64,
+    /// Hard cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a
+    /// deterministic pseudo-random factor in `[1 − jitter, 1 + jitter]`
+    /// so concurrent retries don't stampede in lockstep.
+    pub jitter: f64,
+    /// Seed for the jitter stream (equal seeds reproduce equal jitter).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: [2, 1, 1, 1],
+            backoff: Duration::from_millis(2),
+            backoff_factor: 2.0,
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.5,
+            seed: 0x5eed_f16a_11ad_de21,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries anywhere (one attempt on rung 0 only).
+    pub fn fail_fast() -> Self {
+        RetryPolicy { attempts: [1, 0, 0, 0], ..Self::default() }
+    }
+
+    /// The jittered backoff for global attempt number `k` (0-based).
+    pub fn backoff_for(&self, k: usize) -> Duration {
+        let base = self.backoff.as_secs_f64() * self.backoff_factor.max(1.0).powi(k as i32);
+        let r = splitmix64(self.seed.wrapping_add(k as u64 + 1)) >> 11;
+        let unit = r as f64 / (1u64 << 53) as f64; // [0, 1)
+        let scaled = base * (1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * unit - 1.0));
+        Duration::from_secs_f64(scaled.clamp(0.0, self.max_backoff.as_secs_f64()))
+    }
+}
+
+/// SplitMix64: tiny, deterministic, and plenty for backoff jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which Krylov method the session runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// The problem's designated solver (Table 3).
+    #[default]
+    Auto,
+    /// Preconditioned flexible CG.
+    Cg,
+    /// Preconditioned BiCGStab.
+    BiCgStab,
+    /// Restarted flexible GMRES.
+    Gmres,
+    /// Stationary Richardson iteration.
+    Richardson,
+}
+
+/// Deterministic fault injection applied to hierarchies built during a
+/// session (feature `fault-inject`): the harness behind the ladder tests
+/// and the `repro serve` demo.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub spec: FaultSpec,
+    /// The fault is re-applied to every hierarchy built at rungs *below*
+    /// this one, so exactly this rung is the first clean configuration:
+    /// `sticky_until = PromoteNarrow` corrupts only the initial mixed
+    /// hierarchy, `RebuildF64` keeps corrupting every FP32-computation
+    /// build and only the final FP64 rebuild escapes.
+    pub sticky_until: Rung,
+}
+
+/// One resilient solve request: the unit of work the pool schedules.
+pub struct SolveRequest {
+    /// Display name (scenario label in reports).
+    pub name: String,
+    /// The problem (owns the assembled matrix).
+    pub problem: Problem,
+    /// Rung-0 multigrid configuration (normally mixed FP16).
+    pub base: MgConfig,
+    /// Per-attempt solver options; `max_iters` is additionally clamped
+    /// by the session budget's `max_iters`.
+    pub opts: SolveOptions,
+    /// Session resource bounds.
+    pub budget: Budget,
+    /// Escalation policy.
+    pub policy: RetryPolicy,
+    /// Krylov method override.
+    pub solver: SolverChoice,
+    /// Kernel parallelism for the outer operator (keep `Par::Seq` when
+    /// the pool already parallelizes across requests).
+    pub par: Par,
+    /// Fault injection plan (`fault-inject` builds only).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<FaultPlan>,
+    /// Panic before doing any work, to exercise the pool's panic
+    /// isolation (`fault-inject` builds only).
+    #[cfg(feature = "fault-inject")]
+    pub panic_in_worker: bool,
+}
+
+impl SolveRequest {
+    /// A request with default options, unlimited budget, and the default
+    /// retry policy.
+    pub fn new(name: impl Into<String>, problem: Problem, base: MgConfig) -> Self {
+        SolveRequest {
+            name: name.into(),
+            problem,
+            base,
+            opts: SolveOptions::default(),
+            budget: Budget::unlimited(),
+            policy: RetryPolicy::default(),
+            solver: SolverChoice::Auto,
+            par: Par::Seq,
+            #[cfg(feature = "fault-inject")]
+            fault: None,
+            #[cfg(feature = "fault-inject")]
+            panic_in_worker: false,
+        }
+    }
+}
+
+/// One recorded ladder attempt.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// The rung this attempt ran on.
+    pub rung: Rung,
+    /// Attempt number within the rung (0-based).
+    pub try_no: usize,
+    /// True when this attempt converged (it is then the last).
+    pub converged: bool,
+    /// Outer iterations performed.
+    pub iters: usize,
+    /// Final relative residual.
+    pub rel: f64,
+    /// Storage promotions the hierarchy performed during the attempt
+    /// (eager rung-1 promotions and internal self-healing both count).
+    pub promotions: usize,
+    /// Typed failure, when the attempt did not converge.
+    pub error: Option<SolveError>,
+    /// Backoff slept *after* this attempt.
+    pub backoff: Duration,
+    /// Wall time of the attempt (setup + solve).
+    pub seconds: f64,
+}
+
+/// Every rung taken by a session, in order.
+#[derive(Clone, Debug, Default)]
+pub struct RetryReport {
+    /// The attempts, in execution order.
+    pub attempts: Vec<Attempt>,
+}
+
+impl RetryReport {
+    /// The rung of each attempt, in order (e.g. `[Retry, Retry,
+    /// PromoteNarrow]`).
+    pub fn rung_sequence(&self) -> Vec<Rung> {
+        self.attempts.iter().map(|a| a.rung).collect()
+    }
+
+    /// The highest rung reached, if any attempt ran.
+    pub fn final_rung(&self) -> Option<Rung> {
+        self.attempts.last().map(|a| a.rung)
+    }
+
+    /// Compact `retry→retry→promote16→32` display string.
+    pub fn summary(&self) -> String {
+        self.attempts.iter().map(|a| a.rung.label()).collect::<Vec<_>>().join("→")
+    }
+}
+
+/// Outcome of one resilient solve session.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// `Ok` with the converged attempt's solver result, or the last
+    /// typed error once the ladder (or the budget) is exhausted.
+    pub result: Result<SolveResult, SolveError>,
+    /// The solution vector of the converged attempt.
+    pub solution: Option<Vec<f64>>,
+    /// Every attempt taken.
+    pub report: RetryReport,
+    /// Outer iterations summed over all attempts.
+    pub iters: usize,
+    /// V-cycle applications summed over all attempts.
+    pub vcycles: usize,
+    /// Session wall time, backoffs included.
+    pub seconds: f64,
+}
+
+impl SessionOutcome {
+    /// True when the session converged.
+    pub fn converged(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Runs one solve request through the retry ladder under its budget.
+///
+/// The session is synchronous and cooperative: it returns a typed
+/// [`SessionOutcome`] for every way a solve can end — convergence,
+/// ladder exhaustion ([`SolveError::Unconverged`] or the last numerical
+/// failure), deadline ([`SolveError::DeadlineExceeded`]), cancellation
+/// ([`SolveError::Cancelled`]), or V-cycle budget exhaustion — and never
+/// panics on solver failures. (Panics from bugs are contained by
+/// [`crate::pool::run_batch`], not here.)
+pub fn run_session(req: &SolveRequest) -> SessionOutcome {
+    #[cfg(feature = "fault-inject")]
+    if req.panic_in_worker {
+        panic!("injected worker panic (fault-inject): request '{}'", req.name);
+    }
+
+    let t0 = Instant::now();
+    let mut guard = BudgetGuard::arm(req.budget.clone());
+    let mut report = RetryReport::default();
+    let mut last_err: Option<SolveError> = None;
+    let mut last_rel = f64::NAN;
+    let mut global_attempt = 0usize;
+
+    'ladder: for rung in Rung::ALL {
+        let mut rung_try = 0usize;
+        while rung_try < req.policy.attempts[rung.index()] {
+            // Session-level pre-checks: a deadline or cancellation that
+            // fired between attempts (e.g. during backoff) ends the
+            // ladder before any setup work is spent.
+            let done = guard.iters_done();
+            if let Err(e) = fp16mg_krylov::SolveControl::check(&mut guard, done) {
+                last_err = Some(e);
+                break 'ladder;
+            }
+            let Some(iter_cap) = guard.clamp_iters(req.opts.max_iters) else {
+                last_err =
+                    Some(SolveError::Unconverged { iters: guard.iters_done(), rel: last_rel });
+                break 'ladder;
+            };
+            let mut opts = req.opts.clone();
+            opts.max_iters = iter_cap;
+
+            let at0 = Instant::now();
+            let attempt = run_rung_attempt(req, rung, &opts, &mut guard);
+            let seconds = at0.elapsed().as_secs_f64();
+            global_attempt += 1;
+            rung_try += 1;
+
+            match attempt {
+                Err(setup_err) => {
+                    // Same config ⇒ same setup failure: skip the rest of
+                    // this rung and escalate.
+                    report.attempts.push(Attempt {
+                        rung,
+                        try_no: rung_try - 1,
+                        converged: false,
+                        iters: 0,
+                        rel: last_rel,
+                        promotions: 0,
+                        error: Some(setup_err.clone()),
+                        backoff: Duration::ZERO,
+                        seconds,
+                    });
+                    last_err = Some(setup_err);
+                    continue 'ladder;
+                }
+                Ok((result, promotions, x)) => {
+                    guard.charge_iters(result.iters);
+                    if result.final_rel_residual.is_finite() {
+                        last_rel = result.final_rel_residual;
+                    }
+                    let converged = result.converged();
+                    let error = if converged {
+                        None
+                    } else {
+                        Some(result.failure().unwrap_or(SolveError::Unconverged {
+                            iters: result.iters,
+                            rel: result.final_rel_residual,
+                        }))
+                    };
+                    let more_attempts_possible =
+                        !converged && error.as_ref().map(|e| e.retryable()).unwrap_or(false);
+                    let backoff = if more_attempts_possible {
+                        let b = req.policy.backoff_for(global_attempt - 1);
+                        match guard.remaining() {
+                            Some(left) => b.min(left),
+                            None => b,
+                        }
+                    } else {
+                        Duration::ZERO
+                    };
+                    report.attempts.push(Attempt {
+                        rung,
+                        try_no: rung_try - 1,
+                        converged,
+                        iters: result.iters,
+                        rel: result.final_rel_residual,
+                        promotions,
+                        error: error.clone(),
+                        backoff,
+                        seconds,
+                    });
+                    if converged {
+                        let iters = guard.iters_done();
+                        let vcycles = guard.vcycles();
+                        return SessionOutcome {
+                            result: Ok(result),
+                            solution: Some(x),
+                            report,
+                            iters,
+                            vcycles,
+                            seconds: t0.elapsed().as_secs_f64(),
+                        };
+                    }
+                    let e = error.expect("non-converged attempt always carries an error");
+                    let final_err = !e.retryable();
+                    last_err = Some(e);
+                    if final_err {
+                        break 'ladder;
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+
+    SessionOutcome {
+        result: Err(last_err
+            .unwrap_or(SolveError::Unconverged { iters: guard.iters_done(), rel: last_rel })),
+        solution: None,
+        report,
+        iters: guard.iters_done(),
+        vcycles: guard.vcycles(),
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Builds the hierarchy for `rung` and runs one solver attempt under the
+/// guard. `Err` is a typed setup failure.
+fn run_rung_attempt(
+    req: &SolveRequest,
+    rung: Rung,
+    opts: &SolveOptions,
+    guard: &mut BudgetGuard,
+) -> Result<(SolveResult, usize, Vec<f64>), SolveError> {
+    let setup_err = |e: fp16mg_core::SetupError| SolveError::SetupFailed { message: e.to_string() };
+    match rung {
+        Rung::Retry => {
+            let mg = Mg::<f32>::setup(&req.problem.matrix, &req.base).map_err(setup_err)?;
+            attempt_with(req, rung, mg, opts, guard)
+        }
+        Rung::PromoteNarrow => {
+            // Promotion needs recovery bookkeeping (retained level
+            // sources), whatever the caller's policy says.
+            let mut cfg = req.base.clone();
+            cfg.recovery =
+                RecoveryPolicy { enabled: true, max_promotions: usize::MAX, ..cfg.recovery };
+            let mut mg = Mg::<f32>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
+            let narrow: Vec<usize> = mg
+                .info()
+                .levels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| matches!(l.precision, Precision::F16 | Precision::BF16))
+                .map(|(i, _)| i)
+                .collect();
+            for lev in narrow {
+                mg.promote_level(lev, PromotionReason::Manual);
+            }
+            attempt_with(req, rung, mg, opts, guard)
+        }
+        Rung::RebuildF32 => {
+            let mut cfg = req.base.clone();
+            cfg.storage = StoragePolicy::Uniform(Precision::F32);
+            let mg = Mg::<f32>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
+            attempt_with(req, rung, mg, opts, guard)
+        }
+        Rung::RebuildF64 => {
+            let mut cfg = req.base.clone();
+            cfg.storage = StoragePolicy::Uniform(Precision::F64);
+            let mg = Mg::<f64>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
+            attempt_with(req, rung, mg, opts, guard)
+        }
+    }
+}
+
+/// Applies the fault plan (if armed for this rung), adopts the
+/// hierarchy's cycle counter, and runs the chosen solver once.
+fn attempt_with<Pr: Scalar>(
+    req: &SolveRequest,
+    rung: Rung,
+    mut mg: Mg<Pr>,
+    opts: &SolveOptions,
+    guard: &mut BudgetGuard,
+) -> Result<(SolveResult, usize, Vec<f64>), SolveError> {
+    let _ = rung; // used only by fault-inject builds
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = &req.fault {
+        if rung.index() < plan.sticky_until.index() {
+            inject(&mut mg, plan);
+        }
+    }
+    guard.adopt_cycles(mg.cycle_counter());
+    let op = MatOp::new(&req.problem.matrix, req.par);
+    let b = req.problem.rhs();
+    let mut x = vec![0.0f64; req.problem.matrix.rows()];
+    let solver = match (req.solver, req.problem.solver) {
+        (SolverChoice::Cg, _) | (SolverChoice::Auto, SolverKind::Cg) => SolverChoice::Cg,
+        (SolverChoice::Gmres, _) | (SolverChoice::Auto, SolverKind::Gmres) => SolverChoice::Gmres,
+        (choice, _) => choice,
+    };
+    let result = match solver {
+        SolverChoice::Cg => cg_ctl(&op, &mut mg, &b, &mut x, opts, guard),
+        SolverChoice::Gmres => gmres_ctl(&op, &mut mg, &b, &mut x, opts, guard),
+        SolverChoice::BiCgStab => bicgstab_ctl(&op, &mut mg, &b, &mut x, opts, guard),
+        SolverChoice::Richardson => richardson_ctl(&op, &mut mg, &b, &mut x, opts, guard),
+        SolverChoice::Auto => unreachable!("Auto resolved above"),
+    };
+    Ok((result, mg.promotions().len(), x))
+}
+
+/// Corrupts the finest 16-bit level (or level 0 when every level is
+/// already wide) per the plan. Guarantees at least one non-finite entry
+/// for `inf`-flavored specs, so tiny test matrices still trip detection.
+#[cfg(feature = "fault-inject")]
+fn inject<Pr: Scalar>(mg: &mut Mg<Pr>, plan: &FaultPlan) {
+    let lev = mg
+        .info()
+        .levels
+        .iter()
+        .position(|l| matches!(l.precision, Precision::F16 | Precision::BF16))
+        .unwrap_or(0);
+    if let Some(stored) = mg.stored_mut(lev) {
+        let rep = stored.inject_faults(&plan.spec);
+        if plan.spec.inf_rate > 0.0 && rep.infs == 0 {
+            stored.inject_inf_at(0, 0);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Resilient solve runtime: budgets, cancellation, retry ladder, and
+//! concurrent request isolation.
+//!
+//! The layers below this crate make a single mixed-precision solve
+//! *diagnosable* (typed breakdowns, stagnation detection) and partially
+//! *self-healing* (FP16→FP32 level promotion inside the V-cycle). This
+//! crate makes solves *dependable as a service*:
+//!
+//! - [`Budget`]/[`CancelToken`] bound one solve session by wall clock,
+//!   outer iterations, and V-cycle applications, and let another thread
+//!   cancel it cooperatively. [`BudgetGuard`] implements
+//!   `fp16mg_krylov::SolveControl`, so the bounds are enforced at every
+//!   Krylov iteration boundary, not just between attempts.
+//! - [`run_session`] walks the retry ladder ([`Rung`]): retry the mixed
+//!   FP16 configuration, eagerly promote 16-bit levels, rebuild in FP32,
+//!   and finally fall back to full FP64 — with per-rung attempt caps and
+//!   jittered backoff ([`RetryPolicy`]), recording every attempt in a
+//!   [`RetryReport`].
+//! - [`run_batch`] drives many sessions concurrently on a scoped worker
+//!   pool; a panicking session becomes a typed
+//!   `SolveError::WorkerPanicked` outcome while every other request
+//!   completes.
+//!
+//! Under the `fault-inject` feature, requests can carry a [`FaultPlan`]
+//! that keeps corrupting rebuilt hierarchies until a chosen rung, which
+//! is how the tests prove each rung is reachable and actually fixes the
+//! fault class beneath it.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod ladder;
+pub mod pool;
+
+pub use budget::{Budget, BudgetGuard, CancelToken};
+#[cfg(feature = "fault-inject")]
+pub use ladder::FaultPlan;
+pub use ladder::{
+    run_session, Attempt, RetryPolicy, RetryReport, Rung, SessionOutcome, SolveRequest,
+    SolverChoice,
+};
+pub use pool::{run_batch, RequestOutcome};
+
+#[cfg(test)]
+mod tests;

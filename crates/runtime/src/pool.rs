@@ -1,0 +1,128 @@
+//! Concurrent multi-request driver with panic isolation.
+//!
+//! [`run_batch`] fans a batch of [`SolveRequest`]s out over a scoped
+//! worker pool. Each request runs its full retry-ladder session on one
+//! worker; a panicking session (a bug, or injected via
+//! `SolveRequest::panic_in_worker`) is contained by `catch_unwind` and
+//! surfaces as a typed [`SolveError::WorkerPanicked`] outcome — the
+//! worker thread survives and keeps draining the queue, and every other
+//! request completes normally. No solve can take the process (or its
+//! neighbors) down.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use fp16mg_krylov::{SolveError, SolveResult};
+
+use crate::ladder::{run_session, RetryReport, SolveRequest};
+
+/// Outcome of one request in a batch, tagged with its submission index.
+#[derive(Clone, Debug)]
+pub struct RequestOutcome {
+    /// Position in the submitted batch (outcomes are returned in this
+    /// order regardless of which worker finished first).
+    pub index: usize,
+    /// The request's display name.
+    pub name: String,
+    /// Converged result, or the typed error that ended the session —
+    /// including [`SolveError::WorkerPanicked`] for contained panics.
+    pub result: Result<SolveResult, SolveError>,
+    /// The solution vector, when the session converged.
+    pub solution: Option<Vec<f64>>,
+    /// Every ladder attempt the session took (empty for panicked
+    /// requests).
+    pub report: RetryReport,
+    /// Outer iterations summed over all attempts.
+    pub iters: usize,
+    /// V-cycle applications summed over all attempts.
+    pub vcycles: usize,
+    /// Wall time of the session on its worker.
+    pub seconds: f64,
+}
+
+impl RequestOutcome {
+    /// True when the session converged.
+    pub fn converged(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Runs every request through [`run_session`] on a pool of `workers`
+/// scoped threads and returns one [`RequestOutcome`] per request, in
+/// submission order.
+///
+/// Workers pull from a shared queue, so a batch of mixed-size problems
+/// load-balances naturally. `workers` is clamped to `[1, len]`. Panics
+/// inside a session are caught per-request; the corresponding outcome
+/// carries [`SolveError::WorkerPanicked`] with the panic message, and
+/// the remaining requests still complete.
+pub fn run_batch(requests: Vec<SolveRequest>, workers: usize) -> Vec<RequestOutcome> {
+    let n = requests.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let queue: Mutex<VecDeque<(usize, SolveRequest)>> =
+        Mutex::new(requests.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<RequestOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // The lock is held only around the pop — a panicking
+                // session can never poison the queue.
+                let job = queue.lock().expect("request queue poisoned").pop_front();
+                let Some((index, req)) = job else { break };
+                let name = req.name.clone();
+                let t0 = Instant::now();
+                let outcome = match catch_unwind(AssertUnwindSafe(|| run_session(&req))) {
+                    Ok(sess) => RequestOutcome {
+                        index,
+                        name,
+                        result: sess.result,
+                        solution: sess.solution,
+                        report: sess.report,
+                        iters: sess.iters,
+                        vcycles: sess.vcycles,
+                        seconds: sess.seconds,
+                    },
+                    Err(payload) => RequestOutcome {
+                        index,
+                        name,
+                        result: Err(SolveError::WorkerPanicked {
+                            message: panic_message(payload.as_ref()),
+                        }),
+                        solution: None,
+                        report: RetryReport::default(),
+                        iters: 0,
+                        vcycles: 0,
+                        seconds: t0.elapsed().as_secs_f64(),
+                    },
+                };
+                *slots[index].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every queued request produces an outcome")
+        })
+        .collect()
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}

@@ -1,0 +1,316 @@
+use std::time::Duration;
+
+use fp16mg_core::MgConfig;
+use fp16mg_krylov::{HealthPolicy, SolveError, SolveOptions};
+use fp16mg_problems::{Problem, ProblemKind};
+
+use crate::budget::{Budget, BudgetGuard, CancelToken};
+use crate::ladder::{run_session, RetryPolicy, Rung, SolveRequest, SolverChoice};
+use crate::pool::run_batch;
+
+fn laplace(n: usize) -> Problem {
+    ProblemKind::Laplace27.build(n)
+}
+
+/// Options that can never converge or stagnate: the solve runs until an
+/// external bound (budget, deadline, cancellation) stops it.
+fn endless_opts() -> SolveOptions {
+    SolveOptions { tol: 0.0, health: HealthPolicy::disabled(), ..Default::default() }
+}
+
+mod budget {
+    use super::*;
+    use fp16mg_krylov::SolveControl;
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled() && t2.is_cancelled());
+    }
+
+    #[test]
+    fn guard_reports_cancellation_first() {
+        let budget = Budget { deadline: Some(Duration::ZERO), ..Budget::unlimited() };
+        budget.cancel.cancel();
+        let mut guard = BudgetGuard::arm(budget);
+        assert!(matches!(guard.check(7), Err(SolveError::Cancelled { iter: 7 })));
+    }
+
+    #[test]
+    fn guard_enforces_deadline() {
+        let mut guard = BudgetGuard::arm(Budget::with_deadline(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(matches!(guard.check(3), Err(SolveError::DeadlineExceeded { iter: 3, .. })));
+    }
+
+    #[test]
+    fn clamp_iters_tracks_session_consumption() {
+        let budget = Budget { max_iters: Some(10), ..Budget::unlimited() };
+        let mut guard = BudgetGuard::arm(budget);
+        assert_eq!(guard.clamp_iters(500), Some(10));
+        guard.charge_iters(7);
+        assert_eq!(guard.clamp_iters(500), Some(3));
+        assert_eq!(guard.clamp_iters(2), Some(2));
+        guard.charge_iters(3);
+        assert_eq!(guard.clamp_iters(500), None);
+        assert_eq!(guard.iters_done(), 10);
+    }
+
+    #[test]
+    fn adopt_cycles_precharges_rebuilt_counters() {
+        let budget = Budget { max_vcycles: Some(100), ..Budget::unlimited() };
+        let mut guard = BudgetGuard::arm(budget);
+        let c1 = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        guard.adopt_cycles(std::sync::Arc::clone(&c1));
+        c1.fetch_add(42, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(guard.vcycles(), 42);
+        // A fresh hierarchy (counter at zero) must not reset the total.
+        let c2 = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        guard.adopt_cycles(c2);
+        assert_eq!(guard.vcycles(), 42);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let p = RetryPolicy::default();
+        for k in 0..12 {
+            let b = p.backoff_for(k);
+            assert_eq!(b, p.backoff_for(k), "same attempt number, same backoff");
+            assert!(b <= p.max_backoff);
+        }
+        // Jitter must actually vary the early sleeps.
+        assert_ne!(p.backoff_for(0), p.backoff_for(1));
+    }
+}
+
+mod session {
+    use super::*;
+
+    #[test]
+    fn clean_problem_converges_on_first_rung() {
+        let req = SolveRequest::new("clean", laplace(8), MgConfig::d16());
+        let out = run_session(&req);
+        let result = out.result.expect("clean laplace27 must converge");
+        assert!(result.converged());
+        assert_eq!(out.report.rung_sequence(), vec![Rung::Retry]);
+        assert!(out.report.attempts[0].converged);
+        assert!(out.vcycles > 0, "V-cycle accounting must see the preconditioner");
+        let x = out.solution.expect("converged session returns its solution");
+        assert_eq!(x.len(), req.problem.matrix.rows());
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn auto_solver_follows_problem_designation() {
+        // oil is a GMRES problem (Table 3); Auto must route accordingly
+        // and still converge through the runtime.
+        let mut req = SolveRequest::new("oil", ProblemKind::Oil.build(6), MgConfig::d16());
+        req.opts.tol = 1e-8;
+        let out = run_session(&req);
+        assert!(out.converged(), "oil via auto-GMRES: {:?}", out.result.err());
+    }
+
+    #[test]
+    fn explicit_solver_choices_run() {
+        for (choice, tol) in [(SolverChoice::BiCgStab, 1e-8), (SolverChoice::Richardson, 1e-6)] {
+            let mut req = SolveRequest::new("choice", laplace(8), MgConfig::d16());
+            req.solver = choice;
+            req.opts.tol = tol;
+            let out = run_session(&req);
+            assert!(out.converged(), "{choice:?} failed: {:?}", out.result.err());
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_session_ends_before_any_attempt() {
+        let req = SolveRequest::new("cancelled", laplace(8), MgConfig::d16());
+        req.budget.cancel.cancel();
+        let out = run_session(&req);
+        assert!(matches!(out.result, Err(SolveError::Cancelled { .. })));
+        assert!(out.report.attempts.is_empty());
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn deadline_interrupts_endless_solve() {
+        let mut req = SolveRequest::new("deadline", laplace(8), MgConfig::d16());
+        req.opts = endless_opts();
+        req.budget = Budget::with_deadline(Duration::from_millis(15));
+        let out = run_session(&req);
+        assert!(
+            matches!(out.result, Err(SolveError::DeadlineExceeded { .. })),
+            "expected deadline, got {:?}",
+            out.result
+        );
+        // An interrupt is final: no rung escalation afterwards.
+        assert!(out.report.attempts.len() <= 1);
+    }
+
+    #[test]
+    fn iteration_budget_exhaustion_returns_unconverged() {
+        let mut req = SolveRequest::new("iters", laplace(8), MgConfig::d16());
+        req.opts = endless_opts();
+        req.budget.max_iters = Some(3);
+        let out = run_session(&req);
+        assert!(
+            matches!(out.result, Err(SolveError::Unconverged { iters: 3, .. })),
+            "expected unconverged at 3 iters, got {:?}",
+            out.result
+        );
+        assert_eq!(out.report.attempts.len(), 1, "no budget left for a second attempt");
+        assert_eq!(out.iters, 3);
+    }
+
+    #[test]
+    fn vcycle_budget_interrupts_mid_solve() {
+        let mut req = SolveRequest::new("vcycles", laplace(8), MgConfig::d16());
+        req.opts = endless_opts();
+        req.budget.max_vcycles = Some(3);
+        let out = run_session(&req);
+        assert!(
+            matches!(out.result, Err(SolveError::VcycleBudgetExceeded { budget: 3, .. })),
+            "expected V-cycle budget, got {:?}",
+            out.result
+        );
+        assert!(out.vcycles >= 3);
+    }
+}
+
+mod pool {
+    use super::*;
+
+    #[test]
+    fn batch_outcomes_keep_submission_order() {
+        let requests: Vec<_> = (0..5)
+            .map(|i| SolveRequest::new(format!("req-{i}"), laplace(6), MgConfig::d16()))
+            .collect();
+        let outcomes = run_batch(requests, 3);
+        assert_eq!(outcomes.len(), 5);
+        for (i, out) in outcomes.iter().enumerate() {
+            assert_eq!(out.index, i);
+            assert_eq!(out.name, format!("req-{i}"));
+            assert!(out.converged(), "request {i} failed: {:?}", out.result);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_oversized_worker_count_are_fine() {
+        assert!(run_batch(Vec::new(), 8).is_empty());
+        let outcomes = run_batch(vec![SolveRequest::new("solo", laplace(6), MgConfig::d16())], 64);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].converged());
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod fault {
+    use super::*;
+    use crate::ladder::FaultPlan;
+    use fp16mg_core::RecoveryPolicy;
+    use fp16mg_sgdia::fault::FaultSpec;
+
+    fn faulted_request(name: &str, sticky_until: Rung) -> SolveRequest {
+        let mut base = MgConfig::d16();
+        // Rung climbing is the subject here, so the in-hierarchy
+        // self-healing (which would fix the F16 faults at rung 0) is off.
+        base.recovery = RecoveryPolicy::disabled();
+        let mut req = SolveRequest::new(name, laplace(8), base);
+        req.policy = RetryPolicy {
+            attempts: [1, 1, 1, 1],
+            backoff: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        req.fault = Some(FaultPlan { spec: FaultSpec::inf(0.02, 0xfeed), sticky_until });
+        req
+    }
+
+    #[test]
+    fn every_rung_is_reachable_and_fixes_its_fault_class() {
+        for sticky in [Rung::PromoteNarrow, Rung::RebuildF32, Rung::RebuildF64] {
+            let req = faulted_request("sticky", sticky);
+            let out = run_session(&req);
+            assert!(
+                out.converged(),
+                "rung {sticky:?} should have fixed the fault: {:?}",
+                out.result.err()
+            );
+            let rungs = out.report.rung_sequence();
+            assert_eq!(
+                rungs,
+                Rung::ALL[..=sticky.index()].to_vec(),
+                "session must climb exactly to the first clean rung"
+            );
+            assert_eq!(out.report.final_rung(), Some(sticky));
+            for attempt in &out.report.attempts[..out.report.attempts.len() - 1] {
+                assert!(!attempt.converged);
+                assert!(attempt.error.as_ref().is_some_and(|e| e.retryable()));
+            }
+            assert!(out.report.attempts.last().unwrap().converged);
+        }
+    }
+
+    #[test]
+    fn promote_rung_records_eager_promotions() {
+        let req = faulted_request("promote", Rung::PromoteNarrow);
+        let out = run_session(&req);
+        assert!(out.converged());
+        let last = out.report.attempts.last().unwrap();
+        assert_eq!(last.rung, Rung::PromoteNarrow);
+        assert!(last.promotions > 0, "eager promotion must be visible in the attempt record");
+    }
+
+    #[test]
+    fn ladder_exhaustion_returns_last_typed_error() {
+        let mut req = faulted_request("exhausted", Rung::RebuildF64);
+        // The only rung that would escape the fault is disabled, so the
+        // ladder must exhaust and hand back the last rung's failure.
+        req.policy.attempts = [1, 1, 1, 0];
+        let out = run_session(&req);
+        let err = out.result.expect_err("every enabled rung is corrupted");
+        assert!(
+            matches!(err, SolveError::Breakdown(_) | SolveError::Stagnated(_)),
+            "expected the last numerical failure, got {err:?}"
+        );
+        assert_eq!(
+            out.report.rung_sequence(),
+            vec![Rung::Retry, Rung::PromoteNarrow, Rung::RebuildF32]
+        );
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn retry_rung_retries_before_escalating() {
+        let mut req = faulted_request("retry-twice", Rung::PromoteNarrow);
+        req.policy.attempts = [2, 1, 1, 1];
+        let out = run_session(&req);
+        assert!(out.converged());
+        assert_eq!(out.report.rung_sequence(), vec![Rung::Retry, Rung::Retry, Rung::PromoteNarrow]);
+    }
+
+    #[test]
+    fn pool_isolates_panicking_request() {
+        let mut requests: Vec<_> = (0..4)
+            .map(|i| SolveRequest::new(format!("clean-{i}"), laplace(6), MgConfig::d16()))
+            .collect();
+        requests[1].panic_in_worker = true;
+        requests[1].name = "poisoned".into();
+        let outcomes = run_batch(requests, 2);
+        assert_eq!(outcomes.len(), 4);
+        for (i, out) in outcomes.iter().enumerate() {
+            if i == 1 {
+                let err = out.result.as_ref().expect_err("injected panic must surface");
+                match err {
+                    SolveError::WorkerPanicked { message } => {
+                        assert!(message.contains("injected worker panic"), "message: {message}");
+                    }
+                    other => panic!("expected WorkerPanicked, got {other:?}"),
+                }
+            } else {
+                assert!(out.converged(), "request {i} must survive its neighbor's panic");
+            }
+        }
+    }
+}

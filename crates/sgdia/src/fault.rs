@@ -5,7 +5,9 @@
 //! ±∞ during truncation, exponent-bit upsets, and underflow flushing to
 //! the subnormal range. This module applies them to a stored matrix at
 //! configurable rates, deterministically (seeded), and reports what it
-//! did so tests can assert detection.
+//! did so tests can assert detection. The wide formats (f32/f64) are
+//! supported too, so retry-ladder tests can corrupt an FP32-rebuilt
+//! hierarchy and prove the FP64 last resort is reachable.
 //!
 //! Only compiled under the `fault-inject` feature: production builds carry
 //! no corruption code.
@@ -108,9 +110,39 @@ fn corrupt_bits16(
     out
 }
 
-/// Injects faults into every stored entry of `a` per `spec`. Supported for
-/// the 16-bit storage formats (F16, Bf16) — the formats the guard layer
-/// protects; other storage types are left untouched and report zero.
+/// Bit-level corruption of one wide (f32/f64) value, mirroring
+/// [`corrupt_bits16`]; parameterized by the format's sign/exponent
+/// geometry. The subnormal flush lands on the smallest positive
+/// subnormal of the format (sign preserved).
+macro_rules! corrupt_bits_wide {
+    ($name:ident, $ty:ty, $sign:expr, $exp_mask:expr, $exp_shift:expr, $exp_bits:expr) => {
+        #[inline]
+        fn $name(bits: $ty, spec: &FaultSpec, state: &mut u64, report: &mut FaultReport) -> $ty {
+            let mut out = bits;
+            if chance(state, spec.exp_flip_rate) {
+                let shift = $exp_shift + (next_u64(state) % $exp_bits) as u32;
+                out ^= 1 << shift;
+                report.exp_flips += 1;
+            }
+            if chance(state, spec.inf_rate) {
+                out = (out & $sign) | $exp_mask;
+                report.infs += 1;
+            }
+            if chance(state, spec.subnormal_flush_rate) {
+                out = (out & $sign) | 1;
+                report.subnormal_flushes += 1;
+            }
+            out
+        }
+    };
+}
+
+corrupt_bits_wide!(corrupt_bits32, u32, 0x8000_0000, 0x7f80_0000, 23, 8);
+corrupt_bits_wide!(corrupt_bits64, u64, 1 << 63, 0x7ff0_0000_0000_0000, 52, 11);
+
+/// Injects faults into every stored entry of `a` per `spec`. All four
+/// storage formats are supported; unrecognized storage types are left
+/// untouched and report zero.
 pub fn inject<S: Storage + 'static>(a: &mut SgDia<S>, spec: &FaultSpec) -> FaultReport {
     let mut report = FaultReport::default();
     let mut state = spec.seed;
@@ -148,11 +180,29 @@ pub fn inject<S: Storage + 'static>(a: &mut SgDia<S>, spec: &FaultSpec) -> Fault
         }
         return report;
     }
+    if let Some(d32) = crate::kernels::cast_slice_mut::<S, f32>(data) {
+        for v in d32 {
+            if v.to_bits() & 0x7fff_ffff == 0 {
+                continue;
+            }
+            *v = f32::from_bits(corrupt_bits32(v.to_bits(), spec, &mut state, &mut report));
+        }
+        return report;
+    }
+    if let Some(d64) = crate::kernels::cast_slice_mut::<S, f64>(data) {
+        for v in d64 {
+            if v.to_bits() & !(1u64 << 63) == 0 {
+                continue;
+            }
+            *v = f64::from_bits(corrupt_bits64(v.to_bits(), spec, &mut state, &mut report));
+        }
+        return report;
+    }
     report
 }
 
 /// Forces exactly one entry — `(cell, tap)` — to ±∞ (sign preserved;
-/// zero entries become +∞). Returns `false` for non-16-bit storage.
+/// zero entries become +∞). Returns `false` for unrecognized storage.
 pub fn inject_inf_at<S: Storage + 'static>(a: &mut SgDia<S>, cell: usize, tap: usize) -> bool {
     let idx = a.entry_index(cell, tap);
     let data = a.data_mut();
@@ -162,6 +212,14 @@ pub fn inject_inf_at<S: Storage + 'static>(a: &mut SgDia<S>, cell: usize, tap: u
     }
     if let Some(db16) = crate::kernels::cast_slice_mut::<S, Bf16>(data) {
         db16[idx] = Bf16::from_bits((db16[idx].to_bits() & 0x8000) | 0x7f80);
+        return true;
+    }
+    if let Some(d32) = crate::kernels::cast_slice_mut::<S, f32>(data) {
+        d32[idx] = f32::from_bits((d32[idx].to_bits() & 0x8000_0000) | 0x7f80_0000);
+        return true;
+    }
+    if let Some(d64) = crate::kernels::cast_slice_mut::<S, f64>(data) {
+        d64[idx] = f64::from_bits((d64[idx].to_bits() & (1 << 63)) | 0x7ff0_0000_0000_0000);
         return true;
     }
     false

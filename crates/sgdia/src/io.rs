@@ -133,14 +133,14 @@ pub fn read_matrix<S: Storage>(r: &mut impl Read) -> io::Result<SgDia<S>> {
     for _ in 0..ntaps {
         let mut b = [0u8; 14];
         r.read_exact(&mut b)?;
-        // Infallible: fixed 4-byte subslices of the 14-byte buffer.
-        taps.push(Tap::at_comp(
-            i32::from_le_bytes(b[0..4].try_into().unwrap()),
-            i32::from_le_bytes(b[4..8].try_into().unwrap()),
-            i32::from_le_bytes(b[8..12].try_into().unwrap()),
-            b[12],
-            b[13],
-        ));
+        let offset = |lo: usize| -> io::Result<i32> {
+            let bytes: [u8; 4] = b
+                .get(lo..lo + 4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| bad("malformed tap record in header"))?;
+            Ok(i32::from_le_bytes(bytes))
+        };
+        taps.push(Tap::at_comp(offset(0)?, offset(4)?, offset(8)?, b[12], b[13]));
     }
     let pattern = Pattern::new(taps);
     if pattern.len() != ntaps {
