@@ -4,7 +4,7 @@
 //! repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B]
 //!                    [--requests N] [--workers N]
 //! experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 fig10 table1 table3
-//!              bf16 shift smooth guard serve all
+//!              bf16 shift smooth guard audit serve all
 //! ```
 //!
 //! `serve` fires a batch of mixed clean/fault-injected/panicking solve
@@ -125,6 +125,7 @@ fn main() {
         "cycle" => cycle_ablation(&args),
         "semi" => semi_ablation(&args),
         "guard" => guard(&args),
+        "audit" => audit_cmd(&args),
         "serve" => serve_cmd(&args),
         "all" => {
             fig1(&args);
@@ -143,6 +144,7 @@ fn main() {
             cycle_ablation(&args);
             semi_ablation(&args);
             guard(&args);
+            audit_cmd(&args);
             serve_cmd(&args);
         }
         other => {
@@ -851,6 +853,13 @@ fn semi_ablation(args: &Args) {
     print!("{t}");
     println!("(semicoarsening collapses the strong direction first: fewer iterations");
     println!(" on anisotropic problems at higher grid complexity — the PFMG trade)");
+}
+
+// --------------------------------------------------------------- audit --
+
+fn audit_cmd(args: &Args) {
+    header("Precision-safety audit: per-level FP16 range tables, shift_levid: Auto");
+    fp16mg_bench::audit_report(args.size.min(24));
 }
 
 // --------------------------------------------------------------- serve --

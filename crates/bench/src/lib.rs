@@ -11,6 +11,7 @@
 //! sessions through `fp16mg-runtime`.
 
 #![warn(missing_docs)]
+pub mod audit;
 pub mod combos;
 pub mod e2e;
 pub mod guard;
@@ -19,6 +20,7 @@ pub mod microbench;
 pub mod serve;
 pub mod table;
 
+pub use audit::{audit_report, print_audit_table};
 pub use combos::Combo;
 pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};

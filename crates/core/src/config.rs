@@ -1,6 +1,7 @@
 //! Multigrid configuration: precision policy, scaling strategy, smoother.
 
 use fp16mg_fp::Precision;
+use fp16mg_sgdia::audit::TruncationPolicy;
 use fp16mg_sgdia::kernels::Par;
 use fp16mg_sgdia::scaling::GChoice;
 use fp16mg_sgdia::Layout;
@@ -24,14 +25,37 @@ pub enum StoragePolicy {
     /// Explicit precision per level (the last entry repeats for deeper
     /// levels).
     PerLevel(Vec<Precision>),
+    /// Adaptive `shift_levid`: during setup the hierarchy audits each
+    /// level's FP16 truncation (see [`fp16mg_sgdia::audit`]) and switches
+    /// to `coarse` at the first level whose underflow-loss fraction —
+    /// nonzero entries that would flush to zero or to the subnormal range
+    /// — exceeds `max_underflow` (or whose truncation would saturate).
+    /// The measured, data-driven version of the static §4.3 knob; the
+    /// decision lands in `MgInfo::shift_decision`.
+    AutoShift {
+        /// Precision for the levels past the chosen switch point.
+        coarse: Precision,
+        /// Underflow-loss fraction in `[0, 1]` above which a level is
+        /// switched to `coarse` (0.05 is a reasonable default: a level
+        /// losing more than 5% of its couplings has stopped resembling
+        /// its operator).
+        max_underflow: f64,
+    },
 }
 
 impl StoragePolicy {
     /// Resolves the precision of `level`. An empty `PerLevel` list (which
     /// [`MgConfig::validate`] rejects before setup) resolves to FP32.
+    ///
+    /// For [`StoragePolicy::AutoShift`] this returns the *pre-resolution*
+    /// answer (FP16 everywhere): the switch point does not exist until
+    /// setup has audited the actual hierarchy, after which the resolved
+    /// policy is a [`StoragePolicy::Fp16Until`] recorded in the
+    /// hierarchy's config.
     pub fn precision_for(&self, level: usize) -> Precision {
         match self {
             StoragePolicy::Uniform(p) => *p,
+            StoragePolicy::AutoShift { .. } => Precision::F16,
             StoragePolicy::Fp16Until { shift_levid, coarse } => {
                 if level < *shift_levid {
                     Precision::F16
@@ -212,6 +236,11 @@ pub enum ConfigError {
         /// The offending value.
         g_tighten: f64,
     },
+    /// An `AutoShift` underflow threshold outside `[0, 1]`.
+    InvalidUnderflowThreshold {
+        /// The offending value.
+        threshold: f64,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -241,6 +270,9 @@ impl core::fmt::Display for ConfigError {
             }
             ConfigError::InvalidGTighten { g_tighten } => {
                 write!(f, "recovery g_tighten {g_tighten} must lie in (0, 1]")
+            }
+            ConfigError::InvalidUnderflowThreshold { threshold } => {
+                write!(f, "AutoShift underflow threshold {threshold} must lie in [0, 1]")
             }
         }
     }
@@ -278,6 +310,12 @@ pub struct MgConfig {
     pub coarsening: Coarsening,
     /// Runtime precision-recovery policy.
     pub recovery: RecoveryPolicy,
+    /// Out-of-range treatment on the truncation store path. The default
+    /// ([`TruncationPolicy::Saturate`]) clamps instead of storing ±∞;
+    /// [`TruncationPolicy::Reject`] turns any saturating entry into a
+    /// typed setup error. Ignored under [`ScaleStrategy::None`], whose
+    /// entire point is to exhibit the unguarded IEEE overflow.
+    pub truncation: TruncationPolicy,
 }
 
 impl Default for MgConfig {
@@ -296,6 +334,7 @@ impl Default for MgConfig {
             cycle: Cycle::V,
             coarsening: Coarsening::Full,
             recovery: RecoveryPolicy::default(),
+            truncation: TruncationPolicy::default(),
         }
     }
 }
@@ -321,6 +360,16 @@ impl MgConfig {
     /// BF16 storage (§8 comparison).
     pub fn dbf16() -> Self {
         MgConfig { storage: StoragePolicy::Uniform(Precision::BF16), ..Default::default() }
+    }
+
+    /// FP16 storage with the audit-driven adaptive `shift_levid`: levels
+    /// stay FP16 until the measured underflow loss crosses 5%, then
+    /// switch to FP32.
+    pub fn d16_auto() -> Self {
+        MgConfig {
+            storage: StoragePolicy::AutoShift { coarse: Precision::F32, max_underflow: 0.05 },
+            ..Default::default()
+        }
     }
 
     /// Checks the configuration for contradictions before any setup work
@@ -373,6 +422,11 @@ impl MgConfig {
         let gt = self.recovery.g_tighten;
         if gt.is_nan() || gt <= 0.0 || gt > 1.0 {
             return Err(ConfigError::InvalidGTighten { g_tighten: gt });
+        }
+        if let StoragePolicy::AutoShift { max_underflow, .. } = self.storage {
+            if max_underflow.is_nan() || !(0.0..=1.0).contains(&max_underflow) {
+                return Err(ConfigError::InvalidUnderflowThreshold { threshold: max_underflow });
+            }
         }
         Ok(())
     }

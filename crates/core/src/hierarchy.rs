@@ -7,6 +7,7 @@ use std::sync::Arc;
 use fp16mg_fp::{Precision, Scalar};
 use fp16mg_grid::Grid3;
 use fp16mg_krylov::Preconditioner;
+use fp16mg_sgdia::audit::{self, RangeAudit, TruncationError};
 use fp16mg_sgdia::kernels::BlockDiagInv;
 use fp16mg_sgdia::scaling::{self, rescale_into, ScaleVectors};
 use fp16mg_sgdia::SgDia;
@@ -15,7 +16,7 @@ use fp16mg_sgdia::scaling::GChoice;
 use fp16mg_sgdia::scan::MatrixScan;
 
 use crate::coarsen::{directional_strength, galerkin_rap_axes};
-use crate::config::{Coarsening, ConfigError, Cycle, MgConfig, ScaleStrategy};
+use crate::config::{Coarsening, ConfigError, Cycle, MgConfig, ScaleStrategy, StoragePolicy};
 use crate::level::Level;
 use crate::smoother::DenseLu;
 use crate::stored::StoredMatrix;
@@ -26,12 +27,25 @@ use crate::transfer::{prolong_add, restrict};
 pub enum SetupError {
     /// The configuration failed [`MgConfig::validate`].
     InvalidConfig(ConfigError),
-    /// Theorem 4.1 requires positive diagonals; this unknown's is not.
+    /// Theorem 4.1 requires positive, finite diagonals; this unknown's is
+    /// not (the core-boundary form of
+    /// [`fp16mg_sgdia::scaling::ScalingError`]).
     NonPositiveDiagonal {
         /// Level index.
         level: usize,
         /// Offending unknown.
         unknown: usize,
+        /// The offending diagonal value.
+        value: f64,
+    },
+    /// The configured [`fp16mg_sgdia::audit::TruncationPolicy`] refused a
+    /// truncation (an entry would saturate the storage range, or the
+    /// source itself is non-finite).
+    Truncation {
+        /// Level index.
+        level: usize,
+        /// The refused truncation.
+        error: TruncationError,
     },
     /// A diagonal block could not be inverted for the smoother.
     SingularDiagonalBlock {
@@ -53,8 +67,11 @@ impl core::fmt::Display for SetupError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SetupError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
-            SetupError::NonPositiveDiagonal { level, unknown } => {
-                write!(f, "non-positive diagonal at level {level}, unknown {unknown}")
+            SetupError::NonPositiveDiagonal { level, unknown, value } => {
+                write!(f, "non-positive diagonal at level {level}, unknown {unknown} ({value:e})")
+            }
+            SetupError::Truncation { level, error } => {
+                write!(f, "truncation rejected at level {level}: {error}")
             }
             SetupError::SingularDiagonalBlock { level, cell } => {
                 write!(f, "singular diagonal block at level {level}, cell {cell}")
@@ -144,6 +161,13 @@ pub struct LevelInfo {
     pub finite: bool,
     /// Bytes of matrix value data stored.
     pub value_bytes: usize,
+    /// Precision audit of the level's truncation: what storing the
+    /// (scaled) high-precision operator at `precision` did to its range
+    /// (`None` for the coarsest/direct level, which is never truncated).
+    pub audit: Option<RangeAudit>,
+    /// When a user-fixed `G` was clamped to `G_max/2` on this level, the
+    /// originally requested value — the clamp is recorded, never silent.
+    pub g_clamped_from: Option<f64>,
 }
 
 /// Hierarchy summary.
@@ -161,6 +185,51 @@ pub struct MgInfo {
     /// Runtime storage-precision promotions, in the order they fired
     /// (empty for a healthy solve).
     pub promotions: Vec<PromotionEvent>,
+    /// How `StoragePolicy::AutoShift` resolved the FP16→coarse switch
+    /// point (`None` for the static storage policies).
+    pub shift_decision: Option<ShiftDecision>,
+}
+
+/// The record of one `AutoShift` resolution: which level the audit chose
+/// as the FP16→coarse switch point, and the evidence.
+#[derive(Clone, Debug)]
+pub struct ShiftDecision {
+    /// The resolved `shift_levid`: first level stored in the coarse
+    /// precision (`usize::MAX` when every audited level stayed within
+    /// the threshold — all-FP16).
+    pub chosen: usize,
+    /// The underflow-loss threshold the decision used.
+    pub threshold: f64,
+    /// FP16 audit of each smoothed level, finest first, as seen by the
+    /// decision (each level audited post-scaling, exactly as the store
+    /// path would truncate it).
+    pub per_level: Vec<RangeAudit>,
+}
+
+impl core::fmt::Display for ShiftDecision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.chosen == usize::MAX {
+            write!(
+                f,
+                "auto shift_levid: all {} audited levels within underflow threshold {:.1}% — \
+                 FP16 throughout",
+                self.per_level.len(),
+                self.threshold * 100.0
+            )
+        } else {
+            write!(
+                f,
+                "auto shift_levid = {}: level {} underflow loss {:.2}% exceeds threshold {:.1}%",
+                self.chosen,
+                self.chosen,
+                self.per_level
+                    .get(self.chosen)
+                    .map(|a| a.underflow_loss_fraction() * 100.0)
+                    .unwrap_or(f64::NAN),
+                self.threshold * 100.0
+            )
+        }
+    }
 }
 
 /// The FP16-capable structured multigrid preconditioner.
@@ -217,6 +286,7 @@ impl<Pr: Scalar> Mg<Pr> {
         if a.grid().components > 8 {
             return Err(SetupError::TooManyComponents);
         }
+        let mut config = config.clone();
 
         // --- Galerkin chain in f64 (lines 1–3). ---
         let mut chain: Vec<SgDia<f64>> = Vec::new();
@@ -227,7 +297,11 @@ impl<Pr: Scalar> Mg<Pr> {
             // before the triple-product chain sees it.
             let fp16_max = fp16mg_fp::F16::MAX_F64;
             let sv = scaling::scale_symmetric::<Pr>(&mut finest, config.g_choice, fp16_max)
-                .map_err(|u| SetupError::NonPositiveDiagonal { level: 0, unknown: u })?;
+                .map_err(|e| SetupError::NonPositiveDiagonal {
+                    level: 0,
+                    unknown: e.unknown(),
+                    value: e.value(),
+                })?;
             finest_scale = Some(sv);
         }
         chain.push(finest);
@@ -244,14 +318,23 @@ impl<Pr: Scalar> Mg<Pr> {
             chain.push(galerkin_rap_axes(last, axes));
         }
 
-        // --- Per-level scale-and-truncate (lines 4–14). ---
+        // --- Adaptive shift_levid: audit the chain, pick the switch. ---
         let nlev = chain.len();
+        let mut shift_decision = None;
+        if let StoragePolicy::AutoShift { coarse, max_underflow } = config.storage {
+            let decision = resolve_auto_shift(&chain, &config, max_underflow);
+            config.storage = StoragePolicy::Fp16Until { shift_levid: decision.chosen, coarse };
+            shift_decision = Some(decision);
+        }
+
+        // --- Per-level scale-and-truncate (lines 4–14). ---
         let mut levels = Vec::with_capacity(nlev.saturating_sub(1));
         let mut sources = Vec::with_capacity(nlev.saturating_sub(1));
         let mut infos = Vec::with_capacity(nlev);
         for (i, ai) in chain.iter().enumerate().take(nlev - 1) {
             let prec = config.storage.precision_for(i);
-            let (stored, scale, dinv, ilu, cheb) = build_level(ai, prec, config, i)?;
+            let parts = build_level(ai, prec, &config, i)?;
+            let LevelParts { stored, scale, dinv, ilu, cheb, audit, g_clamped_from } = parts;
             // Retain promotion material for the narrow levels: the
             // unscaled operator in FP32 is exact enough to rebuild the
             // level at FP32 and costs 2× the FP16 level it insures.
@@ -267,6 +350,8 @@ impl<Pr: Scalar> Mg<Pr> {
                 g: scale.as_ref().map(|s: &ScaleVectors<Pr>| s.g),
                 finite: stored.all_finite(),
                 value_bytes: stored.value_bytes(),
+                audit: Some(audit),
+                g_clamped_from,
             });
             levels.push(Level::new(*ai.grid(), stored, scale, dinv, ilu, cheb, config.par));
         }
@@ -285,7 +370,15 @@ impl<Pr: Scalar> Mg<Pr> {
             g: None,
             finite: true,
             value_bytes: coarsest.value_bytes(),
+            audit: None,
+            g_clamped_from: None,
         });
+
+        // ScaleThenSetup applies its single scaling before `build_level`
+        // ever runs, so its G clamp must be surfaced here instead.
+        if let (Some(sv), Some(info0)) = (&finest_scale, infos.first_mut()) {
+            info0.g_clamped_from = sv.g_clamped_from;
+        }
 
         let n0 = infos[0].unknowns as f64;
         let z0 = infos[0].nnz as f64;
@@ -295,6 +388,7 @@ impl<Pr: Scalar> Mg<Pr> {
             matrix_bytes: infos.iter().take(nlev - 1).map(|l| l.value_bytes).sum(),
             levels: infos,
             promotions: Vec::new(),
+            shift_decision,
         };
 
         Ok(Mg {
@@ -306,7 +400,7 @@ impl<Pr: Scalar> Mg<Pr> {
             coarse_x64: vec![0.0; cn],
             coarse_s64: vec![0.0; cn],
             finest_scale,
-            config: config.clone(),
+            config,
             info,
             cycles: Arc::new(AtomicUsize::new(0)),
         })
@@ -584,7 +678,7 @@ impl<Pr: Scalar> Mg<Pr> {
                 return None;
             }
         };
-        let (stored, scale, dinv, ilu, cheb) = parts;
+        let LevelParts { stored, scale, dinv, ilu, cheb, audit, g_clamped_from } = parts;
         let event = PromotionEvent { level, from, to: stored.precision(), reason, corrupt_entries };
         let info = &mut self.info.levels[level];
         info.precision = stored.precision();
@@ -592,6 +686,8 @@ impl<Pr: Scalar> Mg<Pr> {
         info.g = scale.as_ref().map(|s: &ScaleVectors<Pr>| s.g);
         info.finite = stored.all_finite();
         info.value_bytes = stored.value_bytes();
+        info.audit = Some(audit);
+        info.g_clamped_from = g_clamped_from;
         let l = &mut self.levels[level];
         l.stored = stored;
         l.scale = scale;
@@ -645,15 +741,36 @@ fn select_axes(a: &SgDia<f64>, policy: Coarsening) -> (bool, bool, bool) {
     }
 }
 
-/// Builds one level's stored matrix, scale vectors, and smoother data
-/// (Algorithm 1 lines 5–13).
-type LevelParts<Pr> = (
-    StoredMatrix,
-    Option<ScaleVectors<Pr>>,
-    BlockDiagInv<Pr>,
-    Option<(StoredMatrix, StoredMatrix)>,
-    Option<f64>,
-);
+/// One level's stored matrix, scale vectors, smoother data, and
+/// truncation audit (Algorithm 1 lines 5–13).
+struct LevelParts<Pr: Scalar> {
+    stored: StoredMatrix,
+    scale: Option<ScaleVectors<Pr>>,
+    dinv: BlockDiagInv<Pr>,
+    ilu: Option<(StoredMatrix, StoredMatrix)>,
+    cheb: Option<f64>,
+    /// Audit of the matrix actually truncated (post-scaling when the
+    /// level was scaled) against the precision actually used.
+    audit: RangeAudit,
+    g_clamped_from: Option<f64>,
+}
+
+/// Truncates one level's matrix under the configured policy — except for
+/// the `ScaleStrategy::None` ablation, which deliberately keeps the
+/// unguarded IEEE conversion (overflow to ±∞) so the `K64P32D16-none`
+/// failure mode of Fig. 6 stays reproducible.
+fn truncate_level(
+    a: &SgDia<f64>,
+    prec: Precision,
+    config: &MgConfig,
+    level: usize,
+) -> Result<StoredMatrix, SetupError> {
+    if config.scale == ScaleStrategy::None {
+        return Ok(StoredMatrix::truncate(a, prec, config.layout));
+    }
+    StoredMatrix::truncate_policy(a, prec, config.layout, config.truncation)
+        .map_err(|error| SetupError::Truncation { level, error })
+}
 
 fn build_level<Pr: Scalar>(
     ai: &SgDia<f64>,
@@ -672,10 +789,20 @@ fn build_level<Pr: Scalar>(
             Ok(sv) => {
                 let dinv = BlockDiagInv::from_matrix(&scaled)
                     .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
-                let stored = StoredMatrix::truncate(&scaled, prec, config.layout);
+                let audit = audit::audit(&scaled, prec);
+                let stored = truncate_level(&scaled, prec, config, level)?;
                 let ilu = build_ilu(&scaled, prec, config, level)?;
                 let cheb = estimate_lambda_if_cheb(&scaled, config);
-                return Ok((stored, Some(sv), dinv, ilu, cheb));
+                let g_clamped_from = sv.g_clamped_from;
+                return Ok(LevelParts {
+                    stored,
+                    scale: Some(sv),
+                    dinv,
+                    ilu,
+                    cheb,
+                    audit,
+                    g_clamped_from,
+                });
             }
             Err(_) => {
                 // Theorem 4.1 requires positive diagonals; deep Galerkin
@@ -689,10 +816,19 @@ fn build_level<Pr: Scalar>(
                     if max < Precision::F32.finite_max() { Precision::F32 } else { Precision::F64 };
                 let dinv = BlockDiagInv::from_matrix(ai)
                     .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
-                let stored = StoredMatrix::truncate(ai, fallback, config.layout);
+                let audit = audit::audit(ai, fallback);
+                let stored = truncate_level(ai, fallback, config, level)?;
                 let ilu = build_ilu(ai, fallback, config, level)?;
                 let cheb = estimate_lambda_if_cheb(ai, config);
-                return Ok((stored, None, dinv, ilu, cheb));
+                return Ok(LevelParts {
+                    stored,
+                    scale: None,
+                    dinv,
+                    ilu,
+                    cheb,
+                    audit,
+                    g_clamped_from: None,
+                });
             }
         }
     }
@@ -703,11 +839,67 @@ fn build_level<Pr: Scalar>(
         // (line 13).
         let dinv = BlockDiagInv::from_matrix(ai)
             .map_err(|c| SetupError::SingularDiagonalBlock { level, cell: c })?;
-        let stored = StoredMatrix::truncate(ai, prec, config.layout);
+        let audit = audit::audit(ai, prec);
+        let stored = truncate_level(ai, prec, config, level)?;
         let ilu = build_ilu(ai, prec, config, level)?;
         let cheb = estimate_lambda_if_cheb(ai, config);
-        Ok((stored, None, dinv, ilu, cheb))
+        Ok(LevelParts { stored, scale: None, dinv, ilu, cheb, audit, g_clamped_from: None })
     }
+}
+
+/// Resolves `StoragePolicy::AutoShift` against the actual Galerkin chain:
+/// audits each smoothed level's FP16 truncation (post-scaling, exactly as
+/// the store path would perform it) and picks the first level whose
+/// underflow-loss fraction exceeds `max_underflow` — or whose truncation
+/// would saturate, or whose scaling prerequisite fails — as the switch to
+/// the coarse precision. Returns `usize::MAX` (all-FP16) when every level
+/// passes.
+fn resolve_auto_shift(
+    chain: &[SgDia<f64>],
+    config: &MgConfig,
+    max_underflow: f64,
+) -> ShiftDecision {
+    let mut per_level = Vec::new();
+    let mut chosen = usize::MAX;
+    for (i, ai) in chain.iter().enumerate().take(chain.len().saturating_sub(1)) {
+        let prec = Precision::F16;
+        let needs_scale = {
+            let (max, nonfinite) = ai.abs_max();
+            nonfinite || max >= prec.finite_max()
+        };
+        let a = if config.scale == ScaleStrategy::SetupThenScale && needs_scale {
+            let mut scaled = ai.clone();
+            match scaling::scale_symmetric::<f64>(&mut scaled, config.g_choice, prec.finite_max()) {
+                Ok(_) => Some(scaled),
+                // Scaling impossible (non-positive diagonal): FP16 cannot
+                // hold this level safely, so the switch point is here.
+                Err(_) => None,
+            }
+        } else {
+            Some(ai.clone())
+        };
+        match a {
+            Some(a) => {
+                let lv = audit::audit(&a, prec);
+                let bad = lv.saturate > 0
+                    || lv.source_non_finite > 0
+                    || lv.underflow_loss_fraction() > max_underflow;
+                per_level.push(lv);
+                if bad {
+                    chosen = i;
+                    break;
+                }
+            }
+            None => {
+                // Audit the unscaled matrix for the record: it shows the
+                // saturation that made the level unscalable-to-FP16.
+                per_level.push(audit::audit(ai, prec));
+                chosen = i;
+                break;
+            }
+        }
+    }
+    ShiftDecision { chosen, threshold: max_underflow, per_level }
 }
 
 /// Upper bound on `λmax(D⁻¹A)` for the Chebyshev smoother: the

@@ -39,7 +39,10 @@ pub use config::{
     Coarsening, ConfigError, Cycle, MgConfig, RecoveryPolicy, ScaleStrategy, SmootherKind,
     StoragePolicy,
 };
-pub use hierarchy::{LevelInfo, Mg, MgInfo, PromotionEvent, PromotionReason, SetupError};
+pub use fp16mg_sgdia::audit::{RangeAudit, TruncationError, TruncationPolicy};
+pub use hierarchy::{
+    LevelInfo, Mg, MgInfo, PromotionEvent, PromotionReason, SetupError, ShiftDecision,
+};
 pub use ops::MatOp;
 pub use smoother::{DenseLu, FactorError};
 pub use stored::StoredMatrix;

@@ -8,6 +8,7 @@
 
 use fp16mg_fp::{Bf16, Precision, Scalar, F16};
 use fp16mg_grid::Grid3;
+use fp16mg_sgdia::audit::{truncate_with_policy, TruncationError, TruncationPolicy};
 use fp16mg_sgdia::kernels::{self, BlockDiagInv, Par};
 use fp16mg_sgdia::{Layout, SgDia};
 use fp16mg_stencil::Pattern;
@@ -47,6 +48,31 @@ impl StoredMatrix {
             Precision::F16 => StoredMatrix::F16(a.convert()),
             Precision::BF16 => StoredMatrix::BF16(a.convert()),
         }
+    }
+
+    /// Truncates under a [`TruncationPolicy`]: the production store path.
+    /// Unlike [`StoredMatrix::truncate`] (plain IEEE semantics, overflow
+    /// to ±∞ — retained for the `ScaleStrategy::None` ablation, which
+    /// *studies* that failure), out-of-range entries are rejected with a
+    /// typed error, clamped to the largest finite value, or flushed,
+    /// per the policy.
+    ///
+    /// # Errors
+    /// [`TruncationError`] under [`TruncationPolicy::Reject`] when an
+    /// entry cannot be stored finitely.
+    pub fn truncate_policy(
+        a: &SgDia<f64>,
+        precision: Precision,
+        layout: Layout,
+        policy: TruncationPolicy,
+    ) -> Result<Self, TruncationError> {
+        let a = a.to_layout(layout);
+        Ok(match precision {
+            Precision::F64 => StoredMatrix::F64(truncate_with_policy(&a, policy)?),
+            Precision::F32 => StoredMatrix::F32(truncate_with_policy(&a, policy)?),
+            Precision::F16 => StoredMatrix::F16(truncate_with_policy(&a, policy)?),
+            Precision::BF16 => StoredMatrix::BF16(truncate_with_policy(&a, policy)?),
+        })
     }
 
     /// The storage precision tag.

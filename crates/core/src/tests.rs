@@ -935,3 +935,235 @@ mod recovery {
         assert!(mg.promotions().is_empty());
     }
 }
+
+mod audit_and_autoshift {
+    use super::*;
+    use crate::{
+        ConfigError, RangeAudit, SetupError, ShiftDecision, TruncationError, TruncationPolicy,
+    };
+    use fp16mg_sgdia::scaling::GChoice;
+
+    /// Two weakly coupled diffusion components: intra-component 7-point
+    /// Laplacians of magnitude `s`, plus a tiny same-cell inter-component
+    /// coupling. Prolongation acts componentwise, so Galerkin coarsening
+    /// can never smear the weak channel into the strong one — and RAP
+    /// growth (~4x per level) pushes the hierarchy across FP16_MAX at an
+    /// interior level, where scaling kicks in and the weak channel drops
+    /// below the FP16 normal range.
+    fn weakly_coupled_components(n: usize, s: f64) -> SgDia<f64> {
+        let grid = Grid3::with_components(n, n, n, 2);
+        let pat = Pattern::p7().with_components(2);
+        let taps: Vec<_> = pat.taps().to_vec();
+        SgDia::from_fn(grid, pat, Layout::Soa, |_, _, _, _, t| {
+            let tap = taps[t];
+            if tap.is_diagonal() {
+                6.05 * s
+            } else if tap.dx == 0 && tap.dy == 0 && tap.dz == 0 {
+                -1.0e-5 * s
+            } else if tap.cin == tap.cout {
+                -s
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn precision_for_edge_cases() {
+        // shift_levid = 0: no level qualifies for FP16.
+        let p = StoragePolicy::Fp16Until { shift_levid: 0, coarse: Precision::F32 };
+        assert_eq!(p.precision_for(0), Precision::F32);
+        assert_eq!(p.precision_for(7), Precision::F32);
+        // usize::MAX: the documented all-FP16 sentinel.
+        let p = StoragePolicy::Fp16Until { shift_levid: usize::MAX, coarse: Precision::F32 };
+        assert_eq!(p.precision_for(0), Precision::F16);
+        assert_eq!(p.precision_for(usize::MAX - 1), Precision::F16);
+        // shift_levid == max_levels is valid (every smoothed level is FP16).
+        let cfg = MgConfig {
+            storage: StoragePolicy::Fp16Until { shift_levid: 10, coarse: Precision::F32 },
+            max_levels: 10,
+            ..MgConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        // AutoShift resolves during setup; before that it reads as FP16.
+        let p = StoragePolicy::AutoShift { coarse: Precision::F32, max_underflow: 0.05 };
+        assert_eq!(p.precision_for(0), Precision::F16);
+        assert_eq!(p.precision_for(9), Precision::F16);
+    }
+
+    #[test]
+    fn d16_auto_validates_and_rejects_bad_thresholds() {
+        assert!(MgConfig::d16_auto().validate().is_ok());
+        for t in [-0.1, 1.5, f64::NAN] {
+            let cfg = MgConfig {
+                storage: StoragePolicy::AutoShift { coarse: Precision::F32, max_underflow: t },
+                ..MgConfig::default()
+            };
+            match cfg.validate() {
+                Err(ConfigError::InvalidUnderflowThreshold { .. }) => {}
+                other => panic!("threshold {t}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn auto_shift_keeps_benign_problem_all_fp16() {
+        let a = laplacian(Grid3::cube(16), Pattern::p7(), 1.0);
+        let mg = Mg::<f32>::setup(&a, &MgConfig::d16_auto()).unwrap();
+        let info = mg.info();
+        let ShiftDecision { chosen, threshold, ref per_level } =
+            *info.shift_decision.as_ref().expect("AutoShift must record its decision");
+        assert_eq!(chosen, usize::MAX, "benign problem must stay all-FP16");
+        assert_eq!(threshold, 0.05);
+        assert_eq!(per_level.len(), info.levels.len() - 1, "every smoothed level audited");
+        for l in &info.levels[..info.levels.len() - 1] {
+            assert_eq!(l.precision, Precision::F16);
+        }
+    }
+
+    #[test]
+    fn auto_shift_switches_at_level_zero_when_finest_underflows() {
+        // Every coupling sits below the FP16 normal range: the audit must
+        // move the entire hierarchy to the coarse precision.
+        let a = laplacian(Grid3::cube(16), Pattern::p7(), 1.0e-8);
+        let mg = Mg::<f32>::setup(&a, &MgConfig::d16_auto()).unwrap();
+        let info = mg.info();
+        let d = info.shift_decision.as_ref().unwrap();
+        assert_eq!(d.chosen, 0);
+        assert!(d.per_level[0].underflow_loss_fraction() > 0.99);
+        for l in &info.levels[..info.levels.len() - 1] {
+            assert_eq!(l.precision, Precision::F32);
+        }
+    }
+
+    #[test]
+    fn auto_shift_picks_interior_level_on_weakly_coupled_components() {
+        // Finest level: in FP16 range unscaled, weak channel well above
+        // the subnormal cutoff - clean audit. Level 1: RAP growth crosses
+        // FP16_MAX, scaling normalizes the diagonal to G and the weak
+        // inter-component entries land deep in the subnormal range (~50%
+        // of the nonzeros). AutoShift must switch exactly there.
+        let a = weakly_coupled_components(32, 4.0e3);
+        let mg = Mg::<f32>::setup(&a, &MgConfig::d16_auto()).unwrap();
+        let info = mg.info();
+        let d = info.shift_decision.as_ref().unwrap();
+        assert_eq!(d.chosen, 1, "expected the switch at the first scaled level");
+        assert!(d.per_level[0].underflow_loss_fraction() <= 0.05);
+        assert!(d.per_level[1].underflow_loss_fraction() > 0.05, "{}", d.per_level[1]);
+        assert_eq!(d.per_level.len(), 2, "audit stops at the switch level");
+        for (i, l) in info.levels[..info.levels.len() - 1].iter().enumerate() {
+            let want = if i < 1 { Precision::F16 } else { Precision::F32 };
+            assert_eq!(l.precision, want, "level {i}");
+        }
+        // The decision is explainable to a log reader.
+        let msg = d.to_string();
+        assert!(msg.contains("shift_levid = 1"), "{msg}");
+        // The resolved hierarchy still converges.
+        let op = MatOp::new(&a, Par::Seq);
+        let b = rhs(a.rows());
+        let mut x = vec![0.0f64; a.rows()];
+        let mut mg = mg;
+        let res = richardson(&op, &mut mg, &b, &mut x, &SolveOptions::default());
+        assert!(res.converged(), "{res:?}");
+    }
+
+    #[test]
+    fn setup_records_g_clamp_in_info() {
+        // The diagonal's own ratio pins G_max at S = FP16_MAX, so the
+        // oversized Fixed request is clamped to S/2 — recorded, and
+        // provably unable to saturate anything.
+        let grid = Grid3::cube(8);
+        let pat = Pattern::p7();
+        let taps: Vec<_> = pat.taps().to_vec();
+        let a = SgDia::<f64>::from_fn(grid, pat, Layout::Soa, |_, _, _, _, t| {
+            if taps[t].is_diagonal() {
+                2.0e8
+            } else {
+                -1.0e8
+            }
+        });
+        let cfg = MgConfig { g_choice: GChoice::Fixed(1.0e6), ..MgConfig::d16() };
+        let mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+        let l0 = &mg.info().levels[0];
+        assert!(l0.scaled);
+        assert_eq!(l0.g_clamped_from, Some(1.0e6), "clamp must be recorded");
+        assert!(l0.g.unwrap() < 1.0e6);
+        let audit = l0.audit.as_ref().unwrap();
+        assert!(audit.overflow_free(), "{audit}");
+        // Auto never clamps.
+        let mg = Mg::<f32>::setup(&a, &MgConfig::d16()).unwrap();
+        assert_eq!(mg.info().levels[0].g_clamped_from, None);
+    }
+
+    /// Scale-then-setup with G pushed near its clamp: the finest level is
+    /// in range by construction, but Galerkin coarsening regrows the
+    /// entries (the Fig. 6 failure mode) until a coarse level saturates.
+    fn scale_then_setup_drift_cfg() -> (SgDia<f64>, MgConfig) {
+        let a = laplacian(Grid3::cube(32), Pattern::p7(), 1.0);
+        let cfg = MgConfig {
+            scale: ScaleStrategy::ScaleThenSetup,
+            g_choice: GChoice::Fixed(3.2e4),
+            ..MgConfig::d16()
+        };
+        (a, cfg)
+    }
+
+    #[test]
+    fn reject_policy_turns_saturation_into_typed_error() {
+        let (a, cfg) = scale_then_setup_drift_cfg();
+        let cfg = MgConfig { truncation: TruncationPolicy::Reject, ..cfg };
+        match Mg::<f32>::setup(&a, &cfg) {
+            Err(SetupError::Truncation { level, error: TruncationError::Saturation { .. } }) => {
+                assert!(level >= 1, "drift saturates a coarse level, got level {level}");
+            }
+            Err(other) => panic!("expected a coarse-level saturation rejection, got {other:?}"),
+            Ok(_) => panic!("expected a coarse-level saturation rejection, got Ok"),
+        }
+    }
+
+    #[test]
+    fn saturate_policy_clamps_and_audits_the_same_overflow() {
+        // The same drifting setup under the default Saturate policy: setup
+        // succeeds, every stored level stays finite (clamped, not inf),
+        // and the audit records the saturation instead of hiding it.
+        let (a, cfg) = scale_then_setup_drift_cfg();
+        let mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+        let info = mg.info();
+        let mut saturated = 0u64;
+        for l in &info.levels[..info.levels.len() - 1] {
+            assert!(l.finite, "Saturate must clamp, not overflow");
+            let audit: &RangeAudit = l.audit.as_ref().unwrap();
+            saturated += audit.saturate;
+        }
+        assert!(saturated > 0, "drift must be visible in some level's audit");
+    }
+
+    #[test]
+    fn reject_policy_accepts_theorem_scaled_out_of_range_problem() {
+        // The flip side of Theorem 4.1: with setup-then-scale, even a
+        // problem 1e8x out of FP16 range truncates without a single
+        // saturating entry, so Reject lets it through.
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0e8);
+        let cfg = MgConfig { truncation: TruncationPolicy::Reject, ..MgConfig::d16() };
+        let mg = Mg::<f32>::setup(&a, &cfg).unwrap();
+        let info = mg.info();
+        assert!(info.levels[0].scaled);
+        for l in &info.levels[..info.levels.len() - 1] {
+            let audit = l.audit.as_ref().unwrap();
+            assert!(audit.overflow_free(), "{audit}");
+            assert!(audit.headroom < 1.0);
+        }
+    }
+
+    #[test]
+    fn setup_error_display_names_the_failing_level() {
+        let err = SetupError::Truncation {
+            level: 2,
+            error: TruncationError::Saturation { cell: 5, tap: 1, value: 1.0e9, limit: 65504.0 },
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("level 2"), "{msg}");
+        assert!(msg.contains("cell 5"), "{msg}");
+        assert!(msg.contains("6.5504e4"), "{msg}");
+    }
+}

@@ -138,6 +138,15 @@ pub trait Storage: Copy + Clone + Default + core::fmt::Debug + Send + Sync + 'st
     /// Largest finite magnitude representable, or `None` if the range is
     /// that of `f32`/`f64` and overflow is not a practical concern.
     const FINITE_MAX: Option<f64>;
+    /// Largest finite magnitude, as an `f64` (always the actual bound —
+    /// unlike [`Storage::FINITE_MAX`], which is `None` for the wide
+    /// formats). Used by the precision audit and the saturating
+    /// truncation policies, where the exact range matters for every
+    /// format.
+    const MAX_FINITE: f64;
+    /// Smallest positive *normal* magnitude: the underflow edge below
+    /// which stored values lose mantissa bits (subnormal) or vanish.
+    const MIN_POSITIVE_NORMAL: f64;
 
     /// Truncates from `f64` (round-to-nearest-even, overflow to ±∞).
     fn store_f64(x: f64) -> Self;
@@ -158,6 +167,8 @@ impl Storage for f64 {
     const BYTES: usize = 8;
     const NAME: &'static str = "64";
     const FINITE_MAX: Option<f64> = None;
+    const MAX_FINITE: f64 = f64::MAX;
+    const MIN_POSITIVE_NORMAL: f64 = f64::MIN_POSITIVE;
 
     #[inline(always)]
     fn store_f64(x: f64) -> Self {
@@ -189,6 +200,8 @@ impl Storage for f32 {
     const BYTES: usize = 4;
     const NAME: &'static str = "32";
     const FINITE_MAX: Option<f64> = None;
+    const MAX_FINITE: f64 = f32::MAX as f64;
+    const MIN_POSITIVE_NORMAL: f64 = f32::MIN_POSITIVE as f64;
 
     #[inline(always)]
     fn store_f64(x: f64) -> Self {
@@ -220,6 +233,8 @@ impl Storage for F16 {
     const BYTES: usize = 2;
     const NAME: &'static str = "16";
     const FINITE_MAX: Option<f64> = Some(F16::MAX_F64);
+    const MAX_FINITE: f64 = F16::MAX_F64;
+    const MIN_POSITIVE_NORMAL: f64 = F16::MIN_POSITIVE_F64;
 
     #[inline(always)]
     fn store_f64(x: f64) -> Self {
@@ -251,6 +266,8 @@ impl Storage for Bf16 {
     const BYTES: usize = 2;
     const NAME: &'static str = "b16";
     const FINITE_MAX: Option<f64> = Some(3.3895313892515355e38);
+    const MAX_FINITE: f64 = 3.3895313892515355e38;
+    const MIN_POSITIVE_NORMAL: f64 = 1.1754943508222875e-38;
 
     #[inline(always)]
     fn store_f64(x: f64) -> Self {
@@ -310,6 +327,30 @@ impl Precision {
             Precision::F32 => f32::MAX as f64,
             Precision::F16 => F16::MAX_F64,
             Precision::BF16 => 3.3895313892515355e38,
+        }
+    }
+
+    /// Smallest positive normal magnitude — the underflow edge of the
+    /// format, below which entries degrade to subnormals or flush to
+    /// zero (§4.3's coarse-level failure mode).
+    pub const fn min_positive_normal(self) -> f64 {
+        match self {
+            Precision::F64 => f64::MIN_POSITIVE,
+            Precision::F32 => f32::MIN_POSITIVE as f64,
+            Precision::F16 => F16::MIN_POSITIVE_F64,
+            Precision::BF16 => 1.1754943508222875e-38,
+        }
+    }
+
+    /// Unit roundoff `u = 2^-(p)` (half an ulp at 1.0): the expected
+    /// relative truncation error for in-range values. Used to convert the
+    /// audit's relative-error figures into ulp counts.
+    pub const fn unit_roundoff(self) -> f64 {
+        match self {
+            Precision::F64 => 1.1102230246251565e-16, // 2^-53
+            Precision::F32 => 5.960464477539063e-8,   // 2^-24
+            Precision::F16 => 4.8828125e-4,           // 2^-11
+            Precision::BF16 => 3.90625e-3,            // 2^-8
         }
     }
 

@@ -25,7 +25,9 @@
 
 use std::time::{Duration, Instant};
 
-use fp16mg_core::{MatOp, Mg, MgConfig, PromotionReason, RecoveryPolicy, StoragePolicy};
+use fp16mg_core::{
+    MatOp, Mg, MgConfig, PromotionReason, RangeAudit, RecoveryPolicy, StoragePolicy,
+};
 use fp16mg_fp::{Precision, Scalar};
 use fp16mg_krylov::{
     bicgstab_ctl, cg_ctl, gmres_ctl, richardson_ctl, SolveError, SolveOptions, SolveResult,
@@ -101,6 +103,19 @@ pub struct RetryPolicy {
     pub jitter: f64,
     /// Seed for the jitter stream (equal seeds reproduce equal jitter).
     pub seed: u64,
+    /// Consult the precision audit before the first attempt: when the
+    /// rung-0 hierarchy's own setup audit already shows a 16-bit level
+    /// saturating or losing more than [`RetryPolicy::audit_max_underflow`]
+    /// of its couplings, the mixed-precision attempt is *known* doomed —
+    /// the ladder starts directly at [`Rung::PromoteNarrow`] instead of
+    /// burning rung-0 retries on it. The evidence lands in
+    /// [`RetryReport::audit`].
+    pub audit_gate: bool,
+    /// Underflow-loss fraction above which the audit gate declares a
+    /// 16-bit level doomed. Deliberately looser than a typical `AutoShift`
+    /// threshold: the gate only skips work that the audit says cannot
+    /// succeed, it does not tune precision.
+    pub audit_max_underflow: f64,
 }
 
 impl Default for RetryPolicy {
@@ -112,6 +127,8 @@ impl Default for RetryPolicy {
             max_backoff: Duration::from_millis(50),
             jitter: 0.5,
             seed: 0x5eed_f16a_11ad_de21,
+            audit_gate: true,
+            audit_max_underflow: 0.25,
         }
     }
 }
@@ -246,11 +263,27 @@ pub struct Attempt {
     pub seconds: f64,
 }
 
+/// The precision-audit evidence a session's gate decision was based on.
+#[derive(Clone, Debug, Default)]
+pub struct AuditSnapshot {
+    /// `(level, audit)` for every 16-bit-stored level of the rung-0
+    /// hierarchy, finest first.
+    pub levels: Vec<(usize, RangeAudit)>,
+    /// True when the gate skipped [`Rung::Retry`] and started the ladder
+    /// at [`Rung::PromoteNarrow`].
+    pub skipped_retry: bool,
+    /// Human-readable justification when `skipped_retry` is set.
+    pub reason: Option<String>,
+}
+
 /// Every rung taken by a session, in order.
 #[derive(Clone, Debug, Default)]
 pub struct RetryReport {
     /// The attempts, in execution order.
     pub attempts: Vec<Attempt>,
+    /// The pre-solve precision audit, when the gate ran (see
+    /// [`RetryPolicy::audit_gate`]).
+    pub audit: Option<AuditSnapshot>,
 }
 
 impl RetryReport {
@@ -318,7 +351,54 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
     let mut last_rel = f64::NAN;
     let mut global_attempt = 0usize;
 
-    'ladder: for rung in Rung::ALL {
+    // --- Pre-solve audit gate: don't burn retries on a hierarchy whose
+    // own setup audit already shows a doomed 16-bit level. The gate's
+    // build is not wasted — a healthy hierarchy is handed to the first
+    // rung-0 attempt as-is.
+    let mut prebuilt: Option<Mg<f32>> = None;
+    let mut start_rung = 0usize;
+    if req.policy.audit_gate && req.policy.attempts[Rung::Retry.index()] > 0 {
+        if let Ok(mg) = Mg::<f32>::setup(&req.problem.matrix, &req.base) {
+            let levels: Vec<(usize, RangeAudit)> = mg
+                .info()
+                .levels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| matches!(l.precision, Precision::F16 | Precision::BF16))
+                .filter_map(|(i, l)| l.audit.clone().map(|a| (i, a)))
+                .collect();
+            let threshold = req.policy.audit_max_underflow;
+            let doomed = levels.iter().find(|(_, a)| {
+                a.saturate > 0 || a.source_non_finite > 0 || a.underflow_loss_fraction() > threshold
+            });
+            let reason = doomed.map(|(i, a)| {
+                if a.saturate > 0 || a.source_non_finite > 0 {
+                    format!(
+                        "level {i} audit: {} saturating / {} non-finite entries in 16-bit storage",
+                        a.saturate, a.source_non_finite
+                    )
+                } else {
+                    format!(
+                        "level {i} audit: underflow loss {:.1}% exceeds gate threshold {:.1}%",
+                        a.underflow_loss_fraction() * 100.0,
+                        threshold * 100.0
+                    )
+                }
+            });
+            let skipped_retry = reason.is_some();
+            if skipped_retry {
+                start_rung = Rung::PromoteNarrow.index();
+            } else {
+                prebuilt = Some(mg);
+            }
+            report.audit = Some(AuditSnapshot { levels, skipped_retry, reason });
+        }
+        // A setup failure here is not terminal: the first rung-0 attempt
+        // repeats the setup and reports the typed error through the
+        // normal attempt bookkeeping.
+    }
+
+    'ladder: for rung in Rung::ALL.into_iter().skip(start_rung) {
         let mut rung_try = 0usize;
         while rung_try < req.policy.attempts[rung.index()] {
             // Session-level pre-checks: a deadline or cancellation that
@@ -338,7 +418,7 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
             opts.max_iters = iter_cap;
 
             let at0 = Instant::now();
-            let attempt = run_rung_attempt(req, rung, &opts, &mut guard);
+            let attempt = run_rung_attempt(req, rung, &opts, &mut guard, &mut prebuilt);
             let seconds = at0.elapsed().as_secs_f64();
             global_attempt += 1;
             rung_try += 1;
@@ -441,11 +521,17 @@ fn run_rung_attempt(
     rung: Rung,
     opts: &SolveOptions,
     guard: &mut BudgetGuard,
+    prebuilt: &mut Option<Mg<f32>>,
 ) -> Result<(SolveResult, usize, Vec<f64>), SolveError> {
     let setup_err = |e: fp16mg_core::SetupError| SolveError::SetupFailed { message: e.to_string() };
     match rung {
         Rung::Retry => {
-            let mg = Mg::<f32>::setup(&req.problem.matrix, &req.base).map_err(setup_err)?;
+            // The audit gate's healthy build is consumed by the first
+            // attempt; later attempts rebuild fresh.
+            let mg = match prebuilt.take() {
+                Some(mg) => mg,
+                None => Mg::<f32>::setup(&req.problem.matrix, &req.base).map_err(setup_err)?,
+            };
             attempt_with(req, rung, mg, opts, guard)
         }
         Rung::PromoteNarrow => {

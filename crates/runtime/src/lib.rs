@@ -36,8 +36,8 @@ pub use budget::{Budget, BudgetGuard, CancelToken};
 #[cfg(feature = "fault-inject")]
 pub use ladder::FaultPlan;
 pub use ladder::{
-    run_session, Attempt, RetryPolicy, RetryReport, Rung, SessionOutcome, SolveRequest,
-    SolverChoice,
+    run_session, Attempt, AuditSnapshot, RetryPolicy, RetryReport, Rung, SessionOutcome,
+    SolveRequest, SolverChoice,
 };
 pub use pool::{run_batch, RequestOutcome};
 

@@ -314,3 +314,79 @@ mod fault {
         }
     }
 }
+
+mod audit_gate {
+    use super::*;
+    use crate::ladder::AuditSnapshot;
+
+    /// A Laplace problem rescaled so every coefficient sits below the
+    /// FP16 normal range: in-range for the overflow check (so setup never
+    /// scales it) but a guaranteed ~100% underflow loss in F16 storage.
+    fn underflowing_problem(n: usize) -> fp16mg_problems::Problem {
+        let mut p = laplace(n);
+        for v in p.matrix.data_mut() {
+            *v *= 1.0e-8;
+        }
+        p
+    }
+
+    #[test]
+    fn healthy_problem_passes_the_gate_and_stays_on_rung_zero() {
+        let req = SolveRequest::new("gated-clean", laplace(8), MgConfig::d16());
+        let out = run_session(&req);
+        assert!(out.converged());
+        let audit: &AuditSnapshot = out.report.audit.as_ref().expect("gate must record evidence");
+        assert!(!audit.skipped_retry);
+        assert!(audit.reason.is_none());
+        assert!(!audit.levels.is_empty(), "d16 has 16-bit levels to audit");
+        for (_, a) in &audit.levels {
+            assert!(a.overflow_free());
+        }
+        // The gate's build is handed to the first attempt, not discarded:
+        // the session still converges on the first rung with one attempt.
+        assert_eq!(out.report.rung_sequence(), vec![Rung::Retry]);
+    }
+
+    #[test]
+    fn doomed_underflow_starts_ladder_at_promote() {
+        let req = SolveRequest::new("gated-doomed", underflowing_problem(8), MgConfig::d16());
+        let out = run_session(&req);
+        assert!(out.converged(), "promotion must rescue the solve: {:?}", out.result.err());
+        let audit = out.report.audit.as_ref().unwrap();
+        assert!(audit.skipped_retry, "gate must skip the doomed mixed-precision rung");
+        let reason = audit.reason.as_deref().unwrap();
+        assert!(reason.contains("underflow"), "reason: {reason}");
+        assert!(
+            audit.levels.iter().any(|(_, a)| a.underflow_loss_fraction() > 0.9),
+            "evidence must show the underflow that justified the skip"
+        );
+        // No rung-0 attempt was burned.
+        let rungs = out.report.rung_sequence();
+        assert!(!rungs.contains(&Rung::Retry), "rungs: {rungs:?}");
+        assert_eq!(rungs.first(), Some(&Rung::PromoteNarrow));
+    }
+
+    #[test]
+    fn gate_can_be_disabled() {
+        let mut req = SolveRequest::new("ungated", laplace(8), MgConfig::d16());
+        req.policy.audit_gate = false;
+        let out = run_session(&req);
+        assert!(out.converged());
+        assert!(out.report.audit.is_none());
+    }
+
+    #[test]
+    fn gate_respects_a_looser_threshold() {
+        // With the threshold at 1.0 nothing short of saturation is
+        // "doomed": the gate must record the (terrible) audit but still
+        // let rung 0 try.
+        let mut req = SolveRequest::new("loose", underflowing_problem(8), MgConfig::d16());
+        req.policy.audit_max_underflow = 1.0;
+        req.policy.attempts = [1, 1, 1, 1];
+        let out = run_session(&req);
+        let audit = out.report.audit.as_ref().unwrap();
+        assert!(!audit.skipped_retry);
+        let rungs = out.report.rung_sequence();
+        assert_eq!(rungs.first(), Some(&Rung::Retry), "rungs: {rungs:?}");
+    }
+}

@@ -1,0 +1,424 @@
+//! Pre-solve precision audit of the FP16/BF16 truncation pipeline.
+//!
+//! `scale_symmetric` (Theorem 4.1) guarantees that no scaled entry
+//! *overflows* the storage range, but says nothing about the other end:
+//! small off-diagonal couplings can land below the format's normal range
+//! and silently flush to subnormals or to zero — the failure mode the
+//! paper's `shift_levid` guard (§4.3) exists to dodge, and the one the
+//! GPU half-precision GMG literature blames for most FP16 breakdowns.
+//! Until now the first symptom was a downstream Krylov stall.
+//!
+//! This module makes every truncation observable and policy-governed:
+//!
+//! * [`RangeAudit`] — a one-pass report over a high-precision level
+//!   matrix describing exactly what truncation to a target precision
+//!   would do: overflow headroom, underflow-to-zero / subnormal-flush /
+//!   saturation counts, and the relative truncation loss (max and mean,
+//!   convertible to ulps of the target format).
+//! * [`TruncationPolicy`] — what the store path does with entries that
+//!   leave the representable range: refuse ([`TruncationPolicy::Reject`],
+//!   with a typed [`TruncationError`]), clamp to the largest finite value
+//!   ([`TruncationPolicy::Saturate`]), or additionally flush subnormal
+//!   results to exact zeros ([`TruncationPolicy::FlushToZero`] — trading
+//!   a little coupling information for kernels that never touch the slow
+//!   subnormal path).
+//! * [`truncate_with_policy`] — the policy-aware `f64 → D` matrix store,
+//!   replacing the silent IEEE conversion on the production paths.
+//!
+//! The audit runs on the *high-precision source* (before any bits are
+//! lost), so its counts are exact predictions, not post-hoc forensics;
+//! `core` runs it on every scaled level during Galerkin setup and the
+//! runtime's retry ladder consumes it to skip doomed retries.
+
+use fp16mg_fp::{Bf16, NumClass, Precision, Storage, F16};
+
+use crate::SgDia;
+
+/// Out-of-range treatment on the storage truncation path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TruncationPolicy {
+    /// Refuse to store a matrix containing any entry that cannot be
+    /// represented finitely: saturating (or non-finite) entries are a
+    /// typed [`TruncationError`] instead of a silent ±∞. The strictest
+    /// policy — Theorem 4.1 promises it never fires after scaling, and
+    /// the property harness holds it to that.
+    Reject,
+    /// Clamp saturating entries to the format's largest finite magnitude
+    /// (sign preserved), like `vcvtps2ph` with the saturation bit. The
+    /// default: a clamped coupling is an approximation error, a stored
+    /// ±∞ is a guaranteed NaN three kernels later.
+    #[default]
+    Saturate,
+    /// [`TruncationPolicy::Saturate`], plus flush entries whose stored
+    /// value would be subnormal to exact ±0. Subnormal coefficients
+    /// carry ≤ 10 significant bits and can run through slow hardware
+    /// paths; dropping them entirely is the honest version of what the
+    /// arithmetic would do to them anyway.
+    FlushToZero,
+}
+
+impl TruncationPolicy {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TruncationPolicy::Reject => "reject",
+            TruncationPolicy::Saturate => "saturate",
+            TruncationPolicy::FlushToZero => "flush-to-zero",
+        }
+    }
+}
+
+impl core::fmt::Display for TruncationPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A truncation the active [`TruncationPolicy`] refused to perform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TruncationError {
+    /// An entry's magnitude exceeds the target format's finite range, so
+    /// storing it would saturate (or overflow to ±∞).
+    Saturation {
+        /// Grid cell of the offending entry.
+        cell: usize,
+        /// Stencil tap of the offending entry.
+        tap: usize,
+        /// The high-precision source value.
+        value: f64,
+        /// The target format's largest finite magnitude.
+        limit: f64,
+    },
+    /// The high-precision source itself contains ±∞/NaN — nothing any
+    /// storage format can round faithfully.
+    NonFiniteSource {
+        /// Grid cell of the offending entry.
+        cell: usize,
+        /// Stencil tap of the offending entry.
+        tap: usize,
+        /// The non-finite source value.
+        value: f64,
+    },
+}
+
+impl core::fmt::Display for TruncationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TruncationError::Saturation { cell, tap, value, limit } => write!(
+                f,
+                "entry (cell {cell}, tap {tap}) = {value:e} exceeds the storage range ±{limit:e}"
+            ),
+            TruncationError::NonFiniteSource { cell, tap, value } => {
+                write!(f, "source entry (cell {cell}, tap {tap}) is non-finite ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TruncationError {}
+
+/// What truncating one high-precision level to a target precision would
+/// do to its entries — the per-level row of the precision audit.
+#[derive(Clone, Debug)]
+pub struct RangeAudit {
+    /// The storage precision audited against.
+    pub precision: Precision,
+    /// Stored entries examined (structural zeros included).
+    pub entries: u64,
+    /// Entries that are exactly zero in the source (structural padding
+    /// and genuine zeros; they truncate losslessly).
+    pub source_zeros: u64,
+    /// Non-finite entries already present in the source.
+    pub source_non_finite: u64,
+    /// Largest source magnitude.
+    pub abs_max: f64,
+    /// Smallest nonzero source magnitude.
+    pub abs_min_nonzero: f64,
+    /// Overflow headroom `abs_max / MAX_FINITE` of the target format:
+    /// above 1.0 the level saturates; Theorem 4.1 keeps scaled levels
+    /// strictly below 1.0.
+    pub headroom: f64,
+    /// Nonzero source entries that would flush to exactly ±0.
+    pub underflow_zero: u64,
+    /// Nonzero source entries that would land in the subnormal range.
+    pub subnormal: u64,
+    /// Entries whose magnitude saturates the format (rounds to ±∞ under
+    /// plain IEEE truncation).
+    pub saturate: u64,
+    /// Largest relative truncation error over in-range nonzero entries
+    /// (underflowed-to-zero and saturating entries are *counted* above,
+    /// not folded into this figure, so it stays a rounding-loss gauge).
+    pub max_rel_err: f64,
+    /// Mean relative truncation error over the same entries.
+    pub mean_rel_err: f64,
+}
+
+impl RangeAudit {
+    /// Nonzero source entries (the denominator of the loss fractions).
+    pub fn nonzero(&self) -> u64 {
+        self.entries - self.source_zeros
+    }
+
+    /// Fraction of nonzero entries that underflow (to zero *or* to the
+    /// subnormal range) — the gauge behind the `Auto` `shift_levid`
+    /// heuristic: once it crosses the configured threshold, the level is
+    /// better stored in the coarse precision.
+    pub fn underflow_loss_fraction(&self) -> f64 {
+        let nz = self.nonzero();
+        if nz == 0 {
+            0.0
+        } else {
+            (self.underflow_zero + self.subnormal) as f64 / nz as f64
+        }
+    }
+
+    /// True when every entry stores finitely (no saturation, no
+    /// non-finite sources) — the Theorem 4.1 no-overflow invariant.
+    pub fn overflow_free(&self) -> bool {
+        self.saturate == 0 && self.source_non_finite == 0
+    }
+
+    /// Max truncation error expressed in ulps of the target format
+    /// (relative error divided by the format's unit roundoff; ≈ 0.5 ulp
+    /// is the round-to-nearest expectation).
+    pub fn max_ulp(&self) -> f64 {
+        self.max_rel_err / self.precision.unit_roundoff()
+    }
+
+    /// Mean truncation error in ulps of the target format.
+    pub fn mean_ulp(&self) -> f64 {
+        self.mean_rel_err / self.precision.unit_roundoff()
+    }
+}
+
+impl core::fmt::Display for RangeAudit {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: headroom {:.2e}, uflow->0 {}, subnormal {}, saturate {}, \
+             rel err max {:.2e} mean {:.2e}",
+            self.precision.name(),
+            self.headroom,
+            self.underflow_zero,
+            self.subnormal,
+            self.saturate,
+            self.max_rel_err,
+            self.mean_rel_err
+        )
+    }
+}
+
+/// Audits what truncating `a` to `precision` would do, in one pass over
+/// the high-precision data and without materializing the truncation.
+pub fn audit(a: &SgDia<f64>, precision: Precision) -> RangeAudit {
+    match precision {
+        Precision::F64 => audit_as::<f64>(a, precision),
+        Precision::F32 => audit_as::<f32>(a, precision),
+        Precision::F16 => audit_as::<F16>(a, precision),
+        Precision::BF16 => audit_as::<Bf16>(a, precision),
+    }
+}
+
+fn audit_as<T: Storage>(a: &SgDia<f64>, precision: Precision) -> RangeAudit {
+    let mut out = RangeAudit {
+        precision,
+        entries: 0,
+        source_zeros: 0,
+        source_non_finite: 0,
+        abs_max: 0.0,
+        abs_min_nonzero: f64::INFINITY,
+        headroom: 0.0,
+        underflow_zero: 0,
+        subnormal: 0,
+        saturate: 0,
+        max_rel_err: 0.0,
+        mean_rel_err: 0.0,
+    };
+    let mut err_sum = 0.0f64;
+    let mut err_n = 0u64;
+    for &v in a.data() {
+        out.entries += 1;
+        if v == 0.0 {
+            out.source_zeros += 1;
+            continue;
+        }
+        if !v.is_finite() {
+            out.source_non_finite += 1;
+            continue;
+        }
+        let mag = v.abs();
+        out.abs_max = out.abs_max.max(mag);
+        out.abs_min_nonzero = out.abs_min_nonzero.min(mag);
+        let stored = T::store_f64(v);
+        match stored.class() {
+            NumClass::Zero => {
+                out.underflow_zero += 1;
+                continue;
+            }
+            NumClass::Subnormal => out.subnormal += 1,
+            NumClass::Inf | NumClass::Nan => {
+                out.saturate += 1;
+                continue;
+            }
+            NumClass::Normal => {}
+        }
+        let rel = (stored.load_f64() - v).abs() / mag;
+        out.max_rel_err = out.max_rel_err.max(rel);
+        err_sum += rel;
+        err_n += 1;
+    }
+    if out.abs_min_nonzero.is_infinite() {
+        out.abs_min_nonzero = 0.0;
+    }
+    out.headroom = out.abs_max / T::MAX_FINITE;
+    out.mean_rel_err = if err_n == 0 { 0.0 } else { err_sum / err_n as f64 };
+    out
+}
+
+/// Truncates a high-precision matrix into storage format `T` under the
+/// given [`TruncationPolicy`] — the policy-aware replacement for the
+/// silent `SgDia::convert`.
+///
+/// # Errors
+/// [`TruncationError`] under [`TruncationPolicy::Reject`] for the first
+/// saturating or non-finite entry; the clamping policies never fail.
+pub fn truncate_with_policy<T: Storage>(
+    a: &SgDia<f64>,
+    policy: TruncationPolicy,
+) -> Result<SgDia<T>, TruncationError> {
+    let taps = a.pattern().len();
+    let cells = a.grid().cells();
+    let mut out = SgDia::<T>::zeros(*a.grid(), a.pattern().clone(), a.layout());
+    for cell in 0..cells {
+        for tap in 0..taps {
+            let v = a.get(cell, tap);
+            let stored = store_policy::<T>(v, policy).map_err(|kind| match kind {
+                StoreFail::Saturation => {
+                    TruncationError::Saturation { cell, tap, value: v, limit: T::MAX_FINITE }
+                }
+                StoreFail::NonFinite => TruncationError::NonFiniteSource { cell, tap, value: v },
+            })?;
+            out.set(cell, tap, stored);
+        }
+    }
+    Ok(out)
+}
+
+enum StoreFail {
+    Saturation,
+    NonFinite,
+}
+
+/// Stores one `f64` under a policy. `Err` only under `Reject`.
+#[inline]
+fn store_policy<T: Storage>(v: f64, policy: TruncationPolicy) -> Result<T, StoreFail> {
+    let stored = T::store_f64(v);
+    match stored.class() {
+        NumClass::Normal | NumClass::Zero if v == 0.0 || v.is_finite() => Ok(stored),
+        NumClass::Inf | NumClass::Nan => {
+            if !v.is_finite() {
+                // The source itself is corrupt: clamping would invent a
+                // value, so every policy but plain IEEE refuses — Reject
+                // with a typed error, the others pass the bits through
+                // for the downstream finite-scan to catch.
+                return match policy {
+                    TruncationPolicy::Reject => Err(StoreFail::NonFinite),
+                    _ => Ok(stored),
+                };
+            }
+            match policy {
+                TruncationPolicy::Reject => Err(StoreFail::Saturation),
+                TruncationPolicy::Saturate | TruncationPolicy::FlushToZero => {
+                    Ok(T::store_f64(T::MAX_FINITE.copysign(v)))
+                }
+            }
+        }
+        NumClass::Subnormal => match policy {
+            TruncationPolicy::FlushToZero => Ok(T::store_f64(0.0)),
+            _ => Ok(stored),
+        },
+        // Normal/Zero with a finite source fall through above; this arm
+        // is unreachable but keeps the match exhaustive for the compiler.
+        _ => Ok(stored),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Layout;
+    use fp16mg_grid::Grid3;
+    use fp16mg_stencil::Pattern;
+
+    fn probe(values: [f64; 7]) -> SgDia<f64> {
+        let p = Pattern::p7();
+        let taps: Vec<_> = p.taps().to_vec();
+        let center = taps.iter().position(|t| t.is_diagonal()).unwrap();
+        SgDia::from_fn(Grid3::cube(2), p, Layout::Soa, |_, _, _, _, t| {
+            if t == center {
+                values[0]
+            } else {
+                values[1 + (t + if t >= center { 0 } else { 1 }) % 6]
+            }
+        })
+    }
+
+    #[test]
+    fn audit_counts_and_headroom() {
+        // Center 1.0, off-diagonals pick a spread of f16 fates.
+        let a = probe([1.0, 1.0e5, 1.0e-5, 1.0e-9, 0.5, -2.0, -1.0e6]);
+        let audit = audit(&a, Precision::F16);
+        assert!(audit.saturate > 0, "1e5/1e6 saturate f16");
+        assert!(audit.subnormal > 0, "1e-5 is f16-subnormal");
+        assert!(audit.underflow_zero > 0, "1e-9 flushes to zero in f16");
+        assert!(audit.headroom > 1.0);
+        assert!(!audit.overflow_free());
+        assert!(audit.underflow_loss_fraction() > 0.0);
+        // The same matrix audits clean in f32.
+        let audit32 = super::audit(&a, Precision::F32);
+        assert!(audit32.overflow_free());
+        assert_eq!(audit32.underflow_zero + audit32.subnormal, 0);
+        assert!(audit32.headroom < 1.0);
+        assert!(audit32.max_rel_err <= Precision::F32.unit_roundoff());
+    }
+
+    #[test]
+    fn policy_matrix_outcomes() {
+        let a = probe([1.0, 1.0e5, 1.0e-5, 1.0e-9, 0.5, -2.0, -1.0e6]);
+        // Reject refuses the saturating entry with a typed error.
+        let err = truncate_with_policy::<F16>(&a, TruncationPolicy::Reject).unwrap_err();
+        assert!(matches!(err, TruncationError::Saturation { .. }), "{err}");
+        // Saturate clamps to ±MAX: finite everywhere.
+        let sat = truncate_with_policy::<F16>(&a, TruncationPolicy::Saturate).unwrap();
+        assert!(sat.all_finite());
+        let (mx, nonfinite) = sat.abs_max();
+        assert!(!nonfinite);
+        assert!((mx - F16::MAX_F64).abs() < 1.0);
+        // FlushToZero additionally leaves no subnormals behind.
+        let ftz = truncate_with_policy::<F16>(&a, TruncationPolicy::FlushToZero).unwrap();
+        assert!(ftz.all_finite());
+        let scan = crate::scan::scan(&ftz);
+        assert_eq!(scan.total.subnormal, 0);
+        // The plain IEEE conversion (the old behavior) overflows.
+        assert!(!a.convert::<F16>().all_finite());
+    }
+
+    #[test]
+    fn reject_passes_clean_matrices_bit_for_bit() {
+        let a = probe([6.0, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25]);
+        let ok = truncate_with_policy::<F16>(&a, TruncationPolicy::Reject).unwrap();
+        let plain = a.convert::<F16>();
+        assert_eq!(ok.data().len(), plain.data().len());
+        for (x, y) in ok.data().iter().zip(plain.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn reject_flags_non_finite_source() {
+        let mut a = probe([6.0, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25]);
+        a.set(0, 0, f64::NAN);
+        let err = truncate_with_policy::<F16>(&a, TruncationPolicy::Reject).unwrap_err();
+        assert!(matches!(err, TruncationError::NonFiniteSource { cell: 0, tap: 0, .. }));
+    }
+}

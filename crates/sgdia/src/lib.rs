@@ -34,6 +34,7 @@
 //!   recover-and-rescale vector helpers.
 
 #![warn(missing_docs)]
+pub mod audit;
 pub mod csr;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
@@ -46,6 +47,7 @@ pub mod par;
 pub mod scaling;
 pub mod scan;
 
+pub use audit::{RangeAudit, TruncationError, TruncationPolicy};
 pub use csr::Csr;
 pub use matrix::{Layout, SgDia};
 pub use par::Par;

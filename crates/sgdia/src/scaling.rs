@@ -18,11 +18,76 @@ use fp16mg_fp::{Scalar, Storage};
 
 use crate::SgDia;
 
+/// Why the symmetric scaling of Theorem 4.1 cannot be applied: the
+/// theorem's M-matrix prerequisite (a strictly positive, finite diagonal)
+/// does not hold. Carries the offending unknown *and* its value, so the
+/// caller can report (and the operator can grep logs for) exactly which
+/// coefficient broke the precondition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScalingError {
+    /// A diagonal entry is zero or negative.
+    NonPositiveDiagonal {
+        /// Flat unknown index (cell × components + component).
+        unknown: usize,
+        /// The offending diagonal value.
+        value: f64,
+    },
+    /// A diagonal entry is ±∞ or NaN.
+    NonFiniteDiagonal {
+        /// Flat unknown index.
+        unknown: usize,
+        /// The offending diagonal value.
+        value: f64,
+    },
+}
+
+impl ScalingError {
+    /// Flat index of the offending unknown, whichever the failure.
+    pub fn unknown(self) -> usize {
+        match self {
+            ScalingError::NonPositiveDiagonal { unknown, .. }
+            | ScalingError::NonFiniteDiagonal { unknown, .. } => unknown,
+        }
+    }
+
+    /// The offending diagonal value.
+    pub fn value(self) -> f64 {
+        match self {
+            ScalingError::NonPositiveDiagonal { value, .. }
+            | ScalingError::NonFiniteDiagonal { value, .. } => value,
+        }
+    }
+}
+
+impl core::fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScalingError::NonPositiveDiagonal { unknown, value } => write!(
+                f,
+                "diagonal entry of unknown {unknown} is non-positive ({value:e}); \
+                 Theorem 4.1 requires a positive diagonal"
+            ),
+            ScalingError::NonFiniteDiagonal { unknown, value } => write!(
+                f,
+                "diagonal entry of unknown {unknown} is non-finite ({value}); \
+                 Theorem 4.1 requires a finite diagonal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
 /// The per-level scaling data produced by `setup-then-scale`.
 #[derive(Clone, Debug)]
 pub struct ScaleVectors<P: Scalar> {
     /// The chosen scaling constant `G` (the scaled matrix's diagonal).
     pub g: f64,
+    /// When a user-fixed `G` had to be clamped to `G_max/2` for safety,
+    /// the originally requested value (`None` when the request was honored
+    /// or `G` was chosen automatically). Surfaced in `MgInfo` so the clamp
+    /// is never silent.
+    pub g_clamped_from: Option<f64>,
     /// `√q` per unknown (`q_i = a_ii / G`), the `Q^{1/2}` rescale factors.
     pub s: Vec<P>,
     /// `1/√q` per unknown, the `Q^{-1/2}` factors.
@@ -43,15 +108,19 @@ pub enum GChoice {
 /// Computes `G_max` of Theorem 4.1 for a matrix with positive diagonal.
 ///
 /// # Errors
-/// Returns the offending unknown index if a diagonal entry is
-/// non-positive or non-finite (the M-matrix prerequisite of the theorem).
-pub fn g_max<S: Storage>(a: &SgDia<S>, fp16_max: f64) -> Result<f64, usize> {
+/// [`ScalingError`] identifying the offending unknown and its value if a
+/// diagonal entry is non-positive or non-finite (the M-matrix
+/// prerequisite of the theorem).
+pub fn g_max<S: Storage>(a: &SgDia<S>, fp16_max: f64) -> Result<f64, ScalingError> {
     let grid = a.grid();
     let r = grid.components;
     let diag = a.extract_diagonal();
     for (u, &d) in diag.iter().enumerate() {
-        if !d.is_finite() || d <= 0.0 {
-            return Err(u);
+        if !d.is_finite() {
+            return Err(ScalingError::NonFiniteDiagonal { unknown: u, value: d });
+        }
+        if d <= 0.0 {
+            return Err(ScalingError::NonPositiveDiagonal { unknown: u, value: d });
         }
     }
     let taps: Vec<_> = a.pattern().taps().to_vec();
@@ -106,11 +175,12 @@ pub fn scale_symmetric<P: Scalar>(
     a: &mut SgDia<f64>,
     choice: GChoice,
     fp16_max: f64,
-) -> Result<ScaleVectors<P>, usize> {
+) -> Result<ScaleVectors<P>, ScalingError> {
     let gmax = g_max(a, fp16_max)?;
-    let g = match choice {
-        GChoice::Auto => (gmax / 2.0).min(1.0),
-        GChoice::Fixed(v) => v.min(gmax / 2.0),
+    let (g, g_clamped_from) = match choice {
+        GChoice::Auto => ((gmax / 2.0).min(1.0), None),
+        GChoice::Fixed(v) if v > gmax / 2.0 => (gmax / 2.0, Some(v)),
+        GChoice::Fixed(v) => (v, None),
     };
     assert!(g > 0.0, "non-positive scaling constant G = {g}");
     let diag = a.extract_diagonal();
@@ -133,6 +203,7 @@ pub fn scale_symmetric<P: Scalar>(
     }
     Ok(ScaleVectors {
         g,
+        g_clamped_from,
         s: sinv.iter().map(|&si| P::from_f64(1.0 / si)).collect(),
         s_inv: sinv.iter().map(|&si| P::from_f64(si)).collect(),
     })

@@ -5,7 +5,7 @@
 use fp16mg_fp::{Bf16, Precision, F16};
 use fp16mg_grid::{Grid3, Wavefronts};
 use fp16mg_stencil::Pattern;
-use fp16mg_testkit::check;
+use fp16mg_testkit::{check, check_n};
 
 use crate::kernels::{self, BlockDiagInv, Par};
 use crate::model::{self, Format};
@@ -970,4 +970,250 @@ fn ilu0_on_degenerate_shapes() {
         let bn: f64 = b.iter().map(|&v| v * v).sum::<f64>().sqrt();
         assert!(rn < 0.6 * bn, "{g:?}: {rn} vs {bn}");
     }
+}
+
+// --- Precision-audit property harness -----------------------------------
+//
+// The proptest-style fuzz suite over the FP16 scaling pipeline: 256 cases
+// per property by default (override with PROPTEST_CASES), randomized
+// SPD-ish stencil matrices spanning many decades of magnitude. These are
+// the executable forms of Theorem 4.1 and of the audit/policy contracts.
+
+#[test]
+fn prop_theorem41_invariant_any_g() {
+    use crate::audit::{self, TruncationPolicy};
+    use fp16mg_fp::Precision;
+    // For ANY admissible G (Fixed draws across the admissible range; the
+    // safety clamp to G_max/2 caps larger requests and must RECORD the
+    // clamp), the scaled matrix stores in FP16 with zero saturating
+    // entries — the Theorem 4.1 no-overflow invariant, checked through
+    // the audit, through the Reject policy, and through the plain
+    // conversion.
+    check_n("prop_theorem41_invariant_any_g", 256, |rng| {
+        let seed = rng.next_u64() % 100_000;
+        let pow = rng.usize_range(0, 14) as i32 - 2; // 10^-2 .. 10^11
+        let g3 = Grid3::cube(4);
+        let mut a = random_matrix(g3, Pattern::p7(), Layout::Aos, seed);
+        let factor = 10f64.powi(pow);
+        for v in a.data_mut() {
+            *v *= factor;
+        }
+        let gmax = scaling::g_max(&a, F16::MAX_F64).unwrap();
+        let requested = gmax * rng.f64_range(0.01, 0.6);
+        let mut scaled = a.clone();
+        let sv =
+            scaling::scale_symmetric::<f64>(&mut scaled, GChoice::Fixed(requested), F16::MAX_F64)
+                .unwrap();
+        if requested > gmax / 2.0 {
+            assert_eq!(sv.g_clamped_from, Some(requested), "clamp must be recorded");
+            assert!((sv.g - gmax / 2.0).abs() <= gmax * 1e-12);
+        } else {
+            assert_eq!(sv.g_clamped_from, None);
+            assert_eq!(sv.g, requested);
+        }
+        let lv = audit::audit(&scaled, Precision::F16);
+        assert!(lv.overflow_free(), "Theorem 4.1 violated: {lv}");
+        assert!(lv.headroom < 1.0, "headroom {} must stay below 1", lv.headroom);
+        // Reject must pass a theorem-compliant matrix...
+        assert!(audit::truncate_with_policy::<F16>(&scaled, TruncationPolicy::Reject).is_ok());
+        // ...and the silent conversion agrees.
+        assert!(scaled.convert::<F16>().all_finite());
+    });
+}
+
+#[test]
+fn prop_scale_truncate_recover_roundtrip() {
+    use fp16mg_fp::Storage;
+    // scale → truncate to FP16 → recover (s_row · ã · s_col) loses at
+    // most ~one FP16 ulp relative to the FP64 source, for every entry
+    // whose scaled value stays in the normal range.
+    check_n("prop_scale_truncate_recover_roundtrip", 256, |rng| {
+        let seed = rng.next_u64() % 100_000;
+        let pow = rng.usize_range(0, 10) as i32;
+        let g3 = Grid3::cube(4);
+        let mut a = random_matrix(g3, Pattern::p7(), Layout::Aos, seed);
+        let factor = 10f64.powi(pow);
+        for v in a.data_mut() {
+            *v *= factor;
+        }
+        let mut scaled = a.clone();
+        let sv = scaling::scale_symmetric::<f64>(&mut scaled, GChoice::Auto, F16::MAX_F64).unwrap();
+        let r = g3.components;
+        let taps: Vec<_> = a.pattern().taps().to_vec();
+        for (cell, i, j, k) in g3.iter_cells() {
+            for (t, tap) in taps.iter().enumerate() {
+                if !g3.contains_offset(i, j, k, tap.dx, tap.dy, tap.dz) {
+                    continue;
+                }
+                let orig = a.get(cell, t);
+                if orig == 0.0 {
+                    continue;
+                }
+                let stored = F16::from_f64(scaled.get(cell, t)).to_f64();
+                if stored.abs() < <F16 as Storage>::MIN_POSITIVE_NORMAL {
+                    continue; // subnormal/underflowed: counted by the audit, not bounded here
+                }
+                let nb = (cell as i64 + g3.stride(tap.dx, tap.dy, tap.dz)) as usize;
+                let row = cell * r + tap.cout as usize;
+                let col = nb * r + tap.cin as usize;
+                let recovered = sv.s[row] * stored * sv.s[col];
+                let rel = (recovered - orig).abs() / orig.abs();
+                assert!(
+                    rel <= 1.0e-3,
+                    "round-trip rel err {rel:e} at cell {cell} tap {t} (orig {orig:e})"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn prop_reject_never_passes_saturation() {
+    use crate::audit::{self, TruncationError, TruncationPolicy};
+    use fp16mg_fp::{Precision, Storage};
+    // Plant one out-of-range entry at a random position: Reject MUST
+    // refuse the matrix (if it ever lets a saturating entry through,
+    // this property fails), Saturate must clamp it finitely, FlushToZero
+    // must additionally leave no subnormals, and the audit must have
+    // predicted the saturation.
+    check_n("prop_reject_never_passes_saturation", 256, |rng| {
+        let seed = rng.next_u64() % 100_000;
+        let g3 = Grid3::cube(3);
+        let mut a = random_matrix(g3, Pattern::p7(), Layout::Aos, seed);
+        let cell = rng.usize_range(0, g3.cells());
+        let tap = rng.usize_range(0, a.pattern().len());
+        let magnitude = rng.f64_range(1.1, 1.0e4) * F16::MAX_F64;
+        let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+        a.set(cell, tap, sign * magnitude);
+        let lv = audit::audit(&a, Precision::F16);
+        assert!(lv.saturate >= 1, "audit must predict the planted saturation");
+        assert!(!lv.overflow_free());
+        match audit::truncate_with_policy::<F16>(&a, TruncationPolicy::Reject) {
+            Err(TruncationError::Saturation { value, limit, .. }) => {
+                assert!(value.abs() > limit);
+            }
+            other => panic!("Reject let a saturating entry through: {other:?}"),
+        }
+        let sat = audit::truncate_with_policy::<F16>(&a, TruncationPolicy::Saturate).unwrap();
+        assert!(sat.all_finite());
+        assert!(
+            (sat.get(cell, tap).to_f64() - sign * <F16 as Storage>::MAX_FINITE).abs() < 1.0,
+            "saturating entry must clamp to ±MAX"
+        );
+        let ftz = audit::truncate_with_policy::<F16>(&a, TruncationPolicy::FlushToZero).unwrap();
+        assert!(ftz.all_finite());
+        assert_eq!(crate::scan::scan(&ftz).total.subnormal, 0);
+    });
+}
+
+#[test]
+fn prop_audit_counts_are_exact() {
+    use crate::audit;
+    use fp16mg_fp::{NumClass, Precision, Storage};
+    // The audit's underflow/subnormal/saturate counts must equal what the
+    // plain IEEE conversion actually produces, entry for entry — the
+    // audit is a prediction, not an estimate.
+    check_n("prop_audit_counts_are_exact", 256, |rng| {
+        let g3 = Grid3::cube(3);
+        let p = Pattern::p7();
+        let n_entries = g3.cells() * p.len();
+        let mut a = SgDia::<f64>::zeros(g3, p, Layout::Soa);
+        let values: Vec<f64> = (0..n_entries)
+            .map(|_| {
+                if rng.chance(0.1) {
+                    return 0.0;
+                }
+                let pow = rng.usize_range(0, 22) as i32 - 12; // 10^-12 .. 10^9
+                let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+                sign * rng.f64_range(1.0, 10.0) * 10f64.powi(pow)
+            })
+            .collect();
+        for cell in 0..g3.cells() {
+            for tap in 0..a.pattern().len() {
+                a.set(cell, tap, values[cell * 7 + tap]);
+            }
+        }
+        let lv = audit::audit(&a, Precision::F16);
+        let (mut zeros, mut sub, mut sat, mut src_zero) = (0u64, 0u64, 0u64, 0u64);
+        for &v in a.data() {
+            if v == 0.0 {
+                src_zero += 1;
+                continue;
+            }
+            match F16::from_f64(v).class() {
+                NumClass::Zero => zeros += 1,
+                NumClass::Subnormal => sub += 1,
+                NumClass::Inf | NumClass::Nan => sat += 1,
+                NumClass::Normal => {}
+            }
+        }
+        assert_eq!(lv.entries, n_entries as u64);
+        assert_eq!(lv.source_zeros, src_zero);
+        assert_eq!(lv.underflow_zero, zeros);
+        assert_eq!(lv.subnormal, sub);
+        assert_eq!(lv.saturate, sat);
+        assert_eq!(lv.headroom, lv.abs_max / <F16 as Storage>::MAX_FINITE);
+        assert!(lv.mean_rel_err <= lv.max_rel_err);
+        if lv.subnormal == 0 {
+            // With every surviving entry normal, truncation loss is bounded
+            // by one unit roundoff (Sterbenz-style rounding bound).
+            assert!(lv.max_rel_err <= Precision::F16.unit_roundoff() * 1.0001);
+            assert!(lv.max_ulp() <= 1.0001);
+        } else {
+            // Subnormal survivors suffer gradual-underflow loss: a source
+            // just above half the smallest subnormal rounds up with
+            // relative error approaching (but never reaching) 100%.
+            assert!(lv.max_rel_err < 1.0, "rel err {} >= 1", lv.max_rel_err);
+        }
+    });
+}
+
+// --- Rescale length-check satellites ------------------------------------
+
+#[test]
+#[should_panic(expected = "rescale length mismatch")]
+fn rescale_in_place_rejects_short_scale_vector() {
+    let mut dst = vec![1.0f64; 8];
+    let s = vec![2.0f64; 7];
+    scaling::rescale_in_place(&mut dst, &s);
+}
+
+#[test]
+#[should_panic(expected = "rescale length mismatch")]
+fn rescale_into_rejects_mismatched_lengths() {
+    let src = vec![1.0f64; 8];
+    let s = vec![2.0f64; 8];
+    let mut dst = vec![0.0f64; 6];
+    scaling::rescale_into(&src, &s, &mut dst);
+}
+
+#[test]
+fn scaling_error_carries_index_and_value() {
+    let g3 = Grid3::cube(2);
+    let p = Pattern::p7();
+    let taps: Vec<_> = p.taps().to_vec();
+    let mut a =
+        SgDia::<f64>::from_fn(
+            g3,
+            p,
+            Layout::Aos,
+            |_, _, _, _, t| {
+                if taps[t].is_diagonal() {
+                    4.0
+                } else {
+                    -0.5
+                }
+            },
+        );
+    let dt = a.pattern().diagonal_indices()[0];
+    a.set(3, dt, -7.0);
+    let err = scaling::g_max(&a, F16::MAX_F64).unwrap_err();
+    assert_eq!(err, scaling::ScalingError::NonPositiveDiagonal { unknown: 3, value: -7.0 });
+    assert_eq!(err.unknown(), 3);
+    assert_eq!(err.value(), -7.0);
+    a.set(3, dt, f64::INFINITY);
+    let err = scaling::g_max(&a, F16::MAX_F64).unwrap_err();
+    assert!(matches!(err, scaling::ScalingError::NonFiniteDiagonal { unknown: 3, .. }));
+    // Display names the unknown so logs are actionable.
+    assert!(err.to_string().contains("unknown 3"), "{err}");
 }

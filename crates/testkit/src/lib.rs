@@ -130,15 +130,36 @@ pub fn check_cases(base_seed: u64, cases: u64, mut body: impl FnMut(&mut Rng)) {
     }
 }
 
-/// [`check_cases`] with the default case count (32) and a seed derived from
-/// the property name, so distinct properties explore distinct streams.
+/// The case count to run: the `PROPTEST_CASES` environment variable when
+/// set to a positive integer (the same knob proptest uses, so CI can dial
+/// coverage up in release builds without touching code), else `default`.
+pub fn env_cases(default: u64) -> u64 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.trim().parse::<u64>().ok().filter(|&n| n > 0).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// [`check_cases`] with a named property: the seed derives from the name
+/// (distinct properties explore distinct streams) and the case count is
+/// `default_cases`, overridable via `PROPTEST_CASES`.
+pub fn check_n(name: &str, default_cases: u64, body: impl FnMut(&mut Rng)) {
+    check_cases(name_seed(name), env_cases(default_cases), body);
+}
+
+/// [`check_n`] with the default case count (32).
 pub fn check(name: &str, body: impl FnMut(&mut Rng)) {
-    let mut seed = 0xcbf29ce484222325u64; // FNV-1a over the name
+    check_n(name, 32, body);
+}
+
+/// FNV-1a hash of a property name, the per-property base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut seed = 0xcbf29ce484222325u64;
     for b in name.bytes() {
         seed ^= b as u64;
         seed = seed.wrapping_mul(0x100000001b3);
     }
-    check_cases(seed, 32, body);
+    seed
 }
 
 #[cfg(test)]
