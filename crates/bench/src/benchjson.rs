@@ -1,0 +1,163 @@
+//! `repro bench-json`: the machine-readable perf trajectory.
+//!
+//! Runs the tier-1 end-to-end solves (every paper problem, Full64 and
+//! the headline Mix16 configuration) and writes one `BENCH_<problem>.json`
+//! per problem with setup/solve timings and iteration counts, so the
+//! performance trajectory across PRs can be diffed by tooling instead of
+//! eyeballed from tables. The JSON is hand-rolled — the workspace has no
+//! serialization dependency, and the schema is flat enough not to need
+//! one.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use fp16mg_krylov::SolveOptions;
+use fp16mg_problems::ProblemKind;
+use fp16mg_sgdia::kernels::Par;
+
+use crate::{solve_e2e, Combo, E2eResult};
+
+/// Knobs of the emitter, filled from the `repro` command line.
+#[derive(Clone, Debug)]
+pub struct BenchJsonConfig {
+    /// Problem base extent.
+    pub size: usize,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// Directory the `BENCH_<problem>.json` files are written into.
+    pub dir: PathBuf,
+}
+
+/// The combinations the emitter records: the FP64 baseline and the
+/// paper's headline mixed-FP16 configuration.
+const COMBOS: [Combo; 2] = [Combo::Full64, Combo::D16SetupScale];
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A JSON float that always round-trips: finite values in shortest-exact
+/// form, non-finite values as null (JSON has no Inf/NaN).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn run_json(r: &E2eResult) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "    {{\n",
+            "      \"combo\": \"{combo}\",\n",
+            "      \"converged\": {converged},\n",
+            "      \"iters\": {iters},\n",
+            "      \"final_rel_residual\": {rel},\n",
+            "      \"setup_s\": {setup},\n",
+            "      \"precond_s\": {precond},\n",
+            "      \"solve_s\": {solve},\n",
+            "      \"total_s\": {total},\n",
+            "      \"matrix_bytes\": {bytes},\n",
+            "      \"grid_complexity\": {cg},\n",
+            "      \"operator_complexity\": {co}\n",
+            "    }}"
+        ),
+        combo = esc(&r.combo.label()),
+        converged = r.result.converged(),
+        iters = r.result.iters,
+        rel = num(r.result.final_rel_residual),
+        setup = num(r.setup.as_secs_f64()),
+        precond = num(r.precond.as_secs_f64()),
+        solve = num(r.solve.as_secs_f64()),
+        total = num(r.total().as_secs_f64()),
+        bytes = r.matrix_bytes,
+        cg = num(r.complexities.0),
+        co = num(r.complexities.1),
+    );
+    s
+}
+
+/// Renders the `BENCH_<problem>.json` document for one problem. Failed
+/// setups are recorded as `{"combo", "error"}` entries instead of being
+/// dropped, so a regression that breaks setup is visible in the file.
+pub fn render_problem(kind: ProblemKind, n: usize, tol: f64) -> String {
+    let opts = SolveOptions { tol, max_iters: 500, record_history: false, ..Default::default() };
+    let mut runs = Vec::new();
+    for combo in COMBOS {
+        match solve_e2e(kind, n, combo, &opts, Par::Seq) {
+            Ok(r) => runs.push(run_json(&r)),
+            Err(e) => runs.push(format!(
+                "    {{\n      \"combo\": \"{}\",\n      \"error\": \"{}\"\n    }}",
+                esc(&combo.label()),
+                esc(&e)
+            )),
+        }
+    }
+    format!(
+        "{{\n  \"problem\": \"{}\",\n  \"size\": {n},\n  \"tol\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        esc(kind.name()),
+        num(tol),
+        runs.join(",\n")
+    )
+}
+
+/// The file name a problem's benchmark document is written under.
+pub fn file_name(kind: ProblemKind) -> String {
+    format!("BENCH_{}.json", kind.name())
+}
+
+/// Runs the tier-1 matrix and writes one JSON file per problem into
+/// `cfg.dir`. Returns the written paths.
+///
+/// # Errors
+/// Propagates the I/O error if a file cannot be written.
+pub fn bench_json_emit(cfg: &BenchJsonConfig) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths = Vec::new();
+    for kind in ProblemKind::all() {
+        let doc = render_problem(kind, cfg.size, cfg.tol);
+        let path = Path::new(&cfg.dir).join(file_name(kind));
+        std::fs::write(&path, doc)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_wellformed_json_for_both_combos() {
+        let doc = render_problem(ProblemKind::Laplace27, 8, 1e-8);
+        assert!(doc.contains(&format!("\"problem\": \"{}\"", ProblemKind::Laplace27.name())));
+        assert_eq!(doc.matches("\"combo\"").count(), COMBOS.len());
+        assert!(doc.contains("\"iters\"") && doc.contains("\"setup_s\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "balanced objects");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count(), "balanced arrays");
+        assert!(!doc.contains("inf") && !doc.contains("NaN"), "JSON has no non-finite literals");
+    }
+
+    #[test]
+    fn emit_writes_one_file_per_problem() {
+        let dir = std::env::temp_dir().join("fp16mg-benchjson-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = BenchJsonConfig { size: 8, tol: 1e-8, dir: dir.clone() };
+        let paths = bench_json_emit(&cfg).unwrap();
+        assert_eq!(paths.len(), ProblemKind::all().len());
+        for (kind, p) in ProblemKind::all().into_iter().zip(&paths) {
+            assert_eq!(p.file_name().unwrap().to_str().unwrap(), file_name(kind));
+            let body = std::fs::read_to_string(p).unwrap();
+            assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+}

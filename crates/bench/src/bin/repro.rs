@@ -2,15 +2,22 @@
 //!
 //! ```text
 //! repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B]
-//!                    [--requests N] [--workers N]
+//!                    [--requests N] [--workers N] [--chaos] [--out DIR]
 //! experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 fig10 table1 table3
-//!              bf16 shift smooth guard audit serve all
+//!              bf16 shift smooth guard audit serve chaos bench-json all
 //! ```
 //!
 //! `serve` fires a batch of mixed clean/fault-injected/panicking solve
 //! requests through the concurrent resilient runtime and prints one typed
 //! outcome per request (`--requests`, `--workers`, `--budget-ms` set the
 //! batch size, pool width, and the deadline-limited request's deadline).
+//! With `--chaos` (or the `chaos` experiment, its alias) the batch mixes
+//! seeded single-bit flips into mid-hierarchy FP16 coefficient planes:
+//! the integrity sentinels must detect, localize, and repair them via
+//! the `repair-level` rung, visible in the per-request `repairs` column.
+//!
+//! `bench-json` runs the tier-1 end-to-end matrix and writes machine-
+//! readable `BENCH_<problem>.json` files into `--out` (default `.`).
 //!
 //! `fig9` is the same harness as `fig8` (the paper's second architecture;
 //! this reproduction runs on one ISA — see DESIGN.md substitutions).
@@ -33,11 +40,13 @@ struct Args {
     smoother: Option<String>,
     requests: usize,
     workers: usize,
+    chaos: bool,
+    out: String,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N]");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--out DIR]");
     std::process::exit(2)
 }
 
@@ -57,6 +66,8 @@ fn parse_args() -> Args {
         smoother: None,
         requests: 16,
         workers: 0,
+        chaos: false,
+        out: ".".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,6 +80,8 @@ fn parse_args() -> Args {
             "--budget-ms" => args.budget_ms = arg_value(&mut it, "--budget-ms"),
             "--requests" => args.requests = arg_value(&mut it, "--requests"),
             "--workers" => args.workers = arg_value(&mut it, "--workers"),
+            "--chaos" => args.chaos = true,
+            "--out" => args.out = arg_value(&mut it, "--out"),
             "--smoother" => {
                 let Some(s) = it.next() else { usage("--smoother needs a value") };
                 args.smoother = Some(s)
@@ -126,7 +139,9 @@ fn main() {
         "semi" => semi_ablation(&args),
         "guard" => guard(&args),
         "audit" => audit_cmd(&args),
-        "serve" => serve_cmd(&args),
+        "serve" => serve_cmd(&args, args.chaos),
+        "chaos" => serve_cmd(&args, true),
+        "bench-json" => bench_json_cmd(&args),
         "all" => {
             fig1(&args);
             table2();
@@ -145,7 +160,8 @@ fn main() {
             semi_ablation(&args);
             guard(&args);
             audit_cmd(&args);
-            serve_cmd(&args);
+            serve_cmd(&args, false);
+            serve_cmd(&args, true);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -864,8 +880,12 @@ fn audit_cmd(args: &Args) {
 
 // --------------------------------------------------------------- serve --
 
-fn serve_cmd(args: &Args) {
-    header("Resilient runtime: concurrent mixed batch under the retry ladder");
+fn serve_cmd(args: &Args, chaos: bool) {
+    if chaos {
+        header("Resilient runtime: chaos batch — bit-flip upsets under the retry ladder");
+    } else {
+        header("Resilient runtime: concurrent mixed batch under the retry ladder");
+    }
     let workers = if args.workers > 0 {
         args.workers
     } else {
@@ -877,11 +897,42 @@ fn serve_cmd(args: &Args) {
         size: args.size.min(12),
         tol: args.tol,
         deadline_ms: args.budget_ms,
+        chaos,
     };
     fp16mg_bench::serve(&cfg);
-    println!("(expect: clean rows converge on the first rung; fault rows climb the");
-    println!(" ladder to their first clean configuration; the panic row is isolated;");
-    println!(" the deadline and no-converge rows end with typed errors)");
+    if chaos {
+        println!("(expect: flip rows fail their corrupted attempt, then the repair-level");
+        println!(" rung localizes the upset — see the repairs column, `L<level>:t<tap>` —");
+        println!(" and re-solves the mended hierarchy without any rebuild; the panic row");
+        println!(" stays isolated and every outcome is typed)");
+    } else {
+        println!("(expect: clean rows converge on the first rung; fault rows climb the");
+        println!(" ladder to their first clean configuration; the panic row is isolated;");
+        println!(" the deadline and no-converge rows end with typed errors)");
+    }
+}
+
+// ----------------------------------------------------------- bench-json --
+
+fn bench_json_cmd(args: &Args) {
+    header("bench-json: machine-readable tier-1 timings");
+    let cfg = fp16mg_bench::BenchJsonConfig {
+        size: args.size.min(24),
+        tol: args.tol,
+        dir: std::path::PathBuf::from(&args.out),
+    };
+    match fp16mg_bench::bench_json_emit(&cfg) {
+        Ok(paths) => {
+            for p in &paths {
+                println!("wrote {}", p.display());
+            }
+            println!("({} problems, combos Full64 + Mix16, size {})", paths.len(), cfg.size);
+        }
+        Err(e) => {
+            eprintln!("bench-json: cannot write into '{}': {e}", args.out);
+            std::process::exit(1);
+        }
+    }
 }
 
 // --------------------------------------------------------------- guard --

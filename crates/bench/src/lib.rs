@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 pub mod audit;
+pub mod benchjson;
 pub mod combos;
 pub mod e2e;
 pub mod guard;
@@ -21,6 +22,7 @@ pub mod serve;
 pub mod table;
 
 pub use audit::{audit_report, print_audit_table};
+pub use benchjson::{bench_json_emit, BenchJsonConfig};
 pub use combos::Combo;
 pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};

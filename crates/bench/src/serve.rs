@@ -12,11 +12,12 @@
 
 use std::time::Duration;
 
-use fp16mg_core::{MgConfig, RecoveryPolicy};
+use fp16mg_core::{IntegrityPolicy, MgConfig, RecoveryPolicy};
 use fp16mg_krylov::{HealthPolicy, SolveError, SolveOptions};
 use fp16mg_problems::{ProblemKind, SolverKind};
 use fp16mg_runtime::{
-    run_batch, Budget, FaultPlan, RequestOutcome, RetryPolicy, Rung, SolveRequest,
+    run_batch, Budget, FaultPlan, LevelBitFlip, RequestOutcome, RetryPolicy, Rung, SolveRequest,
+    SolverChoice,
 };
 use fp16mg_sgdia::fault::FaultSpec;
 
@@ -35,6 +36,10 @@ pub struct ServeConfig {
     pub tol: f64,
     /// Deadline for the deadline-limited scenario, in milliseconds.
     pub deadline_ms: f64,
+    /// Chaos mode: mix seeded bit-flip memory corruption into the batch
+    /// so the integrity sentinels and the `repair-level` rung must keep
+    /// the pool healthy.
+    pub chaos: bool,
 }
 
 /// One short scenario tag per request, cycled over the batch.
@@ -49,12 +54,33 @@ const SCENARIOS: [&str; 8] = [
     "no-converge",
 ];
 
+/// The `--chaos` batch: single-event bit-flip upsets in mid-hierarchy
+/// FP16 coefficient planes, alongside clean solves, a rate-based fault
+/// climber, and a worker panic — request isolation must hold under
+/// memory faults too.
+const CHAOS_SCENARIOS: [&str; 8] = [
+    "flip→repair",
+    "clean",
+    "flip→repair",
+    "flip→anomaly",
+    "panic",
+    "flip→repair",
+    "fault→promote",
+    "flip→anomaly",
+];
+
+/// Off-diagonal taps of the 27-point pattern whose level-1 couplings are
+/// small enough that an exponent-MSB upset is catastrophic (verified by
+/// the runtime integrity tests): each chaos flip lands on one of these.
+const FLIP_TAPS: [usize; 6] = [0, 2, 5, 9, 17, 26];
+
 fn build_requests(cfg: &ServeConfig) -> Vec<SolveRequest> {
     let kinds = [ProblemKind::Laplace27, ProblemKind::Rhd, ProblemKind::Oil, ProblemKind::Weather];
+    let scenarios: &[&'static str] = if cfg.chaos { &CHAOS_SCENARIOS } else { &SCENARIOS };
     let n = cfg.size;
     (0..cfg.requests)
         .map(|i| {
-            let scenario = SCENARIOS[i % SCENARIOS.len()];
+            let scenario = scenarios[i % scenarios.len()];
             let kind = kinds[i % kinds.len()];
             let name = format!("{scenario}#{i:02}");
             match scenario {
@@ -70,14 +96,48 @@ fn build_requests(cfg: &ServeConfig) -> Vec<SolveRequest> {
                     let mut req = SolveRequest::new(name, ProblemKind::Laplace27.build(n), base);
                     req.opts.tol = cfg.tol;
                     req.policy = RetryPolicy {
-                        attempts: [1, 1, 1, 1],
+                        attempts: [1, 1, 1, 1, 1],
                         backoff: Duration::from_micros(200),
                         seed: 0xfeed ^ i as u64,
                         ..RetryPolicy::default()
                     };
                     req.fault = Some(FaultPlan {
                         spec: FaultSpec::inf(0.02, 0xfeed ^ i as u64),
+                        flip: None,
                         sticky_until: sticky,
+                    });
+                    req
+                }
+                "flip→repair" | "flip→anomaly" => {
+                    // A single-event upset in a mid-hierarchy FP16 plane.
+                    // Self-healing promotion off, full ABFT on: the
+                    // sentinels must detect, localize, and repair. The
+                    // problem extent is pinned to 12 so the d16 hierarchy
+                    // always has a 16-bit mid level (level 1) to corrupt,
+                    // and Richardson is chosen because multigrid-as-solver
+                    // feels a poisoned level immediately.
+                    let mut base = MgConfig::d16();
+                    base.recovery = RecoveryPolicy::disabled();
+                    base.integrity = IntegrityPolicy::armed(0);
+                    base.integrity.verify_on_anomaly = scenario == "flip→anomaly";
+                    let mut req = SolveRequest::new(name, ProblemKind::Laplace27.build(12), base);
+                    req.solver = SolverChoice::Richardson;
+                    req.opts.tol = cfg.tol.max(1e-6);
+                    req.opts.max_iters = 40;
+                    req.policy = RetryPolicy {
+                        attempts: [1, 1, 1, 1, 1],
+                        backoff: Duration::from_micros(200),
+                        seed: 0xab15 ^ i as u64,
+                        ..RetryPolicy::default()
+                    };
+                    req.fault = Some(FaultPlan {
+                        spec: FaultSpec::none(0xab15 ^ i as u64),
+                        flip: Some(LevelBitFlip {
+                            level: 1,
+                            tap: FLIP_TAPS[i % FLIP_TAPS.len()],
+                            bit: 14,
+                        }),
+                        sticky_until: Rung::PromoteNarrow,
                     });
                     req
                 }
@@ -144,15 +204,16 @@ fn outcome_label(outcome: &RequestOutcome) -> &'static str {
 /// integration tests can assert on them.
 pub fn serve(cfg: &ServeConfig) -> Vec<RequestOutcome> {
     let requests = build_requests(cfg);
-    let meta: Vec<(&'static str, SolverKind)> =
-        requests.iter().map(|r| (r.problem.name, r.problem.solver)).collect();
+    let meta: Vec<(&'static str, SolverKind, SolverChoice)> =
+        requests.iter().map(|r| (r.problem.name, r.problem.solver, r.solver)).collect();
     println!(
-        "dispatching {} requests on {} workers (size {}, tol {:.0e}, deadline {:.0} ms)",
+        "dispatching {} requests on {} workers (size {}, tol {:.0e}, deadline {:.0} ms{})",
         requests.len(),
         cfg.workers,
         cfg.size,
         cfg.tol,
-        cfg.deadline_ms
+        cfg.deadline_ms,
+        if cfg.chaos { ", chaos: seeded bit flips armed" } else { "" }
     );
 
     // Injected worker panics are expected and contained; keep their
@@ -168,6 +229,7 @@ pub fn serve(cfg: &ServeConfig) -> Vec<RequestOutcome> {
         "solver",
         "outcome",
         "rungs",
+        "repairs",
         "iters",
         "vcycles",
         "rel.resid",
@@ -178,17 +240,34 @@ pub fn serve(cfg: &ServeConfig) -> Vec<RequestOutcome> {
             Ok(res) => Some(res.final_rel_residual),
             Err(_) => out.report.attempts.last().map(|a| a.rel),
         };
-        let (problem, solver_kind) = meta[out.index];
-        let solver = match solver_kind {
-            SolverKind::Cg => "cg",
-            SolverKind::Gmres => "gmres",
+        let (problem, solver_kind, choice) = meta[out.index];
+        let solver = match choice {
+            SolverChoice::Cg => "cg",
+            SolverChoice::Gmres => "gmres",
+            SolverChoice::BiCgStab => "bicgstab",
+            SolverChoice::Richardson => "richardson",
+            SolverChoice::Auto => match solver_kind {
+                SolverKind::Cg => "cg",
+                SolverKind::Gmres => "gmres",
+            },
         };
+        let repairs = out
+            .report
+            .repairs
+            .iter()
+            .map(|e| {
+                let taps: Vec<String> = e.taps.iter().map(|t| format!("t{t}")).collect();
+                format!("L{}:{}", e.level, taps.join("+"))
+            })
+            .collect::<Vec<_>>()
+            .join(";");
         t.row(vec![
             out.name.clone(),
             problem.to_string(),
             solver.to_string(),
             outcome_label(out).to_string(),
             if out.report.attempts.is_empty() { "-".into() } else { out.report.summary() },
+            if repairs.is_empty() { "-".into() } else { repairs },
             out.iters.to_string(),
             out.vcycles.to_string(),
             rel.map(|r| format!("{r:9.2e}")).unwrap_or_else(|| "-".into()),
@@ -203,8 +282,10 @@ pub fn serve(cfg: &ServeConfig) -> Vec<RequestOutcome> {
         .filter(|o| matches!(o.result, Err(SolveError::WorkerPanicked { .. })))
         .count();
     let healed = outcomes.iter().filter(|o| o.converged() && o.report.attempts.len() > 1).count();
+    let repaired: usize = outcomes.iter().map(|o| o.report.repairs.len()).sum();
     println!(
-        "\n{converged}/{} converged ({healed} via retry-ladder escalation), \
+        "\n{converged}/{} converged ({healed} via retry-ladder escalation, \
+         {repaired} localized level repair(s)), \
          {panicked} worker panic(s) isolated, every outcome typed, process intact",
         outcomes.len()
     );

@@ -8,7 +8,14 @@ use fp16mg_krylov::SolveError;
 
 #[test]
 fn mixed_batch_completes_with_typed_outcomes() {
-    let cfg = ServeConfig { requests: 16, workers: 4, size: 8, tol: 1e-9, deadline_ms: 10.0 };
+    let cfg = ServeConfig {
+        requests: 16,
+        workers: 4,
+        size: 8,
+        tol: 1e-9,
+        deadline_ms: 10.0,
+        chaos: false,
+    };
     let outcomes = serve(&cfg);
     assert_eq!(outcomes.len(), 16, "every request must produce an outcome");
 
@@ -50,4 +57,57 @@ fn mixed_batch_completes_with_typed_outcomes() {
             assert!(out.report.attempts.last().unwrap().converged);
         }
     }
+}
+
+#[test]
+fn chaos_batch_repairs_bit_flips_without_process_failures() {
+    // The `--chaos` acceptance scenario: 16 concurrent requests, seeded
+    // single-bit flips in mid-hierarchy FP16 planes, plus injected worker
+    // panics. Zero process-level failures: every request yields a typed
+    // outcome, every flip row is repaired by the repair-level rung
+    // (localized to its level and tap), and no flip row ever needs a
+    // rebuild rung.
+    let cfg = ServeConfig {
+        requests: 16,
+        workers: 4,
+        size: 12,
+        tol: 1e-9,
+        deadline_ms: 10.0,
+        chaos: true,
+    };
+    let outcomes = serve(&cfg);
+    assert_eq!(outcomes.len(), 16, "every request must produce an outcome");
+
+    let mut flips = 0;
+    for out in &outcomes {
+        if out.name.starts_with("panic") {
+            assert!(
+                matches!(out.result, Err(SolveError::WorkerPanicked { .. })),
+                "panic rows stay isolated: {:?}",
+                out.result
+            );
+            continue;
+        }
+        if out.name.starts_with("flip") {
+            flips += 1;
+            assert!(
+                out.converged(),
+                "{}: repair must rescue the solve: {:?}",
+                out.name,
+                out.result
+            );
+            assert!(!out.report.repairs.is_empty(), "{}: no repair recorded", out.name);
+            for ev in &out.report.repairs {
+                assert_eq!(ev.level, 1, "{}: repair localized to the flipped level", out.name);
+                assert_eq!(ev.taps.len(), 1, "{}: exactly one plane flagged", out.name);
+            }
+            assert!(
+                out.report.final_rung() <= Some(fp16mg_runtime::Rung::RepairLevel),
+                "{}: a bit flip must never cost a rebuild: {}",
+                out.name,
+                out.report.summary()
+            );
+        }
+    }
+    assert!(flips >= 8, "the chaos cycle must be dominated by flip scenarios, got {flips}");
 }

@@ -193,6 +193,74 @@ impl RecoveryPolicy {
     }
 }
 
+/// Integrity-sentinel (ABFT) policy: per-level checksums and sum
+/// invariants over the stored coefficient planes, verified on demand or on
+/// a V-cycle cadence, with localized in-place repair of a corrupted level
+/// from its retained high-precision parent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntegrityPolicy {
+    /// Compute sentinels at setup. Costs one pass over each stored level
+    /// (24 bytes of metadata per coefficient plane); without them neither
+    /// verification nor repair is possible.
+    pub sentinels: bool,
+    /// Verify every `check_every` V-cycles during `apply` (0 = never
+    /// periodically; verification still runs on demand and on solver
+    /// anomalies when `verify_on_anomaly` is set). Each sweep charges one
+    /// V-cycle to the cycle counter so session budgets see the work.
+    pub check_every: usize,
+    /// Run a verify-and-repair sweep when the Krylov solver reports a
+    /// health anomaly (breakdown or precision-attributable stagnation)
+    /// through the preconditioner hook.
+    pub verify_on_anomaly: bool,
+    /// Retain each narrow (16-bit) level's high-precision scaled parent
+    /// operator so a corrupted plane can be *repaired* — re-truncated
+    /// bit-identically — instead of promoted or rebuilt. Costs the f64
+    /// parent copy per narrow level; off by default.
+    pub retain_parents: bool,
+    /// Total repair budget across the hierarchy's lifetime (a flapping
+    /// memory fault must eventually escalate to the retry ladder rather
+    /// than repair forever).
+    pub max_repairs: usize,
+}
+
+impl Default for IntegrityPolicy {
+    fn default() -> Self {
+        IntegrityPolicy {
+            sentinels: true,
+            check_every: 0,
+            verify_on_anomaly: true,
+            retain_parents: false,
+            max_repairs: 8,
+        }
+    }
+}
+
+impl IntegrityPolicy {
+    /// Sentinels off entirely: no setup pass, no metadata, no repair.
+    pub fn disabled() -> Self {
+        IntegrityPolicy {
+            sentinels: false,
+            check_every: 0,
+            verify_on_anomaly: false,
+            retain_parents: false,
+            max_repairs: 0,
+        }
+    }
+
+    /// Full ABFT: sentinels, periodic verification every `check_every`
+    /// V-cycles, anomaly-triggered verification, and parent retention for
+    /// localized repair.
+    pub fn armed(check_every: usize) -> Self {
+        IntegrityPolicy {
+            sentinels: true,
+            check_every,
+            verify_on_anomaly: true,
+            retain_parents: true,
+            max_repairs: 8,
+        }
+    }
+}
+
 /// A configuration rejected by [`MgConfig::validate`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConfigError {
@@ -241,6 +309,11 @@ pub enum ConfigError {
         /// The offending value.
         threshold: f64,
     },
+    /// An integrity policy that retains repair parents (or schedules
+    /// periodic/anomaly verification) without computing sentinels — there
+    /// would be nothing to verify against, so the retained memory and the
+    /// verification cadence could never be used.
+    IntegrityWithoutSentinels,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -274,6 +347,11 @@ impl core::fmt::Display for ConfigError {
             ConfigError::InvalidUnderflowThreshold { threshold } => {
                 write!(f, "AutoShift underflow threshold {threshold} must lie in [0, 1]")
             }
+            ConfigError::IntegrityWithoutSentinels => write!(
+                f,
+                "integrity policy retains parents or schedules verification \
+                 but computes no sentinels to verify against"
+            ),
         }
     }
 }
@@ -310,6 +388,8 @@ pub struct MgConfig {
     pub coarsening: Coarsening,
     /// Runtime precision-recovery policy.
     pub recovery: RecoveryPolicy,
+    /// Integrity-sentinel (ABFT) policy.
+    pub integrity: IntegrityPolicy,
     /// Out-of-range treatment on the truncation store path. The default
     /// ([`TruncationPolicy::Saturate`]) clamps instead of storing ±∞;
     /// [`TruncationPolicy::Reject`] turns any saturating entry into a
@@ -334,6 +414,7 @@ impl Default for MgConfig {
             cycle: Cycle::V,
             coarsening: Coarsening::Full,
             recovery: RecoveryPolicy::default(),
+            integrity: IntegrityPolicy::default(),
             truncation: TruncationPolicy::default(),
         }
     }
@@ -427,6 +508,12 @@ impl MgConfig {
             if max_underflow.is_nan() || !(0.0..=1.0).contains(&max_underflow) {
                 return Err(ConfigError::InvalidUnderflowThreshold { threshold: max_underflow });
             }
+        }
+        let integ = &self.integrity;
+        if !integ.sentinels
+            && (integ.retain_parents || integ.check_every > 0 || integ.verify_on_anomaly)
+        {
+            return Err(ConfigError::IntegrityWithoutSentinels);
         }
         Ok(())
     }

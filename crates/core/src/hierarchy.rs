@@ -10,6 +10,7 @@ use fp16mg_krylov::Preconditioner;
 use fp16mg_sgdia::audit::{self, RangeAudit, TruncationError};
 use fp16mg_sgdia::kernels::BlockDiagInv;
 use fp16mg_sgdia::scaling::{self, rescale_into, ScaleVectors};
+use fp16mg_sgdia::sentinel::{MatrixSentinels, TapMismatch};
 use fp16mg_sgdia::SgDia;
 
 use fp16mg_sgdia::scaling::GChoice;
@@ -142,6 +143,71 @@ impl core::fmt::Display for PromotionEvent {
     }
 }
 
+/// Integrity sentinel of one level's stored matrix, taken at setup (and
+/// refreshed after any promotion or repair that changes the stored bits).
+#[derive(Clone, Debug)]
+pub struct LevelSentinel {
+    /// Storage precision the sentinels were taken over (the checksum is
+    /// format-sensitive, so a promoted level needs fresh sentinels).
+    pub precision: Precision,
+    /// Per-plane checksums and FP64 sum invariants.
+    pub sentinels: MatrixSentinels,
+}
+
+/// What triggered an integrity verification-and-repair sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairTrigger {
+    /// The periodic `check_every` V-cycle cadence.
+    Periodic,
+    /// The self-healing `apply_pr` loop saw non-finite output.
+    NonFiniteOutput,
+    /// The Krylov solver reported a health anomaly through the
+    /// preconditioner hook.
+    Anomaly,
+    /// Explicit caller request (e.g. the runtime's `repair-level` rung).
+    Requested,
+}
+
+impl core::fmt::Display for RepairTrigger {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RepairTrigger::Periodic => write!(f, "periodic check"),
+            RepairTrigger::NonFiniteOutput => write!(f, "non-finite V-cycle output"),
+            RepairTrigger::Anomaly => write!(f, "solver health anomaly"),
+            RepairTrigger::Requested => write!(f, "explicit request"),
+        }
+    }
+}
+
+/// One localized in-place repair of a corrupted level, logged in
+/// [`MgInfo`]: the level's stored matrix was re-truncated from its
+/// retained high-precision parent — bit-identically, without touching any
+/// other level and without a hierarchy rebuild.
+#[derive(Clone, Debug)]
+pub struct RepairEvent {
+    /// Repaired level.
+    pub level: usize,
+    /// The coefficient planes (taps) the sentinels flagged as corrupted.
+    pub taps: Vec<usize>,
+    /// Storage precision of the repaired level.
+    pub precision: Precision,
+    /// What triggered the sweep that found the corruption.
+    pub trigger: RepairTrigger,
+}
+
+impl core::fmt::Display for RepairEvent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "level {} ({}) repaired in place, corrupt taps {:?} ({})",
+            self.level,
+            self.precision.name(),
+            self.taps,
+            self.trigger
+        )
+    }
+}
+
 /// Per-level summary for reports (Table 3, Fig. 3).
 #[derive(Clone, Debug)]
 pub struct LevelInfo {
@@ -168,6 +234,10 @@ pub struct LevelInfo {
     /// When a user-fixed `G` was clamped to `G_max/2` on this level, the
     /// originally requested value — the clamp is recorded, never silent.
     pub g_clamped_from: Option<f64>,
+    /// Integrity sentinels of the stored matrix (`None` for the
+    /// coarsest/direct level, or when the integrity policy has sentinels
+    /// off).
+    pub sentinel: Option<LevelSentinel>,
 }
 
 /// Hierarchy summary.
@@ -185,6 +255,9 @@ pub struct MgInfo {
     /// Runtime storage-precision promotions, in the order they fired
     /// (empty for a healthy solve).
     pub promotions: Vec<PromotionEvent>,
+    /// Localized integrity repairs, in the order they fired (empty while
+    /// the stored planes match their sentinels).
+    pub repairs: Vec<RepairEvent>,
     /// How `StoragePolicy::AutoShift` resolved the FP16→coarse switch
     /// point (`None` for the static storage policies).
     pub shift_decision: Option<ShiftDecision>,
@@ -246,6 +319,12 @@ pub struct Mg<Pr: Scalar = f32> {
     /// material a promotion rebuilds the level from. `None` for levels
     /// already wide, or once a level's promotion has consumed its source.
     sources: Vec<Option<SgDia<f32>>>,
+    /// The exact f64 operators the narrow levels were truncated from
+    /// (post-scaling), retained under `IntegrityPolicy::retain_parents`:
+    /// re-truncating one through the same deterministic store path
+    /// reproduces the level bit-identically, which is what makes localized
+    /// repair exact. `None` per level otherwise.
+    repair_sources: Vec<Option<SgDia<f64>>>,
     coarse_grid: Grid3,
     coarse_lu: DenseLu,
     coarse_f: Vec<Pr>,
@@ -330,17 +409,24 @@ impl<Pr: Scalar> Mg<Pr> {
         // --- Per-level scale-and-truncate (lines 4–14). ---
         let mut levels = Vec::with_capacity(nlev.saturating_sub(1));
         let mut sources = Vec::with_capacity(nlev.saturating_sub(1));
+        let mut repair_sources = Vec::with_capacity(nlev.saturating_sub(1));
         let mut infos = Vec::with_capacity(nlev);
         for (i, ai) in chain.iter().enumerate().take(nlev - 1) {
             let prec = config.storage.precision_for(i);
             let parts = build_level(ai, prec, &config, i)?;
-            let LevelParts { stored, scale, dinv, ilu, cheb, audit, g_clamped_from } = parts;
+            let LevelParts { stored, scale, dinv, ilu, cheb, audit, g_clamped_from, parent } =
+                parts;
             // Retain promotion material for the narrow levels: the
             // unscaled operator in FP32 is exact enough to rebuild the
             // level at FP32 and costs 2× the FP16 level it insures.
             let keep_source = config.recovery.enabled
                 && matches!(stored.precision(), Precision::F16 | Precision::BF16);
             sources.push(if keep_source { Some(ai.convert::<f32>()) } else { None });
+            repair_sources.push(parent);
+            let sentinel = config.integrity.sentinels.then(|| LevelSentinel {
+                precision: stored.precision(),
+                sentinels: stored.sentinels(),
+            });
             infos.push(LevelInfo {
                 dims: (ai.grid().nx, ai.grid().ny, ai.grid().nz),
                 unknowns: ai.rows(),
@@ -352,6 +438,7 @@ impl<Pr: Scalar> Mg<Pr> {
                 value_bytes: stored.value_bytes(),
                 audit: Some(audit),
                 g_clamped_from,
+                sentinel,
             });
             levels.push(Level::new(*ai.grid(), stored, scale, dinv, ilu, cheb, config.par));
         }
@@ -372,6 +459,7 @@ impl<Pr: Scalar> Mg<Pr> {
             value_bytes: coarsest.value_bytes(),
             audit: None,
             g_clamped_from: None,
+            sentinel: None,
         });
 
         // ScaleThenSetup applies its single scaling before `build_level`
@@ -388,12 +476,14 @@ impl<Pr: Scalar> Mg<Pr> {
             matrix_bytes: infos.iter().take(nlev - 1).map(|l| l.value_bytes).sum(),
             levels: infos,
             promotions: Vec::new(),
+            repairs: Vec::new(),
             shift_decision,
         };
 
         Ok(Mg {
             levels,
             sources,
+            repair_sources,
             coarse_grid: *coarsest.grid(),
             coarse_lu,
             coarse_f: vec![Pr::ZERO; cn],
@@ -507,10 +597,25 @@ impl<Pr: Scalar> Mg<Pr> {
     /// Panics on dimension mismatch.
     pub fn apply_pr(&mut self, r: &[Pr], e: &mut [Pr]) {
         self.apply_pr_once(r, e);
+        let every = self.config.integrity.check_every;
+        if every > 0 && self.vcycles().is_multiple_of(every) {
+            // Periodic ABFT cadence: verify the sentinels and repair in
+            // place. The sweep charges the cycle counter itself, so
+            // session budgets account for the integrity work.
+            self.verify_and_repair(RepairTrigger::Periodic);
+        }
         if !self.config.recovery.enabled {
             return;
         }
         while !e.iter().all(|v| v.to_f64().is_finite()) {
+            // Localized repair first: if the non-finite output traces to a
+            // corrupted plane with a retained parent, re-truncation is
+            // cheaper than promotion and keeps the level at its storage
+            // precision.
+            if !self.verify_and_repair(RepairTrigger::NonFiniteOutput).is_empty() {
+                self.apply_pr_once(r, e);
+                continue;
+            }
             if self.promote_suspect(PromotionReason::NonFiniteOutput).is_none() {
                 // Budget exhausted or nothing left to promote: surface the
                 // non-finite output to the caller (the solver's own
@@ -678,8 +783,12 @@ impl<Pr: Scalar> Mg<Pr> {
                 return None;
             }
         };
-        let LevelParts { stored, scale, dinv, ilu, cheb, audit, g_clamped_from } = parts;
+        let LevelParts { stored, scale, dinv, ilu, cheb, audit, g_clamped_from, .. } = parts;
         let event = PromotionEvent { level, from, to: stored.precision(), reason, corrupt_entries };
+        // The widened level replaces the stored bits wholesale: its repair
+        // parent no longer matches and is dropped, and the sentinels are
+        // retaken over the new format.
+        self.repair_sources[level] = None;
         let info = &mut self.info.levels[level];
         info.precision = stored.precision();
         info.scaled = scale.is_some();
@@ -688,6 +797,10 @@ impl<Pr: Scalar> Mg<Pr> {
         info.value_bytes = stored.value_bytes();
         info.audit = Some(audit);
         info.g_clamped_from = g_clamped_from;
+        info.sentinel = self.config.integrity.sentinels.then(|| LevelSentinel {
+            precision: stored.precision(),
+            sentinels: stored.sentinels(),
+        });
         let l = &mut self.levels[level];
         l.stored = stored;
         l.scale = scale;
@@ -706,6 +819,87 @@ impl<Pr: Scalar> Mg<Pr> {
     #[cfg(feature = "fault-inject")]
     pub fn stored_mut(&mut self, level: usize) -> Option<&mut StoredMatrix> {
         self.levels.get_mut(level).map(|l| &mut l.stored)
+    }
+
+    /// The localized repairs that have fired so far (same data as
+    /// `info().repairs`).
+    pub fn repairs(&self) -> &[RepairEvent] {
+        &self.info.repairs
+    }
+
+    /// True while sentinels exist, the repair budget has headroom, and at
+    /// least one level retains its high-precision parent — i.e. a
+    /// verify-and-repair sweep could actually fix something.
+    pub fn can_repair(&self) -> bool {
+        self.config.integrity.sentinels
+            && self.info.repairs.len() < self.config.integrity.max_repairs
+            && self.repair_sources.iter().any(Option::is_some)
+    }
+
+    /// Verifies every sentineled level against its setup-time sentinels
+    /// and returns the corrupted ones as `(level, plane mismatches)`.
+    ///
+    /// The sweep reads every stored coefficient once — comparable memory
+    /// traffic to a V-cycle's matrix pass — so it charges one V-cycle to
+    /// the shared counter; an outer session budget therefore accounts for
+    /// integrity work exactly like solve work, and a deadline can
+    /// interrupt a chaos run that repairs too enthusiastically.
+    pub fn verify_integrity(&self) -> Vec<(usize, Vec<TapMismatch>)> {
+        self.cycles.fetch_add(1, Ordering::Relaxed);
+        let mut corrupted = Vec::new();
+        for (i, l) in self.levels.iter().enumerate() {
+            let Some(sent) = self.info.levels[i].sentinel.as_ref() else { continue };
+            let mismatches = l.stored.verify_sentinels(&sent.sentinels);
+            if !mismatches.is_empty() {
+                corrupted.push((i, mismatches));
+            }
+        }
+        corrupted
+    }
+
+    /// One full ABFT round: verify all sentinels, then repair every
+    /// corrupted level that retains its high-precision parent. Returns the
+    /// repairs performed (empty when everything matched, nothing was
+    /// repairable, or sentinels are off).
+    pub fn verify_and_repair(&mut self, trigger: RepairTrigger) -> Vec<RepairEvent> {
+        if !self.config.integrity.sentinels {
+            return Vec::new();
+        }
+        let corrupted = self.verify_integrity();
+        let mut events = Vec::new();
+        for (level, mismatches) in corrupted {
+            let taps: Vec<usize> = mismatches.iter().map(|m| m.tap).collect();
+            if let Some(event) = self.repair_level(level, taps, trigger) {
+                events.push(event);
+            }
+        }
+        events
+    }
+
+    /// Localized repair of one corrupted level: re-truncates its stored
+    /// matrix from the retained high-precision parent through the same
+    /// deterministic store path setup used, which reproduces the
+    /// uncorrupted planes *bit-identically* — no other level is touched
+    /// and nothing is rebuilt. `taps` records which planes the sentinel
+    /// sweep flagged (for the event log). Returns `None` when the level
+    /// has no retained parent, the repair budget is spent, or the
+    /// re-truncation fails.
+    pub fn repair_level(
+        &mut self,
+        level: usize,
+        taps: Vec<usize>,
+        trigger: RepairTrigger,
+    ) -> Option<RepairEvent> {
+        if self.info.repairs.len() >= self.config.integrity.max_repairs {
+            return None;
+        }
+        let parent = self.repair_sources.get(level)?.as_ref()?;
+        let precision = self.levels[level].stored.precision();
+        let stored = truncate_level(parent, precision, &self.config, level).ok()?;
+        self.levels[level].stored = stored;
+        let event = RepairEvent { level, taps, precision, trigger };
+        self.info.repairs.push(event.clone());
+        Some(event)
     }
 }
 
@@ -753,6 +947,10 @@ struct LevelParts<Pr: Scalar> {
     /// level was scaled) against the precision actually used.
     audit: RangeAudit,
     g_clamped_from: Option<f64>,
+    /// The exact f64 matrix `stored` was truncated from (post-scaling),
+    /// retained for narrow levels under `IntegrityPolicy::retain_parents`
+    /// so a corrupted plane can be re-truncated bit-identically.
+    parent: Option<SgDia<f64>>,
 }
 
 /// Truncates one level's matrix under the configured policy — except for
@@ -782,6 +980,7 @@ fn build_level<Pr: Scalar>(
         let (max, nonfinite) = ai.abs_max();
         nonfinite || max >= prec.finite_max()
     };
+    let retain_parent = config.integrity.retain_parents && is_narrow(prec);
     if config.scale == ScaleStrategy::SetupThenScale && needs_scale {
         // Truncation after scaling (lines 6–9).
         let mut scaled = ai.clone();
@@ -802,6 +1001,7 @@ fn build_level<Pr: Scalar>(
                     cheb,
                     audit,
                     g_clamped_from,
+                    parent: retain_parent.then_some(scaled),
                 });
             }
             Err(_) => {
@@ -828,6 +1028,8 @@ fn build_level<Pr: Scalar>(
                     cheb,
                     audit,
                     g_clamped_from: None,
+                    // The fallback precision is wide — nothing to repair.
+                    parent: None,
                 });
             }
         }
@@ -843,7 +1045,16 @@ fn build_level<Pr: Scalar>(
         let stored = truncate_level(ai, prec, config, level)?;
         let ilu = build_ilu(ai, prec, config, level)?;
         let cheb = estimate_lambda_if_cheb(ai, config);
-        Ok(LevelParts { stored, scale: None, dinv, ilu, cheb, audit, g_clamped_from: None })
+        Ok(LevelParts {
+            stored,
+            scale: None,
+            dinv,
+            ilu,
+            cheb,
+            audit,
+            g_clamped_from: None,
+            parent: retain_parent.then(|| ai.clone()),
+        })
     }
 }
 
@@ -968,5 +1179,16 @@ impl<K: Scalar, Pr: Scalar> Preconditioner<K> for Mg<Pr> {
         for (zi, &e) in z.iter_mut().zip(&ep) {
             *zi = K::from_f64(e.to_f64());
         }
+    }
+
+    /// A solver breakdown or stagnation may be silent storage corruption
+    /// wearing a numerical costume: verify the sentinels and repair what
+    /// has a retained parent, so the runtime's cheap retry/repair rungs
+    /// can succeed instead of escalating to a full rebuild.
+    fn on_health_anomaly(&mut self) -> usize {
+        if !self.config.integrity.verify_on_anomaly {
+            return 0;
+        }
+        self.verify_and_repair(RepairTrigger::Anomaly).len()
     }
 }

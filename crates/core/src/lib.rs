@@ -36,12 +36,14 @@ mod transfer;
 
 pub use coarsen::{directional_strength, galerkin_rap, galerkin_rap_axes};
 pub use config::{
-    Coarsening, ConfigError, Cycle, MgConfig, RecoveryPolicy, ScaleStrategy, SmootherKind,
-    StoragePolicy,
+    Coarsening, ConfigError, Cycle, IntegrityPolicy, MgConfig, RecoveryPolicy, ScaleStrategy,
+    SmootherKind, StoragePolicy,
 };
 pub use fp16mg_sgdia::audit::{RangeAudit, TruncationError, TruncationPolicy};
+pub use fp16mg_sgdia::sentinel::{MatrixSentinels, TapMismatch, TapSentinel};
 pub use hierarchy::{
-    LevelInfo, Mg, MgInfo, PromotionEvent, PromotionReason, SetupError, ShiftDecision,
+    LevelInfo, LevelSentinel, Mg, MgInfo, PromotionEvent, PromotionReason, RepairEvent,
+    RepairTrigger, SetupError, ShiftDecision,
 };
 pub use ops::MatOp;
 pub use smoother::{DenseLu, FactorError};

@@ -137,6 +137,37 @@ impl StoredMatrix {
         dispatch!(self, a => fp16mg_sgdia::fault::inject_inf_at(a, cell, tap))
     }
 
+    /// Flips one bit of the stored value at `(cell, tap)` (`bit` modulo
+    /// the storage width) — the single-event upset the integrity
+    /// sentinels detect.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_bit_flip_at(&mut self, cell: usize, tap: usize, bit: u32) -> bool {
+        dispatch!(self, a => fp16mg_sgdia::fault::inject_bit_flip_at(a, cell, tap, bit))
+    }
+
+    /// Flips one bit of the first nonzero entry of coefficient plane
+    /// `tap`, guaranteeing the upset lands on a real coupling. Returns
+    /// the corrupted cell.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_bit_flip_tap(&mut self, tap: usize, bit: u32) -> Option<usize> {
+        dispatch!(self, a => fp16mg_sgdia::fault::inject_bit_flip_tap(a, tap, bit))
+    }
+
+    /// Computes the per-plane integrity sentinels of the stored values
+    /// (FNV-1a bit-pattern checksum + FP64 sum invariants per tap).
+    pub fn sentinels(&self) -> fp16mg_sgdia::sentinel::MatrixSentinels {
+        dispatch!(self, a => fp16mg_sgdia::sentinel::compute(a))
+    }
+
+    /// Recomputes the sentinels and returns every coefficient plane that
+    /// no longer matches `reference` (empty = intact).
+    pub fn verify_sentinels(
+        &self,
+        reference: &fp16mg_sgdia::sentinel::MatrixSentinels,
+    ) -> Vec<fp16mg_sgdia::sentinel::TapMismatch> {
+        dispatch!(self, a => fp16mg_sgdia::sentinel::verify(a, reference))
+    }
+
     /// `y = A x` with on-the-fly recovery to `P`.
     pub fn spmv<P: Scalar>(&self, x: &[P], y: &mut [P], par: Par) {
         dispatch!(self, a => kernels::spmv(a, x, y, par))

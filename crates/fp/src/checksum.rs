@@ -1,0 +1,122 @@
+//! FNV-1a bit-pattern checksums over storage formats.
+//!
+//! Integrity sentinels need a hash that is (a) cheap enough to recompute on
+//! a V-cycle cadence, (b) deterministic across runs and platforms, and
+//! (c) sensitive to *every* single-bit change in a stored coefficient
+//! plane. FNV-1a over the raw bit patterns satisfies all three: XOR-then-
+//! multiply mixes each input byte into the full 64-bit state, so any one
+//! flipped bit in any stored value yields a different digest.
+//!
+//! Hashing bit patterns rather than loaded values matters: `-0.0` vs
+//! `+0.0` and distinct NaN payloads are different storage states even
+//! though they compare equal (or unordered) as floats, and a flip that
+//! lands in such a value must still be detected.
+
+use crate::Storage;
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over storage-format bit patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    #[inline]
+    pub const fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Mixes one byte into the state.
+    #[inline(always)]
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Mixes a stored value: its bit pattern, little-endian, exactly
+    /// `S::BYTES` bytes — so the digest of an F16 plane differs from the
+    /// digest of the same values stored as F32.
+    #[inline(always)]
+    pub fn write_value<S: Storage>(&mut self, v: S) {
+        let bits = v.store_bits();
+        for i in 0..S::BYTES {
+            self.write_u8((bits >> (8 * i)) as u8);
+        }
+    }
+
+    /// Current digest.
+    #[inline]
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot digest of a slice of stored values.
+pub fn checksum_slice<S: Storage>(values: &[S]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in values {
+        h.write_value(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bf16, F16};
+
+    #[test]
+    fn matches_reference_fnv1a_bytes() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+        // Known vector: FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::new();
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn digest_is_format_and_order_sensitive() {
+        let f = [1.0f32, -2.5, 3.25];
+        let d = [1.0f64, -2.5, 3.25];
+        assert_ne!(checksum_slice(&f), checksum_slice(&d));
+        let swapped = [(-2.5f32), 1.0, 3.25];
+        assert_ne!(checksum_slice(&f), checksum_slice(&swapped));
+    }
+
+    #[test]
+    fn every_bit_flip_changes_the_digest() {
+        let base = F16::from_f32(6.0);
+        let h0 = checksum_slice(&[base]);
+        for bit in 0..16 {
+            let flipped = F16::from_bits(base.to_bits() ^ (1 << bit));
+            assert_ne!(checksum_slice(&[flipped]), h0, "bit {bit} went undetected");
+        }
+        let b = Bf16::from_f32(6.0);
+        let hb = checksum_slice(&[b]);
+        for bit in 0..16 {
+            let flipped = Bf16::from_bits(b.to_bits() ^ (1 << bit));
+            assert_ne!(checksum_slice(&[flipped]), hb, "bf16 bit {bit} went undetected");
+        }
+    }
+
+    #[test]
+    fn signed_zero_and_nan_payloads_are_distinct_states() {
+        assert_ne!(checksum_slice(&[0.0f32]), checksum_slice(&[-0.0f32]));
+        let quiet = f64::from_bits(0x7ff8_0000_0000_0000);
+        let payload = f64::from_bits(0x7ff8_0000_0000_0001);
+        assert_ne!(checksum_slice(&[quiet]), checksum_slice(&[payload]));
+    }
+}

@@ -24,12 +24,14 @@
 
 #![warn(missing_docs)]
 pub mod bf16;
+pub mod checksum;
 pub mod classify;
 pub mod f16;
 pub mod simd;
 pub mod traits;
 
 pub use bf16::Bf16;
+pub use checksum::{checksum_slice, Fnv1a};
 pub use classify::{ClassCounts, NumClass};
 pub use f16::F16;
 pub use traits::{Precision, Scalar, Storage};

@@ -161,6 +161,10 @@ pub trait Storage: Copy + Clone + Default + core::fmt::Debug + Send + Sync + 'st
     /// IEEE category of the value (integer bit tests for the 16-bit
     /// formats — no float hardware on the scan path).
     fn class(self) -> crate::NumClass;
+    /// Raw bit pattern, zero-extended to 64 bits. Two values hash equal
+    /// under the integrity checksum iff their stored bit patterns are
+    /// equal — `-0.0` and `+0.0` differ, NaN payloads differ.
+    fn store_bits(self) -> u64;
 }
 
 impl Storage for f64 {
@@ -193,6 +197,10 @@ impl Storage for f64 {
     #[inline(always)]
     fn class(self) -> crate::NumClass {
         crate::classify::class_f64(self)
+    }
+    #[inline(always)]
+    fn store_bits(self) -> u64 {
+        self.to_bits()
     }
 }
 
@@ -227,6 +235,10 @@ impl Storage for f32 {
     fn class(self) -> crate::NumClass {
         crate::classify::class_f32(self)
     }
+    #[inline(always)]
+    fn store_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
 }
 
 impl Storage for F16 {
@@ -260,6 +272,10 @@ impl Storage for F16 {
     fn class(self) -> crate::NumClass {
         crate::classify::class_f16(self)
     }
+    #[inline(always)]
+    fn store_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
 }
 
 impl Storage for Bf16 {
@@ -292,6 +308,10 @@ impl Storage for Bf16 {
     #[inline(always)]
     fn class(self) -> crate::NumClass {
         crate::classify::class_bf16(self)
+    }
+    #[inline(always)]
+    fn store_bits(self) -> u64 {
+        self.to_bits() as u64
     }
 }
 

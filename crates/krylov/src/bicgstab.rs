@@ -93,6 +93,7 @@ pub fn bicgstab_ctl<K: Scalar>(
         a.apply(&phat, &mut v);
         let r0v = dot(&r0, &v);
         if r0v == 0.0 || !r0v.is_finite() {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, it, rel, history)
                 .with_breakdown(Breakdown::RhoBreakdown { iter: it, rho: r0v })
                 .with_health(health.into_records());
@@ -119,6 +120,7 @@ pub fn bicgstab_ctl<K: Scalar>(
         a.apply(&shat, &mut t);
         let tt = dot(&t, &t);
         if tt == 0.0 || !tt.is_finite() {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, it, rel, history)
                 .with_breakdown(Breakdown::OmegaBreakdown { iter: it, omega: tt })
                 .with_health(health.into_records());
@@ -137,6 +139,7 @@ pub fn bicgstab_ctl<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, it, rel, history)
                 .with_breakdown(Breakdown::NonFiniteResidual { iter: it, value: rel })
                 .with_health(health.into_records());
@@ -146,6 +149,7 @@ pub fn bicgstab_ctl<K: Scalar>(
                 .with_health(health.into_records());
         }
         if let Some(stag) = health.observe(it, rel) {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Stagnated, it, rel, history)
                 .with_stagnation(stag)
                 .with_health(health.into_records());
@@ -153,6 +157,7 @@ pub fn bicgstab_ctl<K: Scalar>(
 
         let rho_new = dot(&r0, &r);
         if rho_new == 0.0 || omega == 0.0 {
+            m.on_health_anomaly();
             let b = if rho_new == 0.0 {
                 Breakdown::RhoBreakdown { iter: it, rho: rho_new }
             } else {

@@ -102,6 +102,7 @@ pub fn cg_ctl<K: Scalar>(
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if !pap.is_finite() || pap <= 0.0 {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, it, f64::NAN, history)
                 .with_breakdown(Breakdown::Indefinite { iter: it, pap })
                 .with_health(health.into_records());
@@ -115,6 +116,7 @@ pub fn cg_ctl<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, it, rel, history)
                 .with_breakdown(Breakdown::NonFiniteResidual { iter: it, value: rel })
                 .with_health(health.into_records());
@@ -124,6 +126,7 @@ pub fn cg_ctl<K: Scalar>(
                 .with_health(health.into_records());
         }
         if let Some(stag) = health.observe(it, rel) {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Stagnated, it, rel, history)
                 .with_stagnation(stag)
                 .with_health(health.into_records());

@@ -89,6 +89,7 @@ pub fn gmres_ctl<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, total_iters, rel, history)
                 .with_breakdown(Breakdown::NonFiniteResidual { iter: total_iters, value: rel })
                 .with_health(health.into_records());
@@ -221,6 +222,7 @@ pub fn gmres_ctl<K: Scalar>(
             }
         }
         if broke_down {
+            m.on_health_anomaly();
             let b = last_breakdown
                 .unwrap_or(Breakdown::HessenbergNonFinite { iter: total_iters, entry: f64::NAN });
             return SolveResult::new(StopReason::Breakdown, total_iters, f64::NAN, history)
@@ -233,6 +235,7 @@ pub fn gmres_ctl<K: Scalar>(
                 .with_health(health.into_records());
         }
         if let Some(stag) = stagnated {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Stagnated, total_iters, rel, history)
                 .with_stagnation(stag)
                 .with_health(health.into_records());

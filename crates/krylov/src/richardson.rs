@@ -70,6 +70,7 @@ pub fn richardson_ctl<K: Scalar>(
             history.push(rel);
         }
         if !rel.is_finite() {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, it, rel, history)
                 .with_breakdown(Breakdown::NonFiniteResidual { iter: it, value: rel })
                 .with_health(health.into_records());
@@ -79,6 +80,7 @@ pub fn richardson_ctl<K: Scalar>(
                 .with_health(health.into_records());
         }
         if let Some(stag) = health.observe(it, rel) {
+            m.on_health_anomaly();
             return SolveResult::new(StopReason::Stagnated, it, rel, history)
                 .with_stagnation(stag)
                 .with_health(health.into_records());

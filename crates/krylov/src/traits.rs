@@ -20,6 +20,18 @@ pub trait LinOp<K: Scalar> {
 pub trait Preconditioner<K: Scalar> {
     /// `z ≈ M⁻¹ r`.
     fn apply(&mut self, r: &[K], z: &mut [K]);
+
+    /// Called by the solver when its health monitor reports an anomaly —
+    /// a numerical breakdown or a precision-attributable stagnation —
+    /// *before* the solver gives up on the iteration. A stateful
+    /// preconditioner can audit itself (e.g. verify integrity sentinels
+    /// and repair corrupted storage) and return how many corrective
+    /// actions it took; the solver records nothing and still exits with
+    /// its typed error, but a retry can now succeed against the mended
+    /// state. The default does nothing.
+    fn on_health_anomaly(&mut self) -> usize {
+        0
+    }
 }
 
 /// The identity preconditioner (unpreconditioned solves).
@@ -74,6 +86,14 @@ impl<K: Scalar, M: Preconditioner<K>> Preconditioner<K> for TimedPrecond<M> {
         self.inner.apply(r, z);
         self.elapsed += t0.elapsed();
         self.calls += 1;
+    }
+
+    fn on_health_anomaly(&mut self) -> usize {
+        // Integrity work is preconditioner work: bill it the same way.
+        let t0 = Instant::now();
+        let actions = self.inner.on_health_anomaly();
+        self.elapsed += t0.elapsed();
+        actions
     }
 }
 

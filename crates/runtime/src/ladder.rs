@@ -10,12 +10,17 @@
 //! 1. [`Rung::Retry`] — run the caller's mixed-precision configuration
 //!    again (transient faults, or faults the in-hierarchy promotion
 //!    logic heals on its own);
-//! 2. [`Rung::PromoteNarrow`] — rebuild and *eagerly* promote every
+//! 2. [`Rung::RepairLevel`] — mend the *same* hierarchy in place: an
+//!    integrity-sentinel sweep localizes corrupted coefficient planes
+//!    and re-truncates just those levels from their retained
+//!    high-precision parents (PR 4's ABFT repair), then re-solves —
+//!    no rebuild, no promotion;
+//! 3. [`Rung::PromoteNarrow`] — rebuild and *eagerly* promote every
 //!    16-bit level to FP32 before solving (the dynamic analog of
 //!    `shift_levid = 0`);
-//! 3. [`Rung::RebuildF32`] — rebuild the whole hierarchy with uniform
+//! 4. [`Rung::RebuildF32`] — rebuild the whole hierarchy with uniform
 //!    FP32 storage;
-//! 4. [`Rung::RebuildF64`] — FP64 computation *and* storage, the
+//! 5. [`Rung::RebuildF64`] — FP64 computation *and* storage, the
 //!    last-resort everything-double configuration.
 //!
 //! Each rung gets a bounded number of attempts with jittered exponential
@@ -26,7 +31,8 @@
 use std::time::{Duration, Instant};
 
 use fp16mg_core::{
-    MatOp, Mg, MgConfig, PromotionReason, RangeAudit, RecoveryPolicy, StoragePolicy,
+    MatOp, Mg, MgConfig, PromotionReason, RangeAudit, RecoveryPolicy, RepairEvent, RepairTrigger,
+    StoragePolicy,
 };
 use fp16mg_fp::{Precision, Scalar};
 use fp16mg_krylov::{
@@ -45,6 +51,11 @@ use fp16mg_sgdia::fault::FaultSpec;
 pub enum Rung {
     /// Re-run the caller's configuration unchanged.
     Retry,
+    /// Repair corrupted levels of the retained hierarchy in place from
+    /// their high-precision parents, then re-solve. Silently skipped —
+    /// no attempt is recorded — when there is no retained hierarchy or
+    /// nothing was repaired (clean sentinels, or no retained parents).
+    RepairLevel,
     /// Rebuild, then eagerly promote every 16-bit level to FP32.
     PromoteNarrow,
     /// Rebuild the hierarchy with uniform FP32 storage.
@@ -55,16 +66,17 @@ pub enum Rung {
 
 impl Rung {
     /// All rungs in climb order.
-    pub const ALL: [Rung; 4] =
-        [Rung::Retry, Rung::PromoteNarrow, Rung::RebuildF32, Rung::RebuildF64];
+    pub const ALL: [Rung; 5] =
+        [Rung::Retry, Rung::RepairLevel, Rung::PromoteNarrow, Rung::RebuildF32, Rung::RebuildF64];
 
     /// Position in the climb order.
     pub fn index(self) -> usize {
         match self {
             Rung::Retry => 0,
-            Rung::PromoteNarrow => 1,
-            Rung::RebuildF32 => 2,
-            Rung::RebuildF64 => 3,
+            Rung::RepairLevel => 1,
+            Rung::PromoteNarrow => 2,
+            Rung::RebuildF32 => 3,
+            Rung::RebuildF64 => 4,
         }
     }
 
@@ -72,6 +84,7 @@ impl Rung {
     pub fn label(self) -> &'static str {
         match self {
             Rung::Retry => "retry",
+            Rung::RepairLevel => "repair-level",
             Rung::PromoteNarrow => "promote16→32",
             Rung::RebuildF32 => "rebuild-f32",
             Rung::RebuildF64 => "rebuild-f64",
@@ -90,7 +103,7 @@ impl core::fmt::Display for Rung {
 pub struct RetryPolicy {
     /// Attempts allowed per rung, indexed by [`Rung::index`]. A zero
     /// skips the rung entirely.
-    pub attempts: [usize; 4],
+    pub attempts: [usize; 5],
     /// Base backoff slept after a failed attempt.
     pub backoff: Duration,
     /// Exponential growth factor applied per completed attempt.
@@ -108,8 +121,9 @@ pub struct RetryPolicy {
     /// saturating or losing more than [`RetryPolicy::audit_max_underflow`]
     /// of its couplings, the mixed-precision attempt is *known* doomed —
     /// the ladder starts directly at [`Rung::PromoteNarrow`] instead of
-    /// burning rung-0 retries on it. The evidence lands in
-    /// [`RetryReport::audit`].
+    /// burning rung-0 retries on it (repair cannot help either: the loss
+    /// is inherent to the format, not a corruption). The evidence lands
+    /// in [`RetryReport::audit`].
     pub audit_gate: bool,
     /// Underflow-loss fraction above which the audit gate declares a
     /// 16-bit level doomed. Deliberately looser than a typical `AutoShift`
@@ -121,7 +135,7 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy {
-            attempts: [2, 1, 1, 1],
+            attempts: [2, 1, 1, 1, 1],
             backoff: Duration::from_millis(2),
             backoff_factor: 2.0,
             max_backoff: Duration::from_millis(50),
@@ -136,7 +150,7 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// A policy that never retries anywhere (one attempt on rung 0 only).
     pub fn fail_fast() -> Self {
-        RetryPolicy { attempts: [1, 0, 0, 0], ..Self::default() }
+        RetryPolicy { attempts: [1, 0, 0, 0, 0], ..Self::default() }
     }
 
     /// The jittered backoff for global attempt number `k` (0-based).
@@ -173,19 +187,41 @@ pub enum SolverChoice {
     Richardson,
 }
 
+/// A targeted single-event upset: one bit of one stored coefficient
+/// plane of one hierarchy level (feature `fault-inject`). The flip lands
+/// on the first nonzero entry of the plane, so it always corrupts a real
+/// coupling the integrity sentinels must localize.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Copy, Debug)]
+pub struct LevelBitFlip {
+    /// Hierarchy level whose stored matrix is hit.
+    pub level: usize,
+    /// Coefficient plane (stencil tap) within the level.
+    pub tap: usize,
+    /// Bit position, taken modulo the storage width.
+    pub bit: u32,
+}
+
 /// Deterministic fault injection applied to hierarchies built during a
 /// session (feature `fault-inject`): the harness behind the ladder tests
 /// and the `repro serve` demo.
 #[cfg(feature = "fault-inject")]
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPlan {
-    /// What to inject.
+    /// What to inject (rate-based corruption).
     pub spec: FaultSpec,
-    /// The fault is re-applied to every hierarchy built at rungs *below*
+    /// Optional targeted upset, applied after `spec`: one bit of the
+    /// first nonzero entry of plane `(level, tap)` is flipped — the
+    /// silent-data-corruption scenario the ABFT sentinels exist for.
+    pub flip: Option<LevelBitFlip>,
+    /// The fault is applied to every hierarchy built at rungs *below*
     /// this one, so exactly this rung is the first clean configuration:
     /// `sticky_until = PromoteNarrow` corrupts only the initial mixed
     /// hierarchy, `RebuildF64` keeps corrupting every FP32-computation
-    /// build and only the final FP64 rebuild escapes.
+    /// build and only the final FP64 rebuild escapes. Each build is hit
+    /// exactly once — [`Rung::RepairLevel`] mends the retained
+    /// hierarchy without re-exposing it, which is precisely the
+    /// transient-upset model.
     pub sticky_until: Rung,
 }
 
@@ -253,8 +289,12 @@ pub struct Attempt {
     /// Final relative residual.
     pub rel: f64,
     /// Storage promotions the hierarchy performed during the attempt
-    /// (eager rung-1 promotions and internal self-healing both count).
+    /// (eager rung promotions and internal self-healing both count).
     pub promotions: usize,
+    /// Localized level repairs performed during the attempt — by the
+    /// in-solve integrity hooks, or by the [`Rung::RepairLevel`] sweep
+    /// that preceded the re-solve.
+    pub repairs: usize,
     /// Typed failure, when the attempt did not converge.
     pub error: Option<SolveError>,
     /// Backoff slept *after* this attempt.
@@ -284,6 +324,10 @@ pub struct RetryReport {
     /// The pre-solve precision audit, when the gate ran (see
     /// [`RetryPolicy::audit_gate`]).
     pub audit: Option<AuditSnapshot>,
+    /// Every localized level repair performed during the session, in
+    /// execution order (in-solve integrity hooks and the
+    /// [`Rung::RepairLevel`] sweeps both land here).
+    pub repairs: Vec<RepairEvent>,
 }
 
 impl RetryReport {
@@ -298,7 +342,7 @@ impl RetryReport {
         self.attempts.last().map(|a| a.rung)
     }
 
-    /// Compact `retry→retry→promote16→32` display string.
+    /// Compact `retry→repair-level→promote16→32` display string.
     pub fn summary(&self) -> String {
         self.attempts.iter().map(|a| a.rung.label()).collect::<Vec<_>>().join("→")
     }
@@ -316,7 +360,8 @@ pub struct SessionOutcome {
     pub report: RetryReport,
     /// Outer iterations summed over all attempts.
     pub iters: usize,
-    /// V-cycle applications summed over all attempts.
+    /// V-cycle applications summed over all attempts (integrity
+    /// verification sweeps charge this counter too).
     pub vcycles: usize,
     /// Session wall time, backoffs included.
     pub seconds: f64,
@@ -327,6 +372,27 @@ impl SessionOutcome {
     pub fn converged(&self) -> bool {
         self.result.is_ok()
     }
+}
+
+/// The rung-0 hierarchy, kept alive across [`Rung::Retry`] attempts so
+/// [`Rung::RepairLevel`] can mend it in place instead of rebuilding.
+/// Escalation to [`Rung::PromoteNarrow`] or beyond drops it.
+struct Retained {
+    mg: Option<Mg<f32>>,
+    /// True once the fault plan has been applied to `mg`: each build is
+    /// corrupted exactly once (re-flipping the same bit would undo it).
+    #[cfg(feature = "fault-inject")]
+    injected: bool,
+}
+
+/// What one solver attempt produced.
+struct AttemptOutput {
+    result: SolveResult,
+    /// Promotions performed during this attempt (delta, not cumulative).
+    promotions: usize,
+    /// Level repairs performed during this attempt.
+    repairs: Vec<RepairEvent>,
+    x: Vec<f64>,
 }
 
 /// Runs one solve request through the retry ladder under its budget.
@@ -350,12 +416,16 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
     let mut last_err: Option<SolveError> = None;
     let mut last_rel = f64::NAN;
     let mut global_attempt = 0usize;
+    let mut retained = Retained {
+        mg: None,
+        #[cfg(feature = "fault-inject")]
+        injected: false,
+    };
 
     // --- Pre-solve audit gate: don't burn retries on a hierarchy whose
     // own setup audit already shows a doomed 16-bit level. The gate's
     // build is not wasted — a healthy hierarchy is handed to the first
     // rung-0 attempt as-is.
-    let mut prebuilt: Option<Mg<f32>> = None;
     let mut start_rung = 0usize;
     if req.policy.audit_gate && req.policy.attempts[Rung::Retry.index()] > 0 {
         if let Ok(mg) = Mg::<f32>::setup(&req.problem.matrix, &req.base) {
@@ -387,9 +457,11 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
             });
             let skipped_retry = reason.is_some();
             if skipped_retry {
+                // Inherent format loss, not corruption — repair cannot
+                // help, so the ladder starts past RepairLevel too.
                 start_rung = Rung::PromoteNarrow.index();
             } else {
-                prebuilt = Some(mg);
+                retained.mg = Some(mg);
             }
             report.audit = Some(AuditSnapshot { levels, skipped_retry, reason });
         }
@@ -418,13 +490,17 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
             opts.max_iters = iter_cap;
 
             let at0 = Instant::now();
-            let attempt = run_rung_attempt(req, rung, &opts, &mut guard, &mut prebuilt);
+            let attempt = run_rung_attempt(req, rung, &opts, &mut guard, &mut retained);
             let seconds = at0.elapsed().as_secs_f64();
-            global_attempt += 1;
-            rung_try += 1;
 
             match attempt {
+                // The rung has nothing to do (RepairLevel with no
+                // retained hierarchy or nothing repaired): move on
+                // without recording an attempt.
+                Ok(None) => continue 'ladder,
                 Err(setup_err) => {
+                    global_attempt += 1;
+                    rung_try += 1;
                     // Same config ⇒ same setup failure: skip the rest of
                     // this rung and escalate.
                     report.attempts.push(Attempt {
@@ -434,6 +510,7 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
                         iters: 0,
                         rel: last_rel,
                         promotions: 0,
+                        repairs: 0,
                         error: Some(setup_err.clone()),
                         backoff: Duration::ZERO,
                         seconds,
@@ -441,7 +518,10 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
                     last_err = Some(setup_err);
                     continue 'ladder;
                 }
-                Ok((result, promotions, x)) => {
+                Ok(Some(out)) => {
+                    global_attempt += 1;
+                    rung_try += 1;
+                    let AttemptOutput { result, promotions, repairs, x } = out;
                     guard.charge_iters(result.iters);
                     if result.final_rel_residual.is_finite() {
                         last_rel = result.final_rel_residual;
@@ -473,10 +553,12 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
                         iters: result.iters,
                         rel: result.final_rel_residual,
                         promotions,
+                        repairs: repairs.len(),
                         error: error.clone(),
                         backoff,
                         seconds,
                     });
+                    report.repairs.extend(repairs);
                     if converged {
                         let iters = guard.iters_done();
                         let vcycles = guard.vcycles();
@@ -514,27 +596,61 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
     }
 }
 
-/// Builds the hierarchy for `rung` and runs one solver attempt under the
-/// guard. `Err` is a typed setup failure.
+/// Obtains the hierarchy for `rung` (retained, repaired, or freshly
+/// built) and runs one solver attempt under the guard. `Ok(None)` means
+/// the rung does not apply and no attempt was made; `Err` is a typed
+/// setup failure.
 fn run_rung_attempt(
     req: &SolveRequest,
     rung: Rung,
     opts: &SolveOptions,
     guard: &mut BudgetGuard,
-    prebuilt: &mut Option<Mg<f32>>,
-) -> Result<(SolveResult, usize, Vec<f64>), SolveError> {
+    retained: &mut Retained,
+) -> Result<Option<AttemptOutput>, SolveError> {
     let setup_err = |e: fp16mg_core::SetupError| SolveError::SetupFailed { message: e.to_string() };
     match rung {
         Rung::Retry => {
-            // The audit gate's healthy build is consumed by the first
-            // attempt; later attempts rebuild fresh.
-            let mg = match prebuilt.take() {
-                Some(mg) => mg,
-                None => Mg::<f32>::setup(&req.problem.matrix, &req.base).map_err(setup_err)?,
-            };
-            attempt_with(req, rung, mg, opts, guard)
+            // The audit gate's healthy build seeds the retained
+            // hierarchy; it survives failed attempts so RepairLevel can
+            // mend it in place later.
+            if retained.mg.is_none() {
+                retained.mg =
+                    Some(Mg::<f32>::setup(&req.problem.matrix, &req.base).map_err(setup_err)?);
+                #[cfg(feature = "fault-inject")]
+                {
+                    retained.injected = false;
+                }
+            }
+            let mg = retained.mg.as_mut().expect("retained hierarchy was just ensured");
+            #[cfg(feature = "fault-inject")]
+            if !retained.injected {
+                retained.injected = true;
+                inject_if_armed(req, rung, mg);
+            }
+            let bases = (mg.promotions().len(), mg.repairs().len());
+            Ok(Some(attempt_with(req, mg, opts, guard, bases)))
+        }
+        Rung::RepairLevel => {
+            // Cheapest escalation: a sentinel sweep over the *retained*
+            // rung-0 hierarchy localizes corrupted coefficient planes
+            // and re-truncates just those levels from their retained
+            // high-precision parents — no rebuild. The re-solve runs
+            // when the sweep repaired something now, or when the
+            // in-solve integrity hooks repaired during the failed retry
+            // (the mended hierarchy deserves one clean shot before the
+            // ladder escalates to a rebuild).
+            let Some(mg) = retained.mg.as_mut() else { return Ok(None) };
+            let bases = (mg.promotions().len(), mg.repairs().len());
+            let repaired_in_solve = !mg.repairs().is_empty();
+            let swept = mg.verify_and_repair(RepairTrigger::Requested);
+            if swept.is_empty() && !repaired_in_solve {
+                return Ok(None);
+            }
+            Ok(Some(attempt_with(req, mg, opts, guard, bases)))
         }
         Rung::PromoteNarrow => {
+            // A rebuild abandons the repairable hierarchy for good.
+            retained.mg = None;
             // Promotion needs recovery bookkeeping (retained level
             // sources), whatever the caller's policy says.
             let mut cfg = req.base.clone();
@@ -552,39 +668,41 @@ fn run_rung_attempt(
             for lev in narrow {
                 mg.promote_level(lev, PromotionReason::Manual);
             }
-            attempt_with(req, rung, mg, opts, guard)
+            #[cfg(feature = "fault-inject")]
+            inject_if_armed(req, rung, &mut mg);
+            Ok(Some(attempt_with(req, &mut mg, opts, guard, (0, 0))))
         }
         Rung::RebuildF32 => {
+            retained.mg = None;
             let mut cfg = req.base.clone();
             cfg.storage = StoragePolicy::Uniform(Precision::F32);
-            let mg = Mg::<f32>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
-            attempt_with(req, rung, mg, opts, guard)
+            let mut mg = Mg::<f32>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
+            #[cfg(feature = "fault-inject")]
+            inject_if_armed(req, rung, &mut mg);
+            Ok(Some(attempt_with(req, &mut mg, opts, guard, (0, 0))))
         }
         Rung::RebuildF64 => {
+            retained.mg = None;
             let mut cfg = req.base.clone();
             cfg.storage = StoragePolicy::Uniform(Precision::F64);
-            let mg = Mg::<f64>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
-            attempt_with(req, rung, mg, opts, guard)
+            let mut mg = Mg::<f64>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
+            #[cfg(feature = "fault-inject")]
+            inject_if_armed(req, rung, &mut mg);
+            Ok(Some(attempt_with(req, &mut mg, opts, guard, (0, 0))))
         }
     }
 }
 
-/// Applies the fault plan (if armed for this rung), adopts the
-/// hierarchy's cycle counter, and runs the chosen solver once.
+/// Adopts the hierarchy's cycle counter and runs the chosen solver once.
+/// `bases` are the hierarchy's promotion/repair counts at attempt start,
+/// so a retained hierarchy reports per-attempt deltas.
 fn attempt_with<Pr: Scalar>(
     req: &SolveRequest,
-    rung: Rung,
-    mut mg: Mg<Pr>,
+    mg: &mut Mg<Pr>,
     opts: &SolveOptions,
     guard: &mut BudgetGuard,
-) -> Result<(SolveResult, usize, Vec<f64>), SolveError> {
-    let _ = rung; // used only by fault-inject builds
-    #[cfg(feature = "fault-inject")]
-    if let Some(plan) = &req.fault {
-        if rung.index() < plan.sticky_until.index() {
-            inject(&mut mg, plan);
-        }
-    }
+    (promotions_base, repairs_base): (usize, usize),
+) -> AttemptOutput {
     guard.adopt_cycles(mg.cycle_counter());
     let op = MatOp::new(&req.problem.matrix, req.par);
     let b = req.problem.rhs();
@@ -595,17 +713,34 @@ fn attempt_with<Pr: Scalar>(
         (choice, _) => choice,
     };
     let result = match solver {
-        SolverChoice::Cg => cg_ctl(&op, &mut mg, &b, &mut x, opts, guard),
-        SolverChoice::Gmres => gmres_ctl(&op, &mut mg, &b, &mut x, opts, guard),
-        SolverChoice::BiCgStab => bicgstab_ctl(&op, &mut mg, &b, &mut x, opts, guard),
-        SolverChoice::Richardson => richardson_ctl(&op, &mut mg, &b, &mut x, opts, guard),
+        SolverChoice::Cg => cg_ctl(&op, mg, &b, &mut x, opts, guard),
+        SolverChoice::Gmres => gmres_ctl(&op, mg, &b, &mut x, opts, guard),
+        SolverChoice::BiCgStab => bicgstab_ctl(&op, mg, &b, &mut x, opts, guard),
+        SolverChoice::Richardson => richardson_ctl(&op, mg, &b, &mut x, opts, guard),
         SolverChoice::Auto => unreachable!("Auto resolved above"),
     };
-    Ok((result, mg.promotions().len(), x))
+    AttemptOutput {
+        result,
+        promotions: mg.promotions().len().saturating_sub(promotions_base),
+        repairs: mg.repairs()[repairs_base.min(mg.repairs().len())..].to_vec(),
+        x,
+    }
+}
+
+/// Applies the request's fault plan to a freshly built hierarchy when
+/// the plan is armed for this rung (`rung < sticky_until`).
+#[cfg(feature = "fault-inject")]
+fn inject_if_armed<Pr: Scalar>(req: &SolveRequest, rung: Rung, mg: &mut Mg<Pr>) {
+    if let Some(plan) = &req.fault {
+        if rung.index() < plan.sticky_until.index() {
+            inject(mg, plan);
+        }
+    }
 }
 
 /// Corrupts the finest 16-bit level (or level 0 when every level is
-/// already wide) per the plan. Guarantees at least one non-finite entry
+/// already wide) per the plan's rate spec, then applies the targeted
+/// bit flip if one is planned. Guarantees at least one non-finite entry
 /// for `inf`-flavored specs, so tiny test matrices still trip detection.
 #[cfg(feature = "fault-inject")]
 fn inject<Pr: Scalar>(mg: &mut Mg<Pr>, plan: &FaultPlan) {
@@ -619,6 +754,11 @@ fn inject<Pr: Scalar>(mg: &mut Mg<Pr>, plan: &FaultPlan) {
         let rep = stored.inject_faults(&plan.spec);
         if plan.spec.inf_rate > 0.0 && rep.infs == 0 {
             stored.inject_inf_at(0, 0);
+        }
+    }
+    if let Some(flip) = plan.flip {
+        if let Some(stored) = mg.stored_mut(flip.level) {
+            stored.inject_bit_flip_tap(flip.tap, flip.bit);
         }
     }
 }

@@ -12,10 +12,11 @@
 //!   `fp16mg_krylov::SolveControl`, so the bounds are enforced at every
 //!   Krylov iteration boundary, not just between attempts.
 //! - [`run_session`] walks the retry ladder ([`Rung`]): retry the mixed
-//!   FP16 configuration, eagerly promote 16-bit levels, rebuild in FP32,
-//!   and finally fall back to full FP64 — with per-rung attempt caps and
-//!   jittered backoff ([`RetryPolicy`]), recording every attempt in a
-//!   [`RetryReport`].
+//!   FP16 configuration, repair corrupted levels in place from their
+//!   integrity sentinels, eagerly promote 16-bit levels, rebuild in
+//!   FP32, and finally fall back to full FP64 — with per-rung attempt
+//!   caps and jittered backoff ([`RetryPolicy`]), recording every
+//!   attempt (and every localized repair) in a [`RetryReport`].
 //! - [`run_batch`] drives many sessions concurrently on a scoped worker
 //!   pool; a panicking session becomes a typed
 //!   `SolveError::WorkerPanicked` outcome while every other request
@@ -33,12 +34,12 @@ pub mod ladder;
 pub mod pool;
 
 pub use budget::{Budget, BudgetGuard, CancelToken};
-#[cfg(feature = "fault-inject")]
-pub use ladder::FaultPlan;
 pub use ladder::{
     run_session, Attempt, AuditSnapshot, RetryPolicy, RetryReport, Rung, SessionOutcome,
     SolveRequest, SolverChoice,
 };
+#[cfg(feature = "fault-inject")]
+pub use ladder::{FaultPlan, LevelBitFlip};
 pub use pool::{run_batch, RequestOutcome};
 
 #[cfg(test)]

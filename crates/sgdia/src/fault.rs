@@ -18,7 +18,8 @@ use crate::SgDia;
 
 /// What to corrupt and how often. Rates are per stored entry and applied
 /// independently (an entry hit by multiple faults takes the last one in
-/// field order: exponent flip, then ±∞, then subnormal flush).
+/// field order: exponent flip, then ±∞, then subnormal flush, then random
+/// bit flip).
 #[derive(Clone, Copy, Debug)]
 pub struct FaultSpec {
     /// Probability of flipping one random exponent bit of an entry.
@@ -27,6 +28,10 @@ pub struct FaultSpec {
     pub inf_rate: f64,
     /// Probability of flushing an entry to a subnormal of its sign.
     pub subnormal_flush_rate: f64,
+    /// Probability of flipping one *uniformly random* bit of an entry —
+    /// the silent-data-corruption model of the integrity sentinels. Unlike
+    /// `exp_flip_rate` this can land anywhere: sign, exponent, mantissa.
+    pub bit_flip_rate: f64,
     /// PRNG seed; equal seeds reproduce the same fault pattern.
     pub seed: u64,
 }
@@ -34,17 +39,59 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// A spec that forces ±∞ at the given rate and nothing else.
     pub fn inf(rate: f64, seed: u64) -> Self {
-        FaultSpec { exp_flip_rate: 0.0, inf_rate: rate, subnormal_flush_rate: 0.0, seed }
+        FaultSpec {
+            exp_flip_rate: 0.0,
+            inf_rate: rate,
+            subnormal_flush_rate: 0.0,
+            bit_flip_rate: 0.0,
+            seed,
+        }
     }
 
     /// A spec that flips exponent bits at the given rate and nothing else.
     pub fn exp_flip(rate: f64, seed: u64) -> Self {
-        FaultSpec { exp_flip_rate: rate, inf_rate: 0.0, subnormal_flush_rate: 0.0, seed }
+        FaultSpec {
+            exp_flip_rate: rate,
+            inf_rate: 0.0,
+            subnormal_flush_rate: 0.0,
+            bit_flip_rate: 0.0,
+            seed,
+        }
     }
 
     /// A spec that flushes entries to subnormals at the given rate.
     pub fn subnormal_flush(rate: f64, seed: u64) -> Self {
-        FaultSpec { exp_flip_rate: 0.0, inf_rate: 0.0, subnormal_flush_rate: rate, seed }
+        FaultSpec {
+            exp_flip_rate: 0.0,
+            inf_rate: 0.0,
+            subnormal_flush_rate: rate,
+            bit_flip_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// A spec that flips uniformly random bits at the given rate and
+    /// nothing else (the memory-corruption model of the ABFT sentinels).
+    pub fn bit_flip(rate: f64, seed: u64) -> Self {
+        FaultSpec {
+            exp_flip_rate: 0.0,
+            inf_rate: 0.0,
+            subnormal_flush_rate: 0.0,
+            bit_flip_rate: rate,
+            seed,
+        }
+    }
+
+    /// A spec that injects nothing: the carrier for plans that corrupt
+    /// only through targeted upsets such as [`inject_bit_flip_tap`].
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            exp_flip_rate: 0.0,
+            inf_rate: 0.0,
+            subnormal_flush_rate: 0.0,
+            bit_flip_rate: 0.0,
+            seed,
+        }
     }
 }
 
@@ -57,12 +104,14 @@ pub struct FaultReport {
     pub infs: u64,
     /// Entries flushed to a subnormal.
     pub subnormal_flushes: u64,
+    /// Entries with one uniformly random bit flipped.
+    pub bit_flips: u64,
 }
 
 impl FaultReport {
     /// Total corrupted entries.
     pub fn total(&self) -> u64 {
-        self.exp_flips + self.infs + self.subnormal_flushes
+        self.exp_flips + self.infs + self.subnormal_flushes + self.bit_flips
     }
 }
 
@@ -107,6 +156,10 @@ fn corrupt_bits16(
         out = (out & 0x8000) | sub_bits;
         report.subnormal_flushes += 1;
     }
+    if chance(state, spec.bit_flip_rate) {
+        out ^= 1 << (next_u64(state) % 16);
+        report.bit_flips += 1;
+    }
     out
 }
 
@@ -131,6 +184,11 @@ macro_rules! corrupt_bits_wide {
             if chance(state, spec.subnormal_flush_rate) {
                 out = (out & $sign) | 1;
                 report.subnormal_flushes += 1;
+            }
+            if chance(state, spec.bit_flip_rate) {
+                let width = <$ty>::BITS as u64;
+                out ^= 1 << (next_u64(state) % width);
+                report.bit_flips += 1;
             }
             out
         }
@@ -223,4 +281,65 @@ pub fn inject_inf_at<S: Storage + 'static>(a: &mut SgDia<S>, cell: usize, tap: u
         return true;
     }
     false
+}
+
+/// Flips exactly one bit of the entry at `(cell, tap)` — the single-event
+/// upset the integrity sentinels exist to catch. `bit` is taken modulo the
+/// storage width, so a test can sweep `0..64` against any format. Returns
+/// `false` for unrecognized storage.
+pub fn inject_bit_flip_at<S: Storage + 'static>(
+    a: &mut SgDia<S>,
+    cell: usize,
+    tap: usize,
+    bit: u32,
+) -> bool {
+    let idx = a.entry_index(cell, tap);
+    let data = a.data_mut();
+    if let Some(d16) = crate::kernels::cast_slice_mut::<S, F16>(data) {
+        d16[idx] = F16::from_bits(d16[idx].to_bits() ^ (1 << (bit % 16)));
+        return true;
+    }
+    if let Some(db16) = crate::kernels::cast_slice_mut::<S, Bf16>(data) {
+        db16[idx] = Bf16::from_bits(db16[idx].to_bits() ^ (1 << (bit % 16)));
+        return true;
+    }
+    if let Some(d32) = crate::kernels::cast_slice_mut::<S, f32>(data) {
+        d32[idx] = f32::from_bits(d32[idx].to_bits() ^ (1 << (bit % 32)));
+        return true;
+    }
+    if let Some(d64) = crate::kernels::cast_slice_mut::<S, f64>(data) {
+        d64[idx] = f64::from_bits(d64[idx].to_bits() ^ (1 << (bit % 64)));
+        return true;
+    }
+    false
+}
+
+/// Flips one bit of the first *nonzero* entry of coefficient plane `tap`
+/// (cell-major order), so a targeted upset is guaranteed to land on a
+/// real coupling rather than an out-of-grid explicit zero. Returns the
+/// corrupted cell, or `None` when the tap is out of range, the plane is
+/// all zeros, or the storage type is unrecognized.
+pub fn inject_bit_flip_tap<S: Storage + 'static>(
+    a: &mut SgDia<S>,
+    tap: usize,
+    bit: u32,
+) -> Option<usize> {
+    if tap >= a.pattern().len() {
+        return None;
+    }
+    let cells = a.grid().cells();
+    let cell = (0..cells).find(|&c| a.get(c, tap).load_f64() != 0.0)?;
+    inject_bit_flip_at(a, cell, tap, bit).then_some(cell)
+}
+
+/// Flips one bit of `v[i]` in the computation format (`f32`/`f64`) — the
+/// work-vector counterpart of [`inject_bit_flip_at`], so chaos tests can
+/// also upset the Krylov iterates themselves.
+pub fn flip_vector_bit<K: fp16mg_fp::Scalar>(v: &mut [K], i: usize, bit: u32) {
+    let x = v[i].to_f64();
+    v[i] = if K::BYTES == 4 {
+        K::from_f32(f32::from_bits((x as f32).to_bits() ^ (1 << (bit % 32))))
+    } else {
+        K::from_f64(f64::from_bits(x.to_bits() ^ (1 << (bit % 64))))
+    };
 }

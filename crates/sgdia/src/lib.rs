@@ -46,11 +46,13 @@ pub mod model;
 pub mod par;
 pub mod scaling;
 pub mod scan;
+pub mod sentinel;
 
 pub use audit::{RangeAudit, TruncationError, TruncationPolicy};
 pub use csr::Csr;
 pub use matrix::{Layout, SgDia};
 pub use par::Par;
+pub use sentinel::{MatrixSentinels, TapMismatch, TapSentinel};
 
 #[cfg(test)]
 mod tests;

@@ -1217,3 +1217,93 @@ fn scaling_error_carries_index_and_value() {
     // Display names the unknown so logs are actionable.
     assert!(err.to_string().contains("unknown 3"), "{err}");
 }
+
+// --- Integrity sentinels (ABFT) ------------------------------------------
+
+mod sentinels {
+    use super::*;
+    use crate::sentinel;
+    use fp16mg_fp::{Bf16, Storage, F16};
+
+    fn source() -> SgDia<f64> {
+        random_matrix(Grid3::cube(5), Pattern::p27(), Layout::Aos, 0x5e47)
+    }
+
+    fn stable_for<S: Storage>() {
+        let a64 = source();
+        let aos: SgDia<S> = a64.convert();
+        let soa: SgDia<S> = a64.to_layout(Layout::Soa).convert();
+        let s1 = sentinel::compute(&aos);
+        let s2 = sentinel::compute(&aos);
+        assert_eq!(s1, s2, "recomputation must be bit-exact");
+        assert_eq!(
+            s1,
+            sentinel::compute(&soa),
+            "sentinels are layout-independent: AOS and SOA stores agree"
+        );
+        assert!(sentinel::verify(&aos, &s1).is_empty(), "an intact plane never mismatches");
+        assert_eq!(s1.taps.len(), aos.pattern().len());
+        assert_eq!(s1.cells, aos.grid().cells());
+    }
+
+    #[test]
+    fn sentinels_are_stable_across_all_storage_formats() {
+        stable_for::<F16>();
+        stable_for::<Bf16>();
+        stable_for::<f32>();
+        stable_for::<f64>();
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn flip_sweep<S: Storage + 'static>(width: u32) {
+        let a0: SgDia<S> = source().convert();
+        let reference = sentinel::compute(&a0);
+        let cells = a0.grid().cells();
+        for bit in 0..width {
+            let mut a = a0.clone();
+            // Spread the upsets over planes and cells so the sweep also
+            // exercises boundary (explicit-zero) entries and the sign bit
+            // of zeros, which only the checksum witness can see.
+            let tap = bit as usize % a.pattern().len();
+            let cell = (bit as usize * 7919) % cells;
+            assert!(crate::fault::inject_bit_flip_at(&mut a, cell, tap, bit));
+            let mismatches = sentinel::verify(&a, &reference);
+            assert_eq!(
+                mismatches.len(),
+                1,
+                "bit {bit}: exactly the flipped plane must mismatch, got {mismatches:?}"
+            );
+            assert_eq!(mismatches[0].tap, tap, "bit {bit}: localized to the flipped plane");
+            assert!(
+                mismatches[0].checksum_differs,
+                "bit {bit}: the bit-pattern checksum catches every flip"
+            );
+            // Flipping the same bit back restores bit-identity.
+            assert!(crate::fault::inject_bit_flip_at(&mut a, cell, tap, bit));
+            assert!(sentinel::verify(&a, &reference).is_empty(), "bit {bit}: flip-back clean");
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn every_single_bit_flip_position_is_detected() {
+        flip_sweep::<F16>(16);
+        flip_sweep::<Bf16>(16);
+        flip_sweep::<f32>(32);
+        flip_sweep::<f64>(64);
+    }
+
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn targeted_tap_flip_lands_on_a_nonzero_coupling() {
+        let mut a: SgDia<F16> = source().convert();
+        let reference = sentinel::compute(&a);
+        let cell = crate::fault::inject_bit_flip_tap(&mut a, 0, 14).expect("plane 0 has couplings");
+        assert_ne!(a.get(cell, 0).load_f64(), source().get(cell, 0), "the coupling changed");
+        let mismatches = sentinel::verify(&a, &reference);
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].tap, 0);
+        // Out-of-range tap: refused, nothing corrupted.
+        assert_eq!(crate::fault::inject_bit_flip_tap(&mut a, 99, 0), None);
+    }
+}
