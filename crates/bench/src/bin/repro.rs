@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B]
-//!                    [--requests N] [--workers N] [--chaos] [--out DIR]
+//!                    [--requests N] [--workers N] [--chaos] [--overload] [--out DIR]
 //! experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 fig10 table1 table3
-//!              bf16 shift smooth guard audit serve chaos bench-json all
+//!              bf16 shift smooth guard audit serve chaos overload bench-json all
 //! ```
 //!
 //! `serve` fires a batch of mixed clean/fault-injected/panicking solve
@@ -15,6 +15,13 @@
 //! seeded single-bit flips into mid-hierarchy FP16 coefficient planes:
 //! the integrity sentinels must detect, localize, and repair them via
 //! the `repair-level` rung, visible in the per-request `repairs` column.
+//! With `--overload` (or the `overload` experiment, its alias) the demo
+//! instead drives an oversubscribed mixed-priority batch through the
+//! admission-controlled `ServePool`: bounded queueing, best-effort-first
+//! load shedding, degraded-mode solves with their `DegradeEvent` trail,
+//! and a per-class circuit breaker that opens on a poisoned problem
+//! class and recovers via a half-open probe. The process exits nonzero
+//! if any acceptance invariant is violated.
 //!
 //! `bench-json` runs the tier-1 end-to-end matrix and writes machine-
 //! readable `BENCH_<problem>.json` files into `--out` (default `.`).
@@ -41,12 +48,13 @@ struct Args {
     requests: usize,
     workers: usize,
     chaos: bool,
+    overload: bool,
     out: String,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--out DIR]");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--out DIR]");
     std::process::exit(2)
 }
 
@@ -67,6 +75,7 @@ fn parse_args() -> Args {
         requests: 16,
         workers: 0,
         chaos: false,
+        overload: false,
         out: ".".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -81,6 +90,7 @@ fn parse_args() -> Args {
             "--requests" => args.requests = arg_value(&mut it, "--requests"),
             "--workers" => args.workers = arg_value(&mut it, "--workers"),
             "--chaos" => args.chaos = true,
+            "--overload" => args.overload = true,
             "--out" => args.out = arg_value(&mut it, "--out"),
             "--smoother" => {
                 let Some(s) = it.next() else { usage("--smoother needs a value") };
@@ -139,8 +149,10 @@ fn main() {
         "semi" => semi_ablation(&args),
         "guard" => guard(&args),
         "audit" => audit_cmd(&args),
+        "serve" if args.overload => overload_cmd(&args),
         "serve" => serve_cmd(&args, args.chaos),
         "chaos" => serve_cmd(&args, true),
+        "overload" => overload_cmd(&args),
         "bench-json" => bench_json_cmd(&args),
         "all" => {
             fig1(&args);
@@ -162,6 +174,7 @@ fn main() {
             audit_cmd(&args);
             serve_cmd(&args, false);
             serve_cmd(&args, true);
+            overload_cmd(&args);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -909,6 +922,19 @@ fn serve_cmd(args: &Args, chaos: bool) {
         println!("(expect: clean rows converge on the first rung; fault rows climb the");
         println!(" ladder to their first clean configuration; the panic row is isolated;");
         println!(" the deadline and no-converge rows end with typed errors)");
+    }
+}
+
+// ------------------------------------------------------------ overload --
+
+fn overload_cmd(args: &Args) {
+    header("Overload protection: admission control, shedding, circuit breaking");
+    let workers = if args.workers > 0 { args.workers } else { 2 };
+    let cfg = fp16mg_bench::OverloadConfig { size: args.size.min(10), tol: args.tol, workers };
+    let report = fp16mg_bench::serve_overload(&cfg);
+    if !report.violations.is_empty() {
+        eprintln!("overload demo: {} acceptance violation(s)", report.violations.len());
+        std::process::exit(1);
     }
 }
 

@@ -28,4 +28,4 @@ pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};
 pub use kernelbench::{kernel_suite, KernelKind, KernelRow, Variant};
 pub use microbench::Group;
-pub use serve::{serve, ServeConfig};
+pub use serve::{serve, serve_overload, OverloadConfig, OverloadReport, ServeConfig};

@@ -16,8 +16,9 @@ use fp16mg_core::{IntegrityPolicy, MgConfig, RecoveryPolicy};
 use fp16mg_krylov::{HealthPolicy, SolveError, SolveOptions};
 use fp16mg_problems::{ProblemKind, SolverKind};
 use fp16mg_runtime::{
-    run_batch, Budget, FaultPlan, LevelBitFlip, RequestOutcome, RetryPolicy, Rung, SolveRequest,
-    SolverChoice,
+    run_batch, AdmissionConfig, BreakerConfig, BreakerState, BreakerTransition, Budget, FaultPlan,
+    LevelBitFlip, PoolConfig, Priority, RequestOutcome, RetryPolicy, Rung, ServeError, ServePool,
+    ShedPolicy, SolveRequest, SolverChoice,
 };
 use fp16mg_sgdia::fault::FaultSpec;
 
@@ -189,14 +190,15 @@ fn build_requests(cfg: &ServeConfig) -> Vec<SolveRequest> {
 fn outcome_label(outcome: &RequestOutcome) -> &'static str {
     match &outcome.result {
         Ok(_) => "converged",
-        Err(SolveError::Breakdown(_)) => "breakdown",
-        Err(SolveError::Stagnated(_)) => "stagnated",
-        Err(SolveError::DeadlineExceeded { .. }) => "deadline",
-        Err(SolveError::Cancelled { .. }) => "cancelled",
-        Err(SolveError::VcycleBudgetExceeded { .. }) => "vcycle-budget",
-        Err(SolveError::Unconverged { .. }) => "unconverged",
-        Err(SolveError::SetupFailed { .. }) => "setup-failed",
-        Err(SolveError::WorkerPanicked { .. }) => "panicked(isolated)",
+        Err(ServeError::Rejected(e)) => e.label(),
+        Err(ServeError::Session(SolveError::Breakdown(_))) => "breakdown",
+        Err(ServeError::Session(SolveError::Stagnated(_))) => "stagnated",
+        Err(ServeError::Session(SolveError::DeadlineExceeded { .. })) => "deadline",
+        Err(ServeError::Session(SolveError::Cancelled { .. })) => "cancelled",
+        Err(ServeError::Session(SolveError::VcycleBudgetExceeded { .. })) => "vcycle-budget",
+        Err(ServeError::Session(SolveError::Unconverged { .. })) => "unconverged",
+        Err(ServeError::Session(SolveError::SetupFailed { .. })) => "setup-failed",
+        Err(ServeError::Session(SolveError::WorkerPanicked { .. })) => "panicked(isolated)",
     }
 }
 
@@ -279,7 +281,7 @@ pub fn serve(cfg: &ServeConfig) -> Vec<RequestOutcome> {
     let converged = outcomes.iter().filter(|o| o.converged()).count();
     let panicked = outcomes
         .iter()
-        .filter(|o| matches!(o.result, Err(SolveError::WorkerPanicked { .. })))
+        .filter(|o| matches!(o.result, Err(ServeError::Session(SolveError::WorkerPanicked { .. }))))
         .count();
     let healed = outcomes.iter().filter(|o| o.converged() && o.report.attempts.len() > 1).count();
     let repaired: usize = outcomes.iter().map(|o| o.report.repairs.len()).sum();
@@ -290,4 +292,323 @@ pub fn serve(cfg: &ServeConfig) -> Vec<RequestOutcome> {
         outcomes.len()
     );
     outcomes
+}
+
+// ------------------------------------------------------------ overload --
+
+/// Knobs of the `repro serve --overload` demo.
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// Problem base extent (kept small: this demo is about admission, not
+    /// numerics).
+    pub size: usize,
+    /// Convergence tolerance for the healthy requests.
+    pub tol: f64,
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+}
+
+/// What the overload demo produced, for the acceptance checks and the
+/// integration test.
+#[derive(Debug)]
+pub struct OverloadReport {
+    /// `(wave name, outcomes)` in execution order.
+    pub waves: Vec<(&'static str, Vec<RequestOutcome>)>,
+    /// Every breaker state change observed, in order.
+    pub transitions: Vec<BreakerTransition>,
+    /// Acceptance-criteria violations (empty on a healthy run).
+    pub violations: Vec<String>,
+}
+
+impl OverloadReport {
+    /// All outcomes across all waves.
+    pub fn outcomes(&self) -> impl Iterator<Item = &RequestOutcome> {
+        self.waves.iter().flat_map(|(_, o)| o.iter())
+    }
+}
+
+/// A healthy, quickly converging request of the given class/priority.
+fn healthy_request(
+    name: String,
+    class: &str,
+    priority: Priority,
+    size: usize,
+    tol: f64,
+) -> SolveRequest {
+    let mut req = SolveRequest::new(name, ProblemKind::Laplace27.build(size), MgConfig::d16());
+    req.class = class.to_string();
+    req.priority = priority;
+    req.opts.tol = tol;
+    req.opts.record_history = false;
+    if priority == Priority::Interactive {
+        // Generous deadline: exercises the slack component of the
+        // pressure signal without ever being the thing that fails.
+        req.budget = Budget::with_deadline(Duration::from_secs(30));
+    }
+    req
+}
+
+/// A deterministically failing request: tolerance zero, health checks
+/// off, four iterations, no retries — terminal `Unconverged`, fast.
+fn poisoned_request(name: String, size: usize) -> SolveRequest {
+    let mut req = SolveRequest::new(name, ProblemKind::Laplace27.build(size), MgConfig::d16());
+    req.class = "poison".to_string();
+    req.opts = SolveOptions {
+        tol: 0.0,
+        health: HealthPolicy::disabled(),
+        record_history: false,
+        ..Default::default()
+    };
+    req.budget.max_iters = Some(4);
+    req.policy = RetryPolicy::fail_fast();
+    req
+}
+
+fn overload_pool(cfg: &OverloadConfig) -> ServePool {
+    ServePool::new(PoolConfig {
+        workers: cfg.workers,
+        admission: AdmissionConfig {
+            capacity: 8,
+            per_priority: [6, 6, 4],
+            est_service: Duration::from_millis(50),
+        },
+        shed: ShedPolicy {
+            reduce_at: 0.4,
+            economy_at: 0.7,
+            shed_at: [f64::INFINITY, 0.95, 0.6],
+            ..ShedPolicy::default()
+        },
+        breaker: BreakerConfig {
+            window: 6,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown: 3,
+            cooldown_jitter: 0,
+            probes: 1,
+            probe_successes: 1,
+            ..BreakerConfig::default()
+        },
+    })
+}
+
+fn print_wave(title: &str, outcomes: &[RequestOutcome]) {
+    println!("\n--- wave: {title} ---");
+    let mut t = Table::new(&[
+        "req",
+        "prio",
+        "class",
+        "admission",
+        "profile",
+        "outcome",
+        "degrades",
+        "iters",
+        "rel.resid",
+        "time",
+    ]);
+    for out in outcomes {
+        let admission = match (&out.result, out.probe) {
+            (Err(ServeError::Rejected(e)), _) => e.label().to_string(),
+            (_, true) => "probe".to_string(),
+            _ => "admitted".to_string(),
+        };
+        let degrades = out.degrades.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ");
+        let rel = match &out.result {
+            Ok(res) => Some(res.final_rel_residual),
+            Err(_) => out.report.attempts.last().map(|a| a.rel),
+        };
+        t.row(vec![
+            out.name.clone(),
+            out.priority.label().to_string(),
+            out.class.clone(),
+            admission,
+            out.profile.label().to_string(),
+            outcome_label(out).to_string(),
+            if degrades.is_empty() { "-".into() } else { degrades },
+            out.iters.to_string(),
+            rel.map(|r| format!("{r:9.2e}")).unwrap_or_else(|| "-".into()),
+            format!("{:7.1} ms", out.seconds * 1e3),
+        ]);
+    }
+    print!("{t}");
+}
+
+/// Runs the overload-protection acceptance demo: four deterministic
+/// waves through one [`ServePool`] (breaker state persists across
+/// waves).
+///
+/// 1. **overload** — 18 healthy mixed-priority requests against a
+///    capacity-8 queue: BestEffort is shed first under rising pressure,
+///    admitted work degrades (Reduced, then Economy) and still
+///    converges, the rest is refused `queue-full`. Interactive is never
+///    shed.
+/// 2. **poison** — five deterministically failing requests of one
+///    problem class trip that class's breaker (Closed → Open).
+/// 3. **recovery** — healthy requests of the poisoned class: the first
+///    are refused `breaker-open` while the cooldown counts down, then
+///    one is admitted as the half-open probe, converges, and closes the
+///    breaker.
+/// 4. **recovered** — the class serves normally again.
+///
+/// Every request across all waves ends typed: converged (possibly with
+/// a [`fp16mg_runtime::DegradeEvent`] trail) or rejected with a typed
+/// `AdmissionError`. Violations of these invariants are collected in
+/// the report — and there should be none.
+pub fn serve_overload(cfg: &OverloadConfig) -> OverloadReport {
+    let size = cfg.size.clamp(6, 12);
+    let mut pool = overload_pool(cfg);
+    println!(
+        "overload demo: queue capacity 8 (per-priority 6/6/4), {} workers, \
+         shed at pressure 0.6 (best-effort) / 0.95 (batch) / never (interactive), \
+         degrade at 0.4 (reduced) / 0.7 (economy), breaker window 6 @ 50% over ≥4 samples",
+        cfg.workers
+    );
+
+    // Wave 1: oversubscription. 18 requests, priorities cycling
+    // interactive → batch → best-effort, all of one healthy class.
+    let wave1: Vec<SolveRequest> = (0..18)
+        .map(|i| {
+            let priority = Priority::ALL[i % 3];
+            healthy_request(format!("{}#{i:02}", priority.label()), "mix", priority, size, cfg.tol)
+        })
+        .collect();
+    let out1 = pool.run(wave1);
+    print_wave("overload (18 mixed-priority requests, capacity 8)", &out1);
+
+    // Wave 2: a poisoned class trips its breaker.
+    let wave2: Vec<SolveRequest> =
+        (0..5).map(|i| poisoned_request(format!("poison#{i:02}"), size)).collect();
+    let out2 = pool.run(wave2);
+    print_wave("poison (5 terminal failures in class 'poison')", &out2);
+
+    // Wave 3: cooldown, then the half-open probe heals the class.
+    let wave3: Vec<SolveRequest> = (0..3)
+        .map(|i| {
+            healthy_request(format!("recover#{i:02}"), "poison", Priority::Batch, size, cfg.tol)
+        })
+        .collect();
+    let out3 = pool.run(wave3);
+    print_wave("recovery (healthy 'poison'-class requests vs the open breaker)", &out3);
+
+    // Wave 4: the class is healthy again.
+    let wave4: Vec<SolveRequest> = (0..4)
+        .map(|i| {
+            healthy_request(format!("healed#{i:02}"), "poison", Priority::Batch, size, cfg.tol)
+        })
+        .collect();
+    let out4 = pool.run(wave4);
+    print_wave("recovered (breaker closed again)", &out4);
+
+    let transitions = pool.breakers().transitions().to_vec();
+    println!("\nbreaker transitions:");
+    for tr in &transitions {
+        println!("  {tr}");
+    }
+
+    let waves: Vec<(&'static str, Vec<RequestOutcome>)> =
+        vec![("overload", out1), ("poison", out2), ("recovery", out3), ("recovered", out4)];
+    let violations = check_overload(&waves, &transitions);
+    if violations.is_empty() {
+        let total: usize = waves.iter().map(|(_, o)| o.len()).sum();
+        println!(
+            "\nall {total} requests ended typed (admitted+converged, admitted+degraded \
+             with event trail, or rejected with a typed AdmissionError); \
+             best-effort shed first, interactive never shed; breaker opened on the \
+             poisoned class and recovered via its half-open probe"
+        );
+    } else {
+        println!("\nACCEPTANCE VIOLATIONS:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+    }
+    OverloadReport { waves, transitions, violations }
+}
+
+/// The acceptance checks of the overload demo, as data.
+fn check_overload(
+    waves: &[(&'static str, Vec<RequestOutcome>)],
+    transitions: &[BreakerTransition],
+) -> Vec<String> {
+    use fp16mg_runtime::AdmissionError;
+    let mut v = Vec::new();
+    let wave = |name: &str| {
+        waves.iter().find(|(n, _)| *n == name).map(|(_, o)| o.as_slice()).unwrap_or(&[])
+    };
+
+    // Universal: nothing untyped, nothing panicked, solutions for every Ok.
+    for (name, outcomes) in waves {
+        for out in outcomes.iter() {
+            if let Err(ServeError::Session(SolveError::WorkerPanicked { .. })) = out.result {
+                v.push(format!("{name}/{}: worker panic in an overload wave", out.name));
+            }
+            if out.converged() && out.solution.is_none() {
+                v.push(format!("{name}/{}: converged without a solution", out.name));
+            }
+        }
+    }
+
+    // Wave 1: bounded queueing, shed order, degraded convergence.
+    let o1 = wave("overload");
+    let admitted = o1.iter().filter(|o| o.rejection().is_none()).count();
+    if admitted > 8 {
+        v.push(format!("overload: {admitted} admitted past the capacity-8 queue"));
+    }
+    let shed: Vec<_> =
+        o1.iter().filter(|o| matches!(o.rejection(), Some(AdmissionError::Shed { .. }))).collect();
+    if shed.is_empty() {
+        v.push("overload: nothing was shed".into());
+    }
+    if let Some(first) = shed.first() {
+        if first.priority != Priority::BestEffort {
+            v.push(format!("overload: first shed was {}, not best-effort", first.priority));
+        }
+    }
+    if shed.iter().any(|o| o.priority == Priority::Interactive) {
+        v.push("overload: an interactive request was shed".into());
+    }
+    if !o1.iter().any(|o| matches!(o.rejection(), Some(AdmissionError::QueueFull { .. }))) {
+        v.push("overload: the queue bound never engaged".into());
+    }
+    let degraded_ok = o1.iter().filter(|o| o.degraded() && o.converged()).count();
+    if degraded_ok == 0 {
+        v.push("overload: no degraded request converged".into());
+    }
+    if o1.iter().any(|o| o.degraded() && o.degrades.is_empty()) {
+        v.push("overload: a degraded request has no DegradeEvent trail".into());
+    }
+    for out in o1.iter().filter(|o| o.rejection().is_none()) {
+        if !out.converged() {
+            v.push(format!("overload/{}: admitted healthy request failed", out.name));
+        }
+    }
+
+    // Waves 2–4: the breaker story.
+    let seq: Vec<(BreakerState, BreakerState)> =
+        transitions.iter().filter(|t| t.class == "poison").map(|t| (t.from, t.to)).collect();
+    let expect = [
+        (BreakerState::Closed, BreakerState::Open),
+        (BreakerState::Open, BreakerState::HalfOpen),
+        (BreakerState::HalfOpen, BreakerState::Closed),
+    ];
+    if seq != expect {
+        v.push(format!("breaker: transition sequence {seq:?}, expected {expect:?}"));
+    }
+    let o3 = wave("recovery");
+    let open_rejects = o3
+        .iter()
+        .filter(|o| matches!(o.rejection(), Some(AdmissionError::BreakerOpen { .. })))
+        .count();
+    if open_rejects == 0 {
+        v.push("recovery: the open breaker never rejected anything".into());
+    }
+    match o3.iter().find(|o| o.probe) {
+        Some(probe) if !probe.converged() => v.push("recovery: the half-open probe failed".into()),
+        None => v.push("recovery: no half-open probe was admitted".into()),
+        _ => {}
+    }
+    let o4 = wave("recovered");
+    if o4.is_empty() || !o4.iter().all(|o| o.converged()) {
+        v.push("recovered: the healed class did not serve cleanly".into());
+    }
+    v
 }

@@ -5,6 +5,7 @@
 
 use fp16mg_bench::{serve, ServeConfig};
 use fp16mg_krylov::SolveError;
+use fp16mg_runtime::ServeError;
 
 #[test]
 fn mixed_batch_completes_with_typed_outcomes() {
@@ -19,19 +20,25 @@ fn mixed_batch_completes_with_typed_outcomes() {
     let outcomes = serve(&cfg);
     assert_eq!(outcomes.len(), 16, "every request must produce an outcome");
 
-    let count = |pred: &dyn Fn(&Result<_, SolveError>) -> bool| {
-        outcomes.iter().filter(|o| pred(&o.result)).count()
+    let count = |pred: &dyn Fn(&SolveError) -> bool| {
+        outcomes
+            .iter()
+            .filter(|o| match &o.result {
+                Err(ServeError::Session(e)) => pred(e),
+                _ => false,
+            })
+            .count()
     };
     assert!(
-        count(&|r| matches!(r, Err(SolveError::WorkerPanicked { .. }))) >= 1,
+        count(&|e| matches!(e, SolveError::WorkerPanicked { .. })) >= 1,
         "at least one injected panic, isolated to its request"
     );
     assert!(
-        count(&|r| matches!(r, Err(SolveError::DeadlineExceeded { .. }))) >= 1,
+        count(&|e| matches!(e, SolveError::DeadlineExceeded { .. })) >= 1,
         "at least one deadline-limited request"
     );
     assert!(
-        count(&|r| matches!(r, Err(SolveError::Unconverged { .. }))) >= 1,
+        count(&|e| matches!(e, SolveError::Unconverged { .. })) >= 1,
         "at least one non-converging request"
     );
 
@@ -82,7 +89,7 @@ fn chaos_batch_repairs_bit_flips_without_process_failures() {
     for out in &outcomes {
         if out.name.starts_with("panic") {
             assert!(
-                matches!(out.result, Err(SolveError::WorkerPanicked { .. })),
+                matches!(out.result, Err(ServeError::Session(SolveError::WorkerPanicked { .. }))),
                 "panic rows stay isolated: {:?}",
                 out.result
             );
@@ -110,4 +117,43 @@ fn chaos_batch_repairs_bit_flips_without_process_failures() {
         }
     }
     assert!(flips >= 8, "the chaos cycle must be dominated by flip scenarios, got {flips}");
+}
+
+#[test]
+fn overload_demo_meets_its_acceptance_criteria() {
+    // The `repro serve --overload` scenario end-to-end, small: four waves
+    // through one pool — oversubscription (shed + degrade + queue-full),
+    // a poisoned class tripping its breaker, typed breaker-open refusals
+    // during cooldown, half-open probe recovery, and normal service
+    // after. `check_overload` encodes the acceptance criteria; a healthy
+    // run reports zero violations.
+    let cfg = fp16mg_bench::OverloadConfig { size: 6, tol: 1e-9, workers: 2 };
+    let report = fp16mg_bench::serve_overload(&cfg);
+    assert!(
+        report.violations.is_empty(),
+        "overload acceptance violations:\n{}",
+        report.violations.join("\n")
+    );
+
+    // Spot-check the invariants the report is built on, independently of
+    // check_overload.
+    for out in report.outcomes() {
+        match &out.result {
+            Ok(_) => assert!(out.solution.is_some() || out.name.starts_with("poison")),
+            Err(ServeError::Rejected(e)) => {
+                assert!(!e.label().is_empty(), "every refusal is typed");
+            }
+            Err(ServeError::Session(e)) => {
+                assert!(
+                    !matches!(e, SolveError::WorkerPanicked { .. }),
+                    "no worker may panic in the overload demo"
+                );
+            }
+        }
+    }
+    let probe = report
+        .outcomes()
+        .find(|o| o.probe)
+        .expect("the recovery wave must admit a half-open probe");
+    assert!(probe.converged(), "the probe must converge and close the breaker");
 }

@@ -17,10 +17,17 @@
 //!   FP32, and finally fall back to full FP64 — with per-rung attempt
 //!   caps and jittered backoff ([`RetryPolicy`]), recording every
 //!   attempt (and every localized repair) in a [`RetryReport`].
-//! - [`run_batch`] drives many sessions concurrently on a scoped worker
-//!   pool; a panicking session becomes a typed
-//!   `SolveError::WorkerPanicked` outcome while every other request
-//!   completes.
+//! - [`ServePool`] drives many sessions concurrently on a scoped worker
+//!   pool behind an overload-protection layer: a bounded
+//!   [`AdmissionQueue`] with per-[`Priority`] capacity, a
+//!   per-problem-class circuit [`breaker`](crate::breaker), and a
+//!   pressure-driven [`shed`](crate::shed) stage that degrades admitted
+//!   work ([`DegradeProfile`]) or sheds it (BestEffort first,
+//!   Interactive never) — every refusal a typed [`AdmissionError`],
+//!   every downgrade a typed [`DegradeEvent`]. A panicking session
+//!   becomes a typed `SolveError::WorkerPanicked` outcome while every
+//!   other request completes. [`run_batch`] remains as the
+//!   protection-off compatibility wrapper.
 //!
 //! Under the `fault-inject` feature, requests can carry a [`FaultPlan`]
 //! that keeps corrupting rebuilt hierarchies until a chosen rung, which
@@ -29,10 +36,18 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod breaker;
 pub mod budget;
 pub mod ladder;
 pub mod pool;
+pub mod shed;
 
+pub use admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Priority};
+pub use breaker::{
+    BreakerConfig, BreakerDecision, BreakerRegistry, BreakerState, BreakerTransition,
+    CircuitBreaker,
+};
 pub use budget::{Budget, BudgetGuard, CancelToken};
 pub use ladder::{
     run_session, Attempt, AuditSnapshot, RetryPolicy, RetryReport, Rung, SessionOutcome,
@@ -40,7 +55,8 @@ pub use ladder::{
 };
 #[cfg(feature = "fault-inject")]
 pub use ladder::{FaultPlan, LevelBitFlip};
-pub use pool::{run_batch, RequestOutcome};
+pub use pool::{run_batch, PoolConfig, RequestOutcome, ServeError, ServePool};
+pub use shed::{estimate_pressure, DegradeEvent, DegradeProfile, PressureSignal, ShedPolicy};
 
 #[cfg(test)]
 mod tests;

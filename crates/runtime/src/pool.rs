@@ -1,13 +1,30 @@
-//! Concurrent multi-request driver with panic isolation.
+//! The serve pool: admission-controlled, overload-protected concurrent
+//! request driver with panic isolation.
 //!
-//! [`run_batch`] fans a batch of [`SolveRequest`]s out over a scoped
-//! worker pool. Each request runs its full retry-ladder session on one
-//! worker; a panicking session (a bug, or injected via
-//! `SolveRequest::panic_in_worker`) is contained by `catch_unwind` and
-//! surfaces as a typed [`SolveError::WorkerPanicked`] outcome — the
-//! worker thread survives and keeps draining the queue, and every other
-//! request completes normally. No solve can take the process (or its
-//! neighbors) down.
+//! [`ServePool`] is the front door for batches of [`SolveRequest`]s. A
+//! request passes three gates before any numerical work is spent on it:
+//!
+//! 1. **Capacity** — the bounded [`AdmissionQueue`] (total and
+//!    per-priority caps) refuses what cannot be queued, so latency never
+//!    collapses under unbounded intake;
+//! 2. **Breaker** — the per-problem-class [`BreakerRegistry`] refuses
+//!    classes whose recent sessions keep failing terminally, until a
+//!    half-open probe proves them healthy again;
+//! 3. **Shed** — the pressure signal (queue fill, queued deadline
+//!    slack) sheds [`Priority::BestEffort`] work first and
+//!    [`Priority::Batch`] work near saturation, while admitted work is
+//!    degraded ([`DegradeProfile::Reduced`]/[`DegradeProfile::Economy`])
+//!    instead of queued at full cost.
+//!
+//! Every gate decision is typed: a refused request carries its
+//! [`AdmissionError`], a degraded one its [`DegradeEvent`] trail. The
+//! admission phase is sequential and driven only by declared quantities,
+//! so a replayed batch makes identical decisions; execution then fans
+//! out over scoped workers (highest priority first) with per-request
+//! `catch_unwind` containment, exactly as before.
+//!
+//! [`run_batch`] survives as a thin compatibility wrapper: an unbounded
+//! queue, no shedding, breakers off — the pre-admission behavior.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -16,9 +33,55 @@ use std::time::Instant;
 
 use fp16mg_krylov::{SolveError, SolveResult};
 
+use crate::admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Priority};
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerRegistry};
 use crate::ladder::{run_session, RetryReport, SolveRequest};
+use crate::shed::{estimate_pressure, DegradeEvent, DegradeProfile, ShedPolicy};
 
-/// Outcome of one request in a batch, tagged with its submission index.
+/// Why one request ended without a converged result: refused at
+/// admission, or admitted and then failed in its solve session. Nothing
+/// a request can experience is untyped.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// Refused before any numerical work: queue full, shed, or breaker
+    /// open.
+    Rejected(AdmissionError),
+    /// Admitted, but the session ended with a typed solve failure
+    /// (ladder exhaustion, deadline, cancellation, contained panic, …).
+    Session(SolveError),
+}
+
+impl ServeError {
+    /// The admission refusal, when this is one.
+    pub fn rejection(&self) -> Option<&AdmissionError> {
+        match self {
+            ServeError::Rejected(e) => Some(e),
+            ServeError::Session(_) => None,
+        }
+    }
+
+    /// The session failure, when this is one.
+    pub fn session(&self) -> Option<&SolveError> {
+        match self {
+            ServeError::Rejected(_) => None,
+            ServeError::Session(e) => Some(e),
+        }
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::Rejected(e) => write!(f, "rejected: {e}"),
+            ServeError::Session(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Outcome of one request in a batch, tagged with its submission index
+/// and full admission/degradation provenance.
 #[derive(Clone, Debug)]
 pub struct RequestOutcome {
     /// Position in the submitted batch (outcomes are returned in this
@@ -26,19 +89,36 @@ pub struct RequestOutcome {
     pub index: usize,
     /// The request's display name.
     pub name: String,
-    /// Converged result, or the typed error that ended the session —
-    /// including [`SolveError::WorkerPanicked`] for contained panics.
-    pub result: Result<SolveResult, SolveError>,
+    /// The request's priority class.
+    pub priority: Priority,
+    /// The request's problem class (breaker key).
+    pub class: String,
+    /// Converged result, or the typed error that ended the request —
+    /// an admission refusal ([`ServeError::Rejected`]) or a session
+    /// failure ([`ServeError::Session`], including
+    /// [`SolveError::WorkerPanicked`] for contained panics).
+    pub result: Result<SolveResult, ServeError>,
     /// The solution vector, when the session converged.
     pub solution: Option<Vec<f64>>,
-    /// Every ladder attempt the session took (empty for panicked
-    /// requests).
+    /// Every ladder attempt the session took (empty for rejected and
+    /// panicked requests).
     pub report: RetryReport,
+    /// The pressure value observed at this request's admission attempt.
+    pub pressure: f64,
+    /// The quality profile the request was served at (always
+    /// [`DegradeProfile::Full`] for rejected requests and half-open
+    /// probes).
+    pub profile: DegradeProfile,
+    /// Typed trail of every quality downgrade applied before the solve.
+    pub degrades: Vec<DegradeEvent>,
+    /// True when this request was admitted as a half-open breaker probe.
+    pub probe: bool,
     /// Outer iterations summed over all attempts.
     pub iters: usize,
     /// V-cycle applications summed over all attempts.
     pub vcycles: usize,
-    /// Wall time of the session on its worker.
+    /// Wall time of the session on its worker (zero for rejected
+    /// requests — rejection spends no solve time, that is the point).
     pub seconds: f64,
 }
 
@@ -47,73 +127,285 @@ impl RequestOutcome {
     pub fn converged(&self) -> bool {
         self.result.is_ok()
     }
+
+    /// The typed admission refusal, when the request was rejected.
+    pub fn rejection(&self) -> Option<&AdmissionError> {
+        self.result.as_ref().err().and_then(ServeError::rejection)
+    }
+
+    /// True when the request was served at a degraded profile.
+    pub fn degraded(&self) -> bool {
+        self.profile != DegradeProfile::Full
+    }
+}
+
+/// Full configuration of a [`ServePool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker threads executing admitted requests (clamped to at least 1
+    /// and at most the batch size).
+    pub workers: usize,
+    /// Bounded-queue shape.
+    pub admission: AdmissionConfig,
+    /// Pressure thresholds and degraded-profile knobs.
+    pub shed: ShedPolicy,
+    /// Per-problem-class circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            admission: AdmissionConfig::default(),
+            shed: ShedPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// The [`run_batch`] compatibility shape: practically unbounded
+    /// queue, shedding and degradation off, breakers off. Every request
+    /// is admitted at full quality.
+    pub fn unbounded(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            admission: AdmissionConfig::unbounded(),
+            shed: ShedPolicy::disabled(),
+            breaker: BreakerConfig::disabled(),
+        }
+    }
+}
+
+/// One admitted request, carrying its provenance to the worker phase.
+struct Admitted {
+    index: usize,
+    req: SolveRequest,
+    pressure: f64,
+    profile: DegradeProfile,
+    degrades: Vec<DegradeEvent>,
+    probe: bool,
+}
+
+/// The overload-protected serve pool. Owns the breaker registry, which
+/// persists across [`ServePool::run`] calls — a class that poisons one
+/// batch stays refused in the next until its half-open probe clears it.
+/// The admission queue is per-batch: each `run` starts with an empty
+/// bounded queue.
+pub struct ServePool {
+    cfg: PoolConfig,
+    breakers: BreakerRegistry,
+}
+
+impl ServePool {
+    /// A pool with fresh (all-closed) breakers.
+    pub fn new(cfg: PoolConfig) -> Self {
+        let breakers = BreakerRegistry::new(cfg.breaker.clone());
+        ServePool { cfg, breakers }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// The breaker registry (states and transition log).
+    pub fn breakers(&self) -> &BreakerRegistry {
+        &self.breakers
+    }
+
+    /// Serves one batch: sequential typed admission, then concurrent
+    /// execution of the admitted requests (highest priority first) on
+    /// scoped workers with per-request panic containment. Outcomes come
+    /// back in submission order, one per request, rejected or not.
+    ///
+    /// Completed sessions are recorded into the breaker registry in
+    /// submission order after the batch finishes, so breaker evolution
+    /// is deterministic regardless of worker interleaving.
+    pub fn run(&mut self, requests: Vec<SolveRequest>) -> Vec<RequestOutcome> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut queue = AdmissionQueue::new(self.cfg.admission.clone());
+        let workers = self.cfg.workers.clamp(1, n);
+
+        // --- Phase 1: sequential admission. Decisions depend only on
+        // declared quantities and arrival order, never on wall clock.
+        let mut slots: Vec<Option<RequestOutcome>> = (0..n).map(|_| None).collect();
+        let mut admitted: Vec<Admitted> = Vec::new();
+        let mut queued_deadlines: Vec<Option<std::time::Duration>> = Vec::new();
+        for (index, mut req) in requests.into_iter().enumerate() {
+            let priority = req.priority;
+            let class = req.class.clone();
+            let name = req.name.clone();
+            let reject = |err: AdmissionError, pressure: f64| RequestOutcome {
+                index,
+                name: name.clone(),
+                priority,
+                class: class.clone(),
+                result: Err(ServeError::Rejected(err)),
+                solution: None,
+                report: RetryReport::default(),
+                pressure,
+                profile: DegradeProfile::Full,
+                degrades: Vec::new(),
+                probe: false,
+                iters: 0,
+                vcycles: 0,
+                seconds: 0.0,
+            };
+
+            // Gate 1: bounded capacity.
+            if let Err(e) = queue.try_reserve(priority) {
+                slots[index] = Some(reject(e, queue.fill()));
+                continue;
+            }
+            // Gate 2: the class's circuit breaker. (Checked after the
+            // capacity reservation so a granted half-open probe always
+            // has a slot — no rollback path.)
+            let probe = match self.breakers.on_admission_attempt(&class) {
+                BreakerDecision::Reject { failure_rate, cooldown_remaining } => {
+                    queue.release(priority);
+                    let err = AdmissionError::BreakerOpen {
+                        class: class.clone(),
+                        failure_rate,
+                        cooldown_remaining,
+                    };
+                    slots[index] = Some(reject(err, queue.fill()));
+                    continue;
+                }
+                BreakerDecision::Admit { probe } => probe,
+            };
+            // Gate 3: the pressure signal. Probes bypass shedding — the
+            // whole point of a probe is to run and report.
+            let signal = estimate_pressure(
+                queue.depth(),
+                queue.config().capacity,
+                workers,
+                queue.config().est_service,
+                &queued_deadlines,
+            );
+            let pressure = signal.value();
+            if !probe && self.cfg.shed.should_shed(priority, pressure) {
+                queue.release(priority);
+                slots[index] = Some(reject(AdmissionError::Shed { priority, pressure }, pressure));
+                continue;
+            }
+
+            // Admitted. Probes run at full quality: a degraded probe
+            // would test the wrong thing.
+            let profile =
+                if probe { DegradeProfile::Full } else { self.cfg.shed.profile_for(pressure) };
+            let degrades = req.apply_profile(profile, &self.cfg.shed);
+            queued_deadlines.push(req.budget.deadline);
+            admitted.push(Admitted { index, req, pressure, profile, degrades, probe });
+        }
+
+        // --- Phase 2: concurrent execution, highest priority first (the
+        // shed order in reverse: what we protect hardest runs soonest).
+        admitted.sort_by_key(|a| (a.req.priority.index(), a.index));
+        let exec: Mutex<VecDeque<Admitted>> = Mutex::new(admitted.into_iter().collect());
+        let done: Vec<Mutex<Option<(RequestOutcome, bool)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // The lock is held only around the pop — a panicking
+                    // session can never poison the queue.
+                    let job = exec.lock().expect("execution queue poisoned").pop_front();
+                    let Some(adm) = job else { break };
+                    let Admitted { index, req, pressure, profile, degrades, probe } = adm;
+                    let name = req.name.clone();
+                    let priority = req.priority;
+                    let class = req.class.clone();
+                    let t0 = Instant::now();
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| run_session(&req))) {
+                        Ok(sess) => {
+                            // Cancelled sessions say nothing about class
+                            // health; everything else feeds the breaker.
+                            let countable =
+                                !matches!(sess.result, Err(SolveError::Cancelled { .. }));
+                            (
+                                RequestOutcome {
+                                    index,
+                                    name,
+                                    priority,
+                                    class,
+                                    result: sess.result.map_err(ServeError::Session),
+                                    solution: sess.solution,
+                                    report: sess.report,
+                                    pressure,
+                                    profile,
+                                    degrades,
+                                    probe,
+                                    iters: sess.iters,
+                                    vcycles: sess.vcycles,
+                                    seconds: sess.seconds,
+                                },
+                                countable,
+                            )
+                        }
+                        Err(payload) => (
+                            RequestOutcome {
+                                index,
+                                name,
+                                priority,
+                                class,
+                                result: Err(ServeError::Session(SolveError::WorkerPanicked {
+                                    message: panic_message(payload.as_ref()),
+                                })),
+                                solution: None,
+                                report: RetryReport::default(),
+                                pressure,
+                                profile,
+                                degrades,
+                                probe,
+                                iters: 0,
+                                vcycles: 0,
+                                seconds: t0.elapsed().as_secs_f64(),
+                            },
+                            true,
+                        ),
+                    };
+                    *done[index].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        for (index, slot) in done.into_iter().enumerate() {
+            if let Some((outcome, countable)) = slot.into_inner().expect("result slot poisoned") {
+                if countable {
+                    self.breakers.record(&outcome.class, outcome.converged(), outcome.probe);
+                }
+                slots[index] = Some(outcome);
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request produces an outcome, admitted or not"))
+            .collect()
+    }
 }
 
 /// Runs every request through [`run_session`] on a pool of `workers`
 /// scoped threads and returns one [`RequestOutcome`] per request, in
-/// submission order.
+/// submission order — the pre-admission-control entry point, now a thin
+/// wrapper over [`ServePool`] with overload protection disabled: nothing
+/// is refused, shed, or degraded.
 ///
 /// Workers pull from a shared queue, so a batch of mixed-size problems
-/// load-balances naturally. `workers` is clamped to `[1, len]`. Panics
-/// inside a session are caught per-request; the corresponding outcome
-/// carries [`SolveError::WorkerPanicked`] with the panic message, and
-/// the remaining requests still complete.
+/// load-balances naturally. `workers` is clamped to `[1, len]` (so
+/// `workers == 0` serves the batch on one worker), and an empty batch
+/// returns an empty vector. Panics inside a session are caught
+/// per-request; the corresponding outcome carries
+/// [`SolveError::WorkerPanicked`] with the panic message, and the
+/// remaining requests still complete.
 pub fn run_batch(requests: Vec<SolveRequest>, workers: usize) -> Vec<RequestOutcome> {
-    let n = requests.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.clamp(1, n);
-    let queue: Mutex<VecDeque<(usize, SolveRequest)>> =
-        Mutex::new(requests.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<RequestOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                // The lock is held only around the pop — a panicking
-                // session can never poison the queue.
-                let job = queue.lock().expect("request queue poisoned").pop_front();
-                let Some((index, req)) = job else { break };
-                let name = req.name.clone();
-                let t0 = Instant::now();
-                let outcome = match catch_unwind(AssertUnwindSafe(|| run_session(&req))) {
-                    Ok(sess) => RequestOutcome {
-                        index,
-                        name,
-                        result: sess.result,
-                        solution: sess.solution,
-                        report: sess.report,
-                        iters: sess.iters,
-                        vcycles: sess.vcycles,
-                        seconds: sess.seconds,
-                    },
-                    Err(payload) => RequestOutcome {
-                        index,
-                        name,
-                        result: Err(SolveError::WorkerPanicked {
-                            message: panic_message(payload.as_ref()),
-                        }),
-                        solution: None,
-                        report: RetryReport::default(),
-                        iters: 0,
-                        vcycles: 0,
-                        seconds: t0.elapsed().as_secs_f64(),
-                    },
-                };
-                *slots[index].lock().expect("result slot poisoned") = Some(outcome);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every queued request produces an outcome")
-        })
-        .collect()
+    ServePool::new(PoolConfig::unbounded(workers)).run(requests)
 }
 
 /// Extracts a human-readable message from a panic payload.

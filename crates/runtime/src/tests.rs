@@ -213,6 +213,29 @@ mod pool {
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].converged());
     }
+
+    #[test]
+    fn zero_workers_still_serves_on_one_worker() {
+        // Regression: `workers == 0` must clamp to one worker, not hang
+        // or panic, and an empty batch with zero workers is just empty.
+        assert!(run_batch(Vec::new(), 0).is_empty());
+        let outcomes = run_batch(vec![SolveRequest::new("zero", laplace(6), MgConfig::d16())], 0);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].converged(), "{:?}", outcomes[0].result);
+    }
+
+    #[test]
+    fn run_batch_compatibility_admits_everything_at_full_quality() {
+        let requests: Vec<_> = (0..6)
+            .map(|i| SolveRequest::new(format!("compat-{i}"), laplace(6), MgConfig::d16()))
+            .collect();
+        for out in run_batch(requests, 2) {
+            assert!(out.rejection().is_none(), "run_batch must never reject");
+            assert!(!out.degraded(), "run_batch must never degrade");
+            assert!(out.degrades.is_empty());
+            assert!(!out.probe);
+        }
+    }
 }
 
 #[cfg(feature = "fault-inject")]
@@ -318,7 +341,7 @@ mod fault {
             if i == 1 {
                 let err = out.result.as_ref().expect_err("injected panic must surface");
                 match err {
-                    SolveError::WorkerPanicked { message } => {
+                    crate::pool::ServeError::Session(SolveError::WorkerPanicked { message }) => {
                         assert!(message.contains("injected worker panic"), "message: {message}");
                     }
                     other => panic!("expected WorkerPanicked, got {other:?}"),
@@ -516,5 +539,581 @@ mod audit_gate {
         assert!(!audit.skipped_retry);
         let rungs = out.report.rung_sequence();
         assert_eq!(rungs.first(), Some(&Rung::Retry), "rungs: {rungs:?}");
+    }
+}
+
+mod admission {
+    use crate::admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Priority};
+    use std::time::Duration;
+
+    fn small() -> AdmissionConfig {
+        AdmissionConfig {
+            capacity: 4,
+            per_priority: [3, 3, 1],
+            est_service: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn total_capacity_bounds_the_queue() {
+        let mut q = AdmissionQueue::new(small());
+        for _ in 0..3 {
+            q.try_reserve(Priority::Interactive).unwrap();
+        }
+        q.try_reserve(Priority::Batch).unwrap();
+        assert_eq!(q.depth(), 4);
+        let err = q.try_reserve(Priority::Batch).unwrap_err();
+        assert!(
+            matches!(err, AdmissionError::QueueFull { capacity: 4, depth: 4, .. }),
+            "expected the total bound, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn per_priority_cap_binds_before_total() {
+        let mut q = AdmissionQueue::new(small());
+        q.try_reserve(Priority::BestEffort).unwrap();
+        let err = q.try_reserve(Priority::BestEffort).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AdmissionError::QueueFull { priority: Priority::BestEffort, capacity: 1, depth: 1 }
+            ),
+            "expected the best-effort reservation bound, got {err:?}"
+        );
+        // Other classes still have room.
+        q.try_reserve(Priority::Interactive).unwrap();
+    }
+
+    #[test]
+    fn release_frees_the_slot() {
+        let mut q = AdmissionQueue::new(small());
+        q.try_reserve(Priority::BestEffort).unwrap();
+        assert_eq!(q.depth_of(Priority::BestEffort), 1);
+        q.release(Priority::BestEffort);
+        assert_eq!(q.depth(), 0);
+        q.try_reserve(Priority::BestEffort).unwrap();
+        // Releasing an empty class saturates at zero.
+        q.release(Priority::Interactive);
+        assert_eq!(q.depth_of(Priority::Interactive), 0);
+    }
+
+    #[test]
+    fn fill_fraction_tracks_depth() {
+        let mut q = AdmissionQueue::new(small());
+        assert_eq!(q.fill(), 0.0);
+        q.try_reserve(Priority::Interactive).unwrap();
+        q.try_reserve(Priority::Batch).unwrap();
+        assert!((q.fill() - 0.5).abs() < 1e-12);
+        let degenerate = AdmissionQueue::new(AdmissionConfig { capacity: 0, ..small() });
+        assert_eq!(degenerate.fill(), 1.0, "a zero-capacity queue is always full");
+    }
+
+    #[test]
+    fn priority_order_is_most_to_least_protected() {
+        assert_eq!(
+            Priority::ALL.map(Priority::index),
+            [0, 1, 2],
+            "shed order and per-priority arrays key off this"
+        );
+        assert_eq!(Priority::default(), Priority::Batch);
+    }
+}
+
+mod breaker {
+    use crate::breaker::{
+        BreakerConfig, BreakerDecision, BreakerRegistry, BreakerState, CircuitBreaker,
+    };
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            min_samples: 3,
+            failure_threshold: 0.5,
+            cooldown: 2,
+            cooldown_jitter: 0,
+            probes: 1,
+            probe_successes: 1,
+            ..BreakerConfig::default()
+        }
+    }
+
+    /// Feeds failures until the breaker opens.
+    fn tripped() -> CircuitBreaker {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record(false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b
+    }
+
+    #[test]
+    fn closed_trips_only_past_min_samples_and_threshold() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record(false, false);
+        b.record(false, false);
+        assert_eq!(b.state(), BreakerState::Closed, "two samples are below min_samples");
+        b.record(true, false);
+        assert_eq!(b.state(), BreakerState::Open, "2/3 failures crosses the 0.5 threshold");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn healthy_window_never_trips() {
+        let mut b = CircuitBreaker::new(cfg());
+        for i in 0..20 {
+            // One failure in four stays below the threshold.
+            b.record(i % 4 != 0, false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn open_rejects_then_counts_down_to_a_half_open_probe() {
+        let mut b = tripped();
+        match b.on_admission_attempt() {
+            BreakerDecision::Reject { failure_rate, cooldown_remaining } => {
+                assert_eq!(cooldown_remaining, 1);
+                assert!(failure_rate >= 0.5);
+            }
+            other => panic!("open breaker must reject, got {other:?}"),
+        }
+        // The attempt completing the cooldown *is* the probe.
+        assert_eq!(b.on_admission_attempt(), BreakerDecision::Admit { probe: true });
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_grants_only_the_probe_quota() {
+        let mut b = tripped();
+        b.on_admission_attempt();
+        assert_eq!(b.on_admission_attempt(), BreakerDecision::Admit { probe: true });
+        assert_eq!(
+            b.on_admission_attempt(),
+            BreakerDecision::Reject { failure_rate: 1.0, cooldown_remaining: 0 },
+            "the probe quota is spent; everything else waits for its verdict"
+        );
+    }
+
+    #[test]
+    fn probe_success_closes_and_clears_the_window() {
+        let mut b = tripped();
+        b.on_admission_attempt();
+        b.on_admission_attempt();
+        b.record(true, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.failure_rate(), 0.0, "the poisoned window must not linger after recovery");
+        assert_eq!(b.on_admission_attempt(), BreakerDecision::Admit { probe: false });
+    }
+
+    #[test]
+    fn probe_failure_reopens_for_another_cooldown() {
+        let mut b = tripped();
+        b.on_admission_attempt();
+        b.on_admission_attempt();
+        b.record(false, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(
+            matches!(b.on_admission_attempt(), BreakerDecision::Reject { .. }),
+            "a failed probe must not leave the class admitting traffic"
+        );
+    }
+
+    #[test]
+    fn stragglers_are_ignored_while_not_closed() {
+        // A non-probe session that was in flight when the breaker tripped
+        // must not perturb the cooldown or the half-open bookkeeping.
+        let mut b = tripped();
+        b.record(false, false);
+        b.record(true, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.on_admission_attempt();
+        b.on_admission_attempt();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(true, false); // straggler during half-open
+        assert_eq!(b.state(), BreakerState::HalfOpen, "only the probe verdict decides");
+        b.record(true, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_jitter_is_deterministic() {
+        let jittered = BreakerConfig { cooldown_jitter: 3, ..cfg() };
+        let run = || {
+            let mut b = CircuitBreaker::new(jittered.clone());
+            for _ in 0..3 {
+                b.record(false, false);
+            }
+            let mut rejects = 0;
+            while matches!(b.on_admission_attempt(), BreakerDecision::Reject { .. }) {
+                rejects += 1;
+                assert!(rejects < 100, "cooldown must terminate");
+            }
+            rejects
+        };
+        assert_eq!(run(), run(), "same seed, same trip count, same cooldown");
+    }
+
+    #[test]
+    fn disabled_breaker_admits_everything_and_records_nothing() {
+        let mut b = CircuitBreaker::new(BreakerConfig::disabled());
+        for _ in 0..10 {
+            b.record(false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.on_admission_attempt(), BreakerDecision::Admit { probe: false });
+    }
+
+    #[test]
+    fn registry_isolates_classes_and_logs_transitions() {
+        let mut reg = BreakerRegistry::new(cfg());
+        for _ in 0..3 {
+            assert!(matches!(
+                reg.on_admission_attempt("bad"),
+                BreakerDecision::Admit { probe: false }
+            ));
+            reg.record("bad", false, false);
+            assert!(matches!(
+                reg.on_admission_attempt("good"),
+                BreakerDecision::Admit { probe: false }
+            ));
+            reg.record("good", true, false);
+        }
+        assert_eq!(reg.state("bad"), Some(BreakerState::Open));
+        assert_eq!(reg.state("good"), Some(BreakerState::Closed));
+        assert_eq!(reg.state("never-seen"), None);
+        let bad_moves: Vec<_> =
+            reg.transitions().iter().filter(|t| t.class == "bad").map(|t| (t.from, t.to)).collect();
+        assert_eq!(bad_moves, vec![(BreakerState::Closed, BreakerState::Open)]);
+        assert!(!reg.transitions().iter().any(|t| t.class == "good"));
+    }
+}
+
+mod shed {
+    use super::*;
+    use crate::admission::Priority;
+    use crate::ladder::Rung;
+    use crate::shed::{estimate_pressure, DegradeEvent, DegradeProfile, ShedPolicy};
+
+    #[test]
+    fn profile_bands_follow_the_thresholds() {
+        let p = ShedPolicy::default();
+        assert_eq!(p.profile_for(0.0), DegradeProfile::Full);
+        assert_eq!(p.profile_for(0.49), DegradeProfile::Full);
+        assert_eq!(p.profile_for(0.5), DegradeProfile::Reduced);
+        assert_eq!(p.profile_for(0.74), DegradeProfile::Reduced);
+        assert_eq!(p.profile_for(0.75), DegradeProfile::Economy);
+        assert_eq!(p.profile_for(1.0), DegradeProfile::Economy);
+    }
+
+    #[test]
+    fn shed_order_is_best_effort_then_batch_never_interactive() {
+        let p = ShedPolicy::default();
+        assert!(p.should_shed(Priority::BestEffort, 0.7));
+        assert!(!p.should_shed(Priority::Batch, 0.7));
+        assert!(!p.should_shed(Priority::Interactive, 0.7));
+        assert!(p.should_shed(Priority::Batch, 0.95));
+        assert!(!p.should_shed(Priority::Interactive, 1.0), "interactive is never shed");
+        let off = ShedPolicy::disabled();
+        for pr in Priority::ALL {
+            assert!(!off.should_shed(pr, 1.0));
+        }
+        assert_eq!(off.profile_for(1.0), DegradeProfile::Full);
+    }
+
+    #[test]
+    fn pressure_tracks_queue_fill() {
+        let est = Duration::from_millis(100);
+        let s = estimate_pressure(3, 4, 2, est, &[]);
+        assert!((s.queue_fill - 0.75).abs() < 1e-12);
+        assert_eq!(s.slack_deficit, 0.0);
+        assert!((s.value() - 0.75).abs() < 1e-12);
+        assert_eq!(estimate_pressure(5, 0, 2, est, &[]).value(), 1.0);
+    }
+
+    #[test]
+    fn pressure_tracks_queued_deadline_slack() {
+        // One worker, 100 ms per request: request i waits i*100 ms and
+        // needs 100 ms more. Deadlines of 50 ms (position 0) and 150 ms
+        // (position 3) miss; 10 s (position 1) does not; `None` (position
+        // 2) does not vote.
+        let est = Duration::from_millis(100);
+        let deadlines = [
+            Some(Duration::from_millis(50)),
+            Some(Duration::from_secs(10)),
+            None,
+            Some(Duration::from_millis(150)),
+        ];
+        let s = estimate_pressure(4, 100, 1, est, &deadlines);
+        assert!((s.slack_deficit - 2.0 / 3.0).abs() < 1e-12, "got {}", s.slack_deficit);
+        assert!(s.queue_fill < s.slack_deficit, "slack must dominate via max()");
+        assert!((s.value() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_profile_is_a_no_op() {
+        let mut req = SolveRequest::new("full", laplace(6), MgConfig::d16());
+        let before = req.opts.clone();
+        let events = req.apply_profile(DegradeProfile::Full, &ShedPolicy::default());
+        assert!(events.is_empty());
+        assert_eq!(req.opts.tol, before.tol);
+        assert_eq!(req.opts.max_iters, before.max_iters);
+    }
+
+    #[test]
+    fn reduced_profile_relaxes_tol_and_caps_iters_with_events() {
+        let policy = ShedPolicy::default();
+        let mut req = SolveRequest::new("reduced", laplace(6), MgConfig::d16());
+        let (tol0, iters0) = (req.opts.tol, req.opts.max_iters);
+        let events = req.apply_profile(DegradeProfile::Reduced, &policy);
+        assert!((req.opts.tol - tol0 * policy.tol_relax).abs() < 1e-18);
+        assert_eq!(req.opts.max_iters, policy.reduced_max_iters);
+        assert_eq!(
+            events,
+            vec![
+                DegradeEvent::TolRelaxed { from: tol0, to: req.opts.tol },
+                DegradeEvent::ItersCapped { from: iters0, to: policy.reduced_max_iters },
+            ]
+        );
+    }
+
+    #[test]
+    fn economy_profile_economizes_storage_caps_vcycles_and_trims_the_ladder() {
+        let policy = ShedPolicy::default();
+        let mut req = SolveRequest::new("economy", laplace(6), MgConfig::d16());
+        let events = req.apply_profile(DegradeProfile::Economy, &policy);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DegradeEvent::StorageEconomized { shift_levid: 2 })));
+        assert!(events.iter().any(|e| matches!(e, DegradeEvent::VcyclesCapped { cap: 400 })));
+        assert!(events.iter().any(|e| matches!(e, DegradeEvent::LadderTrimmed { .. })));
+        assert_eq!(req.budget.max_vcycles, Some(policy.economy_max_vcycles));
+        assert_eq!(
+            req.policy.attempts[Rung::RebuildF64.index()],
+            0,
+            "economy must not spend the FP64 rebuild on shed-window work"
+        );
+        // The degraded request still converges (to its looser target).
+        let out = run_session(&req);
+        assert!(out.converged(), "economy profile must stay solvable: {:?}", out.result.err());
+    }
+
+    #[test]
+    fn degradation_never_tightens_the_requested_tolerance() {
+        let policy = ShedPolicy::default();
+        let mut req = SolveRequest::new("loose-already", laplace(6), MgConfig::d16());
+        // Caller asked for something looser than the degradation ceiling.
+        req.opts.tol = 1e-3;
+        let events = req.apply_profile(DegradeProfile::Reduced, &policy);
+        assert_eq!(req.opts.tol, 1e-3, "a degraded tolerance is never tighter than requested");
+        assert!(!events.iter().any(|e| matches!(e, DegradeEvent::TolRelaxed { .. })));
+    }
+}
+
+mod serve_pool {
+    use super::*;
+    use crate::admission::{AdmissionConfig, AdmissionError, Priority};
+    use crate::breaker::{BreakerConfig, BreakerState};
+    use crate::pool::{PoolConfig, ServeError, ServePool};
+    use crate::shed::ShedPolicy;
+
+    fn prioritized(name: &str, priority: Priority) -> SolveRequest {
+        let mut req = SolveRequest::new(name, laplace(6), MgConfig::d16());
+        req.priority = priority;
+        req
+    }
+
+    /// A request whose session always ends in a fast typed terminal
+    /// failure (unreachable tolerance, two-iteration budget, no retries).
+    fn poisoned(name: &str) -> SolveRequest {
+        let mut req = SolveRequest::new(name, laplace(6), MgConfig::d16());
+        req.class = "poison".into();
+        req.opts = endless_opts();
+        req.budget.max_iters = Some(2);
+        req.policy.attempts = [1, 0, 0, 0, 0];
+        req
+    }
+
+    fn healthy_of_class(name: &str, class: &str) -> SolveRequest {
+        let mut req = SolveRequest::new(name, laplace(6), MgConfig::d16());
+        req.class = class.into();
+        req
+    }
+
+    fn breaker_cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            cooldown: 2,
+            cooldown_jitter: 0,
+            probes: 1,
+            probe_successes: 1,
+            ..BreakerConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_best_effort_first_and_every_refusal_is_typed() {
+        let mut pool = ServePool::new(PoolConfig {
+            workers: 2,
+            admission: AdmissionConfig {
+                capacity: 4,
+                per_priority: [4, 4, 4],
+                est_service: Duration::from_millis(10),
+            },
+            // Shedding starts for best-effort at half fill; batch only at
+            // near-saturation; interactive never.
+            shed: ShedPolicy {
+                reduce_at: 0.5,
+                economy_at: 0.8,
+                shed_at: [f64::INFINITY, 0.95, 0.5],
+                ..ShedPolicy::default()
+            },
+            breaker: breaker_cfg(),
+        });
+        let requests: Vec<_> = (0..9)
+            .map(|i| {
+                let pr = Priority::ALL[i % 3];
+                prioritized(&format!("{}-{i}", pr.label()), pr)
+            })
+            .collect();
+        let outcomes = pool.run(requests);
+        assert_eq!(outcomes.len(), 9);
+
+        let shed: Vec<_> = outcomes
+            .iter()
+            .filter(|o| matches!(o.rejection(), Some(AdmissionError::Shed { .. })))
+            .collect();
+        let queue_full = outcomes
+            .iter()
+            .filter(|o| matches!(o.rejection(), Some(AdmissionError::QueueFull { .. })))
+            .count();
+        let admitted: Vec<_> = outcomes.iter().filter(|o| o.rejection().is_none()).collect();
+
+        assert!(!shed.is_empty(), "an oversubscribed batch must shed something");
+        assert_eq!(
+            shed[0].priority,
+            Priority::BestEffort,
+            "the first request shed must be best-effort"
+        );
+        assert!(
+            shed.iter().all(|o| o.priority != Priority::Interactive),
+            "interactive work is never shed"
+        );
+        assert!(queue_full > 0, "past capacity the hard bound must refuse");
+        assert!(admitted.len() <= 4, "no more than capacity may be admitted");
+        for o in &admitted {
+            assert!(o.converged(), "{}: {:?}", o.name, o.result);
+            if o.degraded() {
+                assert!(!o.degrades.is_empty(), "degraded outcomes carry their event trail");
+            }
+        }
+        assert!(
+            admitted.iter().any(|o| o.degraded()),
+            "half-full onward the pool serves degraded profiles"
+        );
+    }
+
+    #[test]
+    fn poisoned_class_trips_the_breaker_and_recovers_via_probe() {
+        let mut pool = ServePool::new(PoolConfig {
+            workers: 2,
+            admission: AdmissionConfig::default(),
+            shed: ShedPolicy::disabled(),
+            breaker: breaker_cfg(),
+        });
+
+        // Batch 1: the poisoned class fails terminally and trips its
+        // breaker (min_samples 2, threshold 0.5); a healthy class in the
+        // same batch is untouched.
+        let mut batch = vec![poisoned("bad-0"), poisoned("bad-1"), poisoned("bad-2")];
+        batch.push(healthy_of_class("ok-0", "healthy"));
+        let out1 = pool.run(batch);
+        for o in &out1[..3] {
+            assert!(
+                matches!(o.result, Err(ServeError::Session(_))),
+                "{}: poisoned sessions fail typed, not at admission: {:?}",
+                o.name,
+                o.result
+            );
+        }
+        assert!(out1[3].converged());
+        assert_eq!(pool.breakers().state("poison"), Some(BreakerState::Open));
+        assert_eq!(pool.breakers().state("healthy"), Some(BreakerState::Closed));
+
+        // Batch 2: cooldown of 2 admission attempts — the first is
+        // refused typed, the second is admitted as the half-open probe
+        // (now healthy, it converges and closes the breaker), the third
+        // arrives half-open with the probe quota spent.
+        let out2 = pool.run(vec![
+            healthy_of_class("recover-0", "poison"),
+            healthy_of_class("recover-1", "poison"),
+            healthy_of_class("recover-2", "poison"),
+        ]);
+        assert!(
+            matches!(
+                out2[0].rejection(),
+                Some(AdmissionError::BreakerOpen { cooldown_remaining: 1, .. })
+            ),
+            "got {:?}",
+            out2[0].result
+        );
+        assert!(out2[1].probe, "the attempt completing the cooldown is the probe");
+        assert!(out2[1].converged());
+        assert!(!out2[1].degraded(), "probes run at full quality");
+        assert!(
+            matches!(out2[2].rejection(), Some(AdmissionError::BreakerOpen { .. })),
+            "got {:?}",
+            out2[2].result
+        );
+        assert_eq!(pool.breakers().state("poison"), Some(BreakerState::Closed));
+
+        // Batch 3: the recovered class serves normally again.
+        let out3 = pool.run(vec![healthy_of_class("healed", "poison")]);
+        assert!(out3[0].converged() && !out3[0].probe);
+
+        let moves: Vec<_> = pool
+            .breakers()
+            .transitions()
+            .iter()
+            .filter(|t| t.class == "poison")
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert_eq!(
+            moves,
+            vec![
+                (BreakerState::Closed, BreakerState::Open),
+                (BreakerState::Open, BreakerState::HalfOpen),
+                (BreakerState::HalfOpen, BreakerState::Closed),
+            ],
+            "the full recovery arc must be visible in the transition log"
+        );
+    }
+
+    #[test]
+    fn degraded_profiles_are_deterministic_for_a_replayed_batch() {
+        let make = || {
+            let mut pool = ServePool::new(PoolConfig {
+                workers: 2,
+                admission: AdmissionConfig {
+                    capacity: 4,
+                    per_priority: [4, 4, 4],
+                    est_service: Duration::from_millis(10),
+                },
+                shed: ShedPolicy::default(),
+                breaker: breaker_cfg(),
+            });
+            let requests: Vec<_> =
+                (0..6).map(|i| prioritized(&format!("r{i}"), Priority::Batch)).collect();
+            pool.run(requests)
+                .into_iter()
+                .map(|o| (o.profile, o.pressure, o.result.err().map(|e| e.to_string())))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make(), "admission decisions depend on declared quantities only");
     }
 }

@@ -21,6 +21,92 @@ use crate::{Csr, Layout, SgDia};
 const MATRIX_MAGIC: &[u8; 8] = b"FP16MGA1";
 const VECTOR_MAGIC: &[u8; 8] = b"FP16MGV1";
 
+/// Hard resource limits for untrusted file ingestion. Every count read
+/// from a header is validated against these *before* any allocation is
+/// sized from it, so a corrupt (or malicious) header yields a typed
+/// [`DecodeError`] instead of an attempted huge allocation.
+pub mod limits {
+    /// Maximum stencil taps in a matrix header (the widest built-in
+    /// pattern is 27 taps; vector couplings multiply that by component
+    /// pairs — 256 leaves an order of magnitude of headroom).
+    pub const MAX_TAPS: usize = 256;
+    /// Maximum grid extent per axis.
+    pub const MAX_EXTENT: usize = 65_536;
+    /// Maximum components per grid point.
+    pub const MAX_COMPONENTS: usize = 64;
+    /// Maximum total stored matrix entries (`cells × taps`), ≈ 16 GiB of
+    /// FP64 payload — far beyond any in-tree problem, but finite.
+    pub const MAX_ENTRIES: usize = 1 << 31;
+    /// Maximum dense-vector length.
+    pub const MAX_VECTOR_LEN: usize = 1 << 28;
+    /// Maximum Matrix Market stored entries (before symmetric mirroring).
+    pub const MAX_NNZ: usize = 1 << 30;
+}
+
+/// Typed reasons a matrix/vector file is refused. Carried as the inner
+/// error of the `InvalidData` [`io::Error`] the readers return, so
+/// callers can downcast for the precise cause:
+///
+/// ```ignore
+/// let cause = err.get_ref().and_then(|e| e.downcast_ref::<DecodeError>());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The header's precision tag does not match the requested storage.
+    PrecisionMismatch,
+    /// A zero dimension, component count, or tap count.
+    Degenerate,
+    /// A header count exceeds its [`limits`] bound: `(what, got, limit)`.
+    LimitExceeded {
+        /// Which count was refused (e.g. `"taps"`, `"extent"`).
+        what: &'static str,
+        /// The value the header declared.
+        got: u64,
+        /// The limit it exceeded.
+        limit: u64,
+    },
+    /// `cells × taps` overflowed or exceeded [`limits::MAX_ENTRIES`].
+    EntriesOverflow,
+    /// A structural defect in the payload (duplicate taps, malformed
+    /// records, bad indices, …).
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an FP16MG file (bad magic)"),
+            DecodeError::PrecisionMismatch => write!(f, "storage precision mismatch"),
+            DecodeError::Degenerate => write!(f, "degenerate dimensions"),
+            DecodeError::LimitExceeded { what, got, limit } => {
+                write!(f, "header declares {got} {what}, limit is {limit}")
+            }
+            DecodeError::EntriesOverflow => {
+                write!(f, "total stored entries overflow the ingestion limit")
+            }
+            DecodeError::Malformed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for io::Error {
+    fn from(e: DecodeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Checks a header count against its limit.
+fn check_limit(what: &'static str, got: u64, limit: usize) -> Result<usize, DecodeError> {
+    if got > limit as u64 {
+        return Err(DecodeError::LimitExceeded { what, got, limit: limit as u64 });
+    }
+    Ok(got as usize)
+}
+
 fn precision_tag<S: Storage>() -> u8 {
     match S::NAME {
         "64" => 0,
@@ -55,8 +141,8 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+fn bad(msg: &'static str) -> io::Error {
+    DecodeError::Malformed(msg).into()
 }
 
 /// Writes a structured matrix in the binary format (little-endian;
@@ -108,27 +194,39 @@ pub fn write_matrix<S: Storage>(a: &SgDia<S>, w: &mut impl Write) -> io::Result<
 /// precision `S`.
 ///
 /// # Errors
-/// `InvalidData` on magic, tag, or structural mismatch.
+/// `InvalidData` on magic, tag, limit, or structural mismatch; the inner
+/// error is a [`DecodeError`] naming the precise cause. Header counts
+/// are validated against [`limits`] before any allocation is sized from
+/// them.
 pub fn read_matrix<S: Storage>(r: &mut impl Read) -> io::Result<SgDia<S>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MATRIX_MAGIC {
-        return Err(bad("not an FP16MG matrix file"));
+        return Err(DecodeError::BadMagic.into());
     }
-    let nx = read_u64(r)? as usize;
-    let ny = read_u64(r)? as usize;
-    let nz = read_u64(r)? as usize;
-    let components = read_u64(r)? as usize;
-    let ntaps = read_u64(r)? as usize;
+    let nx = check_limit("extent", read_u64(r)?, limits::MAX_EXTENT)?;
+    let ny = check_limit("extent", read_u64(r)?, limits::MAX_EXTENT)?;
+    let nz = check_limit("extent", read_u64(r)?, limits::MAX_EXTENT)?;
+    let components = check_limit("components", read_u64(r)?, limits::MAX_COMPONENTS)?;
+    let ntaps = check_limit("taps", read_u64(r)?, limits::MAX_TAPS)?;
     let mut flags = [0u8; 2];
     r.read_exact(&mut flags)?;
     if flags[0] != precision_tag::<S>() {
-        return Err(bad("storage precision mismatch"));
+        return Err(DecodeError::PrecisionMismatch.into());
     }
     let layout = if flags[1] == 1 { Layout::Soa } else { Layout::Aos };
     if nx == 0 || ny == 0 || nz == 0 || components == 0 || ntaps == 0 {
-        return Err(bad("degenerate dimensions"));
+        return Err(DecodeError::Degenerate.into());
     }
+    // Bound the total payload before building the grid: the per-axis
+    // limits alone still admit a multiplied size far past anything we
+    // are willing to allocate for an unauthenticated file.
+    nx.checked_mul(ny)
+        .and_then(|c| c.checked_mul(nz))
+        .and_then(|c| c.checked_mul(components))
+        .and_then(|c| c.checked_mul(ntaps))
+        .filter(|&c| c <= limits::MAX_ENTRIES)
+        .ok_or(DecodeError::EntriesOverflow)?;
     let mut taps = Vec::with_capacity(ntaps);
     for _ in 0..ntaps {
         let mut b = [0u8; 14];
@@ -197,14 +295,15 @@ pub fn write_vector(v: &[f64], w: &mut impl Write) -> io::Result<()> {
 /// Reads a dense `f64` vector written by [`write_vector`].
 ///
 /// # Errors
-/// `InvalidData` on magic mismatch.
+/// `InvalidData` on magic mismatch or a declared length beyond
+/// [`limits::MAX_VECTOR_LEN`]; the inner error is a [`DecodeError`].
 pub fn read_vector(r: &mut impl Read) -> io::Result<Vec<f64>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != VECTOR_MAGIC {
-        return Err(bad("not an FP16MG vector file"));
+        return Err(DecodeError::BadMagic.into());
     }
-    let n = read_u64(r)? as usize;
+    let n = check_limit("vector entries", read_u64(r)?, limits::MAX_VECTOR_LEN)?;
     let mut out = Vec::with_capacity(n);
     let mut b = [0u8; 8];
     for _ in 0..n {
@@ -263,6 +362,8 @@ pub fn read_matrix_market(r: &mut impl Read) -> io::Result<Csr<f64>> {
     if rows != cols {
         return Err(bad("matrix is not square"));
     }
+    check_limit("MatrixMarket entries", nnz as u64, limits::MAX_NNZ)?;
+    check_limit("MatrixMarket rows", rows as u64, u32::MAX as usize)?;
     let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(nnz * (1 + symmetric as usize));
     for line in lines {
         let t = line.trim();

@@ -896,6 +896,106 @@ fn io_matrix_market_symmetric_expansion() {
     assert_eq!(y, vec![2.0 - 2.0, -1.0 + 4.0, 4.5]);
 }
 
+/// Extracts the typed decode cause from a reader's `io::Error`.
+fn decode_cause(err: std::io::Error) -> crate::io::DecodeError {
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    err.get_ref()
+        .and_then(|e| e.downcast_ref::<crate::io::DecodeError>())
+        .expect("inner error must be a DecodeError")
+        .clone()
+}
+
+/// A binary matrix header with arbitrary counts: magic, five u64 counts,
+/// precision tag (f64) and layout flag.
+fn matrix_header(nx: u64, ny: u64, nz: u64, components: u64, ntaps: u64) -> Vec<u8> {
+    let mut buf = b"FP16MGA1".to_vec();
+    for v in [nx, ny, nz, components, ntaps] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&[0u8, 1u8]);
+    buf
+}
+
+#[test]
+fn io_corrupt_tap_count_is_refused_before_allocation() {
+    use crate::io::{limits, DecodeError};
+    // A header declaring u64::MAX taps must yield a typed refusal, not
+    // an attempted huge allocation.
+    let hdr = matrix_header(4, 4, 4, 1, u64::MAX);
+    let err = crate::io::read_matrix::<f64>(&mut hdr.as_slice()).unwrap_err();
+    assert_eq!(
+        decode_cause(err),
+        DecodeError::LimitExceeded { what: "taps", got: u64::MAX, limit: limits::MAX_TAPS as u64 }
+    );
+}
+
+#[test]
+fn io_corrupt_extent_and_component_counts_are_refused() {
+    use crate::io::{limits, DecodeError};
+    let hdr = matrix_header(1 << 60, 4, 4, 1, 7);
+    let err = crate::io::read_matrix::<f64>(&mut hdr.as_slice()).unwrap_err();
+    assert_eq!(
+        decode_cause(err),
+        DecodeError::LimitExceeded {
+            what: "extent",
+            got: 1 << 60,
+            limit: limits::MAX_EXTENT as u64
+        }
+    );
+    let hdr = matrix_header(4, 4, 4, 1 << 20, 7);
+    let err = crate::io::read_matrix::<f64>(&mut hdr.as_slice()).unwrap_err();
+    assert!(matches!(decode_cause(err), DecodeError::LimitExceeded { what: "components", .. }));
+}
+
+#[test]
+fn io_total_entry_product_is_bounded_even_when_each_count_is_legal() {
+    use crate::io::{limits, DecodeError};
+    // Every count individually at or under its limit, but the product
+    // (2^62 entries) is far past MAX_ENTRIES: the multiplied size must
+    // be checked before any payload allocation.
+    let hdr = matrix_header(
+        limits::MAX_EXTENT as u64,
+        limits::MAX_EXTENT as u64,
+        limits::MAX_EXTENT as u64,
+        limits::MAX_COMPONENTS as u64,
+        limits::MAX_TAPS as u64,
+    );
+    let err = crate::io::read_matrix::<f64>(&mut hdr.as_slice()).unwrap_err();
+    assert_eq!(decode_cause(err), DecodeError::EntriesOverflow);
+}
+
+#[test]
+fn io_vector_length_is_bounded() {
+    use crate::io::{limits, DecodeError};
+    let mut buf = b"FP16MGV1".to_vec();
+    buf.extend_from_slice(&u64::MAX.to_le_bytes());
+    let err = crate::io::read_vector(&mut buf.as_slice()).unwrap_err();
+    assert_eq!(
+        decode_cause(err),
+        DecodeError::LimitExceeded {
+            what: "vector entries",
+            got: u64::MAX,
+            limit: limits::MAX_VECTOR_LEN as u64
+        }
+    );
+}
+
+#[test]
+fn io_matrix_market_entry_count_is_bounded() {
+    use crate::io::{limits, DecodeError};
+    // A tiny text file declaring 2^30 + 1 stored entries: refused from
+    // the size line alone.
+    let text = format!(
+        "%%MatrixMarket matrix coordinate real general\n10 10 {}\n",
+        limits::MAX_NNZ as u64 + 1
+    );
+    let err = crate::io::read_matrix_market(&mut text.as_bytes()).unwrap_err();
+    assert!(matches!(
+        decode_cause(err),
+        DecodeError::LimitExceeded { what: "MatrixMarket entries", .. }
+    ));
+}
+
 #[test]
 fn degenerate_grid_shapes() {
     // Quasi-1D and quasi-2D grids must work through every kernel path.
