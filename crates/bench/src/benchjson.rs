@@ -10,7 +10,9 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
+use fp16mg_core::{GalerkinChain, Mg, MgConfig};
 use fp16mg_krylov::SolveOptions;
 use fp16mg_problems::ProblemKind;
 use fp16mg_sgdia::kernels::Par;
@@ -86,6 +88,50 @@ fn run_json(r: &E2eResult) -> String {
     s
 }
 
+/// Measures the hierarchy-cache split for one problem: a cold
+/// `Mg::setup` (Galerkin chain + scale-and-truncate), the chain build
+/// alone, and the warm `Mg::setup_from_chain` a cache hit actually pays.
+/// Best of three, so the speedup the daemon claims for warm hits is a
+/// measured number in the trajectory, not an assertion. `None` when the
+/// headline config cannot set the problem up (already recorded as a run
+/// error above).
+fn cache_json(kind: ProblemKind, n: usize) -> Option<String> {
+    let problem = kind.build(n);
+    let config = MgConfig::d16();
+    let best = |f: &mut dyn FnMut() -> bool| -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            if !f() {
+                return None;
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        Some(best)
+    };
+    let cold = best(&mut || Mg::<f32>::setup(&problem.matrix, &config).is_ok())?;
+    let chain_s = best(&mut || GalerkinChain::build(&problem.matrix, &config).is_ok())?;
+    let chain = GalerkinChain::build(&problem.matrix, &config).ok()?;
+    let warm = best(&mut || Mg::<f32>::setup_from_chain(&chain, &config).is_ok())?;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "  \"cache\": {{\n",
+            "    \"cold_setup_s\": {cold},\n",
+            "    \"chain_build_s\": {chain},\n",
+            "    \"warm_setup_s\": {warm},\n",
+            "    \"warm_speedup\": {speedup}\n",
+            "  }},\n"
+        ),
+        cold = num(cold),
+        chain = num(chain_s),
+        warm = num(warm),
+        speedup = num(if warm > 0.0 { cold / warm } else { f64::NAN }),
+    );
+    Some(s)
+}
+
 /// Renders the `BENCH_<problem>.json` document for one problem. Failed
 /// setups are recorded as `{"combo", "error"}` entries instead of being
 /// dropped, so a regression that breaks setup is visible in the file.
@@ -103,9 +149,10 @@ pub fn render_problem(kind: ProblemKind, n: usize, tol: f64) -> String {
         }
     }
     format!(
-        "{{\n  \"problem\": \"{}\",\n  \"size\": {n},\n  \"tol\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"problem\": \"{}\",\n  \"size\": {n},\n  \"tol\": {},\n{}  \"runs\": [\n{}\n  ]\n}}\n",
         esc(kind.name()),
         num(tol),
+        cache_json(kind, n).unwrap_or_default(),
         runs.join(",\n")
     )
 }
@@ -141,6 +188,10 @@ mod tests {
         assert!(doc.contains(&format!("\"problem\": \"{}\"", ProblemKind::Laplace27.name())));
         assert_eq!(doc.matches("\"combo\"").count(), COMBOS.len());
         assert!(doc.contains("\"iters\"") && doc.contains("\"setup_s\""));
+        assert!(
+            doc.contains("\"cold_setup_s\"") && doc.contains("\"warm_speedup\""),
+            "the cache split must be part of the trajectory"
+        );
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "balanced objects");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count(), "balanced arrays");
         assert!(!doc.contains("inf") && !doc.contains("NaN"), "JSON has no non-finite literals");

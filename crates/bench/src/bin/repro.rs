@@ -49,12 +49,17 @@ struct Args {
     workers: usize,
     chaos: bool,
     overload: bool,
+    daemon: bool,
+    soak: bool,
+    snapshot_dir: String,
+    kill_after: usize,
+    pace_ms: u64,
     out: String,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--out DIR]");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--daemon] [--soak] [--snapshot-dir DIR] [--kill-after N] [--pace-ms MS] [--out DIR]");
     std::process::exit(2)
 }
 
@@ -76,6 +81,11 @@ fn parse_args() -> Args {
         workers: 0,
         chaos: false,
         overload: false,
+        daemon: false,
+        soak: false,
+        snapshot_dir: String::new(),
+        kill_after: 0,
+        pace_ms: 0,
         out: ".".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -91,6 +101,11 @@ fn parse_args() -> Args {
             "--workers" => args.workers = arg_value(&mut it, "--workers"),
             "--chaos" => args.chaos = true,
             "--overload" => args.overload = true,
+            "--daemon" => args.daemon = true,
+            "--soak" => args.soak = true,
+            "--snapshot-dir" => args.snapshot_dir = arg_value(&mut it, "--snapshot-dir"),
+            "--kill-after" => args.kill_after = arg_value(&mut it, "--kill-after"),
+            "--pace-ms" => args.pace_ms = arg_value(&mut it, "--pace-ms"),
             "--out" => args.out = arg_value(&mut it, "--out"),
             "--smoother" => {
                 let Some(s) = it.next() else { usage("--smoother needs a value") };
@@ -149,6 +164,8 @@ fn main() {
         "semi" => semi_ablation(&args),
         "guard" => guard(&args),
         "audit" => audit_cmd(&args),
+        "serve" if args.daemon && args.soak => soak_cmd(&args),
+        "serve" if args.daemon => daemon_cmd(&args),
         "serve" if args.overload => overload_cmd(&args),
         "serve" => serve_cmd(&args, args.chaos),
         "chaos" => serve_cmd(&args, true),
@@ -923,6 +940,41 @@ fn serve_cmd(args: &Args, chaos: bool) {
         println!(" ladder to their first clean configuration; the panic row is isolated;");
         println!(" the deadline and no-converge rows end with typed errors)");
     }
+}
+
+// -------------------------------------------------------------- daemon --
+
+fn daemon_cmd(args: &Args) {
+    let workers = if args.workers > 0 { args.workers } else { 2 };
+    let dir = if args.snapshot_dir.is_empty() {
+        std::path::PathBuf::from(&args.out).join("daemon-state")
+    } else {
+        std::path::PathBuf::from(&args.snapshot_dir)
+    };
+    let cfg = fp16mg_bench::DaemonCliConfig {
+        snapshot_dir: dir,
+        requests: args.requests,
+        workers,
+        size: args.size.min(10),
+        tol: args.tol,
+        pace_ms: args.pace_ms,
+        chaos: args.chaos,
+    };
+    std::process::exit(fp16mg_bench::run_daemon(&cfg));
+}
+
+fn soak_cmd(args: &Args) {
+    header("Soak: kill/restart acceptance — checkpointed daemon, replayed decisions");
+    let workers = if args.workers > 0 { args.workers } else { 2 };
+    let cfg = fp16mg_bench::SoakConfig {
+        requests: args.requests,
+        workers,
+        size: args.size.min(10),
+        tol: args.tol,
+        kill_after: if args.kill_after > 0 { args.kill_after } else { 2 },
+        out: std::path::PathBuf::from(&args.out),
+    };
+    std::process::exit(fp16mg_bench::run_soak(&cfg));
 }
 
 // ------------------------------------------------------------ overload --

@@ -1,0 +1,617 @@
+//! `repro serve --daemon` / `--soak`: the persistent daemon child and
+//! the kill/restart acceptance harness.
+//!
+//! The **child** (`run_daemon`) drives a [`Daemon`] over a deterministic
+//! request stream that is a pure function of the sequence number: steady
+//! `laplace27` work that exercises warm cache hits, a `drift` class
+//! whose operator is rescaled between visits (walking the
+//! Hit → RescaledHit → DriftInvalidated ladder), a deterministically
+//! failing `poison` class that trips its circuit breaker, and
+//! interactive-priority traffic. Each batch follows the durability
+//! order **solve → append trail → checkpoint → acknowledge**, so a kill
+//! at any instant loses nothing: unacknowledged work replays from the
+//! snapshot cursor and the trail deduplicates by sequence number
+//! (at-least-once, idempotent).
+//!
+//! The **driver** (`run_soak`) is the acceptance demo from the issue:
+//! it runs a reference child to completion, then a second child that it
+//! SIGKILLs mid-stream, restarts it from the snapshot, and verifies
+//! that (a) the restart actually resumed warm, (b) every request in
+//! `0..N` appears in the crash trail (zero lost), (c) duplicated
+//! replay entries are identical to their first occurrence, and (d) the
+//! *decision* fields of every trail line — admission, profile, outcome,
+//! breaker state — are **bit-identical** to the reference run's. Cache
+//! events are reported but excluded from the bit-compare: a restarted
+//! daemon's cache is deliberately cold (metadata-only restore), so its
+//! first touch of each entry rebuilds instead of hitting; everything
+//! the snapshot promises to replay identically, is.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use fp16mg_core::MgConfig;
+use fp16mg_krylov::{HealthPolicy, SolveError, SolveOptions};
+use fp16mg_problems::ProblemKind;
+use fp16mg_runtime::{
+    AdmissionConfig, BreakerConfig, CacheConfig, Daemon, DaemonConfig, PoolConfig, Priority,
+    RequestOutcome, RetryPolicy, ServeError, ServePool, ShedPolicy, SolveRequest, SolverChoice,
+    SuperviseConfig,
+};
+
+/// Child-mode configuration (`repro serve --daemon`).
+pub struct DaemonCliConfig {
+    /// Directory holding the snapshot and the trail file.
+    pub snapshot_dir: PathBuf,
+    /// Total requests the stream serves (lifetime, across restarts).
+    pub requests: usize,
+    /// Pool workers.
+    pub workers: usize,
+    /// Problem size (cells per axis).
+    pub size: usize,
+    /// Convergence tolerance for the clean requests.
+    pub tol: f64,
+    /// Wall-clock pause after each batch (milliseconds) — lets the soak
+    /// driver land its kill mid-stream. Never affects decisions.
+    pub pace_ms: u64,
+    /// Run the wall-clock chaos demo (wedge + panic + quarantine)
+    /// instead of the deterministic stream.
+    pub chaos: bool,
+}
+
+/// Soak-driver configuration (`repro serve --daemon --soak`).
+pub struct SoakConfig {
+    /// Total requests per child run.
+    pub requests: usize,
+    /// Pool workers per child.
+    pub workers: usize,
+    /// Problem size.
+    pub size: usize,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// `done` lines to observe before SIGKILLing the crash child.
+    pub kill_after: usize,
+    /// Working directory for the reference and crash runs.
+    pub out: PathBuf,
+}
+
+const BATCH: u64 = 4;
+const SNAPSHOT_FILE: &str = "daemon.snapshot";
+const TRAIL_FILE: &str = "trail.log";
+
+/// The daemon pool shape: protections on, cache on, supervision on,
+/// shedding off (the stream is paced by batches, not pressure), and a
+/// small jittered breaker so the poison class demonstrably trips and
+/// recovers inside a short run.
+fn pool_cfg(workers: usize) -> PoolConfig {
+    PoolConfig {
+        workers,
+        admission: AdmissionConfig::default(),
+        shed: ShedPolicy::disabled(),
+        breaker: BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            cooldown: 3,
+            cooldown_jitter: 2,
+            probes: 1,
+            probe_successes: 1,
+            ..BreakerConfig::default()
+        },
+        cache: CacheConfig::default(),
+        supervise: SuperviseConfig::default(),
+    }
+}
+
+/// The request at sequence number `seq` — a pure function of `seq`, so
+/// a replayed window reconstructs the exact submitted stream.
+fn request_for(seq: u64, size: usize, tol: f64) -> SolveRequest {
+    let name = format!("req-{seq:05}");
+    match seq % 8 {
+        // A deterministically failing class: tolerance zero, health
+        // checks off, four iterations, no retries. Trips its breaker.
+        6 => {
+            let mut req =
+                SolveRequest::new(name, ProblemKind::Laplace27.build(size), MgConfig::d16());
+            req.class = "poison".to_string();
+            req.opts = SolveOptions {
+                tol: 0.0,
+                health: HealthPolicy::disabled(),
+                record_history: false,
+                ..Default::default()
+            };
+            req.budget.max_iters = Some(4);
+            req.policy = RetryPolicy::fail_fast();
+            req
+        }
+        // The drift class: the same geometry revisited with a rescaled
+        // operator. The factor cycle walks the audit ladder: ~1.0 stays
+        // within the keep bound, 4.0 forces a rescale-in-place, 24.0
+        // exceeds the rescale bound and invalidates. Visits land at
+        // seq 3, 7 mod 8, so a 16-request stream walks the full ladder.
+        3 | 7 => {
+            let factors = [1.0, 1.1, 4.0, 24.0];
+            let factor = factors[((seq / 4) as usize) % factors.len()];
+            let mut problem = ProblemKind::Laplace27.build(size);
+            for v in problem.matrix.data_mut() {
+                *v *= factor;
+            }
+            let mut req = SolveRequest::new(name, problem, MgConfig::d16());
+            req.class = "drift".to_string();
+            req.opts = SolveOptions { tol, record_history: false, ..Default::default() };
+            req
+        }
+        // Interactive-priority clean traffic (shares the laplace27
+        // cache entry with the batch traffic).
+        5 => {
+            let mut req =
+                SolveRequest::new(name, ProblemKind::Laplace27.build(size), MgConfig::d16());
+            req.priority = Priority::Interactive;
+            req.opts = SolveOptions { tol, record_history: false, ..Default::default() };
+            req
+        }
+        // Steady batch traffic: identical operator every visit, so the
+        // cache serves fingerprint-equal hits after the first build.
+        _ => {
+            let mut req =
+                SolveRequest::new(name, ProblemKind::Laplace27.build(size), MgConfig::d16());
+            req.opts = SolveOptions { tol, record_history: false, ..Default::default() };
+            req
+        }
+    }
+}
+
+/// Short vocabulary for a session/rejection error.
+fn err_label(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Rejected(a) => a.label(),
+        ServeError::Session(s) => match s {
+            SolveError::Unconverged { .. } => "unconverged",
+            SolveError::DeadlineExceeded { .. } => "deadline",
+            SolveError::Cancelled { .. } => "cancelled",
+            SolveError::VcycleBudgetExceeded { .. } => "vcycle-budget",
+            SolveError::WorkerPanicked { .. } => "panicked",
+            SolveError::SetupFailed { .. } => "setup-failed",
+            _ => "numerical",
+        },
+    }
+}
+
+/// One durable trail line. Everything before ` cache=` is **decision
+/// state** and must replay bit-identically after a crash; the cache
+/// field is physical (a restored cache is cold) and excluded from the
+/// soak comparison.
+fn trail_line(seq: u64, o: &RequestOutcome, pool: &ServePool) -> String {
+    let outcome = match &o.result {
+        Ok(_) => "ok",
+        Err(e) => err_label(e),
+    };
+    let breaker = pool.breakers().state(&o.class).map(|s| s.label()).unwrap_or("closed");
+    let cache = o.cache.map(|k| k.label()).unwrap_or("none");
+    format!(
+        "seq={seq} req={} class={} prio={} profile={} outcome={outcome} breaker={breaker} cache={cache}\n",
+        o.name,
+        o.class,
+        o.priority.label(),
+        o.profile.label(),
+    )
+}
+
+fn append_sync(path: &Path, text: &str) -> std::io::Result<()> {
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_all()
+}
+
+/// Runs the daemon child to completion (or resumes one). Returns the
+/// process exit code.
+pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
+    if cfg.chaos {
+        return run_daemon_chaos(cfg);
+    }
+    if let Err(e) = fs::create_dir_all(&cfg.snapshot_dir) {
+        eprintln!("daemon: cannot create {}: {e}", cfg.snapshot_dir.display());
+        return 1;
+    }
+    let trail = cfg.snapshot_dir.join(TRAIL_FILE);
+    let daemon = Daemon::start(DaemonConfig {
+        pool: pool_cfg(cfg.workers),
+        snapshot_path: Some(cfg.snapshot_dir.join(SNAPSHOT_FILE)),
+        checkpoint_each_batch: false,
+    });
+    let mut daemon = match daemon {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("daemon: snapshot unusable: {e}");
+            return 1;
+        }
+    };
+    if daemon.restored() {
+        println!("daemon: resumed seq={}", daemon.seq());
+    } else {
+        println!("daemon: cold start");
+    }
+    let _ = std::io::stdout().flush();
+
+    let total = cfg.requests as u64;
+    while daemon.seq() < total {
+        let start = daemon.seq();
+        let end = (start + BATCH).min(total);
+        let batch: Vec<SolveRequest> =
+            (start..end).map(|i| request_for(i, cfg.size, cfg.tol)).collect();
+        let outcomes = match daemon.submit(batch) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("daemon: batch failed: {e}");
+                return 1;
+            }
+        };
+        // Durability order: trail first, then checkpoint, then ack.
+        // A kill between the two replays the batch (the trail dedups by
+        // seq); a kill before the trail write replays it with no trace
+        // — either way nothing is lost.
+        let mut lines = String::new();
+        for (off, o) in outcomes.iter().enumerate() {
+            lines.push_str(&trail_line(start + off as u64, o, daemon.pool()));
+        }
+        if let Err(e) = append_sync(&trail, &lines) {
+            eprintln!("daemon: trail write failed: {e}");
+            return 1;
+        }
+        if let Err(e) = daemon.checkpoint() {
+            eprintln!("daemon: checkpoint failed: {e}");
+            return 1;
+        }
+        for off in 0..outcomes.len() {
+            println!("done seq={}", start + off as u64);
+        }
+        let _ = std::io::stdout().flush();
+        if cfg.pace_ms > 0 {
+            std::thread::sleep(Duration::from_millis(cfg.pace_ms));
+        }
+    }
+
+    let stats = daemon.pool().cache().stats();
+    match daemon.drain() {
+        Ok(report) => {
+            println!(
+                "daemon: drained seq={} ok={} err={} rejected={} cache[hit={} rescaled={} drift-inv={} rebuilt={}]",
+                report.seq,
+                report.counters.completed_ok,
+                report.counters.completed_err,
+                report.counters.rejected_queue_full
+                    + report.counters.rejected_shed
+                    + report.counters.rejected_breaker
+                    + report.counters.rejected_quarantined,
+                stats.hits,
+                stats.rescaled_hits,
+                stats.drift_invalidations,
+                stats.rebuilds,
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("daemon: final checkpoint failed: {e}");
+            1
+        }
+    }
+}
+
+/// The wall-clock chaos demo (`--daemon --chaos`): a panicking request
+/// is contained and struck twice into quarantine, and a deliberately
+/// endless request is wedge-detected and cancelled by the monitor.
+/// Wall-clock by nature, so it lives outside the deterministic trail.
+fn run_daemon_chaos(cfg: &DaemonCliConfig) -> i32 {
+    let mut pool_cfg = pool_cfg(cfg.workers);
+    // The chaos demo is about supervision, not circuit breaking: a
+    // wedge failure plus a panic in the same class would trip the tight
+    // daemon breaker and mask the quarantine refusal it demonstrates.
+    pool_cfg.breaker = BreakerConfig::disabled();
+    pool_cfg.supervise = SuperviseConfig {
+        enabled: true,
+        wedge_after: Duration::from_millis(250),
+        poll: Duration::from_millis(10),
+        max_strikes: 2,
+        event_log_cap: 64,
+    };
+    let mut pool = ServePool::new(pool_cfg);
+    let mut violations: Vec<String> = Vec::new();
+
+    // An endless request: stationary Richardson at zero tolerance with
+    // health checks off never converges, never stagnates, and has no
+    // breakdown divisions — it can only end when the wedge monitor
+    // cancels it. (A Krylov method would break down at machine
+    // precision long before the 250 ms deadline.)
+    let endless = || {
+        let mut req =
+            SolveRequest::new("wedge-me", ProblemKind::Laplace27.build(cfg.size), MgConfig::d16());
+        req.solver = SolverChoice::Richardson;
+        req.opts = SolveOptions {
+            tol: 0.0,
+            max_iters: usize::MAX / 2,
+            health: HealthPolicy::disabled(),
+            record_history: false,
+            ..Default::default()
+        };
+        req.policy = RetryPolicy::fail_fast();
+        req
+    };
+    println!("--- wedge detection: an endless request against a 250 ms deadline ---");
+    let out = pool.run(vec![endless()]);
+    let wedged_cancelled =
+        matches!(&out[0].result, Err(ServeError::Session(SolveError::Cancelled { .. })));
+    println!(
+        "wedge-me -> {} (worker events: {})",
+        out[0].result.as_ref().map(|_| "ok").unwrap_or_else(|e| err_label(&e.clone())),
+        pool.worker_events().len()
+    );
+    if !wedged_cancelled {
+        violations.push("endless request was not wedge-cancelled".into());
+    }
+
+    {
+        println!("--- panic containment + quarantine: two strikes, then refusal ---");
+        let panicker = || {
+            let mut req = SolveRequest::new(
+                "panic-me",
+                ProblemKind::Laplace27.build(cfg.size),
+                MgConfig::d16(),
+            );
+            req.panic_in_worker = true;
+            req
+        };
+        for round in 0..3 {
+            let out = pool.run(vec![panicker()]);
+            println!(
+                "round {round}: panic-me -> {}",
+                out[0].result.as_ref().map(|_| "ok").unwrap_or_else(|e| err_label(&e.clone()))
+            );
+            let expect_quarantined = round >= 2;
+            let got_quarantined = matches!(
+                out[0].result,
+                Err(ServeError::Rejected(fp16mg_runtime::AdmissionError::Quarantined { .. }))
+            );
+            if expect_quarantined != got_quarantined {
+                violations.push(format!(
+                    "round {round}: expected quarantined={expect_quarantined}, got {got_quarantined}"
+                ));
+            }
+        }
+    }
+
+    println!("worker-event trail:");
+    for ev in pool.worker_events() {
+        println!(
+            "  worker={} request={} event={}",
+            ev.worker.map(|w| w.to_string()).unwrap_or_else(|| "-".into()),
+            ev.request,
+            ev.kind.label()
+        );
+    }
+    if violations.is_empty() {
+        println!("chaos demo: all supervision invariants held");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("chaos violation: {v}");
+        }
+        1
+    }
+}
+
+// ------------------------------------------------------------------ soak --
+
+/// A parsed trail: per seq, every decision string (first occurrence
+/// first) observed in the file.
+fn read_trail(path: &Path) -> Result<Vec<(u64, String)>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let decision = line.split(" cache=").next().unwrap_or(line).to_string();
+        let seq = line
+            .strip_prefix("seq=")
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| format!("{}: bad trail line {}", path.display(), i + 1))?;
+        out.push((seq, decision));
+    }
+    Ok(out)
+}
+
+fn child_command(dir: &Path, cfg: &SoakConfig, pace_ms: u64) -> Result<Command, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("serve")
+        .arg("--daemon")
+        .arg("--snapshot-dir")
+        .arg(dir)
+        .arg("--requests")
+        .arg(cfg.requests.to_string())
+        .arg("--workers")
+        .arg(cfg.workers.to_string())
+        .arg("--size")
+        .arg(cfg.size.to_string())
+        .arg("--tol")
+        .arg(cfg.tol.to_string())
+        .arg("--pace-ms")
+        .arg(pace_ms.to_string());
+    Ok(cmd)
+}
+
+/// The kill/restart acceptance harness. Returns the process exit code
+/// (nonzero when any invariant is violated).
+pub fn run_soak(cfg: &SoakConfig) -> i32 {
+    let mut violations: Vec<String> = Vec::new();
+    let ref_dir = cfg.out.join("soak-ref");
+    let crash_dir = cfg.out.join("soak-crash");
+    for d in [&ref_dir, &crash_dir] {
+        let _ = fs::remove_dir_all(d);
+        if let Err(e) = fs::create_dir_all(d) {
+            eprintln!("soak: cannot create {}: {e}", d.display());
+            return 1;
+        }
+    }
+
+    // 1. Reference run: uninterrupted, graceful drain, exit 0.
+    println!("soak: reference run ({} requests)...", cfg.requests);
+    match child_command(&ref_dir, cfg, 0).and_then(|mut c| c.status().map_err(|e| e.to_string())) {
+        Ok(status) if status.success() => {}
+        Ok(status) => violations.push(format!("reference run exited {status}")),
+        Err(e) => {
+            eprintln!("soak: cannot run reference child: {e}");
+            return 1;
+        }
+    }
+
+    // 2. Crash run: SIGKILL after `kill_after` acknowledged requests.
+    println!("soak: crash run (SIGKILL after {} acks)...", cfg.kill_after);
+    let mut killed = false;
+    match child_command(&crash_dir, cfg, 15) {
+        Err(e) => {
+            eprintln!("soak: {e}");
+            return 1;
+        }
+        Ok(mut cmd) => {
+            let child = cmd.stdout(Stdio::piped()).spawn();
+            let mut child = match child {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("soak: cannot spawn crash child: {e}");
+                    return 1;
+                }
+            };
+            let stdout = child.stdout.take().expect("piped stdout");
+            let mut acks = 0usize;
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if line.starts_with("done seq=") {
+                    acks += 1;
+                    if acks >= cfg.kill_after {
+                        let _ = child.kill(); // SIGKILL: no drain, no final checkpoint
+                        killed = true;
+                        break;
+                    }
+                }
+            }
+            let _ = child.wait();
+            if !killed {
+                violations.push(format!(
+                    "crash child finished after {acks} acks before the kill at {} could land",
+                    cfg.kill_after
+                ));
+            }
+        }
+    }
+
+    // 3. Restart: must come up warm from the snapshot, finish the
+    //    stream, drain gracefully, exit 0.
+    println!("soak: restart from snapshot...");
+    let mut resumed_seq: Option<u64> = None;
+    match child_command(&crash_dir, cfg, 0).and_then(|mut c| c.output().map_err(|e| e.to_string()))
+    {
+        Ok(output) => {
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            for line in stdout.lines() {
+                if let Some(rest) = line.strip_prefix("daemon: resumed seq=") {
+                    resumed_seq = rest.trim().parse::<u64>().ok();
+                }
+            }
+            if !output.status.success() {
+                violations.push(format!("restarted child exited {}", output.status));
+            }
+        }
+        Err(e) => {
+            eprintln!("soak: cannot run restart child: {e}");
+            return 1;
+        }
+    }
+    match resumed_seq {
+        Some(s) if s > 0 => println!("soak: restart resumed warm at seq={s}"),
+        Some(_) => violations.push("restart reported seq=0 (did not resume)".into()),
+        None if killed => {
+            violations.push("restart did not report a snapshot resume (cold start?)".into())
+        }
+        None => {}
+    }
+
+    // 4. Trail validation.
+    let ref_trail = read_trail(&ref_dir.join(TRAIL_FILE));
+    let crash_trail = read_trail(&crash_dir.join(TRAIL_FILE));
+    match (&ref_trail, &crash_trail) {
+        (Ok(reference), Ok(crash)) => {
+            let total = cfg.requests as u64;
+            // Reference: exactly one decision per seq.
+            let mut ref_by_seq: Vec<Option<&String>> = vec![None; cfg.requests];
+            for (seq, decision) in reference {
+                match ref_by_seq.get_mut(*seq as usize) {
+                    Some(slot @ None) => *slot = Some(decision),
+                    Some(_) => violations.push(format!("reference trail duplicates seq {seq}")),
+                    None => violations.push(format!("reference trail has stray seq {seq}")),
+                }
+            }
+            for seq in 0..total {
+                if ref_by_seq[seq as usize].is_none() {
+                    violations.push(format!("reference trail is missing seq {seq}"));
+                }
+            }
+            // Crash+restart: full coverage, duplicates identical, and
+            // every decision bit-identical to the reference.
+            let mut crash_by_seq: Vec<Vec<&String>> = vec![Vec::new(); cfg.requests];
+            for (seq, decision) in crash {
+                match crash_by_seq.get_mut(*seq as usize) {
+                    Some(v) => v.push(decision),
+                    None => violations.push(format!("crash trail has stray seq {seq}")),
+                }
+            }
+            let mut replayed = 0usize;
+            for seq in 0..cfg.requests {
+                let entries = &crash_by_seq[seq];
+                if entries.is_empty() {
+                    violations.push(format!("crash trail lost seq {seq} (dropped request)"));
+                    continue;
+                }
+                if entries.len() > 1 {
+                    replayed += 1;
+                    if entries.iter().any(|d| *d != entries[0]) {
+                        violations.push(format!("crash trail replayed seq {seq} DIVERGENTLY"));
+                    }
+                }
+                if let Some(reference) = ref_by_seq[seq] {
+                    if entries[0] != reference {
+                        violations.push(format!(
+                            "seq {seq} decision diverges from reference:\n  ref:   {reference}\n  crash: {}",
+                            entries[0]
+                        ));
+                    }
+                }
+            }
+            println!(
+                "soak: {} requests covered, {} replayed identically after the kill",
+                cfg.requests, replayed
+            );
+            // The cache must have demonstrated its full event ladder in
+            // the uninterrupted reference run.
+            let ref_text = fs::read_to_string(ref_dir.join(TRAIL_FILE)).unwrap_or_default();
+            for needed in
+                ["cache=hit", "cache=rescaled-hit", "cache=drift-invalidated", "cache=rebuilt"]
+            {
+                if !ref_text.contains(needed) {
+                    violations.push(format!("reference run never produced {needed}"));
+                }
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => violations.push(format!("trail unreadable: {e}")),
+    }
+
+    if violations.is_empty() {
+        println!("soak: all acceptance invariants held (kill, warm restart, bit-identical replay)");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("soak violation: {v}");
+        }
+        1
+    }
+}

@@ -14,6 +14,7 @@
 pub mod audit;
 pub mod benchjson;
 pub mod combos;
+pub mod daemon;
 pub mod e2e;
 pub mod guard;
 pub mod kernelbench;
@@ -24,6 +25,7 @@ pub mod table;
 pub use audit::{audit_report, print_audit_table};
 pub use benchjson::{bench_json_emit, BenchJsonConfig};
 pub use combos::Combo;
+pub use daemon::{run_daemon, run_soak, DaemonCliConfig, SoakConfig};
 pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};
 pub use kernelbench::{kernel_suite, KernelKind, KernelRow, Variant};

@@ -388,6 +388,7 @@ fn overload_pool(cfg: &OverloadConfig) -> ServePool {
             probe_successes: 1,
             ..BreakerConfig::default()
         },
+        ..PoolConfig::default()
     })
 }
 

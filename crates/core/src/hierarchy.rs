@@ -62,6 +62,14 @@ pub enum SetupError {
     },
     /// More components per cell than the kernels support (8).
     TooManyComponents,
+    /// A retained [`GalerkinChain`] cannot serve this request: the
+    /// scaling strategy pre-bakes a finest-level scaling into the chain
+    /// (`ScaleThenSetup`), or the supplied finest operator's geometry
+    /// disagrees with the chain's.
+    ChainIncompatible {
+        /// What made the chain unusable.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for SetupError {
@@ -81,6 +89,9 @@ impl core::fmt::Display for SetupError {
                 write!(f, "singular coarsest-level matrix (pivot column {pivot})")
             }
             SetupError::TooManyComponents => write!(f, "more than 8 components per cell"),
+            SetupError::ChainIncompatible { reason } => {
+                write!(f, "retained Galerkin chain unusable: {reason}")
+            }
         }
     }
 }
@@ -365,10 +376,9 @@ impl<Pr: Scalar> Mg<Pr> {
         if a.grid().components > 8 {
             return Err(SetupError::TooManyComponents);
         }
-        let mut config = config.clone();
+        let config = config.clone();
 
         // --- Galerkin chain in f64 (lines 1–3). ---
-        let mut chain: Vec<SgDia<f64>> = Vec::new();
         let mut finest = a.to_layout(config.layout);
         let mut finest_scale = None;
         if config.scale == ScaleStrategy::ScaleThenSetup {
@@ -383,25 +393,75 @@ impl<Pr: Scalar> Mg<Pr> {
                 })?;
             finest_scale = Some(sv);
         }
-        chain.push(finest);
-        while chain.len() < config.max_levels.max(1) {
-            // The chain is never empty: the finest matrix is pushed above.
-            let Some(last) = chain.last() else { break };
-            if last.grid().is_coarsest(config.min_coarse_cells) {
-                break;
-            }
-            let axes = select_axes(last, config.coarsening);
-            if last.grid().coarsen_axes(axes) == *last.grid() {
-                break; // nothing left to coarsen
-            }
-            chain.push(galerkin_rap_axes(last, axes));
-        }
+        let chain = build_chain(finest, &config);
+        let mats: Vec<&SgDia<f64>> = chain.iter().collect();
+        Self::assemble(&mats, finest_scale, config)
+    }
 
+    /// Builds the hierarchy from a retained FP64 [`GalerkinChain`] —
+    /// the cheap path behind a hierarchy cache. Only the per-level
+    /// scale-and-truncate, smoother setup, and coarsest factorization
+    /// run (Algorithm 1 lines 4–14); the Galerkin triple products
+    /// (lines 1–3, the dominant setup cost) are reused as-is.
+    ///
+    /// Rebuilding from the same chain and config is deterministic: the
+    /// stored levels are bit-identical to a full [`Mg::setup`] with the
+    /// same inputs.
+    ///
+    /// # Errors
+    /// [`SetupError::ChainIncompatible`] for `ScaleThenSetup` configs
+    /// (the chain would embed a finest scaling, making it single-use);
+    /// otherwise see [`SetupError`].
+    pub fn setup_from_chain(chain: &GalerkinChain, config: &MgConfig) -> Result<Self, SetupError> {
+        config.validate()?;
+        reject_prescaled(config)?;
+        let mats: Vec<&SgDia<f64>> = chain.mats.iter().collect();
+        Self::assemble(&mats, None, config.clone())
+    }
+
+    /// Builds the hierarchy from a *drifted* finest operator while
+    /// reusing the retained chain's coarse tail — the rescale-in-place
+    /// path of a hierarchy cache. The finest level's diagonal scaling
+    /// and truncation are re-derived from `finest` (so Theorem 4.1's
+    /// no-overflow guarantee holds for the new values), while levels
+    /// below keep the cached Galerkin operators: a deliberate
+    /// Galerkin-lag approximation, sound while the drift bound is small
+    /// because the coarse correction only needs to approximate the fine
+    /// operator's action, and the outer Krylov iteration on the exact
+    /// drifted operator absorbs the residual difference.
+    ///
+    /// # Errors
+    /// [`SetupError::ChainIncompatible`] when the config is
+    /// `ScaleThenSetup` or `finest`'s geometry disagrees with the
+    /// chain's; otherwise see [`SetupError`].
+    pub fn setup_rescaled(
+        finest: &SgDia<f64>,
+        chain: &GalerkinChain,
+        config: &MgConfig,
+    ) -> Result<Self, SetupError> {
+        config.validate()?;
+        reject_prescaled(config)?;
+        chain.check_finest_geometry(finest)?;
+        let owned = finest.to_layout(config.layout);
+        let mut mats: Vec<&SgDia<f64>> = Vec::with_capacity(chain.mats.len());
+        mats.push(&owned);
+        mats.extend(chain.mats.iter().skip(1));
+        Self::assemble(&mats, None, config.clone())
+    }
+
+    /// Algorithm 1 lines 4–14 over an already-built Galerkin chain:
+    /// AutoShift resolution, per-level scale-and-truncate, smoother
+    /// data, coarsest dense LU.
+    fn assemble(
+        chain: &[&SgDia<f64>],
+        finest_scale: Option<ScaleVectors<Pr>>,
+        mut config: MgConfig,
+    ) -> Result<Self, SetupError> {
         // --- Adaptive shift_levid: audit the chain, pick the switch. ---
         let nlev = chain.len();
         let mut shift_decision = None;
         if let StoragePolicy::AutoShift { coarse, max_underflow } = config.storage {
-            let decision = resolve_auto_shift(&chain, &config, max_underflow);
+            let decision = resolve_auto_shift(chain, &config, max_underflow);
             config.storage = StoragePolicy::Fp16Until { shift_levid: decision.chosen, coarse };
             shift_decision = Some(decision);
         }
@@ -908,6 +968,134 @@ fn is_narrow(p: Precision) -> bool {
     matches!(p, Precision::F16 | Precision::BF16)
 }
 
+/// The retained FP64 Galerkin chain (Algorithm 1 lines 1–3): the finest
+/// operator plus every coarse triple-product operator, *before* any
+/// scaling or truncation. This is the expensive, reusable part of setup
+/// — a hierarchy cache retains it and re-runs only the cheap per-level
+/// scale-and-truncate ([`Mg::setup_from_chain`]) or swaps in a drifted
+/// finest operator while keeping the coarse tail
+/// ([`Mg::setup_rescaled`]).
+///
+/// Only value-preserving configurations are chain-compatible: under
+/// `ScaleStrategy::ScaleThenSetup` the finest matrix is rescaled before
+/// the triple products run, baking one request's scaling into every
+/// coarse operator, so [`GalerkinChain::build`] refuses that strategy
+/// with a typed error instead of caching a single-use artifact.
+#[derive(Clone, Debug)]
+pub struct GalerkinChain {
+    mats: Vec<SgDia<f64>>,
+}
+
+impl GalerkinChain {
+    /// Builds the FP64 chain for `a` under `config` (coarsening policy,
+    /// level bounds, and layout are honored; storage/scaling knobs do
+    /// not affect the chain).
+    ///
+    /// # Errors
+    /// [`SetupError::ChainIncompatible`] for `ScaleThenSetup` configs;
+    /// [`SetupError::InvalidConfig`]/[`SetupError::TooManyComponents`]
+    /// as in [`Mg::setup`].
+    pub fn build(a: &SgDia<f64>, config: &MgConfig) -> Result<Self, SetupError> {
+        config.validate()?;
+        if a.grid().components > 8 {
+            return Err(SetupError::TooManyComponents);
+        }
+        reject_prescaled(config)?;
+        let finest = a.to_layout(config.layout);
+        Ok(GalerkinChain { mats: build_chain(finest, config) })
+    }
+
+    /// Number of levels in the chain (≥ 1).
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Always false — the chain holds at least the finest operator.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// The finest-level operator.
+    pub fn finest(&self) -> &SgDia<f64> {
+        &self.mats[0]
+    }
+
+    /// Every level's operator, finest first.
+    pub fn matrices(&self) -> &[SgDia<f64>] {
+        &self.mats
+    }
+
+    /// Replaces the finest operator in place (same geometry required),
+    /// keeping the coarse tail — the cache's rescale-in-place commit:
+    /// after this, [`Mg::setup_from_chain`] serves the drifted operator
+    /// directly.
+    ///
+    /// # Errors
+    /// [`SetupError::ChainIncompatible`] on a geometry mismatch.
+    pub fn swap_finest(
+        &mut self,
+        finest: &SgDia<f64>,
+        config: &MgConfig,
+    ) -> Result<(), SetupError> {
+        self.check_finest_geometry(finest)?;
+        self.mats[0] = finest.to_layout(config.layout);
+        Ok(())
+    }
+
+    /// Checks that `finest` matches the chain's finest-level geometry.
+    fn check_finest_geometry(&self, finest: &SgDia<f64>) -> Result<(), SetupError> {
+        let own = self.finest();
+        if finest.grid() != own.grid() || finest.pattern().len() != own.pattern().len() {
+            return Err(SetupError::ChainIncompatible {
+                reason: format!(
+                    "finest operator geometry {}×{}×{} ({} taps) does not match the chain's \
+                     {}×{}×{} ({} taps)",
+                    finest.grid().nx,
+                    finest.grid().ny,
+                    finest.grid().nz,
+                    finest.pattern().len(),
+                    own.grid().nx,
+                    own.grid().ny,
+                    own.grid().nz,
+                    own.pattern().len(),
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Refuses configs whose chain would embed a finest-level scaling.
+fn reject_prescaled(config: &MgConfig) -> Result<(), SetupError> {
+    if config.scale == ScaleStrategy::ScaleThenSetup {
+        return Err(SetupError::ChainIncompatible {
+            reason: "ScaleThenSetup bakes a finest-level scaling into the Galerkin chain, \
+                     making it single-use; use SetupThenScale for chain reuse"
+                .to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// The Galerkin coarsening loop (Algorithm 1 lines 1–3): RAP triple
+/// products down to the configured coarsest size.
+fn build_chain(finest: SgDia<f64>, config: &MgConfig) -> Vec<SgDia<f64>> {
+    let mut chain: Vec<SgDia<f64>> = vec![finest];
+    while chain.len() < config.max_levels.max(1) {
+        // The chain is never empty: the finest matrix is pushed above.
+        let Some(last) = chain.last() else { break };
+        if last.grid().is_coarsest(config.min_coarse_cells) {
+            break;
+        }
+        let axes = select_axes(last, config.coarsening);
+        if last.grid().coarsen_axes(axes) == *last.grid() {
+            break; // nothing left to coarsen
+        }
+        chain.push(galerkin_rap_axes(last, axes));
+    }
+    chain
+}
+
 /// Chooses the coarsening axes for one level: all of them for full
 /// coarsening; under semicoarsening, those whose face-coupling strength
 /// is within `threshold` of the strongest (always at least the strongest
@@ -1066,7 +1254,7 @@ fn build_level<Pr: Scalar>(
 /// the coarse precision. Returns `usize::MAX` (all-FP16) when every level
 /// passes.
 fn resolve_auto_shift(
-    chain: &[SgDia<f64>],
+    chain: &[&SgDia<f64>],
     config: &MgConfig,
     max_underflow: f64,
 ) -> ShiftDecision {
@@ -1079,7 +1267,7 @@ fn resolve_auto_shift(
             nonfinite || max >= prec.finite_max()
         };
         let a = if config.scale == ScaleStrategy::SetupThenScale && needs_scale {
-            let mut scaled = ai.clone();
+            let mut scaled = (*ai).clone();
             match scaling::scale_symmetric::<f64>(&mut scaled, config.g_choice, prec.finite_max()) {
                 Ok(_) => Some(scaled),
                 // Scaling impossible (non-positive diagonal): FP16 cannot
@@ -1087,7 +1275,7 @@ fn resolve_auto_shift(
                 Err(_) => None,
             }
         } else {
-            Some(ai.clone())
+            Some((*ai).clone())
         };
         match a {
             Some(a) => {

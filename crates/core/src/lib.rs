@@ -42,8 +42,8 @@ pub use config::{
 pub use fp16mg_sgdia::audit::{RangeAudit, TruncationError, TruncationPolicy};
 pub use fp16mg_sgdia::sentinel::{MatrixSentinels, TapMismatch, TapSentinel};
 pub use hierarchy::{
-    LevelInfo, LevelSentinel, Mg, MgInfo, PromotionEvent, PromotionReason, RepairEvent,
-    RepairTrigger, SetupError, ShiftDecision,
+    GalerkinChain, LevelInfo, LevelSentinel, Mg, MgInfo, PromotionEvent, PromotionReason,
+    RepairEvent, RepairTrigger, SetupError, ShiftDecision,
 };
 pub use ops::MatOp;
 pub use smoother::{DenseLu, FactorError};

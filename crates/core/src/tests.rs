@@ -1268,3 +1268,114 @@ mod economize {
         assert!(res.converged(), "{:?}", res.reason);
     }
 }
+
+// ----------------------------------------------------- hierarchy cache --
+
+mod chain_reuse {
+    use super::*;
+    use crate::{GalerkinChain, SetupError};
+
+    fn solve_history(mg: &mut Mg<f32>, a: &SgDia<f64>) -> Vec<u64> {
+        let op = MatOp::new(a, Par::Seq);
+        let b = rhs(a.rows());
+        let mut x = vec![0.0f64; a.rows()];
+        let opts =
+            SolveOptions { tol: 1e-8, max_iters: 60, record_history: true, ..Default::default() };
+        let res = richardson(&op, mg, &b, &mut x, &opts);
+        assert_eq!(res.reason, StopReason::Converged);
+        res.history.iter().map(|r| r.to_bits()).collect()
+    }
+
+    /// CG iterations to 1e-8 — the outer Krylov solve the cache's
+    /// rescale-in-place path actually runs under (a stationary
+    /// iteration cannot absorb a mis-scaled coarse correction; Krylov
+    /// can, which is exactly why Galerkin lag is sound there).
+    fn cg_iters(mg: &mut Mg<f32>, a: &SgDia<f64>) -> usize {
+        let op = MatOp::new(a, Par::Seq);
+        let b = rhs(a.rows());
+        let mut x = vec![0.0f64; a.rows()];
+        let opts = SolveOptions { tol: 1e-8, max_iters: 100, ..Default::default() };
+        let res = cg(&op, mg, &b, &mut x, &opts);
+        assert_eq!(res.reason, StopReason::Converged);
+        res.iters
+    }
+
+    #[test]
+    fn setup_from_chain_is_bit_identical_to_setup() {
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0);
+        let config = MgConfig::d16();
+        let chain = GalerkinChain::build(&a, &config).unwrap();
+        assert!(chain.len() > 1 && !chain.is_empty());
+
+        let mut direct = Mg::<f32>::setup(&a, &config).unwrap();
+        let mut reused = Mg::<f32>::setup_from_chain(&chain, &config).unwrap();
+        assert_eq!(
+            format!("{:?}", direct.info()),
+            format!("{:?}", reused.info()),
+            "level structure, precisions, and scaling decisions must match"
+        );
+        // The warm path must produce the same hierarchy bit for bit:
+        // identical residual trajectories, not merely similar ones.
+        assert_eq!(solve_history(&mut direct, &a), solve_history(&mut reused, &a));
+    }
+
+    #[test]
+    fn rescaled_setup_serves_a_drifted_operator() {
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0);
+        let config = MgConfig::d16();
+        let mut chain = GalerkinChain::build(&a, &config).unwrap();
+
+        // A 4x-rescaled operator reuses the coarse tail (Galerkin lag)…
+        let drifted = laplacian(Grid3::cube(12), Pattern::p7(), 4.0);
+        let mut mg = Mg::<f32>::setup_rescaled(&drifted, &chain, &config).unwrap();
+        let warm = cg_iters(&mut mg, &drifted);
+        // …and still converges like a cold rebuild (the lagged coarse
+        // correction is only a preconditioner).
+        let mut cold = Mg::<f32>::setup(&drifted, &config).unwrap();
+        let rebuilt = cg_iters(&mut cold, &drifted);
+        // The lagged tail mis-scales the coarse correction by the drift
+        // factor, which CG absorbs at ~sqrt(drift) extra iterations —
+        // the price of skipping the Galerkin setup, bounded but not
+        // free. Past rescale_max the cache rebuilds instead.
+        assert!(
+            warm <= rebuilt * 3,
+            "Galerkin lag must not derail convergence: {warm} vs {rebuilt} iters"
+        );
+
+        // Committing the swap makes the chain serve the drifted finest
+        // directly through the plain warm path.
+        chain.swap_finest(&drifted, &config).unwrap();
+        let mut committed = Mg::<f32>::setup_from_chain(&chain, &config).unwrap();
+        cg_iters(&mut committed, &drifted);
+    }
+
+    #[test]
+    fn incompatible_chains_are_refused_typed() {
+        let a = laplacian(Grid3::cube(12), Pattern::p7(), 1.0);
+        let prescaled = MgConfig { scale: ScaleStrategy::ScaleThenSetup, ..MgConfig::d16() };
+
+        // ScaleThenSetup bakes the finest scaling into the chain: both
+        // building and reusing refuse it.
+        assert!(matches!(
+            GalerkinChain::build(&a, &prescaled),
+            Err(SetupError::ChainIncompatible { .. })
+        ));
+        let chain = GalerkinChain::build(&a, &MgConfig::d16()).unwrap();
+        assert!(matches!(
+            Mg::<f32>::setup_from_chain(&chain, &prescaled),
+            Err(SetupError::ChainIncompatible { .. })
+        ));
+
+        // Geometry mismatches are refused, not coerced.
+        let smaller = laplacian(Grid3::cube(8), Pattern::p7(), 1.0);
+        assert!(matches!(
+            Mg::<f32>::setup_rescaled(&smaller, &chain, &MgConfig::d16()),
+            Err(SetupError::ChainIncompatible { .. })
+        ));
+        let mut chain = chain;
+        assert!(matches!(
+            chain.swap_finest(&smaller, &MgConfig::d16()),
+            Err(SetupError::ChainIncompatible { .. })
+        ));
+    }
+}

@@ -91,6 +91,16 @@ pub enum AdmissionError {
         /// admits a probe.
         cooldown_remaining: usize,
     },
+    /// This exact request has wedged or panicked its worker too many
+    /// times; the supervisor's [`Quarantine`](crate::Quarantine) refuses
+    /// it so a poison pill stops burning execution slots. Strikes
+    /// survive daemon restarts via the snapshot.
+    Quarantined {
+        /// The quarantined request name.
+        name: String,
+        /// Strikes charged when it was refused.
+        strikes: usize,
+    },
 }
 
 impl AdmissionError {
@@ -100,6 +110,7 @@ impl AdmissionError {
             AdmissionError::QueueFull { .. } => "queue-full",
             AdmissionError::Shed { .. } => "shed",
             AdmissionError::BreakerOpen { .. } => "breaker-open",
+            AdmissionError::Quarantined { .. } => "quarantined",
         }
     }
 }
@@ -119,6 +130,9 @@ impl core::fmt::Display for AdmissionError {
                  ({:.0}% terminal failures; {cooldown_remaining} attempts to half-open)",
                 failure_rate * 100.0
             ),
+            AdmissionError::Quarantined { name, strikes } => {
+                write!(f, "request '{name}' quarantined after {strikes} worker strikes")
+            }
         }
     }
 }

@@ -21,6 +21,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use crate::jitter;
+use crate::ring::Ring;
+
 /// The three breaker states.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BreakerState {
@@ -79,6 +82,10 @@ pub struct BreakerConfig {
     pub probe_successes: usize,
     /// Seed for the cooldown-jitter stream.
     pub seed: u64,
+    /// Capacity of the registry's transition log ring — the bound that
+    /// keeps a long-running daemon's breaker evidence from growing
+    /// without limit. Oldest transitions are evicted first.
+    pub transition_log_cap: usize,
 }
 
 impl Default for BreakerConfig {
@@ -93,6 +100,7 @@ impl Default for BreakerConfig {
             probes: 1,
             probe_successes: 1,
             seed: 0xb4ea_4e4b_5eed_0001,
+            transition_log_cap: 256,
         }
     }
 }
@@ -122,15 +130,6 @@ pub enum BreakerDecision {
         /// Attempts left before half-open (0 while half-open).
         cooldown_remaining: usize,
     },
-}
-
-/// SplitMix64, the same tiny deterministic stream the retry ladder uses
-/// for backoff jitter.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// One class's breaker.
@@ -271,7 +270,7 @@ impl CircuitBreaker {
         let jitter = if self.cfg.cooldown_jitter == 0 {
             0
         } else {
-            (splitmix64(self.cfg.seed.wrapping_add(self.trips as u64))
+            (jitter::splitmix64(self.cfg.seed.wrapping_add(self.trips as u64))
                 % (self.cfg.cooldown_jitter as u64 + 1)) as usize
         };
         self.cooldown_target = self.cfg.cooldown.max(1) + jitter;
@@ -303,14 +302,71 @@ impl core::fmt::Display for BreakerTransition {
     }
 }
 
+/// The full private state of one breaker, exported for checkpointing. A
+/// breaker rebuilt from its export makes bit-identical decisions on the
+/// same admission/record stream — the per-class jitter seed re-derives
+/// from the shared config and the class name, so only observed state
+/// travels, never derived constants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakerExport {
+    /// Current state.
+    pub state: BreakerState,
+    /// Sliding outcome window, oldest first (`true` = failure).
+    pub window: Vec<bool>,
+    /// Trip count (drives the jitter stream position).
+    pub trips: usize,
+    /// Failure rate at the last trip.
+    pub last_failure_rate: f64,
+    /// Admission attempts observed while open.
+    pub attempts_while_open: usize,
+    /// Cooldown target of the current open period.
+    pub cooldown_target: usize,
+    /// Probes granted but not yet recorded.
+    pub probes_outstanding: usize,
+    /// Probe successes seen this half-open period.
+    pub probe_successes_seen: usize,
+}
+
+impl CircuitBreaker {
+    /// Exports every decision-relevant field for checkpointing.
+    pub fn export(&self) -> BreakerExport {
+        BreakerExport {
+            state: self.state,
+            window: self.window.iter().copied().collect(),
+            trips: self.trips,
+            last_failure_rate: self.last_failure_rate,
+            attempts_while_open: self.attempts_while_open,
+            cooldown_target: self.cooldown_target,
+            probes_outstanding: self.probes_outstanding,
+            probe_successes_seen: self.probe_successes_seen,
+        }
+    }
+
+    /// Rebuilds a breaker from an export and its (per-class) config.
+    pub fn from_export(cfg: BreakerConfig, e: &BreakerExport) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: e.state,
+            window: e.window.iter().copied().collect(),
+            trips: e.trips,
+            last_failure_rate: e.last_failure_rate,
+            attempts_while_open: e.attempts_while_open,
+            cooldown_target: e.cooldown_target,
+            probes_outstanding: e.probes_outstanding,
+            probe_successes_seen: e.probe_successes_seen,
+        }
+    }
+}
+
 /// All breakers of a pool, keyed by problem class, sharing one config.
-/// Created lazily per class; every state change lands in the transition
-/// log in observation order.
+/// Created lazily per class; every state change lands in the
+/// ring-bounded transition log in observation order (capacity
+/// [`BreakerConfig::transition_log_cap`]).
 #[derive(Clone, Debug, Default)]
 pub struct BreakerRegistry {
     cfg: Option<BreakerConfig>,
     map: BTreeMap<String, CircuitBreaker>,
-    transitions: Vec<BreakerTransition>,
+    transitions: Ring<BreakerTransition>,
 }
 
 impl BreakerRegistry {
@@ -318,18 +374,22 @@ impl BreakerRegistry {
     /// class name is folded into the jitter seed so co-tripped classes
     /// de-synchronize their probes).
     pub fn new(cfg: BreakerConfig) -> Self {
-        BreakerRegistry { cfg: Some(cfg), map: BTreeMap::new(), transitions: Vec::new() }
+        let transitions = Ring::new(cfg.transition_log_cap);
+        BreakerRegistry { cfg: Some(cfg), map: BTreeMap::new(), transitions }
+    }
+
+    /// The shared config specialized to one class: the jitter seed is
+    /// the class name FNV-folded into the shared seed, a pure function
+    /// reconstructible after a restart.
+    fn class_cfg(&self, class: &str) -> BreakerConfig {
+        let mut cfg = self.cfg.clone().unwrap_or_default();
+        cfg.seed = jitter::fold_seed(cfg.seed, class);
+        cfg
     }
 
     fn breaker_mut(&mut self, class: &str) -> &mut CircuitBreaker {
         if !self.map.contains_key(class) {
-            let mut cfg = self.cfg.clone().unwrap_or_default();
-            // FNV-1a over the class name, folded into the shared seed.
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for b in class.bytes() {
-                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            cfg.seed ^= h;
+            let cfg = self.class_cfg(class);
             self.map.insert(class.to_string(), CircuitBreaker::new(cfg));
         }
         self.map.get_mut(class).expect("breaker was just inserted")
@@ -369,8 +429,32 @@ impl BreakerRegistry {
         self.map.get(class)
     }
 
-    /// Every state change observed, in order.
+    /// The most recent state changes, in order (ring-bounded; see
+    /// [`BreakerRegistry::transitions_evicted`] for how many older ones
+    /// were dropped).
     pub fn transitions(&self) -> &[BreakerTransition] {
         &self.transitions
+    }
+
+    /// Transitions evicted from the bounded log so far.
+    pub fn transitions_evicted(&self) -> usize {
+        self.transitions.evicted()
+    }
+
+    /// Exports every class's breaker state for checkpointing, in key
+    /// order (deterministic).
+    pub fn export(&self) -> Vec<(String, BreakerExport)> {
+        self.map.iter().map(|(k, b)| (k.clone(), b.export())).collect()
+    }
+
+    /// Restores breakers from a checkpoint export. Existing breakers of
+    /// the same classes are replaced; the per-class jitter seeds are
+    /// re-derived from the registry config, so a restored registry takes
+    /// bit-identical decisions on a replayed stream.
+    pub fn restore(&mut self, entries: &[(String, BreakerExport)]) {
+        for (class, e) in entries {
+            let cfg = self.class_cfg(class);
+            self.map.insert(class.clone(), CircuitBreaker::from_export(cfg, e));
+        }
     }
 }

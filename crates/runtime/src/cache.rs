@@ -1,0 +1,490 @@
+//! The hierarchy cache: retained Galerkin setup with audited, drift-
+//! bounded invalidation.
+//!
+//! The FP64 Galerkin triple-product chain (§4 lines 1–3) dominates
+//! setup cost; the per-level scale-and-truncate that follows (lines
+//! 4–14, Theorem 4.1) is cheap. A long-running daemon therefore caches
+//! the *chain* per problem class and geometry and serves each request
+//! by re-running only the cheap half ([`Mg::setup_from_chain`]) — but a
+//! cache is only as trustworthy as its invalidation. Here invalidation
+//! is *audited*: a [`RangeAudit`] of the incoming operator is compared
+//! against the cached baseline (one [`OperatorDrift`] — no access to
+//! the cached matrix needed), and a typed three-way predicate decides:
+//!
+//! * drift ≤ `keep_max` → **[`CacheEventKind::Hit`]**: serve from the
+//!   cached chain as-is. Sound because the outer Krylov operator is
+//!   always the caller's exact matrix — only the preconditioner lags.
+//! * drift ≤ `rescale_max` → **[`CacheEventKind::RescaledHit`]**: the
+//!   finest level is re-scaled and re-truncated from the *new* operator
+//!   ([`Mg::setup_rescaled`]), restoring the Theorem 4.1 no-overflow
+//!   guarantee for the drifted values while the coarse Galerkin tail is
+//!   reused (bounded Galerkin lag); the chain's finest slot is swapped
+//!   in place so an identical follow-up is a fingerprint hit.
+//! * beyond — or any structural drift (new overflow, changed sparsity)
+//!   → **[`CacheEventKind::DriftInvalidated`]**: the entry is torn down
+//!   and rebuilt from scratch.
+//!
+//! Bit-equal operators short-circuit via an FNV-1a fingerprint of the
+//! raw matrix bits before any audit runs. Every decision is recorded as
+//! a typed [`CacheEvent`] in a ring-bounded trail, and the per-class
+//! keying reuses the breaker registry's convention, so cache, breaker,
+//! and admission speak the same class vocabulary.
+
+use std::collections::BTreeMap;
+
+use fp16mg_core::{GalerkinChain, Mg, MgConfig, ScaleStrategy, SetupError};
+use fp16mg_fp::{Fnv1a, Precision};
+use fp16mg_sgdia::audit::{self, drift, OperatorDrift, RangeAudit};
+use fp16mg_sgdia::SgDia;
+
+use crate::ring::Ring;
+
+/// Cache tuning.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Master switch; a disabled cache makes every acquire a plain
+    /// build with no retention.
+    pub enabled: bool,
+    /// Maximum retained entries (least-recently-used eviction beyond).
+    pub capacity: usize,
+    /// Drift magnitude (log2 units, see [`OperatorDrift::magnitude`])
+    /// up to which the cached hierarchy is served unchanged.
+    pub keep_max: f64,
+    /// Drift magnitude up to which the finest level is re-scaled in
+    /// place; beyond it the entry is invalidated and rebuilt.
+    pub rescale_max: f64,
+    /// Ring capacity of the typed event trail.
+    pub event_log_cap: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity: 8,
+            keep_max: 0.25,
+            rescale_max: 3.0,
+            event_log_cap: 256,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Caching off entirely (the batch-mode compatibility shape).
+    pub fn disabled() -> Self {
+        CacheConfig { enabled: false, ..Self::default() }
+    }
+}
+
+/// What the cache decided for one acquire (or eviction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheEventKind {
+    /// Served from the cached chain unchanged (fingerprint-equal, or
+    /// drift within the keep bound).
+    Hit,
+    /// Served after re-scaling the finest level from the drifted
+    /// operator; the coarse Galerkin tail was reused.
+    RescaledHit,
+    /// Drift exceeded the rescale bound (or was structural): the entry
+    /// was torn down and rebuilt from the incoming operator.
+    DriftInvalidated,
+    /// No usable entry existed; a fresh chain was built and cached.
+    Rebuilt,
+    /// An entry was evicted to make room (LRU).
+    Evicted,
+}
+
+impl CacheEventKind {
+    /// Short display label (trail vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheEventKind::Hit => "hit",
+            CacheEventKind::RescaledHit => "rescaled-hit",
+            CacheEventKind::DriftInvalidated => "drift-invalidated",
+            CacheEventKind::Rebuilt => "rebuilt",
+            CacheEventKind::Evicted => "evicted",
+        }
+    }
+}
+
+impl core::fmt::Display for CacheEventKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One typed cache decision, in the ring-bounded trail.
+#[derive(Clone, Debug)]
+pub struct CacheEvent {
+    /// What happened.
+    pub kind: CacheEventKind,
+    /// The problem class the decision was about.
+    pub class: String,
+    /// The measured drift, when an audit ran (absent for fingerprint
+    /// hits, cold builds, and evictions).
+    pub drift: Option<OperatorDrift>,
+}
+
+/// Cache key: the breaker registry's class string plus the operator
+/// geometry, so one class solving two grid sizes gets two entries
+/// instead of thrash.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Problem class (the breaker/admission keying).
+    pub class: String,
+    /// Finest grid dims.
+    pub dims: (usize, usize, usize),
+    /// Components per cell.
+    pub components: usize,
+    /// Stencil taps.
+    pub taps: usize,
+}
+
+impl CacheKey {
+    /// The key of `class` solving `a`.
+    pub fn of(class: &str, a: &SgDia<f64>) -> Self {
+        let g = a.grid();
+        CacheKey {
+            class: class.to_string(),
+            dims: (g.nx, g.ny, g.nz),
+            components: g.components,
+            taps: a.pattern().len(),
+        }
+    }
+}
+
+/// Aggregate decision counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plain hits (fingerprint-equal or within the keep bound).
+    pub hits: u64,
+    /// Rescale-in-place hits.
+    pub rescaled_hits: u64,
+    /// Drift invalidations (each followed by a rebuild of the entry).
+    pub drift_invalidations: u64,
+    /// Cold builds (no usable entry).
+    pub rebuilds: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+}
+
+/// Checkpointable description of one entry — everything except the
+/// matrices themselves. A restored entry is *cold* (its first acquire
+/// rebuilds the chain) but keeps its identity and counters, so cache
+/// effectiveness statistics survive a restart honestly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntryMeta {
+    /// The entry's key.
+    pub key: CacheKey,
+    /// FNV-1a fingerprint of the finest operator's raw bits.
+    pub fingerprint: u64,
+    /// Times this entry served a plain hit.
+    pub hits: u64,
+    /// Times this entry served a rescaled hit.
+    pub rescaled_hits: u64,
+    /// Times this entry was (re)built.
+    pub builds: u64,
+}
+
+/// One retained setup. `chain`/`baseline` are `None` for entries
+/// restored from a snapshot (metadata only) until their first rebuild.
+#[derive(Debug)]
+struct CacheEntry {
+    chain: Option<GalerkinChain>,
+    baseline: Option<RangeAudit>,
+    fingerprint: u64,
+    config_tag: String,
+    last_used: u64,
+    hits: u64,
+    rescaled_hits: u64,
+    builds: u64,
+}
+
+/// The per-class, drift-audited hierarchy cache.
+#[derive(Debug)]
+pub struct HierarchyCache {
+    cfg: CacheConfig,
+    entries: BTreeMap<CacheKey, CacheEntry>,
+    events: Ring<CacheEvent>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl HierarchyCache {
+    /// An empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let events = Ring::new(cfg.event_log_cap);
+        HierarchyCache {
+            cfg,
+            entries: BTreeMap::new(),
+            events,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Aggregate decision counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The most recent typed decisions (ring-bounded).
+    pub fn events(&self) -> &[CacheEvent] {
+        &self.events
+    }
+
+    /// Produces a hierarchy for `class` solving `matrix` under `config`,
+    /// reusing the cached Galerkin chain when the audited drift allows,
+    /// and returns the typed decision alongside.
+    ///
+    /// `ScaleThenSetup` configs are served by a full build without
+    /// touching the cache (their chains are single-use; see
+    /// [`GalerkinChain::build`]) — recorded as a rebuild, never
+    /// retained.
+    ///
+    /// # Errors
+    /// Propagates [`SetupError`] from whichever build path ran. A
+    /// failed build leaves the previous entry untouched.
+    pub fn acquire(
+        &mut self,
+        class: &str,
+        matrix: &SgDia<f64>,
+        config: &MgConfig,
+    ) -> Result<(Mg<f32>, CacheEventKind), SetupError> {
+        self.tick += 1;
+        if !self.cfg.enabled || config.scale == ScaleStrategy::ScaleThenSetup {
+            let mg = Mg::<f32>::setup(matrix, config)?;
+            self.record(CacheEventKind::Rebuilt, class, None);
+            return Ok((mg, CacheEventKind::Rebuilt));
+        }
+        let key = CacheKey::of(class, matrix);
+        let config_tag = format!("{config:?}");
+
+        // Fast path: a warm entry with a matching config.
+        if let Some(entry) = self.entries.get(&key) {
+            if entry.config_tag == config_tag && entry.chain.is_some() {
+                let fingerprint = fingerprint(matrix);
+                if fingerprint == entry.fingerprint {
+                    return self.serve_hit(&key, config, None);
+                }
+                let current = audit::audit(matrix, Precision::F16);
+                let d = match entry.baseline.as_ref() {
+                    Some(baseline) => drift(baseline, &current),
+                    // A warm chain always carries its baseline; treat a
+                    // missing one as unbounded drift out of caution.
+                    None => OperatorDrift {
+                        range_shift: f64::INFINITY,
+                        floor_shift: f64::INFINITY,
+                        new_overflow: false,
+                        structure_changed: false,
+                    },
+                };
+                if !d.structural() && d.magnitude() <= self.cfg.keep_max {
+                    return self.serve_hit(&key, config, Some(d));
+                }
+                if !d.structural() && d.magnitude() <= self.cfg.rescale_max {
+                    return self.serve_rescaled(&key, matrix, config, fingerprint, current, d);
+                }
+                return self.rebuild(key, matrix, config, config_tag, Some(d));
+            }
+        }
+        // Cold (no entry, config changed, or metadata-only after a
+        // restore): build fresh. A config change or restored entry is a
+        // rebuild of an existing slot; a brand-new key may evict.
+        let existed = self.entries.contains_key(&key);
+        if existed {
+            self.rebuild(key, matrix, config, config_tag, None)
+        } else {
+            self.evict_for_room(&key);
+            self.build_into(key, matrix, config, config_tag, CacheEventKind::Rebuilt, None)
+        }
+    }
+
+    /// Serves a plain hit from the warm entry at `key`.
+    fn serve_hit(
+        &mut self,
+        key: &CacheKey,
+        config: &MgConfig,
+        d: Option<OperatorDrift>,
+    ) -> Result<(Mg<f32>, CacheEventKind), SetupError> {
+        let tick = self.tick;
+        let class = key.class.clone();
+        let entry = self.entries.get_mut(key).expect("hit entry exists");
+        let chain = entry.chain.as_ref().expect("hit entry is warm");
+        let mg = Mg::<f32>::setup_from_chain(chain, config)?;
+        entry.hits += 1;
+        entry.last_used = tick;
+        self.stats.hits += 1;
+        self.record(CacheEventKind::Hit, &class, d);
+        Ok((mg, CacheEventKind::Hit))
+    }
+
+    /// Serves a rescaled hit: rebuild the finest level from `matrix`,
+    /// reuse the coarse tail, and commit the swap so an identical
+    /// follow-up operator fingerprint-hits.
+    fn serve_rescaled(
+        &mut self,
+        key: &CacheKey,
+        matrix: &SgDia<f64>,
+        config: &MgConfig,
+        fingerprint: u64,
+        current: RangeAudit,
+        d: OperatorDrift,
+    ) -> Result<(Mg<f32>, CacheEventKind), SetupError> {
+        let tick = self.tick;
+        let class = key.class.clone();
+        let entry = self.entries.get_mut(key).expect("rescale entry exists");
+        let chain = entry.chain.as_mut().expect("rescale entry is warm");
+        let mg = Mg::<f32>::setup_rescaled(matrix, chain, config)?;
+        chain.swap_finest(matrix, config)?;
+        entry.fingerprint = fingerprint;
+        entry.baseline = Some(current);
+        entry.rescaled_hits += 1;
+        entry.last_used = tick;
+        self.stats.rescaled_hits += 1;
+        self.record(CacheEventKind::RescaledHit, &class, Some(d));
+        Ok((mg, CacheEventKind::RescaledHit))
+    }
+
+    /// Rebuilds the entry at `key` from scratch. With a measured drift
+    /// this is a drift invalidation; without one it is a plain rebuild
+    /// (cold entry, changed config, restored metadata).
+    fn rebuild(
+        &mut self,
+        key: CacheKey,
+        matrix: &SgDia<f64>,
+        config: &MgConfig,
+        config_tag: String,
+        d: Option<OperatorDrift>,
+    ) -> Result<(Mg<f32>, CacheEventKind), SetupError> {
+        let kind =
+            if d.is_some() { CacheEventKind::DriftInvalidated } else { CacheEventKind::Rebuilt };
+        self.build_into(key, matrix, config, config_tag, kind, d)
+    }
+
+    /// Builds a fresh chain + hierarchy and installs it at `key`,
+    /// preserving the previous entry's counters if one existed.
+    fn build_into(
+        &mut self,
+        key: CacheKey,
+        matrix: &SgDia<f64>,
+        config: &MgConfig,
+        config_tag: String,
+        kind: CacheEventKind,
+        d: Option<OperatorDrift>,
+    ) -> Result<(Mg<f32>, CacheEventKind), SetupError> {
+        let chain = GalerkinChain::build(matrix, config)?;
+        let mg = Mg::<f32>::setup_from_chain(&chain, config)?;
+        let baseline = audit::audit(matrix, Precision::F16);
+        let fp = fingerprint(matrix);
+        let class = key.class.clone();
+        let tick = self.tick;
+        let entry = self.entries.entry(key).or_insert_with(|| CacheEntry {
+            chain: None,
+            baseline: None,
+            fingerprint: 0,
+            config_tag: String::new(),
+            last_used: 0,
+            hits: 0,
+            rescaled_hits: 0,
+            builds: 0,
+        });
+        entry.chain = Some(chain);
+        entry.baseline = Some(baseline);
+        entry.fingerprint = fp;
+        entry.config_tag = config_tag;
+        entry.last_used = tick;
+        entry.builds += 1;
+        match kind {
+            CacheEventKind::DriftInvalidated => self.stats.drift_invalidations += 1,
+            _ => self.stats.rebuilds += 1,
+        }
+        self.record(kind, &class, d);
+        Ok((mg, kind))
+    }
+
+    /// Evicts least-recently-used entries until a new key fits.
+    fn evict_for_room(&mut self, _incoming: &CacheKey) {
+        while self.entries.len() >= self.cfg.capacity.max(1) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache has an LRU entry");
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+            self.record(CacheEventKind::Evicted, &victim.class, None);
+        }
+    }
+
+    fn record(&mut self, kind: CacheEventKind, class: &str, drift: Option<OperatorDrift>) {
+        self.events.push(CacheEvent { kind, class: class.to_string(), drift });
+    }
+
+    /// Checkpointable metadata of every entry, in key order.
+    pub fn metadata(&self) -> Vec<CacheEntryMeta> {
+        self.entries
+            .iter()
+            .map(|(key, e)| CacheEntryMeta {
+                key: key.clone(),
+                fingerprint: e.fingerprint,
+                hits: e.hits,
+                rescaled_hits: e.rescaled_hits,
+                builds: e.builds,
+            })
+            .collect()
+    }
+
+    /// Restores metadata-only (cold) entries from a snapshot. Existing
+    /// warm entries of the same key are left untouched — a restore
+    /// never discards real cached work.
+    pub fn restore_metadata(&mut self, metas: &[CacheEntryMeta]) {
+        for m in metas {
+            self.entries.entry(m.key.clone()).or_insert_with(|| CacheEntry {
+                chain: None,
+                baseline: None,
+                fingerprint: m.fingerprint,
+                config_tag: String::new(),
+                last_used: 0,
+                hits: m.hits,
+                rescaled_hits: m.rescaled_hits,
+                builds: m.builds,
+            });
+        }
+    }
+
+    /// Restores the aggregate counters from a snapshot.
+    pub fn restore_stats(&mut self, stats: CacheStats) {
+        self.stats = stats;
+    }
+}
+
+/// FNV-1a over the raw bit patterns of every stored entry, cell-major
+/// within each tap (layout-independent, like the ABFT sentinels): equal
+/// fingerprints ⇔ bit-identical operators.
+pub fn fingerprint(a: &SgDia<f64>) -> u64 {
+    let mut h = Fnv1a::new();
+    let cells = a.grid().cells();
+    for tap in 0..a.pattern().len() {
+        for cell in 0..cells {
+            h.write_value(a.get(cell, tap));
+        }
+    }
+    h.finish()
+}

@@ -43,6 +43,8 @@ use fp16mg_sgdia::kernels::Par;
 
 use crate::admission::Priority;
 use crate::budget::{Budget, BudgetGuard};
+use crate::jitter;
+use crate::ring::Ring;
 use crate::shed::{DegradeEvent, DegradeProfile, ShedPolicy};
 
 #[cfg(feature = "fault-inject")]
@@ -132,6 +134,10 @@ pub struct RetryPolicy {
     /// threshold: the gate only skips work that the audit says cannot
     /// succeed, it does not tune precision.
     pub audit_max_underflow: f64,
+    /// Ring capacity of the [`RetryReport`] attempt and repair trails —
+    /// the bound that keeps session evidence from growing without limit
+    /// in a long-running process.
+    pub report_cap: usize,
 }
 
 impl Default for RetryPolicy {
@@ -145,6 +151,7 @@ impl Default for RetryPolicy {
             seed: 0x5eed_f16a_11ad_de21,
             audit_gate: true,
             audit_max_underflow: 0.25,
+            report_cap: Ring::<()>::DEFAULT_CAPACITY,
         }
     }
 }
@@ -158,19 +165,10 @@ impl RetryPolicy {
     /// The jittered backoff for global attempt number `k` (0-based).
     pub fn backoff_for(&self, k: usize) -> Duration {
         let base = self.backoff.as_secs_f64() * self.backoff_factor.max(1.0).powi(k as i32);
-        let r = splitmix64(self.seed.wrapping_add(k as u64 + 1)) >> 11;
-        let unit = r as f64 / (1u64 << 53) as f64; // [0, 1)
+        let unit = jitter::unit(self.seed.wrapping_add(k as u64 + 1)); // [0, 1)
         let scaled = base * (1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * unit - 1.0));
         Duration::from_secs_f64(scaled.clamp(0.0, self.max_backoff.as_secs_f64()))
     }
-}
-
-/// SplitMix64: tiny, deterministic, and plenty for backoff jitter.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Which Krylov method the session runs.
@@ -391,21 +389,28 @@ pub struct AuditSnapshot {
     pub reason: Option<String>,
 }
 
-/// Every rung taken by a session, in order.
+/// Every rung taken by a session, in order. Both trails are
+/// ring-bounded (capacity [`RetryPolicy::report_cap`]): the most recent
+/// evidence survives, older entries are counted and evicted.
 #[derive(Clone, Debug, Default)]
 pub struct RetryReport {
-    /// The attempts, in execution order.
-    pub attempts: Vec<Attempt>,
+    /// The most recent attempts, in execution order.
+    pub attempts: Ring<Attempt>,
     /// The pre-solve precision audit, when the gate ran (see
     /// [`RetryPolicy::audit_gate`]).
     pub audit: Option<AuditSnapshot>,
-    /// Every localized level repair performed during the session, in
-    /// execution order (in-solve integrity hooks and the
-    /// [`Rung::RepairLevel`] sweeps both land here).
-    pub repairs: Vec<RepairEvent>,
+    /// The most recent localized level repairs, in execution order
+    /// (in-solve integrity hooks and the [`Rung::RepairLevel`] sweeps
+    /// both land here).
+    pub repairs: Ring<RepairEvent>,
 }
 
 impl RetryReport {
+    /// An empty report whose trails keep at most `cap` entries each.
+    pub fn with_capacity(cap: usize) -> Self {
+        RetryReport { attempts: Ring::new(cap), audit: None, repairs: Ring::new(cap) }
+    }
+
     /// The rung of each attempt, in order (e.g. `[Retry, Retry,
     /// PromoteNarrow]`).
     pub fn rung_sequence(&self) -> Vec<Rung> {
@@ -480,6 +485,16 @@ struct AttemptOutput {
 /// panics on solver failures. (Panics from bugs are contained by
 /// [`crate::pool::run_batch`], not here.)
 pub fn run_session(req: &SolveRequest) -> SessionOutcome {
+    run_session_with(req, None)
+}
+
+/// [`run_session`] with an optionally prebuilt rung-0 hierarchy, the
+/// entry point behind the serve pool's hierarchy cache: a `prebuilt`
+/// hierarchy seeds the retained rung-0 state (skipping the gate's own
+/// setup) but still passes the audit gate's doomed-level check — a
+/// cached hierarchy whose audit shows inherent format loss escalates
+/// exactly like a freshly built one.
+pub fn run_session_with(req: &SolveRequest, prebuilt: Option<Mg<f32>>) -> SessionOutcome {
     #[cfg(feature = "fault-inject")]
     if req.panic_in_worker {
         panic!("injected worker panic (fault-inject): request '{}'", req.name);
@@ -487,12 +502,12 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
 
     let t0 = Instant::now();
     let mut guard = BudgetGuard::arm(req.budget.clone());
-    let mut report = RetryReport::default();
+    let mut report = RetryReport::with_capacity(req.policy.report_cap);
     let mut last_err: Option<SolveError> = None;
     let mut last_rel = f64::NAN;
     let mut global_attempt = 0usize;
     let mut retained = Retained {
-        mg: None,
+        mg: prebuilt,
         #[cfg(feature = "fault-inject")]
         injected: false,
     };
@@ -500,10 +515,17 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
     // --- Pre-solve audit gate: don't burn retries on a hierarchy whose
     // own setup audit already shows a doomed 16-bit level. The gate's
     // build is not wasted — a healthy hierarchy is handed to the first
-    // rung-0 attempt as-is.
+    // rung-0 attempt as-is (and a prebuilt one is audited in place, no
+    // build at all).
     let mut start_rung = 0usize;
     if req.policy.audit_gate && req.policy.attempts[Rung::Retry.index()] > 0 {
-        if let Ok(mg) = Mg::<f32>::setup(&req.problem.matrix, &req.base) {
+        if retained.mg.is_none() {
+            // A setup failure here is not terminal: the first rung-0
+            // attempt repeats the setup and reports the typed error
+            // through the normal attempt bookkeeping.
+            retained.mg = Mg::<f32>::setup(&req.problem.matrix, &req.base).ok();
+        }
+        if let Some(mg) = retained.mg.as_ref() {
             let levels: Vec<(usize, RangeAudit)> = mg
                 .info()
                 .levels
@@ -535,14 +557,10 @@ pub fn run_session(req: &SolveRequest) -> SessionOutcome {
                 // Inherent format loss, not corruption — repair cannot
                 // help, so the ladder starts past RepairLevel too.
                 start_rung = Rung::PromoteNarrow.index();
-            } else {
-                retained.mg = Some(mg);
+                retained.mg = None;
             }
             report.audit = Some(AuditSnapshot { levels, skipped_retry, reason });
         }
-        // A setup failure here is not terminal: the first rung-0 attempt
-        // repeats the setup and reports the typed error through the
-        // normal attempt bookkeeping.
     }
 
     'ladder: for rung in Rung::ALL.into_iter().skip(start_rung) {

@@ -39,24 +39,39 @@
 pub mod admission;
 pub mod breaker;
 pub mod budget;
+pub mod cache;
+pub mod jitter;
 pub mod ladder;
 pub mod pool;
+pub mod ring;
 pub mod shed;
+pub mod snapshot;
+pub mod supervise;
 
 pub use admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Priority};
 pub use breaker::{
-    BreakerConfig, BreakerDecision, BreakerRegistry, BreakerState, BreakerTransition,
-    CircuitBreaker,
+    BreakerConfig, BreakerDecision, BreakerExport, BreakerRegistry, BreakerState,
+    BreakerTransition, CircuitBreaker,
 };
 pub use budget::{Budget, BudgetGuard, CancelToken};
+pub use cache::{
+    CacheConfig, CacheEntryMeta, CacheEvent, CacheEventKind, CacheStats, HierarchyCache,
+};
 pub use ladder::{
-    run_session, Attempt, AuditSnapshot, RetryPolicy, RetryReport, Rung, SessionOutcome,
-    SolveRequest, SolverChoice,
+    run_session, run_session_with, Attempt, AuditSnapshot, RetryPolicy, RetryReport, Rung,
+    SessionOutcome, SolveRequest, SolverChoice,
 };
 #[cfg(feature = "fault-inject")]
 pub use ladder::{FaultPlan, LevelBitFlip};
-pub use pool::{run_batch, PoolConfig, RequestOutcome, ServeError, ServePool};
+pub use pool::{
+    run_batch, PoolConfig, PoolState, RequestOutcome, ServeCounters, ServeError, ServePool,
+};
+pub use ring::Ring;
 pub use shed::{estimate_pressure, DegradeEvent, DegradeProfile, PressureSignal, ShedPolicy};
+pub use snapshot::{DaemonSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use supervise::{
+    Daemon, DaemonConfig, DrainReport, Quarantine, SuperviseConfig, WorkerEvent, WorkerEventKind,
+};
 
 #[cfg(test)]
 mod tests;

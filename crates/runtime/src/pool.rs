@@ -1,50 +1,71 @@
 //! The serve pool: admission-controlled, overload-protected concurrent
-//! request driver with panic isolation.
+//! request driver with panic isolation, hierarchy caching, and worker
+//! supervision.
 //!
 //! [`ServePool`] is the front door for batches of [`SolveRequest`]s. A
-//! request passes three gates before any numerical work is spent on it:
+//! request passes four gates before any numerical work is spent on it:
 //!
-//! 1. **Capacity** — the bounded [`AdmissionQueue`] (total and
+//! 1. **Quarantine** — a request name that has repeatedly wedged or
+//!    panicked its worker is refused outright
+//!    ([`AdmissionError::Quarantined`]) — see [`crate::supervise`];
+//! 2. **Capacity** — the bounded [`AdmissionQueue`] (total and
 //!    per-priority caps) refuses what cannot be queued, so latency never
 //!    collapses under unbounded intake;
-//! 2. **Breaker** — the per-problem-class [`BreakerRegistry`] refuses
+//! 3. **Breaker** — the per-problem-class [`BreakerRegistry`] refuses
 //!    classes whose recent sessions keep failing terminally, until a
 //!    half-open probe proves them healthy again;
-//! 3. **Shed** — the pressure signal (queue fill, queued deadline
+//! 4. **Shed** — the pressure signal (queue fill, queued deadline
 //!    slack) sheds [`Priority::BestEffort`] work first and
 //!    [`Priority::Batch`] work near saturation, while admitted work is
 //!    degraded ([`DegradeProfile::Reduced`]/[`DegradeProfile::Economy`])
 //!    instead of queued at full cost.
+//!
+//! Admitted requests then hit the [`HierarchyCache`]: the expensive FP64
+//! Galerkin setup is served from a retained chain when the operator has
+//! not drifted past the audit bound, and each outcome records the typed
+//! [`CacheEventKind`] that produced its hierarchy.
 //!
 //! Every gate decision is typed: a refused request carries its
 //! [`AdmissionError`], a degraded one its [`DegradeEvent`] trail. The
 //! admission phase is sequential and driven only by declared quantities,
 //! so a replayed batch makes identical decisions; execution then fans
 //! out over scoped workers (highest priority first) with per-request
-//! `catch_unwind` containment, exactly as before.
+//! `catch_unwind` containment and — when supervision is enabled — a
+//! monitor thread that cancels wedged requests past their deadline.
+//!
+//! The pool's decision state ([`ServeCounters`], breakers, quarantine
+//! strikes, cache metadata) exports as a [`PoolState`] for the daemon
+//! snapshot and restores from one, which is what makes a restarted
+//! daemon replay bit-identical decisions.
 //!
 //! [`run_batch`] survives as a thin compatibility wrapper: an unbounded
-//! queue, no shedding, breakers off — the pre-admission behavior.
+//! queue, no shedding, breakers off, cache and supervision off — the
+//! pre-admission behavior.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use fp16mg_krylov::{SolveError, SolveResult};
 
 use crate::admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Priority};
-use crate::breaker::{BreakerConfig, BreakerDecision, BreakerRegistry};
-use crate::ladder::{run_session, RetryReport, SolveRequest};
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerExport, BreakerRegistry};
+use crate::budget::CancelToken;
+use crate::cache::{CacheConfig, CacheEntryMeta, CacheEventKind, CacheStats, HierarchyCache};
+use crate::ladder::{run_session_with, RetryReport, SolveRequest};
+use crate::ring::Ring;
 use crate::shed::{estimate_pressure, DegradeEvent, DegradeProfile, ShedPolicy};
+use crate::supervise::{Quarantine, SuperviseConfig, WorkerEvent, WorkerEventKind};
 
 /// Why one request ended without a converged result: refused at
 /// admission, or admitted and then failed in its solve session. Nothing
 /// a request can experience is untyped.
 #[derive(Clone, Debug)]
 pub enum ServeError {
-    /// Refused before any numerical work: queue full, shed, or breaker
-    /// open.
+    /// Refused before any numerical work: queue full, shed, breaker
+    /// open, or quarantined.
     Rejected(AdmissionError),
     /// Admitted, but the session ended with a typed solve failure
     /// (ladder exhaustion, deadline, cancellation, contained panic, …).
@@ -113,6 +134,10 @@ pub struct RequestOutcome {
     pub degrades: Vec<DegradeEvent>,
     /// True when this request was admitted as a half-open breaker probe.
     pub probe: bool,
+    /// How the hierarchy cache served this request's setup (`None` when
+    /// the cache is disabled, the request was rejected, or the cached
+    /// acquire failed and the session built its own hierarchy).
+    pub cache: Option<CacheEventKind>,
     /// Outer iterations summed over all attempts.
     pub iters: usize,
     /// V-cycle applications summed over all attempts.
@@ -139,6 +164,79 @@ impl RequestOutcome {
     }
 }
 
+/// Cumulative admission/outcome counters. Purely decision-driven (no
+/// wall clock), so a checkpointed and restored counter set continues
+/// identically on a replayed request stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests submitted (admitted or not).
+    pub submitted: u64,
+    /// Requests admitted to a worker.
+    pub admitted: u64,
+    /// Refused: bounded queue full.
+    pub rejected_queue_full: u64,
+    /// Refused: shed under pressure.
+    pub rejected_shed: u64,
+    /// Refused: class breaker open.
+    pub rejected_breaker: u64,
+    /// Refused: request name quarantined.
+    pub rejected_quarantined: u64,
+    /// Admitted at a degraded profile.
+    pub degraded: u64,
+    /// Sessions that converged.
+    pub completed_ok: u64,
+    /// Sessions that ended with a typed failure.
+    pub completed_err: u64,
+}
+
+impl ServeCounters {
+    /// Folds one outcome into the counters.
+    fn observe(&mut self, outcome: &RequestOutcome) {
+        self.submitted += 1;
+        match &outcome.result {
+            Ok(_) => {
+                self.admitted += 1;
+                self.completed_ok += 1;
+            }
+            Err(ServeError::Session(_)) => {
+                self.admitted += 1;
+                self.completed_err += 1;
+            }
+            Err(ServeError::Rejected(e)) => match e {
+                AdmissionError::QueueFull { .. } => self.rejected_queue_full += 1,
+                AdmissionError::Shed { .. } => self.rejected_shed += 1,
+                AdmissionError::BreakerOpen { .. } => self.rejected_breaker += 1,
+                AdmissionError::Quarantined { .. } => self.rejected_quarantined += 1,
+            },
+        }
+        if outcome.result.as_ref().err().and_then(ServeError::rejection).is_none()
+            && outcome.degraded()
+        {
+            self.degraded += 1;
+        }
+    }
+}
+
+/// The pool's complete exportable decision state — everything a
+/// restarted daemon needs to make identical admission, breaker, and
+/// cache-keying decisions on a replayed stream. Produced by
+/// [`ServePool::export_state`], persisted by
+/// [`DaemonSnapshot`](crate::DaemonSnapshot), and consumed by
+/// [`ServePool::restore_state`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolState {
+    /// Cumulative counters.
+    pub counters: ServeCounters,
+    /// Every breaker's full state, keyed by class, in class order.
+    pub breakers: Vec<(String, BreakerExport)>,
+    /// Quarantine strikes, keyed by request name, in name order.
+    pub quarantine: Vec<(String, usize)>,
+    /// Cache statistics.
+    pub cache_stats: CacheStats,
+    /// Cache entry metadata (entries restore cold).
+    pub cache_entries: Vec<CacheEntryMeta>,
+}
+
 /// Full configuration of a [`ServePool`].
 #[derive(Clone, Debug)]
 pub struct PoolConfig {
@@ -151,6 +249,11 @@ pub struct PoolConfig {
     pub shed: ShedPolicy,
     /// Per-problem-class circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Hierarchy-cache tuning (off by default: batch pools rebuild per
+    /// request, daemons turn this on).
+    pub cache: CacheConfig,
+    /// Worker supervision (off by default, for the same reason).
+    pub supervise: SuperviseConfig,
 }
 
 impl Default for PoolConfig {
@@ -160,20 +263,37 @@ impl Default for PoolConfig {
             admission: AdmissionConfig::default(),
             shed: ShedPolicy::default(),
             breaker: BreakerConfig::default(),
+            cache: CacheConfig::disabled(),
+            supervise: SuperviseConfig::disabled(),
         }
     }
 }
 
 impl PoolConfig {
     /// The [`run_batch`] compatibility shape: practically unbounded
-    /// queue, shedding and degradation off, breakers off. Every request
-    /// is admitted at full quality.
+    /// queue, shedding and degradation off, breakers off, cache and
+    /// supervision off. Every request is admitted at full quality.
     pub fn unbounded(workers: usize) -> Self {
         PoolConfig {
             workers,
             admission: AdmissionConfig::unbounded(),
             shed: ShedPolicy::disabled(),
             breaker: BreakerConfig::disabled(),
+            cache: CacheConfig::disabled(),
+            supervise: SuperviseConfig::disabled(),
+        }
+    }
+
+    /// The long-running daemon shape: every protection layer on,
+    /// hierarchy cache on, supervision on.
+    pub fn daemon(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            admission: AdmissionConfig::default(),
+            shed: ShedPolicy::default(),
+            breaker: BreakerConfig::default(),
+            cache: CacheConfig::default(),
+            supervise: SuperviseConfig::default(),
         }
     }
 }
@@ -186,23 +306,48 @@ struct Admitted {
     profile: DegradeProfile,
     degrades: Vec<DegradeEvent>,
     probe: bool,
+    prebuilt: Option<fp16mg_core::Mg<f32>>,
+    cache: Option<CacheEventKind>,
 }
 
-/// The overload-protected serve pool. Owns the breaker registry, which
-/// persists across [`ServePool::run`] calls — a class that poisons one
-/// batch stays refused in the next until its half-open probe clears it.
-/// The admission queue is per-batch: each `run` starts with an empty
-/// bounded queue.
+/// One worker's heartbeat: what it is running and since when.
+struct InFlight {
+    name: String,
+    cancel: CancelToken,
+    started: Instant,
+    wedged: bool,
+}
+
+/// The overload-protected serve pool. Owns the breaker registry, the
+/// hierarchy cache, the quarantine, and the cumulative counters — all of
+/// which persist across [`ServePool::run`] calls (and, via
+/// [`ServePool::export_state`], across daemon restarts). The admission
+/// queue is per-batch: each `run` starts with an empty bounded queue.
 pub struct ServePool {
     cfg: PoolConfig,
     breakers: BreakerRegistry,
+    cache: HierarchyCache,
+    quarantine: Quarantine,
+    counters: ServeCounters,
+    worker_events: Ring<WorkerEvent>,
 }
 
 impl ServePool {
-    /// A pool with fresh (all-closed) breakers.
+    /// A pool with fresh (all-closed) breakers, an empty cache, and an
+    /// empty quarantine.
     pub fn new(cfg: PoolConfig) -> Self {
         let breakers = BreakerRegistry::new(cfg.breaker.clone());
-        ServePool { cfg, breakers }
+        let cache = HierarchyCache::new(cfg.cache.clone());
+        let quarantine = Quarantine::new(cfg.supervise.max_strikes);
+        let worker_events = Ring::new(cfg.supervise.event_log_cap);
+        ServePool {
+            cfg,
+            breakers,
+            cache,
+            quarantine,
+            counters: ServeCounters::default(),
+            worker_events,
+        }
     }
 
     /// The pool configuration.
@@ -215,14 +360,63 @@ impl ServePool {
         &self.breakers
     }
 
-    /// Serves one batch: sequential typed admission, then concurrent
-    /// execution of the admitted requests (highest priority first) on
-    /// scoped workers with per-request panic containment. Outcomes come
-    /// back in submission order, one per request, rejected or not.
+    /// The hierarchy cache (stats and typed event trail).
+    pub fn cache(&self) -> &HierarchyCache {
+        &self.cache
+    }
+
+    /// The poisoned-request quarantine.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// Cumulative admission/outcome counters.
+    pub fn counters(&self) -> ServeCounters {
+        self.counters
+    }
+
+    /// The supervision event trail (wedges, contained panics,
+    /// quarantine promotions), oldest first.
+    pub fn worker_events(&self) -> &[WorkerEvent] {
+        &self.worker_events
+    }
+
+    /// Exports the pool's decision state for checkpointing.
+    pub fn export_state(&self) -> PoolState {
+        PoolState {
+            counters: self.counters,
+            breakers: self.breakers.export(),
+            quarantine: self.quarantine.export(),
+            cache_stats: self.cache.stats(),
+            cache_entries: self.cache.metadata(),
+        }
+    }
+
+    /// Restores decision state from a checkpoint: counters and breaker
+    /// states are adopted wholesale, quarantine strikes merge by
+    /// maximum, cache entries restore cold (identity and counters, not
+    /// matrices).
+    pub fn restore_state(&mut self, state: &PoolState) {
+        self.counters = state.counters;
+        self.breakers.restore(&state.breakers);
+        self.quarantine.restore(&state.quarantine);
+        self.cache.restore_stats(state.cache_stats);
+        self.cache.restore_metadata(&state.cache_entries);
+    }
+
+    /// Serves one batch: sequential typed admission (quarantine,
+    /// capacity, breaker, shed) plus cached hierarchy acquisition, then
+    /// concurrent execution of the admitted requests (highest priority
+    /// first) on scoped workers with per-request panic containment and
+    /// optional wedge supervision. Outcomes come back in submission
+    /// order, one per request, rejected or not.
     ///
     /// Completed sessions are recorded into the breaker registry in
     /// submission order after the batch finishes, so breaker evolution
-    /// is deterministic regardless of worker interleaving.
+    /// is deterministic regardless of worker interleaving. Counters are
+    /// folded in the same order. Cancelled sessions (including wedge
+    /// cancellations, which are wall-clock events) never feed the
+    /// breakers, so the replayable decision state stays deterministic.
     pub fn run(&mut self, requests: Vec<SolveRequest>) -> Vec<RequestOutcome> {
         let n = requests.len();
         if n == 0 {
@@ -252,11 +446,20 @@ impl ServePool {
                 profile: DegradeProfile::Full,
                 degrades: Vec::new(),
                 probe: false,
+                cache: None,
                 iters: 0,
                 vcycles: 0,
                 seconds: 0.0,
             };
 
+            // Gate 0: quarantine. A poison pill is refused before it
+            // can consume a queue slot.
+            if self.cfg.supervise.enabled && self.quarantine.is_quarantined(&name) {
+                let strikes = self.quarantine.strikes_of(&name);
+                let err = AdmissionError::Quarantined { name: name.clone(), strikes };
+                slots[index] = Some(reject(err, queue.fill()));
+                continue;
+            }
             // Gate 1: bounded capacity.
             if let Err(e) = queue.try_reserve(priority) {
                 slots[index] = Some(reject(e, queue.fill()));
@@ -299,30 +502,88 @@ impl ServePool {
             let profile =
                 if probe { DegradeProfile::Full } else { self.cfg.shed.profile_for(pressure) };
             let degrades = req.apply_profile(profile, &self.cfg.shed);
+
+            // Hierarchy acquisition through the cache, sequentially (the
+            // cache's event trail and LRU order are part of the
+            // deterministic decision state). Runs after degradation so
+            // the cache keys on the configuration the session will
+            // actually use. A failed acquire falls back to the session's
+            // own build, where the error resurfaces typed.
+            let (prebuilt, cache) = if self.cfg.cache.enabled {
+                match self.cache.acquire(&class, &req.problem.matrix, &req.base) {
+                    Ok((mg, kind)) => (Some(mg), Some(kind)),
+                    Err(_) => (None, None),
+                }
+            } else {
+                (None, None)
+            };
+
             queued_deadlines.push(req.budget.deadline);
-            admitted.push(Admitted { index, req, pressure, profile, degrades, probe });
+            admitted.push(Admitted {
+                index,
+                req,
+                pressure,
+                profile,
+                degrades,
+                probe,
+                prebuilt,
+                cache,
+            });
         }
 
         // --- Phase 2: concurrent execution, highest priority first (the
         // shed order in reverse: what we protect hardest runs soonest).
         admitted.sort_by_key(|a| (a.req.priority.index(), a.index));
+        let admitted_count = admitted.len();
         let exec: Mutex<VecDeque<Admitted>> = Mutex::new(admitted.into_iter().collect());
         let done: Vec<Mutex<Option<(RequestOutcome, bool)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
 
+        let supervise = self.cfg.supervise.clone();
+        let hearts: Vec<Mutex<Option<InFlight>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+        let completed = AtomicUsize::new(0);
+        let events: Mutex<Vec<WorkerEvent>> = Mutex::new(Vec::new());
+        let strikes: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for w in 0..workers {
+                let exec = &exec;
+                let done = &done;
+                let hearts = &hearts;
+                let completed = &completed;
+                let events = &events;
+                let strikes = &strikes;
+                let supervise = &supervise;
+                scope.spawn(move || loop {
                     // The lock is held only around the pop — a panicking
                     // session can never poison the queue.
                     let job = exec.lock().expect("execution queue poisoned").pop_front();
                     let Some(adm) = job else { break };
-                    let Admitted { index, req, pressure, profile, degrades, probe } = adm;
+                    let Admitted {
+                        index,
+                        req,
+                        pressure,
+                        profile,
+                        degrades,
+                        probe,
+                        prebuilt,
+                        cache,
+                    } = adm;
                     let name = req.name.clone();
                     let priority = req.priority;
                     let class = req.class.clone();
+                    if supervise.enabled {
+                        *hearts[w].lock().expect("heartbeat slot poisoned") = Some(InFlight {
+                            name: name.clone(),
+                            cancel: req.budget.cancel.clone(),
+                            started: Instant::now(),
+                            wedged: false,
+                        });
+                    }
                     let t0 = Instant::now();
-                    let outcome = match catch_unwind(AssertUnwindSafe(|| run_session(&req))) {
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                        run_session_with(&req, prebuilt)
+                    })) {
                         Ok(sess) => {
                             // Cancelled sessions say nothing about class
                             // health; everything else feeds the breaker.
@@ -331,7 +592,7 @@ impl ServePool {
                             (
                                 RequestOutcome {
                                     index,
-                                    name,
+                                    name: name.clone(),
                                     priority,
                                     class,
                                     result: sess.result.map_err(ServeError::Session),
@@ -341,6 +602,7 @@ impl ServePool {
                                     profile,
                                     degrades,
                                     probe,
+                                    cache,
                                     iters: sess.iters,
                                     vcycles: sess.vcycles,
                                     seconds: sess.seconds,
@@ -348,32 +610,103 @@ impl ServePool {
                                 countable,
                             )
                         }
-                        Err(payload) => (
-                            RequestOutcome {
-                                index,
-                                name,
-                                priority,
-                                class,
-                                result: Err(ServeError::Session(SolveError::WorkerPanicked {
-                                    message: panic_message(payload.as_ref()),
-                                })),
-                                solution: None,
-                                report: RetryReport::default(),
-                                pressure,
-                                profile,
-                                degrades,
-                                probe,
-                                iters: 0,
-                                vcycles: 0,
-                                seconds: t0.elapsed().as_secs_f64(),
-                            },
-                            true,
-                        ),
+                        Err(payload) => {
+                            if supervise.enabled {
+                                events.lock().expect("event log poisoned").push(WorkerEvent {
+                                    worker: Some(w),
+                                    request: name.clone(),
+                                    kind: WorkerEventKind::Panicked,
+                                });
+                                strikes.lock().expect("strike list poisoned").push(name.clone());
+                            }
+                            (
+                                RequestOutcome {
+                                    index,
+                                    name: name.clone(),
+                                    priority,
+                                    class,
+                                    result: Err(ServeError::Session(SolveError::WorkerPanicked {
+                                        message: panic_message(payload.as_ref()),
+                                    })),
+                                    solution: None,
+                                    report: RetryReport::default(),
+                                    pressure,
+                                    profile,
+                                    degrades,
+                                    probe,
+                                    cache,
+                                    iters: 0,
+                                    vcycles: 0,
+                                    seconds: t0.elapsed().as_secs_f64(),
+                                },
+                                true,
+                            )
+                        }
                     };
+                    if supervise.enabled {
+                        let wedged = hearts[w]
+                            .lock()
+                            .expect("heartbeat slot poisoned")
+                            .take()
+                            .is_some_and(|s| s.wedged);
+                        if wedged {
+                            strikes.lock().expect("strike list poisoned").push(name.clone());
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
                     *done[index].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
+
+            // The monitor: polls every worker's heartbeat and cancels
+            // requests that have run past the wedge deadline. Purely
+            // wall-clock, so its effects reach outcomes only as
+            // `SolveError::Cancelled` (never counted by the breakers).
+            if supervise.enabled && admitted_count > 0 {
+                let hearts = &hearts;
+                let completed = &completed;
+                let events = &events;
+                let supervise = &supervise;
+                scope.spawn(move || {
+                    while completed.load(Ordering::SeqCst) < admitted_count {
+                        std::thread::sleep(supervise.poll);
+                        for (w, slot) in hearts.iter().enumerate() {
+                            let mut s = slot.lock().expect("heartbeat slot poisoned");
+                            if let Some(infl) = s.as_mut() {
+                                let elapsed = infl.started.elapsed();
+                                if !infl.wedged && elapsed > supervise.wedge_after {
+                                    infl.wedged = true;
+                                    infl.cancel.cancel();
+                                    events.lock().expect("event log poisoned").push(WorkerEvent {
+                                        worker: Some(w),
+                                        request: infl.name.clone(),
+                                        kind: WorkerEventKind::Wedged {
+                                            elapsed: elapsed.as_secs_f64(),
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                });
+            }
         });
+
+        // Supervision bookkeeping. Strike *counts* per name are
+        // deterministic (each wedge/panic strikes exactly once); only
+        // the interleaving of the diagnostic event trail can vary.
+        let mut batch_events = events.into_inner().expect("event log poisoned");
+        for nm in strikes.into_inner().expect("strike list poisoned") {
+            let strikes_now = self.quarantine.strike(&nm);
+            if self.cfg.supervise.max_strikes > 0 && strikes_now == self.cfg.supervise.max_strikes {
+                batch_events.push(WorkerEvent {
+                    worker: None,
+                    request: nm.clone(),
+                    kind: WorkerEventKind::Quarantined { strikes: strikes_now },
+                });
+            }
+        }
+        self.worker_events.extend(batch_events);
 
         for (index, slot) in done.into_iter().enumerate() {
             if let Some((outcome, countable)) = slot.into_inner().expect("result slot poisoned") {
@@ -384,14 +717,18 @@ impl ServePool {
             }
         }
 
-        slots
+        let outcomes: Vec<RequestOutcome> = slots
             .into_iter()
             .map(|slot| slot.expect("every request produces an outcome, admitted or not"))
-            .collect()
+            .collect();
+        for outcome in &outcomes {
+            self.counters.observe(outcome);
+        }
+        outcomes
     }
 }
 
-/// Runs every request through [`run_session`] on a pool of `workers`
+/// Runs every request through the retry ladder on a pool of `workers`
 /// scoped threads and returns one [`RequestOutcome`] per request, in
 /// submission order — the pre-admission-control entry point, now a thin
 /// wrapper over [`ServePool`] with overload protection disabled: nothing

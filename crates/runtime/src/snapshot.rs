@@ -1,0 +1,534 @@
+//! Crash-safe checkpoint/restore of daemon state.
+//!
+//! A [`DaemonSnapshot`] persists everything the pool needs to make
+//! **identical admission and breaker decisions** after a restart: the
+//! sequence cursor, the [`ServeCounters`], every circuit breaker's full
+//! state (window, trip count, cooldown position — the jitter stream
+//! position rides on the trip count, so replayed cooldowns land on the
+//! same jittered targets), quarantine strikes, and the hierarchy-cache
+//! metadata (entries restore *cold* — identity and counters, not
+//! matrices).
+//!
+//! The format is deliberately primitive — a versioned line-oriented
+//! text file, one record per line — because the failure mode that
+//! matters is a daemon killed **mid-write**:
+//!
+//! * floats are serialized as their IEEE-754 bit patterns in hex, so a
+//!   read-back is bit-identical (no decimal round-trip);
+//! * strings are percent-escaped so class names can never smuggle a
+//!   delimiter;
+//! * the final line carries an FNV-1a checksum over everything before
+//!   it; a torn or corrupted file fails with a typed
+//!   [`SnapshotError`] instead of restoring garbage;
+//! * writes go to a temp file in the same directory followed by an
+//!   atomic rename, so the published path always holds either the old
+//!   snapshot or the new one, never a tear.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use fp16mg_fp::Fnv1a;
+
+use crate::breaker::{BreakerExport, BreakerState};
+use crate::cache::{CacheEntryMeta, CacheKey, CacheStats};
+use crate::pool::{PoolState, ServeCounters};
+
+/// Snapshot format version understood by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic token opening every snapshot file.
+const MAGIC: &str = "fp16mg-snapshot";
+
+/// Why a snapshot could not be written or restored.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io {
+        /// The operation that failed (`"create"`, `"rename"`, ...).
+        op: &'static str,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file does not start with the snapshot magic — not a
+    /// snapshot (or the header itself was torn).
+    BadMagic {
+        /// What the first line actually held.
+        found: String,
+    },
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The version the file declares.
+        found: u32,
+    },
+    /// The checksum trailer does not match the body — corruption.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum recomputed over the body.
+        actual: u64,
+    },
+    /// The file ends without a checksum trailer — a torn write.
+    Truncated,
+    /// A record line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { op, message } => write!(f, "snapshot {op} failed: {message}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot file (first line {found:?})")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "snapshot version {found} unsupported (this build reads v{SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: recorded {expected:016x}, recomputed {actual:016x}"
+            ),
+            SnapshotError::Truncated => {
+                write!(f, "snapshot truncated: no checksum trailer (torn write)")
+            }
+            SnapshotError::Parse { line, message } => {
+                write!(f, "snapshot parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The complete durable state of a [`Daemon`](crate::Daemon).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonSnapshot {
+    /// Requests acknowledged (outcomes returned) over the daemon's
+    /// lifetime; the replay cursor after a crash.
+    pub seq: u64,
+    /// The pool's exported decision state.
+    pub state: PoolState,
+}
+
+// ---------------------------------------------------------------------
+// escaping and primitive encoding
+
+/// Percent-escapes anything outside `[A-Za-z0-9_.-]` so class names
+/// can never contain a field or line delimiter.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-' {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("%00");
+    }
+    out
+}
+
+fn unesc(s: &str, line: usize) -> Result<String, SnapshotError> {
+    let parse = |m: String| SnapshotError::Parse { line, message: m };
+    let mut bytes = Vec::with_capacity(s.len());
+    let raw = s.as_bytes();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'%' {
+            let hex =
+                raw.get(i + 1..i + 3).ok_or_else(|| parse(format!("dangling escape in {s:?}")))?;
+            let hex =
+                std::str::from_utf8(hex).map_err(|_| parse(format!("bad escape in {s:?}")))?;
+            let b = u8::from_str_radix(hex, 16)
+                .map_err(|_| parse(format!("bad escape %{hex} in {s:?}")))?;
+            bytes.push(b);
+            i += 3;
+        } else {
+            bytes.push(raw[i]);
+            i += 1;
+        }
+    }
+    if bytes == [0u8] {
+        bytes.clear();
+    }
+    String::from_utf8(bytes).map_err(|_| parse(format!("escaped string {s:?} is not UTF-8")))
+}
+
+fn state_label(s: BreakerState) -> &'static str {
+    match s {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half-open",
+    }
+}
+
+fn parse_state(s: &str, line: usize) -> Result<BreakerState, SnapshotError> {
+    match s {
+        "closed" => Ok(BreakerState::Closed),
+        "open" => Ok(BreakerState::Open),
+        "half-open" => Ok(BreakerState::HalfOpen),
+        other => {
+            Err(SnapshotError::Parse { line, message: format!("unknown breaker state {other:?}") })
+        }
+    }
+}
+
+/// Pulls the next whitespace token off a record line.
+fn tok<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<&'a str, SnapshotError> {
+    it.next()
+        .ok_or_else(|| SnapshotError::Parse { line, message: format!("missing field: {what}") })
+}
+
+fn p_u64(s: &str, line: usize, what: &str) -> Result<u64, SnapshotError> {
+    s.parse::<u64>()
+        .map_err(|_| SnapshotError::Parse { line, message: format!("bad {what}: {s:?}") })
+}
+
+fn p_usize(s: &str, line: usize, what: &str) -> Result<usize, SnapshotError> {
+    s.parse::<usize>()
+        .map_err(|_| SnapshotError::Parse { line, message: format!("bad {what}: {s:?}") })
+}
+
+/// f64 as its IEEE-754 bit pattern — bit-identical round trip.
+fn p_f64_bits(s: &str, line: usize, what: &str) -> Result<f64, SnapshotError> {
+    u64::from_str_radix(s, 16).map(f64::from_bits).map_err(|_| SnapshotError::Parse {
+        line,
+        message: format!("bad {what} bit pattern: {s:?}"),
+    })
+}
+
+fn p_hex_u64(s: &str, line: usize, what: &str) -> Result<u64, SnapshotError> {
+    u64::from_str_radix(s, 16)
+        .map_err(|_| SnapshotError::Parse { line, message: format!("bad {what}: {s:?}") })
+}
+
+fn checksum_of(body: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    for b in body.bytes() {
+        h.write_u8(b);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+
+impl DaemonSnapshot {
+    /// Serializes to the versioned text format, checksum trailer
+    /// included.
+    pub fn encode(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("{MAGIC} v{SNAPSHOT_VERSION}\n"));
+        body.push_str(&format!("seq {}\n", self.seq));
+        let c = &self.state.counters;
+        body.push_str(&format!(
+            "counters {} {} {} {} {} {} {} {} {}\n",
+            c.submitted,
+            c.admitted,
+            c.rejected_queue_full,
+            c.rejected_shed,
+            c.rejected_breaker,
+            c.rejected_quarantined,
+            c.degraded,
+            c.completed_ok,
+            c.completed_err,
+        ));
+        for (class, e) in &self.state.breakers {
+            let window: String = if e.window.is_empty() {
+                "-".to_string()
+            } else {
+                e.window.iter().map(|&f| if f { '1' } else { '0' }).collect()
+            };
+            body.push_str(&format!(
+                "breaker {} {} {} {} {:016x} {} {} {} {}\n",
+                esc(class),
+                state_label(e.state),
+                window,
+                e.trips,
+                e.last_failure_rate.to_bits(),
+                e.attempts_while_open,
+                e.cooldown_target,
+                e.probes_outstanding,
+                e.probe_successes_seen,
+            ));
+        }
+        for (name, strikes) in &self.state.quarantine {
+            body.push_str(&format!("quarantine {} {strikes}\n", esc(name)));
+        }
+        let s = &self.state.cache_stats;
+        body.push_str(&format!(
+            "cache-stats {} {} {} {} {}\n",
+            s.hits, s.rescaled_hits, s.drift_invalidations, s.rebuilds, s.evictions,
+        ));
+        for m in &self.state.cache_entries {
+            let k = &m.key;
+            body.push_str(&format!(
+                "cache-entry {} {} {} {} {} {} {:016x} {} {} {}\n",
+                esc(&k.class),
+                k.dims.0,
+                k.dims.1,
+                k.dims.2,
+                k.components,
+                k.taps,
+                m.fingerprint,
+                m.hits,
+                m.rescaled_hits,
+                m.builds,
+            ));
+        }
+        let sum = checksum_of(&body);
+        format!("{body}checksum {sum:016x}\n")
+    }
+
+    /// Parses the text format, verifying magic, version, and checksum.
+    ///
+    /// # Errors
+    /// Typed [`SnapshotError`] on any structural problem; a file with
+    /// no checksum trailer is [`SnapshotError::Truncated`] (the torn
+    /// write signature).
+    pub fn decode(text: &str) -> Result<Self, SnapshotError> {
+        // Locate the trailer first: everything before it is the
+        // checksummed body.
+        let trailer_at = text.trim_end_matches('\n').rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let trailer = text[trailer_at..].trim_end();
+        let Some(sum_hex) = trailer.strip_prefix("checksum ") else {
+            // Distinguish "not a snapshot at all" from "snapshot torn
+            // before the trailer" by checking the magic up front.
+            if !text.starts_with(MAGIC) {
+                let found = text.lines().next().unwrap_or("").to_string();
+                return Err(SnapshotError::BadMagic { found });
+            }
+            return Err(SnapshotError::Truncated);
+        };
+        let body = &text[..trailer_at];
+        let trailer_line = body.lines().count() + 1;
+        let expected = p_hex_u64(sum_hex, trailer_line, "checksum")?;
+        let actual = checksum_of(body);
+        if expected != actual {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+
+        let mut lines = body.lines().enumerate();
+        let (_, header) = lines.next().ok_or(SnapshotError::Truncated)?;
+        let Some(version) = header.strip_prefix(MAGIC).and_then(|r| r.trim().strip_prefix('v'))
+        else {
+            return Err(SnapshotError::BadMagic { found: header.to_string() });
+        };
+        let version: u32 = version.trim().parse().map_err(|_| SnapshotError::Parse {
+            line: 1,
+            message: format!("bad version in header {header:?}"),
+        })?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+
+        let mut seq = 0u64;
+        let mut counters = ServeCounters::default();
+        let mut breakers: Vec<(String, BreakerExport)> = Vec::new();
+        let mut quarantine: Vec<(String, usize)> = Vec::new();
+        let mut cache_stats = CacheStats::default();
+        let mut cache_entries: Vec<CacheEntryMeta> = Vec::new();
+
+        for (idx, raw) in lines {
+            let ln = idx + 1;
+            let mut f = raw.split_whitespace();
+            let record = tok(&mut f, ln, "record tag")?;
+            match record {
+                "seq" => {
+                    seq = p_u64(tok(&mut f, ln, "seq")?, ln, "seq")?;
+                }
+                "counters" => {
+                    counters = ServeCounters {
+                        submitted: p_u64(tok(&mut f, ln, "submitted")?, ln, "submitted")?,
+                        admitted: p_u64(tok(&mut f, ln, "admitted")?, ln, "admitted")?,
+                        rejected_queue_full: p_u64(
+                            tok(&mut f, ln, "rejected_queue_full")?,
+                            ln,
+                            "rejected_queue_full",
+                        )?,
+                        rejected_shed: p_u64(
+                            tok(&mut f, ln, "rejected_shed")?,
+                            ln,
+                            "rejected_shed",
+                        )?,
+                        rejected_breaker: p_u64(
+                            tok(&mut f, ln, "rejected_breaker")?,
+                            ln,
+                            "rejected_breaker",
+                        )?,
+                        rejected_quarantined: p_u64(
+                            tok(&mut f, ln, "rejected_quarantined")?,
+                            ln,
+                            "rejected_quarantined",
+                        )?,
+                        degraded: p_u64(tok(&mut f, ln, "degraded")?, ln, "degraded")?,
+                        completed_ok: p_u64(tok(&mut f, ln, "completed_ok")?, ln, "completed_ok")?,
+                        completed_err: p_u64(
+                            tok(&mut f, ln, "completed_err")?,
+                            ln,
+                            "completed_err",
+                        )?,
+                    };
+                }
+                "breaker" => {
+                    let class = unesc(tok(&mut f, ln, "class")?, ln)?;
+                    let state = parse_state(tok(&mut f, ln, "state")?, ln)?;
+                    let wtok = tok(&mut f, ln, "window")?;
+                    let window: Vec<bool> = if wtok == "-" {
+                        Vec::new()
+                    } else {
+                        wtok.chars()
+                            .map(|ch| match ch {
+                                '0' => Ok(false),
+                                '1' => Ok(true),
+                                other => Err(SnapshotError::Parse {
+                                    line: ln,
+                                    message: format!("bad window bit {other:?}"),
+                                }),
+                            })
+                            .collect::<Result<_, _>>()?
+                    };
+                    let export = BreakerExport {
+                        state,
+                        window,
+                        trips: p_usize(tok(&mut f, ln, "trips")?, ln, "trips")?,
+                        last_failure_rate: p_f64_bits(
+                            tok(&mut f, ln, "last_failure_rate")?,
+                            ln,
+                            "last_failure_rate",
+                        )?,
+                        attempts_while_open: p_usize(
+                            tok(&mut f, ln, "attempts_while_open")?,
+                            ln,
+                            "attempts_while_open",
+                        )?,
+                        cooldown_target: p_usize(
+                            tok(&mut f, ln, "cooldown_target")?,
+                            ln,
+                            "cooldown_target",
+                        )?,
+                        probes_outstanding: p_usize(
+                            tok(&mut f, ln, "probes_outstanding")?,
+                            ln,
+                            "probes_outstanding",
+                        )?,
+                        probe_successes_seen: p_usize(
+                            tok(&mut f, ln, "probe_successes_seen")?,
+                            ln,
+                            "probe_successes_seen",
+                        )?,
+                    };
+                    breakers.push((class, export));
+                }
+                "quarantine" => {
+                    let name = unesc(tok(&mut f, ln, "name")?, ln)?;
+                    let strikes = p_usize(tok(&mut f, ln, "strikes")?, ln, "strikes")?;
+                    quarantine.push((name, strikes));
+                }
+                "cache-stats" => {
+                    cache_stats = CacheStats {
+                        hits: p_u64(tok(&mut f, ln, "hits")?, ln, "hits")?,
+                        rescaled_hits: p_u64(
+                            tok(&mut f, ln, "rescaled_hits")?,
+                            ln,
+                            "rescaled_hits",
+                        )?,
+                        drift_invalidations: p_u64(
+                            tok(&mut f, ln, "drift_invalidations")?,
+                            ln,
+                            "drift_invalidations",
+                        )?,
+                        rebuilds: p_u64(tok(&mut f, ln, "rebuilds")?, ln, "rebuilds")?,
+                        evictions: p_u64(tok(&mut f, ln, "evictions")?, ln, "evictions")?,
+                    };
+                }
+                "cache-entry" => {
+                    let class = unesc(tok(&mut f, ln, "class")?, ln)?;
+                    let nx = p_usize(tok(&mut f, ln, "nx")?, ln, "nx")?;
+                    let ny = p_usize(tok(&mut f, ln, "ny")?, ln, "ny")?;
+                    let nz = p_usize(tok(&mut f, ln, "nz")?, ln, "nz")?;
+                    let components = p_usize(tok(&mut f, ln, "components")?, ln, "components")?;
+                    let taps = p_usize(tok(&mut f, ln, "taps")?, ln, "taps")?;
+                    cache_entries.push(CacheEntryMeta {
+                        key: CacheKey { class, dims: (nx, ny, nz), components, taps },
+                        fingerprint: p_hex_u64(tok(&mut f, ln, "fingerprint")?, ln, "fingerprint")?,
+                        hits: p_u64(tok(&mut f, ln, "hits")?, ln, "hits")?,
+                        rescaled_hits: p_u64(
+                            tok(&mut f, ln, "rescaled_hits")?,
+                            ln,
+                            "rescaled_hits",
+                        )?,
+                        builds: p_u64(tok(&mut f, ln, "builds")?, ln, "builds")?,
+                    });
+                }
+                other => {
+                    // Unknown records are an error under v1: the
+                    // version gate is the compatibility mechanism, not
+                    // silent skipping.
+                    return Err(SnapshotError::Parse {
+                        line: ln,
+                        message: format!("unknown record {other:?}"),
+                    });
+                }
+            }
+        }
+
+        Ok(DaemonSnapshot {
+            seq,
+            state: PoolState { counters, breakers, quarantine, cache_stats, cache_entries },
+        })
+    }
+
+    /// Writes atomically: temp file in the target's directory, flush,
+    /// then rename over the final path.
+    ///
+    /// # Errors
+    /// Typed I/O failures per operation.
+    pub fn write(&self, path: &Path) -> Result<(), SnapshotError> {
+        let io = |op: &'static str| {
+            move |e: std::io::Error| SnapshotError::Io { op, message: e.to_string() }
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(io("create-dir"))?;
+            }
+        }
+        let mut tmp = path.to_path_buf();
+        let mut name = tmp.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".tmp");
+        tmp.set_file_name(name);
+        let text = self.encode();
+        {
+            let mut file = fs::File::create(&tmp).map_err(io("create"))?;
+            file.write_all(text.as_bytes()).map_err(io("write"))?;
+            file.sync_all().map_err(io("sync"))?;
+        }
+        fs::rename(&tmp, path).map_err(io("rename"))?;
+        Ok(())
+    }
+
+    /// Reads and verifies a snapshot file.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] when the file cannot be read, otherwise
+    /// whatever [`DaemonSnapshot::decode`] finds.
+    pub fn read(path: &Path) -> Result<Self, SnapshotError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| SnapshotError::Io { op: "read", message: e.to_string() })?;
+        Self::decode(&text)
+    }
+}

@@ -974,6 +974,7 @@ mod serve_pool {
                 ..ShedPolicy::default()
             },
             breaker: breaker_cfg(),
+            ..PoolConfig::default()
         });
         let requests: Vec<_> = (0..9)
             .map(|i| {
@@ -1025,6 +1026,7 @@ mod serve_pool {
             admission: AdmissionConfig::default(),
             shed: ShedPolicy::disabled(),
             breaker: breaker_cfg(),
+            ..PoolConfig::default()
         });
 
         // Batch 1: the poisoned class fails terminally and trips its
@@ -1106,6 +1108,7 @@ mod serve_pool {
                 },
                 shed: ShedPolicy::default(),
                 breaker: breaker_cfg(),
+                ..PoolConfig::default()
             });
             let requests: Vec<_> =
                 (0..6).map(|i| prioritized(&format!("r{i}"), Priority::Batch)).collect();
@@ -1115,5 +1118,394 @@ mod serve_pool {
                 .collect::<Vec<_>>()
         };
         assert_eq!(make(), make(), "admission decisions depend on declared quantities only");
+    }
+}
+
+mod jitter {
+    use crate::jitter::{fold_seed, splitmix64, unit};
+
+    /// The jitter stream is part of the replay contract: these outputs
+    /// are pinned so a drive-by constant change cannot silently
+    /// desynchronize breakers and ladders restored from a snapshot.
+    #[test]
+    fn splitmix64_sequence_is_pinned() {
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+        assert_eq!(splitmix64(2), 0x9758_35de_1c97_56ce);
+        assert_eq!(splitmix64(0xdead_beef), 0x4adf_b90f_68c9_eb9b);
+    }
+
+    #[test]
+    fn unit_is_pinned_and_in_range() {
+        assert_eq!(unit(0).to_bits(), 0.883_310_808_213_642_6_f64.to_bits());
+        for x in 0..1000 {
+            let u = unit(x);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fold_seed_is_pinned_and_decorrelates_names() {
+        assert_eq!(fold_seed(0, "poison"), 0x82b0_b584_35f6_cc91);
+        assert_eq!(fold_seed(5, ""), 0xcbf2_9ce4_8422_2320);
+        assert_ne!(fold_seed(1, "a"), fold_seed(1, "b"));
+        assert_eq!(fold_seed(1, "a"), fold_seed(1, "a"));
+    }
+}
+
+mod ring {
+    use crate::ring::Ring;
+
+    #[test]
+    fn bounded_push_evicts_oldest_and_counts() {
+        let mut r: Ring<usize> = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(&r[..], &[2, 3, 4]);
+        assert_eq!(r.evicted(), 2);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn extend_and_clear_preserve_the_lifetime_total() {
+        let mut r: Ring<&str> = Ring::new(2);
+        r.extend(["a", "b", "c"]);
+        assert_eq!(&r[..], &["b", "c"]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total(), 3, "clear drops items, not history");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        // A zero-capacity trail would silently drop everything, so the
+        // constructor refuses to build one.
+        let mut r: Ring<u8> = Ring::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(1);
+        r.push(2);
+        assert_eq!(&r[..], &[2]);
+        assert_eq!(r.evicted(), 1);
+    }
+}
+
+mod cache {
+    use super::*;
+    use crate::cache::{CacheConfig, CacheEventKind, HierarchyCache};
+    use fp16mg_core::ScaleStrategy;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { capacity: 2, ..CacheConfig::default() }
+    }
+
+    fn scaled(n: usize, factor: f64) -> fp16mg_sgdia::SgDia<f64> {
+        let mut a = laplace(n).matrix;
+        for v in a.data_mut() {
+            *v *= factor;
+        }
+        a
+    }
+
+    #[test]
+    fn event_ladder_hit_rescale_invalidate() {
+        let mut cache = HierarchyCache::new(cfg());
+        let config = MgConfig::d16();
+        let events = [
+            (1.0, CacheEventKind::Rebuilt),           // cold build
+            (1.0, CacheEventKind::Hit),               // fingerprint-equal
+            (1.1, CacheEventKind::Hit),               // |log2 1.1| < keep_max
+            (4.0, CacheEventKind::RescaledHit),       // ≤ rescale_max: swap in place
+            (96.0, CacheEventKind::DriftInvalidated), // past the bound: rebuild
+            (96.0, CacheEventKind::Hit),              // the rebuilt entry serves again
+        ];
+        for (factor, expect) in events {
+            let (_, kind) = cache.acquire("c", &scaled(6, factor), &config).unwrap();
+            assert_eq!(kind, expect, "factor {factor}");
+        }
+        let s = cache.stats();
+        // The drift-invalidated rebuild is counted under its own
+        // column; `rebuilds` counts cold builds only.
+        assert_eq!(
+            (s.hits, s.rescaled_hits, s.drift_invalidations, s.rebuilds),
+            (3, 1, 1, 1),
+            "{s:?}"
+        );
+        assert_eq!(cache.events().len(), 6, "every decision is a typed event");
+    }
+
+    #[test]
+    fn capacity_overflow_evicts_lru() {
+        let mut cache = HierarchyCache::new(CacheConfig { capacity: 1, ..cfg() });
+        let config = MgConfig::d16();
+        let a = laplace(6).matrix;
+        cache.acquire("one", &a, &config).unwrap();
+        cache.acquire("two", &a, &config).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            cache.events().iter().any(|e| e.kind == CacheEventKind::Evicted),
+            "evictions are typed events too"
+        );
+        // The evicted class cold-builds again.
+        let (_, kind) = cache.acquire("one", &a, &config).unwrap();
+        assert_eq!(kind, CacheEventKind::Rebuilt);
+    }
+
+    #[test]
+    fn restored_metadata_is_cold_but_keeps_identity() {
+        let mut warm = HierarchyCache::new(cfg());
+        let config = MgConfig::d16();
+        let a = laplace(6).matrix;
+        warm.acquire("c", &a, &config).unwrap();
+        warm.acquire("c", &a, &config).unwrap(); // one hit on record
+
+        let mut restored = HierarchyCache::new(cfg());
+        restored.restore_metadata(&warm.metadata());
+        restored.restore_stats(warm.stats());
+        assert_eq!(restored.len(), 1);
+        // Cold: the chain was not persisted, so the first touch rebuilds …
+        let (_, kind) = restored.acquire("c", &a, &config).unwrap();
+        assert_eq!(kind, CacheEventKind::Rebuilt);
+        // … but the entry's history survived the restart.
+        let meta = &restored.metadata()[0];
+        assert_eq!(meta.hits, 1);
+        assert_eq!(meta.builds, 2);
+        // … and the next touch is warm again.
+        let (_, kind) = restored.acquire("c", &a, &config).unwrap();
+        assert_eq!(kind, CacheEventKind::Hit);
+    }
+
+    #[test]
+    fn disabled_cache_and_prescaled_configs_always_rebuild() {
+        let mut off = HierarchyCache::new(CacheConfig::disabled());
+        let a = laplace(6).matrix;
+        for _ in 0..2 {
+            let (_, kind) = off.acquire("c", &a, &MgConfig::d16()).unwrap();
+            assert_eq!(kind, CacheEventKind::Rebuilt);
+        }
+        // ScaleThenSetup coarsens a prescaled operator: its chain is
+        // single-use and must never be retained.
+        let mut on = HierarchyCache::new(cfg());
+        let config = MgConfig { scale: ScaleStrategy::ScaleThenSetup, ..MgConfig::d16() };
+        for _ in 0..2 {
+            let (_, kind) = on.acquire("c", &a, &config).unwrap();
+            assert_eq!(kind, CacheEventKind::Rebuilt);
+        }
+        assert!(on.is_empty());
+    }
+}
+
+mod snapshot {
+    use super::*;
+    use crate::pool::{PoolConfig, PoolState, ServePool};
+    use crate::snapshot::{DaemonSnapshot, SnapshotError, SNAPSHOT_VERSION};
+    use fp16mg_fp::Fnv1a;
+
+    /// A state with every record type populated: counters, a tripped
+    /// breaker with a jittered cooldown, quarantine strikes, cache
+    /// stats and entries with escapable names.
+    fn populated_state() -> PoolState {
+        let mut pool = ServePool::new(PoolConfig::daemon(2));
+        let bad = |name: &str| {
+            let mut req = SolveRequest::new(name, laplace(6), MgConfig::d16());
+            req.class = "poison class".into(); // space exercises escaping
+            req.opts = endless_opts();
+            req.budget.max_iters = Some(2);
+            req.policy = RetryPolicy::fail_fast();
+            req
+        };
+        let ok = SolveRequest::new("ok", laplace(6), MgConfig::d16());
+        pool.run(vec![bad("bad-0"), bad("bad-1"), ok]);
+        let mut state = pool.export_state();
+        state.quarantine = vec![("wedger".into(), 2), ("%weird name%".into(), 1)];
+        state
+    }
+
+    fn recompute_checksum(text: &str) -> String {
+        let body_end = text.rfind("checksum ").unwrap();
+        let body = &text[..body_end];
+        let mut h = Fnv1a::new();
+        for b in body.bytes() {
+            h.write_u8(b);
+        }
+        format!("{body}checksum {:016x}\n", h.finish())
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = DaemonSnapshot { seq: 12, state: populated_state() };
+        let back = DaemonSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back.seq, 12);
+        assert_eq!(back.state, snap.state);
+    }
+
+    #[test]
+    fn file_round_trip_via_temp_and_rename() {
+        let dir = std::env::temp_dir().join(format!("fp16mg-snap-{}", std::process::id()));
+        let path = dir.join("nested").join("daemon.snapshot");
+        let snap = DaemonSnapshot { seq: 7, state: populated_state() };
+        snap.write(&path).unwrap();
+        assert!(
+            !path.with_extension("snapshot.tmp").exists(),
+            "the temp file must not survive the rename"
+        );
+        let back = DaemonSnapshot::read(&path).unwrap();
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.state, snap.state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_rejected_typed() {
+        let text = DaemonSnapshot { seq: 3, state: populated_state() }.encode();
+
+        // One flipped byte in the body: checksum mismatch.
+        let corrupt = text.replacen("seq 3", "seq 4", 1);
+        assert!(matches!(
+            DaemonSnapshot::decode(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Torn write: the trailer never made it to disk.
+        let torn = &text[..text.rfind("checksum").unwrap()];
+        assert!(matches!(DaemonSnapshot::decode(torn), Err(SnapshotError::Truncated)));
+
+        // Not a snapshot at all.
+        assert!(matches!(
+            DaemonSnapshot::decode("#!/bin/sh\necho hi\n"),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+
+        // A future version with a valid checksum is refused, not guessed.
+        let future = recompute_checksum(&text.replacen(
+            &format!("v{SNAPSHOT_VERSION}"),
+            &format!("v{}", SNAPSHOT_VERSION + 1),
+            1,
+        ));
+        assert!(matches!(
+            DaemonSnapshot::decode(&future),
+            Err(SnapshotError::UnsupportedVersion { found }) if found == SNAPSHOT_VERSION + 1
+        ));
+
+        // An unknown record tag (with a valid checksum) is a parse error.
+        let alien = recompute_checksum(&text.replacen("cache-stats", "gremlin", 1));
+        assert!(matches!(DaemonSnapshot::decode(&alien), Err(SnapshotError::Parse { .. })));
+
+        // A missing file is a typed I/O error.
+        assert!(matches!(
+            DaemonSnapshot::read(std::path::Path::new("/nonexistent/no.snapshot")),
+            Err(SnapshotError::Io { .. })
+        ));
+    }
+}
+
+mod daemon {
+    use super::*;
+    use crate::admission::AdmissionError;
+    use crate::pool::{PoolConfig, ServePool};
+    use crate::supervise::{Daemon, DaemonConfig, Quarantine};
+
+    fn temp_snapshot(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join(format!("fp16mg-daemon-{}-{tag}", std::process::id()))
+            .join("daemon.snapshot")
+    }
+
+    /// A deterministic mixed batch: two requests of a class that fails
+    /// terminally and one healthy request.
+    fn batch() -> Vec<SolveRequest> {
+        let bad = |name: &str| {
+            let mut req = SolveRequest::new(name, laplace(6), MgConfig::d16());
+            req.class = "poison".into();
+            req.opts = endless_opts();
+            req.budget.max_iters = Some(2);
+            req.policy = RetryPolicy::fail_fast();
+            req
+        };
+        vec![bad("bad-0"), bad("bad-1"), SolveRequest::new("ok", laplace(6), MgConfig::d16())]
+    }
+
+    fn decisions(outcomes: &[crate::pool::RequestOutcome]) -> Vec<(String, String, String)> {
+        outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.name.clone(),
+                    o.profile.label().to_string(),
+                    o.result.as_ref().map(|_| "ok".into()).unwrap_or_else(|e| e.to_string()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_identical_decisions() {
+        let path = temp_snapshot("replay");
+        let _ = std::fs::remove_file(&path);
+        let cfg = || DaemonConfig {
+            pool: PoolConfig::daemon(2),
+            snapshot_path: Some(path.clone()),
+            checkpoint_each_batch: true,
+        };
+
+        // Run one batch (trips the poison breaker), checkpoint, "crash".
+        let mut first = Daemon::start(cfg()).unwrap();
+        assert!(!first.restored());
+        first.submit(batch()).unwrap();
+        let exported = first.pool().export_state();
+        drop(first); // no drain: the per-batch checkpoint is the survivor
+
+        // The restarted daemon resumes the cursor and the breaker state …
+        let mut restored = Daemon::start(cfg()).unwrap();
+        assert!(restored.restored());
+        assert_eq!(restored.seq(), 3);
+        assert_eq!(restored.pool().export_state().breakers, exported.breakers);
+        assert_eq!(restored.pool().counters(), exported.counters);
+
+        // … and an untouched reference pool that replays history from
+        // scratch reaches the exact same decisions on the next batch.
+        let mut reference = ServePool::new(PoolConfig::daemon(2));
+        reference.run(batch());
+        let live = restored.submit(batch()).unwrap();
+        let replayed = reference.run(batch());
+        assert_eq!(decisions(&live), decisions(&replayed));
+
+        // Graceful drain writes the final checkpoint and reports it.
+        let report = restored.drain().unwrap();
+        assert_eq!(report.seq, 6);
+        assert!(report.checkpointed);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn quarantined_names_are_refused_at_the_gate() {
+        let mut q = Quarantine::new(2);
+        assert_eq!(q.strike("flaky"), 1);
+        assert!(!q.is_quarantined("flaky"));
+        assert_eq!(q.strike("flaky"), 2);
+        assert!(q.is_quarantined("flaky"));
+
+        // Restore merges by max: a replayed older snapshot cannot
+        // un-quarantine a name.
+        let mut merged = Quarantine::new(2);
+        merged.restore(&[("flaky".into(), 1)]);
+        merged.restore(&q.export());
+        merged.restore(&[("flaky".into(), 1)]);
+        assert_eq!(merged.strikes_of("flaky"), 2);
+
+        // The pool's admission gate refuses the name with a typed error.
+        let mut pool = ServePool::new(PoolConfig::daemon(1));
+        let mut state = pool.export_state();
+        state.quarantine = vec![("flaky".into(), 2)];
+        pool.restore_state(&state);
+        let out = pool.run(vec![SolveRequest::new("flaky", laplace(6), MgConfig::d16())]);
+        assert!(
+            matches!(out[0].rejection(), Some(AdmissionError::Quarantined { strikes: 2, .. })),
+            "got {:?}",
+            out[0].result
+        );
+        assert_eq!(pool.counters().rejected_quarantined, 1);
     }
 }

@@ -304,6 +304,87 @@ pub fn truncate_with_policy<T: Storage>(
     Ok(out)
 }
 
+/// How far an operator's value range has moved relative to a baseline
+/// audit of the *same geometry* — the invalidation predicate of a
+/// hierarchy cache. Derived purely from two [`RangeAudit`]s, so
+/// computing it costs one audit pass over the current operator and no
+/// access to the cached one.
+///
+/// The shifts are in log2 units: a `range_shift` of 1.0 means the
+/// largest magnitude doubled or halved. That is the natural unit for a
+/// scale-and-truncate pipeline — per-level diagonal scaling absorbs a
+/// bounded amount of range motion exactly (Theorem 4.1 re-derives the
+/// scaling from the drifted operator), while a large shift means the
+/// coarse Galerkin operators built from the old values no longer
+/// approximate the new fine operator and the chain must be rebuilt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OperatorDrift {
+    /// `|log2(abs_max_now / abs_max_then)|` — motion of the top of the
+    /// value range (0 when both are zero).
+    pub range_shift: f64,
+    /// `|log2(abs_min_nonzero_now / abs_min_nonzero_then)|` — motion of
+    /// the bottom of the range, the underflow-exposure gauge.
+    pub floor_shift: f64,
+    /// The current operator saturates (or carries non-finite entries)
+    /// where the baseline did not — structurally unsafe to reuse
+    /// regardless of shift magnitude.
+    pub new_overflow: bool,
+    /// The nonzero-entry count changed: a structural change (coupling
+    /// appeared or vanished), not a rescaling.
+    pub structure_changed: bool,
+}
+
+impl OperatorDrift {
+    /// Largest of the two range shifts — the scalar the cache compares
+    /// against its keep/rescale bounds.
+    pub fn magnitude(&self) -> f64 {
+        self.range_shift.max(self.floor_shift)
+    }
+
+    /// True when no rescaling can make reuse safe: new overflow or a
+    /// structural change.
+    pub fn structural(&self) -> bool {
+        self.new_overflow || self.structure_changed
+    }
+}
+
+impl core::fmt::Display for OperatorDrift {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "range shift {:.3} log2, floor shift {:.3} log2{}{}",
+            self.range_shift,
+            self.floor_shift,
+            if self.new_overflow { ", NEW OVERFLOW" } else { "" },
+            if self.structure_changed { ", STRUCTURE CHANGED" } else { "" },
+        )
+    }
+}
+
+/// Measures how far `current` has drifted from `baseline`. Both audits
+/// must describe operators of the same geometry and target precision
+/// for the comparison to mean anything; a mismatched `entries` count is
+/// reported as `structure_changed` rather than guessed around.
+pub fn drift(baseline: &RangeAudit, current: &RangeAudit) -> OperatorDrift {
+    let shift = |then: f64, now: f64| -> f64 {
+        if then == now {
+            // Covers the both-zero and both-infinite degenerate cases.
+            0.0
+        } else if then <= 0.0 || now <= 0.0 || !then.is_finite() || !now.is_finite() {
+            f64::INFINITY
+        } else {
+            (now / then).log2().abs()
+        }
+    };
+    OperatorDrift {
+        range_shift: shift(baseline.abs_max, current.abs_max),
+        floor_shift: shift(baseline.abs_min_nonzero, current.abs_min_nonzero),
+        new_overflow: !current.overflow_free() && baseline.overflow_free(),
+        structure_changed: baseline.entries != current.entries
+            || baseline.nonzero() != current.nonzero(),
+    }
+}
+
 enum StoreFail {
     Saturation,
     NonFinite,
@@ -420,5 +501,42 @@ mod tests {
         a.set(0, 0, f64::NAN);
         let err = truncate_with_policy::<F16>(&a, TruncationPolicy::Reject).unwrap_err();
         assert!(matches!(err, TruncationError::NonFiniteSource { cell: 0, tap: 0, .. }));
+    }
+
+    #[test]
+    fn drift_measures_log2_shifts() {
+        let base = audit(&probe([6.0, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25]), Precision::F16);
+        // Identical operator: zero drift, nothing structural.
+        let d = drift(&base, &base);
+        assert_eq!(d.magnitude(), 0.0);
+        assert!(!d.structural());
+        // A uniform 4x rescale moves both ends of the range by 2 log2.
+        let scaled = audit(&probe([24.0, -4.0, -4.0, -2.0, -6.0, -8.0, -1.0]), Precision::F16);
+        let d = drift(&base, &scaled);
+        assert!((d.range_shift - 2.0).abs() < 1e-12, "{d}");
+        assert!((d.floor_shift - 2.0).abs() < 1e-12, "{d}");
+        assert_eq!(d.magnitude(), d.range_shift.max(d.floor_shift));
+        assert!(!d.structural());
+        // Drift is symmetric: shrinking is as far as growing.
+        let back = drift(&scaled, &base);
+        assert!((back.magnitude() - d.magnitude()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_flags_structural_changes() {
+        let base = audit(&probe([6.0, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25]), Precision::F16);
+        // New saturation where the baseline was overflow-free.
+        let hot = audit(&probe([6.0e5, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25]), Precision::F16);
+        let d = drift(&base, &hot);
+        assert!(d.new_overflow, "{d}");
+        assert!(d.structural());
+        // A vanished coupling changes the nonzero count.
+        let sparse = audit(&probe([6.0, 0.0, -1.0, -0.5, -1.5, -2.0, -0.25]), Precision::F16);
+        let d = drift(&base, &sparse);
+        assert!(d.structure_changed, "{d}");
+        assert!(d.structural());
+        // A zeroed range end is unbounded drift, not a panic.
+        let d = drift(&sparse, &base);
+        assert!(d.magnitude().is_infinite() || d.structure_changed);
     }
 }

@@ -48,7 +48,7 @@ pub mod scaling;
 pub mod scan;
 pub mod sentinel;
 
-pub use audit::{RangeAudit, TruncationError, TruncationPolicy};
+pub use audit::{drift, OperatorDrift, RangeAudit, TruncationError, TruncationPolicy};
 pub use csr::Csr;
 pub use matrix::{Layout, SgDia};
 pub use par::Par;
