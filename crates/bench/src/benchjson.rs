@@ -34,7 +34,7 @@ pub struct BenchJsonConfig {
 /// paper's headline mixed-FP16 configuration.
 const COMBOS: [Combo; 2] = [Combo::Full64, Combo::D16SetupScale];
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' | '\\' => vec!['\\', c],
@@ -46,7 +46,7 @@ fn esc(s: &str) -> String {
 
 /// A JSON float that always round-trips: finite values in shortest-exact
 /// form, non-finite values as null (JSON has no Inf/NaN).
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

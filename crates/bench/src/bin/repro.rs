@@ -4,7 +4,8 @@
 //! repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B]
 //!                    [--requests N] [--workers N] [--chaos] [--overload] [--out DIR]
 //! experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 fig10 table1 table3
-//!              bf16 shift smooth guard audit serve chaos overload bench-json all
+//!              bf16 shift smooth guard audit serve chaos overload simulate
+//!              bench-json bench-compare all
 //! ```
 //!
 //! `serve` fires a batch of mixed clean/fault-injected/panicking solve
@@ -23,8 +24,21 @@
 //! class and recovers via a half-open probe. The process exits nonzero
 //! if any acceptance invariant is violated.
 //!
+//! `simulate` advances `--problem` (or the three time-dependent example
+//! scenarios with `all`) through `--steps` implicit steps, reusing the
+//! multigrid hierarchy across steps under an audit-driven
+//! keep/rescale/rebuild policy, and prints the per-step cost/accuracy
+//! table plus the amortized setup win over a fresh-setup-every-step
+//! baseline (`BENCH_sim_<problem>.json` lands in `--out`). With
+//! `--snapshot-dir` every committed step is checkpointed and a killed
+//! run resumes bit-identically; `--soak` proves it with a real SIGKILL,
+//! and `--chaos` runs the deterministic fault schedule that exercises
+//! every reuse decision and recovery rung.
+//!
 //! `bench-json` runs the tier-1 end-to-end matrix and writes machine-
-//! readable `BENCH_<problem>.json` files into `--out` (default `.`).
+//! readable `BENCH_<problem>.json` files into `--out` (default `.`);
+//! `bench-compare --baseline DIR --current DIR` gates a candidate set
+//! of those files against a committed baseline.
 //!
 //! `fig9` is the same harness as `fig8` (the paper's second architecture;
 //! this reproduction runs on one ISA — see DESIGN.md substitutions).
@@ -54,12 +68,16 @@ struct Args {
     snapshot_dir: String,
     kill_after: usize,
     pace_ms: u64,
+    steps: u64,
+    problem: String,
+    baseline: String,
+    current: String,
     out: String,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--daemon] [--soak] [--snapshot-dir DIR] [--kill-after N] [--pace-ms MS] [--out DIR]");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--daemon] [--soak] [--snapshot-dir DIR] [--kill-after N] [--pace-ms MS] [--steps N] [--problem NAME|all] [--baseline DIR] [--current DIR] [--out DIR]");
     std::process::exit(2)
 }
 
@@ -86,6 +104,10 @@ fn parse_args() -> Args {
         snapshot_dir: String::new(),
         kill_after: 0,
         pace_ms: 0,
+        steps: 12,
+        problem: "all".into(),
+        baseline: String::new(),
+        current: String::new(),
         out: ".".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -106,6 +128,10 @@ fn parse_args() -> Args {
             "--snapshot-dir" => args.snapshot_dir = arg_value(&mut it, "--snapshot-dir"),
             "--kill-after" => args.kill_after = arg_value(&mut it, "--kill-after"),
             "--pace-ms" => args.pace_ms = arg_value(&mut it, "--pace-ms"),
+            "--steps" => args.steps = arg_value(&mut it, "--steps"),
+            "--problem" => args.problem = arg_value(&mut it, "--problem"),
+            "--baseline" => args.baseline = arg_value(&mut it, "--baseline"),
+            "--current" => args.current = arg_value(&mut it, "--current"),
             "--out" => args.out = arg_value(&mut it, "--out"),
             "--smoother" => {
                 let Some(s) = it.next() else { usage("--smoother needs a value") };
@@ -126,6 +152,9 @@ fn parse_args() -> Args {
     }
     if args.size < 4 {
         usage("--size must be at least 4 (smallest grid the generators support)");
+    }
+    if args.steps == 0 {
+        usage("--steps must be at least 1");
     }
     if !args.tol.is_finite() || args.tol <= 0.0 {
         usage("--tol must be a positive finite number");
@@ -170,7 +199,10 @@ fn main() {
         "serve" => serve_cmd(&args, args.chaos),
         "chaos" => serve_cmd(&args, true),
         "overload" => overload_cmd(&args),
+        "simulate" if args.soak => simulate_soak_cmd(&args),
+        "simulate" => simulate_cmd(&args),
         "bench-json" => bench_json_cmd(&args),
+        "bench-compare" => bench_compare_cmd(&args),
         "all" => {
             fig1(&args);
             table2();
@@ -433,11 +465,14 @@ fn fig7(args: &Args) {
                 "3d14" => "3d27",
                 p => p,
             };
-            let maxsp = fp16mg_bench::kernelbench::max_speedup(
-                &fp16mg_stencil::Pattern::by_name(full_pat).unwrap(),
-                sizes[1],
-                kernel,
-            );
+            let pattern = match fp16mg_stencil::Pattern::from_name(full_pat) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("fig7: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let maxsp = fp16mg_bench::kernelbench::max_speedup(&pattern, sizes[1], kernel);
             t.row(vec![
                 row.pattern.clone(),
                 row.variant.label().to_string(),
@@ -988,6 +1023,75 @@ fn overload_cmd(args: &Args) {
         eprintln!("overload demo: {} acceptance violation(s)", report.violations.len());
         std::process::exit(1);
     }
+}
+
+// ------------------------------------------------------------ simulate --
+
+/// Resolves `--problem`: `all` means the three time-dependent example
+/// scenarios; any paper problem name selects a single trajectory.
+fn sim_kinds(problem: &str) -> Vec<ProblemKind> {
+    if problem == "all" {
+        return vec![ProblemKind::Oil, ProblemKind::Rhd, ProblemKind::Weather];
+    }
+    match ProblemKind::all().iter().copied().find(|k| k.name() == problem) {
+        Some(k) => vec![k],
+        None => {
+            let valid: Vec<&str> = ProblemKind::all().iter().map(|k| k.name()).collect();
+            usage(&format!(
+                "unknown problem '{problem}', valid names are all, {}",
+                valid.join(", ")
+            ))
+        }
+    }
+}
+
+fn simulate_cmd(args: &Args) {
+    header("Simulate: drift-resilient time stepping with crash-safe resume");
+    let size = if args.size_set { args.size } else { 12 };
+    let mut worst = 0;
+    for kind in sim_kinds(&args.problem) {
+        let cfg = fp16mg_bench::SimConfig {
+            kind,
+            steps: args.steps,
+            size,
+            tol: args.tol,
+            chaos: args.chaos,
+            snapshot_dir: (!args.snapshot_dir.is_empty())
+                .then(|| std::path::PathBuf::from(&args.snapshot_dir)),
+            json_dir: Some(std::path::PathBuf::from(&args.out)),
+            pace_ms: args.pace_ms,
+            ack: true,
+        };
+        worst = worst.max(fp16mg_bench::run_sim_cli(cfg));
+    }
+    std::process::exit(worst);
+}
+
+fn simulate_soak_cmd(args: &Args) {
+    header("Simulate soak: SIGKILL mid-run, resume, bit-identical decision trail");
+    let kind = if args.problem == "all" { ProblemKind::Oil } else { sim_kinds(&args.problem)[0] };
+    let cfg = fp16mg_bench::SimSoakConfig {
+        kind,
+        steps: args.steps.max(12),
+        size: if args.size_set { args.size.min(12) } else { 8 },
+        tol: args.tol,
+        kill_after: if args.kill_after > 0 { args.kill_after } else { 4 },
+        out: std::path::PathBuf::from(&args.out).join("sim-soak"),
+    };
+    std::process::exit(fp16mg_bench::run_sim_soak(&cfg));
+}
+
+// -------------------------------------------------------- bench-compare --
+
+fn bench_compare_cmd(args: &Args) {
+    header("bench-compare: regression gate over committed BENCH_*.json baselines");
+    if args.baseline.is_empty() || args.current.is_empty() {
+        usage("bench-compare needs --baseline DIR and --current DIR");
+    }
+    std::process::exit(fp16mg_bench::run_compare(
+        std::path::Path::new(&args.baseline),
+        std::path::Path::new(&args.current),
+    ));
 }
 
 // ----------------------------------------------------------- bench-json --

@@ -1,0 +1,266 @@
+//! `repro bench-compare`: the CI regression gate over `BENCH_*.json`.
+//!
+//! The repository commits a baseline set of `BENCH_*.json` files
+//! (`ci/bench-baseline/`); CI regenerates the same files on the
+//! candidate commit and compares them here. The gate fails when a
+//! combination stops converging, its iteration count regresses by more
+//! than [`MAX_ITER_REGRESSION`], or the cold/warm setup split's warm
+//! speedup collapses below [`MIN_SPEEDUP_FRACTION`] of the baseline.
+//! Timing *magnitudes* are deliberately not gated — wall-clock noise
+//! across CI machines would make that flaky — only convergence behavior
+//! and the setup-reuse ratio, which are stable.
+//!
+//! The scanner is a line-oriented extractor over the emitter's own
+//! stable output (`benchjson`), not a general JSON parser; keys are
+//! matched as `"key": value` tokens, and the most recent `"combo"`
+//! line scopes the per-run keys.
+
+use std::fs;
+use std::path::Path;
+
+/// A run's iteration count may grow by at most this factor.
+pub const MAX_ITER_REGRESSION: f64 = 1.25;
+/// The warm-setup speedup may shrink to no less than this fraction of
+/// the baseline.
+pub const MIN_SPEEDUP_FRACTION: f64 = 0.75;
+
+/// Per-combo facts extracted from one `BENCH_*.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComboFacts {
+    /// Combo label (e.g. `"Full64"`).
+    pub combo: String,
+    /// Whether the solve converged.
+    pub converged: bool,
+    /// Outer iterations.
+    pub iters: u64,
+}
+
+/// Everything the gate compares from one file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchFacts {
+    /// Per-combo convergence facts, in file order.
+    pub runs: Vec<ComboFacts>,
+    /// Warm-over-cold setup speedup from the cache split, when present.
+    pub warm_speedup: Option<f64>,
+}
+
+fn str_value(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let open = rest.find('"')? + 1;
+    let close = open + rest[open..].find('"')?;
+    Some(rest[open..close].to_string())
+}
+
+fn raw_value(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    let v = rest[..end].trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.to_string())
+    }
+}
+
+/// Extracts the gated facts from one bench JSON document.
+pub fn scan_bench_json(text: &str) -> BenchFacts {
+    let mut facts = BenchFacts::default();
+    for line in text.lines() {
+        if let Some(combo) = str_value(line, "combo") {
+            facts.runs.push(ComboFacts { combo, converged: false, iters: 0 });
+        }
+        if let Some(v) = raw_value(line, "converged") {
+            if let Some(run) = facts.runs.last_mut() {
+                run.converged = v == "true";
+            }
+        }
+        if let Some(v) = raw_value(line, "iters") {
+            if let (Some(run), Ok(n)) = (facts.runs.last_mut(), v.parse()) {
+                run.iters = n;
+            }
+        }
+        if let Some(v) = raw_value(line, "warm_speedup") {
+            if let Ok(x) = v.parse::<f64>() {
+                facts.warm_speedup = Some(x);
+            }
+        }
+    }
+    facts
+}
+
+/// Compares one candidate document against its baseline.
+pub fn compare_facts(name: &str, base: &BenchFacts, cur: &BenchFacts) -> Vec<String> {
+    let mut v = Vec::new();
+    for b in &base.runs {
+        let Some(c) = cur.runs.iter().find(|c| c.combo == b.combo) else {
+            v.push(format!("{name}: combo '{}' missing from the candidate run", b.combo));
+            continue;
+        };
+        if b.converged && !c.converged {
+            v.push(format!("{name}: combo '{}' no longer converges", b.combo));
+            continue;
+        }
+        let ceiling = (b.iters as f64 * MAX_ITER_REGRESSION).ceil() as u64;
+        if b.converged && c.iters > ceiling {
+            v.push(format!(
+                "{name}: combo '{}' iterations regressed {} → {} (ceiling {})",
+                b.combo, b.iters, c.iters, ceiling
+            ));
+        }
+    }
+    if let (Some(b), Some(c)) = (base.warm_speedup, cur.warm_speedup) {
+        let floor = b * MIN_SPEEDUP_FRACTION;
+        if c < floor {
+            v.push(format!(
+                "{name}: warm setup speedup regressed {b:.2}x → {c:.2}x (floor {floor:.2}x)"
+            ));
+        }
+    } else if base.warm_speedup.is_some() && cur.warm_speedup.is_none() {
+        v.push(format!("{name}: cold/warm cache split missing from the candidate run"));
+    }
+    v
+}
+
+/// Compares every `BENCH_*.json` in `baseline` against its counterpart
+/// in `current`, returning all violations.
+pub fn compare_dirs(baseline: &Path, current: &Path) -> Result<Vec<String>, String> {
+    let mut names: Vec<String> = Vec::new();
+    let entries = fs::read_dir(baseline)
+        .map_err(|e| format!("read baseline dir {}: {e}", baseline.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read baseline dir: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", baseline.display()));
+    }
+    let mut violations = Vec::new();
+    for name in &names {
+        let base_text = fs::read_to_string(baseline.join(name))
+            .map_err(|e| format!("read {}: {e}", baseline.join(name).display()))?;
+        let cur_path = current.join(name);
+        let cur_text = match fs::read_to_string(&cur_path) {
+            Ok(t) => t,
+            Err(_) => {
+                violations.push(format!("{name}: missing from the candidate run"));
+                continue;
+            }
+        };
+        violations.extend(compare_facts(
+            name,
+            &scan_bench_json(&base_text),
+            &scan_bench_json(&cur_text),
+        ));
+    }
+    Ok(violations)
+}
+
+/// CLI entry: prints the verdict and returns the process exit code.
+pub fn run_compare(baseline: &Path, current: &Path) -> i32 {
+    match compare_dirs(baseline, current) {
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            2
+        }
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "bench-compare: PASS — no convergence or setup-reuse regressions vs {}",
+                baseline.display()
+            );
+            0
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("bench-compare: REGRESSION: {v}");
+            }
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(iters1: u64, conv1: bool, iters2: u64, speedup: Option<f64>) -> String {
+        let cache = speedup
+            .map(|s| {
+                format!(
+                    "  \"setup_cache\": {{\n    \"cold_setup_s\": 1.0,\n    \"warm_setup_s\": \
+                     0.2,\n    \"warm_speedup\": {s}\n  }},\n"
+                )
+            })
+            .unwrap_or_default();
+        format!(
+            "{{\n  \"problem\": \"oil\",\n  \"size\": 12,\n{cache}  \"runs\": [\n    {{\n      \
+             \"combo\": \"Full64\",\n      \"converged\": {conv1},\n      \"iters\": \
+             {iters1}\n    }},\n    {{\n      \"combo\": \"K64 P32 D16 SetupScale\",\n      \
+             \"converged\": true,\n      \"iters\": {iters2}\n    }}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn scanner_extracts_combos_and_speedup() {
+        let f = scan_bench_json(&doc(40, true, 55, Some(4.5)));
+        assert_eq!(f.runs.len(), 2);
+        assert_eq!(f.runs[0].combo, "Full64");
+        assert!(f.runs[0].converged);
+        assert_eq!(f.runs[0].iters, 40);
+        assert_eq!(f.runs[1].iters, 55);
+        assert_eq!(f.warm_speedup, Some(4.5));
+        assert_eq!(scan_bench_json(&doc(1, true, 1, None)).warm_speedup, None);
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let b = scan_bench_json(&doc(40, true, 55, Some(4.5)));
+        assert!(compare_facts("x", &b, &b).is_empty());
+    }
+
+    #[test]
+    fn tolerated_jitter_passes_but_real_regressions_fail() {
+        let base = scan_bench_json(&doc(40, true, 55, Some(4.0)));
+        // +25% iters and -25% speedup sit exactly on the fences.
+        let edge = scan_bench_json(&doc(50, true, 68, Some(3.0)));
+        assert!(compare_facts("x", &base, &edge).is_empty());
+        let slow = scan_bench_json(&doc(51, true, 55, Some(4.0)));
+        assert_eq!(compare_facts("x", &base, &slow).len(), 1);
+        let diverged = scan_bench_json(&doc(40, false, 55, Some(4.0)));
+        assert_eq!(compare_facts("x", &base, &diverged).len(), 1);
+        let cold = scan_bench_json(&doc(40, true, 55, Some(2.9)));
+        assert_eq!(compare_facts("x", &base, &cold).len(), 1);
+    }
+
+    #[test]
+    fn missing_combo_or_split_is_a_violation() {
+        let base = scan_bench_json(&doc(40, true, 55, Some(4.0)));
+        let mut cur = base.clone();
+        cur.runs.remove(1);
+        assert_eq!(compare_facts("x", &base, &cur).len(), 1);
+        let mut nosplit = base.clone();
+        nosplit.warm_speedup = None;
+        assert_eq!(compare_facts("x", &base, &nosplit).len(), 1);
+    }
+
+    #[test]
+    fn dir_compare_flags_missing_files() {
+        let root = std::env::temp_dir().join(format!("fp16mg-cmp-{}", std::process::id()));
+        let b = root.join("base");
+        let c = root.join("cur");
+        std::fs::create_dir_all(&b).unwrap();
+        std::fs::create_dir_all(&c).unwrap();
+        std::fs::write(b.join("BENCH_oil.json"), doc(40, true, 55, Some(4.0))).unwrap();
+        let v = compare_dirs(&b, &c).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
+        std::fs::write(c.join("BENCH_oil.json"), doc(40, true, 55, Some(4.0))).unwrap();
+        assert!(compare_dirs(&b, &c).unwrap().is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

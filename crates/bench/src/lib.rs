@@ -14,20 +14,27 @@
 pub mod audit;
 pub mod benchjson;
 pub mod combos;
+pub mod compare;
 pub mod daemon;
 pub mod e2e;
 pub mod guard;
 pub mod kernelbench;
 pub mod microbench;
 pub mod serve;
+pub mod simulate;
 pub mod table;
 
 pub use audit::{audit_report, print_audit_table};
 pub use benchjson::{bench_json_emit, BenchJsonConfig};
 pub use combos::Combo;
+pub use compare::{compare_dirs, run_compare, scan_bench_json, BenchFacts};
 pub use daemon::{run_daemon, run_soak, DaemonCliConfig, SoakConfig};
 pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};
 pub use kernelbench::{kernel_suite, KernelKind, KernelRow, Variant};
 pub use microbench::Group;
 pub use serve::{serve, serve_overload, OverloadConfig, OverloadReport, ServeConfig};
+pub use simulate::{
+    run_sim_cli, run_sim_soak, ReuseDecision, SimConfig, SimDriver, SimReport, SimSoakConfig,
+    StepRow,
+};

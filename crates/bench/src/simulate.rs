@@ -1,0 +1,1103 @@
+//! Drift-resilient time-stepping simulation engine (`repro simulate`).
+//!
+//! A time-dependent application re-solves a slowly changing operator
+//! every implicit step; rebuilding the Galerkin chain each step throws
+//! away the very setup cost the paper's warm-start path amortizes. The
+//! [`SimDriver`] advances an [`Evolution`] trajectory through `steps`
+//! implicit solves and decides, per step, how much of the cached
+//! hierarchy survives:
+//!
+//! 1. a cheap finest-level [`audit`](fp16mg_sgdia::audit::audit) of the
+//!    drifted operator is compared against the baseline audit via
+//!    [`drift`], and
+//! 2. the resulting [`OperatorDrift`] is mapped to an explicit
+//!    [`ReuseDecision`]: **keep** the cached hierarchy untouched,
+//!    **rescale** its finest level in place
+//!    ([`Mg::setup_rescaled`] + [`GalerkinChain::swap_finest`]), or
+//!    **rebuild** the chain from scratch;
+//! 3. the hierarchy's integrity sentinels are verified (and corrupted
+//!    levels repaired) before the solve, and the solve itself runs
+//!    through the retry ladder; a step whose ladder is exhausted gets
+//!    one *rollback-and-rebuild* recovery: the state rewinds to the
+//!    last committed solution, the chain is rebuilt at the current
+//!    step, and the solve re-runs once.
+//!
+//! Every committed step appends one deterministic line to a trail log
+//! and checkpoints the full simulation cursor through
+//! [`SimSnapshot`], in that order, so a run killed at any instant
+//! resumes from the snapshot and reproduces the remaining trail
+//! bit-identically ([`run_sim_soak`] proves it with a real SIGKILL).
+//! `--chaos` drives a deterministic fault schedule — bit flips into the
+//! stored levels, forced drift spikes, and a poisoned solution vector —
+//! that exercises every decision path and recovery rung.
+
+use std::fs::{self, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use fp16mg_core::{GalerkinChain, IntegrityPolicy, Mg, MgConfig, RepairTrigger};
+use fp16mg_fp::Precision;
+use fp16mg_problems::{step_rhs, Evolution, Problem, ProblemKind};
+use fp16mg_runtime::{run_session_with, RetryPolicy, SimCounters, SimSnapshot, SolveRequest};
+use fp16mg_sgdia::audit::{audit, drift, OperatorDrift, RangeAudit};
+use fp16mg_sgdia::SgDia;
+
+use crate::guard::finest_narrow_level;
+use crate::table::{fmt_secs, Table};
+
+/// Drift magnitude (in binades) below which the cached hierarchy is
+/// kept untouched.
+pub const KEEP_MAX_DRIFT: f64 = 0.25;
+/// Drift magnitude up to which a finest-level rescale-in-place still
+/// serves; beyond it the Galerkin chain is rebuilt.
+pub const RESCALE_MAX_DRIFT: f64 = 3.0;
+
+/// Step whose chaos spike lands in the rescale band (×4 ≈ 2 binades).
+/// The spike steps deliberately avoid the smooth-drift minima (steps 3
+/// and 9, the extrema of the presets' sine term), where the natural
+/// keep decisions live — chaos must add faults, not erase a decision
+/// path from the schedule.
+const CHAOS_SPIKE_RESCALE_STEP: u64 = 4;
+const CHAOS_SPIKE_RESCALE_FACTOR: f64 = 4.0;
+/// Step whose chaos spike forces a rebuild (×64 = 6 binades).
+const CHAOS_SPIKE_REBUILD_STEP: u64 = 7;
+const CHAOS_SPIKE_REBUILD_FACTOR: f64 = 64.0;
+/// Chaos flips one bit in a 16-bit stored level on steps ≡ 2 (mod 5).
+const CHAOS_FLIP_PERIOD: u64 = 5;
+/// Chaos poisons the carried solution after this step commits, so the
+/// *next* step's implicit right-hand side is non-finite and its ladder
+/// exhausts — proving the rollback-and-rebuild rung.
+const CHAOS_POISON_STEP: u64 = 5;
+
+/// How a step's operator drift maps onto the cached hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReuseDecision {
+    /// Drift within [`KEEP_MAX_DRIFT`]: reuse the chain as-is.
+    Keep,
+    /// Drift within [`RESCALE_MAX_DRIFT`]: re-derive the finest-level
+    /// scaling against the drifted operator and swap it into the chain
+    /// (Galerkin-lag: the coarse tail stays).
+    Rescale,
+    /// Structural drift or large magnitude: rebuild the chain.
+    Rebuild,
+}
+
+impl ReuseDecision {
+    /// The policy: structural drift always rebuilds; otherwise the
+    /// magnitude picks the cheapest sufficient response.
+    pub fn decide(d: &OperatorDrift) -> Self {
+        if d.structural() {
+            return ReuseDecision::Rebuild;
+        }
+        let m = d.magnitude();
+        if m <= KEEP_MAX_DRIFT {
+            ReuseDecision::Keep
+        } else if m <= RESCALE_MAX_DRIFT {
+            ReuseDecision::Rescale
+        } else {
+            ReuseDecision::Rebuild
+        }
+    }
+
+    /// Stable trail label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseDecision::Keep => "keep",
+            ReuseDecision::Rescale => "rescale",
+            ReuseDecision::Rebuild => "rebuild",
+        }
+    }
+}
+
+/// Configuration for one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Problem family evolved through time.
+    pub kind: ProblemKind,
+    /// Implicit steps to advance.
+    pub steps: u64,
+    /// Grid extent.
+    pub size: usize,
+    /// Convergence tolerance per step.
+    pub tol: f64,
+    /// Deterministic fault schedule on/off.
+    pub chaos: bool,
+    /// Where the snapshot and trail live; `None` disables durability.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Where `BENCH_sim_<name>.json` is written; `None` disables it.
+    pub json_dir: Option<PathBuf>,
+    /// Sleep after each committed step (widens the soak kill window).
+    pub pace_ms: u64,
+    /// Print `done step=N` acknowledgements (child mode for the soak
+    /// harness).
+    pub ack: bool,
+}
+
+impl SimConfig {
+    /// A quiet in-process run with no durability.
+    pub fn new(kind: ProblemKind, steps: u64, size: usize, tol: f64) -> Self {
+        SimConfig {
+            kind,
+            steps,
+            size,
+            tol,
+            chaos: false,
+            snapshot_dir: None,
+            json_dir: None,
+            pace_ms: 0,
+            ack: false,
+        }
+    }
+}
+
+/// One committed (or failed) step.
+#[derive(Clone, Debug)]
+pub struct StepRow {
+    /// Step index.
+    pub step: u64,
+    /// Reuse decision taken.
+    pub decision: ReuseDecision,
+    /// Drift magnitude vs. the baseline audit (0.0 on the initial
+    /// build).
+    pub drift: f64,
+    /// Whether the drift was structural.
+    pub structural: bool,
+    /// Sentinel repairs performed before the solve.
+    pub repairs: u64,
+    /// Whether the rollback-and-rebuild rung fired.
+    pub rollback: bool,
+    /// Ladder rung trail (`RetryReport::summary`).
+    pub rungs: String,
+    /// `"ok"` or the terminal error label.
+    pub outcome: String,
+    /// Outer iterations over all ladder attempts.
+    pub iters: usize,
+    /// Final relative residual.
+    pub resid: f64,
+    /// Setup seconds actually spent this step (reuse path).
+    pub reuse_setup_s: f64,
+    /// Setup seconds a fresh-every-step baseline would have spent.
+    pub fresh_setup_s: f64,
+}
+
+impl StepRow {
+    fn trail_line(&self) -> String {
+        format!(
+            "step={} decision={} drift={:016x} structural={} repairs={} rollback={} rungs={} \
+             outcome={} iters={} resid={:016x}",
+            self.step,
+            self.decision.label(),
+            self.drift.to_bits(),
+            self.structural as u8,
+            self.repairs,
+            self.rollback as u8,
+            sanitize_token(&self.rungs),
+            sanitize_token(&self.outcome),
+            self.iters,
+            self.resid.to_bits(),
+        )
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Problem simulated.
+    pub kind: ProblemKind,
+    /// Rows for the steps executed *in this process* (a resumed run
+    /// only re-executes the remaining steps).
+    pub rows: Vec<StepRow>,
+    /// Decision and recovery tallies over the whole trajectory,
+    /// including steps committed before a resume.
+    pub counters: SimCounters,
+    /// Whether this run resumed from a snapshot.
+    pub resumed: bool,
+    /// Total setup seconds spent by the reuse policy (this process).
+    pub reuse_setup_s: f64,
+    /// Total setup seconds the fresh-every-step baseline spent.
+    pub fresh_setup_s: f64,
+    /// Final relative residual of the last committed step.
+    pub final_resid: f64,
+}
+
+impl SimReport {
+    /// Amortized setup win: fresh-every-step seconds over the seconds
+    /// the reuse policy actually spent.
+    pub fn setup_win(&self) -> f64 {
+        if self.reuse_setup_s > 0.0 {
+            self.fresh_setup_s / self.reuse_setup_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Chaos acceptance: every decision path and recovery rung must
+    /// have fired at least once.
+    pub fn coverage_violations(&self) -> Vec<String> {
+        let c = &self.counters;
+        let mut v = Vec::new();
+        for (n, label) in [
+            (c.keep, "keep decision"),
+            (c.rescale, "rescale decision"),
+            (c.rebuild, "rebuild decision"),
+            (c.repairs, "sentinel repair"),
+            (c.rollbacks, "rollback-and-rebuild recovery"),
+        ] {
+            if n == 0 {
+                v.push(format!("chaos run never exercised the {label}"));
+            }
+        }
+        v
+    }
+}
+
+/// Replaces whitespace so a trail field stays one token.
+fn sanitize_token(s: &str) -> String {
+    let t: String = s.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect();
+    if t.is_empty() {
+        "-".into()
+    } else {
+        t
+    }
+}
+
+/// File-name-safe problem label (mirrors the bench JSON naming).
+fn sanitize_name(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect()
+}
+
+/// Snapshot path for one problem inside the durability directory.
+pub fn sim_snapshot_path(dir: &Path, kind: ProblemKind) -> PathBuf {
+    dir.join(format!("sim-{}.snapshot", sanitize_name(kind.name())))
+}
+
+/// Trail-log path for one problem inside the durability directory.
+pub fn sim_trail_path(dir: &Path, kind: ProblemKind) -> PathBuf {
+    dir.join(format!("sim-{}.trail.log", sanitize_name(kind.name())))
+}
+
+/// The chaos seed recorded in the snapshot: the schedule is pure in the
+/// step index, so the flag itself is the whole seed. A snapshot taken
+/// with chaos on refuses to resume a chaos-off run and vice versa.
+fn chaos_seed(chaos: bool) -> u64 {
+    chaos as u64
+}
+
+/// Chaos drift-spike factor for `step` (1.0 outside the schedule).
+fn chaos_spike(chaos: bool, step: u64) -> f64 {
+    if !chaos {
+        1.0
+    } else if step == CHAOS_SPIKE_RESCALE_STEP {
+        CHAOS_SPIKE_RESCALE_FACTOR
+    } else if step == CHAOS_SPIKE_REBUILD_STEP {
+        CHAOS_SPIKE_REBUILD_FACTOR
+    } else {
+        1.0
+    }
+}
+
+/// The operator the solver actually sees at `step`: the evolution's
+/// drifted matrix, uniformly scaled by the chaos spike. Pure in `step`,
+/// which is what lets a resumed run rebuild the chain, the baseline
+/// audit, and the right-hand sides bit-identically from the snapshot
+/// cursor alone.
+fn effective_matrix(evo: &Evolution, chaos: bool, step: u64) -> SgDia<f64> {
+    let mut a = evo.matrix_at(step);
+    let f = chaos_spike(chaos, step);
+    if f != 1.0 {
+        for cell in 0..a.grid().cells() {
+            for t in 0..a.pattern().len() {
+                let v = a.get(cell, t);
+                if v != 0.0 {
+                    a.set(cell, t, v * f);
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Ladder policy for simulation steps: the drift policy upstream already
+/// decided how to treat the hierarchy, so the redundant audit gate is
+/// off, and backoff sleeps are zeroed — a failed chaos step should reach
+/// the rollback rung immediately, not nap between rungs.
+fn sim_policy() -> RetryPolicy {
+    RetryPolicy {
+        backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        jitter: 0.0,
+        audit_gate: false,
+        ..RetryPolicy::default()
+    }
+}
+
+fn append_sync(path: &Path, line: &str) -> Result<(), String> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("trail open {}: {e}", path.display()))?;
+    f.write_all(line.as_bytes()).map_err(|e| format!("trail write: {e}"))?;
+    f.write_all(b"\n").map_err(|e| format!("trail write: {e}"))?;
+    f.sync_all().map_err(|e| format!("trail sync: {e}"))?;
+    Ok(())
+}
+
+/// The time-stepping driver: owns the trajectory, the cached Galerkin
+/// chain, the drift baseline, and the carried solution, and advances
+/// one committed step at a time.
+pub struct SimDriver {
+    cfg: SimConfig,
+    mg_cfg: MgConfig,
+    evo: Evolution,
+    chain: Option<GalerkinChain>,
+    chain_step: u64,
+    finest_step: u64,
+    baseline: Option<RangeAudit>,
+    /// Solution carried into the next step's right-hand side. Chaos may
+    /// corrupt it *after* a commit; `good_x` never holds corruption.
+    work_x: Vec<f64>,
+    /// Last committed solution (what the snapshot holds) — the rewind
+    /// target of the rollback-and-rebuild rung.
+    good_x: Vec<f64>,
+    next_step: u64,
+    counters: SimCounters,
+    last_resid: f64,
+    rows: Vec<StepRow>,
+    resumed: bool,
+    reuse_setup_s: f64,
+    fresh_setup_s: f64,
+}
+
+impl SimDriver {
+    /// Builds a driver, resuming from the snapshot in
+    /// `cfg.snapshot_dir` when one exists (and matches the requested
+    /// run), or starting cold.
+    pub fn new(cfg: SimConfig) -> Result<SimDriver, String> {
+        let mut mg_cfg = MgConfig::d16();
+        mg_cfg.integrity = IntegrityPolicy::armed(0);
+        let evo = Evolution::new(cfg.kind, cfg.size);
+        let cells = evo.base().grid().cells() * cfg.kind.components();
+        let mut driver = SimDriver {
+            mg_cfg,
+            evo,
+            chain: None,
+            chain_step: 0,
+            finest_step: 0,
+            baseline: None,
+            work_x: vec![0.0; cells],
+            good_x: vec![0.0; cells],
+            next_step: 0,
+            counters: SimCounters::default(),
+            last_resid: f64::NAN,
+            rows: Vec::new(),
+            resumed: false,
+            reuse_setup_s: 0.0,
+            fresh_setup_s: 0.0,
+            cfg,
+        };
+        let snap_path =
+            driver.cfg.snapshot_dir.as_ref().map(|d| sim_snapshot_path(d, driver.cfg.kind));
+        if let Some(path) = snap_path {
+            if path.exists() {
+                let snap = SimSnapshot::read(&path)
+                    .map_err(|e| format!("snapshot {} unreadable: {e}", path.display()))?;
+                driver.restore(snap)?;
+            }
+        }
+        Ok(driver)
+    }
+
+    /// Rebuilds in-memory state from a snapshot: the chain and baseline
+    /// audit are *reconstructed* (operators are pure functions of the
+    /// step index), not persisted.
+    fn restore(&mut self, snap: SimSnapshot) -> Result<(), String> {
+        let cfg = &self.cfg;
+        if snap.problem != cfg.kind.name()
+            || snap.size != cfg.size
+            || snap.steps != cfg.steps
+            || snap.tol.to_bits() != cfg.tol.to_bits()
+            || snap.seed != chaos_seed(cfg.chaos)
+        {
+            return Err(format!(
+                "snapshot records run '{}' size {} steps {} tol {:e} seed {}, which does not \
+                 match the requested run '{}' size {} steps {} tol {:e} seed {}",
+                snap.problem,
+                snap.size,
+                snap.steps,
+                snap.tol,
+                snap.seed,
+                cfg.kind.name(),
+                cfg.size,
+                cfg.steps,
+                cfg.tol,
+                chaos_seed(cfg.chaos),
+            ));
+        }
+        if snap.x.len() != self.work_x.len() {
+            return Err(format!(
+                "snapshot solution has {} entries, expected {}",
+                snap.x.len(),
+                self.work_x.len()
+            ));
+        }
+        let chain_a = effective_matrix(&self.evo, cfg.chaos, snap.chain_step);
+        let mut chain = GalerkinChain::build(&chain_a, &self.mg_cfg)
+            .map_err(|e| format!("chain rebuild at step {}: {e}", snap.chain_step))?;
+        if snap.finest_step != snap.chain_step {
+            let finest = effective_matrix(&self.evo, cfg.chaos, snap.finest_step);
+            chain
+                .swap_finest(&finest, &self.mg_cfg)
+                .map_err(|e| format!("finest swap at step {}: {e}", snap.finest_step))?;
+        }
+        let baseline =
+            audit(&effective_matrix(&self.evo, cfg.chaos, snap.finest_step), Precision::F16);
+        self.chain = Some(chain);
+        self.chain_step = snap.chain_step;
+        self.finest_step = snap.finest_step;
+        self.baseline = Some(baseline);
+        self.work_x = snap.x.clone();
+        self.good_x = snap.x;
+        self.next_step = snap.step + 1;
+        self.counters = snap.counters;
+        self.last_resid = snap.last_resid;
+        self.resumed = true;
+        // Replay the post-commit chaos transformation of the restored
+        // step, so the resumed trajectory matches the uninterrupted one.
+        self.post_commit_chaos(snap.step);
+        Ok(())
+    }
+
+    fn post_commit_chaos(&mut self, committed: u64) {
+        if self.cfg.chaos && committed == CHAOS_POISON_STEP {
+            self.work_x[0] = f64::NAN;
+        }
+    }
+
+    /// True once every requested step has committed.
+    pub fn done(&self) -> bool {
+        self.next_step >= self.cfg.steps
+    }
+
+    /// Whether this driver resumed from a snapshot.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// The next step to execute.
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Builds the step's hierarchy per the reuse decision, escalating
+    /// to a rebuild when a cheaper path fails. Returns the (possibly
+    /// escalated) decision and the hierarchy (`None` only when even the
+    /// rebuild failed — the ladder then builds its own).
+    fn build_for_step(
+        &mut self,
+        step: u64,
+        a: &SgDia<f64>,
+        now_audit: &RangeAudit,
+        mut decision: ReuseDecision,
+    ) -> (ReuseDecision, Option<Mg<f32>>) {
+        let mut mg = None;
+        match decision {
+            ReuseDecision::Keep => {
+                let chain = self.chain.as_ref().expect("keep requires a cached chain");
+                match Mg::setup_from_chain(chain, &self.mg_cfg) {
+                    Ok(m) => mg = Some(m),
+                    Err(_) => decision = ReuseDecision::Rebuild,
+                }
+            }
+            ReuseDecision::Rescale => {
+                let chain = self.chain.as_mut().expect("rescale requires a cached chain");
+                match Mg::setup_rescaled(a, chain, &self.mg_cfg) {
+                    Ok(m) => match chain.swap_finest(a, &self.mg_cfg) {
+                        Ok(()) => {
+                            self.finest_step = step;
+                            self.baseline = Some(now_audit.clone());
+                            mg = Some(m);
+                        }
+                        Err(_) => decision = ReuseDecision::Rebuild,
+                    },
+                    Err(_) => decision = ReuseDecision::Rebuild,
+                }
+            }
+            ReuseDecision::Rebuild => {}
+        }
+        if decision == ReuseDecision::Rebuild && mg.is_none() {
+            if let Ok(chain) = GalerkinChain::build(a, &self.mg_cfg) {
+                if let Ok(m) = Mg::setup_from_chain(&chain, &self.mg_cfg) {
+                    self.chain = Some(chain);
+                    self.chain_step = step;
+                    self.finest_step = step;
+                    self.baseline = Some(now_audit.clone());
+                    mg = Some(m);
+                }
+            }
+        }
+        (decision, mg)
+    }
+
+    /// Runs the solve request, returning `(rungs, outcome, iters,
+    /// resid, solution)`.
+    fn solve(
+        &self,
+        step: u64,
+        a: SgDia<f64>,
+        mg: Option<Mg<f32>>,
+        prev: Option<&[f64]>,
+    ) -> (String, String, usize, f64, Option<Vec<f64>>) {
+        let kind = self.cfg.kind;
+        let problem = Problem { name: kind.name(), kind, matrix: a, solver: kind.solver() };
+        let rhs = step_rhs(&problem, prev);
+        let mut req = SolveRequest::new(
+            format!("sim-{}-step{}", kind.name(), step),
+            problem,
+            self.mg_cfg.clone(),
+        );
+        req.rhs = Some(rhs);
+        req.opts.tol = self.cfg.tol;
+        req.policy = sim_policy();
+        req.budget.max_iters = Some(4000);
+        let outcome = run_session_with(&req, mg);
+        let rungs = outcome.report.summary();
+        let (label, resid) = match &outcome.result {
+            Ok(r) => ("ok".to_string(), r.final_rel_residual),
+            Err(e) => (format!("{e}"), f64::NAN),
+        };
+        (rungs, label, outcome.iters, resid, outcome.solution)
+    }
+
+    /// Executes the next step: audit → drift → reuse decision →
+    /// sentinel verify/repair → ladder solve (→ rollback-and-rebuild on
+    /// exhaustion) → durable commit. Returns the committed row, or an
+    /// error for an unrecovered step (after appending its trail line).
+    pub fn step_once(&mut self) -> Result<&StepRow, String> {
+        assert!(!self.done(), "all steps already committed");
+        let step = self.next_step;
+        let a = effective_matrix(&self.evo, self.cfg.chaos, step);
+
+        // What a fresh-setup-every-step baseline would pay (timed and
+        // discarded; the amortization evidence in the report).
+        let t_fresh = Instant::now();
+        let fresh = Mg::<f32>::setup(&a, &self.mg_cfg);
+        let fresh_setup_s = t_fresh.elapsed().as_secs_f64();
+        drop(fresh);
+
+        let now_audit = audit(&a, Precision::F16);
+        let (want, drift_mag, structural) = match &self.baseline {
+            None => (ReuseDecision::Rebuild, 0.0, false),
+            Some(base) => {
+                let d = drift(base, &now_audit);
+                (ReuseDecision::decide(&d), d.magnitude(), d.structural())
+            }
+        };
+
+        let t_reuse = Instant::now();
+        let (decision, mut mg) = self.build_for_step(step, &a, &now_audit, want);
+        let reuse_setup_s = t_reuse.elapsed().as_secs_f64();
+
+        // ABFT: chaos corrupts a 16-bit stored level, then the
+        // sentinels are verified (and any corruption repaired) before
+        // the hierarchy serves the step.
+        let mut repairs = 0u64;
+        if let Some(m) = mg.as_mut() {
+            if self.cfg.chaos && step % CHAOS_FLIP_PERIOD == 2 {
+                if let Some(level) = finest_narrow_level(m) {
+                    if let Some(stored) = m.stored_mut(level) {
+                        stored.inject_bit_flip_tap(0, 9);
+                    }
+                }
+            }
+            repairs = m.verify_and_repair(RepairTrigger::Periodic).len() as u64;
+        }
+
+        let prev = if step == 0 { None } else { Some(self.work_x.clone()) };
+        let (mut rungs, mut outcome, mut iters, mut resid, mut solution) =
+            self.solve(step, a, mg, prev.as_deref());
+
+        // Rollback-and-rebuild: the in-step ladder is exhausted, so
+        // rewind the carried state to the last committed solution,
+        // rebuild the chain at this step, and re-run once.
+        let mut rollback = false;
+        if solution.is_none() {
+            rollback = true;
+            self.counters.rollbacks += 1;
+            self.work_x = self.good_x.clone();
+            let a2 = effective_matrix(&self.evo, self.cfg.chaos, step);
+            let audit2 = audit(&a2, Precision::F16);
+            let (_, mg2) = self.build_for_step(step, &a2, &audit2, ReuseDecision::Rebuild);
+            let prev2 = if step == 0 { None } else { Some(self.work_x.clone()) };
+            let (r2, o2, i2, rr2, s2) = self.solve(step, a2, mg2, prev2.as_deref());
+            rungs = format!("{rungs}↺{r2}");
+            outcome = o2;
+            iters += i2;
+            resid = rr2;
+            solution = s2;
+        }
+
+        let row = StepRow {
+            step,
+            decision,
+            drift: drift_mag,
+            structural,
+            repairs,
+            rollback,
+            rungs,
+            outcome,
+            iters,
+            resid,
+            reuse_setup_s,
+            fresh_setup_s,
+        };
+        self.reuse_setup_s += reuse_setup_s;
+        self.fresh_setup_s += fresh_setup_s;
+
+        let Some(x) = solution else {
+            // Unrecovered: record the failed step in the trail, then
+            // surface the error (the CLI exits nonzero).
+            if let Some(dir) = &self.cfg.snapshot_dir {
+                append_sync(&sim_trail_path(dir, self.cfg.kind), &row.trail_line())?;
+            }
+            let err = format!("step {} unrecovered after rollback: {}", step, row.outcome);
+            self.rows.push(row);
+            return Err(err);
+        };
+
+        match decision {
+            ReuseDecision::Keep => self.counters.keep += 1,
+            ReuseDecision::Rescale => self.counters.rescale += 1,
+            ReuseDecision::Rebuild => self.counters.rebuild += 1,
+        }
+        self.counters.repairs += repairs;
+        self.work_x = x;
+        self.last_resid = resid;
+
+        // Durability order: trail line, then snapshot, then the ack.
+        // A kill between any two leaves a resumable prefix; duplicate
+        // trail lines after a resume are bit-identical by construction.
+        if let Some(dir) = &self.cfg.snapshot_dir {
+            append_sync(&sim_trail_path(dir, self.cfg.kind), &row.trail_line())?;
+            let snap = SimSnapshot {
+                problem: self.cfg.kind.name().to_string(),
+                size: self.cfg.size,
+                steps: self.cfg.steps,
+                tol: self.cfg.tol,
+                seed: chaos_seed(self.cfg.chaos),
+                step,
+                chain_step: self.chain_step,
+                finest_step: self.finest_step,
+                last_resid: self.last_resid,
+                counters: self.counters,
+                x: self.work_x.clone(),
+            };
+            snap.write(&sim_snapshot_path(dir, self.cfg.kind))
+                .map_err(|e| format!("snapshot write: {e}"))?;
+        }
+        self.good_x = self.work_x.clone();
+        if self.cfg.ack {
+            println!("done step={step}");
+            std::io::stdout().flush().ok();
+        }
+        if self.cfg.pace_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.cfg.pace_ms));
+        }
+        self.post_commit_chaos(step);
+        self.next_step += 1;
+        self.rows.push(row);
+        Ok(self.rows.last().expect("row just pushed"))
+    }
+
+    /// Advances to completion and summarizes.
+    pub fn run(&mut self) -> Result<SimReport, String> {
+        if self.cfg.ack {
+            if self.resumed {
+                println!("sim: resumed step={}", self.next_step);
+            } else {
+                println!("sim: cold start");
+            }
+            std::io::stdout().flush().ok();
+        }
+        while !self.done() {
+            self.step_once()?;
+        }
+        Ok(self.report())
+    }
+
+    /// The report for whatever has run so far.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            kind: self.cfg.kind,
+            rows: self.rows.clone(),
+            counters: self.counters,
+            resumed: self.resumed,
+            reuse_setup_s: self.reuse_setup_s,
+            fresh_setup_s: self.fresh_setup_s,
+            final_resid: self.last_resid,
+        }
+    }
+}
+
+/// Renders the per-step cost/accuracy table.
+pub fn render_sim_table(report: &SimReport) -> String {
+    let mut t = Table::new(&[
+        "step",
+        "decision",
+        "drift",
+        "repairs",
+        "rollback",
+        "rungs",
+        "iters",
+        "resid",
+        "setup(reuse)",
+        "setup(fresh)",
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.step.to_string(),
+            r.decision.label().to_string(),
+            if r.structural { "structural".into() } else { format!("{:.3}", r.drift) },
+            r.repairs.to_string(),
+            if r.rollback { "yes".into() } else { "-".into() },
+            r.rungs.clone(),
+            r.iters.to_string(),
+            format!("{:.2e}", r.resid),
+            fmt_secs(r.reuse_setup_s),
+            fmt_secs(r.fresh_setup_s),
+        ]);
+    }
+    let c = report.counters;
+    format!(
+        "{}\ndecisions: keep={} rescale={} rebuild={} | repairs={} rollbacks={}\nsetup total: \
+         reuse {} vs fresh-every-step {} → amortized setup win {:.2}x\n",
+        t.render(),
+        c.keep,
+        c.rescale,
+        c.rebuild,
+        c.repairs,
+        c.rollbacks,
+        fmt_secs(report.reuse_setup_s),
+        fmt_secs(report.fresh_setup_s),
+        report.setup_win(),
+    )
+}
+
+/// Serializes the report as `BENCH_sim_<name>.json`.
+pub fn sim_json(report: &SimReport, cfg: &SimConfig) -> String {
+    use crate::benchjson::{esc, num};
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"fp16mg-sim-v1\",\n");
+    s.push_str(&format!("  \"problem\": \"{}\",\n", esc(report.kind.name())));
+    s.push_str(&format!("  \"size\": {},\n", cfg.size));
+    s.push_str(&format!("  \"steps\": {},\n", cfg.steps));
+    s.push_str(&format!("  \"tol\": {},\n", num(cfg.tol)));
+    s.push_str(&format!("  \"chaos\": {},\n", cfg.chaos));
+    s.push_str(&format!("  \"resumed\": {},\n", report.resumed));
+    let c = report.counters;
+    s.push_str(&format!(
+        "  \"decisions\": {{ \"keep\": {}, \"rescale\": {}, \"rebuild\": {}, \"repairs\": {}, \
+         \"rollbacks\": {} }},\n",
+        c.keep, c.rescale, c.rebuild, c.repairs, c.rollbacks
+    ));
+    s.push_str(&format!("  \"reuse_setup_s\": {},\n", num(report.reuse_setup_s)));
+    s.push_str(&format!("  \"fresh_setup_s\": {},\n", num(report.fresh_setup_s)));
+    s.push_str(&format!("  \"amortized_setup_win\": {},\n", num(report.setup_win())));
+    s.push_str(&format!("  \"final_resid\": {},\n", num(report.final_resid)));
+    s.push_str("  \"steps_detail\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"step\": {}, \"decision\": \"{}\", \"drift\": {}, \"structural\": {}, \
+             \"repairs\": {}, \"rollback\": {}, \"rungs\": \"{}\", \"outcome\": \"{}\", \
+             \"iters\": {}, \"resid\": {}, \"reuse_setup_s\": {}, \"fresh_setup_s\": {} }}{}\n",
+            r.step,
+            esc(r.decision.label()),
+            num(r.drift),
+            r.structural,
+            r.repairs,
+            r.rollback,
+            esc(&r.rungs),
+            esc(&r.outcome),
+            r.iters,
+            num(r.resid),
+            num(r.reuse_setup_s),
+            num(r.fresh_setup_s),
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Runs one simulation from the CLI: table to stdout, optional JSON,
+/// chaos coverage enforcement. Returns the process exit code.
+pub fn run_sim_cli(cfg: SimConfig) -> i32 {
+    let name = cfg.kind.name();
+    if let Some(dir) = &cfg.snapshot_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("sim[{name}]: cannot create {}: {e}", dir.display());
+            return 2;
+        }
+    }
+    let mut driver = match SimDriver::new(cfg.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sim[{name}]: {e}");
+            return 2;
+        }
+    };
+    let report = match driver.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sim[{name}]: {e}");
+            return 1;
+        }
+    };
+    println!("\n=== simulate {} ({} steps, size {}) ===", name, cfg.steps, cfg.size);
+    print!("{}", render_sim_table(&report));
+    if let Some(dir) = &cfg.json_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("sim[{name}]: cannot create {}: {e}", dir.display());
+            return 2;
+        }
+        let path = dir.join(format!("BENCH_sim_{}.json", sanitize_name(name)));
+        if let Err(e) = fs::write(&path, sim_json(&report, &cfg)) {
+            eprintln!("sim[{name}]: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!("wrote {}", path.display());
+    }
+    if cfg.chaos {
+        let violations = report.coverage_violations();
+        if violations.is_empty() {
+            println!("chaos coverage: all decision paths and recovery rungs fired");
+        } else {
+            for v in &violations {
+                eprintln!("sim[{name}]: {v}");
+            }
+            return 1;
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Soak: prove crash-safe resume with a real SIGKILL.
+// ---------------------------------------------------------------------------
+
+/// `repro simulate --soak` configuration.
+#[derive(Clone, Debug)]
+pub struct SimSoakConfig {
+    /// Problem simulated (soak uses a single trajectory).
+    pub kind: ProblemKind,
+    /// Steps in the trajectory.
+    pub steps: u64,
+    /// Grid extent.
+    pub size: usize,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// Kill the child after this many committed-step acknowledgements.
+    pub kill_after: usize,
+    /// Scratch directory for the reference and crash runs.
+    pub out: PathBuf,
+}
+
+fn child_command(soak: &SimSoakConfig, dir: &Path, pace_ms: u64) -> Result<Command, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("simulate")
+        .arg("--problem")
+        .arg(soak.kind.name())
+        .arg("--steps")
+        .arg(soak.steps.to_string())
+        .arg("--size")
+        .arg(soak.size.to_string())
+        .arg("--tol")
+        .arg(soak.tol.to_string())
+        .arg("--snapshot-dir")
+        .arg(dir)
+        .arg("--pace-ms")
+        .arg(pace_ms.to_string())
+        .arg("--out")
+        .arg(dir);
+    Ok(cmd)
+}
+
+fn read_lines(path: &Path) -> Result<Vec<String>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(text.lines().map(str::to_string).collect())
+}
+
+fn step_of(line: &str) -> Option<u64> {
+    line.strip_prefix("step=")?.split_whitespace().next()?.parse().ok()
+}
+
+/// Kill/resume soak: a reference run, a run SIGKILLed mid-flight, and a
+/// restarted run must together produce a trail that is bit-identical to
+/// the reference — same reuse decisions, same rung trails, same final
+/// residual bits. Returns the process exit code.
+pub fn run_sim_soak(soak: &SimSoakConfig) -> i32 {
+    let mut violations: Vec<String> = Vec::new();
+    let ref_dir = soak.out.join("ref");
+    let crash_dir = soak.out.join("crash");
+    for d in [&ref_dir, &crash_dir] {
+        if let Err(e) = fs::remove_dir_all(d) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                eprintln!("sim soak: cannot clear {}: {e}", d.display());
+                return 2;
+            }
+        }
+        if let Err(e) = fs::create_dir_all(d) {
+            eprintln!("sim soak: cannot create {}: {e}", d.display());
+            return 2;
+        }
+    }
+
+    // Phase 1: uninterrupted reference run.
+    println!("sim soak: phase 1 — reference run ({} steps)", soak.steps);
+    let out = match child_command(soak, &ref_dir, 0)
+        .and_then(|mut c| c.output().map_err(|e| format!("spawn reference child: {e}")))
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sim soak: {e}");
+            return 2;
+        }
+    };
+    if !out.status.success() {
+        eprintln!("sim soak: reference run failed: {}", String::from_utf8_lossy(&out.stderr));
+        return 2;
+    }
+    let ref_trail = match read_lines(&sim_trail_path(&ref_dir, soak.kind)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sim soak: {e}");
+            return 2;
+        }
+    };
+    if ref_trail.len() != soak.steps as usize {
+        violations.push(format!(
+            "reference trail has {} lines, want {}",
+            ref_trail.len(),
+            soak.steps
+        ));
+    }
+    for (i, line) in ref_trail.iter().enumerate() {
+        if step_of(line) != Some(i as u64) {
+            violations.push(format!("reference trail line {i} is not step {i}: {line}"));
+        }
+        if !line.contains("outcome=ok") {
+            violations.push(format!("reference step {i} did not converge: {line}"));
+        }
+    }
+    for want in ["decision=keep", "decision=rescale", "decision=rebuild"] {
+        if !ref_trail.iter().any(|l| l.contains(want)) {
+            violations.push(format!("reference trail never recorded {want}"));
+        }
+    }
+
+    // Phase 2: crash run, SIGKILLed after `kill_after` committed steps.
+    println!("sim soak: phase 2 — crash run (SIGKILL after {} steps)", soak.kill_after);
+    let mut acks = 0usize;
+    match child_command(soak, &crash_dir, 15)
+        .map(|mut c| {
+            c.stdout(Stdio::piped()).stderr(Stdio::null());
+            c
+        })
+        .and_then(|mut c| c.spawn().map_err(|e| format!("spawn crash child: {e}")))
+    {
+        Ok(mut child) => {
+            if let Some(stdout) = child.stdout.take() {
+                for line in BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    if line.starts_with("done step=") {
+                        acks += 1;
+                        if acks >= soak.kill_after {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        Err(e) => {
+            eprintln!("sim soak: {e}");
+            return 2;
+        }
+    }
+    if acks < soak.kill_after {
+        violations.push(format!(
+            "crash child exited after {acks} committed steps, before the kill point \
+             ({} wanted)",
+            soak.kill_after
+        ));
+    }
+
+    // Phase 3: restart in the same directory; must resume, not restart.
+    println!("sim soak: phase 3 — restart and run to completion");
+    let out = match child_command(soak, &crash_dir, 0)
+        .and_then(|mut c| c.output().map_err(|e| format!("spawn restart child: {e}")))
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sim soak: {e}");
+            return 2;
+        }
+    };
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    if !out.status.success() {
+        violations.push(format!("restart run failed: {}", String::from_utf8_lossy(&out.stderr)));
+    }
+    if !stdout.contains("sim: resumed step=") {
+        violations.push("restart did not report a snapshot resume".to_string());
+    }
+
+    // Phase 4: the crash+restart trail must reproduce the reference
+    // bit-identically.
+    println!("sim soak: phase 4 — trail validation");
+    match read_lines(&sim_trail_path(&crash_dir, soak.kind)) {
+        Err(e) => violations.push(e),
+        Ok(crash_trail) => {
+            let mut seen: Vec<Vec<&String>> = vec![Vec::new(); soak.steps as usize];
+            for line in &crash_trail {
+                match step_of(line) {
+                    Some(s) if (s as usize) < seen.len() => seen[s as usize].push(line),
+                    _ => violations.push(format!("crash trail has an alien line: {line}")),
+                }
+            }
+            for (step, lines) in seen.iter().enumerate() {
+                if lines.is_empty() {
+                    violations.push(format!("crash trail never committed step {step}"));
+                    continue;
+                }
+                for line in lines {
+                    if ref_trail.get(step) != Some(*line) {
+                        violations.push(format!(
+                            "step {step} diverged from the reference\n  ref:   {}\n  crash: {}",
+                            ref_trail.get(step).map(String::as_str).unwrap_or("<missing>"),
+                            line
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "sim soak: PASS — killed after {} steps, resumed, {}-step trail bit-identical \
+             to the reference",
+            soak.kill_after, soak.steps
+        );
+        0
+    } else {
+        for v in &violations {
+            eprintln!("sim soak: VIOLATION: {v}");
+        }
+        1
+    }
+}

@@ -1,0 +1,122 @@
+//! Time-stepping simulation engine acceptance: every step of a cold run
+//! commits, the chaos schedule exercises every reuse decision and
+//! recovery rung, an interrupted run resumes to a bit-identical trail,
+//! and a snapshot from a different run configuration is refused. The
+//! bench crate hosts these because the chaos paths need `fault-inject`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fp16mg_bench::simulate::{sim_trail_path, SimConfig, SimDriver};
+use fp16mg_problems::ProblemKind;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fp16mg-simtest-{}-{tag}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cold_run_commits_every_step() {
+    let dir = scratch("cold");
+    let mut cfg = SimConfig::new(ProblemKind::Oil, 6, 6, 1e-9);
+    cfg.snapshot_dir = Some(dir.clone());
+    let mut driver = SimDriver::new(cfg).unwrap();
+    assert!(!driver.resumed());
+    let report = driver.run().unwrap();
+    assert_eq!(report.rows.len(), 6);
+    for row in &report.rows {
+        assert_eq!(row.outcome, "ok", "step {} failed: {}", row.step, row.outcome);
+        assert!(row.resid <= 1e-9, "step {} residual {}", row.step, row.resid);
+        assert!(!row.rollback);
+    }
+    let c = report.counters;
+    assert_eq!(c.keep + c.rescale + c.rebuild, 6);
+    assert_eq!(c.rollbacks, 0);
+    assert!(report.fresh_setup_s > 0.0 && report.reuse_setup_s > 0.0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_exercises_every_decision_and_recovery_path() {
+    let mut cfg = SimConfig::new(ProblemKind::Oil, 12, 6, 1e-9);
+    cfg.chaos = true;
+    let mut driver = SimDriver::new(cfg).unwrap();
+    let report = driver.run().expect("every chaos fault must be recovered");
+    assert_eq!(
+        report.coverage_violations(),
+        Vec::<String>::new(),
+        "counters: {:?}",
+        report.counters
+    );
+    assert!(report.rows.iter().any(|r| r.rollback), "rollback-and-rebuild never fired");
+    assert!(report.rows.iter().all(|r| r.outcome == "ok"));
+}
+
+#[test]
+fn interrupted_run_resumes_to_a_bit_identical_trail() {
+    let kind = ProblemKind::Oil;
+    let (steps, size, tol) = (8u64, 6usize, 1e-9f64);
+
+    // Uninterrupted reference.
+    let ref_dir = scratch("ref");
+    let mut ref_cfg = SimConfig::new(kind, steps, size, tol);
+    ref_cfg.snapshot_dir = Some(ref_dir.clone());
+    SimDriver::new(ref_cfg).unwrap().run().unwrap();
+    let ref_trail = fs::read_to_string(sim_trail_path(&ref_dir, kind)).unwrap();
+
+    // Interrupted run: three committed steps, then the driver is
+    // dropped mid-flight (the in-memory state is lost, as in a kill).
+    let crash_dir = scratch("crash");
+    let mut cfg = SimConfig::new(kind, steps, size, tol);
+    cfg.snapshot_dir = Some(crash_dir.clone());
+    let mut first = SimDriver::new(cfg.clone()).unwrap();
+    for _ in 0..3 {
+        first.step_once().unwrap();
+    }
+    drop(first);
+
+    // The restart must resume from the snapshot, not start cold, and
+    // the concatenated trail must equal the reference byte for byte —
+    // same decisions, same rung trails, same residual bits.
+    let mut second = SimDriver::new(cfg).unwrap();
+    assert!(second.resumed());
+    assert_eq!(second.next_step(), 3);
+    let report = second.run().unwrap();
+    assert!(report.resumed);
+    assert_eq!(report.rows.len(), 5);
+    let crash_trail = fs::read_to_string(sim_trail_path(&crash_dir, kind)).unwrap();
+    assert_eq!(crash_trail, ref_trail);
+    assert_eq!(report.final_resid.to_bits(), {
+        let last = ref_trail.lines().last().unwrap();
+        let hex = last.rsplit("resid=").next().unwrap();
+        u64::from_str_radix(hex, 16).unwrap()
+    });
+    fs::remove_dir_all(&ref_dir).ok();
+    fs::remove_dir_all(&crash_dir).ok();
+}
+
+#[test]
+fn snapshot_from_a_different_run_is_refused() {
+    let dir = scratch("mismatch");
+    let mut cfg = SimConfig::new(ProblemKind::Oil, 6, 6, 1e-9);
+    cfg.snapshot_dir = Some(dir.clone());
+    let mut driver = SimDriver::new(cfg.clone()).unwrap();
+    driver.step_once().unwrap();
+    drop(driver);
+
+    // Same directory, different grid size: the snapshot must be
+    // rejected, not silently reinterpreted.
+    let mut other = cfg.clone();
+    other.size = 8;
+    let err = SimDriver::new(other).err().expect("size mismatch must refuse to resume");
+    assert!(err.contains("does not match"), "unexpected error: {err}");
+
+    // Chaos flag is part of the run identity too.
+    let mut chaotic = cfg;
+    chaotic.chaos = true;
+    let err = SimDriver::new(chaotic).err().expect("chaos mismatch must refuse to resume");
+    assert!(err.contains("does not match"), "unexpected error: {err}");
+    fs::remove_dir_all(&dir).ok();
+}

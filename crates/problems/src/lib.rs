@@ -28,10 +28,12 @@
 
 #![warn(missing_docs)]
 mod build;
+pub mod evolve;
 mod field;
 pub mod metrics;
 
 pub use build::{Problem, ProblemKind, SolverKind};
+pub use evolve::{step_rhs, DriftPreset, Evolution};
 
 #[cfg(test)]
 mod tests;

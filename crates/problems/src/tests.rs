@@ -221,3 +221,113 @@ fn all_problems_solve_d16_setup_then_scale() {
         );
     }
 }
+
+// ------------------------------------------------------------- evolve --
+
+mod evolve {
+    use fp16mg_fp::Precision;
+    use fp16mg_sgdia::audit::{audit, drift};
+
+    use crate::evolve::{DriftPreset, Evolution};
+    use crate::ProblemKind;
+
+    /// The cache's decision bounds (CacheConfig defaults), replicated so
+    /// the schedule calibration below proves the presets actually walk
+    /// the keep / rescale / rebuild ladder against them.
+    const KEEP_MAX: f64 = 0.25;
+    const RESCALE_MAX: f64 = 3.0;
+
+    #[test]
+    fn step_zero_is_the_base_operator_bit_for_bit() {
+        for kind in [ProblemKind::Oil, ProblemKind::Rhd, ProblemKind::Weather] {
+            let evo = Evolution::new(kind, 6);
+            let a0 = evo.matrix_at(0);
+            for (x, y) in a0.data().iter().zip(evo.base().data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_at_is_pure_in_the_step_index() {
+        let evo = Evolution::new(ProblemKind::Oil, 6);
+        for step in [1u64, 5, 11] {
+            let a = evo.matrix_at(step);
+            let b = evo.matrix_at(step);
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "step {step}");
+            }
+        }
+        // And independent of call order / history.
+        let fresh = Evolution::new(ProblemKind::Oil, 6).matrix_at(11);
+        for (x, y) in fresh.data().iter().zip(evo.matrix_at(11).data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn drift_is_never_structural() {
+        // Congruence scaling must not create/destroy couplings or make
+        // a previously overflow-free *f64 source* non-finite.
+        for kind in [ProblemKind::Oil, ProblemKind::Rhd, ProblemKind::Weather] {
+            let evo = Evolution::new(kind, 6);
+            let base = audit(evo.base(), Precision::F16);
+            for step in 1..16u64 {
+                let cur = audit(&evo.matrix_at(step), Precision::F16);
+                let d = drift(&base, &cur);
+                assert!(!d.structure_changed, "{} step {step}: {d}", kind.name());
+                assert_eq!(cur.source_non_finite, 0, "{} step {step}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn default_schedules_walk_keep_rescale_rebuild() {
+        // Replay the cache's reuse predicate over each trajectory: the
+        // presets must produce all three decisions within a short run,
+        // otherwise the simulation engine cannot demonstrate the ladder.
+        for kind in [ProblemKind::Oil, ProblemKind::Rhd, ProblemKind::Weather] {
+            let evo = Evolution::new(kind, 6);
+            let mut baseline = audit(evo.base(), Precision::F16);
+            let (mut keeps, mut rescales, mut rebuilds) = (0u32, 0u32, 0u32);
+            for step in 1..16u64 {
+                let cur = audit(&evo.matrix_at(step), Precision::F16);
+                let d = drift(&baseline, &cur);
+                if !d.structural() && d.magnitude() <= KEEP_MAX {
+                    keeps += 1;
+                } else if !d.structural() && d.magnitude() <= RESCALE_MAX {
+                    rescales += 1;
+                    baseline = cur;
+                } else {
+                    rebuilds += 1;
+                    baseline = cur;
+                }
+            }
+            assert!(
+                keeps > 0 && rescales > 0 && rebuilds > 0,
+                "{}: keep={keeps} rescale={rescales} rebuild={rebuilds}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn multiplier_is_identity_at_step_zero_and_bounded() {
+        for kind in [ProblemKind::Oil, ProblemKind::Rhd, ProblemKind::Weather] {
+            let p = DriftPreset::for_kind(kind);
+            for i in 0..8 {
+                assert_eq!(p.multiplier(i, 8, 0), 1.0, "{}", kind.name());
+            }
+            let bound = p.smooth_amp.exp2()
+                * p.front_contrast.max(1.0)
+                * p.jump_factor.max(1.0)
+                * (1.0 + 1e-12);
+            for step in 0..64u64 {
+                for i in 0..8 {
+                    let m = p.multiplier(i, 8, step);
+                    assert!(m.is_finite() && m > 0.0 && m <= bound, "{m} at step {step}");
+                }
+            }
+        }
+    }
+}

@@ -233,6 +233,12 @@ pub struct SolveRequest {
     pub problem: Problem,
     /// Rung-0 multigrid configuration (normally mixed FP16).
     pub base: MgConfig,
+    /// Right-hand side override. `None` (the default) solves against
+    /// the problem's canonical [`Problem::rhs`]; a time-stepping driver
+    /// sets it to the implicit-step right-hand side, which couples the
+    /// previous step's solution. Every ladder rung solves the same
+    /// right-hand side.
+    pub rhs: Option<Vec<f64>>,
     /// Per-attempt solver options; `max_iters` is additionally clamped
     /// by the session budget's `max_iters`.
     pub opts: SolveOptions,
@@ -270,6 +276,7 @@ impl SolveRequest {
             name: name.into(),
             problem,
             base,
+            rhs: None,
             opts: SolveOptions::default(),
             budget: Budget::unlimited(),
             policy: RetryPolicy::default(),
@@ -798,7 +805,10 @@ fn attempt_with<Pr: Scalar>(
 ) -> AttemptOutput {
     guard.adopt_cycles(mg.cycle_counter());
     let op = MatOp::new(&req.problem.matrix, req.par);
-    let b = req.problem.rhs();
+    let b = match &req.rhs {
+        Some(b) => b.clone(),
+        None => req.problem.rhs(),
+    };
     let mut x = vec![0.0f64; req.problem.matrix.rows()];
     let solver = match (req.solver, req.problem.solver) {
         (SolverChoice::Cg, _) | (SolverChoice::Auto, SolverKind::Cg) => SolverChoice::Cg,

@@ -68,7 +68,7 @@ pub use pool::{
 };
 pub use ring::Ring;
 pub use shed::{estimate_pressure, DegradeEvent, DegradeProfile, PressureSignal, ShedPolicy};
-pub use snapshot::{DaemonSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{DaemonSnapshot, SimCounters, SimSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use supervise::{
     Daemon, DaemonConfig, DrainReport, Quarantine, SuperviseConfig, WorkerEvent, WorkerEventKind,
 };

@@ -38,8 +38,11 @@ use crate::pool::{PoolState, ServeCounters};
 /// Snapshot format version understood by this build.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
-/// Magic token opening every snapshot file.
+/// Magic token opening every daemon snapshot file.
 const MAGIC: &str = "fp16mg-snapshot";
+
+/// Magic token opening every simulation snapshot file.
+const SIM_MAGIC: &str = "fp16mg-sim-snapshot";
 
 /// Why a snapshot could not be written or restored.
 #[derive(Clone, Debug, PartialEq)]
@@ -225,6 +228,68 @@ fn checksum_of(body: &str) -> u64 {
     h.finish()
 }
 
+/// Validates the common snapshot frame — magic header, version,
+/// checksum trailer — and returns the checksummed body (header line
+/// included).
+fn frame_body<'a>(text: &'a str, magic: &str) -> Result<&'a str, SnapshotError> {
+    // Locate the trailer first: everything before it is the
+    // checksummed body.
+    let trailer_at = text.trim_end_matches('\n').rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let trailer = text[trailer_at..].trim_end();
+    let Some(sum_hex) = trailer.strip_prefix("checksum ") else {
+        // Distinguish "not a snapshot at all" from "snapshot torn
+        // before the trailer" by checking the magic up front.
+        if !text.starts_with(magic) {
+            let found = text.lines().next().unwrap_or("").to_string();
+            return Err(SnapshotError::BadMagic { found });
+        }
+        return Err(SnapshotError::Truncated);
+    };
+    let body = &text[..trailer_at];
+    let trailer_line = body.lines().count() + 1;
+    let expected = p_hex_u64(sum_hex, trailer_line, "checksum")?;
+    let actual = checksum_of(body);
+    if expected != actual {
+        return Err(SnapshotError::ChecksumMismatch { expected, actual });
+    }
+    let header = body.lines().next().ok_or(SnapshotError::Truncated)?;
+    let Some(version) = header.strip_prefix(magic).and_then(|r| r.trim().strip_prefix('v')) else {
+        return Err(SnapshotError::BadMagic { found: header.to_string() });
+    };
+    let version: u32 = version.trim().parse().map_err(|_| SnapshotError::Parse {
+        line: 1,
+        message: format!("bad version in header {header:?}"),
+    })?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    Ok(body)
+}
+
+/// Writes snapshot text atomically: temp file in the target's
+/// directory, flush, sync, then rename over the final path.
+fn write_atomic(path: &Path, text: &str) -> Result<(), SnapshotError> {
+    let io = |op: &'static str| {
+        move |e: std::io::Error| SnapshotError::Io { op, message: e.to_string() }
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(io("create-dir"))?;
+        }
+    }
+    let mut tmp = path.to_path_buf();
+    let mut name = tmp.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    tmp.set_file_name(name);
+    {
+        let mut file = fs::File::create(&tmp).map_err(io("create"))?;
+        file.write_all(text.as_bytes()).map_err(io("write"))?;
+        file.sync_all().map_err(io("sync"))?;
+    }
+    fs::rename(&tmp, path).map_err(io("rename"))?;
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 
 impl DaemonSnapshot {
@@ -301,40 +366,9 @@ impl DaemonSnapshot {
     /// no checksum trailer is [`SnapshotError::Truncated`] (the torn
     /// write signature).
     pub fn decode(text: &str) -> Result<Self, SnapshotError> {
-        // Locate the trailer first: everything before it is the
-        // checksummed body.
-        let trailer_at = text.trim_end_matches('\n').rfind('\n').map(|i| i + 1).unwrap_or(0);
-        let trailer = text[trailer_at..].trim_end();
-        let Some(sum_hex) = trailer.strip_prefix("checksum ") else {
-            // Distinguish "not a snapshot at all" from "snapshot torn
-            // before the trailer" by checking the magic up front.
-            if !text.starts_with(MAGIC) {
-                let found = text.lines().next().unwrap_or("").to_string();
-                return Err(SnapshotError::BadMagic { found });
-            }
-            return Err(SnapshotError::Truncated);
-        };
-        let body = &text[..trailer_at];
-        let trailer_line = body.lines().count() + 1;
-        let expected = p_hex_u64(sum_hex, trailer_line, "checksum")?;
-        let actual = checksum_of(body);
-        if expected != actual {
-            return Err(SnapshotError::ChecksumMismatch { expected, actual });
-        }
-
+        let body = frame_body(text, MAGIC)?;
         let mut lines = body.lines().enumerate();
-        let (_, header) = lines.next().ok_or(SnapshotError::Truncated)?;
-        let Some(version) = header.strip_prefix(MAGIC).and_then(|r| r.trim().strip_prefix('v'))
-        else {
-            return Err(SnapshotError::BadMagic { found: header.to_string() });
-        };
-        let version: u32 = version.trim().parse().map_err(|_| SnapshotError::Parse {
-            line: 1,
-            message: format!("bad version in header {header:?}"),
-        })?;
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion { found: version });
-        }
+        lines.next(); // header, already validated
 
         let mut seq = 0u64;
         let mut counters = ServeCounters::default();
@@ -499,26 +533,7 @@ impl DaemonSnapshot {
     /// # Errors
     /// Typed I/O failures per operation.
     pub fn write(&self, path: &Path) -> Result<(), SnapshotError> {
-        let io = |op: &'static str| {
-            move |e: std::io::Error| SnapshotError::Io { op, message: e.to_string() }
-        };
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir).map_err(io("create-dir"))?;
-            }
-        }
-        let mut tmp = path.to_path_buf();
-        let mut name = tmp.file_name().map(|n| n.to_os_string()).unwrap_or_default();
-        name.push(".tmp");
-        tmp.set_file_name(name);
-        let text = self.encode();
-        {
-            let mut file = fs::File::create(&tmp).map_err(io("create"))?;
-            file.write_all(text.as_bytes()).map_err(io("write"))?;
-            file.sync_all().map_err(io("sync"))?;
-        }
-        fs::rename(&tmp, path).map_err(io("rename"))?;
-        Ok(())
+        write_atomic(path, &self.encode())
     }
 
     /// Reads and verifies a snapshot file.
@@ -526,6 +541,201 @@ impl DaemonSnapshot {
     /// # Errors
     /// [`SnapshotError::Io`] when the file cannot be read, otherwise
     /// whatever [`DaemonSnapshot::decode`] finds.
+    pub fn read(path: &Path) -> Result<Self, SnapshotError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| SnapshotError::Io { op: "read", message: e.to_string() })?;
+        Self::decode(&text)
+    }
+}
+
+// ---------------------------------------------------------------------
+// simulation snapshots
+
+/// Reuse-decision and recovery tallies of a simulation run. Part of
+/// the durable state so a resumed run's final report covers the whole
+/// trajectory, not just the post-crash tail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Steps that kept the cached hierarchy untouched.
+    pub keep: u64,
+    /// Steps that rescaled the cached hierarchy in place.
+    pub rescale: u64,
+    /// Steps that rebuilt the Galerkin chain from scratch (the initial
+    /// setup counts as one).
+    pub rebuild: u64,
+    /// Sentinel-verified level repairs across all steps.
+    pub repairs: u64,
+    /// Rollback-and-rebuild recoveries (step rewound to last good
+    /// state after the in-step ladder was exhausted).
+    pub rollbacks: u64,
+}
+
+/// The durable state of a time-stepping simulation between steps: the
+/// cursor (which step completed, which step the cached chain and its
+/// audit baseline were built at), the carried solution, and the
+/// decision tallies.
+///
+/// Everything else the driver needs — the operator trajectory, the
+/// chain itself, the range-audit baseline — is a pure function of
+/// `(problem, size, step)`, so it is *reconstructed* on resume rather
+/// than persisted, and the resumed run is bit-identical to an
+/// uninterrupted one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimSnapshot {
+    /// Problem name (the trajectory generator's identity).
+    pub problem: String,
+    /// Grid extent the trajectory was built at.
+    pub size: usize,
+    /// Total steps the run was asked for.
+    pub steps: u64,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// Chaos-schedule seed (0 when chaos is off).
+    pub seed: u64,
+    /// Last *completed* step (the snapshot is written after a step
+    /// commits; resume continues at `step + 1`).
+    pub step: u64,
+    /// Step whose operator the cached Galerkin chain was built from.
+    pub chain_step: u64,
+    /// Step whose operator currently occupies the chain's finest level
+    /// (differs from `chain_step` after a rescale-in-place).
+    pub finest_step: u64,
+    /// Final residual of the last completed step.
+    pub last_resid: f64,
+    /// Decision and recovery tallies so far.
+    pub counters: SimCounters,
+    /// The last committed solution vector (the implicit-step coupling
+    /// for step `step + 1`).
+    pub x: Vec<f64>,
+}
+
+impl SimSnapshot {
+    /// Serializes to the versioned text format, checksum trailer
+    /// included.
+    pub fn encode(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("{SIM_MAGIC} v{SNAPSHOT_VERSION}\n"));
+        body.push_str(&format!("problem {}\n", esc(&self.problem)));
+        body.push_str(&format!(
+            "config {} {} {:016x} {:016x}\n",
+            self.size,
+            self.steps,
+            self.tol.to_bits(),
+            self.seed,
+        ));
+        body.push_str(&format!("cursor {} {} {}\n", self.step, self.chain_step, self.finest_step));
+        body.push_str(&format!("resid {:016x}\n", self.last_resid.to_bits()));
+        let c = &self.counters;
+        body.push_str(&format!(
+            "counters {} {} {} {} {}\n",
+            c.keep, c.rescale, c.rebuild, c.repairs, c.rollbacks,
+        ));
+        body.push_str(&format!("x {}", self.x.len()));
+        for v in &self.x {
+            body.push_str(&format!(" {:016x}", v.to_bits()));
+        }
+        body.push('\n');
+        let sum = checksum_of(&body);
+        format!("{body}checksum {sum:016x}\n")
+    }
+
+    /// Parses the text format, verifying magic, version, and checksum.
+    ///
+    /// # Errors
+    /// Typed [`SnapshotError`] on any structural problem; a file with
+    /// no checksum trailer is [`SnapshotError::Truncated`].
+    pub fn decode(text: &str) -> Result<Self, SnapshotError> {
+        let body = frame_body(text, SIM_MAGIC)?;
+        let mut lines = body.lines().enumerate();
+        lines.next(); // header, already validated
+
+        let mut snap = SimSnapshot {
+            problem: String::new(),
+            size: 0,
+            steps: 0,
+            tol: 0.0,
+            seed: 0,
+            step: 0,
+            chain_step: 0,
+            finest_step: 0,
+            last_resid: 0.0,
+            counters: SimCounters::default(),
+            x: Vec::new(),
+        };
+        for (idx, raw) in lines {
+            let ln = idx + 1;
+            let mut f = raw.split_whitespace();
+            let record = tok(&mut f, ln, "record tag")?;
+            match record {
+                "problem" => {
+                    snap.problem = unesc(tok(&mut f, ln, "problem")?, ln)?;
+                }
+                "config" => {
+                    snap.size = p_usize(tok(&mut f, ln, "size")?, ln, "size")?;
+                    snap.steps = p_u64(tok(&mut f, ln, "steps")?, ln, "steps")?;
+                    snap.tol = p_f64_bits(tok(&mut f, ln, "tol")?, ln, "tol")?;
+                    snap.seed = p_hex_u64(tok(&mut f, ln, "seed")?, ln, "seed")?;
+                }
+                "cursor" => {
+                    snap.step = p_u64(tok(&mut f, ln, "step")?, ln, "step")?;
+                    snap.chain_step = p_u64(tok(&mut f, ln, "chain_step")?, ln, "chain_step")?;
+                    snap.finest_step = p_u64(tok(&mut f, ln, "finest_step")?, ln, "finest_step")?;
+                }
+                "resid" => {
+                    snap.last_resid = p_f64_bits(tok(&mut f, ln, "resid")?, ln, "resid")?;
+                }
+                "counters" => {
+                    snap.counters = SimCounters {
+                        keep: p_u64(tok(&mut f, ln, "keep")?, ln, "keep")?,
+                        rescale: p_u64(tok(&mut f, ln, "rescale")?, ln, "rescale")?,
+                        rebuild: p_u64(tok(&mut f, ln, "rebuild")?, ln, "rebuild")?,
+                        repairs: p_u64(tok(&mut f, ln, "repairs")?, ln, "repairs")?,
+                        rollbacks: p_u64(tok(&mut f, ln, "rollbacks")?, ln, "rollbacks")?,
+                    };
+                }
+                "x" => {
+                    let len = p_usize(tok(&mut f, ln, "x length")?, ln, "x length")?;
+                    let mut x = Vec::with_capacity(len);
+                    for i in 0..len {
+                        x.push(p_f64_bits(
+                            tok(&mut f, ln, &format!("x[{i}]"))?,
+                            ln,
+                            &format!("x[{i}]"),
+                        )?);
+                    }
+                    if f.next().is_some() {
+                        return Err(SnapshotError::Parse {
+                            line: ln,
+                            message: format!("x record longer than its declared length {len}"),
+                        });
+                    }
+                    snap.x = x;
+                }
+                other => {
+                    return Err(SnapshotError::Parse {
+                        line: ln,
+                        message: format!("unknown record {other:?}"),
+                    });
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Writes atomically: temp file in the target's directory, flush,
+    /// then rename over the final path.
+    ///
+    /// # Errors
+    /// Typed I/O failures per operation.
+    pub fn write(&self, path: &Path) -> Result<(), SnapshotError> {
+        write_atomic(path, &self.encode())
+    }
+
+    /// Reads and verifies a simulation snapshot file.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] when the file cannot be read, otherwise
+    /// whatever [`SimSnapshot::decode`] finds.
     pub fn read(path: &Path) -> Result<Self, SnapshotError> {
         let text = fs::read_to_string(path)
             .map_err(|e| SnapshotError::Io { op: "read", message: e.to_string() })?;

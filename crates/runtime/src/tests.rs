@@ -1401,6 +1401,132 @@ mod snapshot {
     }
 }
 
+mod sim_snapshot {
+    use crate::snapshot::{SimCounters, SimSnapshot, SnapshotError, SNAPSHOT_VERSION};
+
+    /// A snapshot exercising every record: escapable problem name,
+    /// non-trivial cursor, NaN residual, negative/subnormal solution
+    /// entries.
+    fn populated() -> SimSnapshot {
+        SimSnapshot {
+            problem: "oil 4C".into(), // space exercises escaping
+            size: 12,
+            steps: 24,
+            tol: 1e-8,
+            seed: 0xdead_beef_cafe_f00d,
+            step: 9,
+            chain_step: 6,
+            finest_step: 8,
+            last_resid: f64::NAN,
+            counters: SimCounters { keep: 4, rescale: 3, rebuild: 2, repairs: 1, rollbacks: 1 },
+            x: vec![1.5, -0.0, f64::MIN_POSITIVE / 4.0, -3.25e101, 0.0],
+        }
+    }
+
+    /// Bit-level equality: `PartialEq` would call NaN != NaN and
+    /// -0.0 == 0.0, neither of which is the resume guarantee.
+    fn assert_bits_eq(a: &SimSnapshot, b: &SimSnapshot) {
+        assert_eq!(a.problem, b.problem);
+        assert_eq!((a.size, a.steps, a.seed), (b.size, b.steps, b.seed));
+        assert_eq!(a.tol.to_bits(), b.tol.to_bits());
+        assert_eq!((a.step, a.chain_step, a.finest_step), (b.step, b.chain_step, b.finest_step));
+        assert_eq!(a.last_resid.to_bits(), b.last_resid.to_bits());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.x.len(), b.x.len());
+        for (av, bv) in a.x.iter().zip(&b.x) {
+            assert_eq!(av.to_bits(), bv.to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let snap = populated();
+        let back = SimSnapshot::decode(&snap.encode()).unwrap();
+        assert_bits_eq(&snap, &back);
+    }
+
+    #[test]
+    fn file_round_trip_via_temp_and_rename() {
+        let dir = std::env::temp_dir().join(format!("fp16mg-sim-snap-{}", std::process::id()));
+        let path = dir.join("nested").join("sim.snapshot");
+        let snap = populated();
+        snap.write(&path).unwrap();
+        assert!(
+            !path.with_extension("snapshot.tmp").exists(),
+            "the temp file must not survive the rename"
+        );
+        let back = SimSnapshot::read(&path).unwrap();
+        assert_bits_eq(&snap, &back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_rejected_typed() {
+        let text = populated().encode();
+
+        // One flipped byte in the body: checksum mismatch.
+        let corrupt = text.replacen("cursor 9", "cursor 8", 1);
+        assert!(matches!(
+            SimSnapshot::decode(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Torn write: the trailer never made it to disk.
+        let torn = &text[..text.rfind("checksum").unwrap()];
+        assert!(matches!(SimSnapshot::decode(torn), Err(SnapshotError::Truncated)));
+
+        // Not a snapshot at all — and a *daemon* snapshot is equally
+        // foreign (the magics are distinct on purpose).
+        assert!(matches!(
+            SimSnapshot::decode("#!/bin/sh\necho hi\n"),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            SimSnapshot::decode(&format!("fp16mg-snapshot v{SNAPSHOT_VERSION}\nseq 1\n")),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+
+        // A future version with a valid checksum is refused.
+        let body_end = text.rfind("checksum ").unwrap();
+        let future_body = text[..body_end].replacen(
+            &format!("v{SNAPSHOT_VERSION}"),
+            &format!("v{}", SNAPSHOT_VERSION + 1),
+            1,
+        );
+        let mut h = fp16mg_fp::Fnv1a::new();
+        for b in future_body.bytes() {
+            h.write_u8(b);
+        }
+        let future = format!("{future_body}checksum {:016x}\n", h.finish());
+        assert!(matches!(
+            SimSnapshot::decode(&future),
+            Err(SnapshotError::UnsupportedVersion { found }) if found == SNAPSHOT_VERSION + 1
+        ));
+
+        // A missing file is a typed I/O error.
+        assert!(matches!(
+            SimSnapshot::read(std::path::Path::new("/nonexistent/no.snapshot")),
+            Err(SnapshotError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn x_record_length_must_match() {
+        let snap = populated();
+        let text = snap.encode();
+        // Declare one fewer element than the record carries.
+        let n = snap.x.len();
+        let body_end = text.rfind("checksum ").unwrap();
+        let bad_body = text[..body_end].replacen(&format!("x {n} "), &format!("x {} ", n - 1), 1);
+        let mut h = fp16mg_fp::Fnv1a::new();
+        for b in bad_body.bytes() {
+            h.write_u8(b);
+        }
+        let bad = format!("{bad_body}checksum {:016x}\n", h.finish());
+        assert!(matches!(SimSnapshot::decode(&bad), Err(SnapshotError::Parse { .. })));
+    }
+}
+
 mod daemon {
     use super::*;
     use crate::admission::AdmissionError;

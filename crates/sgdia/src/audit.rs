@@ -539,4 +539,77 @@ mod tests {
         let d = drift(&sparse, &base);
         assert!(d.magnitude().is_infinite() || d.structure_changed);
     }
+
+    #[test]
+    fn drift_degenerate_ranges() {
+        // An all-zero operator audits to an empty value range (the
+        // abs_min_nonzero sentinel collapses to 0, not +inf)...
+        let zero = audit(&probe([0.0; 7]), Precision::F16);
+        assert_eq!(zero.nonzero(), 0);
+        assert_eq!(zero.abs_max, 0.0);
+        assert_eq!(zero.abs_min_nonzero, 0.0);
+        assert!(zero.overflow_free());
+        assert_eq!(zero.underflow_loss_fraction(), 0.0);
+        // ...and self-drift of the degenerate range is exactly zero,
+        // never NaN from a 0/0 ratio.
+        let d = drift(&zero, &zero);
+        assert_eq!(d.magnitude(), 0.0);
+        assert!(!d.structural());
+        // Zero → live is unbounded drift AND a structural change, in
+        // both directions.
+        let live = audit(&probe([6.0, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25]), Precision::F16);
+        for (a, b) in [(&zero, &live), (&live, &zero)] {
+            let d = drift(a, b);
+            assert!(d.range_shift.is_infinite(), "{d}");
+            assert!(d.floor_shift.is_infinite(), "{d}");
+            assert!(d.structure_changed, "{d}");
+        }
+    }
+
+    #[test]
+    fn drift_empty_audit() {
+        // A zero-tap matrix audits to zero entries without panicking;
+        // self-drift is clean, drift against a real operator is
+        // structural (the entry counts disagree).
+        let e = SgDia::<f64>::zeros(Grid3::cube(2), Pattern::new(vec![]), Layout::Soa);
+        let empty = audit(&e, Precision::F16);
+        assert_eq!(empty.entries, 0);
+        assert_eq!(empty.abs_max, 0.0);
+        assert_eq!(empty.abs_min_nonzero, 0.0);
+        assert_eq!(empty.headroom, 0.0);
+        let d = drift(&empty, &empty);
+        assert_eq!(d.magnitude(), 0.0);
+        assert!(!d.structural());
+        let live = audit(&probe([6.0, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25]), Precision::F16);
+        assert!(drift(&empty, &live).structure_changed);
+        assert!(drift(&live, &empty).structure_changed);
+    }
+
+    #[test]
+    fn drift_nan_current_is_structural_not_a_range_event() {
+        let values = [6.0, -1.0, -1.0, -0.5, -1.5, -2.0, -0.25];
+        let base = audit(&probe(values), Precision::F16);
+        let mut sick = probe(values);
+        // Poison the diagonal: always in-grid, so a nonzero entry goes
+        // non-finite rather than a structural zero changing count.
+        let center = sick.pattern().taps().iter().position(|t| t.is_diagonal()).unwrap();
+        sick.set(0, center, f64::NAN);
+        let cur = audit(&sick, Precision::F16);
+        assert_eq!(cur.source_non_finite, 1);
+        assert!(!cur.overflow_free());
+        // The NaN is skipped before the min/max fold: the other cells
+        // still carry the full value set, so the range ends are
+        // untouched — only the overflow flag reports the corruption.
+        let d = drift(&base, &cur);
+        assert_eq!(d.range_shift, 0.0, "{d}");
+        assert_eq!(d.floor_shift, 0.0, "{d}");
+        assert!(d.new_overflow, "{d}");
+        assert!(!d.structure_changed, "{d}");
+        assert!(d.structural());
+        // An already-sick baseline reports no NEW overflow when the
+        // current operator is clean (recovery is not an invalidation).
+        let back = drift(&cur, &base);
+        assert!(!back.new_overflow, "{back}");
+        assert!(!back.structural());
+    }
 }

@@ -1268,6 +1268,48 @@ fn prop_audit_counts_are_exact() {
     });
 }
 
+#[test]
+fn prop_drift_symmetry_and_monotonicity() {
+    use crate::audit;
+    use fp16mg_fp::Precision;
+    // drift() is a metric-like comparison of two audits: a uniform
+    // 2^p rescale must read as exactly |p| log2 on both range ends,
+    // the measure must be symmetric in its arguments, and scaling
+    // further must never measure closer.
+    check_n("prop_drift_symmetry_and_monotonicity", 256, |rng| {
+        let seed = rng.next_u64() % 100_000;
+        let g3 = Grid3::cube(3);
+        let a = random_matrix(g3, Pattern::p7(), Layout::Aos, seed);
+        let base = audit::audit(&a, Precision::F16);
+        let p = rng.usize_range(0, 13) as i32 - 6; // 2^-6 .. 2^6
+        let mut b = a.clone();
+        for v in b.data_mut() {
+            *v *= (p as f64).exp2(); // power-of-two multiply: exact in f64
+        }
+        let cur = audit::audit(&b, Precision::F16);
+        let d = audit::drift(&base, &cur);
+        assert!((d.range_shift - p.abs() as f64).abs() < 1e-9, "{d}");
+        assert!((d.floor_shift - p.abs() as f64).abs() < 1e-9, "{d}");
+        assert!(!d.structure_changed, "a pure rescale is never structural: {d}");
+        // Symmetry: growing reads as far as shrinking.
+        let back = audit::drift(&cur, &base);
+        assert!((back.range_shift - d.range_shift).abs() < 1e-12);
+        assert!((back.floor_shift - d.floor_shift).abs() < 1e-12);
+        // Monotonicity: one more doubling never drifts less.
+        let mut c = a.clone();
+        for v in c.data_mut() {
+            *v *= ((p.abs() + 1) as f64).exp2();
+        }
+        let further = audit::drift(&base, &audit::audit(&c, Precision::F16));
+        assert!(
+            further.magnitude() >= d.magnitude() - 1e-12,
+            "{} < {}",
+            further.magnitude(),
+            d.magnitude()
+        );
+    });
+}
+
 // --- Rescale length-check satellites ------------------------------------
 
 #[test]

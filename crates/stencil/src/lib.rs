@@ -27,7 +27,7 @@
 mod pattern;
 mod tap;
 
-pub use pattern::Pattern;
+pub use pattern::{Pattern, UnknownPattern};
 pub use tap::Tap;
 
 #[cfg(test)]

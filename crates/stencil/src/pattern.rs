@@ -82,6 +82,10 @@ impl Pattern {
         Pattern::new(taps)
     }
 
+    /// The names [`Pattern::by_name`] and [`Pattern::from_name`]
+    /// recognize, in tap-count order.
+    pub const NAMES: [&'static str; 4] = ["3d7", "3d15", "3d19", "3d27"];
+
     /// Looks a named pattern up ("3d7", "3d15", "3d19", "3d27").
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
@@ -91,6 +95,16 @@ impl Pattern {
             "3d27" => Some(Self::p27()),
             _ => None,
         }
+    }
+
+    /// [`Pattern::by_name`] with a typed error that names the valid
+    /// patterns — for call sites that surface the failure to a user
+    /// instead of unwrapping.
+    ///
+    /// # Errors
+    /// [`UnknownPattern`] carrying the rejected name.
+    pub fn from_name(name: &str) -> Result<Self, UnknownPattern> {
+        Self::by_name(name).ok_or_else(|| UnknownPattern { name: name.to_string() })
     }
 
     /// Replicates a scalar pattern over all `r × r` component pairs,
@@ -209,3 +223,20 @@ impl Pattern {
         offsets.len()
     }
 }
+
+/// A pattern name [`Pattern::from_name`] did not recognize. The display
+/// form lists the valid names, so surfacing it verbatim is already a
+/// helpful message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownPattern {
+    /// The rejected name.
+    pub name: String,
+}
+
+impl core::fmt::Display for UnknownPattern {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown pattern {:?}, valid names are {}", self.name, Pattern::NAMES.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownPattern {}

@@ -203,3 +203,17 @@ mod proptests {
         });
     }
 }
+
+#[test]
+fn from_name_reports_the_valid_names() {
+    for n in Pattern::NAMES {
+        assert_eq!(Pattern::from_name(n).unwrap().name(), n);
+    }
+    let err = Pattern::from_name("3d5").unwrap_err();
+    assert_eq!(err.name, "3d5");
+    let msg = err.to_string();
+    assert!(msg.contains("unknown pattern"), "{msg}");
+    for n in Pattern::NAMES {
+        assert!(msg.contains(n), "{msg} must list {n}");
+    }
+}
