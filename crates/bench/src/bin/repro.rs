@@ -5,7 +5,7 @@
 //!                    [--requests N] [--workers N] [--chaos] [--overload] [--out DIR]
 //! experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 fig10 table1 table3
 //!              bf16 shift smooth guard audit serve chaos overload simulate
-//!              bench-json bench-compare all
+//!              torture bench-json bench-compare all
 //! ```
 //!
 //! `serve` fires a batch of mixed clean/fault-injected/panicking solve
@@ -34,6 +34,15 @@
 //! run resumes bit-identically; `--soak` proves it with a real SIGKILL,
 //! and `--chaos` runs the deterministic fault schedule that exercises
 //! every reuse decision and recovery rung.
+//!
+//! `torture` runs the storage-fault crash-point matrix: the simulation
+//! durability stack is replayed on a deterministic fault-injecting
+//! in-memory storage backend, with power loss at every I/O operation
+//! index plus torn-write, failed-fsync, lying-fsync, ENOSPC-burst, and
+//! read-corruption schedules. It exits zero only if every acknowledged
+//! step survived every crash point, corrupt snapshot slots were
+//! quarantined with fallback, every fault class actually fired, and a
+//! deliberately broken write order was detected by the harness itself.
 //!
 //! `bench-json` runs the tier-1 end-to-end matrix and writes machine-
 //! readable `BENCH_<problem>.json` files into `--out` (default `.`);
@@ -201,6 +210,7 @@ fn main() {
         "overload" => overload_cmd(&args),
         "simulate" if args.soak => simulate_soak_cmd(&args),
         "simulate" => simulate_cmd(&args),
+        "torture" => torture_cmd(&args),
         "bench-json" => bench_json_cmd(&args),
         "bench-compare" => bench_compare_cmd(&args),
         "all" => {
@@ -1061,10 +1071,23 @@ fn simulate_cmd(args: &Args) {
             json_dir: Some(std::path::PathBuf::from(&args.out)),
             pace_ms: args.pace_ms,
             ack: true,
+            ..fp16mg_bench::SimConfig::new(kind, args.steps, size, args.tol)
         };
         worst = worst.max(fp16mg_bench::run_sim_cli(cfg));
     }
     std::process::exit(worst);
+}
+
+fn torture_cmd(args: &Args) {
+    header("Torture: storage-fault injection across every crash point of the durability stack");
+    let kind = if args.problem == "all" { ProblemKind::Oil } else { sim_kinds(&args.problem)[0] };
+    let cfg = fp16mg_bench::TortureConfig {
+        kind,
+        steps: if args.steps == 12 { 4 } else { args.steps.clamp(2, 8) },
+        size: if args.size_set { args.size.min(10) } else { 6 },
+        tol: args.tol.max(1e-7),
+    };
+    std::process::exit(fp16mg_bench::run_torture_cli(&cfg));
 }
 
 fn simulate_soak_cmd(args: &Args) {
@@ -1111,8 +1134,14 @@ fn bench_json_cmd(args: &Args) {
             println!("({} problems, combos Full64 + Mix16, size {})", paths.len(), cfg.size);
         }
         Err(e) => {
-            eprintln!("bench-json: cannot write into '{}': {e}", args.out);
-            std::process::exit(1);
+            // The benchmarks themselves succeeded; failing to persist
+            // the JSON (full disk, read-only volume) must not discard
+            // the run as an error.
+            eprintln!(
+                "bench-json: warning: cannot write into '{}': {e} (timings were measured; \
+                 only the JSON emission failed)",
+                args.out
+            );
         }
     }
 }

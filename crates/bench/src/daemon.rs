@@ -36,9 +36,9 @@ use fp16mg_core::MgConfig;
 use fp16mg_krylov::{HealthPolicy, SolveError, SolveOptions};
 use fp16mg_problems::ProblemKind;
 use fp16mg_runtime::{
-    AdmissionConfig, BreakerConfig, CacheConfig, Daemon, DaemonConfig, PoolConfig, Priority,
-    RequestOutcome, RetryPolicy, ServeError, ServePool, ShedPolicy, SolveRequest, SolverChoice,
-    SuperviseConfig,
+    append_durable, AdmissionConfig, BreakerConfig, CacheConfig, Daemon, DaemonConfig, PoolConfig,
+    Priority, RealStorage, RequestOutcome, RetryPolicy, ServeError, ServePool, ShedPolicy,
+    SolveRequest, SolverChoice, Storage, SuperviseConfig,
 };
 
 /// Child-mode configuration (`repro serve --daemon`).
@@ -199,10 +199,10 @@ fn trail_line(seq: u64, o: &RequestOutcome, pool: &ServePool) -> String {
     )
 }
 
-fn append_sync(path: &Path, text: &str) -> std::io::Result<()> {
-    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
-    f.write_all(text.as_bytes())?;
-    f.sync_all()
+/// Appends a batch's trail lines through the storage choke point:
+/// fsynced, ENOSPC-retried, directory-synced when the file is created.
+fn append_trail(storage: &dyn Storage, path: &Path, text: &str) -> Result<(), String> {
+    append_durable(storage, path, text.as_bytes()).map_err(|e| e.to_string())
 }
 
 /// Runs the daemon child to completion (or resumes one). Returns the
@@ -216,10 +216,12 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
         return 1;
     }
     let trail = cfg.snapshot_dir.join(TRAIL_FILE);
+    let storage: std::sync::Arc<dyn Storage> = std::sync::Arc::new(RealStorage);
     let daemon = Daemon::start(DaemonConfig {
         pool: pool_cfg(cfg.workers),
         snapshot_path: Some(cfg.snapshot_dir.join(SNAPSHOT_FILE)),
         checkpoint_each_batch: false,
+        storage: std::sync::Arc::clone(&storage),
     });
     let mut daemon = match daemon {
         Ok(d) => d,
@@ -228,6 +230,9 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
             return 1;
         }
     };
+    for (path, err) in daemon.quarantined_snapshots() {
+        eprintln!("daemon: quarantined snapshot {} ({err})", path.display());
+    }
     if daemon.restored() {
         println!("daemon: resumed seq={}", daemon.seq());
     } else {
@@ -256,7 +261,7 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
         for (off, o) in outcomes.iter().enumerate() {
             lines.push_str(&trail_line(start + off as u64, o, daemon.pool()));
         }
-        if let Err(e) = append_sync(&trail, &lines) {
+        if let Err(e) = append_trail(storage.as_ref(), &trail, &lines) {
             eprintln!("daemon: trail write failed: {e}");
             return 1;
         }

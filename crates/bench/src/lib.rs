@@ -23,6 +23,7 @@ pub mod microbench;
 pub mod serve;
 pub mod simulate;
 pub mod table;
+pub mod torture;
 
 pub use audit::{audit_report, print_audit_table};
 pub use benchjson::{bench_json_emit, BenchJsonConfig};
@@ -38,3 +39,4 @@ pub use simulate::{
     run_sim_cli, run_sim_soak, ReuseDecision, SimConfig, SimDriver, SimReport, SimSoakConfig,
     StepRow,
 };
+pub use torture::{run_matrix, run_torture_cli, TortureConfig, TortureReport};

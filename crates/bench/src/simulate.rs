@@ -31,16 +31,20 @@
 //! stored levels, forced drift spikes, and a poisoned solution vector —
 //! that exercises every decision path and recovery rung.
 
-use std::fs::{self, OpenOptions};
+use std::fs;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fp16mg_core::{GalerkinChain, IntegrityPolicy, Mg, MgConfig, RepairTrigger};
 use fp16mg_fp::Precision;
 use fp16mg_problems::{step_rhs, Evolution, Problem, ProblemKind};
-use fp16mg_runtime::{run_session_with, RetryPolicy, SimCounters, SimSnapshot, SolveRequest};
+use fp16mg_runtime::{
+    append_durable, run_session_with, RealStorage, RetryPolicy, SimCounters, SimSnapshot,
+    SnapshotStore, SolveRequest, Storage,
+};
 use fp16mg_sgdia::audit::{audit, drift, OperatorDrift, RangeAudit};
 use fp16mg_sgdia::SgDia;
 
@@ -133,6 +137,19 @@ pub struct SimConfig {
     /// Print `done step=N` acknowledgements (child mode for the soak
     /// harness).
     pub ack: bool,
+    /// Storage backend every durable byte flows through. The default is
+    /// the real filesystem; the torture harness swaps in a
+    /// fault-injecting backend.
+    pub storage: Arc<dyn Storage>,
+    /// Time the fresh-setup-every-step baseline (the amortization
+    /// evidence). The torture harness turns it off: it re-runs many
+    /// crash cases and only cares about durability, not timings.
+    pub measure_fresh: bool,
+    /// **Testing only.** Deliberately break the durability order by
+    /// appending the trail line *without* fsync before acknowledging.
+    /// Exists so the torture matrix can prove it detects an acked-step
+    /// loss when the write order is wrong.
+    pub break_write_order: bool,
 }
 
 impl SimConfig {
@@ -148,6 +165,9 @@ impl SimConfig {
             json_dir: None,
             pace_ms: 0,
             ack: false,
+            storage: Arc::new(RealStorage),
+            measure_fresh: true,
+            break_write_order: false,
         }
     }
 }
@@ -333,16 +353,61 @@ fn sim_policy() -> RetryPolicy {
     }
 }
 
-fn append_sync(path: &Path, line: &str) -> Result<(), String> {
-    let mut f = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .map_err(|e| format!("trail open {}: {e}", path.display()))?;
-    f.write_all(line.as_bytes()).map_err(|e| format!("trail write: {e}"))?;
-    f.write_all(b"\n").map_err(|e| format!("trail write: {e}"))?;
-    f.sync_all().map_err(|e| format!("trail sync: {e}"))?;
-    Ok(())
+/// Appends one trail line through the storage choke point: write +
+/// fsync with the bounded ENOSPC retry, and a parent-directory fsync
+/// when the append creates the file.
+fn trail_append(storage: &dyn Storage, path: &Path, line: &str) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(line.len() + 1);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    append_durable(storage, path, &bytes).map_err(|e| format!("trail append: {e}"))
+}
+
+/// **Testing only** ([`SimConfig::break_write_order`]): append with no
+/// fsync, violating the trail-before-ack durability order on purpose so
+/// the torture matrix can prove it notices.
+fn trail_append_unsynced(storage: &dyn Storage, path: &Path, line: &str) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(line.len() + 1);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    let mut f = storage.append(path).map_err(|e| format!("trail append: {e}"))?;
+    f.write_all(&bytes).map_err(|e| format!("trail append: {e}"))
+}
+
+/// Scans the trail on resume. A torn (partial) final record — bytes
+/// after the last newline — is truncated away and logged, not a failed
+/// restore: the fsync-before-ack ordering means a torn tail can only
+/// belong to a step that was never acknowledged. Returns the highest
+/// step index holding a durable, parseable line — the upper bound any
+/// resume candidate may claim.
+fn recover_trail(
+    storage: &dyn Storage,
+    path: &Path,
+    events: &mut Vec<String>,
+) -> Result<Option<u64>, String> {
+    if !storage.exists(path) {
+        return Ok(None);
+    }
+    let bytes = storage.read(path).map_err(|e| format!("trail read: {e}"))?;
+    let mut keep = bytes.len();
+    if keep > 0 && bytes[keep - 1] != b'\n' {
+        let cut = bytes.iter().rposition(|&b| b == b'\n').map(|i| i + 1).unwrap_or(0);
+        events.push(format!(
+            "trail: truncated torn final record ({} bytes) in {}",
+            keep - cut,
+            path.display()
+        ));
+        keep = cut;
+        storage.truncate(path, keep as u64).map_err(|e| format!("trail truncate: {e}"))?;
+    }
+    let mut last = None;
+    for line in String::from_utf8_lossy(&bytes[..keep]).lines() {
+        match step_of(line) {
+            Some(s) => last = Some(last.map_or(s, |l: u64| l.max(s))),
+            None => events.push(format!("trail: unparseable line ignored: {line}")),
+        }
+    }
+    Ok(last)
 }
 
 /// The time-stepping driver: owns the trajectory, the cached Galerkin
@@ -369,12 +434,23 @@ pub struct SimDriver {
     resumed: bool,
     reuse_setup_s: f64,
     fresh_setup_s: f64,
+    recovery_events: Vec<String>,
 }
 
 impl SimDriver {
-    /// Builds a driver, resuming from the snapshot in
-    /// `cfg.snapshot_dir` when one exists (and matches the requested
-    /// run), or starting cold.
+    /// Builds a driver, resuming from the newest snapshot generation in
+    /// `cfg.snapshot_dir` that is *covered by the durable trail* (and
+    /// matches the requested run), or starting cold.
+    ///
+    /// Recovery is fault-tolerant by construction: a torn final trail
+    /// record is truncated (satisfying nothing was acked past it), a
+    /// corrupt or torn snapshot slot is quarantined with fallback to
+    /// the previous good generation, and a snapshot claiming a step
+    /// the durable trail never recorded (a lying fsync) is ignored.
+    /// Every such event is logged in [`SimDriver::recovery_events`].
+    /// When no eligible generation remains, the run restarts cold —
+    /// safe because the trajectory is a pure function of the step
+    /// index, so replayed trail lines are bit-identical duplicates.
     pub fn new(cfg: SimConfig) -> Result<SimDriver, String> {
         let mut mg_cfg = MgConfig::d16();
         mg_cfg.integrity = IntegrityPolicy::armed(0);
@@ -396,18 +472,69 @@ impl SimDriver {
             resumed: false,
             reuse_setup_s: 0.0,
             fresh_setup_s: 0.0,
+            recovery_events: Vec::new(),
             cfg,
         };
-        let snap_path =
-            driver.cfg.snapshot_dir.as_ref().map(|d| sim_snapshot_path(d, driver.cfg.kind));
-        if let Some(path) = snap_path {
-            if path.exists() {
-                let snap = SimSnapshot::read(&path)
-                    .map_err(|e| format!("snapshot {} unreadable: {e}", path.display()))?;
-                driver.restore(snap)?;
+        if let Some(dir) = driver.cfg.snapshot_dir.clone() {
+            let storage = Arc::clone(&driver.cfg.storage);
+            storage
+                .create_dir_all(&dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let mut events = Vec::new();
+            let trail_last = recover_trail(
+                storage.as_ref(),
+                &sim_trail_path(&dir, driver.cfg.kind),
+                &mut events,
+            )?;
+            let store = SnapshotStore::new(sim_snapshot_path(&dir, driver.cfg.kind));
+            let recovery = store
+                .recover(storage.as_ref(), &SimSnapshot::decode)
+                .map_err(|e| format!("snapshot recovery: {e}"))?;
+            for (path, err) in &recovery.quarantined {
+                events.push(format!("snapshot: quarantined {} ({err})", path.display()));
             }
+            let mut best: Option<SimSnapshot> = None;
+            for (path, snap) in recovery.candidates {
+                // The trail line for step N is fsynced before snapshot
+                // N is published, so a snapshot past the durable trail
+                // means an fsync lied; trusting it would resume past
+                // steps whose evidence is gone.
+                if trail_last.is_none_or(|last| snap.step > last) {
+                    events.push(format!(
+                        "snapshot: {} claims step {} beyond the durable trail ({}); ignored",
+                        path.display(),
+                        snap.step,
+                        trail_last.map_or("empty".to_string(), |l| format!("last step {l}")),
+                    ));
+                    continue;
+                }
+                if best.as_ref().is_none_or(|b| snap.step > b.step) {
+                    best = Some(snap);
+                }
+            }
+            match best {
+                Some(snap) => driver.restore(snap)?,
+                None => {
+                    if trail_last.is_some() || !events.is_empty() {
+                        events.push(
+                            "recovery: no eligible snapshot generation; cold start (replayed \
+                             trail lines are bit-identical duplicates)"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            driver.recovery_events = events;
         }
         Ok(driver)
+    }
+
+    /// What recovery observed while this driver was built: torn-trail
+    /// truncation, quarantined snapshot slots, ignored generations,
+    /// cold-start fallback. Empty on a clean cold start or clean
+    /// resume.
+    pub fn recovery_events(&self) -> &[String] {
+        &self.recovery_events
     }
 
     /// Rebuilds in-memory state from a snapshot: the chain and baseline
@@ -582,10 +709,15 @@ impl SimDriver {
 
         // What a fresh-setup-every-step baseline would pay (timed and
         // discarded; the amortization evidence in the report).
-        let t_fresh = Instant::now();
-        let fresh = Mg::<f32>::setup(&a, &self.mg_cfg);
-        let fresh_setup_s = t_fresh.elapsed().as_secs_f64();
-        drop(fresh);
+        let fresh_setup_s = if self.cfg.measure_fresh {
+            let t_fresh = Instant::now();
+            let fresh = Mg::<f32>::setup(&a, &self.mg_cfg);
+            let s = t_fresh.elapsed().as_secs_f64();
+            drop(fresh);
+            s
+        } else {
+            0.0
+        };
 
         let now_audit = audit(&a, Precision::F16);
         let (want, drift_mag, structural) = match &self.baseline {
@@ -660,7 +792,11 @@ impl SimDriver {
             // Unrecovered: record the failed step in the trail, then
             // surface the error (the CLI exits nonzero).
             if let Some(dir) = &self.cfg.snapshot_dir {
-                append_sync(&sim_trail_path(dir, self.cfg.kind), &row.trail_line())?;
+                trail_append(
+                    self.cfg.storage.as_ref(),
+                    &sim_trail_path(dir, self.cfg.kind),
+                    &row.trail_line(),
+                )?;
             }
             let err = format!("step {} unrecovered after rollback: {}", step, row.outcome);
             self.rows.push(row);
@@ -676,11 +812,17 @@ impl SimDriver {
         self.work_x = x;
         self.last_resid = resid;
 
-        // Durability order: trail line, then snapshot, then the ack.
-        // A kill between any two leaves a resumable prefix; duplicate
+        // Durability order: trail line (fsynced), then snapshot
+        // (published into the A/B generation slot), then the ack. A
+        // kill between any two leaves a resumable prefix; duplicate
         // trail lines after a resume are bit-identical by construction.
         if let Some(dir) = &self.cfg.snapshot_dir {
-            append_sync(&sim_trail_path(dir, self.cfg.kind), &row.trail_line())?;
+            let trail = sim_trail_path(dir, self.cfg.kind);
+            if self.cfg.break_write_order {
+                trail_append_unsynced(self.cfg.storage.as_ref(), &trail, &row.trail_line())?;
+            } else {
+                trail_append(self.cfg.storage.as_ref(), &trail, &row.trail_line())?;
+            }
             let snap = SimSnapshot {
                 problem: self.cfg.kind.name().to_string(),
                 size: self.cfg.size,
@@ -694,8 +836,12 @@ impl SimDriver {
                 counters: self.counters,
                 x: self.work_x.clone(),
             };
-            snap.write(&sim_snapshot_path(dir, self.cfg.kind))
-                .map_err(|e| format!("snapshot write: {e}"))?;
+            // The publication generation is the step index: even steps
+            // land in slot A, odd in slot B, so the slot being
+            // overwritten always holds the older retained generation.
+            SnapshotStore::new(sim_snapshot_path(dir, self.cfg.kind))
+                .publish(self.cfg.storage.as_ref(), step, &snap.encode())
+                .map_err(|e| format!("snapshot publish: {e}"))?;
         }
         self.good_x = self.work_x.clone();
         if self.cfg.ack {
@@ -849,6 +995,9 @@ pub fn run_sim_cli(cfg: SimConfig) -> i32 {
             return 2;
         }
     };
+    for event in driver.recovery_events() {
+        eprintln!("sim[{name}]: recovery: {event}");
+    }
     let report = match driver.run() {
         Ok(r) => r,
         Err(e) => {
@@ -858,17 +1007,21 @@ pub fn run_sim_cli(cfg: SimConfig) -> i32 {
     };
     println!("\n=== simulate {} ({} steps, size {}) ===", name, cfg.steps, cfg.size);
     print!("{}", render_sim_table(&report));
+    // A failed JSON emission after a successful run is a warning, not
+    // an error: the run's results are already on stdout and in the
+    // durable trail, and discarding them over a full disk would turn a
+    // reporting hiccup into a spurious failure.
     if let Some(dir) = &cfg.json_dir {
-        if let Err(e) = fs::create_dir_all(dir) {
-            eprintln!("sim[{name}]: cannot create {}: {e}", dir.display());
-            return 2;
-        }
         let path = dir.join(format!("BENCH_sim_{}.json", sanitize_name(name)));
-        if let Err(e) = fs::write(&path, sim_json(&report, &cfg)) {
-            eprintln!("sim[{name}]: cannot write {}: {e}", path.display());
-            return 2;
+        match fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))
+            .and_then(|()| {
+                fs::write(&path, sim_json(&report, &cfg))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))
+            }) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("sim[{name}]: warning: {e} (run results above are complete)"),
         }
-        println!("wrote {}", path.display());
     }
     if cfg.chaos {
         let violations = report.coverage_violations();

@@ -5,6 +5,7 @@
 //! bench crate hosts these because the chaos paths need `fault-inject`.
 
 use std::fs;
+use std::io::Write;
 use std::path::PathBuf;
 
 use fp16mg_bench::simulate::{sim_trail_path, SimConfig, SimDriver};
@@ -118,5 +119,44 @@ fn snapshot_from_a_different_run_is_refused() {
     chaotic.chaos = true;
     let err = SimDriver::new(chaotic).err().expect("chaos mismatch must refuse to resume");
     assert!(err.contains("does not match"), "unexpected error: {err}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_final_trail_record_is_truncated_and_logged_on_resume() {
+    let kind = ProblemKind::Oil;
+    let dir = scratch("torn");
+    let mut cfg = SimConfig::new(kind, 5, 6, 1e-9);
+    cfg.snapshot_dir = Some(dir.clone());
+    let mut driver = SimDriver::new(cfg.clone()).unwrap();
+    driver.step_once().unwrap();
+    driver.step_once().unwrap();
+    drop(driver);
+
+    // Simulate a torn append: half of a record lands with no newline.
+    let trail = sim_trail_path(&dir, kind);
+    let intact = fs::read_to_string(&trail).unwrap();
+    fs::OpenOptions::new()
+        .append(true)
+        .open(&trail)
+        .unwrap()
+        .write_all(b"step=2 decision=keep drift=00")
+        .unwrap();
+
+    // Resume: the torn tail is truncated and logged, not a failed
+    // restore, and the run completes with a clean trail.
+    let mut second = SimDriver::new(cfg).unwrap();
+    assert!(
+        second.recovery_events().iter().any(|e| e.contains("torn final record")),
+        "truncation must be logged, got {:?}",
+        second.recovery_events()
+    );
+    assert!(second.resumed());
+    assert_eq!(second.next_step(), 2, "resume from the last durable step");
+    assert_eq!(fs::read_to_string(&trail).unwrap(), intact, "torn bytes must be gone");
+    second.run().unwrap();
+    let final_trail = fs::read_to_string(&trail).unwrap();
+    assert!(final_trail.ends_with('\n'));
+    assert_eq!(final_trail.lines().count(), 5);
     fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,34 @@
+//! Storage-fault torture matrix acceptance: the full crash-point sweep
+//! over a short trajectory must pass — every acked step survives every
+//! power-loss point, corrupt snapshot slots are quarantined with
+//! fallback, the bounded ENOSPC retry absorbs a burst, every fault
+//! class fires, and the harness proves it would catch a broken write
+//! order. Everything runs on the in-memory fault backend: no real I/O.
+
+use fp16mg_bench::torture::{run_matrix, TortureConfig};
+use fp16mg_problems::ProblemKind;
+
+#[test]
+fn crash_point_matrix_holds_every_durability_invariant() {
+    let cfg = TortureConfig { kind: ProblemKind::Oil, steps: 3, size: 6, tol: 1e-7 };
+    let report = run_matrix(&cfg);
+    assert_eq!(report.violations, Vec::<String>::new());
+    assert!(report.breakage_detected, "phase G must detect the broken write order");
+    assert!(report.passed(), "fired: {:?}", report.fired);
+    assert!(report.cases > 50, "matrix unexpectedly small: {} cases", report.cases);
+    assert!(report.restarts > 0, "no case ever simulated a restart");
+    for class in [
+        "crash@rename",
+        "torn-write",
+        "fsync-fail",
+        "silent-fsync-loss",
+        "enospc",
+        "read-corruption",
+    ] {
+        assert!(
+            report.fired.get(class).copied().unwrap_or(0) > 0,
+            "fault class {class} never fired: {:?}",
+            report.fired
+        );
+    }
+}

@@ -46,6 +46,7 @@ pub mod pool;
 pub mod ring;
 pub mod shed;
 pub mod snapshot;
+pub mod storage;
 pub mod supervise;
 
 pub use admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Priority};
@@ -68,7 +69,14 @@ pub use pool::{
 };
 pub use ring::Ring;
 pub use shed::{estimate_pressure, DegradeEvent, DegradeProfile, PressureSignal, ShedPolicy};
-pub use snapshot::{DaemonSnapshot, SimCounters, SimSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{
+    DaemonSnapshot, Recovery, SimCounters, SimSnapshot, SnapshotError, SnapshotStore,
+    SNAPSHOT_VERSION,
+};
+pub use storage::{
+    append_durable, Fault, FaultStorage, OpKind, OpRecord, RealStorage, Storage, StorageError,
+    StorageFile, ENOSPC_RETRIES,
+};
 pub use supervise::{
     Daemon, DaemonConfig, DrainReport, Quarantine, SuperviseConfig, WorkerEvent, WorkerEventKind,
 };

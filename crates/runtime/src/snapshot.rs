@@ -21,15 +21,27 @@
 //!   it; a torn or corrupted file fails with a typed
 //!   [`SnapshotError`] instead of restoring garbage;
 //! * writes go to a temp file in the same directory followed by an
-//!   atomic rename, so the published path always holds either the old
-//!   snapshot or the new one, never a tear.
+//!   atomic rename **and a parent-directory fsync** — without the
+//!   directory sync the rename itself is not durable across power
+//!   loss — so the published path always holds either the old snapshot
+//!   or the new one, never a tear;
+//! * publication rotates between two generation slots (see
+//!   [`SnapshotStore`]): a crash while publishing generation *n* can at
+//!   worst tear the slot holding generation *n − 2*, never the newest
+//!   good snapshot, and recovery quarantines undecodable slots and
+//!   falls back to the previous good generation.
+//!
+//! Every byte flows through the [`Storage`](crate::storage::Storage)
+//! choke point, so the whole path is exercised under deterministic
+//! fault injection (`repro torture`).
 
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use fp16mg_fp::Fnv1a;
+
+use crate::storage::{RealStorage, Storage, StorageError, ENOSPC_RETRIES};
 
 use crate::breaker::{BreakerExport, BreakerState};
 use crate::cache::{CacheEntryMeta, CacheKey, CacheStats};
@@ -266,28 +278,56 @@ fn frame_body<'a>(text: &'a str, magic: &str) -> Result<&'a str, SnapshotError> 
     Ok(body)
 }
 
-/// Writes snapshot text atomically: temp file in the target's
-/// directory, flush, sync, then rename over the final path.
-fn write_atomic(path: &Path, text: &str) -> Result<(), SnapshotError> {
-    let io = |op: &'static str| {
-        move |e: std::io::Error| SnapshotError::Io { op, message: e.to_string() }
-    };
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            fs::create_dir_all(dir).map_err(io("create-dir"))?;
-        }
+/// Maps a [`StorageError`] into the snapshot error space, preserving
+/// the failing operation.
+fn storage_io(err: StorageError) -> SnapshotError {
+    SnapshotError::Io { op: err.op(), message: err.to_string() }
+}
+
+/// Writes snapshot text atomically through a [`Storage`] backend: temp
+/// file in the target's directory, write, fsync, rename over the final
+/// path, then **fsync the parent directory** so the rename survives
+/// power loss. A transient out-of-space failure anywhere in the
+/// sequence rewinds (removing the temp file) and retries the whole
+/// publication up to [`ENOSPC_RETRIES`] times.
+fn write_atomic_with(storage: &dyn Storage, path: &Path, text: &str) -> Result<(), SnapshotError> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        storage.create_dir_all(dir).map_err(storage_io)?;
     }
     let mut tmp = path.to_path_buf();
     let mut name = tmp.file_name().map(|n| n.to_os_string()).unwrap_or_default();
     name.push(".tmp");
     tmp.set_file_name(name);
-    {
-        let mut file = fs::File::create(&tmp).map_err(io("create"))?;
-        file.write_all(text.as_bytes()).map_err(io("write"))?;
-        file.sync_all().map_err(io("sync"))?;
+    let mut attempt = 0u32;
+    loop {
+        let result: Result<(), StorageError> = (|| {
+            let mut file = storage.create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.fsync()?;
+            drop(file);
+            storage.rename(&tmp, path)?;
+            if let Some(dir) = dir {
+                storage.sync_dir(dir)?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => return Ok(()),
+            Err(err) if err.is_no_space() && attempt < ENOSPC_RETRIES => {
+                attempt += 1;
+                if storage.exists(&tmp) {
+                    let _ = storage.remove(&tmp);
+                }
+            }
+            Err(err) => return Err(storage_io(err)),
+        }
     }
-    fs::rename(&tmp, path).map_err(io("rename"))?;
-    Ok(())
+}
+
+/// [`write_atomic_with`] on the production backend.
+fn write_atomic(path: &Path, text: &str) -> Result<(), SnapshotError> {
+    write_atomic_with(&RealStorage, path, text)
 }
 
 // ---------------------------------------------------------------------
@@ -536,6 +576,15 @@ impl DaemonSnapshot {
         write_atomic(path, &self.encode())
     }
 
+    /// [`DaemonSnapshot::write`] through an explicit [`Storage`]
+    /// backend.
+    ///
+    /// # Errors
+    /// Typed I/O failures per operation.
+    pub fn write_with(&self, storage: &dyn Storage, path: &Path) -> Result<(), SnapshotError> {
+        write_atomic_with(storage, path, &self.encode())
+    }
+
     /// Reads and verifies a snapshot file.
     ///
     /// # Errors
@@ -545,6 +594,17 @@ impl DaemonSnapshot {
         let text = fs::read_to_string(path)
             .map_err(|e| SnapshotError::Io { op: "read", message: e.to_string() })?;
         Self::decode(&text)
+    }
+
+    /// [`DaemonSnapshot::read`] through an explicit [`Storage`]
+    /// backend.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] when the file cannot be read, otherwise
+    /// whatever [`DaemonSnapshot::decode`] finds.
+    pub fn read_with(storage: &dyn Storage, path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = storage.read(path).map_err(storage_io)?;
+        Self::decode(&String::from_utf8_lossy(&bytes))
     }
 }
 
@@ -731,6 +791,14 @@ impl SimSnapshot {
         write_atomic(path, &self.encode())
     }
 
+    /// [`SimSnapshot::write`] through an explicit [`Storage`] backend.
+    ///
+    /// # Errors
+    /// Typed I/O failures per operation.
+    pub fn write_with(&self, storage: &dyn Storage, path: &Path) -> Result<(), SnapshotError> {
+        write_atomic_with(storage, path, &self.encode())
+    }
+
     /// Reads and verifies a simulation snapshot file.
     ///
     /// # Errors
@@ -740,5 +808,137 @@ impl SimSnapshot {
         let text = fs::read_to_string(path)
             .map_err(|e| SnapshotError::Io { op: "read", message: e.to_string() })?;
         Self::decode(&text)
+    }
+
+    /// [`SimSnapshot::read`] through an explicit [`Storage`] backend.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] when the file cannot be read, otherwise
+    /// whatever [`SimSnapshot::decode`] finds.
+    pub fn read_with(storage: &dyn Storage, path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = storage.read(path).map_err(storage_io)?;
+        Self::decode(&String::from_utf8_lossy(&bytes))
+    }
+}
+
+// ---------------------------------------------------------------------
+// A/B generation rotation
+
+/// A/B-rotated snapshot publication and recovery.
+///
+/// A single snapshot file is a durability hazard: a torn write while
+/// republishing destroys the only copy. The store rotates publications
+/// between two sibling slots (`<base>.a` for even generations,
+/// `<base>.b` for odd), so the slot being overwritten always holds the
+/// *oldest* of the two retained generations — a crash mid-publish can
+/// never touch the newest good snapshot. The bare `<base>` path is
+/// honoured read-only as the legacy single-file layout.
+///
+/// Recovery scans all three paths, quarantines every present-but-
+/// undecodable file (renaming it to `<path>.quarantine` and fsyncing
+/// the directory, so the evidence survives without ever being mistaken
+/// for a live snapshot again), and hands the decodable candidates to
+/// the caller, who picks by its own ordering (daemon `seq`, simulation
+/// `step`).
+#[derive(Clone, Debug)]
+pub struct SnapshotStore {
+    base: PathBuf,
+}
+
+/// What [`SnapshotStore::recover`] found on disk.
+#[derive(Debug)]
+pub struct Recovery<T> {
+    /// Every slot that decoded cleanly, with the path it came from.
+    pub candidates: Vec<(PathBuf, T)>,
+    /// Every present-but-undecodable slot, with the decode error. The
+    /// files were renamed to `<path>.quarantine`.
+    pub quarantined: Vec<(PathBuf, SnapshotError)>,
+}
+
+impl SnapshotStore {
+    /// A store rooted at `base` (the legacy single-file path; the
+    /// rotation slots are derived siblings).
+    pub fn new(base: impl Into<PathBuf>) -> Self {
+        SnapshotStore { base: base.into() }
+    }
+
+    /// The legacy single-file path (read-only candidate).
+    pub fn legacy(&self) -> &Path {
+        &self.base
+    }
+
+    /// The slot a given publication generation lands in.
+    pub fn slot_for(&self, generation: u64) -> PathBuf {
+        self.slot(if generation.is_multiple_of(2) { "a" } else { "b" })
+    }
+
+    fn slot(&self, tag: &str) -> PathBuf {
+        let mut p = self.base.clone();
+        let mut name = p.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".");
+        name.push(tag);
+        p.set_file_name(name);
+        p
+    }
+
+    /// Publishes snapshot text into the slot for `generation` (atomic
+    /// write + rename + directory fsync) and returns the slot path.
+    ///
+    /// # Errors
+    /// Typed I/O failures per operation.
+    pub fn publish(
+        &self,
+        storage: &dyn Storage,
+        generation: u64,
+        text: &str,
+    ) -> Result<PathBuf, SnapshotError> {
+        let slot = self.slot_for(generation);
+        write_atomic_with(storage, &slot, text)?;
+        Ok(slot)
+    }
+
+    /// Scans legacy + both slots, decoding each present file with
+    /// `decode`. Undecodable files are quarantined (renamed to
+    /// `<path>.quarantine`, directory fsynced) and reported; decodable
+    /// ones are returned for the caller to rank.
+    ///
+    /// # Errors
+    /// Only a failing *read* operation (not a failing decode) aborts
+    /// recovery — decode failures are the condition the store exists
+    /// to survive.
+    pub fn recover<T>(
+        &self,
+        storage: &dyn Storage,
+        decode: &dyn Fn(&str) -> Result<T, SnapshotError>,
+    ) -> Result<Recovery<T>, SnapshotError> {
+        let mut out = Recovery { candidates: Vec::new(), quarantined: Vec::new() };
+        for path in [self.base.clone(), self.slot("a"), self.slot("b")] {
+            if !storage.exists(&path) {
+                continue;
+            }
+            let bytes = storage.read(&path).map_err(storage_io)?;
+            match decode(&String::from_utf8_lossy(&bytes)) {
+                Ok(value) => out.candidates.push((path, value)),
+                Err(err) => {
+                    Self::quarantine(storage, &path);
+                    out.quarantined.push((path, err));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Best-effort quarantine: move the corrupt file aside so it is
+    /// never read as a snapshot again, keeping it for post-mortems.
+    fn quarantine(storage: &dyn Storage, path: &Path) {
+        let mut target = path.to_path_buf();
+        let mut name = target.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".quarantine");
+        target.set_file_name(name);
+        if storage.rename(path, &target).is_ok() {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                let _ = storage.sync_dir(dir);
+            }
+        }
     }
 }

@@ -32,11 +32,13 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::ladder::SolveRequest;
 use crate::pool::{PoolConfig, RequestOutcome, ServeCounters, ServePool};
-use crate::snapshot::{DaemonSnapshot, SnapshotError};
+use crate::snapshot::{DaemonSnapshot, SnapshotError, SnapshotStore};
+use crate::storage::{RealStorage, Storage};
 
 /// Supervisor tuning.
 #[derive(Clone, Debug)]
@@ -180,6 +182,9 @@ pub struct DaemonConfig {
     /// file) *before* the checkpoint, then calls
     /// [`Daemon::checkpoint`] explicitly.
     pub checkpoint_each_batch: bool,
+    /// Storage backend every durable byte flows through. The default is
+    /// the real filesystem; tests swap in a fault-injecting backend.
+    pub storage: Arc<dyn Storage>,
 }
 
 impl Default for DaemonConfig {
@@ -188,6 +193,7 @@ impl Default for DaemonConfig {
             pool: PoolConfig::default(),
             snapshot_path: None,
             checkpoint_each_batch: true,
+            storage: Arc::new(RealStorage),
         }
     }
 }
@@ -213,30 +219,60 @@ pub struct Daemon {
     cfg: DaemonConfig,
     seq: u64,
     restored: bool,
+    /// Next publication generation for the A/B snapshot rotation.
+    generation: u64,
+    /// Quarantined snapshot slots observed during recovery.
+    quarantined: Vec<(PathBuf, SnapshotError)>,
 }
 
 impl Daemon {
-    /// Starts the daemon, warm from the snapshot at
-    /// [`DaemonConfig::snapshot_path`] when one exists (a missing file
-    /// is a cold start, not an error).
+    /// Starts the daemon, warm from the newest good snapshot generation
+    /// at [`DaemonConfig::snapshot_path`] when one exists (no snapshot
+    /// anywhere is a cold start, not an error).
+    ///
+    /// Recovery scans the A/B rotation slots plus the legacy
+    /// single-file path. A torn or corrupt slot is quarantined (moved
+    /// to `<slot>.quarantine`) and recovery falls back to the previous
+    /// good generation; the quarantine evidence is reported by
+    /// [`Daemon::quarantined_snapshots`].
     ///
     /// # Errors
-    /// A present-but-unreadable snapshot (torn write, checksum
-    /// mismatch, unsupported version) is a typed [`SnapshotError`] —
+    /// When snapshots are present but *none* decodes, the daemon
+    /// refuses to start with the last slot's typed [`SnapshotError`] —
+    /// silently cold-starting would re-serve acknowledged work, and
     /// refusing to guess is the crash-safety contract.
     pub fn start(cfg: DaemonConfig) -> Result<Self, SnapshotError> {
         let mut pool = ServePool::new(cfg.pool.clone());
         let mut seq = 0;
         let mut restored = false;
+        let mut generation = 0;
+        let mut quarantined = Vec::new();
         if let Some(path) = &cfg.snapshot_path {
-            if path.exists() {
-                let snap = DaemonSnapshot::read(path)?;
-                pool.restore_state(&snap.state);
-                seq = snap.seq;
-                restored = true;
+            let store = SnapshotStore::new(path.clone());
+            let recovery = store.recover(cfg.storage.as_ref(), &DaemonSnapshot::decode)?;
+            quarantined = recovery.quarantined;
+            let best = recovery
+                .candidates
+                .into_iter()
+                .max_by_key(|(_, snap)| snap.seq)
+                .map(|(from, snap)| (store.slot_for(0) == from, snap));
+            match best {
+                Some((from_slot_a, snap)) => {
+                    pool.restore_state(&snap.state);
+                    seq = snap.seq;
+                    restored = true;
+                    // Publish into the *other* slot next, so the newest
+                    // good generation is never the one overwritten.
+                    generation = if from_slot_a { 1 } else { 0 };
+                }
+                None => {
+                    if let Some((_, err)) = quarantined.last() {
+                        return Err(err.clone());
+                    }
+                }
             }
         }
-        Ok(Daemon { pool, cfg, seq, restored })
+        Ok(Daemon { pool, cfg, seq, restored, generation, quarantined })
     }
 
     /// True when this daemon restored state from a snapshot.
@@ -274,15 +310,25 @@ impl Daemon {
         Ok(outcomes)
     }
 
-    /// Writes a snapshot now. Returns `false` when no snapshot path is
-    /// configured.
+    /// Snapshot slots that were present but undecodable at start and
+    /// were quarantined (renamed to `<slot>.quarantine`).
+    pub fn quarantined_snapshots(&self) -> &[(PathBuf, SnapshotError)] {
+        &self.quarantined
+    }
+
+    /// Writes a snapshot now, rotating between the A/B generation
+    /// slots so a torn checkpoint can only ever destroy the *older* of
+    /// the two retained generations. Returns `false` when no snapshot
+    /// path is configured.
     ///
     /// # Errors
     /// Propagates snapshot I/O failures.
-    pub fn checkpoint(&self) -> Result<bool, SnapshotError> {
+    pub fn checkpoint(&mut self) -> Result<bool, SnapshotError> {
         let Some(path) = &self.cfg.snapshot_path else { return Ok(false) };
+        let store = SnapshotStore::new(path.clone());
         let snap = DaemonSnapshot { seq: self.seq, state: self.pool.export_state() };
-        snap.write(path)?;
+        store.publish(self.cfg.storage.as_ref(), self.generation, &snap.encode())?;
+        self.generation += 1;
         Ok(true)
     }
 
@@ -293,7 +339,7 @@ impl Daemon {
     ///
     /// # Errors
     /// Propagates the final checkpoint's I/O failure.
-    pub fn drain(self) -> Result<DrainReport, SnapshotError> {
+    pub fn drain(mut self) -> Result<DrainReport, SnapshotError> {
         let checkpointed = self.checkpoint()?;
         Ok(DrainReport { seq: self.seq, counters: self.pool.counters(), checkpointed })
     }

@@ -1573,7 +1573,7 @@ mod daemon {
         let cfg = || DaemonConfig {
             pool: PoolConfig::daemon(2),
             snapshot_path: Some(path.clone()),
-            checkpoint_each_batch: true,
+            ..DaemonConfig::default()
         };
 
         // Run one batch (trips the poison breaker), checkpoint, "crash".
@@ -1633,5 +1633,316 @@ mod daemon {
             out[0].result
         );
         assert_eq!(pool.counters().rejected_quarantined, 1);
+    }
+}
+
+mod storage_faults {
+    use std::path::{Path, PathBuf};
+
+    use crate::snapshot::{SimCounters, SimSnapshot, SnapshotStore};
+    use crate::storage::{append_durable, Fault, FaultStorage, Storage};
+    use fp16mg_testkit::check_n;
+
+    fn write_file(s: &FaultStorage, path: &Path, bytes: &[u8], fsync: bool) {
+        let mut f = s.create(path).unwrap();
+        f.write_all(bytes).unwrap();
+        if fsync {
+            f.fsync().unwrap();
+        }
+    }
+
+    fn p(name: &str) -> PathBuf {
+        PathBuf::from("/t").join(name)
+    }
+
+    #[test]
+    fn power_loss_drops_dirty_pages_and_unsynced_entries() {
+        // Written + fsynced, but the directory entry was never synced:
+        // the *entry* is volatile, so the file vanishes entirely.
+        let s = FaultStorage::new();
+        write_file(&s, &p("entry-unsynced"), b"hello", true);
+        s.power_loss();
+        assert!(s.peek(&p("entry-unsynced")).is_none(), "unsynced entry must not survive");
+
+        // Written + fsynced + entry synced: fully durable. Bytes
+        // appended after the sync are dirty pages only.
+        let s = FaultStorage::new();
+        write_file(&s, &p("durable"), b"hello", true);
+        s.sync_dir(Path::new("/t")).unwrap();
+        let mut f = s.append(&p("durable")).unwrap();
+        f.write_all(b" world").unwrap();
+        drop(f);
+        assert_eq!(s.peek(&p("durable")).unwrap(), b"hello world");
+        s.power_loss();
+        assert_eq!(s.peek(&p("durable")).unwrap(), b"hello", "dirty pages must be dropped");
+    }
+
+    #[test]
+    fn rename_reverts_without_a_directory_sync() {
+        let s = FaultStorage::new();
+        write_file(&s, &p("x.tmp"), b"v1", true);
+        s.sync_dir(Path::new("/t")).unwrap();
+        s.rename(&p("x.tmp"), &p("x")).unwrap();
+        assert!(s.exists(&p("x")) && !s.exists(&p("x.tmp")));
+
+        // No sync_dir after the rename: the crash rolls it back.
+        s.power_loss();
+        assert!(s.exists(&p("x.tmp")) && !s.exists(&p("x")), "rename must revert");
+
+        // With the directory sync the rename survives.
+        s.rename(&p("x.tmp"), &p("x")).unwrap();
+        s.sync_dir(Path::new("/t")).unwrap();
+        s.power_loss();
+        assert!(s.exists(&p("x")) && !s.exists(&p("x.tmp")));
+        assert_eq!(s.peek(&p("x")).unwrap(), b"v1");
+    }
+
+    #[test]
+    fn torn_write_lands_half_and_takes_the_storage_down() {
+        let s = FaultStorage::new();
+        write_file(&s, &p("log"), b"", true);
+        s.sync_dir(Path::new("/t")).unwrap();
+        let mut f = s.append(&p("log")).unwrap();
+        s.schedule(s.op_count(), Fault::TornWrite);
+        assert!(f.write_all(b"abcdefgh").is_err(), "torn write must error");
+        assert!(s.crashed(), "torn write must take the storage down");
+        // Every subsequent counting op fails until power_loss.
+        assert!(s.read(&p("log")).is_err());
+        s.power_loss();
+        assert_eq!(s.peek(&p("log")).unwrap(), b"abcd", "half the buffer must be durable");
+        assert_eq!(s.fired()["torn-write"], 1);
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_dirty_pages() {
+        let s = FaultStorage::new();
+        write_file(&s, &p("f"), b"base", true);
+        s.sync_dir(Path::new("/t")).unwrap();
+        let mut f = s.append(&p("f")).unwrap();
+        f.write_all(b"+dirty").unwrap();
+        s.schedule(s.op_count(), Fault::FsyncFail);
+        assert!(f.fsync().is_err());
+        // Post-failure the cache cannot be trusted: the dirty pages are
+        // gone even from the *live* view (no retry-fsync-to-success).
+        assert_eq!(s.peek(&p("f")).unwrap(), b"base");
+        assert!(!s.crashed(), "a failed fsync is an error, not a crash");
+    }
+
+    #[test]
+    fn silent_fsync_loss_reports_success_and_persists_nothing() {
+        let s = FaultStorage::new();
+        write_file(&s, &p("f"), b"base", true);
+        s.sync_dir(Path::new("/t")).unwrap();
+        let mut f = s.append(&p("f")).unwrap();
+        f.write_all(b"+more").unwrap();
+        s.schedule(s.op_count(), Fault::SilentFsyncLoss);
+        f.fsync().unwrap(); // lies
+        assert_eq!(s.peek(&p("f")).unwrap(), b"base+more", "live view keeps the bytes");
+        s.power_loss();
+        assert_eq!(s.peek(&p("f")).unwrap(), b"base", "the lying fsync persisted nothing");
+        assert_eq!(s.fired()["silent-fsync-loss"], 1);
+    }
+
+    #[test]
+    fn corrupt_read_is_transient_media_stays_intact() {
+        let s = FaultStorage::new();
+        write_file(&s, &p("f"), b"payload", true);
+        s.schedule(s.op_count(), Fault::CorruptRead { bit: 1 });
+        let corrupt = s.read(&p("f")).unwrap();
+        assert_ne!(corrupt, b"payload", "the faulted read must be corrupted");
+        assert_eq!(s.read(&p("f")).unwrap(), b"payload", "the next read is clean");
+        assert_eq!(s.fired()["read-corruption"], 1);
+    }
+
+    #[test]
+    fn append_durable_survives_a_bounded_enospc_burst_and_reports_a_long_one() {
+        // A burst of 2 failures is absorbed by the bounded retry and
+        // leaves exactly one copy of the record.
+        let s = FaultStorage::new();
+        append_durable(&s, &p("log"), b"one\n").unwrap();
+        s.schedule(s.op_count() + 1, Fault::NoSpace { count: 2 });
+        append_durable(&s, &p("log"), b"two\n").unwrap();
+        assert_eq!(s.peek(&p("log")).unwrap(), b"one\ntwo\n");
+        assert_eq!(s.fired()["enospc"], 2);
+        s.power_loss();
+        assert_eq!(s.peek(&p("log")).unwrap(), b"one\ntwo\n", "the retried append is durable");
+
+        // A burst longer than the retry budget surfaces as a typed
+        // NoSpace error and leaves the log exactly as it was.
+        let s = FaultStorage::new();
+        append_durable(&s, &p("log"), b"one\n").unwrap();
+        s.schedule(s.op_count() + 1, Fault::NoSpace { count: 10 });
+        let err = append_durable(&s, &p("log"), b"two\n").unwrap_err();
+        assert!(err.is_no_space(), "got {err}");
+        assert_eq!(s.peek(&p("log")).unwrap(), b"one\n", "failed append must roll back");
+    }
+
+    #[test]
+    fn append_durable_syncs_the_parent_entry_on_creation() {
+        let s = FaultStorage::new();
+        append_durable(&s, &p("fresh.log"), b"line\n").unwrap();
+        s.power_loss();
+        assert_eq!(
+            s.peek(&p("fresh.log")).unwrap(),
+            b"line\n",
+            "a freshly created append target must survive power loss"
+        );
+    }
+
+    fn snap(step: u64) -> SimSnapshot {
+        SimSnapshot {
+            problem: "oil".into(),
+            size: 6,
+            steps: 8,
+            tol: 1e-7,
+            seed: 0,
+            step,
+            chain_step: step,
+            finest_step: step,
+            last_resid: 1e-9,
+            counters: SimCounters::default(),
+            x: vec![0.5, -1.25, 3.0],
+        }
+    }
+
+    #[test]
+    fn snapshot_store_rotates_generations_across_slots() {
+        let s = FaultStorage::new();
+        let store = SnapshotStore::new("/t/sim.snapshot");
+        let p0 = store.publish(&s, 0, &snap(0).encode()).unwrap();
+        let p1 = store.publish(&s, 1, &snap(1).encode()).unwrap();
+        let p2 = store.publish(&s, 2, &snap(2).encode()).unwrap();
+        assert_eq!(p0, PathBuf::from("/t/sim.snapshot.a"));
+        assert_eq!(p1, PathBuf::from("/t/sim.snapshot.b"));
+        assert_eq!(p2, p0, "even generations overwrite slot A");
+
+        // Power loss: publishes are atomic (write + rename + dir
+        // fsync), so both slots survive with generations 1 and 2.
+        s.power_loss();
+        let rec = store.recover(&s, &SimSnapshot::decode).unwrap();
+        assert!(rec.quarantined.is_empty());
+        let mut steps: Vec<u64> = rec.candidates.iter().map(|(_, v)| v.step).collect();
+        steps.sort_unstable();
+        assert_eq!(steps, vec![1, 2]);
+    }
+
+    #[test]
+    fn corrupt_slot_is_quarantined_with_fallback_to_the_other_generation() {
+        let s = FaultStorage::new();
+        let store = SnapshotStore::new("/t/sim.snapshot");
+        store.publish(&s, 6, &snap(6).encode()).unwrap();
+        store.publish(&s, 7, &snap(7).encode()).unwrap();
+        // Corrupt the newer slot (B) in place.
+        let slot_b = store.slot_for(7);
+        let mut bytes = s.peek(&slot_b).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        write_file(&s, &slot_b, &bytes, true);
+
+        let rec = store.recover(&s, &SimSnapshot::decode).unwrap();
+        assert_eq!(rec.quarantined.len(), 1, "the corrupt slot must be quarantined");
+        assert_eq!(rec.quarantined[0].0, slot_b);
+        assert_eq!(rec.candidates.len(), 1, "the older generation must survive as fallback");
+        assert_eq!(rec.candidates[0].1.step, 6);
+        // The corrupt file was moved aside, not deleted, and the slot
+        // path no longer exists.
+        assert!(!s.exists(&slot_b));
+        assert!(s.exists(&PathBuf::from("/t/sim.snapshot.b.quarantine")));
+        // A rescan after quarantine is clean: nothing left to refuse.
+        let again = store.recover(&s, &SimSnapshot::decode).unwrap();
+        assert!(again.quarantined.is_empty());
+        assert_eq!(again.candidates.len(), 1);
+    }
+
+    #[test]
+    fn all_slots_corrupt_leaves_no_candidates_but_both_postmortems() {
+        let s = FaultStorage::new();
+        let store = SnapshotStore::new("/t/sim.snapshot");
+        store.publish(&s, 0, &snap(0).encode()).unwrap();
+        store.publish(&s, 1, &snap(1).encode()).unwrap();
+        for g in [0u64, 1] {
+            let slot = store.slot_for(g);
+            let mut bytes = s.peek(&slot).unwrap();
+            bytes[0] ^= 0x01;
+            write_file(&s, &slot, &bytes, true);
+        }
+        let rec = store.recover(&s, &SimSnapshot::decode).unwrap();
+        assert!(rec.candidates.is_empty());
+        assert_eq!(rec.quarantined.len(), 2);
+    }
+
+    /// Satellite: single-bit-flip fuzz over the serialized snapshot.
+    /// Every flip must either fail to decode (typed error) or decode to
+    /// a value whose re-encoding is bit-identical to the original text
+    /// (a flip that lands in redundant encoding space, e.g. turning the
+    /// final newline into a vertical tab that the tokenizer ignores,
+    /// may decode — but never to *different* state).
+    #[test]
+    fn prop_bit_flip_never_decodes_to_different_state() {
+        let text = snap(5).encode();
+        let bits = text.len() as u64 * 8;
+        check_n("snapshot-bit-flip", 256, |rng| {
+            let bit = rng.next_u64() % bits;
+            let mut bytes = text.clone().into_bytes();
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            let corrupt = String::from_utf8_lossy(&bytes).into_owned();
+            if let Ok(back) = SimSnapshot::decode(&corrupt) {
+                assert_eq!(
+                    back.encode(),
+                    text,
+                    "bit {bit} decoded to different state instead of being rejected"
+                );
+            }
+        });
+    }
+
+    /// Satellite: under a random single-bit flip of a random slot, the
+    /// store must quarantine the corrupt slot and fall back to the
+    /// other generation — recovery never ends with zero candidates and
+    /// never restores flipped state.
+    #[test]
+    fn prop_bit_flip_quarantine_falls_back_to_the_good_generation() {
+        check_n("snapshot-bit-flip-fallback", 64, |rng| {
+            let s = FaultStorage::new();
+            let store = SnapshotStore::new("/t/sim.snapshot");
+            store.publish(&s, 2, &snap(2).encode()).unwrap();
+            store.publish(&s, 3, &snap(3).encode()).unwrap();
+            let victim_gen = 2 + (rng.next_u64() % 2);
+            let slot = store.slot_for(victim_gen);
+            let original = s.peek(&slot).unwrap();
+            let bit = rng.next_u64() % (original.len() as u64 * 8);
+            let mut bytes = original.clone();
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            write_file(&s, &slot, &bytes, true);
+
+            let rec = store.recover(&s, &SimSnapshot::decode).unwrap();
+            match rec.candidates.len() {
+                // Benign flip (decoded identical): both survive.
+                2 => assert!(rec.quarantined.is_empty()),
+                // Corrupting flip: the victim is quarantined, the other
+                // generation survives as the fallback.
+                1 => {
+                    assert_eq!(rec.quarantined.len(), 1);
+                    assert_eq!(rec.quarantined[0].0, slot);
+                    assert_eq!(rec.candidates[0].1.step, if victim_gen == 2 { 3 } else { 2 });
+                }
+                n => panic!("{n} candidates from a single-slot flip"),
+            }
+            for (_, got) in &rec.candidates {
+                assert_eq!(
+                    got.encode(),
+                    snap(got.step).encode(),
+                    "a restored candidate must be bit-identical to what was published"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn storage_error_reports_the_failing_op() {
+        let s = FaultStorage::new();
+        let err = s.read(&p("missing")).unwrap_err();
+        assert_eq!(err.op(), "read");
+        assert!(!err.is_no_space());
     }
 }
