@@ -15,6 +15,7 @@ use std::time::Instant;
 use fp16mg_core::{GalerkinChain, Mg, MgConfig};
 use fp16mg_krylov::SolveOptions;
 use fp16mg_problems::ProblemKind;
+use fp16mg_runtime::{CacheConfig, HierarchyCache};
 use fp16mg_sgdia::kernels::Par;
 
 use crate::{solve_e2e, Combo, E2eResult};
@@ -69,6 +70,7 @@ fn run_json(r: &E2eResult) -> String {
             "      \"solve_s\": {solve},\n",
             "      \"total_s\": {total},\n",
             "      \"matrix_bytes\": {bytes},\n",
+            "      \"workspace_bytes\": {ws},\n",
             "      \"grid_complexity\": {cg},\n",
             "      \"operator_complexity\": {co}\n",
             "    }}"
@@ -82,6 +84,7 @@ fn run_json(r: &E2eResult) -> String {
         solve = num(r.solve.as_secs_f64()),
         total = num(r.total().as_secs_f64()),
         bytes = r.matrix_bytes,
+        ws = r.workspace_bytes,
         cg = num(r.complexities.0),
         co = num(r.complexities.1),
     );
@@ -132,6 +135,48 @@ fn cache_json(kind: ProblemKind, n: usize) -> Option<String> {
     Some(s)
 }
 
+/// Measures the memory-resilience numbers for one problem under the
+/// headline config: the preallocated V-cycle workspace arena (carved
+/// once at setup, so its size *is* the solve-phase peak), the bytes one
+/// retained hierarchy chain charges against the cache governor, and a
+/// proof that a byte-capped cache actually evicts (two classes pushed
+/// through a cache sized for one chain must fire `mem_evictions`).
+/// Putting these in the trajectory lets `bench-compare` gate memory
+/// regressions the same way it gates convergence. `None` when the
+/// headline config cannot set the problem up.
+fn memory_json(kind: ProblemKind, n: usize) -> Option<String> {
+    let problem = kind.build(n);
+    let config = MgConfig::d16();
+    let mg = Mg::<f32>::setup(&problem.matrix, &config).ok()?;
+    let peak_ws = mg.workspace_bytes();
+    drop(mg);
+    let mut probe = HierarchyCache::new(CacheConfig::default());
+    probe.acquire("bench", &problem.matrix, &config).ok()?;
+    let cache_bytes = probe.cache_bytes();
+    drop(probe);
+    let mut capped = HierarchyCache::new(CacheConfig {
+        byte_budget: Some(cache_bytes),
+        ..CacheConfig::default()
+    });
+    capped.acquire("bench-a", &problem.matrix, &config).ok()?;
+    capped.acquire("bench-b", &problem.matrix, &config).ok()?;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "  \"memory\": {{\n",
+            "    \"peak_ws_bytes\": {ws},\n",
+            "    \"cache_bytes\": {cb},\n",
+            "    \"mem_evictions\": {ev}\n",
+            "  }},\n"
+        ),
+        ws = peak_ws,
+        cb = cache_bytes,
+        ev = capped.mem_evictions(),
+    );
+    Some(s)
+}
+
 /// Renders the `BENCH_<problem>.json` document for one problem. Failed
 /// setups are recorded as `{"combo", "error"}` entries instead of being
 /// dropped, so a regression that breaks setup is visible in the file.
@@ -149,10 +194,11 @@ pub fn render_problem(kind: ProblemKind, n: usize, tol: f64) -> String {
         }
     }
     format!(
-        "{{\n  \"problem\": \"{}\",\n  \"size\": {n},\n  \"tol\": {},\n{}  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"problem\": \"{}\",\n  \"size\": {n},\n  \"tol\": {},\n{}{}  \"runs\": [\n{}\n  ]\n}}\n",
         esc(kind.name()),
         num(tol),
         cache_json(kind, n).unwrap_or_default(),
+        memory_json(kind, n).unwrap_or_default(),
         runs.join(",\n")
     )
 }
@@ -191,6 +237,13 @@ mod tests {
         assert!(
             doc.contains("\"cold_setup_s\"") && doc.contains("\"warm_speedup\""),
             "the cache split must be part of the trajectory"
+        );
+        assert!(
+            doc.contains("\"peak_ws_bytes\"")
+                && doc.contains("\"cache_bytes\"")
+                && doc.contains("\"mem_evictions\"")
+                && doc.contains("\"workspace_bytes\""),
+            "the memory footprint must be part of the trajectory"
         );
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "balanced objects");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count(), "balanced arrays");

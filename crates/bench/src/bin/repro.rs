@@ -77,6 +77,7 @@ struct Args {
     snapshot_dir: String,
     kill_after: usize,
     pace_ms: u64,
+    mem_budget: u64,
     steps: u64,
     problem: String,
     baseline: String,
@@ -86,7 +87,7 @@ struct Args {
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--daemon] [--soak] [--snapshot-dir DIR] [--kill-after N] [--pace-ms MS] [--steps N] [--problem NAME|all] [--baseline DIR] [--current DIR] [--out DIR]");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--daemon] [--soak] [--snapshot-dir DIR] [--kill-after N] [--pace-ms MS] [--mem-budget BYTES] [--steps N] [--problem NAME|all] [--baseline DIR] [--current DIR] [--out DIR]");
     std::process::exit(2)
 }
 
@@ -113,6 +114,7 @@ fn parse_args() -> Args {
         snapshot_dir: String::new(),
         kill_after: 0,
         pace_ms: 0,
+        mem_budget: 0,
         steps: 12,
         problem: "all".into(),
         baseline: String::new(),
@@ -137,6 +139,7 @@ fn parse_args() -> Args {
             "--snapshot-dir" => args.snapshot_dir = arg_value(&mut it, "--snapshot-dir"),
             "--kill-after" => args.kill_after = arg_value(&mut it, "--kill-after"),
             "--pace-ms" => args.pace_ms = arg_value(&mut it, "--pace-ms"),
+            "--mem-budget" => args.mem_budget = arg_value(&mut it, "--mem-budget"),
             "--steps" => args.steps = arg_value(&mut it, "--steps"),
             "--problem" => args.problem = arg_value(&mut it, "--problem"),
             "--baseline" => args.baseline = arg_value(&mut it, "--baseline"),
@@ -211,6 +214,7 @@ fn main() {
         "simulate" if args.soak => simulate_soak_cmd(&args),
         "simulate" => simulate_cmd(&args),
         "torture" => torture_cmd(&args),
+        "memtorture" => memtorture_cmd(&args),
         "bench-json" => bench_json_cmd(&args),
         "bench-compare" => bench_compare_cmd(&args),
         "all" => {
@@ -1004,6 +1008,7 @@ fn daemon_cmd(args: &Args) {
         tol: args.tol,
         pace_ms: args.pace_ms,
         chaos: args.chaos,
+        mem_budget: if args.mem_budget > 0 { Some(args.mem_budget) } else { None },
     };
     std::process::exit(fp16mg_bench::run_daemon(&cfg));
 }
@@ -1018,6 +1023,7 @@ fn soak_cmd(args: &Args) {
         tol: args.tol,
         kill_after: if args.kill_after > 0 { args.kill_after } else { 2 },
         out: std::path::PathBuf::from(&args.out),
+        mem_budget: if args.mem_budget > 0 { Some(args.mem_budget) } else { None },
     };
     std::process::exit(fp16mg_bench::run_soak(&cfg));
 }
@@ -1088,6 +1094,15 @@ fn torture_cmd(args: &Args) {
         tol: args.tol.max(1e-7),
     };
     std::process::exit(fp16mg_bench::run_torture_cli(&cfg));
+}
+
+fn memtorture_cmd(args: &Args) {
+    header("Memtorture: allocation-fault injection across every charged byte of the serve stack");
+    let cfg = fp16mg_bench::MemTortureConfig {
+        size: if args.size_set { args.size.min(10) } else { 6 },
+        tol: args.tol.max(1e-8),
+    };
+    std::process::exit(fp16mg_bench::run_memtorture_cli(&cfg));
 }
 
 fn simulate_soak_cmd(args: &Args) {
@@ -1279,6 +1294,7 @@ fn run_with_config(
             let mg = Mg::<$pr>::setup(&p.matrix, &cfg).map_err(|e| e.to_string())?;
             let setup = t0.elapsed();
             let matrix_bytes = mg.info().matrix_bytes;
+            let workspace_bytes = mg.workspace_bytes();
             let complexities = (mg.info().grid_complexity, mg.info().operator_complexity);
             let mut timed = TimedPrecond::new(mg);
             let op = MatOp::new(&p.matrix, Par::Seq);
@@ -1300,6 +1316,7 @@ fn run_with_config(
                 solve,
                 result,
                 matrix_bytes,
+                workspace_bytes,
                 complexities,
             })
         }};

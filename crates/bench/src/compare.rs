@@ -23,6 +23,11 @@ pub const MAX_ITER_REGRESSION: f64 = 1.25;
 /// The warm-setup speedup may shrink to no less than this fraction of
 /// the baseline.
 pub const MIN_SPEEDUP_FRACTION: f64 = 0.75;
+/// The V-cycle workspace arena and the per-chain cache charge may grow
+/// by at most this factor over the baseline. Byte counts are exact (no
+/// wall-clock noise), so the headroom only covers intentional layout
+/// changes — silent footprint creep past it fails the gate.
+pub const MAX_MEM_GROWTH: f64 = 1.5;
 
 /// Per-combo facts extracted from one `BENCH_*.json`.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +47,14 @@ pub struct BenchFacts {
     pub runs: Vec<ComboFacts>,
     /// Warm-over-cold setup speedup from the cache split, when present.
     pub warm_speedup: Option<f64>,
+    /// Peak V-cycle workspace bytes from the memory section, when
+    /// present (older baselines predate it — the gate then skips the
+    /// memory checks instead of failing).
+    pub peak_ws_bytes: Option<u64>,
+    /// Bytes one retained hierarchy chain charges against the cache.
+    pub cache_bytes: Option<u64>,
+    /// Byte-pressure evictions fired by the capped-cache probe.
+    pub mem_evictions: Option<u64>,
 }
 
 fn str_value(line: &str, key: &str) -> Option<String> {
@@ -86,6 +99,17 @@ pub fn scan_bench_json(text: &str) -> BenchFacts {
                 facts.warm_speedup = Some(x);
             }
         }
+        for (key, slot) in [
+            ("peak_ws_bytes", &mut facts.peak_ws_bytes),
+            ("cache_bytes", &mut facts.cache_bytes),
+            ("mem_evictions", &mut facts.mem_evictions),
+        ] {
+            if let Some(v) = raw_value(line, key) {
+                if let Ok(x) = v.parse::<u64>() {
+                    *slot = Some(x);
+                }
+            }
+        }
     }
     facts
 }
@@ -119,6 +143,33 @@ pub fn compare_facts(name: &str, base: &BenchFacts, cur: &BenchFacts) -> Vec<Str
         }
     } else if base.warm_speedup.is_some() && cur.warm_speedup.is_none() {
         v.push(format!("{name}: cold/warm cache split missing from the candidate run"));
+    }
+    for (label, b, c) in [
+        ("peak workspace bytes", base.peak_ws_bytes, cur.peak_ws_bytes),
+        ("cache bytes per chain", base.cache_bytes, cur.cache_bytes),
+    ] {
+        match (b, c) {
+            (Some(b), Some(c)) => {
+                let ceiling = (b as f64 * MAX_MEM_GROWTH).ceil() as u64;
+                if c > ceiling {
+                    v.push(format!("{name}: {label} regressed {b} → {c} (ceiling {ceiling})"));
+                }
+            }
+            (Some(_), None) => {
+                v.push(format!("{name}: {label} missing from the candidate run"));
+            }
+            // Baselines written before the memory section existed carry
+            // no byte counts; the candidate's are informational until
+            // the baseline is regenerated.
+            (None, _) => {}
+        }
+    }
+    if let (Some(b), Some(c)) = (base.mem_evictions, cur.mem_evictions) {
+        if b > 0 && c == 0 {
+            v.push(format!("{name}: the capped-cache probe no longer evicts (baseline fired {b})"));
+        }
+    } else if base.mem_evictions.is_some() && cur.mem_evictions.is_none() {
+        v.push(format!("{name}: memory section missing from the candidate run"));
     }
     v
 }
@@ -235,6 +286,49 @@ mod tests {
         assert_eq!(compare_facts("x", &base, &diverged).len(), 1);
         let cold = scan_bench_json(&doc(40, true, 55, Some(2.9)));
         assert_eq!(compare_facts("x", &base, &cold).len(), 1);
+    }
+
+    fn mem_doc(ws: u64, cb: u64, ev: u64) -> String {
+        format!(
+            "{{\n  \"problem\": \"oil\",\n  \"memory\": {{\n    \"peak_ws_bytes\": {ws},\n    \
+             \"cache_bytes\": {cb},\n    \"mem_evictions\": {ev}\n  }},\n  \"runs\": [\n    {{\n   \
+             \"combo\": \"Full64\",\n      \"converged\": true,\n      \"iters\": 10\n    \
+             }}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn memory_growth_within_headroom_passes_but_creep_fails() {
+        let base = scan_bench_json(&mem_doc(1000, 5000, 1));
+        assert_eq!(base.peak_ws_bytes, Some(1000));
+        assert_eq!(base.cache_bytes, Some(5000));
+        assert_eq!(base.mem_evictions, Some(1));
+        // Exactly on the 1.5x fence: allowed.
+        let edge = scan_bench_json(&mem_doc(1500, 7500, 1));
+        assert!(compare_facts("x", &base, &edge).is_empty());
+        let bloated = scan_bench_json(&mem_doc(1501, 5000, 1));
+        assert_eq!(compare_facts("x", &base, &bloated).len(), 1);
+        let heavy_cache = scan_bench_json(&mem_doc(1000, 7501, 1));
+        assert_eq!(compare_facts("x", &base, &heavy_cache).len(), 1);
+        let no_evict = scan_bench_json(&mem_doc(1000, 5000, 0));
+        assert_eq!(compare_facts("x", &base, &no_evict).len(), 1);
+    }
+
+    #[test]
+    fn memoryless_baseline_skips_the_memory_gate() {
+        // A baseline generated before the memory section existed must
+        // not fail against a candidate that carries it (or one that
+        // also lacks it).
+        let old = scan_bench_json(&doc(40, true, 55, Some(4.0)));
+        assert_eq!(old.peak_ws_bytes, None);
+        let mut new = old.clone();
+        new.peak_ws_bytes = Some(123);
+        new.cache_bytes = Some(456);
+        new.mem_evictions = Some(1);
+        assert!(compare_facts("x", &old, &new).is_empty());
+        assert!(compare_facts("x", &old, &old).is_empty());
+        // But once the baseline has it, the candidate may not drop it.
+        assert_eq!(compare_facts("x", &new, &old).len(), 3);
     }
 
     #[test]

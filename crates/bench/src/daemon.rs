@@ -59,6 +59,12 @@ pub struct DaemonCliConfig {
     /// Run the wall-clock chaos demo (wedge + panic + quarantine)
     /// instead of the deterministic stream.
     pub chaos: bool,
+    /// Byte budget for the pool's memory governor (`--mem-budget`;
+    /// `None` = unlimited). When set, the drain line reports the
+    /// governor's peak and the child exits nonzero if tracked bytes
+    /// ever exceeded the budget — the soak driver relies on that
+    /// self-check.
+    pub mem_budget: Option<u64>,
 }
 
 /// Soak-driver configuration (`repro serve --daemon --soak`).
@@ -75,6 +81,8 @@ pub struct SoakConfig {
     pub kill_after: usize,
     /// Working directory for the reference and crash runs.
     pub out: PathBuf,
+    /// Byte budget forwarded to every child (`--mem-budget`).
+    pub mem_budget: Option<u64>,
 }
 
 const BATCH: u64 = 4;
@@ -85,11 +93,18 @@ const TRAIL_FILE: &str = "trail.log";
 /// shedding off (the stream is paced by batches, not pressure), and a
 /// small jittered breaker so the poison class demonstrably trips and
 /// recovers inside a short run.
-fn pool_cfg(workers: usize) -> PoolConfig {
+fn pool_cfg(workers: usize, mem_budget: Option<u64>) -> PoolConfig {
+    // Under a pool byte budget the cache gets half: retained chains
+    // evict LRU-first at insert time (deterministic, no shed policy
+    // needed) before the governor ever has to refuse a session's
+    // transient setup/workspace charges, so eviction — not refusal —
+    // is the first response to byte pressure.
+    let cache = CacheConfig { byte_budget: mem_budget.map(|b| b / 2), ..CacheConfig::default() };
     PoolConfig {
         workers,
         admission: AdmissionConfig::default(),
         shed: ShedPolicy::disabled(),
+        mem_budget,
         breaker: BreakerConfig {
             window: 4,
             min_samples: 2,
@@ -100,7 +115,7 @@ fn pool_cfg(workers: usize) -> PoolConfig {
             probe_successes: 1,
             ..BreakerConfig::default()
         },
-        cache: CacheConfig::default(),
+        cache,
         supervise: SuperviseConfig::default(),
     }
 }
@@ -218,7 +233,7 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
     let trail = cfg.snapshot_dir.join(TRAIL_FILE);
     let storage: std::sync::Arc<dyn Storage> = std::sync::Arc::new(RealStorage);
     let daemon = Daemon::start(DaemonConfig {
-        pool: pool_cfg(cfg.workers),
+        pool: pool_cfg(cfg.workers, cfg.mem_budget),
         snapshot_path: Some(cfg.snapshot_dir.join(SNAPSHOT_FILE)),
         checkpoint_each_batch: false,
         storage: std::sync::Arc::clone(&storage),
@@ -279,6 +294,9 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
     }
 
     let stats = daemon.pool().cache().stats();
+    let governor = daemon.pool().governor().clone();
+    let mem_evictions = daemon.pool().cache().mem_evictions();
+    let uncached = daemon.pool().cache().uncached_serves();
     match daemon.drain() {
         Ok(report) => {
             println!(
@@ -295,6 +313,27 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
                 stats.drift_invalidations,
                 stats.rebuilds,
             );
+            // Memory accounting summary — deliberately outside the
+            // trail (the trail bit-compare covers decisions, not byte
+            // counts). With a budget set the child self-checks: tracked
+            // bytes must never have exceeded it.
+            println!(
+                "daemon: mem peak={} budget={} evicted={} uncached={}",
+                governor.peak(),
+                governor.budget().map_or_else(|| "none".to_string(), |b| b.to_string()),
+                mem_evictions,
+                uncached,
+            );
+            if let Some(budget) = governor.budget() {
+                if governor.peak() > budget {
+                    eprintln!(
+                        "daemon: MEM BUDGET VIOLATED: peak {} B > budget {} B",
+                        governor.peak(),
+                        budget
+                    );
+                    return 1;
+                }
+            }
             0
         }
         Err(e) => {
@@ -309,7 +348,7 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
 /// endless request is wedge-detected and cancelled by the monitor.
 /// Wall-clock by nature, so it lives outside the deterministic trail.
 fn run_daemon_chaos(cfg: &DaemonCliConfig) -> i32 {
-    let mut pool_cfg = pool_cfg(cfg.workers);
+    let mut pool_cfg = pool_cfg(cfg.workers, cfg.mem_budget);
     // The chaos demo is about supervision, not circuit breaking: a
     // wedge failure plus a panic in the same class would trip the tight
     // daemon breaker and mask the quarantine refusal it demonstrates.
@@ -442,6 +481,9 @@ fn child_command(dir: &Path, cfg: &SoakConfig, pace_ms: u64) -> Result<Command, 
         .arg(cfg.tol.to_string())
         .arg("--pace-ms")
         .arg(pace_ms.to_string());
+    if let Some(budget) = cfg.mem_budget {
+        cmd.arg("--mem-budget").arg(budget.to_string());
+    }
     Ok(cmd)
 }
 
@@ -522,6 +564,11 @@ pub fn run_soak(cfg: &SoakConfig) -> i32 {
                 if let Some(rest) = line.strip_prefix("daemon: resumed seq=") {
                     resumed_seq = rest.trim().parse::<u64>().ok();
                 }
+                if let Some(rest) = line.strip_prefix("daemon: mem ") {
+                    // The child already self-checked peak ≤ budget (it
+                    // exits nonzero on violation); echo for the record.
+                    println!("soak: restart mem {rest}");
+                }
             }
             if !output.status.success() {
                 violations.push(format!("restarted child exited {}", output.status));
@@ -570,7 +617,17 @@ pub fn run_soak(cfg: &SoakConfig) -> i32 {
                     None => violations.push(format!("crash trail has stray seq {seq}")),
                 }
             }
+            // With a binding memory budget the decision bit-compare is
+            // off the table by design: budget refusals depend on which
+            // worker's bytes were live at charge time, and a restarted
+            // governor is deliberately cold (the snapshot restores
+            // metadata, not bytes). Coverage, no-loss, identical
+            // replays, and the children's own peak ≤ budget self-checks
+            // still hold; cross-run decision drift is reported but not
+            // fatal.
+            let strict = cfg.mem_budget.is_none();
             let mut replayed = 0usize;
+            let mut drifted = 0usize;
             for seq in 0..cfg.requests {
                 let entries = &crash_by_seq[seq];
                 if entries.is_empty() {
@@ -585,10 +642,14 @@ pub fn run_soak(cfg: &SoakConfig) -> i32 {
                 }
                 if let Some(reference) = ref_by_seq[seq] {
                     if entries[0] != reference {
-                        violations.push(format!(
-                            "seq {seq} decision diverges from reference:\n  ref:   {reference}\n  crash: {}",
-                            entries[0]
-                        ));
+                        if strict {
+                            violations.push(format!(
+                                "seq {seq} decision diverges from reference:\n  ref:   {reference}\n  crash: {}",
+                                entries[0]
+                            ));
+                        } else {
+                            drifted += 1;
+                        }
                     }
                 }
             }
@@ -596,14 +657,25 @@ pub fn run_soak(cfg: &SoakConfig) -> i32 {
                 "soak: {} requests covered, {} replayed identically after the kill",
                 cfg.requests, replayed
             );
+            if !strict && drifted > 0 {
+                println!(
+                    "soak: {drifted} decision(s) drifted under memory pressure (expected with \
+                     --mem-budget; bit-compare applies to unbudgeted runs)"
+                );
+            }
             // The cache must have demonstrated its full event ladder in
-            // the uninterrupted reference run.
-            let ref_text = fs::read_to_string(ref_dir.join(TRAIL_FILE)).unwrap_or_default();
-            for needed in
-                ["cache=hit", "cache=rescaled-hit", "cache=drift-invalidated", "cache=rebuilt"]
-            {
-                if !ref_text.contains(needed) {
-                    violations.push(format!("reference run never produced {needed}"));
+            // the uninterrupted reference run. Under a binding budget
+            // an entry may be evicted before its rescale/invalidate
+            // revisit, so only the unbudgeted soak demands full-ladder
+            // coverage.
+            if strict {
+                let ref_text = fs::read_to_string(ref_dir.join(TRAIL_FILE)).unwrap_or_default();
+                for needed in
+                    ["cache=hit", "cache=rescaled-hit", "cache=drift-invalidated", "cache=rebuilt"]
+                {
+                    if !ref_text.contains(needed) {
+                        violations.push(format!("reference run never produced {needed}"));
+                    }
                 }
             }
         }

@@ -31,6 +31,10 @@ pub struct E2eResult {
     pub result: SolveResult,
     /// Matrix value bytes across smoothed levels (memory footprint).
     pub matrix_bytes: usize,
+    /// Bytes of the preallocated V-cycle workspace arena (carved once at
+    /// setup, so this is also the solve-phase peak; together with
+    /// `matrix_bytes` it is the hierarchy's steady-state resident set).
+    pub workspace_bytes: usize,
     /// Grid and operator complexities of the hierarchy.
     pub complexities: (f64, f64),
 }
@@ -73,6 +77,7 @@ fn run<Pr: Scalar>(
     let mg = Mg::<Pr>::setup(&problem.matrix, &cfg).map_err(|e| e.to_string())?;
     let setup = t0.elapsed();
     let matrix_bytes = mg.info().matrix_bytes;
+    let workspace_bytes = mg.workspace_bytes();
     let complexities = (mg.info().grid_complexity, mg.info().operator_complexity);
 
     let mut timed = TimedPrecond::new(mg);
@@ -97,6 +102,7 @@ fn run<Pr: Scalar>(
         solve,
         result,
         matrix_bytes,
+        workspace_bytes,
         complexities,
     })
 }

@@ -19,6 +19,7 @@ pub mod daemon;
 pub mod e2e;
 pub mod guard;
 pub mod kernelbench;
+pub mod memtorture;
 pub mod microbench;
 pub mod serve;
 pub mod simulate;
@@ -33,6 +34,7 @@ pub use daemon::{run_daemon, run_soak, DaemonCliConfig, SoakConfig};
 pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};
 pub use kernelbench::{kernel_suite, KernelKind, KernelRow, Variant};
+pub use memtorture::{run_memtorture_cli, MemTortureConfig, MemTortureReport};
 pub use microbench::Group;
 pub use serve::{serve, serve_overload, OverloadConfig, OverloadReport, ServeConfig};
 pub use simulate::{

@@ -200,6 +200,13 @@ pub struct StepRow {
     pub reuse_setup_s: f64,
     /// Setup seconds a fresh-every-step baseline would have spent.
     pub fresh_setup_s: f64,
+    /// Bytes of the preallocated V-cycle workspace arena of the
+    /// hierarchy that served this step (the larger of the two when the
+    /// rollback rung rebuilt mid-step). Carved once at setup, so this
+    /// is the step's solve-phase peak. Not part of the trail line: the
+    /// trail is the bit-exact resume contract and byte counts may
+    /// legitimately change across code versions.
+    pub ws_bytes: usize,
 }
 
 impl StepRow {
@@ -251,6 +258,12 @@ impl SimReport {
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Largest V-cycle workspace arena any step in this process carved
+    /// (0 when the run resumed past its last step and executed none).
+    pub fn peak_ws_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.ws_bytes).max().unwrap_or(0)
     }
 
     /// Chaos acceptance: every decision path and recovery rung must
@@ -731,6 +744,7 @@ impl SimDriver {
         let t_reuse = Instant::now();
         let (decision, mut mg) = self.build_for_step(step, &a, &now_audit, want);
         let reuse_setup_s = t_reuse.elapsed().as_secs_f64();
+        let mut ws_bytes = mg.as_ref().map_or(0, Mg::workspace_bytes);
 
         // ABFT: chaos corrupts a 16-bit stored level, then the
         // sentinels are verified (and any corruption repaired) before
@@ -762,6 +776,7 @@ impl SimDriver {
             let a2 = effective_matrix(&self.evo, self.cfg.chaos, step);
             let audit2 = audit(&a2, Precision::F16);
             let (_, mg2) = self.build_for_step(step, &a2, &audit2, ReuseDecision::Rebuild);
+            ws_bytes = ws_bytes.max(mg2.as_ref().map_or(0, Mg::workspace_bytes));
             let prev2 = if step == 0 { None } else { Some(self.work_x.clone()) };
             let (r2, o2, i2, rr2, s2) = self.solve(step, a2, mg2, prev2.as_deref());
             rungs = format!("{rungs}↺{r2}");
@@ -784,6 +799,7 @@ impl SimDriver {
             resid,
             reuse_setup_s,
             fresh_setup_s,
+            ws_bytes,
         };
         self.reuse_setup_s += reuse_setup_s;
         self.fresh_setup_s += fresh_setup_s;
@@ -900,6 +916,7 @@ pub fn render_sim_table(report: &SimReport) -> String {
         "resid",
         "setup(reuse)",
         "setup(fresh)",
+        "ws-bytes",
     ]);
     for r in &report.rows {
         t.row(vec![
@@ -913,12 +930,15 @@ pub fn render_sim_table(report: &SimReport) -> String {
             format!("{:.2e}", r.resid),
             fmt_secs(r.reuse_setup_s),
             fmt_secs(r.fresh_setup_s),
+            r.ws_bytes.to_string(),
         ]);
     }
     let c = report.counters;
     format!(
         "{}\ndecisions: keep={} rescale={} rebuild={} | repairs={} rollbacks={}\nsetup total: \
-         reuse {} vs fresh-every-step {} → amortized setup win {:.2}x\n",
+         reuse {} vs fresh-every-step {} → amortized setup win {:.2}x\npeak workspace: {} bytes \
+         (preallocated per-level V-cycle arena; steady-state solve allocates nothing beyond \
+         it)\n",
         t.render(),
         c.keep,
         c.rescale,
@@ -928,6 +948,7 @@ pub fn render_sim_table(report: &SimReport) -> String {
         fmt_secs(report.reuse_setup_s),
         fmt_secs(report.fresh_setup_s),
         report.setup_win(),
+        report.peak_ws_bytes(),
     )
 }
 
@@ -952,13 +973,15 @@ pub fn sim_json(report: &SimReport, cfg: &SimConfig) -> String {
     s.push_str(&format!("  \"reuse_setup_s\": {},\n", num(report.reuse_setup_s)));
     s.push_str(&format!("  \"fresh_setup_s\": {},\n", num(report.fresh_setup_s)));
     s.push_str(&format!("  \"amortized_setup_win\": {},\n", num(report.setup_win())));
+    s.push_str(&format!("  \"peak_ws_bytes\": {},\n", report.peak_ws_bytes()));
     s.push_str(&format!("  \"final_resid\": {},\n", num(report.final_resid)));
     s.push_str("  \"steps_detail\": [\n");
     for (i, r) in report.rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{ \"step\": {}, \"decision\": \"{}\", \"drift\": {}, \"structural\": {}, \
              \"repairs\": {}, \"rollback\": {}, \"rungs\": \"{}\", \"outcome\": \"{}\", \
-             \"iters\": {}, \"resid\": {}, \"reuse_setup_s\": {}, \"fresh_setup_s\": {} }}{}\n",
+             \"iters\": {}, \"resid\": {}, \"reuse_setup_s\": {}, \"fresh_setup_s\": {}, \
+             \"ws_bytes\": {} }}{}\n",
             r.step,
             esc(r.decision.label()),
             num(r.drift),
@@ -971,6 +994,7 @@ pub fn sim_json(report: &SimReport, cfg: &SimConfig) -> String {
             num(r.resid),
             num(r.reuse_setup_s),
             num(r.fresh_setup_s),
+            r.ws_bytes,
             if i + 1 == report.rows.len() { "" } else { "," }
         ));
     }

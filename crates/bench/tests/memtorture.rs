@@ -1,0 +1,38 @@
+//! Allocation-fault torture matrix acceptance: the full charge-point
+//! sweep over the deterministic request stream must pass — every
+//! injected allocation failure resolves as a typed outcome (degraded
+//! serve or `SetupFailed`, never a panic), service resumes after each
+//! fault clears, every fault class fires, every charge class observed
+//! in the clean run is covered, and tracked bytes return to exactly
+//! zero after every case. Everything runs in-process against the real
+//! pool; no real byte budget is consumed beyond the small test grids.
+
+use fp16mg_bench::memtorture::{run_matrix, MemTortureConfig};
+
+#[test]
+fn allocation_fault_matrix_holds_every_memory_invariant() {
+    let cfg = MemTortureConfig::new();
+    let report = run_matrix(&cfg);
+    assert_eq!(report.violations, Vec::<String>::new());
+    assert!(report.passed(), "fired: {:?}, classes: {:?}", report.fired, report.classes);
+    assert!(
+        report.cases as u64 > report.probe_ops,
+        "every charged op index plus the burst sweep must get a case: \
+         {} cases over {} ops",
+        report.cases,
+        report.probe_ops
+    );
+    assert!(report.probe_peak > 0, "the clean probe must track a working set");
+    for class in ["alloc-fail", "alloc-burst", "budget-exceeded"] {
+        assert!(
+            report.fired.get(class).copied().unwrap_or(0) > 0,
+            "fault class {class} never fired: {:?}",
+            report.fired
+        );
+    }
+    for class in ["setup", "workspace", "cache-insert", "rescale"] {
+        assert!(report.classes.contains(class), "charge class {class} not covered");
+    }
+    assert!(report.mem_evictions > 0, "the tight-budget phase must force eviction");
+    assert!(report.uncached > 0, "a refused cache-insert must degrade to an uncached serve");
+}

@@ -22,6 +22,7 @@ use crate::level::Level;
 use crate::smoother::DenseLu;
 use crate::stored::StoredMatrix;
 use crate::transfer::{prolong_add, restrict};
+use crate::workspace::{checked_unknowns, Workspace};
 
 /// Setup failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,6 +71,20 @@ pub enum SetupError {
         /// What made the chain unusable.
         reason: String,
     },
+    /// A setup allocation was refused: the checked size computation
+    /// overflowed (hostile dimensions) or exceeded the arena ceiling.
+    /// The setup path never aborts on an oversized request — it returns
+    /// this typed error instead (the hierarchy-side analog of the
+    /// `sgdia::io` decode limits).
+    AllocTooLarge {
+        /// Which allocation was refused.
+        what: &'static str,
+        /// Requested bytes (`u64::MAX` when the size computation itself
+        /// overflowed).
+        bytes: u64,
+        /// The ceiling that refused it.
+        limit: u64,
+    },
 }
 
 impl core::fmt::Display for SetupError {
@@ -91,6 +106,13 @@ impl core::fmt::Display for SetupError {
             SetupError::TooManyComponents => write!(f, "more than 8 components per cell"),
             SetupError::ChainIncompatible { reason } => {
                 write!(f, "retained Galerkin chain unusable: {reason}")
+            }
+            SetupError::AllocTooLarge { what, bytes, limit } => {
+                if *bytes == u64::MAX {
+                    write!(f, "allocation refused: {what} size computation overflowed")
+                } else {
+                    write!(f, "allocation refused: {what} needs {bytes} bytes (limit {limit})")
+                }
             }
         }
     }
@@ -343,6 +365,10 @@ pub struct Mg<Pr: Scalar = f32> {
     coarse_s64: Vec<f64>,
     /// Finest-level rescale wrap for the scale-then-setup strategy.
     finest_scale: Option<ScaleVectors<Pr>>,
+    /// The preallocated solve arena: every per-level V-cycle buffer and
+    /// the `K`↔`Pr` boundary pair, carved once at setup so the
+    /// steady-state hot loop is allocation-free.
+    ws: Workspace<Pr>,
     config: MgConfig,
     info: MgInfo,
     /// Cycle applications performed, counting re-runs inside the
@@ -457,8 +483,17 @@ impl<Pr: Scalar> Mg<Pr> {
         finest_scale: Option<ScaleVectors<Pr>>,
         mut config: MgConfig,
     ) -> Result<Self, SetupError> {
-        // --- Adaptive shift_levid: audit the chain, pick the switch. ---
+        // --- Workspace arena, sized first with checked arithmetic so
+        // hostile dimensions fail typed before any level is built. ---
         let nlev = chain.len();
+        let mut level_unknowns = Vec::with_capacity(nlev.saturating_sub(1));
+        for ai in chain.iter().take(nlev - 1) {
+            level_unknowns.push(checked_unknowns(ai.grid())?);
+        }
+        let finest_rows = checked_unknowns(chain[0].grid())?;
+        let ws = Workspace::for_levels(&level_unknowns, finest_rows)?;
+
+        // --- Adaptive shift_levid: audit the chain, pick the switch. ---
         let mut shift_decision = None;
         if let StoragePolicy::AutoShift { coarse, max_underflow } = config.storage {
             let decision = resolve_auto_shift(chain, &config, max_underflow);
@@ -550,6 +585,7 @@ impl<Pr: Scalar> Mg<Pr> {
             coarse_x64: vec![0.0; cn],
             coarse_s64: vec![0.0; cn],
             finest_scale,
+            ws,
             config,
             info,
             cycles: Arc::new(AtomicUsize::new(0)),
@@ -583,25 +619,29 @@ impl<Pr: Scalar> Mg<Pr> {
             self.coarse_solve_from_own_f();
             return;
         }
-        self.levels[0].reset();
+        self.ws.level(0).u.fill(Pr::ZERO);
         self.cycle_at(0, self.config.cycle);
     }
 
     /// Recursive γ-cycle at level `i`. The caller owns the iterate policy:
     /// `u_i` is *not* reset here, so consecutive invocations iterate
-    /// (that is what makes γ = 2 a W-cycle).
+    /// (that is what makes γ = 2 a W-cycle). All vectors come from the
+    /// preallocated workspace arena — this path performs no allocation.
     fn cycle_at(&mut self, i: usize, cycle: Cycle) {
         let nl = self.levels.len();
-        self.levels[i].smooth(self.config.smoother, self.config.nu1, false);
-        self.levels[i].compute_residual();
+        {
+            let mut b = self.ws.level(i);
+            self.levels[i].smooth(self.config.smoother, self.config.nu1, false, &mut b);
+            self.levels[i].compute_residual(&mut b);
+        }
         if i + 1 < nl {
+            let gf = self.levels[i].grid;
+            let gc = self.levels[i + 1].grid;
             {
-                let (fine, rest) = self.levels.split_at_mut(i + 1);
-                let lf = &fine[i];
-                let lc = &mut rest[0];
-                restrict(&lf.grid, &lc.grid, &lf.r, &mut lc.f);
+                let (fine, coarse) = self.ws.level_pair(i, i + 1);
+                restrict(&gf, &gc, fine.r, coarse.f);
+                coarse.u.fill(Pr::ZERO);
             }
-            self.levels[i + 1].reset();
             match cycle {
                 Cycle::V => self.cycle_at(i + 1, Cycle::V),
                 Cycle::W => {
@@ -614,26 +654,26 @@ impl<Pr: Scalar> Mg<Pr> {
                     self.cycle_at(i + 1, Cycle::V);
                 }
             }
-            let (fine, rest) = self.levels.split_at_mut(i + 1);
-            let lf = &mut fine[i];
-            let lc = &rest[0];
-            prolong_add(&lf.grid, &lc.grid, &lc.u, &mut lf.u);
+            let (fine, coarse) = self.ws.level_pair(i, i + 1);
+            prolong_add(&gf, &gc, coarse.u, fine.u);
         } else {
             // Coarsest: restrict into the direct-solve buffers and solve
             // exactly (repeating it would be a no-op, so γ is irrelevant
             // here).
+            let gf = self.levels[i].grid;
             {
-                let lf = &self.levels[i];
-                restrict(&lf.grid, &self.coarse_grid, &lf.r, &mut self.coarse_f);
+                let b = self.ws.level(i);
+                restrict(&gf, &self.coarse_grid, b.r, &mut self.coarse_f);
             }
             self.coarse_solve_from_own_f();
             for (cf, &x) in self.coarse_f.iter_mut().zip(&self.coarse_x64) {
                 *cf = Pr::from_f64(x);
             }
-            let lf = &mut self.levels[i];
-            prolong_add(&lf.grid.clone(), &self.coarse_grid, &self.coarse_f, &mut lf.u);
+            let b = self.ws.level(i);
+            prolong_add(&gf, &self.coarse_grid, &self.coarse_f, b.u);
         }
-        self.levels[i].smooth(self.config.smoother, self.config.nu2, true);
+        let mut b = self.ws.level(i);
+        self.levels[i].smooth(self.config.smoother, self.config.nu2, true, &mut b);
     }
 
     fn coarse_solve_from_own_f(&mut self) {
@@ -718,17 +758,25 @@ impl<Pr: Scalar> Mg<Pr> {
             Some(sv) => {
                 // scale-then-setup: the hierarchy approximates Ã⁻¹ with
                 // Ã = S⁻¹AS⁻¹, so A⁻¹ r = S⁻¹ Ã⁻¹ (S⁻¹ r).
-                rescale_into(r, &sv.s_inv, &mut self.levels[0].f);
+                rescale_into(r, &sv.s_inv, self.ws.level(0).f);
                 self.vcycle();
-                rescale_into(&self.levels[0].u, &sv.s_inv, e);
+                rescale_into(self.ws.level(0).u, &sv.s_inv, e);
                 self.finest_scale = Some(sv);
             }
             None => {
-                self.levels[0].f.copy_from_slice(r);
+                self.ws.level(0).f.copy_from_slice(r);
                 self.vcycle();
-                e.copy_from_slice(&self.levels[0].u);
+                e.copy_from_slice(self.ws.level(0).u);
             }
         }
+    }
+
+    /// Bytes held by the preallocated solve workspace (per-level V-cycle
+    /// buffers plus the boundary conversion pair). Carved once at setup;
+    /// together with [`MgInfo::matrix_bytes`] this is the hierarchy's
+    /// steady-state resident footprint.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes()
     }
 
     /// Number of finest-level unknowns.
@@ -1023,6 +1071,12 @@ impl GalerkinChain {
     /// Every level's operator, finest first.
     pub fn matrices(&self) -> &[SgDia<f64>] {
         &self.mats
+    }
+
+    /// Total bytes of FP64 value data the chain keeps resident — what a
+    /// hierarchy cache entry pays to retain it.
+    pub fn value_bytes(&self) -> usize {
+        self.mats.iter().map(|m| m.value_bytes()).sum()
     }
 
     /// Replaces the finest operator in place (same geometry required),
@@ -1353,12 +1407,13 @@ fn build_ilu(
 impl<K: Scalar, Pr: Scalar> Preconditioner<K> for Mg<Pr> {
     fn apply(&mut self, r: &[K], z: &mut [K]) {
         // Algorithm 2 line 4: truncate the residual to the preconditioner
-        // precision. Reuse the finest f/u buffers through apply_pr.
+        // precision, into the workspace's boundary pair. The pair is
+        // moved out (`mem::take`, no allocation) for the duration of the
+        // call because `apply_pr` needs `&mut self` while reading `rp`.
         let n = self.rows();
         assert_eq!(r.len(), n, "r length");
         assert_eq!(z.len(), n, "z length");
-        let mut rp = vec![Pr::ZERO; n];
-        let mut ep = vec![Pr::ZERO; n];
+        let (mut rp, mut ep) = self.ws.take_boundary();
         for (d, &s) in rp.iter_mut().zip(r) {
             *d = Pr::from_f64(s.to_f64());
         }
@@ -1367,6 +1422,7 @@ impl<K: Scalar, Pr: Scalar> Preconditioner<K> for Mg<Pr> {
         for (zi, &e) in z.iter_mut().zip(&ep) {
             *zi = K::from_f64(e.to_f64());
         }
+        self.ws.restore_boundary(rp, ep);
     }
 
     /// A solver breakdown or stagnation may be silent storage corruption

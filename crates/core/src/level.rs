@@ -8,9 +8,14 @@ use fp16mg_sgdia::scaling::{rescale_into, ScaleVectors};
 
 use crate::config::SmootherKind;
 use crate::stored::StoredMatrix;
+use crate::workspace::LevelBufs;
 
 /// A level of the hierarchy (everything except the coarsest, which is a
-/// dense direct solve).
+/// dense direct solve). Levels hold only operator data; the solve
+/// vectors (`u`, `f`, `r`, scratch) live in the hierarchy's
+/// [`Workspace`](crate::workspace::Workspace) arena and are passed in
+/// per call, so a level rebuild (promotion, repair) never reallocates
+/// the hot-loop buffers.
 pub(crate) struct Level<Pr: Scalar> {
     /// This level's grid.
     pub grid: Grid3,
@@ -27,18 +32,6 @@ pub(crate) struct Level<Pr: Scalar> {
     /// Estimated `λmax(D⁻¹A)` of the stored (scaled) operator when the
     /// Chebyshev smoother is configured.
     pub cheb_lambda: Option<f64>,
-    /// Current solution estimate.
-    pub u: Vec<Pr>,
-    /// Right-hand side (restricted residual from the finer level).
-    pub f: Vec<Pr>,
-    /// Residual.
-    pub r: Vec<Pr>,
-    /// Scratch for the scaled-space transforms and smoother sweeps.
-    t1: Vec<Pr>,
-    t2: Vec<Pr>,
-    t3: Vec<Pr>,
-    t4: Vec<Pr>,
-    t5: Vec<Pr>,
     par: Par,
 }
 
@@ -52,58 +45,41 @@ impl<Pr: Scalar> Level<Pr> {
         cheb_lambda: Option<f64>,
         par: Par,
     ) -> Self {
-        let n = grid.unknowns();
-        Level {
-            grid,
-            stored,
-            scale,
-            dinv,
-            ilu,
-            cheb_lambda,
-            u: vec![Pr::ZERO; n],
-            f: vec![Pr::ZERO; n],
-            r: vec![Pr::ZERO; n],
-            t1: vec![Pr::ZERO; n],
-            t2: vec![Pr::ZERO; n],
-            t3: vec![Pr::ZERO; n],
-            t4: vec![Pr::ZERO; n],
-            t5: vec![Pr::ZERO; n],
-            par,
-        }
+        Level { grid, stored, scale, dinv, ilu, cheb_lambda, par }
     }
 
-    /// `ν` smoothing sweeps on `A u = f`, updating `u` in place.
+    /// `ν` smoothing sweeps on `A u = f`, updating `b.u` in place.
     /// `post` selects the transposed sweep direction (Algorithm 3
     /// line 17). For a scaled level, the sweep runs in the scaled space
     /// `Ã (S u) = S⁻¹ f` — algebraically identical to sweeping the true
     /// operator, at the cost of three vector transforms (the
     /// recover-and-rescale overhead the paper calls cost-efficient).
-    pub fn smooth(&mut self, kind: SmootherKind, nu: usize, post: bool) {
+    pub fn smooth(&self, kind: SmootherKind, nu: usize, post: bool, b: &mut LevelBufs<'_, Pr>) {
         if nu == 0 {
             return;
         }
         if let Some(sv) = &self.scale {
             // t1 = S u (iterate), t2 = S⁻¹ f (rhs in scaled space).
-            rescale_into(&self.u, &sv.s, &mut self.t1);
-            rescale_into(&self.f, &sv.s_inv, &mut self.t2);
+            rescale_into(b.u, &sv.s, b.t1);
+            rescale_into(b.f, &sv.s_inv, b.t2);
             for _ in 0..nu {
                 sweep(
                     &self.stored,
                     &self.dinv,
                     self.ilu.as_ref(),
                     self.cheb_lambda,
-                    &self.t2,
-                    &mut self.t1,
-                    &mut self.t3,
-                    &mut self.t4,
-                    &mut self.t5,
+                    b.t2,
+                    b.t1,
+                    b.t3,
+                    b.t4,
+                    b.t5,
                     kind,
                     post,
                     self.par,
                 );
             }
             let s_inv = &sv.s_inv;
-            rescale_into(&self.t1, s_inv, &mut self.u);
+            rescale_into(b.t1, s_inv, b.u);
         } else {
             for _ in 0..nu {
                 sweep(
@@ -111,11 +87,11 @@ impl<Pr: Scalar> Level<Pr> {
                     &self.dinv,
                     self.ilu.as_ref(),
                     self.cheb_lambda,
-                    &self.f,
-                    &mut self.u,
-                    &mut self.t3,
-                    &mut self.t4,
-                    &mut self.t5,
+                    b.f,
+                    b.u,
+                    b.t3,
+                    b.t4,
+                    b.t5,
                     kind,
                     post,
                     self.par,
@@ -127,24 +103,18 @@ impl<Pr: Scalar> Level<Pr> {
     /// `r = f − A u` with the true operator recovered on the fly
     /// (Algorithm 3 lines 6–10): for a scaled level,
     /// `r = S (S⁻¹ f − Ã (S u))`.
-    pub fn compute_residual(&mut self) {
+    pub fn compute_residual(&self, b: &mut LevelBufs<'_, Pr>) {
         if let Some(sv) = &self.scale {
-            rescale_into(&self.u, &sv.s, &mut self.t1);
-            rescale_into(&self.f, &sv.s_inv, &mut self.t2);
-            self.stored.residual(&self.t2, &self.t1, &mut self.r, self.par);
+            rescale_into(b.u, &sv.s, b.t1);
+            rescale_into(b.f, &sv.s_inv, b.t2);
+            self.stored.residual(b.t2, b.t1, b.r, self.par);
             let s = &sv.s;
-            for (ri, &si) in self.r.iter_mut().zip(s) {
+            for (ri, &si) in b.r.iter_mut().zip(s) {
                 *ri *= si;
             }
         } else {
-            self.stored.residual(&self.f, &self.u, &mut self.r, self.par);
+            self.stored.residual(b.f, b.u, b.r, self.par);
         }
-    }
-
-    /// Zeroes the iterate (each V-cycle starts from `u = 0` on every
-    /// level).
-    pub fn reset(&mut self) {
-        self.u.fill(Pr::ZERO);
     }
 }
 

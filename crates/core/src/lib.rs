@@ -33,6 +33,7 @@ mod ops;
 mod smoother;
 mod stored;
 mod transfer;
+mod workspace;
 
 pub use coarsen::{directional_strength, galerkin_rap, galerkin_rap_axes};
 pub use config::{
@@ -49,6 +50,7 @@ pub use ops::MatOp;
 pub use smoother::{DenseLu, FactorError};
 pub use stored::StoredMatrix;
 pub use transfer::{prolong_add, restrict};
+pub use workspace::MAX_ARENA_BYTES;
 
 #[cfg(test)]
 mod tests;

@@ -4,6 +4,7 @@ use fp16mg_fp::Scalar;
 
 use crate::control::{NoControl, SolveControl};
 use crate::health::{Breakdown, SolveHealth};
+use crate::scratch::SolveScratch;
 use crate::traits::{axpy, dot, norm2, xpby, LinOp, Preconditioner};
 use crate::types::{SolveOptions, SolveResult, StopReason};
 
@@ -56,6 +57,28 @@ pub fn cg_ctl<K: Scalar>(
     opts: &SolveOptions,
     ctl: &mut impl SolveControl,
 ) -> SolveResult {
+    let mut scratch = SolveScratch::new(a.rows());
+    cg_ctl_in(a, m, b, x, opts, ctl, &mut scratch)
+}
+
+/// [`cg_ctl`] with caller-owned work vectors: the four per-solve vectors
+/// come from `scratch` instead of fresh allocations, so a driver that
+/// solves repeatedly at one size (time stepper, serve daemon) performs
+/// zero heap allocations per warm solve. The scratch grows on demand and
+/// is reusable across solves.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn cg_ctl_in<K: Scalar>(
+    a: &impl LinOp<K>,
+    m: &mut impl Preconditioner<K>,
+    b: &[K],
+    x: &mut [K],
+    opts: &SolveOptions,
+    ctl: &mut impl SolveControl,
+    scratch: &mut SolveScratch<K>,
+) -> SolveResult {
     let n = a.rows();
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");
@@ -66,20 +89,21 @@ pub fn cg_ctl<K: Scalar>(
         return SolveResult::new(StopReason::Converged, 0, 0.0, vec![0.0]);
     }
 
-    let mut r = vec![K::ZERO; n];
-    let mut z = vec![K::ZERO; n];
-    let mut p = vec![K::ZERO; n];
-    let mut ap = vec![K::ZERO; n];
+    scratch.ensure(n);
+    let r = &mut scratch.r[..n];
+    let z = &mut scratch.z[..n];
+    let p = &mut scratch.p[..n];
+    let ap = &mut scratch.ap[..n];
 
     // r = b - A x
-    a.apply(x, &mut r);
+    a.apply(x, r);
     for (ri, &bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
 
     let mut health = SolveHealth::new(opts.health, opts.record_history);
     let mut history = Vec::new();
-    let mut rel = norm2(&r) / bnorm;
+    let mut rel = norm2(r) / bnorm;
     if opts.record_history {
         history.push(rel);
     }
@@ -89,9 +113,9 @@ pub fn cg_ctl<K: Scalar>(
             .with_health(health.into_records());
     }
 
-    m.apply(&r, &mut z);
-    p.copy_from_slice(&z);
-    let mut rz = dot(&r, &z);
+    m.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
 
     for it in 1..=opts.max_iters {
         if let Err(e) = ctl.check(it) {
@@ -99,8 +123,8 @@ pub fn cg_ctl<K: Scalar>(
                 .with_interrupt(e)
                 .with_health(health.into_records());
         }
-        a.apply(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.apply(p, ap);
+        let pap = dot(p, ap);
         if !pap.is_finite() || pap <= 0.0 {
             m.on_health_anomaly();
             return SolveResult::new(StopReason::Breakdown, it, f64::NAN, history)
@@ -108,10 +132,10 @@ pub fn cg_ctl<K: Scalar>(
                 .with_health(health.into_records());
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, x);
-        axpy(-alpha, &ap, &mut r);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
 
-        rel = norm2(&r) / bnorm;
+        rel = norm2(r) / bnorm;
         if opts.record_history {
             history.push(rel);
         }
@@ -132,18 +156,18 @@ pub fn cg_ctl<K: Scalar>(
                 .with_health(health.into_records());
         }
 
-        m.apply(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        m.apply(r, z);
+        let rz_new = dot(r, z);
         // Polak–Ribière numerator zᵀ(r_new − r_old): with
         // r_old = r_new + α·Ap this is rz_new − (rz_new + α·zᵀAp)
         //       = −α·zᵀAp, so β = (rz_new − zᵀr_old)/rz = −α·zᵀAp / rz.
-        let z_ap = dot(&z, &ap);
+        let z_ap = dot(z, ap);
         let beta_pr = -alpha * z_ap / rz;
         // Guard against loss of positivity from preconditioner noise.
         let beta = if beta_pr.is_finite() { beta_pr.max(0.0) } else { 0.0 };
         rz = rz_new;
         // p = z + beta p
-        xpby(&z, beta, &mut p);
+        xpby(z, beta, p);
     }
 
     SolveResult::new(StopReason::MaxIters, opts.max_iters, rel, history)

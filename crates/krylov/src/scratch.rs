@@ -1,0 +1,55 @@
+//! Reusable solver scratch: the per-solve work vectors, preallocated
+//! once and handed back to every solve.
+//!
+//! A single [`crate::cg_ctl`] call already allocates its four work
+//! vectors only once, before the iteration loop — but a driver that
+//! solves repeatedly at the same size (a time stepper, a serve daemon)
+//! pays that allocation per solve. [`SolveScratch`] hoists it: carve the
+//! vectors once, pass `&mut scratch` to [`crate::cg_ctl_in`], and every
+//! warm solve runs without touching the heap at all.
+
+use fp16mg_fp::Scalar;
+
+/// Preallocated CG work vectors (`r`, `z`, `p`, `Ap`), reusable across
+/// solves of the same size.
+pub struct SolveScratch<K: Scalar> {
+    pub(crate) r: Vec<K>,
+    pub(crate) z: Vec<K>,
+    pub(crate) p: Vec<K>,
+    pub(crate) ap: Vec<K>,
+}
+
+impl<K: Scalar> SolveScratch<K> {
+    /// Allocates scratch for systems of `n` unknowns.
+    pub fn new(n: usize) -> Self {
+        SolveScratch {
+            r: vec![K::ZERO; n],
+            z: vec![K::ZERO; n],
+            p: vec![K::ZERO; n],
+            ap: vec![K::ZERO; n],
+        }
+    }
+
+    /// Number of unknowns the scratch is sized for.
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// True when sized for zero unknowns.
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// Grows the scratch to `n` unknowns if it is smaller (no-op, and no
+    /// allocation, when already large enough).
+    pub fn ensure(&mut self, n: usize) {
+        if self.r.len() < n {
+            *self = Self::new(n);
+        }
+    }
+
+    /// Bytes held by the scratch vectors.
+    pub fn bytes(&self) -> usize {
+        4 * self.r.capacity() * core::mem::size_of::<K>()
+    }
+}

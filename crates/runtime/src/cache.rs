@@ -37,6 +37,7 @@ use fp16mg_fp::{Fnv1a, Precision};
 use fp16mg_sgdia::audit::{self, drift, OperatorDrift, RangeAudit};
 use fp16mg_sgdia::SgDia;
 
+use crate::mem::{MemCharge, MemGovernor};
 use crate::ring::Ring;
 
 /// Cache tuning.
@@ -47,6 +48,11 @@ pub struct CacheConfig {
     pub enabled: bool,
     /// Maximum retained entries (least-recently-used eviction beyond).
     pub capacity: usize,
+    /// Byte budget for retained chains (`None` = unbounded). Before an
+    /// insert, least-recently-used entries are evicted until the new
+    /// chain fits; an insert whose charge still fails is served
+    /// *uncached* — a typed degrade, never an abort.
+    pub byte_budget: Option<u64>,
     /// Drift magnitude (log2 units, see [`OperatorDrift::magnitude`])
     /// up to which the cached hierarchy is served unchanged.
     pub keep_max: f64,
@@ -62,6 +68,7 @@ impl Default for CacheConfig {
         CacheConfig {
             enabled: true,
             capacity: 8,
+            byte_budget: None,
             keep_max: 0.25,
             rescale_max: 3.0,
             event_log_cap: 256,
@@ -92,6 +99,13 @@ pub enum CacheEventKind {
     Rebuilt,
     /// An entry was evicted to make room (LRU).
     Evicted,
+    /// An entry was evicted for *bytes*: the byte budget (or an external
+    /// memory-pressure sweep) needed room.
+    MemEvicted,
+    /// The hierarchy was served but its chain was not retained: the
+    /// cache-insert charge was refused (byte budget or injected fault).
+    /// A degrade, not a failure — the caller still gets its solve.
+    Uncached,
 }
 
 impl CacheEventKind {
@@ -103,6 +117,8 @@ impl CacheEventKind {
             CacheEventKind::DriftInvalidated => "drift-invalidated",
             CacheEventKind::Rebuilt => "rebuilt",
             CacheEventKind::Evicted => "evicted",
+            CacheEventKind::MemEvicted => "mem-evicted",
+            CacheEventKind::Uncached => "uncached",
         }
     }
 }
@@ -198,6 +214,12 @@ struct CacheEntry {
     hits: u64,
     rescaled_hits: u64,
     builds: u64,
+    /// Bytes the retained chain keeps resident (0 for cold entries).
+    bytes: u64,
+    /// The governor receipt for those bytes. Dropping the entry drops
+    /// the receipt, crediting the bytes back — double-charging is
+    /// impossible by construction.
+    charge: Option<MemCharge>,
 }
 
 /// The per-class, drift-audited hierarchy cache.
@@ -207,18 +229,37 @@ pub struct HierarchyCache {
     entries: BTreeMap<CacheKey, CacheEntry>,
     events: Ring<CacheEvent>,
     stats: CacheStats,
+    /// Byte accounting for retained chains (`"cache-insert"` /
+    /// `"rescale"` charge classes). Unlimited unless the cache was
+    /// built with [`HierarchyCache::with_governor`].
+    governor: MemGovernor,
+    /// Evictions forced by bytes rather than entry count (also counted
+    /// in `stats.evictions`).
+    mem_evictions: u64,
+    /// Serves whose chain retention was refused (charge failed).
+    uncached: u64,
     tick: u64,
 }
 
 impl HierarchyCache {
-    /// An empty cache.
+    /// An empty cache with private (unlimited) byte accounting.
     pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_governor(cfg, MemGovernor::unlimited())
+    }
+
+    /// An empty cache charging its retained bytes against `governor` —
+    /// the shape a daemon uses so cache bytes, hierarchy bytes, and the
+    /// pressure signal share one budget.
+    pub fn with_governor(cfg: CacheConfig, governor: MemGovernor) -> Self {
         let events = Ring::new(cfg.event_log_cap);
         HierarchyCache {
             cfg,
             entries: BTreeMap::new(),
             events,
             stats: CacheStats::default(),
+            governor,
+            mem_evictions: 0,
+            uncached: 0,
             tick: 0,
         }
     }
@@ -241,6 +282,35 @@ impl HierarchyCache {
     /// Aggregate decision counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Bytes currently retained by warm entries' chains.
+    pub fn cache_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// Evictions forced by byte pressure (subset of `stats().evictions`).
+    pub fn mem_evictions(&self) -> u64 {
+        self.mem_evictions
+    }
+
+    /// Serves whose chain retention was refused by the byte accounting
+    /// (the `uncached` degrade rung).
+    pub fn uncached_serves(&self) -> u64 {
+        self.uncached
+    }
+
+    /// Evicts least-recently-used entries until retained bytes fit
+    /// within `budget`. Returns the number of entries evicted. This is
+    /// the hook a pressure-driven runtime calls when the memory
+    /// component of its `PressureSignal` crosses the eviction threshold.
+    pub fn evict_until_within(&mut self, budget: u64) -> usize {
+        let mut evicted = 0;
+        while self.cache_bytes() > budget && !self.entries.is_empty() {
+            self.evict_lru(CacheEventKind::MemEvicted);
+            evicted += 1;
+        }
+        evicted
     }
 
     /// The most recent typed decisions (ring-bounded).
@@ -346,6 +416,19 @@ impl HierarchyCache {
         current: RangeAudit,
         d: OperatorDrift,
     ) -> Result<(Mg<f32>, CacheEventKind), SetupError> {
+        // The rescale commit materializes a fresh copy of the finest
+        // operator inside the chain — charge it before doing the work.
+        // A refused charge degrades to serving the *stale* chain as a
+        // plain hit: bounded Galerkin lag (the drift is ≤ `rescale_max`
+        // by the caller's check), zero new bytes, and the outer Krylov
+        // iteration still runs on the caller's exact matrix.
+        let finest_bytes = matrix.value_bytes() as u64;
+        // Held (not bound to `_`) so the transient bytes stay tracked
+        // for the duration of the rescale, then credit back on return.
+        let _rescale_charge = match self.governor.try_charge("rescale", finest_bytes) {
+            Ok(c) => c,
+            Err(_) => return self.serve_hit(key, config, Some(d)),
+        };
         let tick = self.tick;
         let class = key.class.clone();
         let entry = self.entries.get_mut(key).expect("rescale entry exists");
@@ -390,9 +473,34 @@ impl HierarchyCache {
     ) -> Result<(Mg<f32>, CacheEventKind), SetupError> {
         let chain = GalerkinChain::build(matrix, config)?;
         let mg = Mg::<f32>::setup_from_chain(&chain, config)?;
+        let class = key.class.clone();
+        match kind {
+            CacheEventKind::DriftInvalidated => self.stats.drift_invalidations += 1,
+            _ => self.stats.rebuilds += 1,
+        }
+        // Retention is fallible: release the bytes of whatever chain the
+        // slot held (it is being replaced either way), make room under
+        // the byte budget, and charge the new chain. A refused charge
+        // degrades to an uncached serve — the caller still gets its
+        // hierarchy, the slot just goes cold.
+        let bytes = chain.value_bytes() as u64;
+        if let Some(old) = self.entries.get_mut(&key) {
+            old.chain = None;
+            old.bytes = 0;
+            old.charge = None;
+        }
+        self.evict_for_bytes(bytes);
+        let charge = match self.governor.try_charge("cache-insert", bytes) {
+            Ok(c) => c,
+            Err(_) => {
+                self.entries.remove(&key);
+                self.uncached += 1;
+                self.record(CacheEventKind::Uncached, &class, d);
+                return Ok((mg, CacheEventKind::Uncached));
+            }
+        };
         let baseline = audit::audit(matrix, Precision::F16);
         let fp = fingerprint(matrix);
-        let class = key.class.clone();
         let tick = self.tick;
         let entry = self.entries.entry(key).or_insert_with(|| CacheEntry {
             chain: None,
@@ -403,6 +511,8 @@ impl HierarchyCache {
             hits: 0,
             rescaled_hits: 0,
             builds: 0,
+            bytes: 0,
+            charge: None,
         });
         entry.chain = Some(chain);
         entry.baseline = Some(baseline);
@@ -410,10 +520,8 @@ impl HierarchyCache {
         entry.config_tag = config_tag;
         entry.last_used = tick;
         entry.builds += 1;
-        match kind {
-            CacheEventKind::DriftInvalidated => self.stats.drift_invalidations += 1,
-            _ => self.stats.rebuilds += 1,
-        }
+        entry.bytes = bytes;
+        entry.charge = Some(charge);
         self.record(kind, &class, d);
         Ok((mg, kind))
     }
@@ -421,16 +529,37 @@ impl HierarchyCache {
     /// Evicts least-recently-used entries until a new key fits.
     fn evict_for_room(&mut self, _incoming: &CacheKey) {
         while self.entries.len() >= self.cfg.capacity.max(1) {
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty cache has an LRU entry");
-            self.entries.remove(&victim);
-            self.stats.evictions += 1;
-            self.record(CacheEventKind::Evicted, &victim.class, None);
+            self.evict_lru(CacheEventKind::Evicted);
         }
+    }
+
+    /// Evicts LRU entries until `incoming_bytes` more would fit within
+    /// the byte budget (no-op when unbounded).
+    fn evict_for_bytes(&mut self, incoming_bytes: u64) {
+        let Some(budget) = self.cfg.byte_budget else { return };
+        while !self.entries.is_empty() && self.cache_bytes().saturating_add(incoming_bytes) > budget
+        {
+            self.evict_lru(CacheEventKind::MemEvicted);
+        }
+    }
+
+    /// Removes the least-recently-used entry, recording `kind`
+    /// (`Evicted` for count pressure, `MemEvicted` for byte pressure).
+    /// Dropping the entry drops its charge receipt, so the governor's
+    /// accounting credits back exactly once.
+    fn evict_lru(&mut self, kind: CacheEventKind) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+            .expect("non-empty cache has an LRU entry");
+        self.entries.remove(&victim);
+        self.stats.evictions += 1;
+        if kind == CacheEventKind::MemEvicted {
+            self.mem_evictions += 1;
+        }
+        self.record(kind, &victim.class, None);
     }
 
     fn record(&mut self, kind: CacheEventKind, class: &str, drift: Option<OperatorDrift>) {
@@ -465,6 +594,8 @@ impl HierarchyCache {
                 hits: m.hits,
                 rescaled_hits: m.rescaled_hits,
                 builds: m.builds,
+                bytes: 0,
+                charge: None,
             });
         }
     }

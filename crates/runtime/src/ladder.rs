@@ -44,6 +44,7 @@ use fp16mg_sgdia::kernels::Par;
 use crate::admission::Priority;
 use crate::budget::{Budget, BudgetGuard};
 use crate::jitter;
+use crate::mem::{MemCharge, MemGovernor};
 use crate::ring::Ring;
 use crate::shed::{DegradeEvent, DegradeProfile, ShedPolicy};
 
@@ -258,6 +259,13 @@ pub struct SolveRequest {
     /// problem's name, so one poisoned problem shape trips its own
     /// breaker without touching the others).
     pub class: String,
+    /// Memory governor every hierarchy the session builds is charged
+    /// against (`"setup"` for the stored levels, `"workspace"` for the
+    /// V-cycle arena). Defaults to an unlimited governor; the serve pool
+    /// replaces it with its shared budgeted one. A refused charge is a
+    /// typed [`SolveError::SetupFailed`] that escalates the ladder like
+    /// any other setup failure — never an abort.
+    pub governor: MemGovernor,
     /// Fault injection plan (`fault-inject` builds only).
     #[cfg(feature = "fault-inject")]
     pub fault: Option<FaultPlan>,
@@ -284,6 +292,7 @@ impl SolveRequest {
             par: Par::Seq,
             priority: Priority::default(),
             class,
+            governor: MemGovernor::unlimited(),
             #[cfg(feature = "fault-inject")]
             fault: None,
             #[cfg(feature = "fault-inject")]
@@ -466,10 +475,37 @@ impl SessionOutcome {
 /// Escalation to [`Rung::PromoteNarrow`] or beyond drops it.
 struct Retained {
     mg: Option<Mg<f32>>,
+    /// Charge receipts for `mg`'s stored levels and workspace arena;
+    /// dropped (credited back) together with the hierarchy. `None` while
+    /// `mg` is uncharged — a prebuilt hierarchy is charged on first use
+    /// by the rung-0 attempt.
+    charges: Option<HierarchyCharges>,
     /// True once the fault plan has been applied to `mg`: each build is
     /// corrupted exactly once (re-flipping the same bit would undo it).
     #[cfg(feature = "fault-inject")]
     injected: bool,
+}
+
+/// Receipts tying a live hierarchy's bytes to the session governor.
+struct HierarchyCharges {
+    _setup: MemCharge,
+    _workspace: MemCharge,
+}
+
+/// Charges a freshly built (or adopted) hierarchy against the request's
+/// governor: stored matrix bytes as `"setup"`, the preallocated V-cycle
+/// arena as `"workspace"`. A refused charge surfaces as a typed
+/// [`SolveError::SetupFailed`], which the ladder treats exactly like a
+/// failed build — skip the rung and escalate.
+fn charge_hierarchy<Pr: Scalar>(
+    req: &SolveRequest,
+    mg: &Mg<Pr>,
+) -> Result<HierarchyCharges, SolveError> {
+    let mem_err = |e: crate::mem::MemError| SolveError::SetupFailed { message: e.to_string() };
+    let setup = req.governor.try_charge("setup", mg.info().matrix_bytes as u64).map_err(mem_err)?;
+    let workspace =
+        req.governor.try_charge("workspace", mg.workspace_bytes() as u64).map_err(mem_err)?;
+    Ok(HierarchyCharges { _setup: setup, _workspace: workspace })
 }
 
 /// What one solver attempt produced.
@@ -515,6 +551,7 @@ pub fn run_session_with(req: &SolveRequest, prebuilt: Option<Mg<f32>>) -> Sessio
     let mut global_attempt = 0usize;
     let mut retained = Retained {
         mg: prebuilt,
+        charges: None,
         #[cfg(feature = "fault-inject")]
         injected: false,
     };
@@ -565,6 +602,7 @@ pub fn run_session_with(req: &SolveRequest, prebuilt: Option<Mg<f32>>) -> Sessio
                 // help, so the ladder starts past RepairLevel too.
                 start_rung = Rung::PromoteNarrow.index();
                 retained.mg = None;
+                retained.charges = None;
             }
             report.audit = Some(AuditSnapshot { levels, skipped_retry, reason });
         }
@@ -721,6 +759,21 @@ fn run_rung_attempt(
                     retained.injected = false;
                 }
             }
+            // Invariant: a retained hierarchy is always charged. A
+            // prebuilt (cached) or gate-built hierarchy is charged here
+            // on first use; a refused charge drops it and escalates —
+            // the rebuild rungs charge their own builds at later op
+            // indices, so an injected one-shot fault resolves there.
+            if retained.charges.is_none() {
+                let mg = retained.mg.as_ref().expect("retained hierarchy was just ensured");
+                match charge_hierarchy(req, mg) {
+                    Ok(c) => retained.charges = Some(c),
+                    Err(e) => {
+                        retained.mg = None;
+                        return Err(e);
+                    }
+                }
+            }
             let mg = retained.mg.as_mut().expect("retained hierarchy was just ensured");
             #[cfg(feature = "fault-inject")]
             if !retained.injected {
@@ -749,8 +802,10 @@ fn run_rung_attempt(
             Ok(Some(attempt_with(req, mg, opts, guard, bases)))
         }
         Rung::PromoteNarrow => {
-            // A rebuild abandons the repairable hierarchy for good.
+            // A rebuild abandons the repairable hierarchy for good
+            // (and credits its bytes back before building the next one).
             retained.mg = None;
+            retained.charges = None;
             // Promotion needs recovery bookkeeping (retained level
             // sources), whatever the caller's policy says.
             let mut cfg = req.base.clone();
@@ -768,24 +823,29 @@ fn run_rung_attempt(
             for lev in narrow {
                 mg.promote_level(lev, PromotionReason::Manual);
             }
+            let _charges = charge_hierarchy(req, &mg)?;
             #[cfg(feature = "fault-inject")]
             inject_if_armed(req, rung, &mut mg);
             Ok(Some(attempt_with(req, &mut mg, opts, guard, (0, 0))))
         }
         Rung::RebuildF32 => {
             retained.mg = None;
+            retained.charges = None;
             let mut cfg = req.base.clone();
             cfg.storage = StoragePolicy::Uniform(Precision::F32);
             let mut mg = Mg::<f32>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
+            let _charges = charge_hierarchy(req, &mg)?;
             #[cfg(feature = "fault-inject")]
             inject_if_armed(req, rung, &mut mg);
             Ok(Some(attempt_with(req, &mut mg, opts, guard, (0, 0))))
         }
         Rung::RebuildF64 => {
             retained.mg = None;
+            retained.charges = None;
             let mut cfg = req.base.clone();
             cfg.storage = StoragePolicy::Uniform(Precision::F64);
             let mut mg = Mg::<f64>::setup(&req.problem.matrix, &cfg).map_err(setup_err)?;
+            let _charges = charge_hierarchy(req, &mg)?;
             #[cfg(feature = "fault-inject")]
             inject_if_armed(req, rung, &mut mg);
             Ok(Some(attempt_with(req, &mut mg, opts, guard, (0, 0))))

@@ -42,6 +42,7 @@ pub mod budget;
 pub mod cache;
 pub mod jitter;
 pub mod ladder;
+pub mod mem;
 pub mod pool;
 pub mod ring;
 pub mod shed;
@@ -64,6 +65,7 @@ pub use ladder::{
 };
 #[cfg(feature = "fault-inject")]
 pub use ladder::{FaultPlan, LevelBitFlip};
+pub use mem::{AllocFault, ChargeRecord, MemCharge, MemError, MemGovernor};
 pub use pool::{
     run_batch, PoolConfig, PoolState, RequestOutcome, ServeCounters, ServeError, ServePool,
 };

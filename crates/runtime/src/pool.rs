@@ -55,6 +55,7 @@ use crate::breaker::{BreakerConfig, BreakerDecision, BreakerExport, BreakerRegis
 use crate::budget::CancelToken;
 use crate::cache::{CacheConfig, CacheEntryMeta, CacheEventKind, CacheStats, HierarchyCache};
 use crate::ladder::{run_session_with, RetryReport, SolveRequest};
+use crate::mem::MemGovernor;
 use crate::ring::Ring;
 use crate::shed::{estimate_pressure, DegradeEvent, DegradeProfile, ShedPolicy};
 use crate::supervise::{Quarantine, SuperviseConfig, WorkerEvent, WorkerEventKind};
@@ -254,6 +255,12 @@ pub struct PoolConfig {
     pub cache: CacheConfig,
     /// Worker supervision (off by default, for the same reason).
     pub supervise: SuperviseConfig,
+    /// Byte budget for the pool's shared [`MemGovernor`]: every
+    /// hierarchy, workspace arena, cache entry, and rescale commit is
+    /// charged against it; tracked usage over this budget feeds the
+    /// pressure signal's `mem_fill` component and triggers cache
+    /// eviction. `None` (the default) tracks usage without refusing.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for PoolConfig {
@@ -265,6 +272,7 @@ impl Default for PoolConfig {
             breaker: BreakerConfig::default(),
             cache: CacheConfig::disabled(),
             supervise: SuperviseConfig::disabled(),
+            mem_budget: None,
         }
     }
 }
@@ -281,6 +289,7 @@ impl PoolConfig {
             breaker: BreakerConfig::disabled(),
             cache: CacheConfig::disabled(),
             supervise: SuperviseConfig::disabled(),
+            mem_budget: None,
         }
     }
 
@@ -294,6 +303,7 @@ impl PoolConfig {
             breaker: BreakerConfig::default(),
             cache: CacheConfig::default(),
             supervise: SuperviseConfig::default(),
+            mem_budget: None,
         }
     }
 }
@@ -330,14 +340,21 @@ pub struct ServePool {
     quarantine: Quarantine,
     counters: ServeCounters,
     worker_events: Ring<WorkerEvent>,
+    governor: MemGovernor,
 }
 
 impl ServePool {
     /// A pool with fresh (all-closed) breakers, an empty cache, and an
-    /// empty quarantine.
+    /// empty quarantine. When the config carries a `mem_budget`, the
+    /// pool's shared [`MemGovernor`] enforces it across every session
+    /// and cache entry.
     pub fn new(cfg: PoolConfig) -> Self {
+        let governor = match cfg.mem_budget {
+            Some(b) => MemGovernor::with_budget(b),
+            None => MemGovernor::unlimited(),
+        };
         let breakers = BreakerRegistry::new(cfg.breaker.clone());
-        let cache = HierarchyCache::new(cfg.cache.clone());
+        let cache = HierarchyCache::with_governor(cfg.cache.clone(), governor.clone());
         let quarantine = Quarantine::new(cfg.supervise.max_strikes);
         let worker_events = Ring::new(cfg.supervise.event_log_cap);
         ServePool {
@@ -347,7 +364,14 @@ impl ServePool {
             quarantine,
             counters: ServeCounters::default(),
             worker_events,
+            governor,
         }
+    }
+
+    /// The pool's shared memory governor (byte accounting, fault
+    /// schedule, fired-fault counts).
+    pub fn governor(&self) -> &MemGovernor {
+        &self.governor
     }
 
     /// The pool configuration.
@@ -431,6 +455,9 @@ impl ServePool {
         let mut admitted: Vec<Admitted> = Vec::new();
         let mut queued_deadlines: Vec<Option<std::time::Duration>> = Vec::new();
         for (index, mut req) in requests.into_iter().enumerate() {
+            // Every session charges its hierarchies against the pool's
+            // shared governor, so one byte budget covers the whole pool.
+            req.governor = self.governor.clone();
             let priority = req.priority;
             let class = req.class.clone();
             let name = req.name.clone();
@@ -483,13 +510,28 @@ impl ServePool {
             };
             // Gate 3: the pressure signal. Probes bypass shedding — the
             // whole point of a probe is to run and report.
-            let signal = estimate_pressure(
+            let mut signal = estimate_pressure(
                 queue.depth(),
                 queue.config().capacity,
                 workers,
                 queue.config().est_service,
                 &queued_deadlines,
             );
+            signal.mem_fill = self.governor.fill();
+            // Memory pressure's first lever is eviction: before any work
+            // is degraded or shed, the cache gives bytes back until the
+            // fill drops below the degrade threshold (or the cache is
+            // empty — residual pressure then degrades/sheds like any
+            // other overload).
+            if signal.mem_fill >= self.cfg.shed.reduce_at {
+                if let Some(budget) = self.governor.budget() {
+                    let target = (self.cfg.shed.reduce_at * budget as f64) as u64;
+                    let excess = self.governor.used().saturating_sub(target);
+                    let cache_target = self.cache.cache_bytes().saturating_sub(excess);
+                    self.cache.evict_until_within(cache_target);
+                    signal.mem_fill = self.governor.fill();
+                }
+            }
             let pressure = signal.value();
             if !probe && self.cfg.shed.should_shed(priority, pressure) {
                 queue.release(priority);

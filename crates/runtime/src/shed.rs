@@ -13,9 +13,10 @@
 //!    only refused by a hard capacity bound or an open breaker).
 //!
 //! The pressure signal driving both is computed from *declared*
-//! quantities — queue depth against capacity, and queued deadline slack
-//! against a configured per-request service estimate — never from
-//! measured wall time, so a replayed batch makes identical decisions.
+//! quantities — queue depth against capacity, queued deadline slack
+//! against a configured per-request service estimate, and tracked bytes
+//! against the pool's memory budget — never from measured wall time or
+//! RSS, so a replayed batch makes identical decisions.
 
 use crate::admission::Priority;
 use std::time::Duration;
@@ -103,8 +104,8 @@ impl core::fmt::Display for DegradeEvent {
     }
 }
 
-/// The pressure signal: two components, combined as their max. Both are
-/// fractions in `[0, 1]`.
+/// The pressure signal: three components, combined as their max. All
+/// are fractions in `[0, 1]`.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PressureSignal {
     /// Queue depth over total capacity.
@@ -113,12 +114,17 @@ pub struct PressureSignal {
     /// shorter than their expected wait (position in queue over worker
     /// count, times the declared service estimate).
     pub slack_deficit: f64,
+    /// Fraction of the pool's memory budget in use
+    /// ([`crate::MemGovernor::fill`]; zero when the pool has no byte
+    /// budget). Tracked bytes, not RSS, so the signal replays
+    /// deterministically.
+    pub mem_fill: f64,
 }
 
 impl PressureSignal {
     /// Combined pressure in `[0, 1]`.
     pub fn value(self) -> f64 {
-        self.queue_fill.max(self.slack_deficit).clamp(0.0, 1.0)
+        self.queue_fill.max(self.slack_deficit).max(self.mem_fill).clamp(0.0, 1.0)
     }
 }
 
@@ -150,7 +156,7 @@ pub fn estimate_pressure(
     }
     let slack_deficit =
         if with_deadline == 0 { 0.0 } else { missing as f64 / with_deadline as f64 };
-    PressureSignal { queue_fill, slack_deficit }
+    PressureSignal { queue_fill, slack_deficit, mem_fill: 0.0 }
 }
 
 /// Thresholds mapping pressure to profiles and shed decisions.

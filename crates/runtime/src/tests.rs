@@ -1946,3 +1946,256 @@ mod storage_faults {
         assert!(!err.is_no_space());
     }
 }
+
+mod mem_governor {
+    use crate::mem::{AllocFault, MemError, MemGovernor};
+
+    #[test]
+    fn charges_credit_back_on_drop() {
+        let g = MemGovernor::with_budget(1000);
+        let a = g.try_charge("setup", 400).unwrap();
+        let b = g.try_charge("workspace", 500).unwrap();
+        assert_eq!(g.used(), 900);
+        assert_eq!(g.peak(), 900);
+        drop(a);
+        assert_eq!(g.used(), 500);
+        drop(b);
+        assert_eq!(g.used(), 0, "all receipts dropped: accounting returns to zero");
+        assert_eq!(g.peak(), 900, "peak survives the credits");
+    }
+
+    #[test]
+    fn budget_refusal_is_typed_and_charges_nothing() {
+        let g = MemGovernor::with_budget(100);
+        let _a = g.try_charge("setup", 80).unwrap();
+        let err = g.try_charge("cache-insert", 30).unwrap_err();
+        assert_eq!(
+            err,
+            MemError::BudgetExceeded {
+                class: "cache-insert".into(),
+                requested: 30,
+                used: 80,
+                budget: 100,
+            }
+        );
+        assert_eq!(g.used(), 80, "a refused charge must not leak bytes");
+        assert_eq!(g.fired().get("budget-exceeded"), Some(&1));
+    }
+
+    #[test]
+    fn unlimited_tracks_but_never_refuses() {
+        let g = MemGovernor::unlimited();
+        let c = g.try_charge("setup", u64::MAX / 2).unwrap();
+        assert_eq!(g.fill(), 0.0);
+        drop(c);
+        assert_eq!(g.used(), 0);
+    }
+
+    #[test]
+    fn scheduled_fail_fires_once_at_its_index() {
+        let g = MemGovernor::with_budget(1_000_000);
+        g.schedule(1, AllocFault::Fail);
+        let _a = g.try_charge("setup", 10).unwrap();
+        let err = g.try_charge("workspace", 10).unwrap_err();
+        assert_eq!(err, MemError::Injected { class: "workspace".into(), index: 1 });
+        let _b = g.try_charge("workspace", 10).expect("retry at the next index succeeds");
+        assert_eq!(g.fired().get("alloc-fail"), Some(&1));
+        assert_eq!(g.used(), 20);
+    }
+
+    #[test]
+    fn burst_fails_a_bounded_run_of_charges() {
+        let g = MemGovernor::unlimited();
+        g.schedule(0, AllocFault::Burst { count: 3 });
+        for i in 0..3 {
+            let err = g.try_charge("setup", 1).unwrap_err();
+            assert_eq!(err, MemError::Injected { class: "setup".into(), index: i });
+        }
+        assert!(g.try_charge("setup", 1).is_ok(), "burst is bounded");
+        assert_eq!(g.fired().get("alloc-burst"), Some(&3));
+    }
+
+    #[test]
+    fn op_log_records_every_attempt_for_replay() {
+        let g = MemGovernor::with_budget(50);
+        let _c = g.try_charge("setup", 40).unwrap();
+        let _ = g.try_charge("cache-insert", 40);
+        let log = g.op_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].index, log[0].class.as_str(), log[0].bytes), (0, "setup", 40));
+        assert_eq!((log[1].index, log[1].class.as_str()), (1, "cache-insert"));
+        assert_eq!(g.op_count(), 2);
+    }
+
+    #[test]
+    fn fill_reflects_budget_fraction() {
+        let g = MemGovernor::with_budget(200);
+        let _c = g.try_charge("setup", 150).unwrap();
+        assert!((g.fill() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let g = MemGovernor::with_budget(1000);
+        let g2 = g.clone();
+        let h = std::thread::spawn(move || {
+            let c = g2.try_charge("setup", 600).unwrap();
+            assert_eq!(g2.used(), 600);
+            drop(c);
+        });
+        h.join().unwrap();
+        assert_eq!(g.used(), 0);
+        assert_eq!(g.peak(), 600);
+    }
+}
+
+mod mem_pressure {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    use crate::cache::CacheConfig;
+    use crate::mem::MemGovernor;
+    use crate::pool::{PoolConfig, RequestOutcome, ServePool};
+    use crate::shed::ShedPolicy;
+
+    /// Six requests in six distinct problem classes: every class is its
+    /// own cache entry and every hierarchy is built from its own matrix,
+    /// so solves are independent of cache interleaving and eviction —
+    /// only the *memory* behavior may differ between runs.
+    fn batch() -> Vec<SolveRequest> {
+        (0..6)
+            .map(|i| {
+                let mut problem = laplace(6);
+                for v in problem.matrix.data_mut() {
+                    *v *= 1.0 + i as f64;
+                }
+                let mut req = SolveRequest::new(format!("mem-{i}"), problem, MgConfig::d16());
+                req.class = format!("class-{i}");
+                req.opts = SolveOptions { tol: 1e-8, record_history: false, ..Default::default() };
+                req
+            })
+            .collect()
+    }
+
+    fn pool_cfg(budget: Option<u64>) -> PoolConfig {
+        PoolConfig {
+            workers: 3,
+            mem_budget: budget,
+            shed: ShedPolicy::disabled(),
+            cache: CacheConfig::default(),
+            ..PoolConfig::default()
+        }
+    }
+
+    /// Unlimited governor, but the cache itself holds at most
+    /// `byte_budget` of retained chains (evicting LRU to make room).
+    fn cache_budget_cfg(byte_budget: u64) -> PoolConfig {
+        PoolConfig {
+            workers: 3,
+            mem_budget: None,
+            shed: ShedPolicy::disabled(),
+            cache: CacheConfig { byte_budget: Some(byte_budget), ..CacheConfig::default() },
+            ..PoolConfig::default()
+        }
+    }
+
+    /// Solutions of the converged outcomes, keyed by request name.
+    fn solutions(outcomes: &[RequestOutcome]) -> BTreeMap<String, Vec<f64>> {
+        outcomes
+            .iter()
+            .filter(|o| o.converged())
+            .map(|o| {
+                let x = o.solution.clone().unwrap_or_else(|| panic!("{} no solution", o.name));
+                (o.name.clone(), x)
+            })
+            .collect()
+    }
+
+    /// Accounting invariant shared by both runs: after the batch, the
+    /// only live charges are the cache's retained chains, and dropping
+    /// the pool credits everything back to zero (no double-charge, no
+    /// leak).
+    fn assert_accounting(pool: ServePool, governor: &MemGovernor) {
+        assert_eq!(
+            governor.used(),
+            pool.cache().cache_bytes(),
+            "live bytes after the run must equal the cache's retained chains"
+        );
+        drop(pool);
+        assert_eq!(governor.used(), 0, "all receipts credited back on drop");
+    }
+
+    #[test]
+    fn concurrent_eviction_under_byte_pressure_keeps_solves_exact() {
+        // Reference: unbudgeted concurrent run.
+        let mut free = ServePool::new(pool_cfg(None));
+        let free_gov = free.governor().clone();
+        let free_out = free.run(batch());
+        assert!(free_out.iter().all(RequestOutcome::converged), "unbudgeted batch converges");
+        assert!(free_gov.peak() > 0, "governor tracked the working set");
+        assert_eq!(free.cache().mem_evictions(), 0, "no byte pressure without a budget");
+        let retained = free.cache().cache_bytes();
+        assert!(retained > 0, "unbudgeted run retains all six chains");
+        let want = solutions(&free_out);
+        assert_accounting(free, &free_gov);
+
+        // Pressured: the same batch with the cache capped at ~2/5 of the
+        // bytes it retained when unbudgeted, still on 3 workers. The
+        // governor stays unlimited, so no solve is ever refused — the
+        // pressure is absorbed entirely by LRU eviction, concurrently
+        // with inserts from the other workers.
+        let budget = (retained * 2) / 5;
+        let mut tight = ServePool::new(cache_budget_cfg(budget));
+        let tight_gov = tight.governor().clone();
+        let tight_out = tight.run(batch());
+        assert!(
+            tight_out.iter().all(RequestOutcome::converged),
+            "cache-byte pressure must never fail a solve"
+        );
+        assert!(tight.cache().mem_evictions() > 0, "six chains into 2/5 the bytes must evict");
+        assert!(
+            tight.cache().cache_bytes() <= budget,
+            "retained {} exceeds the cache byte budget {budget}",
+            tight.cache().cache_bytes()
+        );
+
+        // Each request's hierarchy is always built from its own matrix,
+        // so eviction and rebuild churn must not change a single bit of
+        // any solution.
+        let got = solutions(&tight_out);
+        for (name, y) in &got {
+            let x = &want[name];
+            assert_eq!(x.len(), y.len(), "{name}: solution length");
+            for (i, (a, b)) in x.iter().zip(y).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{name}[{i}]: {a:e} != {b:e} — eviction changed the solve"
+                );
+            }
+        }
+        assert_accounting(tight, &tight_gov);
+    }
+
+    #[test]
+    fn budget_smaller_than_any_chain_degrades_to_uncached_serves() {
+        // A budget too small to retain even one hierarchy: every setup
+        // still succeeds (the session builds outside the cache), every
+        // serve is typed as uncached or evicted, nothing panics.
+        let mut pool = ServePool::new(pool_cfg(Some(4096)));
+        let governor = pool.governor().clone();
+        let outcomes = pool.run(batch());
+        for o in &outcomes {
+            let worker_panicked = matches!(
+                o.result.as_ref().err().and_then(|e| e.session()),
+                Some(SolveError::WorkerPanicked { .. })
+            );
+            assert!(!worker_panicked, "{}: memory pressure must never panic a worker", o.name);
+        }
+        assert!(
+            pool.cache().uncached_serves() > 0,
+            "a starved cache serves uncached instead of aborting"
+        );
+        assert_eq!(pool.cache().cache_bytes(), 0, "nothing retained under a starved budget");
+        assert_accounting(pool, &governor);
+    }
+}

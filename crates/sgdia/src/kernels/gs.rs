@@ -20,7 +20,9 @@
 use fp16mg_fp::{Scalar, Storage};
 use fp16mg_grid::Grid3;
 
-use super::{tap_metas, widen_line, BlockDiagInv, TapMeta, MAX_COMPONENTS};
+use super::{
+    widen_line, with_bufs, with_idx4, with_tap_metas, BlockDiagInv, TapMeta, MAX_COMPONENTS,
+};
 use crate::{Layout, SgDia};
 
 /// One forward Gauss–Seidel sweep: cells in increasing row-major order.
@@ -65,18 +67,30 @@ fn sweep<S: Storage, P: Scalar>(
     assert_eq!(x.len(), cells * r, "x length");
     assert_eq!(dinv.components(), r, "dinv components");
     assert_eq!(dinv.cells(), cells, "dinv cells");
-    let metas = tap_metas(grid, a.pattern());
+    with_tap_metas(grid, a.pattern(), |metas| {
+        if a.layout() == Layout::Soa {
+            sweep_staged(grid, metas, a.data(), dinv, b, x, backward);
+            return;
+        }
+        sweep_aos(a, metas, dinv, b, x, backward);
+    });
+}
 
-    if a.layout() == Layout::Soa {
-        sweep_staged(grid, &metas, a.data(), dinv, b, x, backward);
-        return;
-    }
-
+/// Per-cell AOS sweep (the naive path: one convert per entry).
+fn sweep_aos<S: Storage, P: Scalar>(
+    a: &SgDia<S>,
+    metas: &[TapMeta],
+    dinv: &BlockDiagInv<P>,
+    b: &[P],
+    x: &mut [P],
+    backward: bool,
+) {
+    let cells = a.grid().cells();
+    let r = a.grid().components;
     let mut acc = [P::ZERO; MAX_COMPONENTS];
     let mut xb = [P::ZERO; MAX_COMPONENTS];
-    let iter: Box<dyn Iterator<Item = usize>> =
-        if backward { Box::new((0..cells).rev()) } else { Box::new(0..cells) };
-    for cell in iter {
+    for step in 0..cells {
+        let cell = if backward { cells - 1 - step } else { step };
         for c in 0..r {
             acc[c] = b[cell * r + c];
         }
@@ -115,112 +129,113 @@ fn sweep_staged<S: Storage, P: Scalar>(
     let r = grid.components;
     let nlines = cells / nx;
     let taps = metas.len();
-    let mut scratch = vec![P::ZERO; taps * nx];
-    let mut acc = vec![P::ZERO; nx * r];
-    let mut blk_in = [P::ZERO; MAX_COMPONENTS];
-    let mut blk_out = [P::ZERO; MAX_COMPONENTS];
-    // Gauss–Seidel semantics: within a line, only taps pointing *against*
-    // the sweep direction read values updated during this line — those
-    // stay in the recurrence. Everything else reads either earlier lines
-    // (already updated) or not-yet-touched values, so it can be
-    // bulk-accumulated from the pre-sweep state of the line. The center
-    // block is applied through its precomputed inverse.
-    let mut bulk: Vec<(usize, i64, usize, usize)> = Vec::new();
-    let mut rec: Vec<(usize, i64, usize, usize)> = Vec::new();
-    for (t, m) in metas.iter().enumerate() {
-        if m.center {
-            continue;
-        }
-        let item = (t, m.cell_stride, m.cout, m.cin);
-        if m.in_line && ((!backward && m.cell_stride < 0) || (backward && m.cell_stride > 0)) {
-            rec.push(item);
-        } else {
-            bulk.push(item);
-        }
-    }
+    with_bufs::<P, _>(|bufs| {
+        let (scratch, acc) = bufs.zeroed2(taps * nx, nx * r);
+        let mut blk_in = [P::ZERO; MAX_COMPONENTS];
+        let mut blk_out = [P::ZERO; MAX_COMPONENTS];
+        // Gauss–Seidel semantics: within a line, only taps pointing *against*
+        // the sweep direction read values updated during this line — those
+        // stay in the recurrence. Everything else reads either earlier lines
+        // (already updated) or not-yet-touched values, so it can be
+        // bulk-accumulated from the pre-sweep state of the line. The center
+        // block is applied through its precomputed inverse.
+        with_idx4(|bulk, rec| {
+            for (t, m) in metas.iter().enumerate() {
+                if m.center {
+                    continue;
+                }
+                let item = (t, m.cell_stride, m.cout, m.cin);
+                if m.in_line
+                    && ((!backward && m.cell_stride < 0) || (backward && m.cell_stride > 0))
+                {
+                    rec.push(item);
+                } else {
+                    bulk.push(item);
+                }
+            }
 
-    let lines: Box<dyn Iterator<Item = usize>> =
-        if backward { Box::new((0..nlines).rev()) } else { Box::new(0..nlines) };
-    for line in lines {
-        let lbase = line * nx;
-        for t in 0..taps {
-            widen_line(
-                &data[t * cells + lbase..t * cells + lbase + nx],
-                &mut scratch[t * nx..(t + 1) * nx],
-            );
-        }
-        acc[..nx * r].copy_from_slice(&b[lbase * r..(lbase + nx) * r]);
-        for &(t, cstride, cout, cin) in &bulk {
-            let xoff = lbase as i64 + cstride;
-            let lo = (-xoff).clamp(0, nx as i64) as usize;
-            let hi = (cells as i64 - xoff).clamp(lo as i64, nx as i64) as usize;
-            if r == 1 {
-                super::line_bulk_sub(
-                    &mut acc[..nx],
-                    &scratch[t * nx..(t + 1) * nx],
-                    x,
-                    xoff,
-                    cells,
-                );
-            } else {
-                for i in lo..hi {
-                    let xv = x[(xoff + i as i64) as usize * r + cin];
-                    acc[i * r + cout] -= scratch[t * nx + i] * xv;
+            for lstep in 0..nlines {
+                let line = if backward { nlines - 1 - lstep } else { lstep };
+                let lbase = line * nx;
+                for t in 0..taps {
+                    widen_line(
+                        &data[t * cells + lbase..t * cells + lbase + nx],
+                        &mut scratch[t * nx..(t + 1) * nx],
+                    );
                 }
-            }
-        }
-        // Scalar recurrence + diagonal-block solve. For scalar radius-1
-        // patterns there is exactly one within-line tap against the sweep
-        // direction, so the recurrence reduces to
-        // `x[i] = fma(d[i], x[i-1], c[i])` with `c = D⁻¹·acc` and
-        // `d = -D⁻¹·a_w` precomputed vectorized — one fused-multiply-add
-        // of latency on the dependency chain per cell.
-        if r == 1 && rec.len() == 1 {
-            // r == 1 above guarantees the scalar representation exists.
-            let di = dinv.as_scalar().expect("scalar dinv when r == 1");
-            let (t, cstride, _, _) = rec[0];
-            // c[i] = D⁻¹·acc reuses acc; d[i] = −D⁻¹·a_w overwrites the
-            // tap's scratch row (its raw values are no longer needed).
-            {
-                let drow = &mut scratch[t * nx..(t + 1) * nx];
-                for i in 0..nx {
-                    let dv = di[lbase + i];
-                    acc[i] *= dv;
-                    drow[i] = -(dv * drow[i]);
+                acc[..nx * r].copy_from_slice(&b[lbase * r..(lbase + nx) * r]);
+                for &(t, cstride, cout, cin) in bulk.iter() {
+                    let xoff = lbase as i64 + cstride;
+                    let lo = (-xoff).clamp(0, nx as i64) as usize;
+                    let hi = (cells as i64 - xoff).clamp(lo as i64, nx as i64) as usize;
+                    if r == 1 {
+                        super::line_bulk_sub(
+                            &mut acc[..nx],
+                            &scratch[t * nx..(t + 1) * nx],
+                            x,
+                            xoff,
+                            cells,
+                        );
+                    } else {
+                        for i in lo..hi {
+                            let xv = x[(xoff + i as i64) as usize * r + cin];
+                            acc[i * r + cout] -= scratch[t * nx + i] * xv;
+                        }
+                    }
                 }
-            }
-            if backward {
-                for i in (0..nx).rev() {
+                // Scalar recurrence + diagonal-block solve. For scalar radius-1
+                // patterns there is exactly one within-line tap against the sweep
+                // direction, so the recurrence reduces to
+                // `x[i] = fma(d[i], x[i-1], c[i])` with `c = D⁻¹·acc` and
+                // `d = -D⁻¹·a_w` precomputed vectorized — one fused-multiply-add
+                // of latency on the dependency chain per cell.
+                if r == 1 && rec.len() == 1 {
+                    // r == 1 above guarantees the scalar representation exists.
+                    let di = dinv.as_scalar().expect("scalar dinv when r == 1");
+                    let (t, cstride, _, _) = rec[0];
+                    // c[i] = D⁻¹·acc reuses acc; d[i] = −D⁻¹·a_w overwrites the
+                    // tap's scratch row (its raw values are no longer needed).
+                    {
+                        let drow = &mut scratch[t * nx..(t + 1) * nx];
+                        for i in 0..nx {
+                            let dv = di[lbase + i];
+                            acc[i] *= dv;
+                            drow[i] = -(dv * drow[i]);
+                        }
+                    }
+                    if backward {
+                        for i in (0..nx).rev() {
+                            let cell = lbase + i;
+                            let nb = cell as i64 + cstride;
+                            let prev = if nb < cells as i64 { x[nb as usize] } else { P::ZERO };
+                            x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+                        }
+                    } else {
+                        for i in 0..nx {
+                            let cell = lbase + i;
+                            let nb = cell as i64 + cstride;
+                            let prev = if nb >= 0 { x[nb as usize] } else { P::ZERO };
+                            x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+                        }
+                    }
+                    continue;
+                }
+                for istep in 0..nx {
+                    let i = if backward { nx - 1 - istep } else { istep };
                     let cell = lbase + i;
-                    let nb = cell as i64 + cstride;
-                    let prev = if nb < cells as i64 { x[nb as usize] } else { P::ZERO };
-                    x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
-                }
-            } else {
-                for i in 0..nx {
-                    let cell = lbase + i;
-                    let nb = cell as i64 + cstride;
-                    let prev = if nb >= 0 { x[nb as usize] } else { P::ZERO };
-                    x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
-                }
-            }
-            continue;
-        }
-        let order: Box<dyn Iterator<Item = usize>> =
-            if backward { Box::new((0..nx).rev()) } else { Box::new(0..nx) };
-        for i in order {
-            let cell = lbase + i;
-            for c in 0..r {
-                blk_in[c] = acc[i * r + c];
-            }
-            for &(t, cstride, cout, cin) in &rec {
-                let nb = cell as i64 + cstride;
-                if nb >= 0 && nb < cells as i64 {
-                    blk_in[cout] -= scratch[t * nx + i] * x[nb as usize * r + cin];
+                    for c in 0..r {
+                        blk_in[c] = acc[i * r + c];
+                    }
+                    for &(t, cstride, cout, cin) in rec.iter() {
+                        let nb = cell as i64 + cstride;
+                        if nb >= 0 && nb < cells as i64 {
+                            blk_in[cout] -= scratch[t * nx + i] * x[nb as usize * r + cin];
+                        }
+                    }
+                    dinv.solve(cell, &blk_in[..r], &mut blk_out[..r]);
+                    x[cell * r..(cell + 1) * r].copy_from_slice(&blk_out[..r]);
                 }
             }
-            dinv.solve(cell, &blk_in[..r], &mut blk_out[..r]);
-            x[cell * r..(cell + 1) * r].copy_from_slice(&blk_out[..r]);
-        }
-    }
+        });
+    });
 }

@@ -22,11 +22,13 @@
 
 mod diag;
 mod gs;
+mod scratch;
 mod spmv;
 mod sptrsv;
 
 pub use diag::BlockDiagInv;
 pub use gs::{gs_backward, gs_forward};
+pub(crate) use scratch::{with_bufs, with_idx2, with_idx4, with_tap_metas};
 pub use spmv::{residual, spmv, spmv_axpy};
 pub use sptrsv::{sptrsv_backward, sptrsv_forward, sptrsv_forward_wavefront};
 
@@ -53,19 +55,19 @@ pub(crate) struct TapMeta {
     pub in_line: bool,
 }
 
-pub(crate) fn tap_metas(grid: &Grid3, pattern: &Pattern) -> Vec<TapMeta> {
-    pattern
-        .taps()
-        .iter()
-        .map(|t| TapMeta {
-            cell_stride: grid.stride(t.dx, t.dy, t.dz),
-            cout: t.cout as usize,
-            cin: t.cin as usize,
-            center: t.is_center(),
-            diagonal: t.is_diagonal(),
-            in_line: t.dy == 0 && t.dz == 0,
-        })
-        .collect()
+/// Resolves the pattern's taps into `out` (cleared first). Kernels call
+/// this through [`scratch::with_tap_metas`], which supplies a pooled
+/// per-thread vector so steady-state invocations allocate nothing.
+pub(crate) fn fill_tap_metas(grid: &Grid3, pattern: &Pattern, out: &mut Vec<TapMeta>) {
+    out.clear();
+    out.extend(pattern.taps().iter().map(|t| TapMeta {
+        cell_stride: grid.stride(t.dx, t.dy, t.dz),
+        cout: t.cout as usize,
+        cin: t.cin as usize,
+        center: t.is_center(),
+        diagonal: t.is_diagonal(),
+        in_line: t.dy == 0 && t.dz == 0,
+    }));
 }
 
 /// Casts a slice to a concrete element type when the generic parameter is

@@ -3,7 +3,8 @@
 use fp16mg_fp::{Scalar, Storage, F16};
 
 use super::{
-    cast_slice, cast_slice_mut, interior_range, tap_metas, widen_line, Par, TapMeta, MAX_COMPONENTS,
+    cast_slice, cast_slice_mut, interior_range, widen_line, with_bufs, with_tap_metas, Par,
+    TapMeta, MAX_COMPONENTS,
 };
 use crate::{Layout, SgDia};
 
@@ -61,17 +62,18 @@ fn apply<S: Storage, P: Scalar>(
     if let Some(b) = b {
         assert_eq!(b.len(), cells * r, "b length");
     }
-    let metas = tap_metas(a.grid(), a.pattern());
-
     let nthreads = par.threads();
     let chunk_cells = if nthreads == 1 || cells < 4096 { cells } else { cells.div_ceil(nthreads) };
 
     // Each parallel task owns a disjoint &mut window of y covering
-    // `chunk_cells` cells; x and b stay shared.
-    crate::par::for_each_chunk_mut(y, chunk_cells * r, |p, ychunk| {
-        let base = p * chunk_cells;
-        let range = base..(base + ychunk.len() / r);
-        run_range(a, b, x, ychunk, &metas, range, base, mode);
+    // `chunk_cells` cells; x and b stay shared. The meta table is rented
+    // from the calling thread's pool; worker closures only read it.
+    with_tap_metas(a.grid(), a.pattern(), |metas| {
+        crate::par::for_each_chunk_mut(y, chunk_cells * r, |p, ychunk| {
+            let base = p * chunk_cells;
+            let range = base..(base + ychunk.len() / r);
+            run_range(a, b, x, ychunk, metas, range, base, mode);
+        });
     });
 }
 
@@ -173,56 +175,57 @@ fn staged_range<S: Storage, P: Scalar>(
     let r = grid.components;
     let taps = metas.len();
     let data = a.data();
-    let mut scratch = vec![P::ZERO; taps * nx];
-    let mut acc = vec![P::ZERO; nx * r];
+    with_bufs::<P, _>(|bufs| {
+        let (scratch, acc) = bufs.zeroed2(taps * nx, nx * r);
 
-    let mut c = range.start;
-    while c < range.end {
-        let line = c / nx;
-        let i0 = c - line * nx;
-        let i1 = (range.end - line * nx).min(nx);
-        let lbase = line * nx;
-        let span = i1 - i0;
-        for t in 0..taps {
-            widen_line(
-                &data[t * cells + lbase + i0..t * cells + lbase + i1],
-                &mut scratch[t * nx..t * nx + span],
-            );
-        }
-        acc[..span * r].fill(P::ZERO);
-        for (t, m) in metas.iter().enumerate() {
-            // Valid i within [i0, i1): 0 <= lbase + i + cstride < cells.
-            let xoff = lbase as i64 + m.cell_stride;
-            let lo = ((-xoff).max(i0 as i64) as usize).max(i0);
-            let hi = (((cells as i64 - xoff).min(i1 as i64)).max(lo as i64)) as usize;
-            let (cout, cin) = (m.cout, m.cin);
-            for i in lo..hi {
-                let xv = x[(xoff + i as i64) as usize * r + cin];
-                let av = scratch[t * nx + (i - i0)];
-                acc[(i - i0) * r + cout] = av.mul_add(xv, acc[(i - i0) * r + cout]);
+        let mut c = range.start;
+        while c < range.end {
+            let line = c / nx;
+            let i0 = c - line * nx;
+            let i1 = (range.end - line * nx).min(nx);
+            let lbase = line * nx;
+            let span = i1 - i0;
+            for t in 0..taps {
+                widen_line(
+                    &data[t * cells + lbase + i0..t * cells + lbase + i1],
+                    &mut scratch[t * nx..t * nx + span],
+                );
             }
-        }
-        let out0 = (lbase + i0 - base) * r;
-        match mode {
-            Mode::Overwrite => {
-                ychunk[out0..out0 + span * r].copy_from_slice(&acc[..span * r]);
-            }
-            Mode::Accumulate => {
-                for (y, &v) in ychunk[out0..out0 + span * r].iter_mut().zip(&acc[..span * r]) {
-                    *y += v;
+            acc[..span * r].fill(P::ZERO);
+            for (t, m) in metas.iter().enumerate() {
+                // Valid i within [i0, i1): 0 <= lbase + i + cstride < cells.
+                let xoff = lbase as i64 + m.cell_stride;
+                let lo = ((-xoff).max(i0 as i64) as usize).max(i0);
+                let hi = (((cells as i64 - xoff).min(i1 as i64)).max(lo as i64)) as usize;
+                let (cout, cin) = (m.cout, m.cin);
+                for i in lo..hi {
+                    let xv = x[(xoff + i as i64) as usize * r + cin];
+                    let av = scratch[t * nx + (i - i0)];
+                    acc[(i - i0) * r + cout] = av.mul_add(xv, acc[(i - i0) * r + cout]);
                 }
             }
-            Mode::ResidualFrom => {
-                // Callers pass Some(b) whenever mode == Residual (internal API).
-                let bb = b.expect("residual mode requires b");
-                let b0 = (lbase + i0) * r;
-                for (k, y) in ychunk[out0..out0 + span * r].iter_mut().enumerate() {
-                    *y = bb[b0 + k] - acc[k];
+            let out0 = (lbase + i0 - base) * r;
+            match mode {
+                Mode::Overwrite => {
+                    ychunk[out0..out0 + span * r].copy_from_slice(&acc[..span * r]);
+                }
+                Mode::Accumulate => {
+                    for (y, &v) in ychunk[out0..out0 + span * r].iter_mut().zip(&acc[..span * r]) {
+                        *y += v;
+                    }
+                }
+                Mode::ResidualFrom => {
+                    // Callers pass Some(b) whenever mode == Residual (internal API).
+                    let bb = b.expect("residual mode requires b");
+                    let b0 = (lbase + i0) * r;
+                    for (k, y) in ychunk[out0..out0 + span * r].iter_mut().enumerate() {
+                        *y = bb[b0 + k] - acc[k];
+                    }
                 }
             }
+            c = lbase + i1;
         }
-        c = lbase + i1;
-    }
+    });
 }
 
 /// Naive AOS FP16 kernel: one `vcvtph2ps` scalar conversion per entry —

@@ -19,7 +19,10 @@
 use fp16mg_fp::{Scalar, Storage, F16};
 use fp16mg_grid::{Grid3, Wavefronts};
 
-use super::{cast_slice, cast_slice_mut, tap_metas, widen_line, Par, TapMeta, MAX_COMPONENTS};
+use super::{
+    cast_slice, cast_slice_mut, widen_line, with_bufs, with_idx2, with_tap_metas, Par, TapMeta,
+    MAX_COMPONENTS,
+};
 use crate::{Layout, SgDia};
 
 /// Solves `L x = b` with `L` lower triangular (taps with row-major sign
@@ -57,28 +60,28 @@ fn solve<S: Storage, P: Scalar>(a: &SgDia<S>, b: &[P], x: &mut [P], backward: bo
     assert!(r <= MAX_COMPONENTS, "too many components per cell");
     assert_eq!(b.len(), cells * r, "b length");
     assert_eq!(x.len(), cells * r, "x length");
-    let metas = tap_metas(grid, a.pattern());
-
-    if r == 1 {
-        if a.layout() == Layout::Soa {
-            solve_staged(grid, &metas, a.data(), b, x, backward);
-            return;
-        }
-        // Naive AOS FP16: scalar hardware convert per entry.
-        #[cfg(target_arch = "x86_64")]
-        if super::simd_available() {
-            if let (Some(d16), Some(b32), Some(x32)) = (
-                cast_slice::<S, F16>(a.data()),
-                cast_slice::<P, f32>(b),
-                cast_slice_mut::<P, f32>(x),
-            ) {
-                // SAFETY: CPU support checked by simd_available().
-                unsafe { solve_naive_f16_aos(cells, &metas, d16, b32, x32, backward) };
+    with_tap_metas(grid, a.pattern(), |metas| {
+        if r == 1 {
+            if a.layout() == Layout::Soa {
+                solve_staged(grid, metas, a.data(), b, x, backward);
                 return;
             }
+            // Naive AOS FP16: scalar hardware convert per entry.
+            #[cfg(target_arch = "x86_64")]
+            if super::simd_available() {
+                if let (Some(d16), Some(b32), Some(x32)) = (
+                    cast_slice::<S, F16>(a.data()),
+                    cast_slice::<P, f32>(b),
+                    cast_slice_mut::<P, f32>(x),
+                ) {
+                    // SAFETY: CPU support checked by simd_available().
+                    unsafe { solve_naive_f16_aos(cells, metas, d16, b32, x32, backward) };
+                    return;
+                }
+            }
         }
-    }
-    solve_generic(a, &metas, b, x, backward);
+        solve_generic(a, metas, b, x, backward);
+    });
 }
 
 /// Generic per-entry triangular solve; block cells solved with a small
@@ -92,11 +95,10 @@ fn solve_generic<S: Storage, P: Scalar>(
 ) {
     let cells = a.grid().cells();
     let r = a.grid().components;
-    let iter: Box<dyn Iterator<Item = usize>> =
-        if backward { Box::new((0..cells).rev()) } else { Box::new(0..cells) };
     let mut acc = [P::ZERO; MAX_COMPONENTS];
     let mut diag = [[P::ZERO; MAX_COMPONENTS]; MAX_COMPONENTS];
-    for cell in iter {
+    for step in 0..cells {
+        let cell = if backward { cells - 1 - step } else { step };
         for c in 0..r {
             acc[c] = b[cell * r + c];
         }
@@ -182,106 +184,106 @@ fn solve_staged<S: Storage, P: Scalar>(
     let nx = grid.nx;
     let nlines = cells / nx;
     let taps = metas.len();
-    let mut scratch = vec![P::ZERO; taps * nx];
-    let mut acc = vec![P::ZERO; nx];
-    let mut rinv = vec![P::ZERO; nx];
-    let mut dtap = usize::MAX;
-    for (t, m) in metas.iter().enumerate() {
-        if m.diagonal {
-            dtap = t;
+    with_bufs::<P, _>(|bufs| {
+        let (scratch, acc, rinv) = bufs.zeroed3(taps * nx, nx, nx);
+        let mut dtap = usize::MAX;
+        for (t, m) in metas.iter().enumerate() {
+            if m.diagonal {
+                dtap = t;
+            }
         }
-    }
-    assert!(dtap != usize::MAX, "triangular pattern lacks a diagonal tap");
-    let mut bulk: Vec<(usize, i64)> = Vec::new();
-    let mut rec: Vec<(usize, i64)> = Vec::new();
-    for (t, m) in metas.iter().enumerate() {
-        if t == dtap {
-            continue;
-        }
-        if m.in_line {
-            rec.push((t, m.cell_stride));
-        } else {
-            bulk.push((t, m.cell_stride));
-        }
-    }
+        assert!(dtap != usize::MAX, "triangular pattern lacks a diagonal tap");
+        with_idx2(|bulk, rec| {
+            for (t, m) in metas.iter().enumerate() {
+                if t == dtap {
+                    continue;
+                }
+                if m.in_line {
+                    rec.push((t, m.cell_stride));
+                } else {
+                    bulk.push((t, m.cell_stride));
+                }
+            }
 
-    let lines: Box<dyn Iterator<Item = usize>> =
-        if backward { Box::new((0..nlines).rev()) } else { Box::new(0..nlines) };
-    for line in lines {
-        let lbase = line * nx;
-        for t in 0..taps {
-            widen_line(
-                &data[t * cells + lbase..t * cells + lbase + nx],
-                &mut scratch[t * nx..(t + 1) * nx],
-            );
-        }
-        acc.copy_from_slice(&b[lbase..lbase + nx]);
-        for &(t, stride) in &bulk {
-            super::line_bulk_sub(
-                &mut acc,
-                &scratch[t * nx..(t + 1) * nx],
-                x,
-                lbase as i64 + stride,
-                cells,
-            );
-        }
-        for (ri, &d) in rinv.iter_mut().zip(&scratch[dtap * nx..(dtap + 1) * nx]) {
-            debug_assert!(d != P::ZERO, "singular diagonal");
-            *ri = P::ONE / d;
-        }
-        // Single within-line tap (always true for radius-1 patterns):
-        // fuse into `x[i] = fma(d[i], x[i±1], c[i])` — one fma of latency
-        // per cell on the dependency chain.
-        if rec.len() == 1 {
-            let (t, cstride) = rec[0];
-            for i in 0..nx {
-                acc[i] *= rinv[i];
-                let idx = t * nx + i;
-                scratch[idx] = -(scratch[idx] * rinv[i]);
-            }
-            if backward {
-                for i in (0..nx).rev() {
-                    let cell = lbase + i;
-                    let nb = cell as i64 + cstride;
-                    let prev = if nb < cells as i64 && nb >= 0 { x[nb as usize] } else { P::ZERO };
-                    x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+            for lstep in 0..nlines {
+                let line = if backward { nlines - 1 - lstep } else { lstep };
+                let lbase = line * nx;
+                for t in 0..taps {
+                    widen_line(
+                        &data[t * cells + lbase..t * cells + lbase + nx],
+                        &mut scratch[t * nx..(t + 1) * nx],
+                    );
                 }
-            } else {
-                for i in 0..nx {
-                    let cell = lbase + i;
-                    let nb = cell as i64 + cstride;
-                    let prev = if nb >= 0 { x[nb as usize] } else { P::ZERO };
-                    x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+                acc.copy_from_slice(&b[lbase..lbase + nx]);
+                for &(t, stride) in bulk.iter() {
+                    super::line_bulk_sub(
+                        &mut acc[..],
+                        &scratch[t * nx..(t + 1) * nx],
+                        x,
+                        lbase as i64 + stride,
+                        cells,
+                    );
                 }
-            }
-            continue;
-        }
-        if backward {
-            for i in (0..nx).rev() {
-                let cell = lbase + i;
-                let mut v = acc[i];
-                for &(t, stride) in &rec {
-                    let nb = cell as i64 + stride;
-                    if nb < cells as i64 && nb >= 0 {
-                        v -= scratch[t * nx + i] * x[nb as usize];
+                for (ri, &d) in rinv.iter_mut().zip(&scratch[dtap * nx..(dtap + 1) * nx]) {
+                    debug_assert!(d != P::ZERO, "singular diagonal");
+                    *ri = P::ONE / d;
+                }
+                // Single within-line tap (always true for radius-1 patterns):
+                // fuse into `x[i] = fma(d[i], x[i±1], c[i])` — one fma of latency
+                // per cell on the dependency chain.
+                if rec.len() == 1 {
+                    let (t, cstride) = rec[0];
+                    for i in 0..nx {
+                        acc[i] *= rinv[i];
+                        let idx = t * nx + i;
+                        scratch[idx] = -(scratch[idx] * rinv[i]);
+                    }
+                    if backward {
+                        for i in (0..nx).rev() {
+                            let cell = lbase + i;
+                            let nb = cell as i64 + cstride;
+                            let prev =
+                                if nb < cells as i64 && nb >= 0 { x[nb as usize] } else { P::ZERO };
+                            x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+                        }
+                    } else {
+                        for i in 0..nx {
+                            let cell = lbase + i;
+                            let nb = cell as i64 + cstride;
+                            let prev = if nb >= 0 { x[nb as usize] } else { P::ZERO };
+                            x[cell] = scratch[t * nx + i].mul_add(prev, acc[i]);
+                        }
+                    }
+                    continue;
+                }
+                if backward {
+                    for i in (0..nx).rev() {
+                        let cell = lbase + i;
+                        let mut v = acc[i];
+                        for &(t, stride) in rec.iter() {
+                            let nb = cell as i64 + stride;
+                            if nb < cells as i64 && nb >= 0 {
+                                v -= scratch[t * nx + i] * x[nb as usize];
+                            }
+                        }
+                        x[cell] = v * rinv[i];
+                    }
+                } else {
+                    for i in 0..nx {
+                        let cell = lbase + i;
+                        let mut v = acc[i];
+                        for &(t, stride) in rec.iter() {
+                            let nb = cell as i64 + stride;
+                            if nb >= 0 && nb < cells as i64 {
+                                v -= scratch[t * nx + i] * x[nb as usize];
+                            }
+                        }
+                        x[cell] = v * rinv[i];
                     }
                 }
-                x[cell] = v * rinv[i];
             }
-        } else {
-            for i in 0..nx {
-                let cell = lbase + i;
-                let mut v = acc[i];
-                for &(t, stride) in &rec {
-                    let nb = cell as i64 + stride;
-                    if nb >= 0 && nb < cells as i64 {
-                        v -= scratch[t * nx + i] * x[nb as usize];
-                    }
-                }
-                x[cell] = v * rinv[i];
-            }
-        }
-    }
+        });
+    });
 }
 
 /// Naive AOS FP16 solve: one scalar `vcvtph2ps` per entry (Fig. 4 left).
@@ -304,9 +306,8 @@ unsafe fn solve_naive_f16_aos(
         _mm_cvtss_f32(_mm_cvtph_ps(_mm_cvtsi32_si128(h as i32)))
     }
     let ntaps = metas.len();
-    let iter: Box<dyn Iterator<Item = usize>> =
-        if backward { Box::new((0..cells).rev()) } else { Box::new(0..cells) };
-    for cell in iter {
+    for step in 0..cells {
+        let cell = if backward { cells - 1 - step } else { step };
         let row = &data[cell * ntaps..(cell + 1) * ntaps];
         let mut acc = b[cell];
         let mut diag = 0.0f32;
@@ -368,35 +369,36 @@ pub fn sptrsv_forward_wavefront<S: Storage, P: Scalar>(
     assert_eq!(b.len(), cells, "b length");
     assert_eq!(x.len(), cells, "x length");
     assert_eq!(waves.len(), cells, "wavefront schedule size");
-    let metas = tap_metas(grid, l.pattern());
     let xp = SendPtr(x.as_mut_ptr());
     let nthreads = par.threads();
 
-    for plane in waves.forward() {
-        crate::par::for_each_in_plane(plane, nthreads, |&cu| {
-            let cell = cu as usize;
-            let mut acc = b[cell];
-            let mut diag = P::ZERO;
-            for (t, m) in metas.iter().enumerate() {
-                let av = P::from_f64(l.get(cell, t).load_f64());
-                if m.diagonal {
-                    diag = av;
-                    continue;
+    with_tap_metas(grid, l.pattern(), |metas| {
+        for plane in waves.forward() {
+            crate::par::for_each_in_plane(plane, nthreads, |&cu| {
+                let cell = cu as usize;
+                let mut acc = b[cell];
+                let mut diag = P::ZERO;
+                for (t, m) in metas.iter().enumerate() {
+                    let av = P::from_f64(l.get(cell, t).load_f64());
+                    if m.diagonal {
+                        diag = av;
+                        continue;
+                    }
+                    let nb = cell as i64 + m.cell_stride;
+                    if nb < 0 || nb >= cells as i64 {
+                        continue;
+                    }
+                    // SAFETY: nb lies on an earlier plane (dependency proven by
+                    // the wavefront schedule), fully written before this plane
+                    // started; concurrent reads are of completed values.
+                    let xv = unsafe { *xp.ptr().add(nb as usize) };
+                    acc = (-av).mul_add(xv, acc);
                 }
-                let nb = cell as i64 + m.cell_stride;
-                if nb < 0 || nb >= cells as i64 {
-                    continue;
-                }
-                // SAFETY: nb lies on an earlier plane (dependency proven by
-                // the wavefront schedule), fully written before this plane
-                // started; concurrent reads are of completed values.
-                let xv = unsafe { *xp.ptr().add(nb as usize) };
-                acc = (-av).mul_add(xv, acc);
-            }
-            assert!(diag != P::ZERO, "singular diagonal at cell {cell}");
-            // SAFETY: each cell index appears exactly once per plane, so
-            // writes within a plane are disjoint.
-            unsafe { *xp.ptr().add(cell) = acc / diag };
-        });
-    }
+                assert!(diag != P::ZERO, "singular diagonal at cell {cell}");
+                // SAFETY: each cell index appears exactly once per plane, so
+                // writes within a plane are disjoint.
+                unsafe { *xp.ptr().add(cell) = acc / diag };
+            });
+        }
+    });
 }
