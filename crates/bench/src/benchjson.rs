@@ -177,10 +177,71 @@ fn memory_json(kind: ProblemKind, n: usize) -> Option<String> {
     Some(s)
 }
 
+/// Measures the serving layer's wire overhead and liveness once per
+/// emitter run: an in-process networked daemon on the deterministic
+/// storage backend serves a real Unix socket, the client measures
+/// ping/pong round-trips (p50/p99 of the framed wire itself, no solve
+/// attached), and the counters prove a connection was accepted, the
+/// stream drained, and the admission queue still sheds with a typed
+/// `Busy`. `None` when the probe cannot run (no Unix sockets — the gate
+/// then skips the network checks instead of failing).
+fn network_json(tol: f64) -> Option<String> {
+    use fp16mg_runtime::net::{Client, ClientConfig, Endpoint, SubmitRequest};
+    use fp16mg_runtime::{FaultStorage, Storage};
+    use std::sync::Arc;
+
+    let sock = std::env::temp_dir().join(format!("fp16mg-benchnet-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let endpoint = Endpoint::Unix(sock);
+    let mut cfg = crate::netserve::NetServeConfig::new(endpoint.clone(), PathBuf::from("state"));
+    cfg.size = 6;
+    cfg.tol = tol.max(1e-8);
+    cfg.quiet = true;
+    let storage: Arc<dyn Storage> = Arc::new(FaultStorage::new());
+    let server = std::thread::spawn(move || crate::netserve::serve_net(&cfg, storage));
+
+    let mut client = Client::new(ClientConfig { endpoint, ..ClientConfig::default() });
+    // One real request so the round-trips ride a warmed connection and
+    // the served/drained counters are live.
+    client.submit(SubmitRequest { key: 0, size: 6, tol: tol.max(1e-8), priority: 1 }).ok()?;
+    let mut rtts = Vec::new();
+    for _ in 0..64 {
+        let t = Instant::now();
+        client.ping().ok()?;
+        rtts.push(t.elapsed().as_secs_f64());
+    }
+    client.shutdown().ok()?;
+    let report = server.join().ok()?;
+    if !report.violations.is_empty() || !report.drained {
+        return None;
+    }
+    rtts.sort_by(f64::total_cmp);
+    let pick = |q: f64| rtts[((rtts.len() as f64 * q).ceil() as usize).clamp(1, rtts.len()) - 1];
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "  \"network\": {{\n",
+            "    \"wire_p50_s\": {p50},\n",
+            "    \"wire_p99_s\": {p99},\n",
+            "    \"net_connections\": {conns},\n",
+            "    \"net_busy\": {busy}\n",
+            "  }},\n"
+        ),
+        p50 = num(pick(0.50)),
+        p99 = num(pick(0.99)),
+        conns = report.counters.accepted,
+        busy = crate::netserve::busy_probe(),
+    );
+    Some(s)
+}
+
 /// Renders the `BENCH_<problem>.json` document for one problem. Failed
 /// setups are recorded as `{"combo", "error"}` entries instead of being
 /// dropped, so a regression that breaks setup is visible in the file.
-pub fn render_problem(kind: ProblemKind, n: usize, tol: f64) -> String {
+/// `net` is the shared network section measured once per emitter run
+/// (empty when the probe could not run).
+pub fn render_problem(kind: ProblemKind, n: usize, tol: f64, net: &str) -> String {
     let opts = SolveOptions { tol, max_iters: 500, record_history: false, ..Default::default() };
     let mut runs = Vec::new();
     for combo in COMBOS {
@@ -194,7 +255,7 @@ pub fn render_problem(kind: ProblemKind, n: usize, tol: f64) -> String {
         }
     }
     format!(
-        "{{\n  \"problem\": \"{}\",\n  \"size\": {n},\n  \"tol\": {},\n{}{}  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"problem\": \"{}\",\n  \"size\": {n},\n  \"tol\": {},\n{}{}{net}  \"runs\": [\n{}\n  ]\n}}\n",
         esc(kind.name()),
         num(tol),
         cache_json(kind, n).unwrap_or_default(),
@@ -215,8 +276,9 @@ pub fn file_name(kind: ProblemKind) -> String {
 /// Propagates the I/O error if a file cannot be written.
 pub fn bench_json_emit(cfg: &BenchJsonConfig) -> std::io::Result<Vec<PathBuf>> {
     let mut paths = Vec::new();
+    let net = network_json(cfg.tol).unwrap_or_default();
     for kind in ProblemKind::all() {
-        let doc = render_problem(kind, cfg.size, cfg.tol);
+        let doc = render_problem(kind, cfg.size, cfg.tol, &net);
         let path = Path::new(&cfg.dir).join(file_name(kind));
         std::fs::write(&path, doc)?;
         paths.push(path);
@@ -230,7 +292,16 @@ mod tests {
 
     #[test]
     fn renders_wellformed_json_for_both_combos() {
-        let doc = render_problem(ProblemKind::Laplace27, 8, 1e-8);
+        let net = network_json(1e-8).expect("the network probe must run on this platform");
+        assert!(
+            net.contains("\"wire_p50_s\"")
+                && net.contains("\"wire_p99_s\"")
+                && net.contains("\"net_connections\"")
+                && net.contains("\"net_busy\": 1"),
+            "the wire overhead and shed liveness must be part of the trajectory: {net}"
+        );
+        let doc = render_problem(ProblemKind::Laplace27, 8, 1e-8, &net);
+        assert!(doc.contains("\"network\""));
         assert!(doc.contains(&format!("\"problem\": \"{}\"", ProblemKind::Laplace27.name())));
         assert_eq!(doc.matches("\"combo\"").count(), COMBOS.len());
         assert!(doc.contains("\"iters\"") && doc.contains("\"setup_s\""));

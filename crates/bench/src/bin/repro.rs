@@ -69,6 +69,7 @@ struct Args {
     budget_ms: f64,
     smoother: Option<String>,
     requests: usize,
+    requests_set: bool,
     workers: usize,
     chaos: bool,
     overload: bool,
@@ -83,11 +84,14 @@ struct Args {
     baseline: String,
     current: String,
     out: String,
+    addr: String,
+    shutdown: bool,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--daemon] [--soak] [--snapshot-dir DIR] [--kill-after N] [--pace-ms MS] [--mem-budget BYTES] [--steps N] [--problem NAME|all] [--baseline DIR] [--current DIR] [--out DIR]");
+    eprintln!("usage: repro <experiment> [--size N] [--tol T] [--threads N1,N2,...] [--budget-ms B] [--smoother gs|jacobi|symgs|ilu0] [--requests N] [--workers N] [--chaos] [--overload] [--daemon] [--soak] [--snapshot-dir DIR] [--kill-after N] [--pace-ms MS] [--mem-budget BYTES] [--steps N] [--problem NAME|all] [--baseline DIR] [--current DIR] [--out DIR] [--addr unix:PATH|tcp:HOST:PORT] [--shutdown]");
+    eprintln!("network: `serve --daemon --addr …` serves over the wire; `loadgen --addr …` drives it (`--shutdown` drains); `loadgen --soak` is the kill/restart acceptance; `nettorture` is the wire-fault matrix");
     std::process::exit(2)
 }
 
@@ -106,6 +110,7 @@ fn parse_args() -> Args {
         budget_ms: 30.0,
         smoother: None,
         requests: 16,
+        requests_set: false,
         workers: 0,
         chaos: false,
         overload: false,
@@ -120,6 +125,8 @@ fn parse_args() -> Args {
         baseline: String::new(),
         current: String::new(),
         out: ".".into(),
+        addr: String::new(),
+        shutdown: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -130,7 +137,10 @@ fn parse_args() -> Args {
             }
             "--tol" => args.tol = arg_value(&mut it, "--tol"),
             "--budget-ms" => args.budget_ms = arg_value(&mut it, "--budget-ms"),
-            "--requests" => args.requests = arg_value(&mut it, "--requests"),
+            "--requests" => {
+                args.requests = arg_value(&mut it, "--requests");
+                args.requests_set = true;
+            }
             "--workers" => args.workers = arg_value(&mut it, "--workers"),
             "--chaos" => args.chaos = true,
             "--overload" => args.overload = true,
@@ -145,6 +155,8 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = arg_value(&mut it, "--baseline"),
             "--current" => args.current = arg_value(&mut it, "--current"),
             "--out" => args.out = arg_value(&mut it, "--out"),
+            "--addr" => args.addr = arg_value(&mut it, "--addr"),
+            "--shutdown" => args.shutdown = true,
             "--smoother" => {
                 let Some(s) = it.next() else { usage("--smoother needs a value") };
                 args.smoother = Some(s)
@@ -206,6 +218,7 @@ fn main() {
         "guard" => guard(&args),
         "audit" => audit_cmd(&args),
         "serve" if args.daemon && args.soak => soak_cmd(&args),
+        "serve" if args.daemon && !args.addr.is_empty() => net_daemon_cmd(&args),
         "serve" if args.daemon => daemon_cmd(&args),
         "serve" if args.overload => overload_cmd(&args),
         "serve" => serve_cmd(&args, args.chaos),
@@ -213,6 +226,9 @@ fn main() {
         "overload" => overload_cmd(&args),
         "simulate" if args.soak => simulate_soak_cmd(&args),
         "simulate" => simulate_cmd(&args),
+        "loadgen" if args.soak => net_soak_cmd(&args),
+        "loadgen" => loadgen_cmd(&args),
+        "nettorture" => nettorture_cmd(&args),
         "torture" => torture_cmd(&args),
         "memtorture" => memtorture_cmd(&args),
         "bench-json" => bench_json_cmd(&args),
@@ -1009,8 +1025,84 @@ fn daemon_cmd(args: &Args) {
         pace_ms: args.pace_ms,
         chaos: args.chaos,
         mem_budget: if args.mem_budget > 0 { Some(args.mem_budget) } else { None },
+        threads: cli_threads(args),
     };
     std::process::exit(fp16mg_bench::run_daemon(&cfg));
+}
+
+/// The single kernel-parallelism count serving commands use: the first
+/// `--threads` value (the flag doubles as a comma list for the scaling
+/// figures; serving wants one knob).
+fn cli_threads(args: &Args) -> usize {
+    args.threads.first().copied().unwrap_or(1)
+}
+
+fn parse_addr(addr: &str) -> fp16mg_runtime::Endpoint {
+    fp16mg_runtime::Endpoint::parse(addr).unwrap_or_else(|e| usage(&format!("--addr: {e}")))
+}
+
+fn net_daemon_cmd(args: &Args) {
+    let workers = if args.workers > 0 { args.workers } else { 2 };
+    let dir = if args.snapshot_dir.is_empty() {
+        std::path::PathBuf::from(&args.out).join("netdaemon-state")
+    } else {
+        std::path::PathBuf::from(&args.snapshot_dir)
+    };
+    let cfg = fp16mg_bench::NetDaemonCliConfig {
+        endpoint: parse_addr(&args.addr),
+        state_dir: dir,
+        size: args.size.min(10),
+        tol: args.tol,
+        workers,
+        threads: cli_threads(args),
+        mem_budget: if args.mem_budget > 0 { Some(args.mem_budget) } else { None },
+    };
+    std::process::exit(fp16mg_bench::run_net_daemon(&cfg));
+}
+
+// ------------------------------------------------------------- loadgen --
+
+fn loadgen_cmd(args: &Args) {
+    if args.addr.is_empty() {
+        usage("loadgen needs --addr (or --soak for the self-contained acceptance run)");
+    }
+    let cfg = fp16mg_bench::LoadgenConfig {
+        endpoint: parse_addr(&args.addr),
+        requests: args.requests as u64,
+        size: args.size.min(10),
+        tol: args.tol,
+        seed: 0x6c6f_6164,
+        shutdown: args.shutdown,
+    };
+    std::process::exit(fp16mg_bench::run_loadgen(&cfg));
+}
+
+fn net_soak_cmd(args: &Args) {
+    header("Network soak: kill/restart acceptance over the wire");
+    let cfg = fp16mg_bench::NetSoakConfig {
+        requests: args.requests as u64,
+        kill_after: if args.kill_after > 0 { args.kill_after as u64 } else { 3 },
+        size: args.size.min(10),
+        tol: args.tol,
+        workers: if args.workers > 0 { args.workers } else { 2 },
+        threads: cli_threads(args),
+        out: std::path::PathBuf::from(&args.out),
+    };
+    std::process::exit(fp16mg_bench::run_net_soak(&cfg));
+}
+
+// ---------------------------------------------------------- nettorture --
+
+fn nettorture_cmd(args: &Args) {
+    header("Wire-fault torture: crash-point matrix over the framed protocol");
+    let mut cfg = fp16mg_bench::NetTortureConfig::default();
+    if args.size_set {
+        cfg.size = args.size.min(8);
+    }
+    if args.requests_set {
+        cfg.requests = args.requests.clamp(4, 32) as u64;
+    }
+    std::process::exit(fp16mg_bench::run_nettorture_cli(&cfg));
 }
 
 fn soak_cmd(args: &Args) {

@@ -55,6 +55,12 @@ pub struct BenchFacts {
     pub cache_bytes: Option<u64>,
     /// Byte-pressure evictions fired by the capped-cache probe.
     pub mem_evictions: Option<u64>,
+    /// Connections the network probe's daemon accepted, when present
+    /// (baselines written before the serving layer carry no network
+    /// section — the gate then skips the network checks).
+    pub net_connections: Option<u64>,
+    /// Typed `Busy` sheds the admission probe produced.
+    pub net_busy: Option<u64>,
 }
 
 fn str_value(line: &str, key: &str) -> Option<String> {
@@ -103,6 +109,8 @@ pub fn scan_bench_json(text: &str) -> BenchFacts {
             ("peak_ws_bytes", &mut facts.peak_ws_bytes),
             ("cache_bytes", &mut facts.cache_bytes),
             ("mem_evictions", &mut facts.mem_evictions),
+            ("net_connections", &mut facts.net_connections),
+            ("net_busy", &mut facts.net_busy),
         ] {
             if let Some(v) = raw_value(line, key) {
                 if let Ok(x) = v.parse::<u64>() {
@@ -170,6 +178,25 @@ pub fn compare_facts(name: &str, base: &BenchFacts, cur: &BenchFacts) -> Vec<Str
         }
     } else if base.mem_evictions.is_some() && cur.mem_evictions.is_none() {
         v.push(format!("{name}: memory section missing from the candidate run"));
+    }
+    // Network liveness: a baseline that served connections and shed with
+    // a typed Busy must keep doing both. Baselines written before the
+    // serving layer carry no network section, so the gate skips then.
+    for (label, b, c) in [
+        ("network probe connections", base.net_connections, cur.net_connections),
+        ("typed-Busy shed probe", base.net_busy, cur.net_busy),
+    ] {
+        match (b, c) {
+            (Some(b), Some(c)) => {
+                if b > 0 && c == 0 {
+                    v.push(format!("{name}: {label} went dead (baseline {b}, candidate 0)"));
+                }
+            }
+            (Some(_), None) => {
+                v.push(format!("{name}: network section missing from the candidate run"));
+            }
+            (None, _) => {}
+        }
     }
     v
 }
@@ -329,6 +356,39 @@ mod tests {
         assert!(compare_facts("x", &old, &old).is_empty());
         // But once the baseline has it, the candidate may not drop it.
         assert_eq!(compare_facts("x", &new, &old).len(), 3);
+    }
+
+    fn net_doc(conns: u64, busy: u64) -> String {
+        format!(
+            "{{\n  \"problem\": \"oil\",\n  \"network\": {{\n    \"wire_p50_s\": 0.0001,\n    \
+             \"wire_p99_s\": 0.0005,\n    \"net_connections\": {conns},\n    \"net_busy\": {busy}\n \
+             }},\n  \"runs\": [\n    {{\n      \"combo\": \"Full64\",\n      \"converged\": \
+             true,\n      \"iters\": 10\n    }}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn network_liveness_gated_but_pre_network_baselines_skip() {
+        let base = scan_bench_json(&net_doc(1, 1));
+        assert_eq!(base.net_connections, Some(1));
+        assert_eq!(base.net_busy, Some(1));
+        assert!(compare_facts("x", &base, &base).is_empty());
+        // Dead probes are violations.
+        let dead_conns = scan_bench_json(&net_doc(0, 1));
+        assert_eq!(compare_facts("x", &base, &dead_conns).len(), 1);
+        let dead_shed = scan_bench_json(&net_doc(1, 0));
+        assert_eq!(compare_facts("x", &base, &dead_shed).len(), 1);
+        // A baseline written before the network section existed skips
+        // cleanly against candidates with or without it.
+        let old = scan_bench_json(&doc(40, true, 55, Some(4.0)));
+        assert_eq!(old.net_connections, None);
+        let mut new = old.clone();
+        new.net_connections = Some(1);
+        new.net_busy = Some(1);
+        assert!(compare_facts("x", &old, &new).is_empty());
+        assert!(compare_facts("x", &old, &old).is_empty());
+        // But once the baseline has it, the candidate may not drop it.
+        assert_eq!(compare_facts("x", &new, &old).len(), 2);
     }
 
     #[test]

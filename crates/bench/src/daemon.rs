@@ -40,6 +40,7 @@ use fp16mg_runtime::{
     Priority, RealStorage, RequestOutcome, RetryPolicy, ServeError, ServePool, ShedPolicy,
     SolveRequest, SolverChoice, Storage, SuperviseConfig,
 };
+use fp16mg_sgdia::kernels::Par;
 
 /// Child-mode configuration (`repro serve --daemon`).
 pub struct DaemonCliConfig {
@@ -65,6 +66,11 @@ pub struct DaemonCliConfig {
     /// ever exceeded the budget — the soak driver relies on that
     /// self-check.
     pub mem_budget: Option<u64>,
+    /// Kernel-parallelism threads for the solve phase (`--threads`).
+    /// `> 1` runs the Krylov operator's SpMV row-parallel
+    /// ([`Par::Threads`]); results stay bit-identical because row
+    /// partitioning never reorders the per-row reduction.
+    pub threads: usize,
 }
 
 /// Soak-driver configuration (`repro serve --daemon --soak`).
@@ -86,14 +92,25 @@ pub struct SoakConfig {
 }
 
 const BATCH: u64 = 4;
-const SNAPSHOT_FILE: &str = "daemon.snapshot";
-const TRAIL_FILE: &str = "trail.log";
+pub(crate) const SNAPSHOT_FILE: &str = "daemon.snapshot";
+pub(crate) const TRAIL_FILE: &str = "trail.log";
+
+/// Maps a `--threads` count onto the kernel-parallelism knob: `0` and
+/// `1` stay sequential, anything larger parallelizes the solve-phase
+/// SpMV across that many threads.
+pub(crate) fn par_for(threads: usize) -> Par {
+    if threads > 1 {
+        Par::Threads(threads)
+    } else {
+        Par::Seq
+    }
+}
 
 /// The daemon pool shape: protections on, cache on, supervision on,
 /// shedding off (the stream is paced by batches, not pressure), and a
 /// small jittered breaker so the poison class demonstrably trips and
 /// recovers inside a short run.
-fn pool_cfg(workers: usize, mem_budget: Option<u64>) -> PoolConfig {
+pub(crate) fn pool_cfg(workers: usize, mem_budget: Option<u64>) -> PoolConfig {
     // Under a pool byte budget the cache gets half: retained chains
     // evict LRU-first at insert time (deterministic, no shed policy
     // needed) before the governor ever has to refuse a session's
@@ -120,9 +137,18 @@ fn pool_cfg(workers: usize, mem_budget: Option<u64>) -> PoolConfig {
     }
 }
 
-/// The request at sequence number `seq` — a pure function of `seq`, so
-/// a replayed window reconstructs the exact submitted stream.
-fn request_for(seq: u64, size: usize, tol: f64) -> SolveRequest {
+/// The request at sequence number `seq` — a pure function of
+/// `(seq, size, tol, par)`, so a replayed window reconstructs the exact
+/// submitted stream. `par` only parallelizes the solve-phase SpMV (the
+/// smoothers stay as configured), so decisions and residual bits are
+/// identical at any thread count.
+pub(crate) fn request_for(seq: u64, size: usize, tol: f64, par: Par) -> SolveRequest {
+    let mut req = request_for_seq(seq, size, tol);
+    req.par = par;
+    req
+}
+
+fn request_for_seq(seq: u64, size: usize, tol: f64) -> SolveRequest {
     let name = format!("req-{seq:05}");
     match seq % 8 {
         // A deterministically failing class: tolerance zero, health
@@ -179,7 +205,7 @@ fn request_for(seq: u64, size: usize, tol: f64) -> SolveRequest {
 }
 
 /// Short vocabulary for a session/rejection error.
-fn err_label(e: &ServeError) -> &'static str {
+pub(crate) fn err_label(e: &ServeError) -> &'static str {
     match e {
         ServeError::Rejected(a) => a.label(),
         ServeError::Session(s) => match s {
@@ -198,7 +224,7 @@ fn err_label(e: &ServeError) -> &'static str {
 /// state** and must replay bit-identically after a crash; the cache
 /// field is physical (a restored cache is cold) and excluded from the
 /// soak comparison.
-fn trail_line(seq: u64, o: &RequestOutcome, pool: &ServePool) -> String {
+pub(crate) fn trail_line(seq: u64, o: &RequestOutcome, pool: &ServePool) -> String {
     let outcome = match &o.result {
         Ok(_) => "ok",
         Err(e) => err_label(e),
@@ -216,7 +242,7 @@ fn trail_line(seq: u64, o: &RequestOutcome, pool: &ServePool) -> String {
 
 /// Appends a batch's trail lines through the storage choke point:
 /// fsynced, ENOSPC-retried, directory-synced when the file is created.
-fn append_trail(storage: &dyn Storage, path: &Path, text: &str) -> Result<(), String> {
+pub(crate) fn append_trail(storage: &dyn Storage, path: &Path, text: &str) -> Result<(), String> {
     append_durable(storage, path, text.as_bytes()).map_err(|e| e.to_string())
 }
 
@@ -260,7 +286,7 @@ pub fn run_daemon(cfg: &DaemonCliConfig) -> i32 {
         let start = daemon.seq();
         let end = (start + BATCH).min(total);
         let batch: Vec<SolveRequest> =
-            (start..end).map(|i| request_for(i, cfg.size, cfg.tol)).collect();
+            (start..end).map(|i| request_for(i, cfg.size, cfg.tol, par_for(cfg.threads))).collect();
         let outcomes = match daemon.submit(batch) {
             Ok(o) => o,
             Err(e) => {
@@ -449,7 +475,7 @@ fn run_daemon_chaos(cfg: &DaemonCliConfig) -> i32 {
 
 /// A parsed trail: per seq, every decision string (first occurrence
 /// first) observed in the file.
-fn read_trail(path: &Path) -> Result<Vec<(u64, String)>, String> {
+pub(crate) fn read_trail(path: &Path) -> Result<Vec<(u64, String)>, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {

@@ -19,8 +19,11 @@ pub mod daemon;
 pub mod e2e;
 pub mod guard;
 pub mod kernelbench;
+pub mod loadgen;
 pub mod memtorture;
 pub mod microbench;
+pub mod netserve;
+pub mod nettorture;
 pub mod serve;
 pub mod simulate;
 pub mod table;
@@ -34,8 +37,14 @@ pub use daemon::{run_daemon, run_soak, DaemonCliConfig, SoakConfig};
 pub use e2e::{solve_e2e, E2eResult};
 pub use guard::{finest_narrow_level, solve_guarded, GuardOutcome};
 pub use kernelbench::{kernel_suite, KernelKind, KernelRow, Variant};
+pub use loadgen::{run_loadgen, run_net_soak, LoadgenConfig, LoadgenReport, NetSoakConfig};
 pub use memtorture::{run_memtorture_cli, MemTortureConfig, MemTortureReport};
 pub use microbench::Group;
+pub use netserve::{
+    busy_probe, run_net_daemon, serve_net, NetCounters, NetDaemonCliConfig, NetServeConfig,
+    NetServeReport,
+};
+pub use nettorture::{run_net_matrix, run_nettorture_cli, NetTortureConfig, NetTortureReport};
 pub use serve::{serve, serve_overload, OverloadConfig, OverloadReport, ServeConfig};
 pub use simulate::{
     run_sim_cli, run_sim_soak, ReuseDecision, SimConfig, SimDriver, SimReport, SimSoakConfig,

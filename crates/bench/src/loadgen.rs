@@ -1,0 +1,379 @@
+//! `repro loadgen`: the external client driver, and the kill/restart
+//! network soak.
+//!
+//! **Loadgen** drives a running networked daemon through the production
+//! [`Client`]: one ordered stream of idempotency-keyed submissions with
+//! per-priority timeout classes and a jittered retry/backoff ladder.
+//! Every ack is checked (right key, coherent duplicate flag), wire
+//! round-trip latencies are recorded, and the run exits nonzero on any
+//! violation.
+//!
+//! **The soak** (`repro loadgen --soak`) is the acceptance demo from
+//! the issue: it spawns a networked daemon child over a Unix socket,
+//! drives traffic at it, SIGKILLs the child mid-stream after a chosen
+//! number of acks, restarts it immediately, and keeps submitting while
+//! the client's backoff ladder rides out the gap. At the end it
+//! requests a graceful drain and verifies from the outside: every
+//! request acked exactly once at the client (zero lost), the durable
+//! trail contains **exactly one line per sequence number** (zero
+//! duplicate executions — the at-least-once resubmissions were
+//! deduplicated, not re-run), and the drained child flushed trail +
+//! snapshot before exiting cleanly.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use fp16mg_runtime::net::{Client, ClientConfig, Endpoint, SubmitRequest};
+
+use crate::daemon::{read_trail, SNAPSHOT_FILE, TRAIL_FILE};
+
+/// Loadgen configuration (`repro loadgen --addr …`).
+pub struct LoadgenConfig {
+    /// The daemon's endpoint.
+    pub endpoint: Endpoint,
+    /// Requests to submit (keys `0..requests`).
+    pub requests: u64,
+    /// Problem base extent the daemon was configured with.
+    pub size: usize,
+    /// Convergence tolerance the daemon was configured with.
+    pub tol: f64,
+    /// Client jitter seed.
+    pub seed: u64,
+    /// Request a graceful drain after the stream completes.
+    pub shutdown: bool,
+}
+
+/// What the loadgen run observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Requests acknowledged.
+    pub acked: u64,
+    /// Acks served from the dedup record.
+    pub duplicate_acks: u64,
+    /// Resubmissions after lost connections/acks.
+    pub resubmissions: u64,
+    /// Typed `Busy` retries honored.
+    pub busy_retries: u64,
+    /// Reconnects performed by the retry ladder.
+    pub reconnects: u64,
+    /// Wire round-trip p50 in seconds.
+    pub p50_s: f64,
+    /// Wire round-trip p99 in seconds.
+    pub p99_s: f64,
+    /// Violations (any ⇒ nonzero exit).
+    pub violations: Vec<String>,
+}
+
+/// The wire priority class of sequence number `seq`, mirroring the
+/// server-side stream function: interactive at `seq % 8 == 5`,
+/// batch otherwise.
+pub fn priority_for(seq: u64) -> u8 {
+    if seq % 8 == 5 {
+        0
+    } else {
+        1
+    }
+}
+
+/// Percentile of a sorted latency list (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Drives the stream through one client, recording latencies and
+/// checking every ack. Pure client-side; the daemon must already be
+/// listening (or come up within the retry ladder's patience).
+pub fn drive_stream(client: &mut Client, cfg: &LoadgenConfig) -> LoadgenReport {
+    let mut report = LoadgenReport::default();
+    let mut latencies = Vec::with_capacity(cfg.requests as usize);
+    for seq in 0..cfg.requests {
+        let req = SubmitRequest {
+            key: seq,
+            size: cfg.size as u32,
+            tol: cfg.tol,
+            priority: priority_for(seq),
+        };
+        let t0 = Instant::now();
+        match client.submit(req) {
+            Ok(done) => {
+                latencies.push(t0.elapsed().as_secs_f64());
+                report.acked += 1;
+                if done.key != seq {
+                    report
+                        .violations
+                        .push(format!("ack for key {} while waiting on {seq}", done.key));
+                }
+                if done.outcome.is_empty() {
+                    report.violations.push(format!("seq={seq}: empty outcome label in ack"));
+                }
+            }
+            Err(e) => {
+                report.violations.push(format!("seq={seq}: {e}"));
+                break;
+            }
+        }
+    }
+    report.duplicate_acks = client.stats.duplicate_acks;
+    report.resubmissions = client.stats.resubmissions;
+    report.busy_retries = client.stats.busy_retries;
+    report.reconnects = client.stats.reconnects;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    report.p50_s = percentile(&latencies, 50.0);
+    report.p99_s = percentile(&latencies, 99.0);
+    report
+}
+
+/// Runs loadgen against an already-listening daemon. Returns the
+/// process exit code.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> i32 {
+    let client_cfg = ClientConfig { endpoint: cfg.endpoint.clone(), ..ClientConfig::default() };
+    let mut client = Client::new(client_cfg);
+    let mut report = drive_stream(&mut client, cfg);
+    if cfg.shutdown {
+        match client.shutdown() {
+            Ok(seq) => println!("loadgen: daemon drained at seq={seq}"),
+            Err(e) => report.violations.push(format!("shutdown: {e}")),
+        }
+    }
+    print_report(&report, cfg.requests);
+    i32::from(!report.violations.is_empty())
+}
+
+fn print_report(report: &LoadgenReport, requests: u64) {
+    println!(
+        "loadgen: acked {}/{} (dup-acks={} resubmissions={} busy-retries={} reconnects={}) \
+         p50={:.6}s p99={:.6}s",
+        report.acked,
+        requests,
+        report.duplicate_acks,
+        report.resubmissions,
+        report.busy_retries,
+        report.reconnects,
+        report.p50_s,
+        report.p99_s,
+    );
+    for v in &report.violations {
+        eprintln!("loadgen violation: {v}");
+    }
+}
+
+// ------------------------------------------------------------------ soak --
+
+/// Soak configuration (`repro loadgen --soak`).
+pub struct NetSoakConfig {
+    /// Requests in the stream.
+    pub requests: u64,
+    /// Acks to observe before the SIGKILL.
+    pub kill_after: u64,
+    /// Problem base extent.
+    pub size: usize,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// Pool workers per child.
+    pub workers: usize,
+    /// Kernel-parallelism threads per child (`--threads`).
+    pub threads: usize,
+    /// Working directory (socket + state + child logs).
+    pub out: PathBuf,
+}
+
+fn spawn_child(cfg: &NetSoakConfig, endpoint: &Endpoint) -> Result<Child, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("serve")
+        .arg("--daemon")
+        .arg("--addr")
+        .arg(endpoint.to_string())
+        .arg("--snapshot-dir")
+        .arg(cfg.out.join("state"))
+        .arg("--size")
+        .arg(cfg.size.to_string())
+        .arg("--tol")
+        .arg(format!("{:e}", cfg.tol))
+        .arg("--workers")
+        .arg(cfg.workers.to_string());
+    if cfg.threads > 1 {
+        cmd.arg("--threads").arg(cfg.threads.to_string());
+    }
+    cmd.stdout(Stdio::inherit()).stderr(Stdio::inherit());
+    cmd.spawn().map_err(|e| format!("spawn child: {e}"))
+}
+
+/// The kill/restart acceptance soak. Returns the process exit code.
+pub fn run_net_soak(cfg: &NetSoakConfig) -> i32 {
+    let mut violations: Vec<String> = Vec::new();
+    if let Err(e) = std::fs::create_dir_all(&cfg.out) {
+        eprintln!("netsoak: cannot create {}: {e}", cfg.out.display());
+        return 1;
+    }
+    let endpoint = Endpoint::Unix(cfg.out.join("daemon.sock"));
+
+    println!("=== phase 1: daemon up, traffic until {} acks ===", cfg.kill_after);
+    let mut child = match spawn_child(cfg, &endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("netsoak: {e}");
+            return 1;
+        }
+    };
+
+    // The client: a bit more patience than the default ladder, since a
+    // restart (snapshot restore + possible reconciliation re-solve) sits
+    // inside one request's retry window.
+    let client_cfg =
+        ClientConfig { endpoint: endpoint.clone(), max_attempts: 24, ..ClientConfig::default() };
+    let mut client = Client::new(client_cfg);
+    let mut killed = false;
+    let mut acked: u64 = 0;
+    let t0 = Instant::now();
+    let mut latencies = Vec::new();
+    for seq in 0..cfg.requests {
+        let req = SubmitRequest {
+            key: seq,
+            size: cfg.size as u32,
+            tol: cfg.tol,
+            priority: priority_for(seq),
+        };
+        let t = Instant::now();
+        match client.submit(req) {
+            Ok(done) => {
+                latencies.push(t.elapsed().as_secs_f64());
+                acked += 1;
+                if done.key != seq {
+                    violations.push(format!("ack for key {} while waiting on {seq}", done.key));
+                }
+            }
+            Err(e) => {
+                violations.push(format!("seq={seq}: {e}"));
+                break;
+            }
+        }
+        if !killed && acked >= cfg.kill_after {
+            killed = true;
+            println!(
+                "=== phase 2: SIGKILL after {acked} acks (t={:.2}s), immediate restart ===",
+                t0.elapsed().as_secs_f64()
+            );
+            let _ = child.kill();
+            let _ = child.wait();
+            child = match spawn_child(cfg, &endpoint) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("netsoak: restart: {e}");
+                    return 1;
+                }
+            };
+            // The in-flight connection dies with the child; the client's
+            // backoff ladder reconnects and resubmits idempotently.
+        }
+    }
+    if !killed {
+        violations.push(format!(
+            "kill never landed: only {acked} acks for kill-after {}",
+            cfg.kill_after
+        ));
+    }
+
+    println!("=== phase 3: graceful drain ===");
+    match client.shutdown() {
+        Ok(seq) => {
+            if seq != cfg.requests {
+                violations.push(format!("drained at seq={seq}, expected {}", cfg.requests));
+            }
+        }
+        Err(e) => violations.push(format!("shutdown: {e}")),
+    }
+    match child.wait() {
+        Ok(status) if status.success() => {}
+        Ok(status) => violations.push(format!("drained child exited {status}")),
+        Err(e) => violations.push(format!("child wait: {e}")),
+    }
+
+    println!("=== phase 4: external verification ===");
+    if acked != cfg.requests {
+        violations.push(format!("lost acked requests: {acked}/{} acked", cfg.requests));
+    }
+    if client.stats.resubmissions == 0 {
+        violations
+            .push("the kill window produced no resubmission — the soak proved nothing".into());
+    }
+    // Exactly-once at the durable layer: one trail line per seq, no
+    // gaps, no extras — resubmissions were deduplicated, not re-run.
+    let state = cfg.out.join("state");
+    match read_trail(&state.join(TRAIL_FILE)) {
+        Ok(entries) => {
+            let mut counts = std::collections::BTreeMap::<u64, u64>::new();
+            for (seq, _) in &entries {
+                *counts.entry(*seq).or_insert(0) += 1;
+            }
+            for seq in 0..cfg.requests {
+                match counts.get(&seq) {
+                    None => violations.push(format!("seq={seq}: acked but missing from trail")),
+                    Some(1) => {}
+                    Some(n) => violations.push(format!(
+                        "seq={seq}: {n} trail lines — a resubmission was re-executed"
+                    )),
+                }
+            }
+            if counts.keys().next_back().is_some_and(|&max| max >= cfg.requests) {
+                violations.push("trail contains seqs beyond the stream".into());
+            }
+        }
+        Err(e) => violations.push(format!("trail verify: {e}")),
+    }
+    // Graceful drain flushed the snapshot: one of the A/B generations
+    // must exist on disk.
+    let snap_a = state.join(format!("{SNAPSHOT_FILE}.a"));
+    let snap_b = state.join(format!("{SNAPSHOT_FILE}.b"));
+    let snap_legacy = state.join(SNAPSHOT_FILE);
+    if !(snap_a.exists() || snap_b.exists() || snap_legacy.exists()) {
+        violations.push("drain left no snapshot on disk".into());
+    }
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "netsoak: acked {}/{} resubmissions={} dup-acks={} reconnects={} p50={:.6}s p99={:.6}s",
+        acked,
+        cfg.requests,
+        client.stats.resubmissions,
+        client.stats.duplicate_acks,
+        client.stats.reconnects,
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+    );
+    if violations.is_empty() {
+        println!("netsoak: zero lost acks, zero duplicate executions, graceful drain verified");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("netsoak violation: {v}");
+        }
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn priorities_mirror_the_stream_function() {
+        assert_eq!(priority_for(5), 0);
+        assert_eq!(priority_for(13), 0);
+        assert_eq!(priority_for(0), 1);
+        assert_eq!(priority_for(6), 1);
+    }
+}

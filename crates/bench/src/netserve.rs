@@ -1,0 +1,656 @@
+//! The networked daemon front-end: an externally-driven [`Daemon`]
+//! behind the framed wire protocol of `fp16mg_runtime::net`.
+//!
+//! This is ROADMAP item 2 ("streaming admission instead of fixed
+//! batches") delivered: instead of the daemon generating its own
+//! request stream in fixed batches, external clients submit one request
+//! at a time over a Unix or TCP socket, each gated individually by the
+//! [`AdmissionQueue`] (refusals are typed `Busy` wire responses, never
+//! buffering) and applied under the same durability order the batch
+//! daemon established: **solve → append trail (fsynced) → checkpoint →
+//! ack**. An ack on the wire therefore means the decision is durable; a
+//! connection killed at any frame boundary loses nothing that was
+//! acked.
+//!
+//! The request *content* stays a pure function of the sequence number
+//! (`daemon::request_for`), and the wire carries idempotency keys (the
+//! claimed sequence number), which makes exactly-once provable: every
+//! applied seq has exactly one trail line, and a resubmission of an
+//! applied key is answered from the in-memory decision record (loaded
+//! from the durable trail at startup) with `duplicate = true`.
+//!
+//! **Restart reconciliation.** On startup the server truncates a torn
+//! final trail record (same policy as the simulation recovery), refuses
+//! to start on a gapped trail, and — when the trail runs ahead of the
+//! snapshot (a kill between trail append and checkpoint) — replays the
+//! covered window through the pool *without appending*, verifying each
+//! replayed decision is bit-identical to its durable line. Divergence
+//! is a refusal to serve, not a silent fork.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fp16mg_runtime::net::{
+    codes, read_frame, write_frame, Acceptor, Conn, DoneReply, Endpoint, Frame, Listener,
+    SubmitRequest, WireError,
+};
+use fp16mg_runtime::{
+    AdmissionConfig, AdmissionQueue, Daemon, DaemonConfig, Priority, RealStorage, Storage,
+};
+
+use crate::daemon::{
+    append_trail, par_for, pool_cfg, request_for, trail_line, SNAPSHOT_FILE, TRAIL_FILE,
+};
+
+/// Configuration of one serving run ([`serve_net`]).
+pub struct NetServeConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Directory (in the storage namespace) holding snapshot + trail.
+    pub state_dir: PathBuf,
+    /// Problem base extent of the stream.
+    pub size: usize,
+    /// Convergence tolerance of the stream.
+    pub tol: f64,
+    /// Pool workers.
+    pub workers: usize,
+    /// Kernel-parallelism threads for the solve phase (`--threads`).
+    pub threads: usize,
+    /// Byte budget for the pool's memory governor.
+    pub mem_budget: Option<u64>,
+    /// Per-connection read/write deadline (the slowloris bound).
+    pub conn_deadline: Duration,
+    /// Accept-loop backlog; connections beyond it get a typed `Busy`.
+    pub backlog: usize,
+    /// Admission-queue shape for per-request backpressure.
+    pub admission: AdmissionConfig,
+    /// **Torture self-check only**: acknowledge *before* the trail
+    /// append, and append without fsync — deliberately breaking the
+    /// durability order so the harness can prove it detects the
+    /// violation. Never set outside `nettorture`.
+    pub break_ack_order: bool,
+    /// Suppress stdout (for in-process harness servers).
+    pub quiet: bool,
+}
+
+impl NetServeConfig {
+    /// The default shape for an endpoint + state dir: small problems,
+    /// one worker, generous deadlines.
+    pub fn new(endpoint: Endpoint, state_dir: PathBuf) -> Self {
+        NetServeConfig {
+            endpoint,
+            state_dir,
+            size: 8,
+            tol: 1e-7,
+            workers: 1,
+            threads: 1,
+            mem_budget: None,
+            conn_deadline: Duration::from_secs(5),
+            backlog: 16,
+            admission: AdmissionConfig::default(),
+            break_ack_order: false,
+            quiet: false,
+        }
+    }
+}
+
+/// Counters of one serving run, for reports and assertions.
+#[derive(Clone, Debug, Default)]
+pub struct NetCounters {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused with a typed `Busy` at the accept backlog.
+    pub busy_connections: u64,
+    /// Requests refused with a typed `Busy` by the admission queue.
+    pub busy_requests: u64,
+    /// Requests executed (excludes duplicates).
+    pub served: u64,
+    /// Acks answered from the durable decision record.
+    pub duplicate_acks: u64,
+    /// Typed wire errors observed per label (`deadline` counts the
+    /// slowloris defense closing a stalled connection).
+    pub wire_errors: std::collections::BTreeMap<String, u64>,
+    /// Sequence numbers replayed (without re-appending) during restart
+    /// reconciliation.
+    pub reconciled: u64,
+}
+
+/// What one serving run did and whether it upheld its contract.
+#[derive(Clone, Debug, Default)]
+pub struct NetServeReport {
+    /// Stream position after the run.
+    pub seq: u64,
+    /// `true` once the graceful drain (trail fsync + final snapshot)
+    /// completed.
+    pub drained: bool,
+    /// `true` when the daemon resumed from a snapshot.
+    pub restored: bool,
+    /// Counters of the run.
+    pub counters: NetCounters,
+    /// Contract violations (fatal; the CLI maps any to a nonzero exit).
+    pub violations: Vec<String>,
+}
+
+/// One remembered decision, reconstructable from a trail line and
+/// sufficient to answer a duplicate submission without re-executing.
+#[derive(Clone, Debug)]
+struct Decision {
+    line: String,
+    outcome: String,
+    profile: String,
+    breaker: String,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!(" {key}=");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest.split_whitespace().next().unwrap_or(rest))
+}
+
+fn parse_decision(line: &str) -> Option<(u64, Decision)> {
+    let seq: u64 = line.strip_prefix("seq=")?.split_whitespace().next()?.parse().ok()?;
+    Some((
+        seq,
+        Decision {
+            line: line.to_string(),
+            outcome: field(line, "outcome")?.to_string(),
+            profile: field(line, "profile")?.to_string(),
+            breaker: field(line, "breaker")?.to_string(),
+        },
+    ))
+}
+
+/// Reads the durable trail through the storage choke point, truncating
+/// a torn final record (bytes after the last newline) — the same
+/// recovery policy the simulation trail uses. Returns the complete
+/// lines.
+fn recover_net_trail(
+    storage: &dyn Storage,
+    path: &std::path::Path,
+    report: &mut NetServeReport,
+) -> Result<Vec<String>, String> {
+    if !storage.exists(path) {
+        return Ok(Vec::new());
+    }
+    let bytes = storage.read(path).map_err(|e| format!("trail read: {e}"))?;
+    let keep = match bytes.iter().rposition(|&b| b == b'\n') {
+        Some(last) => last + 1,
+        None => 0,
+    };
+    if keep < bytes.len() {
+        // A torn final record is expected after a kill mid-append:
+        // truncated and counted, never fatal.
+        storage.truncate(path, keep as u64).map_err(|e| format!("torn trail truncate: {e}"))?;
+        *report.counters.wire_errors.entry("torn-trail-truncated".into()).or_insert(0) += 1;
+    }
+    let text = String::from_utf8_lossy(&bytes[..keep]).to_string();
+    Ok(text.lines().map(|l| l.to_string()).collect())
+}
+
+/// Maps a wire priority byte onto the admission [`Priority`].
+fn priority_of(byte: u8) -> Priority {
+    match byte {
+        0 => Priority::Interactive,
+        1 => Priority::Batch,
+        _ => Priority::BestEffort,
+    }
+}
+
+/// Runs the networked daemon until a client requests a graceful drain.
+/// Blocking; harnesses run it on a thread and join for the report.
+pub fn serve_net(cfg: &NetServeConfig, storage: Arc<dyn Storage>) -> NetServeReport {
+    let mut report = NetServeReport::default();
+    let say = |quiet: bool, msg: &str| {
+        if !quiet {
+            println!("{msg}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+    };
+
+    // Bind before the (potentially slow) daemon restore so early client
+    // connects queue in the OS backlog instead of being refused.
+    let listener = match Listener::bind(&cfg.endpoint) {
+        Ok(l) => l,
+        Err(e) => {
+            report.violations.push(format!("bind {}: {e}", cfg.endpoint));
+            return report;
+        }
+    };
+    let mut acceptor = match Acceptor::spawn(listener, cfg.backlog, cfg.conn_deadline) {
+        Ok(a) => a,
+        Err(e) => {
+            report.violations.push(format!("acceptor: {e}"));
+            return report;
+        }
+    };
+
+    if let Err(e) = storage.create_dir_all(&cfg.state_dir) {
+        report.violations.push(format!("state dir: {e}"));
+        return report;
+    }
+    let trail = cfg.state_dir.join(TRAIL_FILE);
+    let daemon = Daemon::start(DaemonConfig {
+        pool: pool_cfg(cfg.workers, cfg.mem_budget),
+        snapshot_path: Some(cfg.state_dir.join(SNAPSHOT_FILE)),
+        checkpoint_each_batch: false,
+        storage: Arc::clone(&storage),
+    });
+    let mut daemon = match daemon {
+        Ok(d) => d,
+        Err(e) => {
+            report.violations.push(format!("snapshot unusable: {e}"));
+            return report;
+        }
+    };
+    report.restored = daemon.restored();
+    say(
+        cfg.quiet,
+        &if daemon.restored() {
+            format!("netdaemon: resumed seq={}", daemon.seq())
+        } else {
+            "netdaemon: cold start".to_string()
+        },
+    );
+
+    // --- Restart reconciliation -----------------------------------------
+    let mut decisions: std::collections::BTreeMap<u64, Decision> =
+        std::collections::BTreeMap::new();
+    match recover_net_trail(storage.as_ref(), &trail, &mut report) {
+        Ok(lines) => {
+            for line in &lines {
+                match parse_decision(line) {
+                    Some((seq, d)) => {
+                        decisions.insert(seq, d);
+                    }
+                    None => {
+                        report.violations.push(format!("unparseable trail line: {line}"));
+                        return report;
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            report.violations.push(e);
+            return report;
+        }
+    }
+    let covered = decisions.len() as u64;
+    if decisions.keys().copied().ne(0..covered) {
+        report.violations.push("trail has gaps or duplicate seqs; refusing to serve".into());
+        return report;
+    }
+    if daemon.seq() > covered {
+        // A snapshot claiming more progress than the durable trail means
+        // an ack could reference a decision that no longer exists — the
+        // lying-fsync shape. Refuse rather than serve unanswerable
+        // duplicates.
+        report.violations.push(format!(
+            "snapshot seq={} ahead of durable trail coverage {covered}; refusing to serve",
+            daemon.seq()
+        ));
+        return report;
+    }
+    let par = par_for(cfg.threads);
+    while daemon.seq() < covered {
+        // The trail ran ahead of the snapshot (kill between append and
+        // checkpoint): re-derive those decisions through the pool so its
+        // state advances identically, but do NOT append — the durable
+        // line already exists, and exactly-once means never writing a
+        // second one. Bit-divergence here would mean the replayed stream
+        // is not the one that was acked: refuse to serve.
+        let seq = daemon.seq();
+        let req = request_for(seq, cfg.size, cfg.tol, par);
+        let outcomes = match daemon.submit(vec![req]) {
+            Ok(o) => o,
+            Err(e) => {
+                report.violations.push(format!("reconcile replay seq={seq}: {e}"));
+                return report;
+            }
+        };
+        let replayed = trail_line(seq, &outcomes[0], daemon.pool());
+        let durable = format!("{}\n", decisions[&seq].line);
+        if replayed != durable {
+            report.violations.push(format!(
+                "reconciliation divergence at seq={seq}: durable `{}` vs replayed `{}`",
+                durable.trim_end(),
+                replayed.trim_end()
+            ));
+            return report;
+        }
+        report.counters.reconciled += 1;
+    }
+    if report.counters.reconciled > 0 {
+        if let Err(e) = daemon.checkpoint() {
+            report.violations.push(format!("post-reconcile checkpoint: {e}"));
+            return report;
+        }
+        say(
+            cfg.quiet,
+            &format!("netdaemon: reconciled {} trailed seq(s)", report.counters.reconciled),
+        );
+    }
+
+    let mut admission = AdmissionQueue::new(cfg.admission.clone());
+    say(cfg.quiet, &format!("netdaemon: listening on {} seq={}", cfg.endpoint, daemon.seq()));
+
+    // --- Serve loop ------------------------------------------------------
+    let mut drain_conn: Option<Conn> = None;
+    'serve: loop {
+        let Some(mut conn) = acceptor.next(Duration::from_millis(200)) else {
+            if acceptor.finished() {
+                report.violations.push("accept loop died without a drain request".into());
+                break 'serve;
+            }
+            continue;
+        };
+        report.counters.accepted += 1;
+        loop {
+            let frame = match read_frame(&mut conn) {
+                Ok(f) => f,
+                Err(WireError::Closed) => break,
+                Err(e) => {
+                    *report.counters.wire_errors.entry(e.label().into()).or_insert(0) += 1;
+                    // Decode failures get a typed answer before the
+                    // (now unsynchronized) stream is closed; deadline
+                    // trips and transport failures just close.
+                    if !matches!(
+                        e,
+                        WireError::Deadline
+                            | WireError::ConnectionLost(_)
+                            | WireError::Truncated { .. }
+                    ) {
+                        let _ = write_frame(
+                            &mut conn,
+                            &Frame::Error { code: e.code(), detail: e.to_string() },
+                        );
+                    }
+                    conn.shutdown();
+                    break;
+                }
+            };
+            match frame {
+                Frame::Ping => {
+                    if write_frame(&mut conn, &Frame::Pong).is_err() {
+                        break;
+                    }
+                }
+                Frame::Submit(sr) => {
+                    let reply = handle_submit(
+                        cfg,
+                        &sr,
+                        &mut daemon,
+                        &mut admission,
+                        &mut decisions,
+                        storage.as_ref(),
+                        &trail,
+                        &mut report,
+                    );
+                    let Some(reply) = reply else {
+                        // Fatal durability failure: already recorded as
+                        // a violation; stop serving entirely.
+                        conn.shutdown();
+                        break 'serve;
+                    };
+                    if write_frame(&mut conn, &reply).is_err() {
+                        // The client lost its ack; the decision (if any)
+                        // is durable and the retry will deduplicate.
+                        break;
+                    }
+                }
+                Frame::Shutdown => {
+                    // Graceful drain happens after the loop, with the
+                    // requesting connection carried out so the ack can
+                    // be sent only once the final snapshot is durable.
+                    drain_conn = Some(conn);
+                    break 'serve;
+                }
+                other => {
+                    let _ = write_frame(
+                        &mut conn,
+                        &Frame::Error {
+                            code: codes::UNEXPECTED,
+                            detail: format!("unexpected frame kind {}", other.kind()),
+                        },
+                    );
+                    conn.shutdown();
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- Graceful drain --------------------------------------------------
+    // Stop accepting, finish in-flight work (the serve loop is
+    // single-threaded, so reaching here means nothing is in flight),
+    // then trail-fsync + final snapshot rotation via `drain`, and only
+    // then acknowledge on the wire and close.
+    acceptor.stop();
+    report.counters.busy_connections = acceptor.busy();
+    if let Some(mut conn) = drain_conn {
+        let seq = daemon.seq();
+        match daemon.drain() {
+            Ok(dr) => {
+                report.seq = dr.seq;
+                report.drained = true;
+                let _ = write_frame(&mut conn, &Frame::ShutdownOk { seq });
+            }
+            Err(e) => {
+                report.violations.push(format!("drain: {e}"));
+                let _ = write_frame(
+                    &mut conn,
+                    &Frame::Error { code: codes::INTERNAL, detail: e.to_string() },
+                );
+            }
+        }
+        conn.shutdown();
+    } else {
+        report.seq = daemon.seq();
+    }
+    report
+}
+
+/// Serves one submission: dedup below the cursor, typed refusal above
+/// it, and the full durability pipeline at it. Returns `None` only on a
+/// fatal durability failure (violation already recorded).
+#[allow(clippy::too_many_arguments)]
+fn handle_submit(
+    cfg: &NetServeConfig,
+    sr: &SubmitRequest,
+    daemon: &mut Daemon,
+    admission: &mut AdmissionQueue,
+    decisions: &mut std::collections::BTreeMap<u64, Decision>,
+    storage: &dyn Storage,
+    trail: &std::path::Path,
+    report: &mut NetServeReport,
+) -> Option<Frame> {
+    if sr.size as usize != cfg.size || sr.tol != cfg.tol {
+        return Some(Frame::Error {
+            code: codes::STREAM_MISMATCH,
+            detail: format!("stream is size={} tol={}", cfg.size, cfg.tol),
+        });
+    }
+    let seq = daemon.seq();
+    if sr.key < seq {
+        // Already applied: answer from the decision record, never
+        // re-execute. This is the at-least-once dedup on the wire.
+        let d = &decisions[&sr.key];
+        report.counters.duplicate_acks += 1;
+        return Some(Frame::Done(DoneReply {
+            key: sr.key,
+            duplicate: true,
+            outcome: d.outcome.clone(),
+            profile: d.profile.clone(),
+            breaker: d.breaker.clone(),
+        }));
+    }
+    if sr.key > seq {
+        return Some(Frame::Error { code: codes::OUT_OF_ORDER, detail: format!("want {seq}") });
+    }
+
+    // Streaming admission: each request reserves individually; refusal
+    // is typed backpressure on the wire, not a buffered queue.
+    let priority = priority_of(sr.priority);
+    if let Err(e) = admission.try_reserve(priority) {
+        report.counters.busy_requests += 1;
+        return Some(Frame::Busy {
+            reason: e.label().to_string(),
+            retry_ms: 25 * (1 + admission.depth() as u32),
+        });
+    }
+    let req = request_for(seq, cfg.size, cfg.tol, par_for(cfg.threads));
+    let result = run_pipeline(cfg, seq, req, daemon, decisions, storage, trail, report);
+    admission.release(priority);
+    result
+}
+
+/// The durability pipeline for one admitted request:
+/// solve → trail append (fsynced) → checkpoint → ack.
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline(
+    cfg: &NetServeConfig,
+    seq: u64,
+    req: fp16mg_runtime::SolveRequest,
+    daemon: &mut Daemon,
+    decisions: &mut std::collections::BTreeMap<u64, Decision>,
+    storage: &dyn Storage,
+    trail: &std::path::Path,
+    report: &mut NetServeReport,
+) -> Option<Frame> {
+    let outcomes = match daemon.submit(vec![req]) {
+        Ok(o) => o,
+        Err(e) => {
+            report.violations.push(format!("submit seq={seq}: {e}"));
+            return None;
+        }
+    };
+    let line = trail_line(seq, &outcomes[0], daemon.pool());
+    let (_, decision) = parse_decision(line.trim_end()).expect("trail_line emits parseable lines");
+    let done = Frame::Done(DoneReply {
+        key: seq,
+        duplicate: false,
+        outcome: decision.outcome.clone(),
+        profile: decision.profile.clone(),
+        breaker: decision.breaker.clone(),
+    });
+
+    if cfg.break_ack_order {
+        // Self-check mode: the ack escapes before anything is durable
+        // (unsynced append, no checkpoint). The torture harness must
+        // catch the acked-but-not-durable window this opens.
+        match storage.append(trail) {
+            Ok(mut f) => {
+                let _ = f.write_all(line.as_bytes());
+            }
+            Err(e) => report.violations.push(format!("broken-order append: {e}")),
+        }
+        decisions.insert(seq, decision);
+        report.counters.served += 1;
+        return Some(done);
+    }
+
+    if let Err(e) = append_trail(storage, trail, &line) {
+        report.violations.push(format!("trail append seq={seq}: {e}"));
+        return None;
+    }
+    if let Err(e) = daemon.checkpoint() {
+        report.violations.push(format!("checkpoint seq={seq}: {e}"));
+        return None;
+    }
+    decisions.insert(seq, decision);
+    report.counters.served += 1;
+    Some(done)
+}
+
+/// Proves the typed-`Busy` backpressure path with a direct probe: a
+/// capacity-1 admission queue must refuse the second reservation with a
+/// typed error that maps onto a `Busy` frame. Returns the number of
+/// typed refusals observed (1 when the path is alive). Used by
+/// `bench-json` so the liveness of the shed path is part of the
+/// trajectory without a wall-clock race.
+pub fn busy_probe() -> u64 {
+    let mut q = AdmissionQueue::new(AdmissionConfig { capacity: 1, ..AdmissionConfig::default() });
+    if q.try_reserve(Priority::Batch).is_err() {
+        return 0;
+    }
+    match q.try_reserve(Priority::Batch) {
+        Err(e) => {
+            let frame = Frame::Busy { reason: e.label().to_string(), retry_ms: 25 };
+            u64::from(matches!(frame, Frame::Busy { .. }))
+        }
+        Ok(()) => 0,
+    }
+}
+
+/// CLI configuration for the child-process networked daemon
+/// (`repro serve --daemon --addr …`).
+pub struct NetDaemonCliConfig {
+    /// Listen endpoint.
+    pub endpoint: Endpoint,
+    /// State directory (snapshot + trail) on the real filesystem.
+    pub state_dir: PathBuf,
+    /// Problem base extent.
+    pub size: usize,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// Pool workers.
+    pub workers: usize,
+    /// Kernel-parallelism threads (`--threads`).
+    pub threads: usize,
+    /// Byte budget for the memory governor.
+    pub mem_budget: Option<u64>,
+}
+
+/// Runs the networked daemon on [`RealStorage`] until drained. Returns
+/// the process exit code.
+pub fn run_net_daemon(cli: &NetDaemonCliConfig) -> i32 {
+    let mut cfg = NetServeConfig::new(cli.endpoint.clone(), cli.state_dir.clone());
+    cfg.size = cli.size;
+    cfg.tol = cli.tol;
+    cfg.workers = cli.workers;
+    cfg.threads = cli.threads;
+    cfg.mem_budget = cli.mem_budget;
+    let storage: Arc<dyn Storage> = Arc::new(RealStorage);
+    let report = serve_net(&cfg, storage);
+    println!(
+        "netdaemon: drained={} seq={} served={} dup-acks={} busy={} conns={}",
+        report.drained,
+        report.seq,
+        report.counters.served,
+        report.counters.duplicate_acks,
+        report.counters.busy_requests,
+        report.counters.accepted,
+    );
+    for v in &report.violations {
+        eprintln!("netdaemon violation: {v}");
+    }
+    if report.violations.is_empty() && report.drained {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_probe_fires_typed_backpressure() {
+        assert_eq!(busy_probe(), 1);
+    }
+
+    #[test]
+    fn decision_lines_parse_roundtrip() {
+        let line = "seq=4 req=req-00004 class=default prio=batch profile=full \
+                    outcome=ok breaker=closed cache=hit";
+        let (seq, d) = parse_decision(line).expect("parse");
+        assert_eq!(seq, 4);
+        assert_eq!(d.outcome, "ok");
+        assert_eq!(d.profile, "full");
+        assert_eq!(d.breaker, "closed");
+        assert_eq!(d.line, line);
+    }
+}

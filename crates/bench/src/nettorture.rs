@@ -1,0 +1,450 @@
+//! `repro nettorture`: the wire-fault crash-point matrix.
+//!
+//! The storage torture matrix proved the durability stack survives
+//! power loss at every I/O operation; this matrix proves the *wire*
+//! keeps those guarantees: a connection killed at **every frame
+//! boundary** of a probe run must never lose an acked request, never
+//! execute a resubmission twice, and resolve every injected fault with
+//! a typed error.
+//!
+//! Shape (mirroring `torture.rs`):
+//!
+//! 1. **Probe**: an in-process networked daemon on a deterministic
+//!    [`FaultStorage`] backend serves the stream over a real Unix
+//!    socket with a fault-free [`FaultTransport`] ticking every frame
+//!    send/receive. The probe yields the op log (every frame boundary a
+//!    fault can land on) and the reference durable trail.
+//! 2. **Phases**: one fresh server + client per case —
+//!    connection reset at every op index (A), torn frame / garbage
+//!    bytes / oversized header at every send boundary (B–D), duplicate
+//!    delivery at every submit boundary (E), stalled reads long enough
+//!    to trip the server's deadline (F).
+//! 3. **Invariants**, checked per case: the instant a request is acked,
+//!    its decision line is in the **durable** trail image
+//!    (acked ⇒ durable, checked at ack time, not at the end); at the
+//!    end, the durable trail is bit-identical to the probe's (exactly
+//!    one line per seq — resubmissions deduplicated, never re-run); the
+//!    server drained cleanly; every injected fault has a typed
+//!    resolution on record.
+//! 4. **Self-check (G)**: a server deliberately acking *before* the
+//!    (unsynced) trail append must be caught by the instant invariant —
+//!    a harness that cannot see a broken ack order proves nothing.
+//!
+//! All six fault classes must fire across the matrix and at least one
+//! lost-ack case must be answered with a `duplicate = true` ack, or the
+//! run exits nonzero.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fp16mg_runtime::net::{
+    Client, ClientConfig, ClientStats, Endpoint, FaultTransport, Frame, NetFault, NetOpKind,
+    SubmitRequest,
+};
+use fp16mg_runtime::{FaultStorage, Storage};
+
+use crate::daemon::TRAIL_FILE;
+use crate::loadgen::priority_for;
+use crate::netserve::{serve_net, NetServeConfig, NetServeReport};
+
+/// Matrix knobs.
+pub struct NetTortureConfig {
+    /// Requests per case (8 covers every stream class).
+    pub requests: u64,
+    /// Problem base extent (small: the matrix runs many cases).
+    pub size: usize,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// Server per-connection deadline (ms); the stall must exceed it.
+    pub conn_deadline_ms: u64,
+    /// Client silence injected by the stall fault (ms).
+    pub stall_ms: u64,
+    /// Directory for the per-case Unix sockets (temp dir when `None`).
+    pub sock_dir: Option<PathBuf>,
+}
+
+impl Default for NetTortureConfig {
+    fn default() -> Self {
+        NetTortureConfig {
+            requests: 8,
+            size: 6,
+            tol: 1e-6,
+            conn_deadline_ms: 500,
+            stall_ms: 1200,
+            sock_dir: None,
+        }
+    }
+}
+
+/// One case's verdict.
+#[derive(Clone, Debug)]
+pub struct CaseRow {
+    /// `<phase>@op<k>` name.
+    pub name: String,
+    /// All invariants held.
+    pub ok: bool,
+    /// Violation detail when `ok` is false.
+    pub detail: String,
+}
+
+/// The matrix verdict.
+#[derive(Debug, Default)]
+pub struct NetTortureReport {
+    /// Per-case rows.
+    pub cases: Vec<CaseRow>,
+    /// Aggregate violations (all-classes-fired, dedup-proven, G).
+    pub violations: Vec<String>,
+    /// Firings per fault class across the whole matrix.
+    pub fired: BTreeMap<String, u64>,
+    /// Total `duplicate = true` acks observed (must be > 0).
+    pub duplicate_acks: u64,
+    /// Total idempotent resubmissions the clients performed.
+    pub resubmissions: u64,
+    /// The phase-G broken-ack-order server was detected.
+    pub self_check_ok: bool,
+}
+
+impl NetTortureReport {
+    /// Every case ok, every aggregate invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.cases.iter().all(|c| c.ok) && self.self_check_ok
+    }
+}
+
+const STATE_DIR: &str = "state";
+
+fn trail_path() -> PathBuf {
+    PathBuf::from(STATE_DIR).join(TRAIL_FILE)
+}
+
+fn client_cfg(endpoint: Endpoint) -> ClientConfig {
+    ClientConfig {
+        endpoint,
+        max_attempts: 10,
+        backoff: Duration::from_millis(5),
+        backoff_factor: 2.0,
+        max_backoff: Duration::from_millis(100),
+        jitter: 0.5,
+        seed: 0xb0a7,
+        deadlines: [Duration::from_secs(10); 3],
+        write_deadline: Duration::from_secs(10),
+    }
+}
+
+struct CaseOutcome {
+    violations: Vec<String>,
+    stats: ClientStats,
+    fired: BTreeMap<String, u64>,
+    server: NetServeReport,
+}
+
+/// The durable trail lines, by seq prefix, from the fault storage's
+/// durable (post-power-loss) image — what would survive a crash.
+fn durable_lines(storage: &FaultStorage) -> Vec<String> {
+    let bytes = storage.peek_durable(&trail_path()).unwrap_or_default();
+    String::from_utf8_lossy(&bytes).lines().map(|l| l.to_string()).collect()
+}
+
+fn server_cfg(cfg: &NetTortureConfig, endpoint: Endpoint, break_ack_order: bool) -> NetServeConfig {
+    let mut sc = NetServeConfig::new(endpoint, PathBuf::from(STATE_DIR));
+    sc.size = cfg.size;
+    sc.tol = cfg.tol;
+    sc.workers = 1;
+    sc.conn_deadline = Duration::from_millis(cfg.conn_deadline_ms);
+    sc.break_ack_order = break_ack_order;
+    sc.quiet = true;
+    sc
+}
+
+/// Drives one case: fresh storage, fresh in-process server, fresh
+/// client with `schedule` planted, full stream + drain, instant and
+/// end-state invariants.
+fn run_case(
+    cfg: &NetTortureConfig,
+    sock: PathBuf,
+    schedule: &[(u64, NetFault)],
+    break_ack_order: bool,
+    reference: &[String],
+) -> CaseOutcome {
+    let endpoint = Endpoint::Unix(sock);
+    let storage = FaultStorage::new();
+    let server_storage: Arc<dyn Storage> = Arc::new(storage.clone());
+    let sc = server_cfg(cfg, endpoint.clone(), break_ack_order);
+    let server = std::thread::spawn(move || serve_net(&sc, server_storage));
+
+    let ft = FaultTransport::new();
+    for &(index, fault) in schedule {
+        ft.schedule(index, fault);
+    }
+    let mut client = Client::with_transport(client_cfg(endpoint.clone()), ft.clone());
+    let mut violations = Vec::new();
+
+    for seq in 0..cfg.requests {
+        let req = SubmitRequest {
+            key: seq,
+            size: cfg.size as u32,
+            tol: cfg.tol,
+            priority: priority_for(seq),
+        };
+        match client.submit(req) {
+            Ok(done) => {
+                if done.key != seq {
+                    violations.push(format!("ack for key {} while waiting on {seq}", done.key));
+                }
+                // THE instant invariant: the moment the ack is in hand,
+                // the decision must already be in the durable image.
+                let prefix = format!("seq={seq} ");
+                if !durable_lines(&storage).iter().any(|l| l.starts_with(&prefix)) {
+                    violations.push(format!("seq={seq}: ACKED BUT NOT DURABLE"));
+                }
+            }
+            Err(e) => violations.push(format!("seq={seq}: {e}")),
+        }
+    }
+
+    // Drain. A fault can eat the ShutdownOk after the server already
+    // drained, so a failed client-side shutdown falls back to clean
+    // retries without the fault transport; the server report is the
+    // arbiter.
+    if client.shutdown().is_err() {
+        for _ in 0..50 {
+            if server.is_finished() {
+                break;
+            }
+            let mut plain = Client::new(client_cfg(endpoint.clone()));
+            if plain.shutdown().is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let stats = client.stats.clone();
+    let server = server.join().unwrap_or_else(|_| {
+        let mut r = NetServeReport::default();
+        r.violations.push("server thread panicked".into());
+        r
+    });
+
+    // End state: the durable trail must be bit-identical to the probe's
+    // — exactly one line per seq, same decisions, nothing extra.
+    let lines = durable_lines(&storage);
+    if !reference.is_empty() && lines != reference {
+        violations.push(format!(
+            "durable trail diverged: {} lines vs {} in reference",
+            lines.len(),
+            reference.len()
+        ));
+    }
+    for v in &server.violations {
+        violations.push(format!("server: {v}"));
+    }
+    if !server.drained {
+        violations.push("server never drained".into());
+    }
+    // Typed-resolution invariant: every class that fired was resolved
+    // with a recorded typed error; the protocol-violation classes must
+    // have been answered by the server's typed Error frame.
+    let fired = ft.fired();
+    for class in fired.keys() {
+        match stats.resolutions.get(class) {
+            None => violations.push(format!("{class}: fired but no typed resolution recorded")),
+            Some(r)
+                if matches!(class.as_str(), "garbage-bytes" | "oversized-frame")
+                    && !r.starts_with("error:") =>
+            {
+                violations.push(format!("{class}: resolved `{r}`, not a typed server error"))
+            }
+            Some(_) => {}
+        }
+    }
+    CaseOutcome { violations, stats, fired, server }
+}
+
+/// Runs the probe + the full fault matrix.
+pub fn run_net_matrix(cfg: &NetTortureConfig) -> NetTortureReport {
+    let mut report = NetTortureReport::default();
+    let dir = cfg.sock_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("fp16mg-nettorture-{}", std::process::id()))
+    });
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        report.violations.push(format!("socket dir {}: {e}", dir.display()));
+        return report;
+    }
+    let mut case_id = 0usize;
+    let sock = |id: &mut usize| {
+        let p = dir.join(format!("c{}.sock", *id));
+        *id += 1;
+        p
+    };
+
+    // --- Probe: a fault-free run enumerates every frame boundary (the
+    // transport op log) and captures the reference durable trail every
+    // fault case must reproduce bit-for-bit.
+    let reference_storage = FaultStorage::new();
+    let reference = {
+        let server_storage: Arc<dyn Storage> = Arc::new(reference_storage.clone());
+        let endpoint = Endpoint::Unix(sock(&mut case_id));
+        let sc = server_cfg(cfg, endpoint.clone(), false);
+        let handle = std::thread::spawn(move || serve_net(&sc, server_storage));
+        let ft = FaultTransport::new();
+        let mut client = Client::with_transport(client_cfg(endpoint), ft.clone());
+        for seq in 0..cfg.requests {
+            let req = SubmitRequest {
+                key: seq,
+                size: cfg.size as u32,
+                tol: cfg.tol,
+                priority: priority_for(seq),
+            };
+            if let Err(e) = client.submit(req) {
+                report.violations.push(format!("reference run seq={seq}: {e}"));
+            }
+        }
+        let _ = client.shutdown();
+        let _ = handle.join();
+        (durable_lines(&reference_storage), ft.op_log())
+    };
+    let (reference, op_log) = reference;
+    if reference.len() as u64 != cfg.requests {
+        report.violations.push(format!(
+            "reference trail has {} lines for {} requests",
+            reference.len(),
+            cfg.requests
+        ));
+        return report;
+    }
+    println!(
+        "probe: {} frame ops over {} requests, reference trail {} lines",
+        op_log.len(),
+        cfg.requests,
+        reference.len()
+    );
+
+    let submit_kind =
+        Frame::Submit(SubmitRequest { key: 0, size: 8, tol: 1e-6, priority: 1 }).kind();
+    let send_ops: Vec<u64> = op_log
+        .iter()
+        .filter(|op| matches!(op.kind, NetOpKind::Send(_)))
+        .map(|op| op.index)
+        .collect();
+    let submit_ops: Vec<u64> = op_log
+        .iter()
+        .filter(|op| matches!(op.kind, NetOpKind::Send(k) if k == submit_kind))
+        .map(|op| op.index)
+        .collect();
+    let all_ops: Vec<u64> = op_log.iter().map(|op| op.index).collect();
+
+    // --- Phase schedules ---------------------------------------------
+    let mut cases: Vec<(String, Vec<(u64, NetFault)>)> = Vec::new();
+    for &i in &all_ops {
+        cases.push((format!("reset@op{i}"), vec![(i, NetFault::Reset)]));
+    }
+    for &i in &send_ops {
+        cases.push((format!("torn@op{i}"), vec![(i, NetFault::Torn)]));
+        cases.push((format!("garbage@op{i}"), vec![(i, NetFault::Garbage { len: 64 })]));
+        cases.push((format!("oversized@op{i}"), vec![(i, NetFault::Oversized)]));
+    }
+    for &i in &submit_ops {
+        cases.push((format!("duplicate@op{i}"), vec![(i, NetFault::Duplicate)]));
+    }
+    // Stalls are wall-clock (each case blocks for `stall_ms`), so the
+    // phase samples the first, middle, and last submit boundaries.
+    let stall_picks = [
+        submit_ops.first().copied(),
+        submit_ops.get(submit_ops.len() / 2).copied(),
+        submit_ops.last().copied(),
+    ];
+    let mut stall_seen = std::collections::BTreeSet::new();
+    for i in stall_picks.into_iter().flatten() {
+        if stall_seen.insert(i) {
+            cases.push((format!("stall@op{i}"), vec![(i, NetFault::Stall { ms: cfg.stall_ms })]));
+        }
+    }
+
+    // --- Run the matrix ----------------------------------------------
+    for (name, schedule) in cases {
+        let out = run_case(cfg, sock(&mut case_id), &schedule, false, &reference);
+        for (class, n) in &out.fired {
+            *report.fired.entry(class.clone()).or_insert(0) += n;
+        }
+        report.duplicate_acks += out.stats.duplicate_acks + out.server.counters.duplicate_acks;
+        report.resubmissions += out.stats.resubmissions;
+        if schedule.iter().any(|(_, f)| matches!(f, NetFault::Stall { .. }))
+            && out.server.counters.wire_errors.get("deadline").copied().unwrap_or(0) == 0
+        {
+            report.cases.push(CaseRow {
+                name,
+                ok: false,
+                detail: "stall never tripped the server's read deadline".into(),
+            });
+            continue;
+        }
+        let ok = out.violations.is_empty();
+        let detail = out.violations.join("; ");
+        report.cases.push(CaseRow { name, ok, detail });
+    }
+
+    // --- Phase G: the self-check -------------------------------------
+    // A server that acks before anything is durable must be caught by
+    // the instant invariant; otherwise the matrix is decorative.
+    let g = run_case(cfg, sock(&mut case_id), &[], true, &[]);
+    report.self_check_ok = g.violations.iter().any(|v| v.contains("ACKED BUT NOT DURABLE"));
+    if !report.self_check_ok {
+        report
+            .violations
+            .push("self-check: broken ack order was NOT detected by the instant invariant".into());
+    }
+
+    // --- Aggregates ---------------------------------------------------
+    for class in NetFault::all_labels() {
+        if report.fired.get(class).copied().unwrap_or(0) == 0 {
+            report.violations.push(format!("fault class `{class}` never fired"));
+        }
+    }
+    if report.duplicate_acks == 0 {
+        report.violations.push(
+            "no resubmission was ever answered with duplicate=true — dedup never proven".into(),
+        );
+    }
+    if report.resubmissions == 0 {
+        report.violations.push("no case forced an idempotent resubmission".into());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// CLI driver (`repro nettorture`). Prints the matrix and returns the
+/// process exit code.
+pub fn run_nettorture_cli(cfg: &NetTortureConfig) -> i32 {
+    println!(
+        "wire-fault torture: {} requests/case, size {}, server deadline {} ms",
+        cfg.requests, cfg.size, cfg.conn_deadline_ms
+    );
+    let report = run_net_matrix(cfg);
+    let failed: Vec<&CaseRow> = report.cases.iter().filter(|c| !c.ok).collect();
+    println!(
+        "cases: {} total, {} failed | fired: {}",
+        report.cases.len(),
+        failed.len(),
+        report.fired.iter().map(|(k, v)| format!("{k}×{v}")).collect::<Vec<_>>().join(" "),
+    );
+    println!(
+        "dedup: {} duplicate acks over {} resubmissions | self-check: {}",
+        report.duplicate_acks,
+        report.resubmissions,
+        if report.self_check_ok { "broken ack order detected" } else { "FAILED" },
+    );
+    for c in &failed {
+        eprintln!("case {} FAILED: {}", c.name, c.detail);
+    }
+    for v in &report.violations {
+        eprintln!("nettorture violation: {v}");
+    }
+    if report.passed() {
+        println!("nettorture: every acked request durable at every crash point, exactly-once held");
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,31 @@
+//! Wire-fault torture matrix acceptance: the full crash-point sweep
+//! over the framed protocol must pass — a connection killed at every
+//! frame boundary never loses an acked request (checked the instant
+//! each ack lands, against the storage backend's durable image), every
+//! idempotent resubmission is deduplicated instead of re-executed (the
+//! durable trail stays bit-identical to the fault-free reference), all
+//! six fault classes fire with typed resolutions, and the harness's own
+//! broken-ack-order self-check detects a server that acks before the
+//! fsync. Everything runs in-process over real Unix sockets against the
+//! deterministic storage backend.
+
+use fp16mg_bench::nettorture::{run_net_matrix, NetTortureConfig};
+
+#[test]
+fn wire_fault_matrix_holds_every_durability_invariant() {
+    // The CLI default is 8 requests; 6 keeps the test's case count
+    // (still every frame boundary of its stream) inside tier-1 budget.
+    let cfg = NetTortureConfig { requests: 6, ..NetTortureConfig::default() };
+    let report = run_net_matrix(&cfg);
+    assert_eq!(report.violations, Vec::<String>::new());
+    let failed: Vec<String> = report
+        .cases
+        .iter()
+        .filter(|c| !c.ok)
+        .map(|c| format!("{}: {}", c.name, c.detail))
+        .collect();
+    assert_eq!(failed, Vec::<String>::new());
+    assert!(report.passed(), "fired: {:?}", report.fired);
+    assert!(report.duplicate_acks > 0, "dedup must be proven, not assumed");
+    assert!(report.self_check_ok, "the harness must catch a broken ack order");
+}

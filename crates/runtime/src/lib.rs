@@ -43,6 +43,7 @@ pub mod cache;
 pub mod jitter;
 pub mod ladder;
 pub mod mem;
+pub mod net;
 pub mod pool;
 pub mod ring;
 pub mod shed;
@@ -66,6 +67,11 @@ pub use ladder::{
 #[cfg(feature = "fault-inject")]
 pub use ladder::{FaultPlan, LevelBitFlip};
 pub use mem::{AllocFault, ChargeRecord, MemCharge, MemError, MemGovernor};
+pub use net::{
+    decode_frame, read_frame, write_frame, Acceptor, Client, ClientConfig, ClientError,
+    ClientStats, Conn, DoneReply, Endpoint, FaultTransport, Frame, Listener, NetFault, NetOp,
+    NetOpKind, SubmitRequest, WireError, WIRE_MAGIC,
+};
 pub use pool::{
     run_batch, PoolConfig, PoolState, RequestOutcome, ServeCounters, ServeError, ServePool,
 };

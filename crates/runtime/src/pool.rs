@@ -599,7 +599,7 @@ impl ServePool {
                 scope.spawn(move || loop {
                     // The lock is held only around the pop — a panicking
                     // session can never poison the queue.
-                    let job = exec.lock().expect("execution queue poisoned").pop_front();
+                    let job = exec.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
                     let Some(adm) = job else { break };
                     let Admitted {
                         index,
@@ -615,7 +615,7 @@ impl ServePool {
                     let priority = req.priority;
                     let class = req.class.clone();
                     if supervise.enabled {
-                        *hearts[w].lock().expect("heartbeat slot poisoned") = Some(InFlight {
+                        *hearts[w].lock().unwrap_or_else(|e| e.into_inner()) = Some(InFlight {
                             name: name.clone(),
                             cancel: req.budget.cancel.clone(),
                             started: Instant::now(),
@@ -654,12 +654,17 @@ impl ServePool {
                         }
                         Err(payload) => {
                             if supervise.enabled {
-                                events.lock().expect("event log poisoned").push(WorkerEvent {
-                                    worker: Some(w),
-                                    request: name.clone(),
-                                    kind: WorkerEventKind::Panicked,
-                                });
-                                strikes.lock().expect("strike list poisoned").push(name.clone());
+                                events.lock().unwrap_or_else(|e| e.into_inner()).push(
+                                    WorkerEvent {
+                                        worker: Some(w),
+                                        request: name.clone(),
+                                        kind: WorkerEventKind::Panicked,
+                                    },
+                                );
+                                strikes
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(name.clone());
                             }
                             (
                                 RequestOutcome {
@@ -688,15 +693,15 @@ impl ServePool {
                     if supervise.enabled {
                         let wedged = hearts[w]
                             .lock()
-                            .expect("heartbeat slot poisoned")
+                            .unwrap_or_else(|e| e.into_inner())
                             .take()
                             .is_some_and(|s| s.wedged);
                         if wedged {
-                            strikes.lock().expect("strike list poisoned").push(name.clone());
+                            strikes.lock().unwrap_or_else(|e| e.into_inner()).push(name.clone());
                         }
                     }
                     completed.fetch_add(1, Ordering::SeqCst);
-                    *done[index].lock().expect("result slot poisoned") = Some(outcome);
+                    *done[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 });
             }
 
@@ -713,19 +718,21 @@ impl ServePool {
                     while completed.load(Ordering::SeqCst) < admitted_count {
                         std::thread::sleep(supervise.poll);
                         for (w, slot) in hearts.iter().enumerate() {
-                            let mut s = slot.lock().expect("heartbeat slot poisoned");
+                            let mut s = slot.lock().unwrap_or_else(|e| e.into_inner());
                             if let Some(infl) = s.as_mut() {
                                 let elapsed = infl.started.elapsed();
                                 if !infl.wedged && elapsed > supervise.wedge_after {
                                     infl.wedged = true;
                                     infl.cancel.cancel();
-                                    events.lock().expect("event log poisoned").push(WorkerEvent {
-                                        worker: Some(w),
-                                        request: infl.name.clone(),
-                                        kind: WorkerEventKind::Wedged {
-                                            elapsed: elapsed.as_secs_f64(),
+                                    events.lock().unwrap_or_else(|e| e.into_inner()).push(
+                                        WorkerEvent {
+                                            worker: Some(w),
+                                            request: infl.name.clone(),
+                                            kind: WorkerEventKind::Wedged {
+                                                elapsed: elapsed.as_secs_f64(),
+                                            },
                                         },
-                                    });
+                                    );
                                 }
                             }
                         }
@@ -737,8 +744,8 @@ impl ServePool {
         // Supervision bookkeeping. Strike *counts* per name are
         // deterministic (each wedge/panic strikes exactly once); only
         // the interleaving of the diagnostic event trail can vary.
-        let mut batch_events = events.into_inner().expect("event log poisoned");
-        for nm in strikes.into_inner().expect("strike list poisoned") {
+        let mut batch_events = events.into_inner().unwrap_or_else(|e| e.into_inner());
+        for nm in strikes.into_inner().unwrap_or_else(|e| e.into_inner()) {
             let strikes_now = self.quarantine.strike(&nm);
             if self.cfg.supervise.max_strikes > 0 && strikes_now == self.cfg.supervise.max_strikes {
                 batch_events.push(WorkerEvent {
@@ -751,7 +758,8 @@ impl ServePool {
         self.worker_events.extend(batch_events);
 
         for (index, slot) in done.into_iter().enumerate() {
-            if let Some((outcome, countable)) = slot.into_inner().expect("result slot poisoned") {
+            if let Some((outcome, countable)) = slot.into_inner().unwrap_or_else(|e| e.into_inner())
+            {
                 if countable {
                     self.breakers.record(&outcome.class, outcome.converged(), outcome.probe);
                 }

@@ -424,7 +424,7 @@ pub struct FaultStorage {
 
 impl fmt::Debug for FaultStorage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         f.debug_struct("FaultStorage")
             .field("files", &inner.live.len())
             .field("ops", &inner.ops)
@@ -440,33 +440,41 @@ impl FaultStorage {
         Self::default()
     }
 
+    /// Locks the shared state, recovering from poisoning: a panicking
+    /// holder (a quarantined worker mid-operation) must not cascade into
+    /// aborting every other thread that touches storage. The state is a
+    /// plain map; a poisoned guard is still internally consistent.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Plant `fault` at global operation index `index`.
     pub fn schedule(&self, index: u64, fault: Fault) {
-        self.inner.lock().unwrap().schedule.insert(index, fault);
+        self.lock().schedule.insert(index, fault);
     }
 
     /// Number of counting operations performed so far.
     pub fn op_count(&self) -> u64 {
-        self.inner.lock().unwrap().ops
+        self.lock().ops
     }
 
     /// The full operation log (index, kind, path) so far.
     pub fn op_log(&self) -> Vec<OpRecord> {
-        self.inner.lock().unwrap().log.clone()
+        self.lock().log.clone()
     }
 
     /// Which fault classes fired, and how often. Keys: `torn-write`,
     /// `fsync-fail`, `silent-fsync-loss`, `enospc`, `read-corruption`,
     /// `crash`, plus `crash@<op>` for the op kind the crash landed on.
     pub fn fired(&self) -> BTreeMap<String, u64> {
-        self.inner.lock().unwrap().fired.clone()
+        self.lock().fired.clone()
     }
 
     /// True once a scheduled crash (or torn write) has taken the
     /// storage down; every counting operation fails until
     /// [`FaultStorage::power_loss`] is called.
     pub fn crashed(&self) -> bool {
-        self.inner.lock().unwrap().crashed
+        self.lock().crashed
     }
 
     /// Apply the dirty-page power-loss model and bring the storage
@@ -474,25 +482,25 @@ impl FaultStorage {
     /// (dropping un-synced creates/renames/removes) and every file's
     /// content reverts to its last-fsynced image.
     pub fn power_loss(&self) {
-        self.inner.lock().unwrap().apply_power_loss();
+        self.lock().apply_power_loss();
     }
 
     /// Non-counting read of the live content of `path`, for harness
     /// validation (never intercepted by scheduled faults).
     pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         inner.live.get(&to_key(path)).map(|&id| inner.inodes[id].live.clone())
     }
 
     /// Non-counting read of the durable (post-crash) content of `path`.
     pub fn peek_durable(&self, path: &Path) -> Option<Vec<u8>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         inner.durable.get(&to_key(path)).map(|&id| inner.inodes[id].synced.clone())
     }
 
     /// All paths currently present in the live namespace.
     pub fn live_paths(&self) -> Vec<PathBuf> {
-        self.inner.lock().unwrap().live.keys().cloned().collect()
+        self.lock().live.keys().cloned().collect()
     }
 
     fn guard(inner: &Inner, op: &'static str, path: &Path) -> Result<(), StorageError> {
@@ -512,7 +520,7 @@ struct FaultFile {
 
 impl StorageFile for FaultFile {
     fn write_all(&mut self, buf: &[u8]) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         FaultStorage::guard(&inner, "write", &self.path)?;
         let fault = inner.tick(OpKind::Write, &self.path);
         if inner.enospc_left > 0 {
@@ -564,7 +572,7 @@ impl StorageFile for FaultFile {
     }
 
     fn fsync(&mut self) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         FaultStorage::guard(&inner, "fsync", &self.path)?;
         let fault = inner.tick(OpKind::Fsync, &self.path);
         match fault {
@@ -605,7 +613,7 @@ impl StorageFile for FaultFile {
 
 impl Storage for FaultStorage {
     fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         FaultStorage::guard(&inner, "create", path)?;
         let fault = inner.tick(OpKind::Create, path);
         if let Some(Fault::Crash) = fault {
@@ -620,7 +628,7 @@ impl Storage for FaultStorage {
     }
 
     fn append(&self, path: &Path) -> Result<Box<dyn StorageFile>, StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         FaultStorage::guard(&inner, "append", path)?;
         let fault = inner.tick(OpKind::Append, path);
         if let Some(Fault::Crash) = fault {
@@ -641,7 +649,7 @@ impl Storage for FaultStorage {
     }
 
     fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         FaultStorage::guard(&inner, "read", path)?;
         let fault = inner.tick(OpKind::Read, path);
         if let Some(Fault::Crash) = fault {
@@ -669,7 +677,7 @@ impl Storage for FaultStorage {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         FaultStorage::guard(&inner, "rename", from)?;
         let fault = inner.tick(OpKind::Rename, from);
         if let Some(Fault::Crash) = fault {
@@ -690,7 +698,7 @@ impl Storage for FaultStorage {
     }
 
     fn remove(&self, path: &Path) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         FaultStorage::guard(&inner, "remove", path)?;
         let fault = inner.tick(OpKind::Remove, path);
         if let Some(Fault::Crash) = fault {
@@ -710,7 +718,7 @@ impl Storage for FaultStorage {
     }
 
     fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         FaultStorage::guard(&inner, "truncate", path)?;
         let fault = inner.tick(OpKind::Truncate, path);
         if let Some(Fault::Crash) = fault {
@@ -735,7 +743,7 @@ impl Storage for FaultStorage {
     }
 
     fn sync_dir(&self, dir: &Path) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         FaultStorage::guard(&inner, "sync-dir", dir)?;
         let fault = inner.tick(OpKind::SyncDir, dir);
         if let Some(Fault::Crash) = fault {
@@ -762,7 +770,7 @@ impl Storage for FaultStorage {
     }
 
     fn len(&self, path: &Path) -> Result<u64, StorageError> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         match inner.live.get(&to_key(path)) {
             Some(&id) => Ok(inner.inodes[id].live.len() as u64),
             None => Err(StorageError::Io {
@@ -774,7 +782,7 @@ impl Storage for FaultStorage {
     }
 
     fn exists(&self, path: &Path) -> bool {
-        self.inner.lock().unwrap().live.contains_key(&to_key(path))
+        self.lock().live.contains_key(&to_key(path))
     }
 
     fn create_dir_all(&self, _dir: &Path) -> Result<(), StorageError> {

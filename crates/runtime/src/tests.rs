@@ -2199,3 +2199,113 @@ mod mem_pressure {
         assert_accounting(pool, &governor);
     }
 }
+
+mod wire_props {
+    //! Satellite: frame-decoder property tests. The decoder is total —
+    //! on arbitrary bytes it returns a typed error or a valid frame,
+    //! never panics, and never allocates more than the declared limits.
+
+    use crate::net::{decode_frame, limits, Frame, SubmitRequest, WireError, WIRE_MAGIC};
+    use fp16mg_testkit::{check_n, Rng};
+
+    /// A random *valid* frame, exercising every kind and the label
+    /// length edges.
+    fn arb_frame(rng: &mut Rng) -> Frame {
+        fn label(rng: &mut Rng) -> String {
+            let len = rng.usize_range(0, limits::MAX_LABEL);
+            "x".repeat(len)
+        }
+        match rng.usize_range(0, 7) {
+            0 => Frame::Submit(SubmitRequest {
+                key: rng.next_u64(),
+                size: rng.usize_range(2, limits::MAX_PAYLOAD as usize) as u32,
+                tol: rng.f64_range(1e-12, 1.0),
+                priority: rng.usize_range(0, 2) as u8,
+            }),
+            1 => Frame::Done(crate::net::DoneReply {
+                key: rng.next_u64(),
+                duplicate: rng.chance(0.5),
+                outcome: label(rng),
+                profile: label(rng),
+                breaker: label(rng),
+            }),
+            2 => Frame::Busy { retry_ms: rng.next_u64() as u32, reason: label(rng) },
+            3 => Frame::Error { code: rng.usize_range(1, 10) as u8, detail: label(rng) },
+            4 => Frame::Ping,
+            5 => Frame::Shutdown,
+            6 => Frame::ShutdownOk { seq: rng.next_u64() },
+            _ => Frame::Pong,
+        }
+    }
+
+    #[test]
+    fn prop_wire_roundtrip() {
+        check_n("wire-roundtrip", 512, |rng| {
+            let frame = arb_frame(rng);
+            let bytes = frame.encode();
+            let (decoded, consumed) = decode_frame(&bytes).expect("encoded frame must decode");
+            assert_eq!(decoded, frame, "round trip must be identity");
+            assert_eq!(consumed, bytes.len(), "decode must consume the whole encoding");
+        });
+    }
+
+    #[test]
+    fn prop_wire_decoder_total_on_garbage() {
+        check_n("wire-garbage", 512, |rng| {
+            let len = rng.usize_range(0, 256);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            // Total: a typed error or a valid frame, never a panic. On
+            // success the cursor stays inside the buffer.
+            match decode_frame(&bytes) {
+                Ok((_, consumed)) => assert!(consumed <= bytes.len()),
+                Err(e) => {
+                    assert!(e.code() >= 1, "every decode error carries a typed code");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn prop_wire_flip_one_bit_typed_or_valid() {
+        check_n("wire-bit-flip", 512, |rng| {
+            let frame = arb_frame(rng);
+            let mut bytes = frame.encode();
+            let bit = rng.usize_range(0, bytes.len() * 8 - 1);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            match decode_frame(&bytes) {
+                Ok((_, consumed)) => assert!(consumed <= bytes.len()),
+                Err(e) => assert!(e.code() >= 1),
+            }
+            // Any truncation of a valid frame is typed too.
+            let bytes = frame.encode();
+            let cut = rng.usize_range(0, bytes.len() - 1);
+            match decode_frame(&bytes[..cut]) {
+                Ok((_, consumed)) => assert!(consumed <= cut),
+                Err(e) => assert!(e.code() >= 1),
+            }
+        });
+    }
+
+    #[test]
+    fn prop_wire_oversized_header_rejected_before_allocation() {
+        check_n("wire-oversized", 512, |rng| {
+            // A header declaring more than MAX_PAYLOAD must be rejected
+            // from the 9 header bytes alone — before any payload buffer
+            // is allocated, no matter how large the declared length.
+            let declared = limits::MAX_PAYLOAD
+                + 1
+                + (rng.next_u64() as u32 % (u32::MAX - limits::MAX_PAYLOAD));
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+            bytes.push(rng.usize_range(1, 8) as u8);
+            bytes.extend_from_slice(&declared.to_le_bytes());
+            match decode_frame(&bytes) {
+                Err(WireError::Oversized { got, limit }) => {
+                    assert_eq!(got, declared);
+                    assert_eq!(limit, limits::MAX_PAYLOAD);
+                }
+                other => panic!("declared {declared}: expected Oversized, got {other:?}"),
+            }
+        });
+    }
+}
